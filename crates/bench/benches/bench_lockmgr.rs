@@ -1,0 +1,62 @@
+//! Criterion: raw lock-manager operations — the constant factors underneath
+//! every protocol comparison.
+
+use colock_lockmgr::{LockManager, LockMode, LockRequestOptions, TxnId};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_acquire_release(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lockmgr");
+    group.bench_function("acquire_release_x", |b| {
+        let lm: LockManager<u64> = LockManager::new();
+        let txn = TxnId(1);
+        b.iter(|| {
+            lm.acquire(txn, black_box(42), LockMode::X, LockRequestOptions::default()).unwrap();
+            lm.release(txn, &42);
+        });
+    });
+    group.bench_function("reentrant_covered_acquire", |b| {
+        let lm: LockManager<u64> = LockManager::new();
+        let txn = TxnId(1);
+        lm.acquire(txn, 42, LockMode::X, LockRequestOptions::default()).unwrap();
+        b.iter(|| {
+            lm.acquire(txn, black_box(42), LockMode::S, LockRequestOptions::default()).unwrap()
+        });
+    });
+    group.bench_function("shared_group_of_8", |b| {
+        let lm: LockManager<u64> = LockManager::new();
+        for i in 0..8 {
+            lm.acquire(TxnId(i), 7, LockMode::S, LockRequestOptions::default()).unwrap();
+        }
+        let txn = TxnId(99);
+        b.iter(|| {
+            lm.acquire(txn, black_box(7), LockMode::S, LockRequestOptions::default()).unwrap();
+            lm.release(txn, &7);
+        });
+    });
+    group.bench_function("conversion_s_to_x", |b| {
+        let lm: LockManager<u64> = LockManager::new();
+        let txn = TxnId(1);
+        b.iter(|| {
+            lm.acquire(txn, 1, LockMode::S, LockRequestOptions::default()).unwrap();
+            lm.acquire(txn, 1, LockMode::X, LockRequestOptions::default()).unwrap();
+            lm.release(txn, &1);
+        });
+    });
+    group.bench_function("chain_of_6_intents", |b| {
+        // The cost of one proposed-protocol chain: db/seg/rel/obj/holu/elem.
+        let lm: LockManager<u64> = LockManager::new();
+        let txn = TxnId(1);
+        b.iter(|| {
+            for r in 0..5u64 {
+                lm.acquire(txn, r, LockMode::IX, LockRequestOptions::default()).unwrap();
+            }
+            lm.acquire(txn, 5, LockMode::X, LockRequestOptions::default()).unwrap();
+            lm.release_all(txn);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_acquire_release);
+criterion_main!(benches);

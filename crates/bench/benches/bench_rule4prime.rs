@@ -1,0 +1,53 @@
+//! Criterion companion to E4 (ablation): multithreaded throughput of robot
+//! updaters sharing a small effector library — rule 4′ vs plain rule 4.
+
+use colock_bench::cells_manager;
+use colock_sim::{run_threads, CellsConfig, QueryMix, ThreadConfig};
+use colock_txn::ProtocolKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_rule4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_rule4_vs_rule4prime");
+    group.sample_size(10);
+    let cells = CellsConfig {
+        n_cells: 8,
+        robots_per_cell: 4,
+        n_effectors: 2,
+        effectors_per_robot: 2,
+        c_objects_per_cell: 5,
+        ..Default::default()
+    };
+    let mix = QueryMix {
+        read_parts: 0,
+        update_robot: 100,
+        read_robot: 0,
+        checkout_cell: 0,
+        read_cell: 0,
+        update_effector: 0,
+        read_effector: 0,
+    };
+    for protocol in [ProtocolKind::Proposed, ProtocolKind::ProposedRule4] {
+        group.bench_with_input(
+            BenchmarkId::new("updaters_x4", protocol.name()),
+            &protocol,
+            |b, &protocol| {
+                b.iter(|| {
+                    let mgr = cells_manager(&cells, protocol);
+                    let cfg = ThreadConfig {
+                        workers: 4,
+                        txns_per_worker: 10,
+                        ops_per_txn: 2,
+                        mix,
+                        seed: 3,
+                        cells,
+                    };
+                    run_threads(&mgr, &cfg)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rule4);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion companion to E2: wall-clock cost of X-locking a shared
+//! effector — the naive DAG's reverse scan vs the proposed entry-point lock.
+
+use colock_bench::cells_manager_writable;
+use colock_core::{AccessMode, InstanceTarget};
+use colock_sim::CellsConfig;
+use colock_txn::{ProtocolKind, TxnKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_shared_xlock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_x_on_shared_effector");
+    group.sample_size(20);
+    for n_cells in [2usize, 8, 32] {
+        let cfg = CellsConfig {
+            n_cells,
+            c_objects_per_cell: 10,
+            robots_per_cell: 4,
+            n_effectors: 4,
+            effectors_per_robot: 2,
+            ..Default::default()
+        };
+        for protocol in [ProtocolKind::NaiveDag, ProtocolKind::Proposed] {
+            let mgr = cells_manager_writable(&cfg, protocol);
+            group.bench_with_input(
+                BenchmarkId::new(protocol.name(), n_cells),
+                &n_cells,
+                |b, _| {
+                    b.iter(|| {
+                        let t = mgr.begin(TxnKind::Short);
+                        t.lock(
+                            &InstanceTarget::object("effectors", "e1"),
+                            AccessMode::Update,
+                        )
+                        .unwrap();
+                        t.commit().unwrap();
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shared_xlock);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! E10 — serializability audit: run many random concurrent workloads per
+//! protocol, check each recorded history for conflict-serializability. The
+//! proposed technique (and the correct baselines) must score 0 violations;
+//! the relaxed naive protocol (§3.2.2, all-parents rule given up) must not.
+
+use colock_core::authorization::Authorization;
+use colock_sim::consistency::{run_scripted, HOp};
+use colock_sim::metrics::Table;
+use colock_sim::{build_cells_store, CellsConfig};
+use colock_txn::{ProtocolKind, TransactionManager};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    println!("E10 — serializability audit over random concurrent histories\n");
+    let cfg = CellsConfig {
+        n_cells: 2,
+        c_objects_per_cell: 2,
+        robots_per_cell: 3,
+        n_effectors: 3,
+        effectors_per_robot: 2,
+        seed: 5,
+    };
+    let seeds = 100u64;
+    let mut table = Table::new(&["protocol", "histories", "serializable", "violations"]);
+    for protocol in [
+        ProtocolKind::Proposed,
+        ProtocolKind::ProposedRule4,
+        ProtocolKind::WholeObject,
+        ProtocolKind::TupleLevel,
+        ProtocolKind::NaiveDag,
+        ProtocolKind::NaiveRelaxed,
+    ] {
+        let mut ok = 0;
+        let mut bad = 0;
+        for seed in 0..seeds {
+            let mgr = TransactionManager::over_store(
+                build_cells_store(&cfg),
+                Authorization::allow_all(),
+                protocol,
+            );
+            let mut rng = StdRng::seed_from_u64(seed);
+            let scripts: Vec<Vec<HOp>> = (0..4)
+                .map(|_| {
+                    (0..4)
+                        .map(|_| {
+                            let cell = rng.gen_range(0..cfg.n_cells);
+                            let robot = rng.gen_range(0..cfg.robots_per_cell);
+                            let effector = rng.gen_range(0..cfg.n_effectors);
+                            match rng.gen_range(0..4) {
+                                0 => HOp::ReadRobot { cell, robot },
+                                1 => HOp::WriteRobot { cell, robot },
+                                2 => HOp::WriteEffector { effector },
+                                _ => HOp::ReadEffectorViaRobot { cell, robot },
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let history = run_scripted(&mgr, scripts);
+            match history.check() {
+                Ok(()) => ok += 1,
+                Err(_) => bad += 1,
+            }
+        }
+        table.row(vec![
+            protocol.name().to_string(),
+            seeds.to_string(),
+            ok.to_string(),
+            bad.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!();
+    println!("expected shape: every protocol with visible locks on common data");
+    println!("scores 100/100 serializable; the relaxed naive protocol — implicit");
+    println!("locks invisible from the side (§3.2.2) — produces violations.");
+}

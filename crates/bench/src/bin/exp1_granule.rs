@@ -1,0 +1,59 @@
+//! E1 — the granule-oriented problem (§3.2.1).
+//!
+//! Paper claims: (a) whole-object locking serializes Q1 ∥ Q2 although they
+//! touch different parts of cell c1; (b) tuple-level locking explodes the
+//! lock count as cells grow ("one cell may contain hundreds of c_objects");
+//! (c) the proposed granules give concurrency at O(depth) lock cost.
+//!
+//! Output: for each cell size and protocol — locks needed by Q1, whether
+//! Q1 ∥ Q2 interleave without blocking, and the tick count of the pair.
+
+use colock_bench::cells_manager;
+use colock_sim::metrics::Table;
+use colock_sim::{CellsConfig, Op, TickDriver};
+use colock_sim::driver::ticks::TickConfig;
+use colock_txn::ProtocolKind;
+
+fn main() {
+    println!("E1 — granule-oriented problem: Q1 (read parts) vs Q2 (update robot) on one cell\n");
+    let mut table = Table::new(&[
+        "c_objects", "protocol", "locks(Q1)", "blocked", "ticks", "interleaves",
+    ]);
+    for n in [10usize, 50, 100, 500, 1000] {
+        for protocol in [ProtocolKind::Proposed, ProtocolKind::WholeObject, ProtocolKind::TupleLevel] {
+            let cfg = CellsConfig {
+                n_cells: 1,
+                c_objects_per_cell: n,
+                robots_per_cell: 4,
+                ..Default::default()
+            };
+            let mgr = cells_manager(&cfg, protocol);
+            // Lock footprint of Q1 alone.
+            let t = mgr.begin(colock_txn::TxnKind::Short);
+            let (target, access) = Op::ReadParts { cell: 0 }.target();
+            let report = t.lock(&target, access).expect("Q1 locks");
+            let locks = report.lock_count();
+            t.commit().unwrap();
+
+            // Interleaving of Q1 ∥ Q2 under the deterministic driver.
+            let driver = TickDriver::new(&mgr, TickConfig::default());
+            let out = driver.run(vec![
+                vec![vec![Op::ReadParts { cell: 0 }, Op::ReadParts { cell: 0 }]],
+                vec![vec![Op::UpdateRobot { cell: 0, robot: 0 }]],
+            ]);
+            table.row(vec![
+                n.to_string(),
+                protocol.name().to_string(),
+                locks.to_string(),
+                out.metrics.blocked_ticks.to_string(),
+                out.metrics.total_ticks.to_string(),
+                (out.metrics.blocked_ticks == 0).to_string(),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    println!();
+    println!("expected shape (paper): whole-object never interleaves; tuple-level");
+    println!("interleaves but its lock count grows linearly with c_objects; the");
+    println!("proposed technique interleaves at a small, size-independent lock count.");
+}

@@ -1,0 +1,50 @@
+//! E2 — the protocol-oriented problem, part 1 (§3.2.2).
+//!
+//! Cost of X-locking a shared effector: the naive traditional-DAG protocol
+//! must *find* (reverse scan) and IX-lock every robot referencing it with
+//! full ancestor chains; the proposed protocol locks the entry point with
+//! its superunit only. Sweep the sharing degree.
+
+use colock_bench::cells_manager_writable;
+use colock_core::{AccessMode, InstanceTarget};
+use colock_sim::metrics::Table;
+use colock_sim::CellsConfig;
+use colock_txn::{ProtocolKind, TxnKind};
+
+fn main() {
+    println!("E2 — X-lock on a shared effector: naive DAG vs proposed\n");
+    let mut table = Table::new(&[
+        "cells", "sharing", "protocol", "locks", "scanned_objs", "entry_pts",
+    ]);
+    for n_cells in [1usize, 2, 4, 8, 16, 32] {
+        let cfg = CellsConfig {
+            n_cells,
+            c_objects_per_cell: 10,
+            robots_per_cell: 4,
+            n_effectors: 4,
+            effectors_per_robot: 2,
+            ..Default::default()
+        };
+        for protocol in [ProtocolKind::NaiveDag, ProtocolKind::Proposed] {
+            let mgr = cells_manager_writable(&cfg, protocol);
+            let t = mgr.begin(TxnKind::Short);
+            let target = InstanceTarget::object("effectors", "e1");
+            let report = t.lock(&target, AccessMode::Update).expect("X on e1");
+            table.row(vec![
+                n_cells.to_string(),
+                format!("{:.1}", cfg.sharing_degree()),
+                protocol.name().to_string(),
+                report.lock_count().to_string(),
+                report.scan_cost.to_string(),
+                report.entry_points_locked.to_string(),
+            ]);
+            t.commit().unwrap();
+        }
+    }
+    print!("{}", table.render());
+    println!();
+    println!("expected shape (paper): naive-DAG lock count and scan cost grow with");
+    println!("the number of referencing robots (sharing degree x cells); the proposed");
+    println!("protocol stays flat — 'an acceptable overhead to lock common data");
+    println!("exclusively' (§4.6 advantage 2).");
+}

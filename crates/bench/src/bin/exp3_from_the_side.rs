@@ -1,0 +1,68 @@
+//! E3 — the protocol-oriented problem, part 2 (§3.2.2): from-the-side
+//! access to common data.
+//!
+//! T1 X-locks robot r1; under the naive protocol the effectors r1 uses are
+//! only *implicitly* locked — invisible to T2, which X-locks effector e
+//! directly ("from the side") and updates it. T1's repeated read of the
+//! effector then differs: a degree-3 consistency violation. The proposed
+//! protocol makes the implicit locks visible as explicit entry-point locks,
+//! so T2 blocks.
+
+use colock_bench::cells_manager_writable;
+use colock_core::{AccessMode, InstanceTarget};
+use colock_nf2::{ObjectKey, Value};
+use colock_sim::metrics::Table;
+use colock_sim::CellsConfig;
+use colock_txn::{ProtocolKind, TxnKind};
+
+fn main() {
+    println!("E3 — from-the-side access to common data\n");
+    let mut table = Table::new(&["protocol", "T2 X(e) blocked", "T1 sees stable reads", "anomaly"]);
+    for protocol in [ProtocolKind::NaiveRelaxed, ProtocolKind::NaiveDag, ProtocolKind::Proposed] {
+        let cfg = CellsConfig { n_cells: 2, n_effectors: 4, ..Default::default() };
+        let mgr = cells_manager_writable(&cfg, protocol);
+        let store = mgr.store().clone();
+
+        // T1 locks robot r1 of c1 for update and reads one of its effectors.
+        let t1 = mgr.begin(TxnKind::Short);
+        let robot = InstanceTarget::object("cells", "c1").elem("robots", "r1");
+        t1.lock(&robot, AccessMode::Update).unwrap();
+        let robot_val = store.get_at("cells", &ObjectKey::from("c1"), &robot.steps).unwrap();
+        let eff_ref = {
+            let mut refs = Vec::new();
+            robot_val.collect_refs(&mut refs);
+            refs[0].clone()
+        };
+        let read1 = store.get(&eff_ref.relation, &eff_ref.key).unwrap();
+
+        // T2 updates that effector directly, from the side.
+        let t2 = mgr.begin(TxnKind::Short);
+        let e_target = InstanceTarget::object("effectors", eff_ref.key.clone());
+        let blocked = t2.try_lock(&e_target, AccessMode::Update).is_err();
+        if !blocked {
+            t2.update(&e_target.clone().attr("tool"), Value::str("SIDE-WRITE")).unwrap();
+            t2.commit().unwrap();
+        } else {
+            t2.abort().unwrap();
+        }
+
+        // T1 re-reads (degree 3: must be identical).
+        let read2 = store.get(&eff_ref.relation, &eff_ref.key).unwrap();
+        let stable = read1 == read2;
+        t1.commit().unwrap();
+
+        table.row(vec![
+            protocol.name().to_string(),
+            blocked.to_string(),
+            stable.to_string(),
+            (!stable).to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!();
+    println!("expected shape (paper): the relaxed naive protocol (all-parents rule");
+    println!("given up) does not detect the conflict -> T1's repeated read changes,");
+    println!("an inconsistency; the full naive protocol detects it but only at the");
+    println!("price of the E2 reverse-scan; the proposed protocol detects it via the");
+    println!("explicit entry-point lock (§3.2.2, §4.6 advantage 3).");
+}

@@ -1,0 +1,90 @@
+//! E6 — overall comparison (§4.6): throughput and overhead of the four
+//! techniques over mixed workloads, plus the two stated disadvantages
+//! measured.
+
+use colock_bench::{cells_manager, f1};
+use colock_core::{AccessMode, InstanceTarget};
+use colock_sim::driver::ticks::TickConfig;
+use colock_sim::metrics::Table;
+use colock_sim::{CellsConfig, Op, OpGenerator, QueryMix, TickDriver};
+use colock_txn::{ProtocolKind, TxnKind};
+
+const PROTOCOLS: [ProtocolKind; 4] = [
+    ProtocolKind::Proposed,
+    ProtocolKind::ProposedRule4,
+    ProtocolKind::WholeObject,
+    ProtocolKind::TupleLevel,
+];
+
+fn main() {
+    println!("E6 — overall: mixed workloads under four lock techniques\n");
+    for (mix_name, mix) in [
+        ("engineering", QueryMix::engineering()),
+        ("read-only", QueryMix::read_only()),
+        ("update-heavy", QueryMix::update_heavy()),
+    ] {
+        println!("mix = {mix_name}:");
+        let mut table = Table::new(&[
+            "protocol", "committed", "ticks", "thr/ktick", "blocked", "deadlocks",
+            "locks/txn", "conflict_tests", "max_table",
+        ]);
+        for protocol in PROTOCOLS {
+            let cfg = CellsConfig {
+                n_cells: 4,
+                c_objects_per_cell: 40,
+                robots_per_cell: 4,
+                n_effectors: 6,
+                effectors_per_robot: 2,
+                ..Default::default()
+            };
+            let mgr = cells_manager(&cfg, protocol);
+            let driver = TickDriver::new(&mgr, TickConfig::default());
+            let mut gen = OpGenerator::new(cfg, mix, 1234);
+            let scripts: Vec<Vec<Vec<Op>>> =
+                (0..8).map(|_| (0..8).map(|_| gen.next_txn(3)).collect()).collect();
+            let out = driver.run(scripts);
+            let m = &out.metrics;
+            table.row(vec![
+                protocol.name().to_string(),
+                m.committed.to_string(),
+                m.total_ticks.to_string(),
+                format!("{:.0}", m.throughput_per_kilotick()),
+                m.blocked_ticks.to_string(),
+                m.deadlock_aborts.to_string(),
+                f1(m.locks_per_txn()),
+                m.locks.conflict_tests.to_string(),
+                m.locks.max_table_entries.to_string(),
+            ]);
+        }
+        print!("{}", table.render());
+        println!();
+    }
+
+    // Disadvantage 2 (§4.6): extra overhead when only *disjoint* complex
+    // objects are exclusively accessed — the proposed technique still walks
+    // its deeper granule chain.
+    println!("disadvantage check — disjoint-only exclusive access (no references):");
+    let mut table = Table::new(&["protocol", "locks per whole-cell X"]);
+    for protocol in [ProtocolKind::Proposed, ProtocolKind::WholeObject] {
+        let cfg = CellsConfig {
+            n_cells: 2,
+            effectors_per_robot: 0, // fully disjoint objects
+            ..Default::default()
+        };
+        let mgr = cells_manager(&cfg, protocol);
+        let t = mgr.begin(TxnKind::Short);
+        let report = t
+            .lock(&InstanceTarget::object("cells", "c1"), AccessMode::Update)
+            .unwrap();
+        table.row(vec![protocol.name().to_string(), report.lock_count().to_string()]);
+        t.commit().unwrap();
+    }
+    print!("{}", table.render());
+    println!();
+    println!("expected shape (paper): the proposed technique wins on throughput for");
+    println!("partial accesses (esp. update-heavy, shared data) while whole-object");
+    println!("wins slightly on per-lock overhead when objects are disjoint and always");
+    println!("accessed as a whole — exactly §4.6's advantages 1-4 / disadvantage 2.");
+    println!("On disjoint objects the proposed protocol degenerates to the");
+    println!("traditional one (§4.4.2.1), so the lock counts above coincide.");
+}

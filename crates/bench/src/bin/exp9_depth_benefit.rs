@@ -1,0 +1,120 @@
+//! E9 — the paper's closing claim (§5): "The deeper complex objects are
+//! structured and/or the more abundant common data exist … the higher the
+//! benefit of the proposed technique promises to be."
+//!
+//! Sweep the nesting depth of common data (`top → lib1 → … → libD`) and
+//! measure, at each depth:
+//!
+//! * the cost of X-locking the **deepest** shared object under the naive DAG
+//!   (transitive reverse scans through every level) vs the proposed protocol
+//!   (superunit chain only);
+//! * the blocking surface an updater of a `top` object leaves on the shared
+//!   chain under rule 4 (X entry locks — nobody else can even read) vs
+//!   rule 4′ (S entry locks — concurrent readers and updaters proceed).
+
+use colock_core::authorization::Authorization;
+use colock_core::{AccessMode, InstanceTarget, ProtocolEngine, ProtocolOptions};
+use colock_lockmgr::{LockManager, LockMode, TxnId};
+use colock_sim::metrics::Table;
+use colock_sim::workload::chain::{build_chain_store, level_key, level_relation, ChainConfig};
+use std::sync::Arc;
+
+fn main() {
+    println!("E9 — benefit grows with nesting depth (§5 closing claim)\n");
+    let mut t1 = Table::new(&[
+        "depth", "naive locks", "naive scans", "proposed locks", "ratio",
+    ]);
+    let mut t2 = Table::new(&["depth", "rule", "X entry locks", "S entry locks", "second updater ok"]);
+
+    for depth in [1usize, 2, 4, 8] {
+        let cfg = ChainConfig { depth, objects_per_level: 6 };
+        let store = build_chain_store(&cfg);
+        let engine = ProtocolEngine::new(Arc::clone(store.catalog()));
+        let authz = Authorization::allow_all();
+
+        // Part 1: X on the deepest object.
+        let deepest = InstanceTarget::object(level_relation(depth), level_key(depth, 0));
+        let lm = LockManager::new();
+        let naive = engine
+            .lock_naive_dag(&lm, TxnId(1), &*store, &authz, &deepest, AccessMode::Update, ProtocolOptions::default())
+            .unwrap();
+        let lm = LockManager::new();
+        let proposed = engine
+            .lock_proposed(&lm, TxnId(1), &*store, &authz, &deepest, AccessMode::Update, ProtocolOptions::default())
+            .unwrap();
+        t1.row(vec![
+            depth.to_string(),
+            naive.lock_count().to_string(),
+            naive.scan_cost.to_string(),
+            proposed.lock_count().to_string(),
+            format!("{:.1}x", naive.lock_count() as f64 / proposed.lock_count() as f64),
+        ]);
+
+        // Part 2: updater of a top object — blocking surface on the chain.
+        for (rule, opts) in [
+            ("4'", ProtocolOptions::default()),
+            ("4", ProtocolOptions::rule4_plain()),
+        ] {
+            // Under 4' the libraries are non-modifiable for the updater.
+            let mut a = Authorization::allow_all();
+            if rule == "4'" {
+                for level in 1..=depth {
+                    a.set_relation_default(level_relation(level), colock_core::Right::Read);
+                }
+            }
+            let lm = LockManager::new();
+            let report = engine
+                .lock_proposed(
+                    &lm,
+                    TxnId(1),
+                    &*store,
+                    &a,
+                    &InstanceTarget::object("top", level_key(0, 0)),
+                    AccessMode::Update,
+                    opts,
+                )
+                .unwrap();
+            let x_entries = report
+                .acquired
+                .iter()
+                .filter(|(r, m)| *m == LockMode::X && r.relation_name() != Some("top"))
+                .count();
+            let s_entries = report
+                .acquired
+                .iter()
+                .filter(|(r, m)| *m == LockMode::S && r.relation_name() != Some("top"))
+                .count();
+            // Can a second updater work on another top object (sharing no
+            // chain objects here — distinct columns)? And on one SHARING the
+            // chain? Use object 1 which has its own column: always ok; the
+            // interesting case is a reader of the shared chain object.
+            let reader_ok = engine
+                .lock_proposed(
+                    &lm,
+                    TxnId(2),
+                    &*store,
+                    &a,
+                    &InstanceTarget::object(level_relation(1), level_key(1, 0)),
+                    AccessMode::Read,
+                    ProtocolOptions { wait: colock_lockmgr::WaitPolicy::Try, ..opts },
+                )
+                .is_ok();
+            t2.row(vec![
+                depth.to_string(),
+                rule.to_string(),
+                x_entries.to_string(),
+                s_entries.to_string(),
+                reader_ok.to_string(),
+            ]);
+        }
+    }
+    print!("{}", t1.render());
+    println!();
+    print!("{}", t2.render());
+    println!();
+    println!("expected shape (paper §5): the naive/proposed cost ratio for exclusive");
+    println!("locks on deep shared data grows with depth; under rule 4' the updater");
+    println!("leaves only S locks on the chain (readers proceed at any depth), while");
+    println!("rule 4 X-locks every level (readers blocked) — the deeper the nesting,");
+    println!("the larger the proposed technique's advantage.");
+}

@@ -1,0 +1,20 @@
+//! F1 — Fig. 1: the schema of the relations `cells` and `effectors`.
+
+use colock_core::fixtures::fig1_schema;
+use colock_nf2::display::database_tree;
+
+fn main() {
+    let schema = fig1_schema();
+    println!("Figure 1 — Non-Disjoint, Non-Recursive Complex Objects");
+    println!("schema of the relations \"cells\" and \"effectors\"\n");
+    print!("{}", database_tree(&schema));
+    println!();
+    println!(
+        "common-data relations: {:?}",
+        schema.common_data_relations().iter().map(|r| &r.name).collect::<Vec<_>>()
+    );
+    println!(
+        "top-level relations:   {:?}",
+        schema.unreferenced_relations().iter().map(|r| &r.name).collect::<Vec<_>>()
+    );
+}

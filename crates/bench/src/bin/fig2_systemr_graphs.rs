@@ -1,0 +1,25 @@
+//! F2 — Fig. 2: the System R (a) and XSQL (b) lock graphs, and the check
+//! that both are special cases of the general lock graph (§4.2).
+
+use colock_core::graph::display::concept_graph_text;
+use colock_core::ConceptGraph;
+
+fn main() {
+    println!("Figure 2 (a) — Lock graph (DAG) of System R\n");
+    print!("{}", concept_graph_text(&ConceptGraph::system_r()));
+    println!("\nFigure 2 (b) — Lock graph of XSQL (complex objects added)\n");
+    print!("{}", concept_graph_text(&ConceptGraph::xsql()));
+    println!();
+    println!(
+        "System R graph acyclic: {}",
+        ConceptGraph::system_r().solid_part_is_acyclic()
+    );
+    println!(
+        "System R is a special case of the general graph: {}",
+        ConceptGraph::system_r().is_special_case_of_general()
+    );
+    println!(
+        "XSQL is a special case of the general graph:     {}",
+        ConceptGraph::xsql().is_special_case_of_general()
+    );
+}

@@ -1,0 +1,17 @@
+//! F4 — Fig. 4: the general lock graph for disjoint and non-disjoint
+//! complex objects.
+
+use colock_core::graph::display::concept_graph_text;
+use colock_core::ConceptGraph;
+
+fn main() {
+    println!("Figure 4 — General Lock Graph for Disjoint and Non-Disjoint Complex Objects\n");
+    print!("{}", concept_graph_text(&ConceptGraph::general()));
+    println!();
+    println!("HeLU: heterogeneous lockable unit (complex tuple)");
+    println!("HoLU: homogeneous lockable unit (set / list)");
+    println!("BLU:  basic lockable unit (atomic attribute or reference)");
+    println!();
+    println!("solid edge  --> : composition within non-shared data");
+    println!("dashed edge - ->: reference to common data (entry into an inner unit)");
+}

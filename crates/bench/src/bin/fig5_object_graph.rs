@@ -1,0 +1,30 @@
+//! F5 — Fig. 5: the object-specific lock graph of the complex relation
+//! `cells` and its common data (`effectors`), derived automatically from the
+//! schema by the rules of §4.3.
+
+use colock_core::fixtures::fig1_catalog;
+use colock_core::graph::display::object_graph_tree;
+use colock_core::{derive_lock_graph, Category};
+
+fn main() {
+    let catalog = fig1_catalog();
+    let graph = derive_lock_graph(&catalog);
+    println!("Figure 5 — Object-Specific Lock Graph: \"cells\" and its common data\n");
+    print!("{}", object_graph_tree(&graph));
+    println!();
+    let mut counts = std::collections::BTreeMap::new();
+    for n in graph.nodes() {
+        *counts.entry(format!("{}", n.category)).or_insert(0usize) += 1;
+    }
+    println!("node counts by category: {counts:?}");
+    let helu = graph
+        .nodes()
+        .iter()
+        .filter(|n| n.category == Category::HeLU)
+        .count();
+    println!("HeLU nodes (complex tuples): {helu}");
+    println!(
+        "dashed edges from cells: {:?} (ref BLU -> entry point)",
+        graph.dashed_targets("cells")
+    );
+}

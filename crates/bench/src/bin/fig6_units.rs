@@ -1,0 +1,37 @@
+//! F6 — Fig. 6: outer unit, inner units, entry points and superunits of
+//! complex object "cell c1".
+
+use colock_core::fixtures::fig1_catalog;
+use colock_core::{derive_lock_graph, Units};
+
+fn main() {
+    let catalog = fig1_catalog();
+    let graph = derive_lock_graph(&catalog);
+    let units = Units::new(&graph, &catalog);
+
+    println!("Figure 6 — Units of complex object \"cell c1\"\n");
+
+    println!("outer unit \"cells\" (nodes):");
+    for id in units.unit_nodes("cells") {
+        println!("  {}", graph.node(id).name);
+    }
+    println!("\ninner unit \"effectors\" (nodes):");
+    for id in units.unit_nodes("effectors") {
+        println!("  {}", graph.node(id).name);
+    }
+    let ep = units.entry_point("effectors").expect("entry point");
+    println!("\nentry point of the inner unit: {}", graph.node(ep).name);
+    println!("superunit chain of the entry point (immediate parents up to the database):");
+    for id in units.superunit_chain("effectors") {
+        println!("  {}", graph.node(id).name);
+    }
+    println!("\nunits are disjoint: {}", units.units_are_disjoint());
+    println!(
+        "entry points reachable from \"cells\": {:?}",
+        units
+            .entry_points_below("cells")
+            .iter()
+            .map(|(rel, _)| rel.clone())
+            .collect::<Vec<_>>()
+    );
+}

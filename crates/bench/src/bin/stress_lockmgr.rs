@@ -1,0 +1,49 @@
+//! Stress harness: hammers the multithreaded driver with varied-seed
+//! engineering-mix workloads and watchdogs every round — the tool that
+//! exposed the lock manager's lost-grant and invisible-positional-block
+//! bugs (see DESIGN.md §5). Runs until interrupted; prints a lock-table
+//! dump and parks if any round stalls for more than 8 seconds.
+
+use colock_bench::cells_manager;
+use colock_sim::{run_threads, CellsConfig, QueryMix, ThreadConfig};
+use colock_txn::ProtocolKind;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn main() {
+    let cells = CellsConfig {
+        n_cells: 4, c_objects_per_cell: 40, robots_per_cell: 4,
+        n_effectors: 6, effectors_per_robot: 2, ..Default::default()
+    };
+    let round_counter = Arc::new(AtomicU64::new(0));
+    for round in 0..100000u64 {
+        round_counter.store(round, Ordering::Relaxed);
+        let mgr = cells_manager(&cells, ProtocolKind::Proposed);
+        let cfg = ThreadConfig {
+            workers: 4, txns_per_worker: 8, ops_per_txn: 3,
+            mix: QueryMix::engineering(), seed: round, cells,
+        };
+        // Watchdog: if this round takes >8s, dump the lock table and abort.
+        let mgr2 = Arc::clone(&mgr);
+        let rc = Arc::clone(&round_counter);
+        let watchdog = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_secs(8));
+            if rc.load(Ordering::Relaxed) == round {
+                eprintln!("=== STALL at round {round} (dump 1) ===");
+                eprintln!("{}", mgr2.lock_manager().debug_dump());
+                std::thread::sleep(std::time::Duration::from_secs(2));
+                eprintln!("=== STALL at round {round} (dump 2) ===");
+                eprintln!("{}", mgr2.lock_manager().debug_dump());
+                eprintln!("=== parked for inspection (pid {}) ===", std::process::id());
+                loop {
+                    std::thread::sleep(std::time::Duration::from_secs(60));
+                }
+            }
+        });
+        let r = run_threads(&mgr, &cfg);
+        drop(watchdog);
+        if round % 50 == 0 {
+            println!("round {round}: committed={} deadlocks={}", r.metrics.committed, r.metrics.deadlock_aborts);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Shared experiment machinery for the figure/experiment binaries and the
+//! Criterion benches. Every table printed by a binary in `src/bin/` is
+//! recorded (paper statement vs measured shape) in `EXPERIMENTS.md`.
+
+use colock_core::authorization::{Authorization, Right};
+use colock_sim::{build_cells_store, CellsConfig};
+use colock_txn::{ProtocolKind, TransactionManager};
+use std::sync::Arc;
+
+/// The standard rights of the paper's running example: everyone may update
+/// cells, nobody may update the effectors library (Fig. 7's assumption).
+pub fn standard_authz() -> Authorization {
+    let mut a = Authorization::allow_all();
+    a.set_relation_default("effectors", Right::Read);
+    a
+}
+
+/// Rights matrix where the library is writable by everyone (used to contrast
+/// rule 4 against rule 4′).
+pub fn writable_library_authz() -> Authorization {
+    Authorization::allow_all()
+}
+
+/// Builds a transaction manager over a fresh cells store.
+pub fn cells_manager(cfg: &CellsConfig, protocol: ProtocolKind) -> Arc<TransactionManager> {
+    Arc::new(TransactionManager::over_store(build_cells_store(cfg), standard_authz(), protocol))
+}
+
+/// Builds a manager with a writable effectors library.
+pub fn cells_manager_writable(cfg: &CellsConfig, protocol: ProtocolKind) -> Arc<TransactionManager> {
+    Arc::new(TransactionManager::over_store(
+        build_cells_store(cfg),
+        writable_library_authz(),
+        protocol,
+    ))
+}
+
+/// Formats a float with 1 decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_authz_locks_down_effectors() {
+        let a = standard_authz();
+        assert!(!a.can_modify(colock_lockmgr::TxnId(1), "effectors"));
+        assert!(a.can_modify(colock_lockmgr::TxnId(1), "cells"));
+    }
+
+    #[test]
+    fn managers_construct() {
+        let cfg = CellsConfig { n_cells: 1, c_objects_per_cell: 2, ..Default::default() };
+        let m = cells_manager(&cfg, ProtocolKind::Proposed);
+        assert_eq!(m.store().len("cells").unwrap(), 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! The authorization component (§3.2.3, rule 4′).
+//!
+//! "A close cooperation of the concurrency control component and the
+//! authorization component (which administrates the access rights of all
+//! transactions (users)) can drastically increase the degree of concurrency."
+//! A unit is called a *(non-)modifiable unit* of a transaction if the
+//! transaction has (not) the right to modify it (§4.4.1). Rule 4′ uses this:
+//! during downward propagation under an X request, entry points of
+//! non-modifiable inner units are locked S instead of X.
+
+use colock_lockmgr::TxnId;
+use std::collections::HashMap;
+
+/// Access right of a transaction on a relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Right {
+    /// No access.
+    Deny,
+    /// Read-only access.
+    Read,
+    /// Read and update access.
+    #[default]
+    Update,
+}
+
+/// Access-rights matrix: per-transaction overrides over a default right.
+///
+/// The default is `Update` (every transaction may do everything), which makes
+/// rule 4′ degenerate to rule 4 unless rights are restricted — matching the
+/// paper, where the benefit appears exactly when transactions lack update
+/// rights on common data (e.g. the effectors library).
+#[derive(Debug, Clone, Default)]
+pub struct Authorization {
+    default_right: Right,
+    /// `(txn) -> (relation -> right)`.
+    txn_rights: HashMap<TxnId, HashMap<String, Right>>,
+    /// Relation-wide defaults (apply to all txns without specific override).
+    relation_defaults: HashMap<String, Right>,
+}
+
+impl Authorization {
+    /// Everything allowed (rule 4′ ≡ rule 4).
+    pub fn allow_all() -> Self {
+        Authorization::default()
+    }
+
+    /// Sets the global default right.
+    pub fn with_default(mut self, right: Right) -> Self {
+        self.default_right = right;
+        self
+    }
+
+    /// Sets the default right for one relation (e.g. `effectors` read-only
+    /// for everyone).
+    pub fn set_relation_default(&mut self, relation: impl Into<String>, right: Right) {
+        self.relation_defaults.insert(relation.into(), right);
+    }
+
+    /// Grants a specific right to one transaction on one relation.
+    pub fn grant(&mut self, txn: TxnId, relation: impl Into<String>, right: Right) {
+        self.txn_rights.entry(txn).or_default().insert(relation.into(), right);
+    }
+
+    /// The effective right of `txn` on `relation`.
+    pub fn right(&self, txn: TxnId, relation: &str) -> Right {
+        if let Some(r) = self.txn_rights.get(&txn).and_then(|m| m.get(relation)) {
+            return *r;
+        }
+        if let Some(r) = self.relation_defaults.get(relation) {
+            return *r;
+        }
+        self.default_right
+    }
+
+    /// Whether `txn` may modify (units of) `relation`.
+    pub fn can_modify(&self, txn: TxnId, relation: &str) -> bool {
+        self.right(txn, relation) >= Right::Update
+    }
+
+    /// Whether `txn` may read `relation`.
+    pub fn can_read(&self, txn: TxnId, relation: &str) -> bool {
+        self.right(txn, relation) >= Right::Read
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_allows_everything() {
+        let a = Authorization::allow_all();
+        assert!(a.can_modify(TxnId(1), "effectors"));
+        assert!(a.can_read(TxnId(1), "effectors"));
+    }
+
+    #[test]
+    fn relation_default_restricts_all_txns() {
+        let mut a = Authorization::allow_all();
+        a.set_relation_default("effectors", Right::Read);
+        assert!(!a.can_modify(TxnId(1), "effectors"));
+        assert!(a.can_read(TxnId(1), "effectors"));
+        assert!(a.can_modify(TxnId(1), "cells"));
+    }
+
+    #[test]
+    fn txn_grant_overrides_relation_default() {
+        let mut a = Authorization::allow_all();
+        a.set_relation_default("effectors", Right::Read);
+        a.grant(TxnId(9), "effectors", Right::Update);
+        assert!(a.can_modify(TxnId(9), "effectors"));
+        assert!(!a.can_modify(TxnId(8), "effectors"));
+    }
+
+    #[test]
+    fn deny_blocks_read_too() {
+        let mut a = Authorization::allow_all();
+        a.grant(TxnId(2), "cells", Right::Deny);
+        assert!(!a.can_read(TxnId(2), "cells"));
+        assert!(!a.can_modify(TxnId(2), "cells"));
+    }
+
+    #[test]
+    fn rights_are_ordered() {
+        assert!(Right::Update > Right::Read);
+        assert!(Right::Read > Right::Deny);
+    }
+}

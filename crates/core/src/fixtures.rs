@@ -1,0 +1,266 @@
+//! Shared fixtures: the paper's running example (Fig. 1 schema, Fig. 6
+//! instance) as a catalog plus a static [`InstanceSource`].
+//!
+//! These are used by doc examples, unit tests and the figure-reproduction
+//! binaries; the real [`InstanceSource`] over stored data lives in
+//! `colock-storage`.
+
+use crate::protocol::target::{InstanceSource, InstanceTarget, ReverseScan, TargetStep};
+use colock_nf2::builder::{DatabaseBuilder, RelationBuilder};
+use colock_nf2::types::shorthand::*;
+use colock_nf2::{Catalog, DatabaseSchema, ObjectKey, ObjectRef};
+use std::collections::BTreeMap;
+
+/// The Fig. 1 schema: relations `cells` (seg1) and `effectors` (seg2).
+pub fn fig1_schema() -> DatabaseSchema {
+    DatabaseBuilder::new("db1")
+        .segment("seg1")
+        .segment("seg2")
+        .relation(
+            RelationBuilder::new("cells", "seg1")
+                .attr("cell_id", str_())
+                .attr(
+                    "c_objects",
+                    set(tuple(vec![attr("obj_id", str_()), attr("obj_name", str_())])),
+                )
+                .attr(
+                    "robots",
+                    list(tuple(vec![
+                        attr("robot_id", str_()),
+                        attr("trajectory", str_()),
+                        attr("effectors", set(ref_("effectors"))),
+                    ])),
+                )
+                .finish(),
+        )
+        .relation(
+            RelationBuilder::new("effectors", "seg2")
+                .attr("eff_id", str_())
+                .attr("tool", str_())
+                .finish(),
+        )
+        .finish()
+        .expect("fig1 schema is valid")
+}
+
+/// Catalog over the Fig. 1 schema.
+pub fn fig1_catalog() -> Catalog {
+    Catalog::new(fig1_schema()).expect("fig1 catalog")
+}
+
+/// A static, hand-wired [`InstanceSource`] describing the Fig. 6 instance:
+///
+/// * cell `c1` with c_objects `o1`…`o{n}` and robots `r1` (using effectors
+///   `e1`, `e2`) and `r2` (using `e2`, `e3`),
+/// * effectors `e1`, `e2`, `e3` in the library.
+#[derive(Debug, Default, Clone)]
+pub struct StaticSource {
+    /// Ref instances: `(relation, object, step-path to the ref, target)`.
+    refs: Vec<(String, ObjectKey, Vec<TargetStep>, ObjectRef)>,
+    /// Basic tuples: `(relation, object, step-path of the tuple)`.
+    tuples: Vec<(String, ObjectKey, Vec<TargetStep>)>,
+    /// Objects per relation.
+    objects: BTreeMap<String, Vec<ObjectKey>>,
+}
+
+impl StaticSource {
+    /// Creates an empty source.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a complex object.
+    pub fn add_object(&mut self, relation: &str, key: impl Into<ObjectKey>) {
+        let key = key.into();
+        self.objects.entry(relation.to_string()).or_default().push(key.clone());
+        // The object's root tuple.
+        self.tuples.push((relation.to_string(), key, Vec::new()));
+    }
+
+    /// Registers a basic element tuple within an object.
+    pub fn add_tuple(&mut self, relation: &str, key: impl Into<ObjectKey>, steps: Vec<TargetStep>) {
+        self.tuples.push((relation.to_string(), key.into(), steps));
+    }
+
+    /// Registers a reference instance within an object.
+    pub fn add_ref(
+        &mut self,
+        relation: &str,
+        key: impl Into<ObjectKey>,
+        steps: Vec<TargetStep>,
+        target: ObjectRef,
+    ) {
+        self.refs.push((relation.to_string(), key.into(), steps, target));
+    }
+
+    /// `true` if `prefix` (target steps, possibly with elem narrowing)
+    /// matches the beginning of `steps`.
+    fn prefix_matches(prefix: &[TargetStep], steps: &[TargetStep]) -> bool {
+        if prefix.len() > steps.len() {
+            return false;
+        }
+        prefix.iter().zip(steps).all(|(p, s)| {
+            p.attr == s.attr && (p.elem.is_none() || p.elem == s.elem)
+        })
+    }
+}
+
+impl InstanceSource for StaticSource {
+    fn refs_under(&self, target: &InstanceTarget) -> Vec<ObjectRef> {
+        let Some(key) = &target.object else {
+            return self.refs_in_relation(&target.relation);
+        };
+        self.refs
+            .iter()
+            .filter(|(rel, k, steps, _)| {
+                rel == &target.relation && k == key && Self::prefix_matches(&target.steps, steps)
+            })
+            .map(|(_, _, _, r)| r.clone())
+            .collect()
+    }
+
+    fn refs_in_relation(&self, relation: &str) -> Vec<ObjectRef> {
+        self.refs
+            .iter()
+            .filter(|(rel, _, _, _)| rel == relation)
+            .map(|(_, _, _, r)| r.clone())
+            .collect()
+    }
+
+    fn tuples_under(&self, target: &InstanceTarget) -> Vec<InstanceTarget> {
+        let Some(key) = &target.object else {
+            return Vec::new();
+        };
+        self.tuples
+            .iter()
+            .filter(|(rel, k, steps)| {
+                rel == &target.relation && k == key && Self::prefix_matches(&target.steps, steps)
+            })
+            .map(|(rel, k, steps)| InstanceTarget {
+                relation: rel.clone(),
+                object: Some(k.clone()),
+                steps: steps.clone(),
+            })
+            .collect()
+    }
+
+    fn referencing_objects(&self, relation: &str, key: &ObjectKey) -> ReverseScan {
+        let referencing = self
+            .refs
+            .iter()
+            .filter(|(_, _, _, r)| r.relation == relation && &r.key == key)
+            .map(|(rel, k, steps, _)| {
+                // The referencing subobject: the path up to (and including)
+                // the last element step before the ref.
+                let cut = steps
+                    .iter()
+                    .rposition(|s| s.elem.is_some())
+                    .map(|i| i + 1)
+                    .unwrap_or(0);
+                InstanceTarget {
+                    relation: rel.clone(),
+                    object: Some(k.clone()),
+                    steps: steps[..cut].to_vec(),
+                }
+            })
+            .collect();
+        // The scan must visit every object of every relation that *could*
+        // reference the target (no backward pointers exist).
+        let objects_scanned = self
+            .objects
+            .iter()
+            .filter(|(rel, _)| {
+                self.refs.iter().any(|(r, _, _, t)| r == *rel && t.relation == relation)
+            })
+            .map(|(_, keys)| keys.len() as u64)
+            .sum();
+        ReverseScan { referencing, objects_scanned }
+    }
+
+    fn object_keys(&self, relation: &str) -> Vec<ObjectKey> {
+        self.objects.get(relation).cloned().unwrap_or_default()
+    }
+}
+
+/// Builds the Fig. 6 instance with `n_objects` c_objects (default example
+/// uses 2).
+pub fn fig6_source_with(n_objects: usize) -> StaticSource {
+    let mut s = StaticSource::new();
+    s.add_object("cells", "c1");
+    for i in 1..=n_objects {
+        s.add_tuple("cells", "c1", vec![TargetStep::elem("c_objects", format!("o{i}"))]);
+    }
+    for (rid, effs) in [("r1", vec!["e1", "e2"]), ("r2", vec!["e2", "e3"])] {
+        s.add_tuple("cells", "c1", vec![TargetStep::elem("robots", rid)]);
+        for e in effs {
+            s.add_ref(
+                "cells",
+                "c1",
+                vec![TargetStep::elem("robots", rid), TargetStep::attr("effectors")],
+                ObjectRef::new("effectors", e),
+            );
+        }
+    }
+    for e in ["e1", "e2", "e3"] {
+        s.add_object("effectors", e);
+    }
+    s
+}
+
+/// The Fig. 6 instance with two c_objects.
+pub fn fig6_source() -> StaticSource {
+    fig6_source_with(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refs_under_robot_r1() {
+        let s = fig6_source();
+        let t = InstanceTarget::object("cells", "c1").elem("robots", "r1");
+        let refs = s.refs_under(&t);
+        let keys: Vec<String> = refs.iter().map(|r| r.key.to_string()).collect();
+        assert_eq!(keys, vec!["e1", "e2"]);
+    }
+
+    #[test]
+    fn refs_under_whole_cell() {
+        let s = fig6_source();
+        let t = InstanceTarget::object("cells", "c1");
+        assert_eq!(s.refs_under(&t).len(), 4); // e1,e2 (r1) + e2,e3 (r2)
+    }
+
+    #[test]
+    fn refs_under_c_objects_is_empty() {
+        let s = fig6_source();
+        let t = InstanceTarget::object("cells", "c1").attr("c_objects");
+        assert!(s.refs_under(&t).is_empty());
+    }
+
+    #[test]
+    fn tuples_under_cell_counts_all_elements() {
+        let s = fig6_source_with(3);
+        let t = InstanceTarget::object("cells", "c1");
+        // root tuple + 3 c_objects + 2 robots
+        assert_eq!(s.tuples_under(&t).len(), 6);
+    }
+
+    #[test]
+    fn reverse_scan_finds_robots_of_e2() {
+        let s = fig6_source();
+        let scan = s.referencing_objects("effectors", &ObjectKey::from("e2"));
+        let who: Vec<String> = scan.referencing.iter().map(|t| t.to_string()).collect();
+        assert_eq!(who, vec!["cells[c1].robots[r1]", "cells[c1].robots[r2]"]);
+        // The scan had to visit every cells object.
+        assert_eq!(scan.objects_scanned, 1);
+    }
+
+    #[test]
+    fn reverse_scan_of_unreferenced_is_empty() {
+        let s = fig6_source();
+        let scan = s.referencing_objects("effectors", &ObjectKey::from("e9"));
+        assert!(scan.referencing.is_empty());
+    }
+}

@@ -1,0 +1,388 @@
+//! Derivation of object-specific lock graphs from schemas (§4.3).
+//!
+//! "For each relation, an object-specific lock graph can be constructed by
+//! using the general lock graph, catalog information, and simple derivation
+//! rules":
+//!
+//! 1. an attribute of type *list* is transformed to a HoLU,
+//! 2. an attribute of type *set* is transformed to a HoLU,
+//! 3. an attribute of type *(complex) tuple* is transformed to a HeLU,
+//! 4. an atomic attribute of any type is transformed to a BLU.
+//!
+//! References are BLUs carrying a dashed edge to the complex-object node of
+//! the referenced relation. The relation itself is a HoLU of complex objects
+//! (its HeLU node, `C.O. "relation"` in Fig. 5); set/list attributes get an
+//! element HeLU below the HoLU when their element type is a tuple, exactly as
+//! Fig. 5 shows for `c_objects` and `robots`.
+
+use super::object::{Category, DbLockGraph, Node, NodeId, StepKind};
+use colock_nf2::{AttrPath, AttrType, Catalog, DatabaseSchema};
+
+fn node(
+    name: String,
+    category: Category,
+    parent: Option<NodeId>,
+    relation: Option<&str>,
+    attr_path: Option<AttrPath>,
+    step: StepKind,
+) -> Node {
+    Node {
+        id: NodeId(0),
+        name,
+        category,
+        parent,
+        children: Vec::new(),
+        ref_target: None,
+        relation: relation.map(str::to_string),
+        attr_path,
+        step,
+    }
+}
+
+/// Derives the object-specific lock graphs of all relations of `catalog`'s
+/// database, linked below shared database/segment nodes.
+pub fn derive_lock_graph(catalog: &Catalog) -> DbLockGraph {
+    derive_from_schema(catalog.schema())
+}
+
+/// Derives the lock graph directly from a validated schema.
+pub fn derive_from_schema(schema: &DatabaseSchema) -> DbLockGraph {
+    let mut g = DbLockGraph::new();
+    let db = g.push_node(node(
+        format!("Database \"{}\"", schema.name),
+        Category::Database,
+        None,
+        None,
+        None,
+        StepKind::Database,
+    ));
+    g.set_db_node(db);
+
+    for seg in &schema.segments {
+        let seg_id = g.push_node(node(
+            format!("Segment \"{}\"", seg.name),
+            Category::Segment,
+            Some(db),
+            None,
+            None,
+            StepKind::Segment,
+        ));
+        g.register_segment(&seg.name, seg_id);
+
+        for rel in schema.relations.iter().filter(|r| r.segment == seg.name) {
+            // The relation node is a HoLU of complex objects (§4.2).
+            let rel_id = g.push_node(node(
+                format!("Relation \"{}\"", rel.name),
+                Category::Relation,
+                Some(seg_id),
+                Some(&rel.name),
+                None,
+                StepKind::Relation,
+            ));
+            // The complex-object HeLU (`C.O. "cells"` in Fig. 5); for
+            // common-data relations this node is the entry point.
+            let co_id = g.push_node(node(
+                format!("C.O. \"{}\"", rel.name),
+                Category::HeLU,
+                Some(rel_id),
+                Some(&rel.name),
+                Some(AttrPath::root()),
+                StepKind::Object,
+            ));
+            g.register_relation(&rel.name, rel_id, co_id);
+
+            for attr in &rel.attributes {
+                derive_attr(&mut g, &rel.name, co_id, &attr.name, &attr.ty, AttrPath::root());
+            }
+        }
+    }
+    g
+}
+
+/// Derives the subtree for one attribute below `parent`.
+fn derive_attr(
+    g: &mut DbLockGraph,
+    relation: &str,
+    parent: NodeId,
+    name: &str,
+    ty: &AttrType,
+    parent_path: AttrPath,
+) {
+    let path = parent_path.child(name);
+    match ty {
+        // Rule 4: atomic attributes become BLUs.
+        AttrType::Atomic(_) => {
+            g.push_node(node(
+                format!("BLU (\"{name}\")"),
+                Category::Blu,
+                Some(parent),
+                Some(relation),
+                Some(path),
+                StepKind::Attr,
+            ));
+        }
+        // References become BLUs with a dashed edge to the target's
+        // complex-object node (Fig. 5: `BLU ("ref") ----> HeLU (C.O. …)`).
+        AttrType::Ref(target) => {
+            let id = g.push_node(node(
+                format!("BLU (\"ref -> {target}\")"),
+                Category::Blu,
+                Some(parent),
+                Some(relation),
+                Some(path),
+                StepKind::Attr,
+            ));
+            set_ref_target(g, id, target);
+        }
+        // Rules 1 and 2: sets and lists become HoLUs.
+        AttrType::Set(elem) | AttrType::List(elem) => {
+            let holu = g.push_node(node(
+                format!("HoLU (\"{name}\")"),
+                Category::HoLU,
+                Some(parent),
+                Some(relation),
+                Some(path.clone()),
+                StepKind::Attr,
+            ));
+            derive_element(g, relation, holu, name, elem, path);
+        }
+        // Rule 3: complex tuples become HeLUs.
+        AttrType::Tuple(fields) => {
+            let helu = g.push_node(node(
+                format!("HeLU (\"{name}\")"),
+                Category::HeLU,
+                Some(parent),
+                Some(relation),
+                Some(path.clone()),
+                StepKind::Attr,
+            ));
+            for f in fields {
+                derive_attr(g, relation, helu, &f.name, &f.ty, path.clone());
+            }
+        }
+    }
+}
+
+/// Derives the element node below a HoLU.
+fn derive_element(
+    g: &mut DbLockGraph,
+    relation: &str,
+    holu: NodeId,
+    name: &str,
+    elem: &AttrType,
+    path: AttrPath,
+) {
+    match elem {
+        // Element tuples become the `C.O. "attr"` HeLU of Fig. 5; its fields
+        // hang below it.
+        AttrType::Tuple(fields) => {
+            let helu = g.push_node(node(
+                format!("HeLU (C.O. \"{name}\")"),
+                Category::HeLU,
+                Some(holu),
+                Some(relation),
+                Some(path.clone()),
+                StepKind::Elem,
+            ));
+            for f in fields {
+                derive_attr(g, relation, helu, &f.name, &f.ty, path.clone());
+            }
+        }
+        // Nested sets/lists: HoLU below HoLU (e.g. a set of lists).
+        AttrType::Set(inner) | AttrType::List(inner) => {
+            let nested = g.push_node(node(
+                format!("HoLU (elem of \"{name}\")"),
+                Category::HoLU,
+                Some(holu),
+                Some(relation),
+                Some(path.clone()),
+                StepKind::Elem,
+            ));
+            derive_element(g, relation, nested, name, inner, path);
+        }
+        // Atomic elements: one BLU stands for the elements (locking an
+        // individual atomic set element is possible via an Elem step).
+        AttrType::Atomic(_) => {
+            g.push_node(node(
+                format!("BLU (elem of \"{name}\")"),
+                Category::Blu,
+                Some(holu),
+                Some(relation),
+                Some(path),
+                StepKind::Elem,
+            ));
+        }
+        // Reference elements: Fig. 5's `BLU ("ref")` below HoLU "effectors".
+        AttrType::Ref(target) => {
+            let id = g.push_node(node(
+                format!("BLU (\"ref -> {target}\")"),
+                Category::Blu,
+                Some(holu),
+                Some(relation),
+                Some(path),
+                StepKind::Elem,
+            ));
+            set_ref_target(g, id, target);
+        }
+    }
+}
+
+fn set_ref_target(g: &mut DbLockGraph, id: NodeId, target: &str) {
+    g.set_ref_target_internal(id, target);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::object::Category;
+    use colock_nf2::builder::{DatabaseBuilder, RelationBuilder};
+    use colock_nf2::types::shorthand::*;
+
+    pub(crate) fn fig1_schema() -> DatabaseSchema {
+        DatabaseBuilder::new("db1")
+            .segment("seg1")
+            .segment("seg2")
+            .relation(
+                RelationBuilder::new("cells", "seg1")
+                    .attr("cell_id", str_())
+                    .attr(
+                        "c_objects",
+                        set(tuple(vec![attr("obj_id", str_()), attr("obj_name", str_())])),
+                    )
+                    .attr(
+                        "robots",
+                        list(tuple(vec![
+                            attr("robot_id", str_()),
+                            attr("trajectory", str_()),
+                            attr("effectors", set(ref_("effectors"))),
+                        ])),
+                    )
+                    .finish(),
+            )
+            .relation(
+                RelationBuilder::new("effectors", "seg2")
+                    .attr("eff_id", str_())
+                    .attr("tool", str_())
+                    .finish(),
+            )
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn fig5_graph_structure() {
+        let g = derive_from_schema(&fig1_schema());
+        // Database, 2 segments, 2 relations, 2 CO nodes.
+        assert!(g.relation_node("cells").is_some());
+        assert!(g.object_node("effectors").is_some());
+
+        let cells_co = g.object_node("cells").unwrap();
+        let co = g.node(cells_co);
+        assert_eq!(co.category, Category::HeLU);
+        // cell_id BLU, c_objects HoLU, robots HoLU below the CO node.
+        let child_names: Vec<&str> =
+            co.children.iter().map(|&c| g.node(c).name.as_str()).collect();
+        assert_eq!(
+            child_names,
+            vec!["BLU (\"cell_id\")", "HoLU (\"c_objects\")", "HoLU (\"robots\")"]
+        );
+    }
+
+    #[test]
+    fn element_helu_below_holu_as_in_fig5() {
+        let g = derive_from_schema(&fig1_schema());
+        let robots = g
+            .node_for_path("cells", &AttrPath::parse("robots"), false)
+            .unwrap();
+        assert_eq!(g.node(robots).category, Category::HoLU);
+        let robot_elem = g
+            .node_for_path("cells", &AttrPath::parse("robots"), true)
+            .unwrap();
+        let elem = g.node(robot_elem);
+        assert_eq!(elem.category, Category::HeLU);
+        assert_eq!(elem.name, "HeLU (C.O. \"robots\")");
+        assert_eq!(elem.parent, Some(robots));
+    }
+
+    #[test]
+    fn ref_blu_carries_dashed_edge_to_effectors() {
+        let g = derive_from_schema(&fig1_schema());
+        let refs = g.ref_blus("cells");
+        assert_eq!(refs.len(), 1);
+        let blu = g.node(refs[0]);
+        assert_eq!(blu.category, Category::Blu);
+        assert_eq!(blu.ref_target.as_deref(), Some("effectors"));
+        assert_eq!(g.dashed_targets("cells"), vec!["effectors"]);
+        assert!(g.dashed_targets("effectors").is_empty());
+    }
+
+    #[test]
+    fn node_for_path_resolves_blus() {
+        let g = derive_from_schema(&fig1_schema());
+        let traj = g
+            .node_for_path("cells", &AttrPath::parse("robots.trajectory"), false)
+            .unwrap();
+        assert_eq!(g.node(traj).category, Category::Blu);
+        let objname = g
+            .node_for_path("cells", &AttrPath::parse("c_objects.obj_name"), false)
+            .unwrap();
+        assert_eq!(g.node(objname).category, Category::Blu);
+        assert!(g.node_for_path("cells", &AttrPath::parse("nope"), false).is_none());
+    }
+
+    #[test]
+    fn ancestors_chain_is_hierarchical() {
+        let g = derive_from_schema(&fig1_schema());
+        let traj = g
+            .node_for_path("cells", &AttrPath::parse("robots.trajectory"), false)
+            .unwrap();
+        let chain: Vec<&str> =
+            g.ancestors(traj).iter().map(|&id| g.node(id).name.as_str()).collect();
+        assert_eq!(
+            chain,
+            vec![
+                "Database \"db1\"",
+                "Segment \"seg1\"",
+                "Relation \"cells\"",
+                "C.O. \"cells\"",
+                "HoLU (\"robots\")",
+                "HeLU (C.O. \"robots\")",
+            ]
+        );
+    }
+
+    #[test]
+    fn every_non_root_node_has_exactly_one_immediate_parent() {
+        let g = derive_from_schema(&fig1_schema());
+        for n in g.nodes() {
+            if n.id == g.db_node() {
+                assert!(n.parent.is_none());
+            } else {
+                assert!(n.parent.is_some(), "{} lacks parent", n.name);
+            }
+        }
+    }
+
+    #[test]
+    fn nested_homogeneous_attributes_derive_stacked_holus() {
+        // "a set of lists of integers is treated … as a HoLU composed of
+        // HoLUs which in turn consist of BLUs" (§4.2).
+        let db = DatabaseBuilder::new("db")
+            .segment("s")
+            .relation(
+                RelationBuilder::new("r", "s")
+                    .attr("r_id", str_())
+                    .attr("grid", set(list(int_())))
+                    .finish(),
+            )
+            .finish()
+            .unwrap();
+        let g = derive_from_schema(&db);
+        let grid = g.node_for_path("r", &AttrPath::parse("grid"), false).unwrap();
+        assert_eq!(g.node(grid).category, Category::HoLU);
+        let inner = g.node(grid).children[0];
+        assert_eq!(g.node(inner).category, Category::HoLU);
+        let blu = g.node(inner).children[0];
+        assert_eq!(g.node(blu).category, Category::Blu);
+    }
+}

@@ -1,0 +1,218 @@
+//! The general lock graph (Fig. 4) and the System R / XSQL lock graphs
+//! (Fig. 2) as concept-level DAGs.
+//!
+//! These graphs are *schemas of lock graphs*: they say which categories of
+//! lockable units exist and how they may be composed. Fig. 2 (a) and (b) are
+//! special cases of the general graph (§4.2): "database" is a HeLU,
+//! "segments" as well, "relations" is a HoLU, and tuples are BLUs.
+
+use super::object::Category;
+
+/// Kind of an edge in a lock graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Composition ("contained-in") within non-shared data — solid lines.
+    Solid,
+    /// Transition into shared data (reference to common data) — dashed lines.
+    Dashed,
+}
+
+/// One edge of a concept graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConceptEdge {
+    /// Index of the parent node.
+    pub from: usize,
+    /// Index of the child node.
+    pub to: usize,
+    /// Solid or dashed.
+    pub kind: EdgeKind,
+}
+
+/// A small concept-level DAG of lockable-unit categories.
+#[derive(Debug, Clone)]
+pub struct ConceptGraph {
+    /// `(name, category)` per node.
+    pub nodes: Vec<(String, Category)>,
+    /// Edges (parent → child).
+    pub edges: Vec<ConceptEdge>,
+}
+
+impl ConceptGraph {
+    fn node(&self, name: &str) -> Option<usize> {
+        self.nodes.iter().position(|(n, _)| n == name)
+    }
+
+    /// The System R lock graph (Fig. 2 (a)): database → segments →
+    /// {relations, indexes} → tuples.
+    pub fn system_r() -> Self {
+        let nodes = vec![
+            ("Database".to_string(), Category::Database),
+            ("Segments".to_string(), Category::Segment),
+            ("Relations".to_string(), Category::Relation),
+            ("Indexes".to_string(), Category::HoLU),
+            ("Tuples".to_string(), Category::Blu),
+        ];
+        let edges = vec![
+            ConceptEdge { from: 0, to: 1, kind: EdgeKind::Solid },
+            ConceptEdge { from: 1, to: 2, kind: EdgeKind::Solid },
+            ConceptEdge { from: 1, to: 3, kind: EdgeKind::Solid },
+            ConceptEdge { from: 2, to: 4, kind: EdgeKind::Solid },
+            ConceptEdge { from: 3, to: 4, kind: EdgeKind::Solid },
+        ];
+        ConceptGraph { nodes, edges }
+    }
+
+    /// The XSQL lock graph (Fig. 2 (b)): System R extended by the granule
+    /// "complex object" between relations and tuples.
+    pub fn xsql() -> Self {
+        let nodes = vec![
+            ("Database".to_string(), Category::Database),
+            ("Segments".to_string(), Category::Segment),
+            ("Relations".to_string(), Category::Relation),
+            ("Indexes".to_string(), Category::HoLU),
+            ("Complex Objects".to_string(), Category::HeLU),
+            ("Tuples".to_string(), Category::Blu),
+        ];
+        let edges = vec![
+            ConceptEdge { from: 0, to: 1, kind: EdgeKind::Solid },
+            ConceptEdge { from: 1, to: 2, kind: EdgeKind::Solid },
+            ConceptEdge { from: 1, to: 3, kind: EdgeKind::Solid },
+            ConceptEdge { from: 2, to: 4, kind: EdgeKind::Solid },
+            ConceptEdge { from: 4, to: 5, kind: EdgeKind::Solid },
+            ConceptEdge { from: 3, to: 5, kind: EdgeKind::Solid },
+        ];
+        ConceptGraph { nodes, edges }
+    }
+
+    /// The general lock graph for disjoint and non-disjoint complex objects
+    /// (Fig. 4): HeLUs and HoLUs composed arbitrarily, BLUs as leaves, and a
+    /// dashed edge from a reference BLU back into a HeLU of common data.
+    pub fn general() -> Self {
+        let nodes = vec![
+            ("Heterogeneous Lockable Unit".to_string(), Category::HeLU),
+            ("Homogeneous Lockable Unit".to_string(), Category::HoLU),
+            ("Basic Lockable Unit".to_string(), Category::Blu),
+        ];
+        let edges = vec![
+            // A HeLU may be composed of HeLUs, HoLUs and BLUs.
+            ConceptEdge { from: 0, to: 0, kind: EdgeKind::Solid },
+            ConceptEdge { from: 0, to: 1, kind: EdgeKind::Solid },
+            ConceptEdge { from: 0, to: 2, kind: EdgeKind::Solid },
+            // A HoLU may be composed of HeLUs, HoLUs and BLUs.
+            ConceptEdge { from: 1, to: 0, kind: EdgeKind::Solid },
+            ConceptEdge { from: 1, to: 1, kind: EdgeKind::Solid },
+            ConceptEdge { from: 1, to: 2, kind: EdgeKind::Solid },
+            // A BLU may be a reference to common data: dashed transition to
+            // the entry HeLU of an independent complex object.
+            ConceptEdge { from: 2, to: 0, kind: EdgeKind::Dashed },
+        ];
+        ConceptGraph { nodes, edges }
+    }
+
+    /// Checks that the *solid* part of the graph is acyclic (the dashed
+    /// self-loop of the general graph is a schema-level possibility; concrete
+    /// object-specific graphs must be acyclic including dashed edges, which
+    /// `nf2` schema validation guarantees).
+    pub fn solid_part_is_acyclic(&self) -> bool {
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in self.edges.iter().filter(|e| e.kind == EdgeKind::Solid) {
+            if e.from == e.to {
+                return false;
+            }
+            adj[e.from].push(e.to);
+            indeg[e.to] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(v) = queue.pop() {
+            seen += 1;
+            for &w in &adj[v] {
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+        seen == n
+    }
+
+    /// Verifies the structural claim of §4.2: the System R graph is a special
+    /// case of the general graph — every node category appears in the general
+    /// graph and every solid composition it uses is allowed by the general
+    /// graph's composition rules.
+    pub fn is_special_case_of_general(&self) -> bool {
+        let general = ConceptGraph::general();
+        let cat_to_general = |c: Category| match c {
+            Category::Database | Category::HeLU => 0usize, // HeLU
+            Category::Segment => 0,                        // HeLU (per §4.2)
+            Category::Relation | Category::HoLU => 1,      // HoLU
+            Category::Blu => 2,
+        };
+        self.edges.iter().filter(|e| e.kind == EdgeKind::Solid).all(|e| {
+            let from = cat_to_general(self.nodes[e.from].1);
+            let to = cat_to_general(self.nodes[e.to].1);
+            general
+                .edges
+                .iter()
+                .any(|g| g.kind == EdgeKind::Solid && g.from == from && g.to == to)
+        })
+    }
+
+    /// Children of a node by name (solid edges).
+    pub fn solid_children(&self, name: &str) -> Vec<&str> {
+        let Some(idx) = self.node(name) else {
+            return Vec::new();
+        };
+        self.edges
+            .iter()
+            .filter(|e| e.kind == EdgeKind::Solid && e.from == idx)
+            .map(|e| self.nodes[e.to].0.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_r_graph_shape_matches_fig2a() {
+        let g = ConceptGraph::system_r();
+        assert_eq!(g.nodes.len(), 5);
+        assert!(g.solid_part_is_acyclic());
+        // Tuples are reachable both via relations and via indexes: a DAG,
+        // not a tree.
+        assert_eq!(g.solid_children("Relations"), vec!["Tuples"]);
+        assert_eq!(g.solid_children("Indexes"), vec!["Tuples"]);
+    }
+
+    #[test]
+    fn xsql_adds_complex_object_between_relations_and_tuples() {
+        let g = ConceptGraph::xsql();
+        assert_eq!(g.solid_children("Relations"), vec!["Complex Objects"]);
+        assert_eq!(g.solid_children("Complex Objects"), vec!["Tuples"]);
+        assert!(g.solid_part_is_acyclic());
+    }
+
+    #[test]
+    fn general_graph_allows_arbitrary_composition() {
+        let g = ConceptGraph::general();
+        assert!(g.solid_children("Heterogeneous Lockable Unit").len() == 3);
+        assert!(g.solid_children("Homogeneous Lockable Unit").len() == 3);
+        // BLUs compose nothing via solid edges.
+        assert!(g.solid_children("Basic Lockable Unit").is_empty());
+        // The dashed edge leaves the BLU into a HeLU (common data).
+        let dashed: Vec<_> = g.edges.iter().filter(|e| e.kind == EdgeKind::Dashed).collect();
+        assert_eq!(dashed.len(), 1);
+        assert_eq!(g.nodes[dashed[0].from].1, Category::Blu);
+        assert_eq!(g.nodes[dashed[0].to].1, Category::HeLU);
+    }
+
+    #[test]
+    fn system_r_and_xsql_are_special_cases_of_the_general_graph() {
+        assert!(ConceptGraph::system_r().is_special_case_of_general());
+        assert!(ConceptGraph::xsql().is_special_case_of_general());
+    }
+}

@@ -1,0 +1,13 @@
+//! Lock graphs: the general lock graph (Fig. 4), object-specific lock graphs
+//! derived from schemas (Fig. 5), and unit structure (Fig. 6).
+
+pub mod derive;
+pub mod display;
+pub mod general;
+pub mod object;
+pub mod units;
+
+pub use derive::derive_lock_graph;
+pub use general::{ConceptEdge, ConceptGraph, EdgeKind};
+pub use object::{Category, DbLockGraph, Node, NodeId};
+pub use units::{UnitKind, Units};

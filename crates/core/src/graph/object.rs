@@ -1,0 +1,285 @@
+//! Object-specific lock graphs (Fig. 5).
+//!
+//! The object-specific lock graph of a relation contains the lockable units
+//! of that relation; it is constructed automatically from the general lock
+//! graph, catalog information and the derivation rules (§4.3). We hold the
+//! graphs of *all* relations of a database in one arena ([`DbLockGraph`])
+//! because dashed edges cross relations (a reference BLU in `cells` points at
+//! the complex-object node of `effectors`).
+
+use colock_nf2::AttrPath;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Category of a lockable unit (node of the lock graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// The database node.
+    Database,
+    /// A segment node.
+    Segment,
+    /// A relation node (a HoLU of complex objects, §4.2).
+    Relation,
+    /// Heterogeneous lockable unit — a (complex) tuple.
+    HeLU,
+    /// Homogeneous lockable unit — a set or list.
+    HoLU,
+    /// Basic lockable unit — an atomic attribute or a reference.
+    Blu,
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Category::Database => "Database",
+            Category::Segment => "Segment",
+            Category::Relation => "Relation",
+            Category::HeLU => "HeLU",
+            Category::HoLU => "HoLU",
+            Category::Blu => "BLU",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Node identifier within a [`DbLockGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// How a node materializes as a step of an instance [`ResourcePath`]
+/// (`crate::resource`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepKind {
+    /// The database step.
+    Database,
+    /// A segment step.
+    Segment,
+    /// A relation step.
+    Relation,
+    /// A complex-object step (requires an object key at instantiation).
+    Object,
+    /// An attribute step (HoLU/HeLU/BLU named by the attribute).
+    Attr,
+    /// A set/list element step (requires an element key at instantiation).
+    Elem,
+}
+
+/// One node of the object-specific lock graph.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// This node's id.
+    pub id: NodeId,
+    /// Display name: `Database "db1"`, `HoLU ("robots")`, `BLU ("ref")`, …
+    pub name: String,
+    /// Category.
+    pub category: Category,
+    /// Solid ("immediate") parent; `None` only for the database node.
+    /// §4.4.1: each node except the root has exactly one immediate parent —
+    /// outer and inner units as well as superunits have hierarchical
+    /// structure.
+    pub parent: Option<NodeId>,
+    /// Solid children.
+    pub children: Vec<NodeId>,
+    /// For a reference BLU: the target relation of its dashed edge.
+    pub ref_target: Option<String>,
+    /// The relation owning this node (None for database/segment nodes).
+    pub relation: Option<String>,
+    /// Schema path within the relation (empty = the complex-object node).
+    pub attr_path: Option<AttrPath>,
+    /// How the node materializes as an instance path step.
+    pub step: StepKind,
+}
+
+/// The object-specific lock graphs of all relations of one database, plus
+/// the shared database/segment ancestry.
+#[derive(Debug, Clone)]
+pub struct DbLockGraph {
+    nodes: Vec<Node>,
+    db_node: NodeId,
+    segment_nodes: HashMap<String, NodeId>,
+    relation_nodes: HashMap<String, NodeId>,
+    /// Complex-object (HeLU) node per relation — the root of the relation's
+    /// object tree and, for common-data relations, the entry point.
+    object_nodes: HashMap<String, NodeId>,
+}
+
+impl DbLockGraph {
+    pub(crate) fn new() -> Self {
+        DbLockGraph {
+            nodes: Vec::new(),
+            db_node: NodeId(0),
+            segment_nodes: HashMap::new(),
+            relation_nodes: HashMap::new(),
+            object_nodes: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn push_node(&mut self, mut node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        node.id = id;
+        if let Some(p) = node.parent {
+            self.nodes[p.0 as usize].children.push(id);
+        }
+        self.nodes.push(node);
+        id
+    }
+
+    pub(crate) fn set_db_node(&mut self, id: NodeId) {
+        self.db_node = id;
+    }
+
+    pub(crate) fn register_segment(&mut self, name: &str, id: NodeId) {
+        self.segment_nodes.insert(name.to_string(), id);
+    }
+
+    pub(crate) fn register_relation(&mut self, name: &str, rel: NodeId, object: NodeId) {
+        self.relation_nodes.insert(name.to_string(), rel);
+        self.object_nodes.insert(name.to_string(), object);
+    }
+
+    pub(crate) fn set_ref_target_internal(&mut self, id: NodeId, target: &str) {
+        self.nodes[id.0 as usize].ref_target = Some(target.to_string());
+    }
+
+    /// The node by id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The database node.
+    pub fn db_node(&self) -> NodeId {
+        self.db_node
+    }
+
+    /// The segment node by name.
+    pub fn segment_node(&self, name: &str) -> Option<NodeId> {
+        self.segment_nodes.get(name).copied()
+    }
+
+    /// The relation node by name.
+    pub fn relation_node(&self, name: &str) -> Option<NodeId> {
+        self.relation_nodes.get(name).copied()
+    }
+
+    /// The complex-object (HeLU) node of a relation.
+    pub fn object_node(&self, relation: &str) -> Option<NodeId> {
+        self.object_nodes.get(relation).copied()
+    }
+
+    /// Registered relation names (sorted).
+    pub fn relation_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.relation_nodes.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Chain of solid ancestors of `id`, root (database) first, excluding
+    /// `id` itself.
+    pub fn ancestors(&self, id: NodeId) -> Vec<NodeId> {
+        let mut chain = Vec::new();
+        let mut cur = self.node(id).parent;
+        while let Some(p) = cur {
+            chain.push(p);
+            cur = self.node(p).parent;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Resolves the node for a schema path within a relation's object tree.
+    ///
+    /// * the empty path names the complex-object node,
+    /// * `robots` names the HoLU,
+    /// * `elem_of("robots")` — i.e. `want_element = true` — names the element
+    ///   HeLU beneath the HoLU (the `C.O. "robots"` node of Fig. 5),
+    /// * `robots.trajectory` names the BLU inside the element tuple.
+    pub fn node_for_path(
+        &self,
+        relation: &str,
+        path: &AttrPath,
+        want_element: bool,
+    ) -> Option<NodeId> {
+        let mut cur = self.object_node(relation)?;
+        for step in path.steps() {
+            // Descend through the (unique) child chain matching the step;
+            // element HeLUs are transparent intermediate hops.
+            cur = self.descend(cur, step)?;
+        }
+        if want_element {
+            // The element node of a HoLU is its single HeLU/BLU child.
+            let node = self.node(cur);
+            if node.category == Category::HoLU {
+                cur = *node.children.first()?;
+            }
+        }
+        Some(cur)
+    }
+
+    fn descend(&self, from: NodeId, step: &str) -> Option<NodeId> {
+        let node = self.node(from);
+        for &c in &node.children {
+            let child = self.node(c);
+            if child.step == StepKind::Attr
+                && child
+                    .attr_path
+                    .as_ref()
+                    .and_then(|p| p.steps().last())
+                    .is_some_and(|s| s == step)
+            {
+                return Some(c);
+            }
+            // Step through transparent element nodes (HeLU under HoLU).
+            if child.step == StepKind::Elem {
+                if let Some(found) = self.descend(c, step) {
+                    return Some(found);
+                }
+            }
+        }
+        None
+    }
+
+    /// All reference BLUs within a relation's object tree.
+    pub fn ref_blus(&self, relation: &str) -> Vec<NodeId> {
+        let Some(root) = self.object_node(relation) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let n = self.node(id);
+            if n.ref_target.is_some() {
+                out.push(id);
+            }
+            stack.extend(n.children.iter().copied());
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Relations reachable via dashed edges from `relation` (directly).
+    pub fn dashed_targets(&self, relation: &str) -> Vec<&str> {
+        let mut v: Vec<&str> = self
+            .ref_blus(relation)
+            .into_iter()
+            .filter_map(|id| self.node(id).ref_target.as_deref())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Total node count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}

@@ -1,0 +1,317 @@
+//! Units, entry points and superunits (§4.4.1, Fig. 6).
+//!
+//! * The **outer unit** of an object-specific lock graph: all nodes of
+//!   non-shared data between the relation node (inclusive) and the first
+//!   nodes (inclusive) referencing common data, plus the parents of the
+//!   relation node (segment and database node).
+//! * An **inner unit**: the nodes of shared data between the root (inclusive)
+//!   of a referenced complex object and the next reference nodes (inclusive)
+//!   or the end of the object. Its root is the unit's **entry point**.
+//! * The **immediate parent** of a node is the parent reached via a single
+//!   solid line. A **superunit** is a unit plus the immediate parents of its
+//!   root up to and including the database node.
+//! * Units are always disjoint; superunits are not.
+
+use super::object::{DbLockGraph, NodeId};
+use colock_nf2::Catalog;
+use std::collections::HashSet;
+
+/// Identifies a unit.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum UnitKind {
+    /// The outer unit rooted at a top-level relation.
+    Outer {
+        /// The relation the outer unit belongs to.
+        relation: String,
+    },
+    /// An inner unit of a common-data relation (per complex object at the
+    /// instance level; one schema-level unit per relation here).
+    Inner {
+        /// The common-data relation holding the unit.
+        relation: String,
+    },
+}
+
+/// Unit structure computed over a [`DbLockGraph`].
+#[derive(Debug)]
+pub struct Units<'g> {
+    graph: &'g DbLockGraph,
+    common: HashSet<String>,
+}
+
+impl<'g> Units<'g> {
+    /// Computes unit structure; `catalog` supplies the common-data
+    /// classification.
+    pub fn new(graph: &'g DbLockGraph, catalog: &Catalog) -> Self {
+        let common = catalog
+            .schema()
+            .common_data_relations()
+            .iter()
+            .map(|r| r.name.clone())
+            .collect();
+        Units { graph, common }
+    }
+
+    /// Whether `relation` holds common data (its objects are inner units).
+    pub fn is_common_data(&self, relation: &str) -> bool {
+        self.common.contains(relation)
+    }
+
+    /// Whether `node` is an entry point: the root (complex-object node) of an
+    /// inner unit.
+    pub fn is_entry_point(&self, node: NodeId) -> bool {
+        let n = self.graph.node(node);
+        match (&n.relation, &n.attr_path) {
+            (Some(rel), Some(p)) => p.is_root() && self.common.contains(rel),
+            _ => false,
+        }
+    }
+
+    /// The entry-point node of a common-data relation.
+    pub fn entry_point(&self, relation: &str) -> Option<NodeId> {
+        if self.common.contains(relation) {
+            self.graph.object_node(relation)
+        } else {
+            None
+        }
+    }
+
+    /// The nodes of a relation's *unit* (outer for top-level relations,
+    /// inner for common-data relations): its subtree from the complex-object
+    /// node down to and including reference BLUs, without crossing dashed
+    /// edges. For outer units the relation/segment/database ancestors are
+    /// included, per the definition.
+    pub fn unit_nodes(&self, relation: &str) -> Vec<NodeId> {
+        let Some(co) = self.graph.object_node(relation) else {
+            return Vec::new();
+        };
+        let mut nodes = Vec::new();
+        if !self.is_common_data(relation) {
+            // Outer unit: relation node plus its parents (segment, database).
+            if let Some(rel_node) = self.graph.relation_node(relation) {
+                nodes.extend(self.graph.ancestors(rel_node));
+                nodes.push(rel_node);
+            }
+        }
+        // Subtree of the complex-object node; dashed edges are not followed,
+        // the reference BLUs themselves are included.
+        let mut stack = vec![co];
+        while let Some(id) = stack.pop() {
+            nodes.push(id);
+            stack.extend(self.graph.node(id).children.iter().copied());
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// The superunit chain of an inner unit's entry point: its immediate
+    /// parents up to and including the database node, root first
+    /// (database, segment, relation — Fig. 6: "superunit of effector e1").
+    pub fn superunit_chain(&self, relation: &str) -> Vec<NodeId> {
+        let Some(co) = self.graph.object_node(relation) else {
+            return Vec::new();
+        };
+        self.graph.ancestors(co)
+    }
+
+    /// Entry points directly reachable from `relation` via one dashed edge.
+    pub fn entry_points_below(&self, relation: &str) -> Vec<(String, NodeId)> {
+        self.graph
+            .dashed_targets(relation)
+            .into_iter()
+            .filter_map(|t| self.entry_point(t).map(|n| (t.to_string(), n)))
+            .collect()
+    }
+
+    /// Verifies the disjointness invariant of units: no node belongs to two
+    /// units (used by tests and the F6 reproduction binary).
+    pub fn units_are_disjoint(&self) -> bool {
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        for rel in self.graph.relation_names() {
+            let nodes = self.unit_nodes(rel);
+            for n in nodes {
+                let node = self.graph.node(n);
+                // Database/segment nodes are allowed in multiple *outer*
+                // units by definition ("plus the parent nodes"); the paper's
+                // disjointness claim concerns the data-bearing nodes.
+                if node.relation.is_none() {
+                    continue;
+                }
+                if !seen.insert(n) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::derive::derive_from_schema;
+    use colock_nf2::builder::{DatabaseBuilder, RelationBuilder};
+    use colock_nf2::types::shorthand::*;
+    use colock_nf2::{AttrPath, Catalog, DatabaseSchema};
+
+    fn fig1_schema() -> DatabaseSchema {
+        DatabaseBuilder::new("db1")
+            .segment("seg1")
+            .segment("seg2")
+            .relation(
+                RelationBuilder::new("cells", "seg1")
+                    .attr("cell_id", str_())
+                    .attr(
+                        "c_objects",
+                        set(tuple(vec![attr("obj_id", str_()), attr("obj_name", str_())])),
+                    )
+                    .attr(
+                        "robots",
+                        list(tuple(vec![
+                            attr("robot_id", str_()),
+                            attr("trajectory", str_()),
+                            attr("effectors", set(ref_("effectors"))),
+                        ])),
+                    )
+                    .finish(),
+            )
+            .relation(
+                RelationBuilder::new("effectors", "seg2")
+                    .attr("eff_id", str_())
+                    .attr("tool", str_())
+                    .finish(),
+            )
+            .finish()
+            .unwrap()
+    }
+
+    fn setup() -> (DbLockGraph, Catalog) {
+        let schema = fig1_schema();
+        let catalog = Catalog::new(schema.clone()).unwrap();
+        (derive_from_schema(&schema), catalog)
+    }
+
+    #[test]
+    fn effectors_co_node_is_the_entry_point() {
+        let (g, c) = setup();
+        let units = Units::new(&g, &c);
+        let ep = units.entry_point("effectors").unwrap();
+        assert!(units.is_entry_point(ep));
+        assert_eq!(g.node(ep).name, "C.O. \"effectors\"");
+        // cells is not common data: no entry point.
+        assert!(units.entry_point("cells").is_none());
+        let cells_co = g.object_node("cells").unwrap();
+        assert!(!units.is_entry_point(cells_co));
+    }
+
+    #[test]
+    fn superunit_of_effector_is_db_seg2_relation() {
+        // Fig. 6: node "effector e1" and all its immediate parents up to
+        // "Database db1" form a superunit.
+        let (g, c) = setup();
+        let units = Units::new(&g, &c);
+        let chain: Vec<&str> = units
+            .superunit_chain("effectors")
+            .iter()
+            .map(|&id| g.node(id).name.as_str())
+            .collect();
+        assert_eq!(
+            chain,
+            vec!["Database \"db1\"", "Segment \"seg2\"", "Relation \"effectors\""]
+        );
+    }
+
+    #[test]
+    fn outer_unit_of_cells_contains_ref_blu_but_not_effectors() {
+        let (g, c) = setup();
+        let units = Units::new(&g, &c);
+        let outer = units.unit_nodes("cells");
+        let names: Vec<&str> = outer.iter().map(|&id| g.node(id).name.as_str()).collect();
+        assert!(names.contains(&"Database \"db1\""));
+        assert!(names.contains(&"Segment \"seg1\""));
+        assert!(names.contains(&"Relation \"cells\""));
+        assert!(names.contains(&"BLU (\"ref -> effectors\")"));
+        // Nothing from the inner unit leaks into the outer unit.
+        assert!(!names.iter().any(|n| n.contains("effectors\"") && n.starts_with("C.O.")));
+        assert!(!names.contains(&"BLU (\"eff_id\")"));
+    }
+
+    #[test]
+    fn inner_unit_of_effectors_is_co_subtree_without_ancestry() {
+        let (g, c) = setup();
+        let units = Units::new(&g, &c);
+        let inner = units.unit_nodes("effectors");
+        let names: Vec<&str> = inner.iter().map(|&id| g.node(id).name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["C.O. \"effectors\"", "BLU (\"eff_id\")", "BLU (\"tool\")"]
+        );
+    }
+
+    #[test]
+    fn units_are_disjoint_on_fig1() {
+        let (g, c) = setup();
+        let units = Units::new(&g, &c);
+        assert!(units.units_are_disjoint());
+    }
+
+    #[test]
+    fn entry_points_below_cells() {
+        let (g, c) = setup();
+        let units = Units::new(&g, &c);
+        let eps = units.entry_points_below("cells");
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].0, "effectors");
+        assert_eq!(eps[0].1, g.object_node("effectors").unwrap());
+        assert!(units.entry_points_below("effectors").is_empty());
+    }
+
+    #[test]
+    fn nested_common_data_chains_inner_units() {
+        // parts -> materials: an inner unit referencing a further inner unit.
+        let db = DatabaseBuilder::new("db")
+            .segment("s")
+            .relation(
+                RelationBuilder::new("assemblies", "s")
+                    .attr("asm_id", str_())
+                    .attr("parts", set(ref_("parts")))
+                    .finish(),
+            )
+            .relation(
+                RelationBuilder::new("parts", "s")
+                    .attr("part_id", str_())
+                    .attr("material", ref_("materials"))
+                    .finish(),
+            )
+            .relation(
+                RelationBuilder::new("materials", "s")
+                    .attr("mat_id", str_())
+                    .finish(),
+            )
+            .finish()
+            .unwrap();
+        let catalog = Catalog::new(db.clone()).unwrap();
+        let g = derive_from_schema(&db);
+        let units = Units::new(&g, &catalog);
+        assert!(units.is_common_data("parts"));
+        assert!(units.is_common_data("materials"));
+        assert!(!units.is_common_data("assemblies"));
+        let below_parts = units.entry_points_below("parts");
+        assert_eq!(below_parts.len(), 1);
+        assert_eq!(below_parts[0].0, "materials");
+        // The `material` ref BLU is *inside* parts' inner unit.
+        let inner = units.unit_nodes("parts");
+        let names: Vec<&str> = inner.iter().map(|&id| g.node(id).name.as_str()).collect();
+        assert!(names.contains(&"BLU (\"ref -> materials\")"));
+    }
+
+    #[test]
+    fn path_node_lookup_inside_units() {
+        let (g, c) = setup();
+        let units = Units::new(&g, &c);
+        let robots_holu = g.node_for_path("cells", &AttrPath::parse("robots"), false).unwrap();
+        let unit = units.unit_nodes("cells");
+        assert!(unit.contains(&robots_holu));
+    }
+}

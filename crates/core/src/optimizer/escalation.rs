@@ -1,0 +1,202 @@
+//! Run-time lock escalation and de-escalation.
+//!
+//! Escalation (trading many locks on small granules for one lock on a
+//! coarser granule, [Date85]) is what the §4.5 optimizer tries to *avoid* by
+//! anticipation; it is implemented here so experiment E5 can compare the
+//! reactive strategy against the anticipating one. De-escalation ("the
+//! efficient release of locks", §5) is listed by the paper as future work
+//! and implemented as an extension.
+
+use crate::authorization::Authorization;
+use crate::protocol::engine::{LockReport, ProtocolEngine, ProtocolError, ProtocolOptions};
+use crate::protocol::target::{InstanceSource, InstanceTarget};
+use crate::resource::ResourcePath;
+use colock_lockmgr::{LockManager, LockMode, TxnId};
+
+impl ProtocolEngine {
+    /// Reactive escalation: acquires `mode` on the coarse target (upgrade),
+    /// then releases the transaction's finer locks underneath it. Returns the
+    /// number of fine locks traded in.
+    #[allow(clippy::too_many_arguments)]
+    pub fn escalate(
+        &self,
+        lm: &LockManager<ResourcePath>,
+        txn: TxnId,
+        src: &dyn InstanceSource,
+        authz: &Authorization,
+        coarse: &InstanceTarget,
+        mode: LockMode,
+        opts: ProtocolOptions,
+    ) -> Result<(LockReport, usize), ProtocolError> {
+        let report = self.lock_proposed_mode(lm, txn, src, authz, coarse, mode, opts)?;
+        let coarse_resource = self.resource_for(coarse)?;
+        let mut released = 0;
+        for (r, _, _) in lm.locks_of(txn) {
+            if r != coarse_resource && coarse_resource.is_prefix_of(&r)
+                && lm.release(txn, &r) {
+                    released += 1;
+                }
+        }
+        Ok((report, released))
+    }
+
+    /// De-escalation: the transaction holds `mode` on `coarse` and gives it
+    /// up in exchange for the same mode on the listed descendants, so other
+    /// transactions can use the rest of the subtree.
+    ///
+    /// Safety: the fine locks are acquired *while the coarse lock is still
+    /// held* (they are trivially grantable to the holder), then the coarse
+    /// lock is downgraded to its intent form by release + re-acquire of the
+    /// protocol chain — since the chain already carries the intent locks, the
+    /// visible effect is just the removal of the coarse S/X.
+    #[allow(clippy::too_many_arguments)]
+    pub fn deescalate(
+        &self,
+        lm: &LockManager<ResourcePath>,
+        txn: TxnId,
+        src: &dyn InstanceSource,
+        authz: &Authorization,
+        coarse: &InstanceTarget,
+        keep: &[InstanceTarget],
+        opts: ProtocolOptions,
+    ) -> Result<LockReport, ProtocolError> {
+        let coarse_resource = self.resource_for(coarse)?;
+        let held = lm.held_mode(txn, &coarse_resource);
+        debug_assert!(held.allows_read(), "de-escalation requires a held S/X lock");
+        let mode = if held.allows_write() { LockMode::X } else { LockMode::S };
+
+        let mut total = LockReport::default();
+        for t in keep {
+            let r = self.lock_proposed_mode(lm, txn, src, authz, t, mode, opts)?;
+            total.acquired.extend(r.acquired);
+            total.redundant += r.redundant;
+            total.waited += r.waited;
+        }
+        // Trade the coarse lock away; the ancestor intents stay (they were
+        // acquired by the chain of the fine locks too).
+        lm.release(txn, &coarse_resource);
+        // Keep the intent on the coarse node itself so rules 1–4 still hold
+        // for the retained descendants.
+        let intent = mode.required_parent_intent();
+        lm.acquire(txn, coarse_resource.clone(), intent, colock_lockmgr::LockRequestOptions {
+            policy: opts.wait,
+            long: opts.long,
+        })
+        .map_err(ProtocolError::Lock)?;
+        total.acquired.push((coarse_resource, intent));
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{fig1_catalog, fig6_source};
+    use crate::protocol::target::AccessMode;
+    use colock_lockmgr::LockRequestOptions;
+    use std::sync::Arc;
+
+    fn setup() -> (ProtocolEngine, LockManager<ResourcePath>, crate::fixtures::StaticSource) {
+        (
+            ProtocolEngine::new(Arc::new(fig1_catalog())),
+            LockManager::new(),
+            fig6_source(),
+        )
+    }
+
+    #[test]
+    fn escalation_trades_fine_for_coarse() {
+        let (engine, lm, src) = setup();
+        let authz = Authorization::allow_all();
+        let txn = TxnId(1);
+        // Lock two robots individually.
+        for r in ["r1", "r2"] {
+            engine
+                .lock_proposed(
+                    &lm,
+                    txn,
+                    &src,
+                    &authz,
+                    &InstanceTarget::object("cells", "c1").elem("robots", r),
+                    AccessMode::Read,
+                    ProtocolOptions::default(),
+                )
+                .unwrap();
+        }
+        let robots = InstanceTarget::object("cells", "c1").attr("robots");
+        let robots_res = engine.resource_for(&robots).unwrap();
+        let (_, released) = engine
+            .escalate(&lm, txn, &src, &authz, &robots, LockMode::S, ProtocolOptions::default())
+            .unwrap();
+        assert_eq!(released, 2, "both robot element locks traded in");
+        assert_eq!(lm.held_mode(txn, &robots_res), LockMode::S);
+    }
+
+    #[test]
+    fn deescalation_releases_coarse_keeps_elements() {
+        let (engine, lm, src) = setup();
+        // Effectors are a read-only library here: under rule 4' the updater
+        // of robot r2 only S-locks the shared effectors, which coexists with
+        // t1's S entry-point locks.
+        let mut authz = Authorization::allow_all();
+        authz.set_relation_default("effectors", crate::authorization::Right::Read);
+        let t1 = TxnId(1);
+        let robots = InstanceTarget::object("cells", "c1").attr("robots");
+        engine
+            .lock_proposed(&lm, t1, &src, &authz, &robots, AccessMode::Read, ProtocolOptions::default())
+            .unwrap();
+        let r1 = InstanceTarget::object("cells", "c1").elem("robots", "r1");
+        engine
+            .deescalate(&lm, t1, &src, &authz, &robots, std::slice::from_ref(&r1), ProtocolOptions::default())
+            .unwrap();
+        // Another txn can now X-lock robot r2 (it couldn't before).
+        let t2 = TxnId(2);
+        let r2 = InstanceTarget::object("cells", "c1").elem("robots", "r2");
+        let res = engine.lock_proposed(
+            &lm,
+            t2,
+            &src,
+            &authz,
+            &r2,
+            AccessMode::Update,
+            ProtocolOptions::default().try_lock(),
+        );
+        assert!(res.is_ok(), "{res:?}");
+        // But robot r1 stays protected.
+        let blocked = engine.lock_proposed(
+            &lm,
+            t2,
+            &src,
+            &authz,
+            &r1,
+            AccessMode::Update,
+            ProtocolOptions::default().try_lock(),
+        );
+        assert!(blocked.is_err());
+    }
+
+    #[test]
+    fn deescalate_keeps_intents_for_retained_children() {
+        let (engine, lm, src) = setup();
+        let authz = Authorization::allow_all();
+        let t1 = TxnId(1);
+        let robots = InstanceTarget::object("cells", "c1").attr("robots");
+        engine
+            .lock_proposed(&lm, t1, &src, &authz, &robots, AccessMode::Read, ProtocolOptions::default())
+            .unwrap();
+        engine
+            .deescalate(
+                &lm,
+                t1,
+                &src,
+                &authz,
+                &robots,
+                &[InstanceTarget::object("cells", "c1").elem("robots", "r1")],
+                ProtocolOptions::default(),
+            )
+            .unwrap();
+        let robots_res = engine.resource_for(&robots).unwrap();
+        assert_eq!(lm.held_mode(t1, &robots_res), LockMode::IS);
+        let _ = LockRequestOptions::default();
+    }
+}

@@ -1,0 +1,122 @@
+//! Baseline: straightforward application of the traditional DAG protocol to
+//! non-disjoint complex objects (§3.2.2) — the protocol-oriented problems.
+//!
+//! Two defects, both reproduced here on purpose:
+//!
+//! 1. **Exclusive locks on shared data are enormously expensive.** The
+//!    traditional DAG rule demands that *all* parents of a node be IX-locked
+//!    before the node is X-locked. For a node inside common data the parents
+//!    include every referencing subobject (every robot using the effector),
+//!    which must first be *found* — a reverse scan over the referencing
+//!    relations (the paper: "It is a very time-consuming task to find out
+//!    which robots are affected"). [`ProtocolEngine::lock_naive_dag`] performs
+//!    exactly that scan and lock cascade; experiment E2 measures it.
+//!
+//! 2. **Implicit locks on common data are invisible "from the side".** If
+//!    the all-parents rule is dropped instead, a transaction locking robot
+//!    `r1` in X believes the referenced effectors are implicitly X-locked —
+//!    but a second transaction reaching effector `e1` via robot `r2` never
+//!    sees those implicit locks. The naive engine takes **no** locks on
+//!    common data for S/X requests on non-shared nodes (no downward
+//!    propagation), so experiment E3 can demonstrate the resulting
+//!    inconsistency.
+
+use crate::authorization::Authorization;
+use crate::protocol::engine::{Ctx, LockReport, ProtocolEngine, ProtocolError, ProtocolOptions};
+use crate::protocol::target::{AccessMode, InstanceSource, InstanceTarget};
+use crate::resource::ResourcePath;
+use colock_lockmgr::{LockManager, LockMode, TxnId};
+use colock_nf2::ObjectKey;
+use std::collections::HashSet;
+
+impl ProtocolEngine {
+    /// Locks `target` under the naive traditional-DAG protocol.
+    #[allow(clippy::too_many_arguments)]
+    pub fn lock_naive_dag(
+        &self,
+        lm: &LockManager<ResourcePath>,
+        txn: TxnId,
+        src: &dyn InstanceSource,
+        authz: &Authorization,
+        target: &InstanceTarget,
+        access: AccessMode,
+        opts: ProtocolOptions,
+    ) -> Result<LockReport, ProtocolError> {
+        self.check_authorized(authz, txn, &target.relation, access)?;
+        let mode = Self::target_mode(access);
+        let mut ctx = Ctx::new(lm, txn, src, authz, opts);
+
+        if mode == LockMode::X && self.is_common(&target.relation) {
+            // Defect 1: X on shared data requires ALL parents to be locked.
+            self.lock_all_parents(&mut ctx, target)?;
+        }
+
+        let resource = self.resource_for(target)?;
+        ctx.acquire_ancestor_intents(&resource, mode)?;
+        ctx.acquire(&resource, mode)?;
+        // Defect 2 (by construction): no downward propagation — referenced
+        // common data is only "implicitly" locked, invisibly to other paths.
+        Ok(ctx.finish())
+    }
+
+    /// The *relaxed* naive variant (§3.2.2): "If the DAG requirement that
+    /// all parents … be locked before such a node may be requested in mode
+    /// (I)X is given up" — X on shared data takes only its own chain. Cheap,
+    /// but implicit locks on common data are invisible from the side: the
+    /// E3 experiment demonstrates the resulting inconsistency.
+    #[allow(clippy::too_many_arguments)]
+    pub fn lock_naive_relaxed(
+        &self,
+        lm: &LockManager<ResourcePath>,
+        txn: TxnId,
+        src: &dyn InstanceSource,
+        authz: &Authorization,
+        target: &InstanceTarget,
+        access: AccessMode,
+        opts: ProtocolOptions,
+    ) -> Result<LockReport, ProtocolError> {
+        self.check_authorized(authz, txn, &target.relation, access)?;
+        let mode = Self::target_mode(access);
+        let mut ctx = Ctx::new(lm, txn, src, authz, opts);
+        let resource = self.resource_for(target)?;
+        ctx.acquire_ancestor_intents(&resource, mode)?;
+        ctx.acquire(&resource, mode)?;
+        Ok(ctx.finish())
+    }
+
+    /// Finds (by reverse scan) and IX-locks every subobject referencing the
+    /// shared object of `target`, including their full ancestor chains, and
+    /// recursively the referencers of any referencing shared object.
+    fn lock_all_parents(
+        &self,
+        ctx: &mut Ctx<'_>,
+        target: &InstanceTarget,
+    ) -> Result<(), ProtocolError> {
+        let Some(key) = target.object.clone() else {
+            return Ok(());
+        };
+        let mut visited: HashSet<(String, ObjectKey)> = HashSet::new();
+        let mut work: Vec<(String, ObjectKey)> = vec![(target.relation.clone(), key)];
+        while let Some((relation, key)) = work.pop() {
+            if !visited.insert((relation.clone(), key.clone())) {
+                continue;
+            }
+            let scan = ctx.src.referencing_objects(&relation, &key);
+            ctx.report.scan_cost += scan.objects_scanned;
+            for parent in scan.referencing {
+                let resource = self.resource_for(&parent)?;
+                // The referencing subobject and all its ancestors in IX.
+                ctx.acquire_ancestor_intents(&resource, LockMode::X)?;
+                ctx.acquire(&resource, LockMode::IX)?;
+                // If the referencing object itself lives in common data, its
+                // parents must be locked as well (transitive rule).
+                if self.is_common(&parent.relation) {
+                    if let Some(pk) = parent.object.clone() {
+                        work.push((parent.relation.clone(), pk));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}

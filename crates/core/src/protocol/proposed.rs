@@ -1,0 +1,190 @@
+//! The paper's lock protocol (§4.4.2): rules 1–5, with rule 4′ as an option.
+//!
+//! For a request of mode `M` on a target node:
+//!
+//! 1./2. (IS/IX) — all *immediate parents* of the target are locked in the
+//!    corresponding intent mode, root-to-leaf. If the target is the root of
+//!    an inner unit (an entry point), the concurrency control manager locks
+//!    all immediate parents up to the root of the superunit on behalf of the
+//!    transaction ("implicit upward propagation").
+//! 3./4. (S/X) — as above, and in addition the concurrency control manager
+//!    S/X-locks all entry points of lower (dependent) inner units accessible
+//!    via the requested node ("implicit downward propagation", crossing
+//!    superunit boundaries transitively).
+//! 4′. Under an X request, entry points of *modifiable* lower inner units are
+//!    X-locked while *non-modifiable* ones are only S-locked.
+//! 5. Locks are requested root-to-leaf; released leaf-to-root or at EOT.
+//!
+//! Downward propagation discovers entry points by scanning the references in
+//! the data being accessed (which the query has to read anyway), so it adds
+//! no extra I/O; only the entry points themselves enter the lock table, which
+//! keeps the table growth moderate (§4.4.2.1).
+
+use crate::authorization::Authorization;
+use crate::protocol::engine::{Ctx, LockReport, ProtocolEngine, ProtocolError, ProtocolOptions};
+use crate::protocol::target::{AccessMode, InstanceSource, InstanceTarget};
+use colock_lockmgr::{LockManager, LockMode, TxnId};
+use colock_nf2::{ObjectKey, ObjectRef};
+use crate::resource::ResourcePath;
+use std::collections::HashMap;
+
+impl ProtocolEngine {
+    /// Locks `target` for `access` under the proposed protocol and returns
+    /// the lock report. `mode` is derived from the access (S for read, X for
+    /// update); use [`ProtocolEngine::lock_proposed_mode`] for explicit
+    /// intent-mode requests.
+    #[allow(clippy::too_many_arguments)]
+    pub fn lock_proposed(
+        &self,
+        lm: &LockManager<ResourcePath>,
+        txn: TxnId,
+        src: &dyn InstanceSource,
+        authz: &Authorization,
+        target: &InstanceTarget,
+        access: AccessMode,
+        opts: ProtocolOptions,
+    ) -> Result<LockReport, ProtocolError> {
+        self.lock_proposed_mode(lm, txn, src, authz, target, Self::target_mode(access), opts)
+    }
+
+    /// Locks `target` in an explicit mode (IS/IX/S/X) under the proposed
+    /// protocol.
+    #[allow(clippy::too_many_arguments)]
+    pub fn lock_proposed_mode(
+        &self,
+        lm: &LockManager<ResourcePath>,
+        txn: TxnId,
+        src: &dyn InstanceSource,
+        authz: &Authorization,
+        target: &InstanceTarget,
+        mode: LockMode,
+        opts: ProtocolOptions,
+    ) -> Result<LockReport, ProtocolError> {
+        let access = if mode.covers(LockMode::IX) { AccessMode::Update } else { AccessMode::Read };
+        self.check_authorized(authz, txn, &target.relation, access)?;
+
+        let mut ctx = Ctx::new(lm, txn, src, authz, opts);
+        let resource = self.resource_for(target)?;
+
+        // Rules 1–4, first half: intent locks on all immediate parents,
+        // root-to-leaf (this covers implicit upward propagation when the
+        // target lies inside an inner unit — the chain passes through the
+        // superunit: database, segment, relation).
+        ctx.acquire_ancestor_intents(&resource, mode)?;
+        ctx.acquire(&resource, mode)?;
+
+        // Rules 3/4, second half: implicit downward propagation for S/X.
+        // Skipped when the query semantics guarantee no dereference (§4.5).
+        if mode.allows_read() && opts.deref_refs {
+            let refs = match &target.object {
+                Some(_) => ctx.src.refs_under(target),
+                None => ctx.src.refs_in_relation(&target.relation),
+            };
+            self.propagate_down(&mut ctx, refs, mode)?;
+        }
+        Ok(ctx.finish())
+    }
+
+    /// Implicit downward propagation: locks all entry points of lower inner
+    /// units reachable via the already-locked subtree, transitively.
+    fn propagate_down(
+        &self,
+        ctx: &mut Ctx<'_>,
+        initial: Vec<ObjectRef>,
+        mode: LockMode,
+    ) -> Result<(), ProtocolError> {
+        // visited: strongest mode already propagated per referenced object.
+        let mut visited: HashMap<(String, ObjectKey), LockMode> = HashMap::new();
+        let mut work: Vec<(ObjectRef, LockMode)> = initial
+            .into_iter()
+            .map(|r| {
+                let m = self.entry_mode(ctx, mode, &r.relation);
+                (r, m)
+            })
+            .collect();
+
+        while let Some((r, m)) = work.pop() {
+            let key = (r.relation.clone(), r.key.clone());
+            if let Some(prev) = visited.get(&key) {
+                if prev.covers(m) {
+                    continue;
+                }
+            }
+            let joined = visited.get(&key).map_or(m, |p| p.join(m));
+            visited.insert(key, joined);
+
+            // Implicit upward propagation: IS/IX on the superunit chain of
+            // the entry point (database, segment, relation).
+            let entry_target = InstanceTarget::object(&r.relation, r.key.clone());
+            let entry_resource = self.resource_for(&entry_target)?;
+            ctx.acquire_ancestor_intents(&entry_resource, joined)?;
+            // The entry point itself.
+            ctx.acquire(&entry_resource, joined)?;
+            ctx.report.entry_points_locked += 1;
+
+            // Common data may again contain common data (§2): recurse into
+            // references of the inner unit just locked.
+            for child in ctx.src.refs_under(&entry_target) {
+                let child_mode = self.entry_mode(ctx, joined, &child.relation);
+                work.push((child, child_mode));
+            }
+        }
+        Ok(())
+    }
+
+    /// Mode for an entry point during downward propagation.
+    ///
+    /// Rule 4: propagate the requested S/X unchanged. Rule 4′: under X,
+    /// non-modifiable inner units get S — "locking of common data in a mode
+    /// which is the least restrictive necessary" (§4.6).
+    fn entry_mode(&self, ctx: &Ctx<'_>, mode: LockMode, relation: &str) -> LockMode {
+        debug_assert!(mode.allows_read());
+        if mode == LockMode::X || mode == LockMode::SIX {
+            if ctx.opts.rule4_prime && !ctx.authz.can_modify(ctx.txn, relation) {
+                LockMode::S
+            } else {
+                LockMode::X
+            }
+        } else {
+            LockMode::S
+        }
+    }
+
+    /// Releases every lock of `txn` (EOT, rule 5: at EOT locks may be
+    /// released in any order).
+    pub fn release_all(&self, lm: &LockManager<ResourcePath>, txn: TxnId) -> usize {
+        lm.release_all(txn)
+    }
+
+    /// Releases a single target leaf-to-root before EOT (rule 5's other
+    /// branch): the target itself first, then any ancestors on which no
+    /// other lock of the transaction depends.
+    pub fn release_target_early(
+        &self,
+        lm: &LockManager<ResourcePath>,
+        txn: TxnId,
+        target: &InstanceTarget,
+    ) -> Result<usize, ProtocolError> {
+        let resource = self.resource_for(target)?;
+        let mut released = 0;
+        if lm.release(txn, &resource) {
+            released += 1;
+        }
+        // Leaf-to-root: drop ancestors that protect nothing else.
+        let held = lm.locks_of(txn);
+        let mut ancestors = resource.ancestors();
+        ancestors.reverse();
+        for anc in ancestors {
+            let still_needed = held
+                .iter()
+                .any(|(r, _, _)| r != &anc && anc.is_prefix_of(r) && lm.held_mode(txn, r) != LockMode::NL);
+            if still_needed {
+                break;
+            }
+            if lm.release(txn, &anc) {
+                released += 1;
+            }
+        }
+        Ok(released)
+    }
+}

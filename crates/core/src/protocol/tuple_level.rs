@@ -1,0 +1,89 @@
+//! Baseline: tuple-level locking (§3.2.1).
+//!
+//! "Locking each single tuple of a complex object … would lead to an immense
+//! concurrency control overhead, because one cell may contain hundreds of
+//! c_objects." The lockable units are the basic element tuples (the flat
+//! tuples complex objects are built from — System R's `tuples` granule), with
+//! intent locks only on database, segment and relation (System R's graph has
+//! nothing between relation and tuple). The lock *count* therefore grows with
+//! the data, which experiment E1 measures.
+
+use crate::authorization::Authorization;
+use crate::protocol::engine::{Ctx, LockReport, ProtocolEngine, ProtocolError, ProtocolOptions};
+use crate::protocol::target::{AccessMode, InstanceSource, InstanceTarget};
+use crate::resource::ResourcePath;
+use colock_lockmgr::{LockManager, LockMode, TxnId};
+use colock_nf2::{ObjectKey, ObjectRef};
+use std::collections::HashSet;
+
+impl ProtocolEngine {
+    /// Locks every basic tuple under `target` individually.
+    #[allow(clippy::too_many_arguments)]
+    pub fn lock_tuple_level(
+        &self,
+        lm: &LockManager<ResourcePath>,
+        txn: TxnId,
+        src: &dyn InstanceSource,
+        authz: &Authorization,
+        target: &InstanceTarget,
+        access: AccessMode,
+        opts: ProtocolOptions,
+    ) -> Result<LockReport, ProtocolError> {
+        self.check_authorized(authz, txn, &target.relation, access)?;
+        let mode = Self::target_mode(access);
+        let mut ctx = Ctx::new(lm, txn, src, authz, opts);
+
+        let tuples = match &target.object {
+            Some(_) => ctx.src.tuples_under(target),
+            None => {
+                let mut all = Vec::new();
+                for key in ctx.src.object_keys(&target.relation) {
+                    let obj = InstanceTarget::object(&target.relation, key);
+                    all.extend(ctx.src.tuples_under(&obj));
+                }
+                all
+            }
+        };
+        let mut refs: Vec<ObjectRef> = match &target.object {
+            Some(_) => ctx.src.refs_under(target),
+            None => ctx.src.refs_in_relation(&target.relation),
+        };
+        self.lock_tuples(&mut ctx, &tuples, mode)?;
+
+        // Referenced common data: each referenced object's tuples, too —
+        // tuple-level locking has no coarser handle for them.
+        let mut visited: HashSet<(String, ObjectKey)> = HashSet::new();
+        while let Some(r) = refs.pop() {
+            if !visited.insert((r.relation.clone(), r.key.clone())) {
+                continue;
+            }
+            let obj = InstanceTarget::object(&r.relation, r.key.clone());
+            let tuples = ctx.src.tuples_under(&obj);
+            self.lock_tuples(&mut ctx, &tuples, mode)?;
+            refs.extend(ctx.src.refs_under(&obj));
+        }
+        Ok(ctx.finish())
+    }
+
+    fn lock_tuples(
+        &self,
+        ctx: &mut Ctx<'_>,
+        tuples: &[InstanceTarget],
+        mode: LockMode,
+    ) -> Result<(), ProtocolError> {
+        for t in tuples {
+            let resource = self.resource_for(t)?;
+            // Intent locks on database/segment/relation only (three levels),
+            // then the tuple itself: System R's flat graph has no
+            // complex-object or sub-object granules.
+            let intent = mode.required_parent_intent();
+            let seg = self.segment_of(&t.relation)?.to_string();
+            let db = ResourcePath::database(self.db_name());
+            ctx.acquire(&db, intent)?;
+            ctx.acquire(&db.segment(&seg), intent)?;
+            ctx.acquire(&db.segment(&seg).relation(&t.relation), intent)?;
+            ctx.acquire(&resource, mode)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,87 @@
+//! Baseline: XSQL-style whole-object locking (§3.1, [HaLo82], [LoPl83]).
+//!
+//! "In the applications described in [HaLo82] complex objects are always
+//! manipulated (checked-out, checked-in) as a whole" — the lockable unit is
+//! the complex object; any access to a part of an object locks the *entire*
+//! object (including existing common data, §1). That is the
+//! granule-oriented problem: Q1 and Q2 of Fig. 3 touch different parts of
+//! cell `c1` but serialize anyway.
+
+use crate::authorization::Authorization;
+use crate::protocol::engine::{Ctx, LockReport, ProtocolEngine, ProtocolError, ProtocolOptions};
+use crate::protocol::target::{AccessMode, InstanceSource, InstanceTarget};
+use crate::resource::ResourcePath;
+use colock_lockmgr::{LockManager, LockMode, TxnId};
+use colock_nf2::{ObjectKey, ObjectRef};
+use std::collections::HashSet;
+
+impl ProtocolEngine {
+    /// Locks the complex object containing `target` as a whole (plus all
+    /// transitively referenced common data, in the same mode).
+    #[allow(clippy::too_many_arguments)]
+    pub fn lock_whole_object(
+        &self,
+        lm: &LockManager<ResourcePath>,
+        txn: TxnId,
+        src: &dyn InstanceSource,
+        authz: &Authorization,
+        target: &InstanceTarget,
+        access: AccessMode,
+        opts: ProtocolOptions,
+    ) -> Result<LockReport, ProtocolError> {
+        self.check_authorized(authz, txn, &target.relation, access)?;
+        let mode = Self::target_mode(access);
+        let mut ctx = Ctx::new(lm, txn, src, authz, opts);
+
+        match &target.object {
+            Some(key) => {
+                let object = InstanceTarget::object(&target.relation, key.clone());
+                self.lock_object_coarse(&mut ctx, &object, mode)?;
+            }
+            None => {
+                // Whole-relation access: lock the relation.
+                let resource = self.resource_for(target)?;
+                ctx.acquire_ancestor_intents(&resource, mode)?;
+                ctx.acquire(&resource, mode)?;
+                // Referenced common data still must be locked coarsely.
+                let refs = ctx.src.refs_in_relation(&target.relation);
+                self.lock_refs_coarse(&mut ctx, refs, mode)?;
+            }
+        }
+        Ok(ctx.finish())
+    }
+
+    fn lock_object_coarse(
+        &self,
+        ctx: &mut Ctx<'_>,
+        object: &InstanceTarget,
+        mode: LockMode,
+    ) -> Result<(), ProtocolError> {
+        let resource = self.resource_for(object)?;
+        ctx.acquire_ancestor_intents(&resource, mode)?;
+        ctx.acquire(&resource, mode)?;
+        let refs = ctx.src.refs_under(object);
+        self.lock_refs_coarse(ctx, refs, mode)
+    }
+
+    fn lock_refs_coarse(
+        &self,
+        ctx: &mut Ctx<'_>,
+        initial: Vec<ObjectRef>,
+        mode: LockMode,
+    ) -> Result<(), ProtocolError> {
+        let mut visited: HashSet<(String, ObjectKey)> = HashSet::new();
+        let mut work = initial;
+        while let Some(r) = work.pop() {
+            if !visited.insert((r.relation.clone(), r.key.clone())) {
+                continue;
+            }
+            let obj = InstanceTarget::object(&r.relation, r.key.clone());
+            let resource = self.resource_for(&obj)?;
+            ctx.acquire_ancestor_intents(&resource, mode)?;
+            ctx.acquire(&resource, mode)?;
+            work.extend(ctx.src.refs_under(&obj));
+        }
+        Ok(())
+    }
+}

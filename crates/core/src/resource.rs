@@ -1,0 +1,257 @@
+//! Lockable resources: hierarchical instance paths.
+//!
+//! The paper's lockable units are *instances* of lock-graph nodes: Fig. 7
+//! locks "cell c1", "robot r1", "effector e2" — concrete subobjects, not
+//! schema nodes. We identify such an instance by the path from the database
+//! root down to it: database, segment, relation, complex object (by key),
+//! then alternating attribute steps (naming HoLU/HeLU/BLU schema nodes) and
+//! element steps (naming set/list elements by their key).
+//!
+//! `ResourcePath` is the key type of the lock table; every prefix of a path
+//! is itself a lockable ancestor, which makes the root-to-leaf lock chains of
+//! the protocol (rule 5) a simple prefix walk.
+
+use colock_nf2::ObjectKey;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One step of an instance path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PathStep {
+    /// The database node.
+    Database(String),
+    /// A segment of the database.
+    Segment(String),
+    /// A relation within a segment.
+    Relation(String),
+    /// A complex object of the relation, by key.
+    Object(ObjectKey),
+    /// An attribute node (HoLU/HeLU/BLU) within the current (sub)tuple.
+    Attr(String),
+    /// An element of a set/list, by element key.
+    Elem(ObjectKey),
+}
+
+impl fmt::Display for PathStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathStep::Database(s) => write!(f, "db:{s}"),
+            PathStep::Segment(s) => write!(f, "seg:{s}"),
+            PathStep::Relation(s) => write!(f, "rel:{s}"),
+            PathStep::Object(k) => write!(f, "obj:{k}"),
+            PathStep::Attr(s) => write!(f, "{s}"),
+            PathStep::Elem(k) => write!(f, "[{k}]"),
+        }
+    }
+}
+
+/// A hierarchical instance path identifying one lockable unit.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ResourcePath {
+    steps: Vec<PathStep>,
+}
+
+impl ResourcePath {
+    /// The database root resource.
+    pub fn database(name: impl Into<String>) -> Self {
+        ResourcePath { steps: vec![PathStep::Database(name.into())] }
+    }
+
+    /// Builds a path from raw steps (must start with `Database`).
+    pub fn from_steps(steps: Vec<PathStep>) -> Self {
+        debug_assert!(matches!(steps.first(), Some(PathStep::Database(_))));
+        ResourcePath { steps }
+    }
+
+    /// The steps of this path.
+    pub fn steps(&self) -> &[PathStep] {
+        &self.steps
+    }
+
+    /// Extends by one step.
+    pub fn child(&self, step: PathStep) -> Self {
+        let mut steps = self.steps.clone();
+        steps.push(step);
+        ResourcePath { steps }
+    }
+
+    /// Convenience: segment child.
+    pub fn segment(&self, name: impl Into<String>) -> Self {
+        self.child(PathStep::Segment(name.into()))
+    }
+
+    /// Convenience: relation child.
+    pub fn relation(&self, name: impl Into<String>) -> Self {
+        self.child(PathStep::Relation(name.into()))
+    }
+
+    /// Convenience: complex-object child.
+    pub fn object(&self, key: impl Into<ObjectKey>) -> Self {
+        self.child(PathStep::Object(key.into()))
+    }
+
+    /// Convenience: attribute child.
+    pub fn attr(&self, name: impl Into<String>) -> Self {
+        self.child(PathStep::Attr(name.into()))
+    }
+
+    /// Convenience: element child.
+    pub fn elem(&self, key: impl Into<ObjectKey>) -> Self {
+        self.child(PathStep::Elem(key.into()))
+    }
+
+    /// The parent resource (one step shorter), or `None` at the database.
+    pub fn parent(&self) -> Option<ResourcePath> {
+        if self.steps.len() <= 1 {
+            None
+        } else {
+            Some(ResourcePath { steps: self.steps[..self.steps.len() - 1].to_vec() })
+        }
+    }
+
+    /// All proper ancestors, root first (database, segment, …).
+    pub fn ancestors(&self) -> Vec<ResourcePath> {
+        (1..self.steps.len())
+            .map(|n| ResourcePath { steps: self.steps[..n].to_vec() })
+            .collect()
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `true` if `self` is a (non-strict) prefix of `other`.
+    pub fn is_prefix_of(&self, other: &ResourcePath) -> bool {
+        other.steps.len() >= self.steps.len()
+            && self.steps.iter().zip(&other.steps).all(|(a, b)| a == b)
+    }
+
+    /// The relation name on this path, if the path descends into one.
+    pub fn relation_name(&self) -> Option<&str> {
+        self.steps.iter().find_map(|s| match s {
+            PathStep::Relation(r) => Some(r.as_str()),
+            _ => None,
+        })
+    }
+
+    /// The complex-object key on this path, if any.
+    pub fn object_key(&self) -> Option<&ObjectKey> {
+        self.steps.iter().find_map(|s| match s {
+            PathStep::Object(k) => Some(k),
+            _ => None,
+        })
+    }
+
+    /// The prefix of this path ending at the complex-object step, if present.
+    pub fn object_prefix(&self) -> Option<ResourcePath> {
+        let idx = self.steps.iter().position(|s| matches!(s, PathStep::Object(_)))?;
+        Some(ResourcePath { steps: self.steps[..=idx].to_vec() })
+    }
+
+    /// The attribute steps after the complex-object step (schema path within
+    /// the object, ignoring element keys).
+    pub fn attr_steps(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        let mut past_object = false;
+        for s in &self.steps {
+            match s {
+                PathStep::Object(_) => past_object = true,
+                PathStep::Attr(a) if past_object => out.push(a.as_str()),
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for ResourcePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                f.write_str("/")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn robot_r1() -> ResourcePath {
+        ResourcePath::database("db1")
+            .segment("seg1")
+            .relation("cells")
+            .object("c1")
+            .attr("robots")
+            .elem("r1")
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(robot_r1().to_string(), "db:db1/seg:seg1/rel:cells/obj:c1/robots/[r1]");
+    }
+
+    #[test]
+    fn ancestors_are_all_prefixes_root_first() {
+        let p = robot_r1();
+        let anc = p.ancestors();
+        assert_eq!(anc.len(), 5);
+        assert_eq!(anc[0], ResourcePath::database("db1"));
+        assert_eq!(anc[4], p.parent().unwrap());
+        for a in &anc {
+            assert!(a.is_prefix_of(&p));
+            assert!(!p.is_prefix_of(a));
+        }
+    }
+
+    #[test]
+    fn relation_and_object_extraction() {
+        let p = robot_r1();
+        assert_eq!(p.relation_name(), Some("cells"));
+        assert_eq!(p.object_key(), Some(&ObjectKey::Str("c1".into())));
+        assert_eq!(
+            p.object_prefix().unwrap().to_string(),
+            "db:db1/seg:seg1/rel:cells/obj:c1"
+        );
+        assert_eq!(p.attr_steps(), vec!["robots"]);
+    }
+
+    #[test]
+    fn database_has_no_parent() {
+        assert!(ResourcePath::database("db1").parent().is_none());
+        assert!(ResourcePath::database("db1").ancestors().is_empty());
+    }
+
+    #[test]
+    fn paths_are_value_types() {
+        let a = robot_r1();
+        let b = robot_r1();
+        assert_eq!(a, b);
+        let c = a.child(PathStep::Attr("trajectory".into()));
+        assert_ne!(a, c);
+        assert!(a.is_prefix_of(&c));
+        assert_eq!(c.attr_steps(), vec!["robots", "trajectory"]);
+    }
+
+    #[test]
+    fn elem_keys_distinguish_resources() {
+        let r1 = robot_r1();
+        let r2 = ResourcePath::database("db1")
+            .segment("seg1")
+            .relation("cells")
+            .object("c1")
+            .attr("robots")
+            .elem("r2");
+        assert_ne!(r1, r2);
+        assert_eq!(r1.parent(), r2.parent());
+    }
+}

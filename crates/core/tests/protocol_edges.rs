@@ -1,0 +1,291 @@
+//! Edge cases of the protocol engine: explicit intent modes, SIX, deep
+//! targets, early release, plan/access alignment, error paths.
+
+use colock_core::authorization::{Authorization, Right};
+use colock_core::fixtures::{fig1_catalog, fig6_source, StaticSource};
+use colock_core::optimizer::{AccessEstimate, Optimizer};
+use colock_core::{
+    AccessMode, InstanceTarget, ProtocolEngine, ProtocolError, ProtocolOptions, ResourcePath,
+};
+use colock_lockmgr::{LockManager, LockMode, TxnId};
+use colock_nf2::AttrPath;
+use std::sync::Arc;
+
+fn setup() -> (ProtocolEngine, LockManager<ResourcePath>, StaticSource) {
+    (ProtocolEngine::new(Arc::new(fig1_catalog())), LockManager::new(), fig6_source())
+}
+
+fn res_robot(r: &str) -> ResourcePath {
+    ResourcePath::database("db1")
+        .segment("seg1")
+        .relation("cells")
+        .object("c1")
+        .attr("robots")
+        .elem(r)
+}
+
+#[test]
+fn explicit_is_lock_takes_only_intents() {
+    let (engine, lm, src) = setup();
+    let authz = Authorization::allow_all();
+    let target = InstanceTarget::object("cells", "c1").attr("robots");
+    let report = engine
+        .lock_proposed_mode(&lm, TxnId(1), &src, &authz, &target, LockMode::IS, ProtocolOptions::default())
+        .unwrap();
+    // IS is an intent: no downward propagation, no entry points.
+    assert_eq!(report.entry_points_locked, 0);
+    for (_, m) in &report.acquired {
+        assert_eq!(*m, LockMode::IS);
+    }
+}
+
+#[test]
+fn explicit_ix_enables_later_fine_x() {
+    let (engine, lm, src) = setup();
+    let authz = Authorization::allow_all();
+    let txn = TxnId(1);
+    let holu = InstanceTarget::object("cells", "c1").attr("robots");
+    engine
+        .lock_proposed_mode(&lm, txn, &src, &authz, &holu, LockMode::IX, ProtocolOptions::default())
+        .unwrap();
+    // Now X one robot under the held IX.
+    let robot = InstanceTarget::object("cells", "c1").elem("robots", "r1");
+    engine
+        .lock_proposed_mode(&lm, txn, &src, &authz, &robot, LockMode::X, ProtocolOptions::default())
+        .unwrap();
+    assert_eq!(lm.held_mode(txn, &res_robot("r1")), LockMode::X);
+}
+
+#[test]
+fn six_lock_propagates_like_x_under_rule4() {
+    // SIX = read everything + intent to update parts: downward propagation
+    // must protect entry points like an X request would.
+    let (engine, lm, src) = setup();
+    let authz = Authorization::allow_all();
+    let target = InstanceTarget::object("cells", "c1");
+    let report = engine
+        .lock_proposed_mode(&lm, TxnId(1), &src, &authz, &target, LockMode::SIX, ProtocolOptions::rule4_plain())
+        .unwrap();
+    assert_eq!(report.entry_points_locked, 3);
+    let e1 = ResourcePath::database("db1").segment("seg2").relation("effectors").object("e1");
+    assert_eq!(lm.held_mode(TxnId(1), &e1), LockMode::X);
+}
+
+#[test]
+fn six_lock_respects_rule4_prime() {
+    let (engine, lm, src) = setup();
+    let mut authz = Authorization::allow_all();
+    authz.set_relation_default("effectors", Right::Read);
+    let target = InstanceTarget::object("cells", "c1");
+    engine
+        .lock_proposed_mode(&lm, TxnId(1), &src, &authz, &target, LockMode::SIX, ProtocolOptions::default())
+        .unwrap();
+    let e1 = ResourcePath::database("db1").segment("seg2").relation("effectors").object("e1");
+    assert_eq!(lm.held_mode(TxnId(1), &e1), LockMode::S);
+}
+
+#[test]
+fn deep_blu_target_locks_full_chain() {
+    let (engine, lm, src) = setup();
+    let authz = Authorization::allow_all();
+    let traj = InstanceTarget::object("cells", "c1").elem("robots", "r1").attr("trajectory");
+    engine
+        .lock_proposed(&lm, TxnId(1), &src, &authz, &traj, AccessMode::Update, ProtocolOptions::default())
+        .unwrap();
+    // Every prefix carries IX; the BLU carries X.
+    let blu = res_robot("r1").attr("trajectory");
+    assert_eq!(lm.held_mode(TxnId(1), &blu), LockMode::X);
+    for anc in blu.ancestors() {
+        assert_eq!(lm.held_mode(TxnId(1), &anc), LockMode::IX, "on {anc}");
+    }
+}
+
+#[test]
+fn ref_set_target_propagates_only_its_own_refs() {
+    // Locking robot r1's effectors set S must propagate to e1/e2 but not e3.
+    let (engine, lm, src) = setup();
+    let authz = Authorization::allow_all();
+    let effs = InstanceTarget::object("cells", "c1").elem("robots", "r1").attr("effectors");
+    let report = engine
+        .lock_proposed(&lm, TxnId(1), &src, &authz, &effs, AccessMode::Read, ProtocolOptions::default())
+        .unwrap();
+    assert_eq!(report.entry_points_locked, 2);
+    let e3 = ResourcePath::database("db1").segment("seg2").relation("effectors").object("e3");
+    assert_eq!(lm.held_mode(TxnId(1), &e3), LockMode::NL);
+}
+
+#[test]
+fn early_release_keeps_shared_ancestors() {
+    let (engine, lm, src) = setup();
+    let authz = Authorization::allow_all();
+    let txn = TxnId(1);
+    for r in ["r1", "r2"] {
+        engine
+            .lock_proposed(
+                &lm,
+                txn,
+                &src,
+                &authz,
+                &InstanceTarget::object("cells", "c1").elem("robots", r),
+                AccessMode::Read,
+                ProtocolOptions::default(),
+            )
+            .unwrap();
+    }
+    let released = engine
+        .release_target_early(&lm, txn, &InstanceTarget::object("cells", "c1").elem("robots", "r1"))
+        .unwrap();
+    assert_eq!(released, 1, "only the leaf: ancestors still guard r2");
+    assert_eq!(lm.held_mode(txn, &res_robot("r1")), LockMode::NL);
+    assert_eq!(lm.held_mode(txn, &res_robot("r2")), LockMode::S);
+    let robots = res_robot("r1").parent().unwrap();
+    assert_eq!(lm.held_mode(txn, &robots), LockMode::IS);
+}
+
+#[test]
+fn early_release_collapses_unneeded_chain() {
+    let (engine, lm, src) = setup();
+    let authz = Authorization::allow_all();
+    let txn = TxnId(1);
+    let target = InstanceTarget::object("cells", "c1").elem("robots", "r1");
+    engine
+        .lock_proposed(&lm, txn, &src, &authz, &target, AccessMode::Read, ProtocolOptions { deref_refs: false, ..ProtocolOptions::default() })
+        .unwrap();
+    let released = engine.release_target_early(&lm, txn, &target).unwrap();
+    // Leaf + the five ancestors (db/seg/rel/obj/robots): nothing else held.
+    assert_eq!(released, 6);
+    assert_eq!(lm.table_size(), 0);
+}
+
+#[test]
+fn unknown_relation_is_reported() {
+    let (engine, lm, src) = setup();
+    let authz = Authorization::allow_all();
+    let err = engine
+        .lock_proposed(
+            &lm,
+            TxnId(1),
+            &src,
+            &authz,
+            &InstanceTarget::object("ghosts", "g1"),
+            AccessMode::Read,
+            ProtocolOptions::default(),
+        )
+        .unwrap_err();
+    assert_eq!(err, ProtocolError::UnknownRelation("ghosts".to_string()));
+}
+
+#[test]
+fn optimizer_plan_is_parallel_to_accesses() {
+    // The executor zips plan.locks with analysis.accesses — the optimizer
+    // must emit exactly one planned lock per estimate, in order.
+    let catalog = fig1_catalog();
+    let estimates = vec![
+        AccessEstimate::keyed("cells", "robots", AccessMode::Update),
+        AccessEstimate {
+            relation: "cells".into(),
+            path: AttrPath::parse("c_objects"),
+            access: AccessMode::Read,
+            objects_expected: 1.0,
+            elems_expected: 100.0,
+        },
+        AccessEstimate::keyed("effectors", "tool", AccessMode::Read),
+    ];
+    let plan = Optimizer::default().plan(&catalog, &estimates);
+    assert_eq!(plan.locks.len(), estimates.len());
+    for (planned, est) in plan.locks.iter().zip(&estimates) {
+        assert_eq!(planned.relation, est.relation);
+    }
+}
+
+#[test]
+fn report_mode_of_joins_repeated_grants() {
+    let (engine, lm, src) = setup();
+    let authz = Authorization::allow_all();
+    let txn = TxnId(1);
+    let mut report = engine
+        .lock_proposed_mode(
+            &lm,
+            txn,
+            &src,
+            &authz,
+            &InstanceTarget::object("cells", "c1").attr("robots"),
+            LockMode::IS,
+            ProtocolOptions::default(),
+        )
+        .unwrap();
+    let second = engine
+        .lock_proposed_mode(
+            &lm,
+            txn,
+            &src,
+            &authz,
+            &InstanceTarget::object("cells", "c1").attr("robots"),
+            LockMode::IX,
+            ProtocolOptions::default(),
+        )
+        .unwrap();
+    report.merge(second);
+    let robots = res_robot("r1").parent().unwrap();
+    assert_eq!(report.mode_of(&robots), Some(LockMode::IX.join(LockMode::IS)));
+    assert!(report.mode_of(&res_robot("r9")).is_none());
+}
+
+#[test]
+fn naive_dag_on_non_common_data_equals_relaxed() {
+    let (engine, lm, src) = setup();
+    let authz = Authorization::allow_all();
+    let target = InstanceTarget::object("cells", "c1").elem("robots", "r1");
+    let naive = engine
+        .lock_naive_dag(&lm, TxnId(1), &src, &authz, &target, AccessMode::Update, ProtocolOptions::default())
+        .unwrap();
+    let lm2: LockManager<ResourcePath> = LockManager::new();
+    let relaxed = engine
+        .lock_naive_relaxed(&lm2, TxnId(1), &src, &authz, &target, AccessMode::Update, ProtocolOptions::default())
+        .unwrap();
+    assert_eq!(naive.lock_count(), relaxed.lock_count());
+    assert_eq!(naive.scan_cost, 0);
+}
+
+#[test]
+fn whole_object_relation_target_locks_relation_plus_commons() {
+    let (engine, lm, src) = setup();
+    let authz = Authorization::allow_all();
+    let report = engine
+        .lock_whole_object(
+            &lm,
+            TxnId(1),
+            &src,
+            &authz,
+            &InstanceTarget::relation("cells"),
+            AccessMode::Read,
+            ProtocolOptions::default(),
+        )
+        .unwrap();
+    let cells = ResourcePath::database("db1").segment("seg1").relation("cells");
+    assert_eq!(lm.held_mode(TxnId(1), &cells), LockMode::S);
+    // All three effectors coarsely locked too.
+    let locked_effectors = report
+        .acquired
+        .iter()
+        .filter(|(r, m)| r.relation_name() == Some("effectors") && *m == LockMode::S && r.object_key().is_some())
+        .count();
+    assert_eq!(locked_effectors, 3);
+}
+
+#[test]
+fn tuple_level_subtree_scopes_to_elements_below() {
+    let (engine, lm, src) = setup();
+    let authz = Authorization::allow_all();
+    let robots = InstanceTarget::object("cells", "c1").attr("robots");
+    let report = engine
+        .lock_tuple_level(&lm, TxnId(1), &src, &authz, &robots, AccessMode::Read, ProtocolOptions::default())
+        .unwrap();
+    // 2 robot tuples + 3 referenced effector objects (e1, e2, e3).
+    let tuple_locks = report
+        .acquired
+        .iter()
+        .filter(|(_, m)| *m == LockMode::S)
+        .count();
+    assert_eq!(tuple_locks, 5, "{}", report.render());
+}

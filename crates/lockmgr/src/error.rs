@@ -1,0 +1,64 @@
+//! Lock manager errors.
+
+use crate::txnid::TxnId;
+use std::fmt;
+
+/// Errors returned by lock acquisition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockError {
+    /// Non-blocking request could not be granted immediately; the conflicting
+    /// holders are reported.
+    WouldBlock {
+        /// The transactions currently holding conflicting locks.
+        holders: Vec<TxnId>,
+    },
+    /// The request closed a waits-for cycle and this transaction was chosen
+    /// as the deadlock victim (youngest in the cycle). The caller must abort.
+    Deadlock {
+        /// The victim (always the transaction receiving this error).
+        victim: TxnId,
+        /// The waits-for cycle that was found.
+        cycle: Vec<TxnId>,
+    },
+    /// Blocking request exceeded its timeout.
+    Timeout,
+    /// The transaction was already marked as a deadlock victim by another
+    /// request and must abort before issuing new requests.
+    VictimPending(TxnId),
+    /// Attempt to operate on behalf of a transaction unknown to the manager
+    /// (e.g. release after full release).
+    UnknownTxn(TxnId),
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::WouldBlock { holders } => {
+                write!(f, "lock request would block on {} holder(s)", holders.len())
+            }
+            LockError::Deadlock { victim, cycle } => {
+                let c: Vec<String> = cycle.iter().map(|t| t.to_string()).collect();
+                write!(f, "deadlock: victim {victim}, cycle {}", c.join(" -> "))
+            }
+            LockError::Timeout => f.write_str("lock request timed out"),
+            LockError::VictimPending(t) => write!(f, "{t} was chosen as deadlock victim"),
+            LockError::UnknownTxn(t) => write!(f, "unknown transaction {t}"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_cycle() {
+        let e = LockError::Deadlock {
+            victim: TxnId(2),
+            cycle: vec![TxnId(1), TxnId(2), TxnId(1)],
+        };
+        assert!(e.to_string().contains("T1 -> T2 -> T1"));
+    }
+}

@@ -1,0 +1,254 @@
+//! Lock modes and the multi-granularity compatibility/supremum matrices.
+//!
+//! The paper uses the System R modes (§3.1): **IS** and **IX** grant the right
+//! to lock a descendant in S/X; **S** and **X** lock a subtree for shared or
+//! exclusive use. We additionally provide **SIX** (= S + IX), the standard
+//! supremum of S and IX from [GLPT76], so that lock conversions have a least
+//! upper bound, and **NL** as the neutral element.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Multi-granularity lock modes ordered by increasing strength.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LockMode {
+    /// No lock (neutral element; never stored in the table).
+    NL,
+    /// Intention share: intends S/IS locks further down.
+    IS,
+    /// Intention exclusive: intends any lock further down.
+    IX,
+    /// Share: the subtree may be read; implicitly S-locks all descendants.
+    S,
+    /// Share + intention exclusive.
+    SIX,
+    /// Exclusive: the subtree may be read and written.
+    X,
+}
+
+impl LockMode {
+    /// All real modes (excluding NL), weakest first.
+    pub const ALL: [LockMode; 5] =
+        [LockMode::IS, LockMode::IX, LockMode::S, LockMode::SIX, LockMode::X];
+
+    /// Compatibility matrix of [GLPT76]. Symmetric.
+    ///
+    /// ```text
+    ///        IS   IX   S    SIX  X
+    ///   IS   +    +    +    +    -
+    ///   IX   +    +    -    -    -
+    ///   S    +    -    +    -    -
+    ///   SIX  +    -    -    -    -
+    ///   X    -    -    -    -    -
+    /// ```
+    pub fn compatible(self, other: LockMode) -> bool {
+        use LockMode::*;
+        match (self, other) {
+            (NL, _) | (_, NL) => true,
+            (IS, X) | (X, IS) => false,
+            (IS, _) | (_, IS) => true,
+            (IX, IX) => true,
+            (IX, _) | (_, IX) => false,
+            (S, S) => true,
+            (S, _) | (_, S) => false,
+            _ => false, // SIX/X vs SIX/X
+        }
+    }
+
+    /// Least upper bound in the mode lattice (used for lock conversion):
+    /// `NL < IS < {IX, S} < SIX < X`, `join(IX, S) = SIX`.
+    pub fn join(self, other: LockMode) -> LockMode {
+        use LockMode::*;
+        match (self, other) {
+            (NL, m) | (m, NL) => m,
+            (IS, m) | (m, IS) => m,
+            (IX, IX) => IX,
+            (IX, S) | (S, IX) => SIX,
+            (S, S) => S,
+            (X, _) | (_, X) => X,
+            (SIX, _) | (_, SIX) => SIX,
+        }
+    }
+
+    /// `true` iff `self` grants at least the rights of `needed`
+    /// (lattice order; e.g. X covers S, SIX covers IX, every mode covers NL).
+    pub fn covers(self, needed: LockMode) -> bool {
+        self.join(needed) == self
+    }
+
+    /// Whether this is a pure intention mode (locks nothing itself).
+    pub fn is_intent(self) -> bool {
+        matches!(self, LockMode::IS | LockMode::IX)
+    }
+
+    /// Whether this mode allows reading the locked subtree itself.
+    pub fn allows_read(self) -> bool {
+        matches!(self, LockMode::S | LockMode::SIX | LockMode::X)
+    }
+
+    /// Whether this mode allows writing the locked subtree itself.
+    pub fn allows_write(self) -> bool {
+        matches!(self, LockMode::X)
+    }
+
+    /// The intention mode required on ancestors before requesting `self`
+    /// (protocol rules 1–4: S/IS need IS on parents, X/IX need IX).
+    pub fn required_parent_intent(self) -> LockMode {
+        match self {
+            LockMode::NL => LockMode::NL,
+            LockMode::IS | LockMode::S => LockMode::IS,
+            LockMode::IX | LockMode::SIX | LockMode::X => LockMode::IX,
+        }
+    }
+
+    /// The mode a descendant is *implicitly* locked in when an ancestor holds
+    /// `self` on the same path: S and SIX imply S below; X implies X below.
+    pub fn implicit_descendant(self) -> LockMode {
+        match self {
+            LockMode::S | LockMode::SIX => LockMode::S,
+            LockMode::X => LockMode::X,
+            _ => LockMode::NL,
+        }
+    }
+}
+
+impl fmt::Display for LockMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LockMode::NL => "NL",
+            LockMode::IS => "IS",
+            LockMode::IX => "IX",
+            LockMode::S => "S",
+            LockMode::SIX => "SIX",
+            LockMode::X => "X",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::LockMode::*;
+    use super::*;
+
+    const MATRIX: [(LockMode, LockMode, bool); 15] = [
+        (IS, IS, true),
+        (IS, IX, true),
+        (IS, S, true),
+        (IS, SIX, true),
+        (IS, X, false),
+        (IX, IX, true),
+        (IX, S, false),
+        (IX, SIX, false),
+        (IX, X, false),
+        (S, S, true),
+        (S, SIX, false),
+        (S, X, false),
+        (SIX, SIX, false),
+        (SIX, X, false),
+        (X, X, false),
+    ];
+
+    #[test]
+    fn compatibility_matches_glpt76() {
+        for &(a, b, want) in &MATRIX {
+            assert_eq!(a.compatible(b), want, "{a} vs {b}");
+            assert_eq!(b.compatible(a), want, "symmetry {b} vs {a}");
+        }
+    }
+
+    #[test]
+    fn nl_is_compatible_with_everything() {
+        for m in LockMode::ALL {
+            assert!(NL.compatible(m));
+            assert!(m.compatible(NL));
+        }
+    }
+
+    #[test]
+    fn join_is_commutative_idempotent_with_nl_identity() {
+        let all = [NL, IS, IX, S, SIX, X];
+        for &a in &all {
+            assert_eq!(a.join(NL), a);
+            assert_eq!(a.join(a), a);
+            for &b in &all {
+                assert_eq!(a.join(b), b.join(a), "{a} join {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn join_is_associative() {
+        let all = [NL, IS, IX, S, SIX, X];
+        for &a in &all {
+            for &b in &all {
+                for &c in &all {
+                    assert_eq!(a.join(b).join(c), a.join(b.join(c)), "({a},{b},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn join_of_s_and_ix_is_six() {
+        assert_eq!(S.join(IX), SIX);
+        assert_eq!(IX.join(S), SIX);
+    }
+
+    #[test]
+    fn covers_is_lattice_order() {
+        assert!(X.covers(S) && X.covers(IX) && X.covers(SIX) && X.covers(IS));
+        assert!(SIX.covers(S) && SIX.covers(IX) && SIX.covers(IS));
+        assert!(!S.covers(IX) && !IX.covers(S));
+        assert!(S.covers(IS) && IX.covers(IS));
+        for m in LockMode::ALL {
+            assert!(m.covers(NL) && m.covers(m));
+        }
+    }
+
+    #[test]
+    fn stronger_mode_conflicts_with_superset_of_weaker() {
+        // monotonicity: if a is covered by b, anything incompatible with a
+        // that b doesn't cover… simpler: for all c: b compatible c => a
+        // compatible c (strength only removes compatibility).
+        let all = [IS, IX, S, SIX, X];
+        for &a in &all {
+            for &b in &all {
+                if b.covers(a) {
+                    for &c in &all {
+                        if b.compatible(c) {
+                            assert!(a.compatible(c), "{a} <= {b} but {a} !~ {c}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parent_intents_follow_protocol_rules() {
+        assert_eq!(S.required_parent_intent(), IS);
+        assert_eq!(IS.required_parent_intent(), IS);
+        assert_eq!(X.required_parent_intent(), IX);
+        assert_eq!(IX.required_parent_intent(), IX);
+        assert_eq!(SIX.required_parent_intent(), IX);
+    }
+
+    #[test]
+    fn implicit_descendant_modes() {
+        assert_eq!(S.implicit_descendant(), S);
+        assert_eq!(SIX.implicit_descendant(), S);
+        assert_eq!(X.implicit_descendant(), X);
+        assert_eq!(IX.implicit_descendant(), NL);
+        assert_eq!(IS.implicit_descendant(), NL);
+    }
+
+    #[test]
+    fn read_write_predicates() {
+        assert!(S.allows_read() && !S.allows_write());
+        assert!(X.allows_read() && X.allows_write());
+        assert!(SIX.allows_read() && !SIX.allows_write());
+        assert!(!IS.allows_read() && !IX.allows_read());
+        assert!(IS.is_intent() && IX.is_intent() && !S.is_intent() && !SIX.is_intent());
+    }
+}

@@ -1,0 +1,154 @@
+//! Lock manager statistics.
+//!
+//! These counters quantify exactly the overheads the paper's evaluation
+//! argues about qualitatively (§3.2.1, §4.6): number of locks requested and
+//! held (administration overhead), number of compatibility tests (conflict
+//! test overhead), waits (lost concurrency) and deadlocks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe statistics counters.
+#[derive(Debug, Default)]
+pub struct LockStats {
+    /// Lock requests issued (including re-requests/conversions).
+    pub requests: AtomicU64,
+    /// Requests granted without waiting.
+    pub immediate_grants: AtomicU64,
+    /// Requests that had to wait at least once.
+    pub waits: AtomicU64,
+    /// Lock conversions (mode upgrades on an already-held resource).
+    pub conversions: AtomicU64,
+    /// Individual mode-compatibility tests performed.
+    pub conflict_tests: AtomicU64,
+    /// Deadlocks detected.
+    pub deadlocks: AtomicU64,
+    /// Releases (per resource).
+    pub releases: AtomicU64,
+    /// High-water mark of resources present in the lock table.
+    pub max_table_entries: AtomicU64,
+    /// High-water mark of locks held by a single transaction.
+    pub max_locks_per_txn: AtomicU64,
+}
+
+impl LockStats {
+    /// Bumps a counter.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bumps a counter by `n`.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises a high-water mark to at least `value`.
+    pub fn raise(counter: &AtomicU64, value: u64) {
+        counter.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Copies all counters into a plain snapshot.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            immediate_grants: self.immediate_grants.load(Ordering::Relaxed),
+            waits: self.waits.load(Ordering::Relaxed),
+            conversions: self.conversions.load(Ordering::Relaxed),
+            conflict_tests: self.conflict_tests.load(Ordering::Relaxed),
+            deadlocks: self.deadlocks.load(Ordering::Relaxed),
+            releases: self.releases.load(Ordering::Relaxed),
+            max_table_entries: self.max_table_entries.load(Ordering::Relaxed),
+            max_locks_per_txn: self.max_locks_per_txn.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.requests.store(0, Ordering::Relaxed);
+        self.immediate_grants.store(0, Ordering::Relaxed);
+        self.waits.store(0, Ordering::Relaxed);
+        self.conversions.store(0, Ordering::Relaxed);
+        self.conflict_tests.store(0, Ordering::Relaxed);
+        self.deadlocks.store(0, Ordering::Relaxed);
+        self.releases.store(0, Ordering::Relaxed);
+        self.max_table_entries.store(0, Ordering::Relaxed);
+        self.max_locks_per_txn.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Plain-data copy of [`LockStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Lock requests issued.
+    pub requests: u64,
+    /// Requests granted without waiting.
+    pub immediate_grants: u64,
+    /// Requests that waited.
+    pub waits: u64,
+    /// Lock conversions.
+    pub conversions: u64,
+    /// Mode-compatibility tests.
+    pub conflict_tests: u64,
+    /// Deadlocks detected.
+    pub deadlocks: u64,
+    /// Releases.
+    pub releases: u64,
+    /// Max resources in the table.
+    pub max_table_entries: u64,
+    /// Max locks held by one transaction.
+    pub max_locks_per_txn: u64,
+}
+
+impl StatsSnapshot {
+    /// Difference `self - earlier`, counter-wise (high-water marks keep the
+    /// later value).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests - earlier.requests,
+            immediate_grants: self.immediate_grants - earlier.immediate_grants,
+            waits: self.waits - earlier.waits,
+            conversions: self.conversions - earlier.conversions,
+            conflict_tests: self.conflict_tests - earlier.conflict_tests,
+            deadlocks: self.deadlocks - earlier.deadlocks,
+            releases: self.releases - earlier.releases,
+            max_table_entries: self.max_table_entries,
+            max_locks_per_txn: self.max_locks_per_txn,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let s = LockStats::default();
+        LockStats::bump(&s.requests);
+        LockStats::add(&s.conflict_tests, 5);
+        LockStats::raise(&s.max_table_entries, 7);
+        LockStats::raise(&s.max_table_entries, 3); // lower value must not win
+        let snap = s.snapshot();
+        assert_eq!(snap.requests, 1);
+        assert_eq!(snap.conflict_tests, 5);
+        assert_eq!(snap.max_table_entries, 7);
+    }
+
+    #[test]
+    fn since_subtracts_counters() {
+        let s = LockStats::default();
+        LockStats::bump(&s.requests);
+        let first = s.snapshot();
+        LockStats::bump(&s.requests);
+        LockStats::bump(&s.requests);
+        let second = s.snapshot();
+        assert_eq!(second.since(&first).requests, 2);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let s = LockStats::default();
+        LockStats::bump(&s.waits);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+}

@@ -1,0 +1,1049 @@
+//! The lock table: grant/wait queues, conversions, deadlock detection.
+//!
+//! The table is generic over the resource key `R`; the protocol layer of
+//! `colock-core` instantiates it with hierarchical instance paths so that
+//! "lock granules within the structure of complex objects" (§4.2) are plain
+//! resources here. Scheduling policy:
+//!
+//! * requests compatible with the granted group **and** with every waiter in
+//!   the queue are granted immediately (no overtaking of incompatible
+//!   waiters → no starvation),
+//! * conversions (upgrades by a transaction that already holds the resource)
+//!   only need compatibility with the *other* granted holders and bypass the
+//!   queue, as in System R,
+//! * on every release the queue is re-processed front-to-back (conversions
+//!   first),
+//! * before a request starts waiting, a waits-for cycle check runs; if the
+//!   request closes a cycle, the **youngest** transaction in the cycle is
+//!   aborted as the victim.
+
+use crate::error::LockError;
+use crate::mode::LockMode;
+use crate::stats::LockStats;
+use crate::txnid::TxnId;
+use crate::Result;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+use std::time::{Duration, Instant};
+
+/// Marker trait for lock-table resource keys.
+pub trait Resource: Eq + Hash + Clone + fmt::Debug {}
+impl<T: Eq + Hash + Clone + fmt::Debug> Resource for T {}
+
+/// How to behave when a request cannot be granted immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitPolicy {
+    /// Fail with [`LockError::WouldBlock`] instead of waiting.
+    Try,
+    /// Wait (with deadlock detection) until granted.
+    Block,
+    /// Wait, but at most this long.
+    BlockTimeout(Duration),
+}
+
+/// Options for one acquire call.
+#[derive(Debug, Clone, Copy)]
+pub struct LockRequestOptions {
+    /// Wait behaviour.
+    pub policy: WaitPolicy,
+    /// Whether the resulting lock is a *long lock* (survives simulated
+    /// shutdowns via [`crate::persistent`]).
+    pub long: bool,
+}
+
+impl Default for LockRequestOptions {
+    fn default() -> Self {
+        LockRequestOptions { policy: WaitPolicy::Block, long: false }
+    }
+}
+
+impl LockRequestOptions {
+    /// Non-blocking request.
+    pub fn try_lock() -> Self {
+        LockRequestOptions { policy: WaitPolicy::Try, long: false }
+    }
+
+    /// Long-lock request.
+    pub fn long() -> Self {
+        LockRequestOptions { policy: WaitPolicy::Block, long: true }
+    }
+}
+
+/// Result of a successful acquire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcquireOutcome {
+    /// Lock granted now (possibly after waiting; `waited` reports which).
+    Granted {
+        /// Whether the request had to wait before being granted.
+        waited: bool,
+    },
+    /// The transaction already held the resource in a covering mode.
+    AlreadyHeld,
+}
+
+#[derive(Debug, Clone)]
+struct Grant {
+    txn: TxnId,
+    mode: LockMode,
+    long: bool,
+}
+
+#[derive(Debug)]
+struct Waiter {
+    txn: TxnId,
+    /// The *target* mode (join of held and requested for conversions).
+    mode: LockMode,
+    conversion: bool,
+    long: bool,
+    granted: bool,
+    victim: Option<Vec<TxnId>>,
+}
+
+#[derive(Debug, Default)]
+struct ResourceState {
+    granted: Vec<Grant>,
+    waiting: VecDeque<Waiter>,
+}
+
+#[derive(Debug)]
+struct TxnState<R> {
+    held: HashMap<R, (LockMode, bool)>,
+}
+
+impl<R> Default for TxnState<R> {
+    fn default() -> Self {
+        TxnState { held: HashMap::new() }
+    }
+}
+
+#[derive(Debug)]
+struct Inner<R: Resource> {
+    resources: HashMap<R, ResourceState>,
+    txns: HashMap<TxnId, TxnState<R>>,
+    /// `txn -> (resource, target mode)` for all currently waiting txns.
+    waiting_on: HashMap<TxnId, R>,
+}
+
+impl<R: Resource> Default for Inner<R> {
+    fn default() -> Self {
+        Inner { resources: HashMap::new(), txns: HashMap::new(), waiting_on: HashMap::new() }
+    }
+}
+
+/// The lock manager.
+///
+/// ```
+/// use colock_lockmgr::{LockManager, LockMode, LockRequestOptions, TxnId};
+///
+/// let lm: LockManager<&str> = LockManager::new();
+/// let (t1, t2) = (TxnId(1), TxnId(2));
+/// // Multi-granularity: t1 IX on the relation, X on one tuple.
+/// lm.acquire(t1, "cells", LockMode::IX, LockRequestOptions::default()).unwrap();
+/// lm.acquire(t1, "cells/c1", LockMode::X, LockRequestOptions::default()).unwrap();
+/// // t2 can still IS the relation, but not read t1's tuple.
+/// assert!(lm.acquire(t2, "cells", LockMode::IS, LockRequestOptions::try_lock()).is_ok());
+/// assert!(lm.acquire(t2, "cells/c1", LockMode::S, LockRequestOptions::try_lock()).is_err());
+/// lm.release_all(t1);
+/// assert!(lm.acquire(t2, "cells/c1", LockMode::S, LockRequestOptions::try_lock()).is_ok());
+/// ```
+pub struct LockManager<R: Resource> {
+    inner: Mutex<Inner<R>>,
+    cond: Condvar,
+    stats: LockStats,
+}
+
+impl<R: Resource> Default for LockManager<R> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<R: Resource> LockManager<R> {
+    /// Creates an empty lock manager.
+    pub fn new() -> Self {
+        LockManager { inner: Mutex::new(Inner::default()), cond: Condvar::new(), stats: LockStats::default() }
+    }
+
+    /// Statistics counters.
+    pub fn stats(&self) -> &LockStats {
+        &self.stats
+    }
+
+    /// The mode `txn` currently holds on `resource` (NL if none).
+    pub fn held_mode(&self, txn: TxnId, resource: &R) -> LockMode {
+        let inner = self.inner.lock();
+        inner
+            .txns
+            .get(&txn)
+            .and_then(|t| t.held.get(resource))
+            .map(|&(m, _)| m)
+            .unwrap_or(LockMode::NL)
+    }
+
+    /// All `(resource, mode, long)` locks held by `txn`.
+    pub fn locks_of(&self, txn: TxnId) -> Vec<(R, LockMode, bool)> {
+        let inner = self.inner.lock();
+        inner
+            .txns
+            .get(&txn)
+            .map(|t| t.held.iter().map(|(r, &(m, l))| (r.clone(), m, l)).collect())
+            .unwrap_or_default()
+    }
+
+    /// All `(txn, mode)` grants on `resource`.
+    pub fn holders(&self, resource: &R) -> Vec<(TxnId, LockMode)> {
+        let inner = self.inner.lock();
+        inner
+            .resources
+            .get(resource)
+            .map(|s| s.granted.iter().map(|g| (g.txn, g.mode)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of resources currently present in the table.
+    pub fn table_size(&self) -> usize {
+        self.inner.lock().resources.len()
+    }
+
+    /// Total number of grant entries currently in the table.
+    pub fn grant_count(&self) -> usize {
+        self.inner.lock().resources.values().map(|s| s.granted.len()).sum()
+    }
+
+    /// Renders the full lock-table state (holders, waiters, wait targets) —
+    /// for diagnostics and stall post-mortems.
+    pub fn debug_dump(&self) -> String {
+        use std::fmt::Write;
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        for (r, state) in &inner.resources {
+            let _ = writeln!(out, "resource {r:?}:");
+            for g in &state.granted {
+                let _ = writeln!(out, "  granted {} {} long={}", g.txn, g.mode, g.long);
+            }
+            for w in &state.waiting {
+                let _ = writeln!(
+                    out,
+                    "  waiting {} {} conv={} granted={} victim={}",
+                    w.txn,
+                    w.mode,
+                    w.conversion,
+                    w.granted,
+                    w.victim.is_some()
+                );
+            }
+        }
+        for (t, r) in &inner.waiting_on {
+            let _ = writeln!(out, "waiting_on: {t} -> {r:?}");
+        }
+        out
+    }
+
+    /// Acquires (or converts to) `mode` on `resource` for `txn`.
+    pub fn acquire(
+        &self,
+        txn: TxnId,
+        resource: R,
+        mode: LockMode,
+        opts: LockRequestOptions,
+    ) -> Result<AcquireOutcome> {
+        debug_assert!(mode != LockMode::NL, "cannot acquire NL");
+        let mut inner = self.inner.lock();
+        LockStats::bump(&self.stats.requests);
+
+        let held = inner
+            .txns
+            .get(&txn)
+            .and_then(|t| t.held.get(&resource))
+            .map(|&(m, _)| m)
+            .unwrap_or(LockMode::NL);
+        if held.covers(mode) {
+            return Ok(AcquireOutcome::AlreadyHeld);
+        }
+        let target = held.join(mode);
+        let conversion = held != LockMode::NL;
+        if conversion {
+            LockStats::bump(&self.stats.conversions);
+        }
+
+        if self.can_grant(&inner, txn, &resource, target, conversion) {
+            self.install_grant(&mut inner, txn, &resource, target, opts.long, conversion);
+            LockStats::bump(&self.stats.immediate_grants);
+            return Ok(AcquireOutcome::Granted { waited: false });
+        }
+
+        match opts.policy {
+            WaitPolicy::Try => {
+                let holders = self.conflicting_holders(&inner, txn, &resource, target);
+                Err(LockError::WouldBlock { holders })
+            }
+            WaitPolicy::Block | WaitPolicy::BlockTimeout(_) => {
+                let deadline = match opts.policy {
+                    WaitPolicy::BlockTimeout(d) => Some(Instant::now() + d),
+                    _ => None,
+                };
+                self.block_until_granted(inner, txn, resource, target, conversion, opts.long, deadline)
+            }
+        }
+    }
+
+    /// Releases `resource` for `txn`. Returns `true` if a lock was released.
+    pub fn release(&self, txn: TxnId, resource: &R) -> bool {
+        let mut inner = self.inner.lock();
+        let removed = self.remove_grant(&mut inner, txn, resource);
+        if removed {
+            LockStats::bump(&self.stats.releases);
+            self.process_queue(&mut inner, resource);
+            self.cond.notify_all();
+        }
+        removed
+    }
+
+    /// Releases all locks of `txn` (end of transaction). Returns the number
+    /// released.
+    pub fn release_all(&self, txn: TxnId) -> usize {
+        let mut inner = self.inner.lock();
+        let resources: Vec<R> = inner
+            .txns
+            .get(&txn)
+            .map(|t| t.held.keys().cloned().collect())
+            .unwrap_or_default();
+        for r in &resources {
+            self.remove_grant(&mut inner, txn, r);
+            LockStats::bump(&self.stats.releases);
+            self.process_queue(&mut inner, r);
+        }
+        inner.txns.remove(&txn);
+        if !resources.is_empty() {
+            self.cond.notify_all();
+        }
+        resources.len()
+    }
+
+    /// Releases only the *short* locks of `txn`, keeping long locks — models
+    /// the end of a workstation session whose check-outs persist ([KSUW85]).
+    pub fn release_short(&self, txn: TxnId) -> usize {
+        let mut inner = self.inner.lock();
+        let resources: Vec<R> = inner
+            .txns
+            .get(&txn)
+            .map(|t| {
+                t.held
+                    .iter()
+                    .filter(|(_, &(_, long))| !long)
+                    .map(|(r, _)| r.clone())
+                    .collect()
+            })
+            .unwrap_or_default();
+        for r in &resources {
+            self.remove_grant(&mut inner, txn, r);
+            LockStats::bump(&self.stats.releases);
+            self.process_queue(&mut inner, r);
+        }
+        if !resources.is_empty() {
+            self.cond.notify_all();
+        }
+        resources.len()
+    }
+
+    /// Iterates over every grant in the table (for persistence snapshots).
+    pub fn for_each_grant(&self, mut f: impl FnMut(&R, TxnId, LockMode, bool)) {
+        let inner = self.inner.lock();
+        for (r, state) in &inner.resources {
+            for g in &state.granted {
+                f(r, g.txn, g.mode, g.long);
+            }
+        }
+    }
+
+    /// Installs a grant directly (used by crash-recovery of long locks).
+    pub fn install_recovered(&self, txn: TxnId, resource: R, mode: LockMode) {
+        let mut inner = self.inner.lock();
+        self.install_grant(&mut inner, txn, &resource, mode, true, false);
+    }
+
+    // ----- internals -------------------------------------------------------
+
+    fn can_grant(
+        &self,
+        inner: &Inner<R>,
+        txn: TxnId,
+        resource: &R,
+        target: LockMode,
+        conversion: bool,
+    ) -> bool {
+        let Some(state) = inner.resources.get(resource) else {
+            return true;
+        };
+        for g in &state.granted {
+            if g.txn == txn {
+                continue;
+            }
+            LockStats::bump(&self.stats.conflict_tests);
+            if !target.compatible(g.mode) {
+                return false;
+            }
+        }
+        if !conversion {
+            // FIFO fairness: do not overtake incompatible waiters.
+            for w in &state.waiting {
+                if w.txn == txn || w.granted {
+                    continue;
+                }
+                LockStats::bump(&self.stats.conflict_tests);
+                if !target.compatible(w.mode) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn conflicting_holders(
+        &self,
+        inner: &Inner<R>,
+        txn: TxnId,
+        resource: &R,
+        target: LockMode,
+    ) -> Vec<TxnId> {
+        inner
+            .resources
+            .get(resource)
+            .map(|s| {
+                s.granted
+                    .iter()
+                    .filter(|g| g.txn != txn && !target.compatible(g.mode))
+                    .map(|g| g.txn)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    fn install_grant(
+        &self,
+        inner: &mut Inner<R>,
+        txn: TxnId,
+        resource: &R,
+        mode: LockMode,
+        long: bool,
+        conversion: bool,
+    ) {
+        let state = inner.resources.entry(resource.clone()).or_default();
+        if conversion {
+            if let Some(g) = state.granted.iter_mut().find(|g| g.txn == txn) {
+                g.mode = mode;
+                g.long = g.long || long;
+            } else {
+                state.granted.push(Grant { txn, mode, long });
+            }
+        } else {
+            state.granted.push(Grant { txn, mode, long });
+        }
+        let txn_state = inner.txns.entry(txn).or_default();
+        let entry = txn_state.held.entry(resource.clone()).or_insert((LockMode::NL, false));
+        entry.0 = entry.0.join(mode);
+        entry.1 = entry.1 || long;
+        LockStats::raise(&self.stats.max_locks_per_txn, txn_state.held.len() as u64);
+        LockStats::raise(&self.stats.max_table_entries, inner.resources.len() as u64);
+    }
+
+    fn remove_grant(&self, inner: &mut Inner<R>, txn: TxnId, resource: &R) -> bool {
+        let mut removed = false;
+        if let Some(state) = inner.resources.get_mut(resource) {
+            let before = state.granted.len();
+            state.granted.retain(|g| g.txn != txn);
+            removed = state.granted.len() != before;
+            if state.granted.is_empty() && state.waiting.is_empty() {
+                inner.resources.remove(resource);
+            }
+        }
+        if let Some(t) = inner.txns.get_mut(&txn) {
+            t.held.remove(resource);
+        }
+        removed
+    }
+
+    /// Grants queued waiters that have become compatible. Conversions are
+    /// considered first (anywhere in the queue), then the queue is drained
+    /// from the front until the first non-grantable waiter.
+    ///
+    /// The scan is conservative within one pass (a waiter approved in this
+    /// pass is not yet visible as granted to the compatibility checks), so
+    /// the pass repeats until a fixpoint: otherwise a waiter directly behind
+    /// a freshly granted *compatible* one would be skipped with nothing left
+    /// to re-trigger the queue — a lost grant that stalled whole workloads.
+    fn process_queue(&self, inner: &mut Inner<R>, resource: &R) {
+        loop {
+            let Some(state) = inner.resources.get(resource) else {
+                return;
+            };
+            // Conversion pass.
+            let mut grant_idx: Vec<usize> = Vec::new();
+            for (i, w) in state.waiting.iter().enumerate() {
+                if w.granted || w.victim.is_some() || !w.conversion {
+                    continue;
+                }
+                if self.queue_compatible(state, w, true) {
+                    grant_idx.push(i);
+                }
+            }
+            // FIFO pass: a waiter is granted when it is compatible with the
+            // granted group and with every *ungranted incompatible* waiter
+            // ahead of it. Compatible waiters may pass blocked compatible
+            // predecessors — granting a compatible mode can never delay the
+            // predecessor's own grant, so fairness is preserved while the
+            // policy stays aligned with the waits-for edge model.
+            for (i, w) in state.waiting.iter().enumerate() {
+                if w.granted || w.victim.is_some() {
+                    continue;
+                }
+                if w.conversion {
+                    continue; // handled above
+                }
+                if self.queue_compatible(state, w, false)
+                    && self.no_incompatible_ahead(state, i, w.mode)
+                {
+                    grant_idx.push(i);
+                }
+            }
+            if grant_idx.is_empty() {
+                return;
+            }
+            let to_grant: Vec<(TxnId, LockMode, bool, bool)> = {
+                let state = inner.resources.get_mut(resource).unwrap();
+                let mut out = Vec::with_capacity(grant_idx.len());
+                for &i in &grant_idx {
+                    let w = &mut state.waiting[i];
+                    w.granted = true;
+                    out.push((w.txn, w.mode, w.long, w.conversion));
+                }
+                out
+            };
+            for (txn, mode, long, conversion) in to_grant {
+                self.install_grant(inner, txn, resource, mode, long, conversion);
+            }
+            // Loop: the new grants may make further waiters grantable.
+        }
+    }
+
+    /// Compatibility of waiter `w` with the granted group (ignoring `w.txn`'s
+    /// own grant when it is a conversion) and, transitively, with waiters we
+    /// already decided to grant in this pass (approximated by re-checking the
+    /// granted list, which `install_grant` updates between passes).
+    fn queue_compatible(&self, state: &ResourceState, w: &Waiter, conversion: bool) -> bool {
+        for g in &state.granted {
+            if conversion && g.txn == w.txn {
+                continue;
+            }
+            LockStats::bump(&self.stats.conflict_tests);
+            if !w.mode.compatible(g.mode) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// No ungranted waiter ahead of `idx` whose requested mode conflicts
+    /// with `mode` (granted and victim-marked entries do not block).
+    fn no_incompatible_ahead(&self, state: &ResourceState, idx: usize, mode: LockMode) -> bool {
+        state
+            .waiting
+            .iter()
+            .take(idx)
+            .all(|w| w.granted || w.victim.is_some() || mode.compatible(w.mode))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn block_until_granted(
+        &self,
+        mut inner: parking_lot::MutexGuard<'_, Inner<R>>,
+        txn: TxnId,
+        resource: R,
+        target: LockMode,
+        conversion: bool,
+        long: bool,
+        deadline: Option<Instant>,
+    ) -> Result<AcquireOutcome> {
+        LockStats::bump(&self.stats.waits);
+        {
+            let state = inner.resources.entry(resource.clone()).or_default();
+            state.waiting.push_back(Waiter {
+                txn,
+                mode: target,
+                conversion,
+                long,
+                granted: false,
+                victim: None,
+            });
+        }
+        inner.waiting_on.insert(txn, resource.clone());
+
+        if let Some(cycle) = self.find_cycle(&inner, txn) {
+            LockStats::bump(&self.stats.deadlocks);
+            if let Some(err) = self.resolve_deadlock(&mut inner, txn, &resource, cycle) {
+                return Err(err);
+            }
+        }
+
+        loop {
+            // Check our waiter entry.
+            let status = {
+                let state = inner.resources.get(&resource).expect("resource with waiter");
+                let w = state
+                    .waiting
+                    .iter()
+                    .find(|w| w.txn == txn)
+                    .expect("own waiter present");
+                if let Some(cycle) = &w.victim {
+                    Some(Err(LockError::Deadlock { victim: txn, cycle: cycle.clone() }))
+                } else if w.granted {
+                    Some(Ok(()))
+                } else {
+                    None
+                }
+            };
+            match status {
+                Some(Ok(())) => {
+                    self.remove_waiter_entry_only(&mut inner, txn, &resource);
+                    inner.waiting_on.remove(&txn);
+                    return Ok(AcquireOutcome::Granted { waited: true });
+                }
+                Some(Err(e)) => {
+                    self.remove_waiter(&mut inner, txn, &resource);
+                    self.process_queue(&mut inner, &resource);
+                    self.cond.notify_all();
+                    return Err(e);
+                }
+                None => {}
+            }
+            match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d
+                        || self
+                            .cond
+                            .wait_until(&mut inner, d)
+                            .timed_out()
+                    {
+                        // Re-check once: we may have been granted exactly at
+                        // the deadline.
+                        let granted_now = inner
+                            .resources
+                            .get(&resource)
+                            .and_then(|s| s.waiting.iter().find(|w| w.txn == txn))
+                            .map(|w| w.granted)
+                            .unwrap_or(false);
+                        if granted_now {
+                            self.remove_waiter_entry_only(&mut inner, txn, &resource);
+                            inner.waiting_on.remove(&txn);
+                            return Ok(AcquireOutcome::Granted { waited: true });
+                        }
+                        self.remove_waiter(&mut inner, txn, &resource);
+                        self.process_queue(&mut inner, &resource);
+                        self.cond.notify_all();
+                        return Err(LockError::Timeout);
+                    }
+                }
+                None => {
+                    // Wake periodically to re-run deadlock detection: a cycle
+                    // can involve edges invisible at wait-start (e.g. formed
+                    // while a stale candidate masked the first resolution).
+                    let timed_out = self
+                        .cond
+                        .wait_for(&mut inner, Duration::from_millis(50))
+                        .timed_out();
+                    if timed_out {
+                        if let Some(cycle) = self.find_cycle(&inner, txn) {
+                            LockStats::bump(&self.stats.deadlocks);
+                            if let Some(err) =
+                                self.resolve_deadlock(&mut inner, txn, &resource, cycle)
+                            {
+                                return Err(err);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn remove_waiter(&self, inner: &mut Inner<R>, txn: TxnId, resource: &R) {
+        if let Some(state) = inner.resources.get_mut(resource) {
+            state.waiting.retain(|w| w.txn != txn);
+            if state.granted.is_empty() && state.waiting.is_empty() {
+                inner.resources.remove(resource);
+            }
+        }
+        inner.waiting_on.remove(&txn);
+    }
+
+    /// Removes only the waiter entry (grant already installed by
+    /// `process_queue`).
+    fn remove_waiter_entry_only(&self, inner: &mut Inner<R>, txn: TxnId, resource: &R) {
+        if let Some(state) = inner.resources.get_mut(resource) {
+            state.waiting.retain(|w| w.txn != txn);
+        }
+    }
+
+    /// Picks and marks a deadlock victim for `cycle` (youngest first).
+    ///
+    /// Returns `Some(err)` when the requester itself is the victim (the
+    /// caller must clean up its waiter and return the error). When the
+    /// youngest member's waiter turned out to be already granted (runnable),
+    /// the next-youngest markable member is chosen instead, so a real cycle
+    /// is never left standing because of a stale candidate.
+    fn resolve_deadlock(
+        &self,
+        inner: &mut Inner<R>,
+        requester: TxnId,
+        requester_resource: &R,
+        cycle: Vec<TxnId>,
+    ) -> Option<LockError> {
+        let mut candidates: Vec<TxnId> = cycle.clone();
+        candidates.sort_unstable();
+        for &victim in candidates.iter().rev() {
+            if victim == requester {
+                self.remove_waiter(inner, requester, requester_resource);
+                self.process_queue(inner, requester_resource);
+                self.cond.notify_all();
+                return Some(LockError::Deadlock { victim, cycle });
+            }
+            let Some(victim_res) = inner.waiting_on.get(&victim).cloned() else {
+                continue;
+            };
+            let Some(state) = inner.resources.get_mut(&victim_res) else {
+                continue;
+            };
+            if let Some(w) = state
+                .waiting
+                .iter_mut()
+                .find(|w| w.txn == victim && !w.granted && w.victim.is_none())
+            {
+                w.victim = Some(cycle);
+                self.cond.notify_all();
+                return None;
+            }
+            // Victim already granted or already marked: try the next one.
+        }
+        None
+    }
+
+    /// DFS over the waits-for graph starting from `start`. Returns a cycle
+    /// (as a list of txns, first == last omitted) if `start` can reach
+    /// itself.
+    fn find_cycle(&self, inner: &Inner<R>, start: TxnId) -> Option<Vec<TxnId>> {
+        fn blockers<R: Resource>(inner: &Inner<R>, txn: TxnId) -> Vec<TxnId> {
+            let Some(resource) = inner.waiting_on.get(&txn) else {
+                return Vec::new();
+            };
+            let Some(state) = inner.resources.get(resource) else {
+                return Vec::new();
+            };
+            let Some(pos) = state.waiting.iter().position(|w| w.txn == txn) else {
+                return Vec::new();
+            };
+            let me = &state.waiting[pos];
+            if me.granted {
+                // Already granted, merely not woken yet: runnable, blocks on
+                // nothing (stale edges here would fabricate false cycles).
+                return Vec::new();
+            }
+            let mut out = Vec::new();
+            for g in &state.granted {
+                if g.txn != txn && !me.mode.compatible(g.mode) {
+                    out.push(g.txn);
+                }
+            }
+            // Under FIFO, earlier incompatible waiters also block us —
+            // except for conversions, which bypass queue order entirely.
+            if !me.conversion {
+                for w in state.waiting.iter().take(pos) {
+                    if !w.granted && w.txn != txn && !me.mode.compatible(w.mode) {
+                        out.push(w.txn);
+                    }
+                }
+            }
+            out
+        }
+
+        let mut stack = vec![start];
+        let mut path: Vec<TxnId> = Vec::new();
+        let mut visited: HashMap<TxnId, bool> = HashMap::new(); // false=open, true=done
+        // Iterative DFS with explicit path tracking.
+        fn dfs<R: Resource>(
+            inner: &Inner<R>,
+            node: TxnId,
+            start: TxnId,
+            path: &mut Vec<TxnId>,
+            visited: &mut HashMap<TxnId, bool>,
+        ) -> Option<Vec<TxnId>> {
+            path.push(node);
+            visited.insert(node, false);
+            for b in blockers(inner, node) {
+                if b == start {
+                    return Some(path.clone());
+                }
+                match visited.get(&b) {
+                    Some(false) => continue, // already on path, cycle not via start
+                    Some(true) => continue,
+                    None => {
+                        if let Some(c) = dfs(inner, b, start, path, visited) {
+                            return Some(c);
+                        }
+                    }
+                }
+            }
+            visited.insert(node, true);
+            path.pop();
+            None
+        }
+        let _ = &mut stack;
+        dfs(inner, start, start, &mut path, &mut visited)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::LockMode::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    type Mgr = LockManager<&'static str>;
+
+    fn t(n: u64) -> TxnId {
+        TxnId(n)
+    }
+
+    #[test]
+    fn grant_and_reentrant_acquire() {
+        let m = Mgr::new();
+        assert_eq!(
+            m.acquire(t(1), "a", S, LockRequestOptions::default()).unwrap(),
+            AcquireOutcome::Granted { waited: false }
+        );
+        assert_eq!(
+            m.acquire(t(1), "a", IS, LockRequestOptions::default()).unwrap(),
+            AcquireOutcome::AlreadyHeld
+        );
+        assert_eq!(m.held_mode(t(1), &"a"), S);
+    }
+
+    #[test]
+    fn compatible_modes_share() {
+        let m = Mgr::new();
+        m.acquire(t(1), "a", S, LockRequestOptions::default()).unwrap();
+        m.acquire(t(2), "a", S, LockRequestOptions::default()).unwrap();
+        m.acquire(t(3), "a", IS, LockRequestOptions::default()).unwrap();
+        assert_eq!(m.holders(&"a").len(), 3);
+    }
+
+    #[test]
+    fn incompatible_try_lock_reports_holders() {
+        let m = Mgr::new();
+        m.acquire(t(1), "a", X, LockRequestOptions::default()).unwrap();
+        let err = m.acquire(t(2), "a", S, LockRequestOptions::try_lock()).unwrap_err();
+        assert_eq!(err, LockError::WouldBlock { holders: vec![t(1)] });
+    }
+
+    #[test]
+    fn release_unblocks_waiter() {
+        let m = Arc::new(Mgr::new());
+        m.acquire(t(1), "a", X, LockRequestOptions::default()).unwrap();
+        let m2 = Arc::clone(&m);
+        let h = thread::spawn(move || {
+            m2.acquire(t(2), "a", X, LockRequestOptions::default()).unwrap()
+        });
+        thread::sleep(Duration::from_millis(30));
+        assert!(m.release(t(1), &"a"));
+        assert_eq!(h.join().unwrap(), AcquireOutcome::Granted { waited: true });
+        assert_eq!(m.held_mode(t(2), &"a"), X);
+    }
+
+    #[test]
+    fn conversion_upgrades_mode() {
+        let m = Mgr::new();
+        m.acquire(t(1), "a", S, LockRequestOptions::default()).unwrap();
+        m.acquire(t(1), "a", IX, LockRequestOptions::default()).unwrap();
+        assert_eq!(m.held_mode(t(1), &"a"), SIX);
+        // Still a single grant entry.
+        assert_eq!(m.holders(&"a").len(), 1);
+    }
+
+    #[test]
+    fn conversion_waits_for_other_readers() {
+        let m = Arc::new(Mgr::new());
+        m.acquire(t(1), "a", S, LockRequestOptions::default()).unwrap();
+        m.acquire(t(2), "a", S, LockRequestOptions::default()).unwrap();
+        let err = m.acquire(t(1), "a", X, LockRequestOptions::try_lock()).unwrap_err();
+        assert!(matches!(err, LockError::WouldBlock { .. }));
+        // Blocking upgrade succeeds once the other reader leaves.
+        let m2 = Arc::clone(&m);
+        let h = thread::spawn(move || {
+            m2.acquire(t(1), "a", X, LockRequestOptions::default()).unwrap()
+        });
+        thread::sleep(Duration::from_millis(30));
+        m.release(t(2), &"a");
+        assert_eq!(h.join().unwrap(), AcquireOutcome::Granted { waited: true });
+        assert_eq!(m.held_mode(t(1), &"a"), X);
+    }
+
+    #[test]
+    fn fifo_no_overtaking_of_waiting_x() {
+        let m = Arc::new(Mgr::new());
+        m.acquire(t(1), "a", S, LockRequestOptions::default()).unwrap();
+        // t2 queues an X.
+        let m2 = Arc::clone(&m);
+        let h2 = thread::spawn(move || {
+            m2.acquire(t(2), "a", X, LockRequestOptions::default()).unwrap()
+        });
+        thread::sleep(Duration::from_millis(30));
+        // t3's S would be compatible with the grant, but must not overtake.
+        let err = m.acquire(t(3), "a", S, LockRequestOptions::try_lock()).unwrap_err();
+        assert!(matches!(err, LockError::WouldBlock { .. }));
+        m.release(t(1), &"a");
+        h2.join().unwrap();
+        m.release_all(t(2));
+        m.acquire(t(3), "a", S, LockRequestOptions::default()).unwrap();
+    }
+
+    #[test]
+    fn deadlock_detected_youngest_aborts() {
+        let m = Arc::new(Mgr::new());
+        m.acquire(t(1), "a", X, LockRequestOptions::default()).unwrap();
+        m.acquire(t(2), "b", X, LockRequestOptions::default()).unwrap();
+        // t1 waits for b.
+        let m1 = Arc::clone(&m);
+        let h1 = thread::spawn(move || m1.acquire(t(1), "b", X, LockRequestOptions::default()));
+        thread::sleep(Duration::from_millis(30));
+        // t2 requests a -> cycle {1,2}; victim = youngest = t2 (the requester).
+        let err = m.acquire(t(2), "a", X, LockRequestOptions::default()).unwrap_err();
+        match err {
+            LockError::Deadlock { victim, .. } => assert_eq!(victim, t(2)),
+            e => panic!("expected deadlock, got {e:?}"),
+        }
+        // After t2 aborts, t1 proceeds.
+        m.release_all(t(2));
+        assert!(h1.join().unwrap().is_ok());
+        assert_eq!(m.stats().snapshot().deadlocks, 1);
+    }
+
+    #[test]
+    fn deadlock_victim_can_be_the_waiting_txn() {
+        // t2 (younger) waits first; then t1's request closes the cycle and
+        // t2 must be chosen and woken as victim.
+        let m = Arc::new(Mgr::new());
+        m.acquire(t(1), "a", X, LockRequestOptions::default()).unwrap();
+        m.acquire(t(2), "b", X, LockRequestOptions::default()).unwrap();
+        let m2 = Arc::clone(&m);
+        let h2 = thread::spawn(move || m2.acquire(t(2), "a", X, LockRequestOptions::default()));
+        thread::sleep(Duration::from_millis(30));
+        let m1 = Arc::clone(&m);
+        let h1 = thread::spawn(move || m1.acquire(t(1), "b", X, LockRequestOptions::default()));
+        let r2 = h2.join().unwrap();
+        match r2 {
+            Err(LockError::Deadlock { victim, .. }) => assert_eq!(victim, t(2)),
+            other => panic!("expected t2 victim, got {other:?}"),
+        }
+        m.release_all(t(2));
+        assert!(h1.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn upgrade_deadlock_between_two_readers() {
+        let m = Arc::new(Mgr::new());
+        m.acquire(t(1), "a", S, LockRequestOptions::default()).unwrap();
+        m.acquire(t(2), "a", S, LockRequestOptions::default()).unwrap();
+        let m1 = Arc::clone(&m);
+        let h1 = thread::spawn(move || m1.acquire(t(1), "a", X, LockRequestOptions::default()));
+        thread::sleep(Duration::from_millis(30));
+        let r2 = m.acquire(t(2), "a", X, LockRequestOptions::default());
+        // One of the two must die (the younger: t2).
+        match r2 {
+            Err(LockError::Deadlock { victim, .. }) => assert_eq!(victim, t(2)),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+        m.release_all(t(2));
+        assert!(h1.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn timeout_fires() {
+        let m = Mgr::new();
+        m.acquire(t(1), "a", X, LockRequestOptions::default()).unwrap();
+        let err = m
+            .acquire(
+                t(2),
+                "a",
+                X,
+                LockRequestOptions {
+                    policy: WaitPolicy::BlockTimeout(Duration::from_millis(40)),
+                    long: false,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, LockError::Timeout);
+        // The waiter must be fully cleaned up.
+        assert_eq!(m.holders(&"a").len(), 1);
+    }
+
+    #[test]
+    fn release_all_cleans_table() {
+        let m = Mgr::new();
+        m.acquire(t(1), "a", IS, LockRequestOptions::default()).unwrap();
+        m.acquire(t(1), "b", S, LockRequestOptions::default()).unwrap();
+        assert_eq!(m.release_all(t(1)), 2);
+        assert_eq!(m.table_size(), 0);
+        assert!(m.locks_of(t(1)).is_empty());
+    }
+
+    #[test]
+    fn release_short_keeps_long_locks() {
+        let m = Mgr::new();
+        m.acquire(t(1), "a", S, LockRequestOptions::long()).unwrap();
+        m.acquire(t(1), "b", IS, LockRequestOptions::default()).unwrap();
+        assert_eq!(m.release_short(t(1)), 1);
+        assert_eq!(m.held_mode(t(1), &"a"), S);
+        assert_eq!(m.held_mode(t(1), &"b"), NL);
+    }
+
+    #[test]
+    fn stats_count_requests_and_tables() {
+        let m = Mgr::new();
+        m.acquire(t(1), "a", S, LockRequestOptions::default()).unwrap();
+        m.acquire(t(2), "b", S, LockRequestOptions::default()).unwrap();
+        let s = m.stats().snapshot();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.immediate_grants, 2);
+        assert_eq!(s.max_table_entries, 2);
+    }
+
+    #[test]
+    fn many_threads_on_one_resource_make_progress() {
+        let m = Arc::new(Mgr::new());
+        let mut handles = Vec::new();
+        for i in 0..16u64 {
+            let m = Arc::clone(&m);
+            handles.push(thread::spawn(move || {
+                let id = t(i + 1);
+                for _ in 0..20 {
+                    match m.acquire(id, "hot", X, LockRequestOptions::default()) {
+                        Ok(_) => {
+                            m.release(id, &"hot");
+                        }
+                        Err(LockError::Deadlock { .. }) => {
+                            m.release_all(id);
+                        }
+                        Err(e) => panic!("{e}"),
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.table_size(), 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Transaction identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A transaction identifier. Ids are totally ordered; a smaller id means an
+/// *older* transaction (used for youngest-victim deadlock resolution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TxnId(pub u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Monotonic generator for transaction ids.
+#[derive(Debug, Default)]
+pub struct TxnIdGen {
+    next: AtomicU64,
+}
+
+impl TxnIdGen {
+    /// Creates a generator starting at 1.
+    pub fn new() -> Self {
+        TxnIdGen { next: AtomicU64::new(1) }
+    }
+
+    /// Allocates the next id.
+    pub fn next(&self) -> TxnId {
+        TxnId(self.next.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_monotonic() {
+        let g = TxnIdGen::new();
+        let a = g.next();
+        let b = g.next();
+        assert!(a < b);
+        assert_eq!(a.to_string(), "T1");
+    }
+}

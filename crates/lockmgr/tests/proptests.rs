@@ -1,0 +1,111 @@
+//! Property-based tests of the lock table: under arbitrary sequences of
+//! try-acquires and releases, the granted groups stay pairwise compatible
+//! and the bookkeeping stays consistent.
+
+use colock_lockmgr::{AcquireOutcome, LockError, LockManager, LockMode, LockRequestOptions, TxnId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Cmd {
+    Acquire { txn: u64, resource: u8, mode: LockMode },
+    Release { txn: u64, resource: u8 },
+    ReleaseAll { txn: u64 },
+}
+
+fn cmd() -> impl Strategy<Value = Cmd> {
+    let mode = prop_oneof![
+        Just(LockMode::IS),
+        Just(LockMode::IX),
+        Just(LockMode::S),
+        Just(LockMode::SIX),
+        Just(LockMode::X),
+    ];
+    prop_oneof![
+        4 => (1u64..5, 0u8..4, mode).prop_map(|(txn, resource, mode)| Cmd::Acquire { txn, resource, mode }),
+        2 => (1u64..5, 0u8..4).prop_map(|(txn, resource)| Cmd::Release { txn, resource }),
+        1 => (1u64..5).prop_map(|txn| Cmd::ReleaseAll { txn }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn granted_groups_stay_compatible(cmds in proptest::collection::vec(cmd(), 1..60)) {
+        let lm: LockManager<u8> = LockManager::new();
+        for c in &cmds {
+            match *c {
+                Cmd::Acquire { txn, resource, mode } => {
+                    match lm.acquire(TxnId(txn), resource, mode, LockRequestOptions::try_lock()) {
+                        Ok(AcquireOutcome::Granted { .. }) | Ok(AcquireOutcome::AlreadyHeld) => {}
+                        Err(LockError::WouldBlock { .. }) => {}
+                        Err(e) => prop_assert!(false, "unexpected error {e}"),
+                    }
+                }
+                Cmd::Release { txn, resource } => {
+                    lm.release(TxnId(txn), &resource);
+                }
+                Cmd::ReleaseAll { txn } => {
+                    lm.release_all(TxnId(txn));
+                }
+            }
+            // Invariant 1: every pair of holders on a resource is compatible.
+            for r in 0u8..4 {
+                let holders = lm.holders(&r);
+                for (i, &(ta, ma)) in holders.iter().enumerate() {
+                    for &(tb, mb) in holders.iter().skip(i + 1) {
+                        prop_assert!(ta != tb, "duplicate grant entries for {ta}");
+                        prop_assert!(
+                            ma.compatible(mb),
+                            "incompatible co-grants {ma}/{mb} on {r}"
+                        );
+                    }
+                }
+            }
+            // Invariant 2: held_mode agrees with the holders list.
+            for r in 0u8..4 {
+                let holders = lm.holders(&r);
+                for &(t, m) in &holders {
+                    prop_assert_eq!(lm.held_mode(t, &r), m);
+                }
+            }
+        }
+        // Invariant 3: releasing everything empties the table.
+        for t in 1u64..5 {
+            lm.release_all(TxnId(t));
+        }
+        prop_assert_eq!(lm.table_size(), 0);
+        prop_assert_eq!(lm.grant_count(), 0);
+    }
+
+    #[test]
+    fn held_mode_only_grows_within_txn(modes in proptest::collection::vec(
+        prop_oneof![Just(LockMode::IS), Just(LockMode::IX), Just(LockMode::S), Just(LockMode::SIX), Just(LockMode::X)],
+        1..10,
+    )) {
+        // A single transaction repeatedly locking one resource: its held
+        // mode is the running join of all requested modes.
+        let lm: LockManager<u8> = LockManager::new();
+        let t = TxnId(1);
+        let mut expected = LockMode::NL;
+        for m in modes {
+            lm.acquire(t, 0, m, LockRequestOptions::default()).unwrap();
+            expected = expected.join(m);
+            prop_assert_eq!(lm.held_mode(t, &0), expected);
+        }
+    }
+
+    #[test]
+    fn stats_requests_match_command_count(n in 1usize..30) {
+        let lm: LockManager<u8> = LockManager::new();
+        for i in 0..n {
+            let _ = lm.acquire(
+                TxnId(1),
+                (i % 4) as u8,
+                LockMode::IS,
+                LockRequestOptions::try_lock(),
+            );
+        }
+        prop_assert_eq!(lm.stats().snapshot().requests, n as u64);
+    }
+}

@@ -1,0 +1,129 @@
+//! Fluent builders for database schemas.
+
+use crate::schema::{DatabaseSchema, RelationSchema, SegmentSchema};
+use crate::types::{AttrType, Attribute};
+use crate::Result;
+
+/// Builds a [`DatabaseSchema`] incrementally and validates it on `finish`.
+#[derive(Debug, Clone)]
+pub struct DatabaseBuilder {
+    name: String,
+    segments: Vec<SegmentSchema>,
+    relations: Vec<RelationSchema>,
+}
+
+impl DatabaseBuilder {
+    /// Starts a database schema.
+    pub fn new(name: impl Into<String>) -> Self {
+        DatabaseBuilder { name: name.into(), segments: Vec::new(), relations: Vec::new() }
+    }
+
+    /// Adds a segment.
+    pub fn segment(mut self, name: impl Into<String>) -> Self {
+        self.segments.push(SegmentSchema { name: name.into() });
+        self
+    }
+
+    /// Adds a finished relation.
+    pub fn relation(mut self, relation: RelationSchema) -> Self {
+        self.relations.push(relation);
+        self
+    }
+
+    /// Validates and returns the schema.
+    pub fn finish(self) -> Result<DatabaseSchema> {
+        DatabaseSchema {
+            name: self.name,
+            segments: self.segments,
+            relations: self.relations,
+        }
+        .validate()
+    }
+}
+
+/// Builds one [`RelationSchema`].
+#[derive(Debug, Clone)]
+pub struct RelationBuilder {
+    name: String,
+    segment: String,
+    attributes: Vec<Attribute>,
+}
+
+impl RelationBuilder {
+    /// Starts a relation schema in the given segment.
+    pub fn new(name: impl Into<String>, segment: impl Into<String>) -> Self {
+        RelationBuilder { name: name.into(), segment: segment.into(), attributes: Vec::new() }
+    }
+
+    /// Adds an attribute (key inferred from the `_id` suffix).
+    pub fn attr(mut self, name: impl Into<String>, ty: AttrType) -> Self {
+        self.attributes.push(Attribute::new(name, ty));
+        self
+    }
+
+    /// Adds an explicitly keyed attribute.
+    pub fn key_attr(mut self, name: impl Into<String>, ty: AttrType) -> Self {
+        self.attributes.push(Attribute::key(name, ty));
+        self
+    }
+
+    /// Returns the relation schema (validated as part of the database).
+    pub fn finish(self) -> RelationSchema {
+        RelationSchema { name: self.name, segment: self.segment, attributes: self.attributes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::shorthand::*;
+
+    #[test]
+    fn builder_constructs_valid_fig1_schema() {
+        let db = DatabaseBuilder::new("db1")
+            .segment("seg1")
+            .segment("seg2")
+            .relation(
+                RelationBuilder::new("effectors", "seg2")
+                    .attr("eff_id", str_())
+                    .attr("tool", str_())
+                    .finish(),
+            )
+            .relation(
+                RelationBuilder::new("cells", "seg1")
+                    .attr("cell_id", str_())
+                    .attr(
+                        "c_objects",
+                        set(tuple(vec![attr("obj_id", str_()), attr("obj_name", str_())])),
+                    )
+                    .attr(
+                        "robots",
+                        list(tuple(vec![
+                            attr("robot_id", str_()),
+                            attr("trajectory", str_()),
+                            attr("effectors", set(ref_("effectors"))),
+                        ])),
+                    )
+                    .finish(),
+            )
+            .finish()
+            .unwrap();
+        assert_eq!(db.relations.len(), 2);
+        assert_eq!(db.relation("cells").unwrap().segment, "seg1");
+    }
+
+    #[test]
+    fn builder_propagates_validation_errors() {
+        let res = DatabaseBuilder::new("db")
+            .segment("s")
+            .relation(RelationBuilder::new("r", "s").attr("x", str_()).finish())
+            .finish();
+        assert!(res.is_err(), "missing key must be rejected");
+    }
+
+    #[test]
+    fn key_attr_overrides_convention() {
+        let r = RelationBuilder::new("r", "s").key_attr("name", str_()).finish();
+        assert!(r.attributes[0].key);
+    }
+}

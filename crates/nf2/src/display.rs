@@ -1,0 +1,132 @@
+//! Pretty printers: schema trees in the style of Fig. 1.
+
+use crate::schema::{DatabaseSchema, RelationSchema};
+use crate::types::{AttrType, Attribute};
+use std::fmt::Write;
+
+/// Renders a relation schema as an indented tree, marking S/L/T constructors
+/// and `ref` leaves, in the spirit of Fig. 1.
+pub fn relation_tree(rel: &RelationSchema) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Relation \"{}\" (segment {})", rel.name, rel.segment);
+    for a in &rel.attributes {
+        attr_tree(a, 1, &mut out);
+    }
+    out
+}
+
+/// Renders all relations of a database schema.
+pub fn database_tree(db: &DatabaseSchema) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Database \"{}\"", db.name);
+    for s in &db.segments {
+        let _ = writeln!(out, "  Segment \"{}\"", s.name);
+        for r in db.relations.iter().filter(|r| r.segment == s.name) {
+            for line in relation_tree(r).lines() {
+                let _ = writeln!(out, "    {line}");
+            }
+        }
+    }
+    out
+}
+
+fn attr_tree(attr: &Attribute, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    let marker = type_marker(&attr.ty);
+    let key = if attr.key { " [key]" } else { "" };
+    let _ = writeln!(out, "{pad}{} : {marker}{key}", attr.name);
+    type_children(&attr.ty, depth + 1, out);
+}
+
+fn type_marker(ty: &AttrType) -> String {
+    match ty {
+        AttrType::Atomic(a) => a.to_string(),
+        AttrType::Set(_) => "S".to_string(),
+        AttrType::List(_) => "L".to_string(),
+        AttrType::Tuple(_) => "T".to_string(),
+        AttrType::Ref(t) => format!("ref -> {t}"),
+    }
+}
+
+fn type_children(ty: &AttrType, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match ty {
+        AttrType::Set(e) | AttrType::List(e) => {
+            if let AttrType::Tuple(fields) = e.as_ref() {
+                let _ = writeln!(out, "{pad}T");
+                for f in fields {
+                    attr_tree(f, depth + 1, out);
+                }
+            } else {
+                let _ = writeln!(out, "{pad}{}", type_marker(e));
+                type_children(e, depth + 1, out);
+            }
+        }
+        AttrType::Tuple(fields) => {
+            for f in fields {
+                attr_tree(f, depth, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{DatabaseBuilder, RelationBuilder};
+    use crate::types::shorthand::*;
+
+    fn fig1() -> DatabaseSchema {
+        DatabaseBuilder::new("db1")
+            .segment("seg1")
+            .segment("seg2")
+            .relation(
+                RelationBuilder::new("effectors", "seg2")
+                    .attr("eff_id", str_())
+                    .attr("tool", str_())
+                    .finish(),
+            )
+            .relation(
+                RelationBuilder::new("cells", "seg1")
+                    .attr("cell_id", str_())
+                    .attr(
+                        "c_objects",
+                        set(tuple(vec![attr("obj_id", str_()), attr("obj_name", str_())])),
+                    )
+                    .attr(
+                        "robots",
+                        list(tuple(vec![
+                            attr("robot_id", str_()),
+                            attr("trajectory", str_()),
+                            attr("effectors", set(ref_("effectors"))),
+                        ])),
+                    )
+                    .finish(),
+            )
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn relation_tree_contains_all_nodes() {
+        let db = fig1();
+        let tree = relation_tree(db.relation("cells").unwrap());
+        for needle in
+            ["cell_id", "c_objects : S", "obj_id", "obj_name", "robots : L", "trajectory",
+             "effectors : S", "ref -> effectors", "[key]"]
+        {
+            assert!(tree.contains(needle), "missing {needle:?} in:\n{tree}");
+        }
+    }
+
+    #[test]
+    fn database_tree_groups_by_segment() {
+        let out = database_tree(&fig1());
+        let seg1 = out.find("Segment \"seg1\"").unwrap();
+        let seg2 = out.find("Segment \"seg2\"").unwrap();
+        let cells = out.find("Relation \"cells\"").unwrap();
+        let eff = out.find("Relation \"effectors\"").unwrap();
+        assert!(seg1 < cells && cells < seg2 && seg2 < eff);
+    }
+}

@@ -1,0 +1,147 @@
+//! Error type for schema and value operations.
+
+use std::fmt;
+
+/// Errors raised by schema construction, validation and value type checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Nf2Error {
+    /// A relation name was used twice within one database schema.
+    DuplicateRelation(String),
+    /// A segment name was used twice within one database schema.
+    DuplicateSegment(String),
+    /// An attribute name was used twice within one tuple type.
+    DuplicateAttribute(String),
+    /// A reference targets a relation that does not exist in the schema.
+    UnknownRefTarget {
+        /// The relation containing the reference.
+        relation: String,
+        /// The missing target relation.
+        target: String,
+    },
+    /// The schema contains a reference cycle; the paper restricts itself to
+    /// *non-recursive* complex objects (§2), so cycles are rejected.
+    RecursiveSchema {
+        /// The offending cycle (first == last).
+        cycle: Vec<String>,
+    },
+    /// A relation was placed in a segment that does not exist.
+    UnknownSegment {
+        /// The relation.
+        relation: String,
+        /// The missing segment.
+        segment: String,
+    },
+    /// A relation has no key attribute (suffix `_id` convention of Fig. 1 or
+    /// explicitly flagged).
+    MissingKey(String),
+    /// A key attribute has a non-atomic type.
+    NonAtomicKey {
+        /// The relation.
+        relation: String,
+        /// The offending key attribute.
+        attribute: String,
+    },
+    /// A value did not match the schema type at the given path.
+    TypeMismatch {
+        /// Where in the value the mismatch occurred.
+        path: String,
+        /// The expected type.
+        expected: String,
+        /// What was found instead.
+        found: String,
+    },
+    /// A path step did not resolve against the schema.
+    BadPath {
+        /// The full path.
+        path: String,
+        /// The step that failed to resolve.
+        step: String,
+    },
+    /// A relation lookup failed.
+    UnknownRelation(String),
+    /// An attribute lookup failed.
+    UnknownAttribute {
+        /// The relation searched.
+        relation: String,
+        /// The missing attribute.
+        attribute: String,
+    },
+    /// A set value contains two elements with the same key.
+    DuplicateSetKey {
+        /// The set's path.
+        path: String,
+        /// The duplicated key.
+        key: String,
+    },
+}
+
+impl fmt::Display for Nf2Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Nf2Error::DuplicateRelation(n) => write!(f, "duplicate relation `{n}`"),
+            Nf2Error::DuplicateSegment(n) => write!(f, "duplicate segment `{n}`"),
+            Nf2Error::DuplicateAttribute(n) => write!(f, "duplicate attribute `{n}`"),
+            Nf2Error::UnknownRefTarget { relation, target } => {
+                write!(f, "relation `{relation}` references unknown relation `{target}`")
+            }
+            Nf2Error::RecursiveSchema { cycle } => {
+                write!(f, "schema is recursive (cycle: {})", cycle.join(" -> "))
+            }
+            Nf2Error::UnknownSegment { relation, segment } => {
+                write!(f, "relation `{relation}` placed in unknown segment `{segment}`")
+            }
+            Nf2Error::MissingKey(r) => write!(f, "relation `{r}` has no key attribute"),
+            Nf2Error::NonAtomicKey { relation, attribute } => {
+                write!(f, "key attribute `{attribute}` of `{relation}` is not atomic")
+            }
+            Nf2Error::TypeMismatch { path, expected, found } => {
+                write!(f, "type mismatch at `{path}`: expected {expected}, found {found}")
+            }
+            Nf2Error::BadPath { path, step } => {
+                write!(f, "path `{path}`: step `{step}` does not resolve")
+            }
+            Nf2Error::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            Nf2Error::UnknownAttribute { relation, attribute } => {
+                write!(f, "unknown attribute `{attribute}` in relation `{relation}`")
+            }
+            Nf2Error::DuplicateSetKey { path, key } => {
+                write!(f, "duplicate key `{key}` in set at `{path}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Nf2Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Nf2Error::UnknownRefTarget {
+            relation: "cells".into(),
+            target: "effectors".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("cells") && s.contains("effectors"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            Nf2Error::DuplicateRelation("a".into()),
+            Nf2Error::DuplicateRelation("a".into())
+        );
+        assert_ne!(
+            Nf2Error::DuplicateRelation("a".into()),
+            Nf2Error::DuplicateSegment("a".into())
+        );
+    }
+
+    #[test]
+    fn cycle_display_joins_arrow() {
+        let e = Nf2Error::RecursiveSchema { cycle: vec!["a".into(), "b".into(), "a".into()] };
+        assert_eq!(e.to_string(), "schema is recursive (cycle: a -> b -> a)");
+    }
+}

@@ -1,0 +1,205 @@
+//! Schema-level attribute paths.
+//!
+//! A path such as `cells.robots.trajectory` names a node of the schema tree of
+//! Fig. 1 (and hence a node of the object-specific lock graph of Fig. 5).
+//! Paths step *through* set/list constructors implicitly: `robots` names the
+//! HoLU (the list as a whole); `robots.trajectory` names the `trajectory` BLU
+//! inside the list's element tuples.
+
+use crate::error::Nf2Error;
+use crate::schema::RelationSchema;
+use crate::types::AttrType;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dot-separated attribute path relative to a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AttrPath {
+    steps: Vec<String>,
+}
+
+impl AttrPath {
+    /// The empty path (names the complex object itself).
+    pub fn root() -> Self {
+        AttrPath { steps: Vec::new() }
+    }
+
+    /// Parses a dot-separated path; an empty string is the root path.
+    pub fn parse(s: &str) -> Self {
+        if s.is_empty() {
+            return Self::root();
+        }
+        AttrPath { steps: s.split('.').map(|p| p.to_string()).collect() }
+    }
+
+    /// Builds a path from steps.
+    pub fn from_steps(steps: Vec<String>) -> Self {
+        AttrPath { steps }
+    }
+
+    /// The steps of the path.
+    pub fn steps(&self) -> &[String] {
+        &self.steps
+    }
+
+    /// Whether this is the root path.
+    pub fn is_root(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Extends the path by one step.
+    pub fn child(&self, step: &str) -> Self {
+        let mut steps = self.steps.clone();
+        steps.push(step.to_string());
+        AttrPath { steps }
+    }
+
+    /// The parent path, or `None` at the root.
+    pub fn parent(&self) -> Option<Self> {
+        if self.steps.is_empty() {
+            None
+        } else {
+            Some(AttrPath { steps: self.steps[..self.steps.len() - 1].to_vec() })
+        }
+    }
+
+    /// `true` if `self` is a (non-strict) prefix of `other`.
+    pub fn is_prefix_of(&self, other: &AttrPath) -> bool {
+        other.steps.len() >= self.steps.len()
+            && self.steps.iter().zip(&other.steps).all(|(a, b)| a == b)
+    }
+
+    /// Resolves the path against a relation schema, returning the type of the
+    /// named node. Set/list constructors are stepped through implicitly: a
+    /// step from a `Set(Tuple{…})` attribute resolves inside the element
+    /// tuple.
+    pub fn resolve<'s>(&self, relation: &'s RelationSchema) -> Result<&'s AttrType> {
+        // The root path has no single AttrType (it is the relation's tuple
+        // type); callers that need it use `RelationSchema::tuple_type`.
+        let mut steps = self.steps.iter();
+        let first = steps.next().ok_or_else(|| Nf2Error::BadPath {
+            path: self.to_string(),
+            step: "<root>".to_string(),
+        })?;
+        let mut cur: &AttrType = &relation
+            .attribute(first)
+            .ok_or_else(|| Nf2Error::UnknownAttribute {
+                relation: relation.name.clone(),
+                attribute: first.clone(),
+            })?
+            .ty;
+        for step in steps {
+            cur = resolve_step(cur, step).ok_or_else(|| Nf2Error::BadPath {
+                path: self.to_string(),
+                step: step.clone(),
+            })?;
+        }
+        Ok(cur)
+    }
+}
+
+/// Resolves one path step from `ty`, stepping through set/list constructors.
+pub fn resolve_step<'a>(ty: &'a AttrType, step: &str) -> Option<&'a AttrType> {
+    match ty {
+        AttrType::Tuple(fields) => fields.iter().find(|f| f.name == step).map(|f| &f.ty),
+        AttrType::Set(e) | AttrType::List(e) => resolve_step(e, step),
+        _ => None,
+    }
+}
+
+impl fmt::Display for AttrPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.steps.is_empty() {
+            f.write_str("<root>")
+        } else {
+            f.write_str(&self.steps.join("."))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::shorthand::*;
+
+    fn cells() -> RelationSchema {
+        RelationSchema {
+            name: "cells".into(),
+            segment: "seg1".into(),
+            attributes: vec![
+                attr("cell_id", str_()),
+                attr(
+                    "c_objects",
+                    set(tuple(vec![attr("obj_id", str_()), attr("obj_name", str_())])),
+                ),
+                attr(
+                    "robots",
+                    list(tuple(vec![
+                        attr("robot_id", str_()),
+                        attr("trajectory", str_()),
+                        attr("effectors", set(ref_("effectors"))),
+                    ])),
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn resolves_top_level_attribute() {
+        let c = cells();
+        assert_eq!(AttrPath::parse("cell_id").resolve(&c).unwrap(), &str_());
+    }
+
+    #[test]
+    fn steps_through_set_into_element_tuple() {
+        let c = cells();
+        assert_eq!(AttrPath::parse("c_objects.obj_name").resolve(&c).unwrap(), &str_());
+        assert_eq!(
+            AttrPath::parse("robots.effectors").resolve(&c).unwrap(),
+            &set(ref_("effectors"))
+        );
+    }
+
+    #[test]
+    fn bad_step_reports_the_step() {
+        let c = cells();
+        match AttrPath::parse("robots.nope").resolve(&c).unwrap_err() {
+            Nf2Error::BadPath { step, .. } => assert_eq!(step, "nope"),
+            e => panic!("{e:?}"),
+        }
+        assert!(matches!(
+            AttrPath::parse("missing").resolve(&c).unwrap_err(),
+            Nf2Error::UnknownAttribute { .. }
+        ));
+    }
+
+    #[test]
+    fn root_path_behaviour() {
+        let p = AttrPath::root();
+        assert!(p.is_root());
+        assert!(p.parent().is_none());
+        assert_eq!(p.to_string(), "<root>");
+        assert!(p.resolve(&cells()).is_err());
+        assert_eq!(AttrPath::parse(""), AttrPath::root());
+    }
+
+    #[test]
+    fn prefix_and_child_relations() {
+        let robots = AttrPath::parse("robots");
+        let traj = robots.child("trajectory");
+        assert_eq!(traj.to_string(), "robots.trajectory");
+        assert!(robots.is_prefix_of(&traj));
+        assert!(!traj.is_prefix_of(&robots));
+        assert!(AttrPath::root().is_prefix_of(&robots));
+        assert_eq!(traj.parent(), Some(robots));
+    }
+
+    #[test]
+    fn cannot_step_into_atomic() {
+        let c = cells();
+        assert!(AttrPath::parse("cell_id.x").resolve(&c).is_err());
+        // refs are opaque at the schema level of the *referencing* relation
+        assert!(AttrPath::parse("robots.effectors.tool").resolve(&c).is_err());
+    }
+}

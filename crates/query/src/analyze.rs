@@ -1,0 +1,503 @@
+//! Semantic analysis: binding range variables, extracting key predicates and
+//! accessed attribute paths (§4.1: "Each query to be processed is first
+//! analyzed to find out which attributes will be accessed, and which kind of
+//! access (read, update, …) will be done").
+//!
+//! Key-equality predicates (`c.cell_id = 'c1'`, `r.robot_id = 'r1'`) are
+//! treated as *addressing*: they select the object/element directly and do
+//! not themselves generate data locks — which is exactly why Fig. 7 shows no
+//! S lock on the `cell_id` BLU for Q2. All other accessed attributes
+//! (projections, update targets, non-key predicates) are lockable accesses.
+
+use crate::ast::*;
+use crate::error::QueryError;
+use crate::Result;
+use colock_core::optimizer::AccessEstimate;
+use colock_core::AccessMode;
+use colock_nf2::{AttrPath, AttrType, Catalog, ObjectKey, Value};
+
+/// A range variable bound against the schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundRange {
+    /// Variable name.
+    pub var: String,
+    /// The relation the variable ultimately ranges within.
+    pub relation: String,
+    /// Parent variable for dependent ranges.
+    pub parent: Option<String>,
+    /// Schema path from the complex-object root to the ranged container
+    /// (empty for relation ranges).
+    pub path: AttrPath,
+    /// Key attribute of the ranged tuples, if any.
+    pub key_attr: Option<String>,
+    /// Key value from an equality predicate, if the WHERE clause pins one.
+    pub key_predicate: Option<ObjectKey>,
+}
+
+/// One lockable access discovered in the query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Access {
+    /// The variable it hangs off.
+    pub var: String,
+    /// Absolute schema path from the object root (may equal the range path
+    /// for whole-element access).
+    pub path: AttrPath,
+    /// Read or update.
+    pub mode: AccessMode,
+    /// Whether the access targets whole elements of the ranged container
+    /// (projection `SELECT r`) rather than an attribute below them.
+    pub whole_element: bool,
+}
+
+/// Result of analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    /// Bound ranges, outermost first.
+    pub ranges: Vec<BoundRange>,
+    /// Lockable accesses.
+    pub accesses: Vec<Access>,
+    /// Optimizer inputs derived from the accesses and catalog statistics.
+    pub estimates: Vec<AccessEstimate>,
+}
+
+impl Analysis {
+    /// The bound range for a variable.
+    pub fn range(&self, var: &str) -> Option<&BoundRange> {
+        self.ranges.iter().find(|r| r.var == var)
+    }
+}
+
+/// Analyzes a statement against the catalog.
+pub fn analyze(catalog: &Catalog, stmt: &Statement) -> Result<Analysis> {
+    let (ranges, condition, accesses_raw) = match stmt {
+        Statement::Select(q) => {
+            let mut acc = Vec::new();
+            for proj in &q.projections {
+                acc.push((operand_path(proj)?, mode_of(q.for_clause)));
+            }
+            (&q.ranges, &q.condition, acc)
+        }
+        Statement::Update { target, ranges, condition, .. } => {
+            let acc = vec![(operand_path(target)?, AccessMode::Update)];
+            (ranges, condition, acc)
+        }
+        Statement::Delete { var, ranges, condition } => {
+            let acc = vec![((var.clone(), Vec::new()), AccessMode::Update)];
+            (ranges, condition, acc)
+        }
+        Statement::Insert { relation, .. } => {
+            // Inserts have no ranges; the executor locks the new object.
+            catalog
+                .schema()
+                .relation(relation)
+                .map_err(|e| QueryError::Analysis(e.to_string()))?;
+            return Ok(Analysis { ranges: Vec::new(), accesses: Vec::new(), estimates: Vec::new() });
+        }
+    };
+
+    let mut bound = bind_ranges(catalog, ranges)?;
+    extract_key_predicates(catalog, &mut bound, condition.as_ref());
+
+    let mut accesses = Vec::new();
+    // Projection / update / delete target.
+    for ((var, subpath), mode) in accesses_raw {
+        if var == "*" {
+            let first = bound
+                .first()
+                .ok_or_else(|| QueryError::Analysis("no range for *".into()))?;
+            accesses.push(Access {
+                var: first.var.clone(),
+                path: first.path.clone(),
+                mode,
+                whole_element: true,
+            });
+            continue;
+        }
+        let range = bound
+            .iter()
+            .find(|r| r.var == var)
+            .ok_or_else(|| QueryError::Analysis(format!("unknown variable `{var}`")))?;
+        let mut path = range.path.clone();
+        for s in &subpath {
+            path = path.child(s);
+        }
+        // Validate the path resolves (unless it is the object root).
+        if !path.is_root() {
+            let rel = catalog
+                .schema()
+                .relation(&range.relation)
+                .map_err(|e| QueryError::Analysis(e.to_string()))?;
+            path.resolve(rel)
+                .map_err(|e| QueryError::Analysis(e.to_string()))?;
+        }
+        accesses.push(Access {
+            var: var.clone(),
+            path,
+            mode,
+            whole_element: subpath.is_empty(),
+        });
+    }
+
+    // Non-key predicate attributes are read accesses.
+    if let Some(cond) = condition {
+        collect_predicate_accesses(catalog, &bound, cond, &mut accesses)?;
+    }
+
+    let estimates = build_estimates(catalog, &bound, &accesses);
+    Ok(Analysis { ranges: bound, accesses, estimates })
+}
+
+fn mode_of(f: ForClause) -> AccessMode {
+    match f {
+        ForClause::Read => AccessMode::Read,
+        ForClause::Update => AccessMode::Update,
+    }
+}
+
+fn operand_path(op: &Operand) -> Result<(String, Vec<String>)> {
+    match op {
+        Operand::Path { var, path } => Ok((var.clone(), path.clone())),
+        Operand::Literal(_) => Err(QueryError::Analysis("expected a path, found literal".into())),
+    }
+}
+
+fn bind_ranges(catalog: &Catalog, ranges: &[RangeDecl]) -> Result<Vec<BoundRange>> {
+    let mut bound: Vec<BoundRange> = Vec::new();
+    for r in ranges {
+        match &r.source {
+            RangeSource::Relation(rel) => {
+                let schema = catalog
+                    .schema()
+                    .relation(rel)
+                    .map_err(|e| QueryError::Analysis(e.to_string()))?;
+                bound.push(BoundRange {
+                    var: r.var.clone(),
+                    relation: rel.clone(),
+                    parent: None,
+                    path: AttrPath::root(),
+                    key_attr: schema.key_attribute().map(|a| a.name.clone()),
+                    key_predicate: None,
+                });
+            }
+            RangeSource::Path { parent, path } => {
+                let parent_range = bound
+                    .iter()
+                    .find(|b| &b.var == parent)
+                    .ok_or_else(|| {
+                        QueryError::Analysis(format!("unknown parent variable `{parent}`"))
+                    })?
+                    .clone();
+                let mut abs = parent_range.path.clone();
+                for s in path {
+                    abs = abs.child(s);
+                }
+                let rel = catalog
+                    .schema()
+                    .relation(&parent_range.relation)
+                    .map_err(|e| QueryError::Analysis(e.to_string()))?;
+                let ty = abs.resolve(rel).map_err(|e| QueryError::Analysis(e.to_string()))?;
+                if !ty.is_homogeneous() {
+                    return Err(QueryError::Analysis(format!(
+                        "`{}` does not range over a set/list",
+                        r.var
+                    )));
+                }
+                let key_attr = ty.element().and_then(|e| match e {
+                    AttrType::Tuple(fields) => {
+                        fields.iter().find(|a| a.key).map(|a| a.name.clone())
+                    }
+                    _ => None,
+                });
+                bound.push(BoundRange {
+                    var: r.var.clone(),
+                    relation: parent_range.relation.clone(),
+                    parent: Some(parent.clone()),
+                    path: abs,
+                    key_attr,
+                    key_predicate: None,
+                });
+            }
+        }
+    }
+    Ok(bound)
+}
+
+/// Walks the top-level conjunction extracting `var.key = literal` predicates.
+fn extract_key_predicates(
+    _catalog: &Catalog,
+    bound: &mut [BoundRange],
+    cond: Option<&Condition>,
+) {
+    fn walk(cond: &Condition, bound: &mut [BoundRange]) {
+        match cond {
+            Condition::And(a, b) => {
+                walk(a, bound);
+                walk(b, bound);
+            }
+            Condition::Cmp { left, op: Comparison::Eq, right } => {
+                let (path_op, lit) = match (left, right) {
+                    (Operand::Path { .. }, Operand::Literal(v)) => (left, v),
+                    (Operand::Literal(v), Operand::Path { .. }) => (right, v),
+                    _ => return,
+                };
+                let Operand::Path { var, path } = path_op else {
+                    return;
+                };
+                if path.len() != 1 {
+                    return;
+                }
+                let Some(range) = bound.iter_mut().find(|r| &r.var == var) else {
+                    return;
+                };
+                if range.key_attr.as_deref() == Some(path[0].as_str()) {
+                    if let Some(k) = lit.as_key() {
+                        range.key_predicate = Some(k);
+                    }
+                }
+            }
+            // OR / NOT branches cannot pin keys soundly.
+            _ => {}
+        }
+    }
+    if let Some(c) = cond {
+        walk(c, bound);
+    }
+}
+
+/// Adds read accesses for non-key predicate attributes.
+fn collect_predicate_accesses(
+    catalog: &Catalog,
+    bound: &[BoundRange],
+    cond: &Condition,
+    out: &mut Vec<Access>,
+) -> Result<()> {
+    match cond {
+        Condition::And(a, b) | Condition::Or(a, b) => {
+            collect_predicate_accesses(catalog, bound, a, out)?;
+            collect_predicate_accesses(catalog, bound, b, out)?;
+        }
+        Condition::Not(c) => collect_predicate_accesses(catalog, bound, c, out)?,
+        Condition::Cmp { left, op, right } => {
+            for operand in [left, right] {
+                let Operand::Path { var, path } = operand else {
+                    continue;
+                };
+                let Some(range) = bound.iter().find(|r| &r.var == var) else {
+                    return Err(QueryError::Analysis(format!("unknown variable `{var}`")));
+                };
+                // Key-equality addressing generates no lockable access.
+                let is_key_addressing = *op == Comparison::Eq
+                    && path.len() == 1
+                    && range.key_attr.as_deref() == Some(path[0].as_str())
+                    && range.key_predicate.is_some();
+                if is_key_addressing {
+                    continue;
+                }
+                let mut abs = range.path.clone();
+                for s in path {
+                    abs = abs.child(s);
+                }
+                if !abs.is_root() {
+                    let rel = catalog
+                        .schema()
+                        .relation(&range.relation)
+                        .map_err(|e| QueryError::Analysis(e.to_string()))?;
+                    abs.resolve(rel).map_err(|e| QueryError::Analysis(e.to_string()))?;
+                }
+                if !out.iter().any(|a| a.var == *var && a.path == abs) {
+                    out.push(Access {
+                        var: var.clone(),
+                        path: abs,
+                        mode: AccessMode::Read,
+                        whole_element: false,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Builds optimizer estimates from bound ranges + accesses + statistics.
+fn build_estimates(catalog: &Catalog, bound: &[BoundRange], accesses: &[Access]) -> Vec<AccessEstimate> {
+    accesses
+        .iter()
+        .map(|a| {
+            let range = bound.iter().find(|r| r.var == a.var);
+            let object_var = range.map(|r| outermost(bound, r)).unwrap_or(None);
+            let objects_expected = match object_var {
+                Some(ov) if ov.key_predicate.is_some() => 1.0,
+                _ => catalog
+                    .relation_stats(range.map(|r| r.relation.as_str()).unwrap_or(""))
+                    .cardinality
+                    .max(1) as f64,
+            };
+            let elems_expected = match range {
+                Some(r) if r.path.is_root() => 1.0, // the object itself
+                Some(r) if r.key_predicate.is_some() => 1.0,
+                Some(r) => catalog
+                    .estimated_instances(&r.relation, &r.path)
+                    .unwrap_or(1.0),
+                None => 1.0,
+            };
+            AccessEstimate {
+                relation: range.map(|r| r.relation.clone()).unwrap_or_default(),
+                path: a.path.clone(),
+                access: a.mode,
+                objects_expected,
+                elems_expected,
+            }
+        })
+        .collect()
+}
+
+fn outermost<'b>(bound: &'b [BoundRange], r: &'b BoundRange) -> Option<&'b BoundRange> {
+    let mut cur = r;
+    while let Some(parent) = &cur.parent {
+        cur = bound.iter().find(|b| &b.var == parent)?;
+    }
+    Some(cur)
+}
+
+/// Evaluates an operand against variable bindings (used by the executor; the
+/// function lives here to keep path semantics in one place).
+pub fn eval_operand(
+    bindings: &[(String, Value)],
+    op: &Operand,
+) -> std::result::Result<Value, QueryError> {
+    match op {
+        Operand::Literal(v) => Ok(v.clone()),
+        Operand::Path { var, path } => {
+            let (_, base) = bindings
+                .iter()
+                .find(|(v, _)| v == var)
+                .ok_or_else(|| QueryError::Execution(format!("unbound variable `{var}`")))?;
+            let mut cur = base;
+            for step in path {
+                cur = cur.field(step).ok_or_else(|| {
+                    QueryError::Execution(format!("no field `{step}` in `{var}`"))
+                })?;
+            }
+            Ok(cur.clone())
+        }
+    }
+}
+
+/// Evaluates a condition against bindings.
+pub fn eval_condition(
+    bindings: &[(String, Value)],
+    cond: &Condition,
+) -> std::result::Result<bool, QueryError> {
+    match cond {
+        Condition::Cmp { left, op, right } => {
+            let l = eval_operand(bindings, left)?;
+            let r = eval_operand(bindings, right)?;
+            Ok(op.eval(&l, &r))
+        }
+        Condition::And(a, b) => Ok(eval_condition(bindings, a)? && eval_condition(bindings, b)?),
+        Condition::Or(a, b) => Ok(eval_condition(bindings, a)? || eval_condition(bindings, b)?),
+        Condition::Not(c) => Ok(!eval_condition(bindings, c)?),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use colock_core::fixtures::fig1_catalog;
+
+    fn analyzed(q: &str) -> Analysis {
+        analyze(&fig1_catalog(), &parse(q).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn q2_binds_ranges_and_keys() {
+        let a = analyzed(
+            "SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id = 'c1' AND r.robot_id = 'r1' FOR UPDATE",
+        );
+        let c = a.range("c").unwrap();
+        assert_eq!(c.relation, "cells");
+        assert_eq!(c.key_predicate, Some(ObjectKey::from("c1")));
+        let r = a.range("r").unwrap();
+        assert_eq!(r.path.to_string(), "robots");
+        assert_eq!(r.key_attr.as_deref(), Some("robot_id"));
+        assert_eq!(r.key_predicate, Some(ObjectKey::from("r1")));
+        // Only the projection access (key predicates are addressing).
+        assert_eq!(a.accesses.len(), 1);
+        assert_eq!(a.accesses[0].mode, AccessMode::Update);
+        assert!(a.accesses[0].whole_element);
+    }
+
+    #[test]
+    fn non_key_predicate_becomes_read_access() {
+        let a = analyzed(
+            "SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id = 'c1' AND r.trajectory = 't1' FOR UPDATE",
+        );
+        let paths: Vec<String> = a.accesses.iter().map(|x| x.path.to_string()).collect();
+        assert!(paths.contains(&"robots.trajectory".to_string()), "{paths:?}");
+        let r = a.range("r").unwrap();
+        assert!(r.key_predicate.is_none());
+    }
+
+    #[test]
+    fn key_in_or_branch_is_not_addressing() {
+        let a = analyzed(
+            "SELECT c FROM c IN cells WHERE c.cell_id = 'c1' OR c.cell_id = 'c2' FOR READ",
+        );
+        assert!(a.range("c").unwrap().key_predicate.is_none());
+    }
+
+    #[test]
+    fn unknown_variable_rejected() {
+        let e = analyze(
+            &fig1_catalog(),
+            &parse("SELECT x FROM c IN cells FOR READ").unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(e, QueryError::Analysis(_)));
+    }
+
+    #[test]
+    fn bad_range_path_rejected() {
+        let e = analyze(
+            &fig1_catalog(),
+            &parse("SELECT r FROM c IN cells, r IN c.cell_id FOR READ").unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(e, QueryError::Analysis(_)));
+    }
+
+    #[test]
+    fn estimates_reflect_key_predicates() {
+        let mut cat = fig1_catalog();
+        cat.relation_stats_mut("cells").cardinality = 50;
+        cat.record_cardinality("cells", "robots", 4.0);
+        let keyed = analyze(
+            &cat,
+            &parse("SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id='c1' AND r.robot_id='r1' FOR UPDATE").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(keyed.estimates[0].objects_expected, 1.0);
+        assert_eq!(keyed.estimates[0].elems_expected, 1.0);
+
+        let scan = analyze(
+            &cat,
+            &parse("SELECT r FROM c IN cells, r IN c.robots FOR READ").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(scan.estimates[0].objects_expected, 50.0);
+        assert_eq!(scan.estimates[0].elems_expected, 4.0);
+    }
+
+    #[test]
+    fn condition_evaluation() {
+        use colock_nf2::value::build::tup;
+        let bindings = vec![(
+            "r".to_string(),
+            tup(vec![("robot_id", Value::str("r1")), ("n", Value::Int(5))]),
+        )];
+        let cond = parse("SELECT r FROM c IN cells WHERE r.robot_id = 'r1' AND r.n > 3 FOR READ");
+        let Statement::Select(q) = cond.unwrap() else { panic!() };
+        assert!(eval_condition(&bindings, &q.condition.unwrap()).unwrap());
+    }
+}

@@ -1,0 +1,55 @@
+//! Query errors.
+
+use std::fmt;
+
+/// Errors across the query pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Lexical error at a byte offset.
+    Lex {
+        /// Byte position in the input.
+        position: usize,
+        /// Description.
+        message: String,
+    },
+    /// Parse error.
+    Parse {
+        /// Token position (index).
+        position: usize,
+        /// Description.
+        message: String,
+    },
+    /// Semantic error (unknown variable, bad path, type mismatch, …).
+    Analysis(String),
+    /// Execution-time error (storage/locking) carried as text to keep the
+    /// crate decoupled; the executor also returns the structured error.
+    Execution(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { position, message } => write!(f, "lex error @{position}: {message}"),
+            QueryError::Parse { position, message } => {
+                write!(f, "parse error @token {position}: {message}")
+            }
+            QueryError::Analysis(m) => write!(f, "analysis error: {m}"),
+            QueryError::Execution(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(QueryError::Analysis("x".into()).to_string().contains("analysis"));
+        assert!(QueryError::Lex { position: 3, message: "bad".into() }
+            .to_string()
+            .contains("@3"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Tokenizer for the HDBL-flavoured language.
+
+use crate::error::QueryError;
+use crate::Result;
+use std::fmt;
+
+/// Tokens of the query language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword (uppercased).
+    Keyword(String),
+    /// Identifier (case-preserved).
+    Ident(String),
+    /// String literal (quotes removed).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `*`
+    Star,
+    /// `:`
+    Colon,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k}"),
+            Token::Ident(i) => write!(f, "{i}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Real(r) => write!(f, "{r}"),
+            Token::Comma => f.write_str(","),
+            Token::Dot => f.write_str("."),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::Eq => f.write_str("="),
+            Token::Neq => f.write_str("<>"),
+            Token::Lt => f.write_str("<"),
+            Token::Le => f.write_str("<="),
+            Token::Gt => f.write_str(">"),
+            Token::Ge => f.write_str(">="),
+            Token::Star => f.write_str("*"),
+            Token::Colon => f.write_str(":"),
+        }
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "FOR", "READ", "UPDATE", "IN", "AND", "OR", "DELETE", "SET",
+    "TRUE", "FALSE", "NOT", "INSERT", "INTO", "VALUES",
+];
+
+/// Tokenizes `input`.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token::Colon);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::Neq);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(QueryError::Lex {
+                        position: i,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                tokens.push(Token::Str(input[start..j].to_string()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let start = i;
+                let mut j = i + 1;
+                let mut is_real = false;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_ascii_digit() {
+                        j += 1;
+                    } else if d == '.' && !is_real && bytes.get(j + 1).is_some_and(|b| b.is_ascii_digit())
+                    {
+                        is_real = true;
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[start..j];
+                if is_real {
+                    let v = text.parse().map_err(|_| QueryError::Lex {
+                        position: start,
+                        message: format!("bad real literal `{text}`"),
+                    })?;
+                    tokens.push(Token::Real(v));
+                } else {
+                    let v = text.parse().map_err(|_| QueryError::Lex {
+                        position: start,
+                        message: format!("bad integer literal `{text}`"),
+                    })?;
+                    tokens.push(Token::Int(v));
+                }
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[start..j];
+                let upper = word.to_ascii_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    tokens.push(Token::Keyword(upper));
+                } else {
+                    tokens.push(Token::Ident(word.to_string()));
+                }
+                i = j;
+            }
+            other => {
+                return Err(QueryError::Lex {
+                    position: i,
+                    message: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_q2() {
+        let q = "SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id = 'c1' AND r.robot_id = 'r1' FOR UPDATE";
+        let t = tokenize(q).unwrap();
+        assert_eq!(t[0], Token::Keyword("SELECT".into()));
+        assert!(t.contains(&Token::Str("c1".into())));
+        assert!(t.contains(&Token::Keyword("UPDATE".into())));
+        assert!(t.contains(&Token::Dot));
+    }
+
+    #[test]
+    fn keywords_case_insensitive_identifiers_not() {
+        let t = tokenize("select Robots").unwrap();
+        assert_eq!(t[0], Token::Keyword("SELECT".into()));
+        assert_eq!(t[1], Token::Ident("Robots".into()));
+    }
+
+    #[test]
+    fn numbers_and_comparisons() {
+        let t = tokenize("x >= 10 AND y < 2.5 OR z <> -3").unwrap();
+        assert!(t.contains(&Token::Ge));
+        assert!(t.contains(&Token::Real(2.5)));
+        assert!(t.contains(&Token::Int(-3)));
+        assert!(t.contains(&Token::Neq));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(tokenize("WHERE a = 'oops"), Err(QueryError::Lex { .. })));
+    }
+
+    #[test]
+    fn unexpected_char_errors() {
+        assert!(matches!(tokenize("a ; b"), Err(QueryError::Lex { .. })));
+    }
+}

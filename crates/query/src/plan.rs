@@ -1,0 +1,199 @@
+//! Lock planning: analysis + optimizer → the query-specific lock graph.
+
+use crate::analyze::Analysis;
+use crate::ast::Statement;
+use crate::Result;
+use colock_core::optimizer::{Granularity, LockPlan, Optimizer};
+use colock_lockmgr::LockMode;
+use colock_nf2::Catalog;
+
+/// A fully planned query: statement, analysis and the query-specific lock
+/// graph (§4.1 steps 1–2; execution is step 3).
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// The statement.
+    pub statement: Statement,
+    /// Its analysis.
+    pub analysis: Analysis,
+    /// The query-specific lock graph: granule + mode per access.
+    pub lock_plan: LockPlan,
+}
+
+impl QueryPlan {
+    /// Renders the plan like a database EXPLAIN: ranges, accesses and the
+    /// query-specific lock graph (granule + mode per access).
+    pub fn explain(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "ranges:");
+        for r in &self.analysis.ranges {
+            let _ = writeln!(
+                out,
+                "  {} IN {}.{}{}",
+                r.var,
+                r.relation,
+                r.path,
+                match &r.key_predicate {
+                    Some(k) => format!("  [key = {k}]"),
+                    None => String::new(),
+                }
+            );
+        }
+        let _ = writeln!(out, "lock plan (query-specific lock graph):");
+        for (planned, access) in self.lock_plan.locks.iter().zip(&self.analysis.accesses) {
+            let _ = writeln!(
+                out,
+                "  {:?} {} on {}.{} (via {})",
+                planned.granularity, planned.mode, planned.relation, planned.path, access.var
+            );
+        }
+        if self.lock_plan.anticipated_escalations > 0 {
+            let _ = writeln!(
+                out,
+                "anticipated escalations: {}",
+                self.lock_plan.anticipated_escalations
+            );
+        }
+        out
+    }
+}
+
+/// Plans the lock requests for an analyzed statement.
+pub fn plan_locks(
+    catalog: &Catalog,
+    statement: Statement,
+    analysis: Analysis,
+    optimizer: &Optimizer,
+) -> Result<QueryPlan> {
+    let mut lock_plan = optimizer.plan(catalog, &analysis.estimates);
+    // Execution-side correction: `Elements` granularity is only realizable
+    // when the element keys are known before the data is read, i.e. when the
+    // range variable has a key predicate. Otherwise the subtree must be
+    // locked (there is nothing finer to address).
+    for (planned, access) in lock_plan.locks.iter_mut().zip(&analysis.accesses) {
+        if planned.granularity == Granularity::Elements {
+            let keyed = analysis
+                .range(&access.var)
+                .map(|r| r.key_predicate.is_some() || r.path.is_root())
+                .unwrap_or(false);
+            if !keyed {
+                planned.granularity = Granularity::Subtree;
+                // An unanticipated escalation forced at run time — exactly
+                // what the optimizer is measured on in E5.
+                lock_plan.anticipated_escalations += 1;
+            }
+        }
+        // Least-restrictive mode (§4.6 advantage 4): a scan-update reads the
+        // whole subtree but only updates the elements the predicate matches.
+        // SIX (= S + IX) covers exactly that; the matched elements get their
+        // X at update time (always safe — the write path X-locks each element
+        // it touches). A plain X on the subtree would needlessly exclude
+        // readers of untouched sibling elements.
+        if planned.granularity == Granularity::Subtree && planned.mode == LockMode::X {
+            let keyed = analysis
+                .range(&access.var)
+                .map(|r| r.key_predicate.is_some())
+                .unwrap_or(false);
+            if !keyed {
+                planned.mode = LockMode::SIX;
+            }
+        }
+    }
+    Ok(QueryPlan { statement, analysis, lock_plan })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use crate::parser::parse;
+    use colock_core::fixtures::fig1_catalog;
+
+    fn planned(q: &str, theta: f64, stats: impl FnOnce(&mut Catalog)) -> QueryPlan {
+        let mut cat = fig1_catalog();
+        stats(&mut cat);
+        let stmt = parse(q).unwrap();
+        let analysis = analyze(&cat, &stmt).unwrap();
+        plan_locks(&cat, stmt, analysis, &Optimizer::new(theta)).unwrap()
+    }
+
+    #[test]
+    fn q2_plans_single_element_x_lock() {
+        let p = planned(
+            "SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id='c1' AND r.robot_id='r1' FOR UPDATE",
+            16.0,
+            |c| {
+                c.relation_stats_mut("cells").cardinality = 10;
+                c.record_cardinality("cells", "robots", 4.0);
+            },
+        );
+        assert_eq!(p.lock_plan.locks.len(), 1);
+        let l = &p.lock_plan.locks[0];
+        assert_eq!(l.granularity, Granularity::Elements);
+        assert_eq!(l.mode, LockMode::X);
+    }
+
+    #[test]
+    fn unkeyed_element_scan_falls_back_to_subtree() {
+        let p = planned(
+            "SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id='c1' FOR READ",
+            16.0,
+            |c| {
+                c.record_cardinality("cells", "robots", 4.0);
+            },
+        );
+        let l = &p.lock_plan.locks[0];
+        assert_eq!(l.granularity, Granularity::Subtree);
+        assert_eq!(l.mode, LockMode::S);
+    }
+
+    #[test]
+    fn explain_renders_plan() {
+        let p = planned(
+            "SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id='c1' AND r.robot_id='r1' FOR UPDATE",
+            16.0,
+            |_| {},
+        );
+        let text = p.explain();
+        assert!(text.contains("c IN cells"), "{text}");
+        assert!(text.contains("[key = c1]"), "{text}");
+        assert!(text.contains("Elements X on cells.robots"), "{text}");
+    }
+
+    #[test]
+    fn unkeyed_scan_update_plans_six() {
+        // A scan-update reads every robot but updates only matches: the
+        // subtree gets SIX, not X.
+        let p = planned(
+            "UPDATE r.trajectory = 'v' FROM c IN cells, r IN c.robots WHERE c.cell_id='c1' AND r.trajectory = 'old'",
+            16.0,
+            |c| {
+                c.record_cardinality("cells", "robots", 4.0);
+            },
+        );
+        let l = &p.lock_plan.locks[0];
+        assert_eq!(l.granularity, Granularity::Subtree);
+        assert_eq!(l.mode, LockMode::SIX);
+    }
+
+    #[test]
+    fn full_relation_scan_escalates_to_relation() {
+        let p = planned("SELECT c FROM c IN cells FOR READ", 16.0, |c| {
+            c.relation_stats_mut("cells").cardinality = 1000;
+        });
+        assert_eq!(p.lock_plan.locks[0].granularity, Granularity::Relation);
+    }
+
+    #[test]
+    fn keyed_object_access_plans_object_granule() {
+        let p = planned(
+            "SELECT c FROM c IN cells WHERE c.cell_id = 'c1' FOR UPDATE",
+            16.0,
+            |c| {
+                c.relation_stats_mut("cells").cardinality = 1000;
+            },
+        );
+        assert_eq!(p.lock_plan.locks[0].granularity, Granularity::Object);
+        assert_eq!(p.lock_plan.locks[0].mode, LockMode::X);
+    }
+}

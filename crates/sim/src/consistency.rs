@@ -1,0 +1,497 @@
+//! History recording and conflict-serializability checking.
+//!
+//! The strongest validation of a lock protocol: record the reads and writes
+//! of concurrently executed transactions (each write installs a globally
+//! unique version, so reads identify exactly which write they observed),
+//! build the precedence graph over the committed transactions — wr, ww and
+//! rw conflicts — and check it is acyclic. Strict 2PL over the proposed
+//! protocol must always pass; the *relaxed* naive protocol (§3.2.2: implicit
+//! locks invisible from the side) produces provably non-serializable
+//! histories, which is the paper's inconsistency claim made mechanical.
+
+use crate::workload::cells::CellsConfig;
+use colock_core::{AccessMode, InstanceTarget};
+use colock_lockmgr::TxnId;
+use colock_nf2::Value;
+use colock_txn::{Transaction, TransactionManager, TxnKind};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A versioned data item (robot trajectory or effector tool).
+pub type Item = String;
+
+/// A version tag: who wrote it (`None` = initial load).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Version(pub Option<(TxnId, u64)>);
+
+impl Version {
+    fn parse(v: &Value) -> Version {
+        match v {
+            Value::Str(s) => {
+                let mut parts = s.split(':');
+                if parts.next() == Some("w") {
+                    let txn = parts.next().and_then(|t| t.parse().ok());
+                    let seq = parts.next().and_then(|t| t.parse().ok());
+                    if let (Some(txn), Some(seq)) = (txn, seq) {
+                        return Version(Some((TxnId(txn), seq)));
+                    }
+                }
+                Version(None)
+            }
+            _ => Version(None),
+        }
+    }
+
+    fn encode(txn: TxnId, seq: u64) -> Value {
+        Value::str(format!("w:{}:{}", txn.0, seq))
+    }
+}
+
+/// One operation of a history transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HOp {
+    /// S-lock one robot, read its trajectory.
+    ReadRobot {
+        /// Cell index.
+        cell: usize,
+        /// Robot index.
+        robot: usize,
+    },
+    /// X-lock one robot, overwrite its trajectory.
+    WriteRobot {
+        /// Cell index.
+        cell: usize,
+        /// Robot index.
+        robot: usize,
+    },
+    /// X-lock one effector directly ("from the side"), overwrite its tool.
+    WriteEffector {
+        /// Effector index.
+        effector: usize,
+    },
+    /// S-lock a robot, then read the tool of its first referenced effector
+    /// *without further locks* — trusting the protocol's implicit coverage
+    /// of common data. Exactly the access §3.2.2 worries about.
+    ReadEffectorViaRobot {
+        /// Cell index.
+        cell: usize,
+        /// Robot index.
+        robot: usize,
+    },
+}
+
+/// A recorded event.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A committed-transaction read observing a version.
+    Read {
+        /// Reader.
+        txn: TxnId,
+        /// Item read.
+        item: Item,
+        /// The version observed.
+        observed: Version,
+    },
+    /// A write installing a version.
+    Write {
+        /// Writer.
+        txn: TxnId,
+        /// Item written.
+        item: Item,
+        /// The installed version.
+        version: Version,
+    },
+}
+
+/// A recorded history.
+#[derive(Debug, Default)]
+pub struct History {
+    /// All events, in wall order.
+    pub events: Vec<Event>,
+    /// Committed transactions.
+    pub committed: HashSet<TxnId>,
+    /// Aborted transactions.
+    pub aborted: HashSet<TxnId>,
+}
+
+/// Why a history is bad.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A committed transaction read a version written by an aborted one.
+    DirtyRead {
+        /// The reader.
+        reader: TxnId,
+        /// The aborted writer.
+        writer: TxnId,
+        /// On which item.
+        item: Item,
+    },
+    /// The precedence graph has a cycle.
+    NotSerializable {
+        /// A cycle of committed transactions.
+        cycle: Vec<TxnId>,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::DirtyRead { reader, writer, item } => {
+                write!(f, "{reader} read aborted {writer}'s write of `{item}`")
+            }
+            Violation::NotSerializable { cycle } => {
+                let c: Vec<String> = cycle.iter().map(|t| t.to_string()).collect();
+                write!(f, "precedence cycle: {}", c.join(" -> "))
+            }
+        }
+    }
+}
+
+impl History {
+    /// Checks conflict-serializability of the committed transactions.
+    pub fn check(&self) -> Result<(), Violation> {
+        // Per-item committed write order (wall order of committed writes).
+        let mut write_log: HashMap<&str, Vec<(TxnId, Version)>> = HashMap::new();
+        for e in &self.events {
+            if let Event::Write { txn, item, version } = e {
+                if self.committed.contains(txn) {
+                    write_log.entry(item).or_default().push((*txn, version.clone()));
+                }
+            }
+        }
+        let mut edges: HashMap<TxnId, HashSet<TxnId>> = HashMap::new();
+        let mut add = |from: TxnId, to: TxnId| {
+            if from != to {
+                edges.entry(from).or_default().insert(to);
+            }
+        };
+        // ww edges along each item's write log.
+        for log in write_log.values() {
+            for pair in log.windows(2) {
+                add(pair[0].0, pair[1].0);
+            }
+        }
+        // wr and rw edges from reads.
+        for e in &self.events {
+            let Event::Read { txn, item, observed } = e else {
+                continue;
+            };
+            if !self.committed.contains(txn) {
+                continue;
+            }
+            if let Version(Some((writer, _))) = observed {
+                if self.aborted.contains(writer) {
+                    return Err(Violation::DirtyRead {
+                        reader: *txn,
+                        writer: *writer,
+                        item: item.clone(),
+                    });
+                }
+                add(*writer, *txn); // wr
+            }
+            // rw: reader precedes the next committed writer of the item.
+            if let Some(log) = write_log.get(item.as_str()) {
+                let idx = match observed {
+                    Version(Some(_)) => log.iter().position(|(_, v)| v == observed),
+                    Version(None) => None,
+                };
+                let next = match idx {
+                    Some(i) => log.get(i + 1),
+                    // Observed the initial version: every committed writer
+                    // comes after the read.
+                    None => log.first(),
+                };
+                if let Some((next_writer, _)) = next {
+                    add(*txn, *next_writer);
+                }
+            }
+        }
+        // Cycle detection (DFS, three colors).
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let nodes: Vec<TxnId> = self.committed.iter().copied().collect();
+        let mut marks: HashMap<TxnId, Mark> = nodes.iter().map(|&n| (n, Mark::White)).collect();
+        fn dfs(
+            node: TxnId,
+            edges: &HashMap<TxnId, HashSet<TxnId>>,
+            marks: &mut HashMap<TxnId, Mark>,
+            stack: &mut Vec<TxnId>,
+        ) -> Option<Vec<TxnId>> {
+            marks.insert(node, Mark::Grey);
+            stack.push(node);
+            for &next in edges.get(&node).into_iter().flatten() {
+                match marks.get(&next).copied().unwrap_or(Mark::Black) {
+                    Mark::Grey => {
+                        let pos = stack.iter().position(|&n| n == next).unwrap_or(0);
+                        let mut cycle = stack[pos..].to_vec();
+                        cycle.push(next);
+                        return Some(cycle);
+                    }
+                    Mark::White => {
+                        if let Some(c) = dfs(next, edges, marks, stack) {
+                            return Some(c);
+                        }
+                    }
+                    Mark::Black => {}
+                }
+            }
+            stack.pop();
+            marks.insert(node, Mark::Black);
+            None
+        }
+        for &n in &nodes {
+            if marks[&n] == Mark::White {
+                if let Some(cycle) = dfs(n, &edges, &mut marks, &mut Vec::new()) {
+                    return Err(Violation::NotSerializable { cycle });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn robot_item(cell: usize, robot: usize) -> Item {
+    format!("cells/{}/robots/{}/trajectory", CellsConfig::cell_key(cell), CellsConfig::robot_key(robot))
+}
+
+fn effector_item(key: &colock_nf2::ObjectKey) -> Item {
+    format!("effectors/{key}/tool")
+}
+
+/// Runs scripted transactions (one op per round-robin turn) against the
+/// manager and records the history. Blocked operations retry; a full stall
+/// aborts the youngest transaction (it is *not* retried — its events are
+/// kept and marked aborted).
+pub fn run_scripted(mgr: &TransactionManager, scripts: Vec<Vec<HOp>>) -> History {
+    let mut history = History::default();
+    let mut seq: u64 = 0;
+    struct W<'m> {
+        txn: Option<Transaction<'m>>,
+        ops: Vec<HOp>,
+        pos: usize,
+        done: bool,
+        blocked: bool,
+    }
+    let mut workers: Vec<W<'_>> = scripts
+        .into_iter()
+        .map(|ops| W { txn: None, ops, pos: 0, done: false, blocked: false })
+        .collect();
+    let mut guard = 0;
+    loop {
+        guard += 1;
+        assert!(guard < 100_000, "scripted history did not terminate");
+        let mut all_done = true;
+        let mut progress = false;
+        for w in workers.iter_mut() {
+            if w.done {
+                continue;
+            }
+            all_done = false;
+            if w.txn.is_none() {
+                w.txn = Some(mgr.begin(TxnKind::Short));
+            }
+            let txn = w.txn.as_ref().expect("begun");
+            match step(mgr, txn, w.ops[w.pos], &mut seq, &mut history) {
+                StepResult::Done => {
+                    w.pos += 1;
+                    w.blocked = false;
+                    progress = true;
+                    if w.pos == w.ops.len() {
+                        let t = w.txn.take().expect("txn");
+                        history.committed.insert(t.id());
+                        t.commit().expect("commit");
+                        w.done = true;
+                    }
+                }
+                StepResult::Blocked => {
+                    w.blocked = true;
+                }
+            }
+        }
+        if all_done {
+            break;
+        }
+        if !progress {
+            // Abort the youngest blocked transaction; it stays aborted.
+            let victim = workers
+                .iter_mut()
+                .filter(|w| w.blocked && w.txn.is_some())
+                .max_by_key(|w| w.txn.as_ref().map(|t| t.id()).expect("txn"));
+            if let Some(w) = victim {
+                let t = w.txn.take().expect("txn");
+                history.aborted.insert(t.id());
+                t.abort().expect("abort");
+                w.done = true;
+            } else {
+                panic!("stall without blocked transaction");
+            }
+        }
+    }
+    history
+}
+
+enum StepResult {
+    Done,
+    Blocked,
+}
+
+fn step(
+    mgr: &TransactionManager,
+    txn: &Transaction<'_>,
+    op: HOp,
+    seq: &mut u64,
+    history: &mut History,
+) -> StepResult {
+    let store = mgr.store();
+    match op {
+        HOp::ReadRobot { cell, robot } => {
+            let target = InstanceTarget::object("cells", CellsConfig::cell_key(cell))
+                .elem("robots", CellsConfig::robot_key(robot));
+            if txn.try_lock(&target, AccessMode::Read).is_err() {
+                return StepResult::Blocked;
+            }
+            let v = store
+                .get_at(
+                    "cells",
+                    &CellsConfig::cell_key(cell),
+                    &target.clone().attr("trajectory").steps,
+                )
+                .expect("read trajectory");
+            history.events.push(Event::Read {
+                txn: txn.id(),
+                item: robot_item(cell, robot),
+                observed: Version::parse(&v),
+            });
+            StepResult::Done
+        }
+        HOp::WriteRobot { cell, robot } => {
+            let target = InstanceTarget::object("cells", CellsConfig::cell_key(cell))
+                .elem("robots", CellsConfig::robot_key(robot));
+            if txn.try_lock(&target, AccessMode::Update).is_err() {
+                return StepResult::Blocked;
+            }
+            *seq += 1;
+            let version = Version(Some((txn.id(), *seq)));
+            txn.update(&target.attr("trajectory"), Version::encode(txn.id(), *seq))
+                .expect("write under held lock");
+            history.events.push(Event::Write {
+                txn: txn.id(),
+                item: robot_item(cell, robot),
+                version,
+            });
+            StepResult::Done
+        }
+        HOp::WriteEffector { effector } => {
+            let key = CellsConfig::effector_key(effector);
+            let target = InstanceTarget::object("effectors", key.clone());
+            if txn.try_lock(&target, AccessMode::Update).is_err() {
+                return StepResult::Blocked;
+            }
+            *seq += 1;
+            let version = Version(Some((txn.id(), *seq)));
+            txn.update(&target.attr("tool"), Version::encode(txn.id(), *seq))
+                .expect("write effector");
+            history.events.push(Event::Write {
+                txn: txn.id(),
+                item: effector_item(&key),
+                version,
+            });
+            StepResult::Done
+        }
+        HOp::ReadEffectorViaRobot { cell, robot } => {
+            let target = InstanceTarget::object("cells", CellsConfig::cell_key(cell))
+                .elem("robots", CellsConfig::robot_key(robot));
+            if txn.try_lock(&target, AccessMode::Read).is_err() {
+                return StepResult::Blocked;
+            }
+            // Follow the first reference WITHOUT further lock requests —
+            // the protocol's downward propagation (or its absence) decides
+            // whether this is safe.
+            let robot_val = store
+                .get_at("cells", &CellsConfig::cell_key(cell), &target.steps)
+                .expect("robot");
+            let mut refs = Vec::new();
+            robot_val.collect_refs(&mut refs);
+            let eff = (*refs.first().expect("robot has an effector")).clone();
+            let tool = store
+                .get_at(&eff.relation, &eff.key, &[colock_core::TargetStep::attr("tool")])
+                .expect("tool");
+            history.events.push(Event::Read {
+                txn: txn.id(),
+                item: effector_item(&eff.key),
+                observed: Version::parse(&tool),
+            });
+            StepResult::Done
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(txn: u64, seq: u64) -> Version {
+        Version(Some((TxnId(txn), seq)))
+    }
+
+    #[test]
+    fn empty_history_is_serializable() {
+        assert!(History::default().check().is_ok());
+    }
+
+    #[test]
+    fn simple_wr_chain_is_serializable() {
+        let mut h = History::default();
+        h.committed.extend([TxnId(1), TxnId(2)]);
+        h.events.push(Event::Write { txn: TxnId(1), item: "x".into(), version: v(1, 1) });
+        h.events.push(Event::Read { txn: TxnId(2), item: "x".into(), observed: v(1, 1) });
+        assert!(h.check().is_ok());
+    }
+
+    #[test]
+    fn classic_rw_cycle_is_detected() {
+        // T1 reads x@init then T2 writes x; T2 reads y@init then T1 writes y.
+        let mut h = History::default();
+        h.committed.extend([TxnId(1), TxnId(2)]);
+        h.events.push(Event::Read { txn: TxnId(1), item: "x".into(), observed: Version(None) });
+        h.events.push(Event::Read { txn: TxnId(2), item: "y".into(), observed: Version(None) });
+        h.events.push(Event::Write { txn: TxnId(2), item: "x".into(), version: v(2, 1) });
+        h.events.push(Event::Write { txn: TxnId(1), item: "y".into(), version: v(1, 2) });
+        let err = h.check().unwrap_err();
+        assert!(matches!(err, Violation::NotSerializable { .. }));
+    }
+
+    #[test]
+    fn dirty_read_is_detected() {
+        let mut h = History::default();
+        h.committed.insert(TxnId(2));
+        h.aborted.insert(TxnId(1));
+        h.events.push(Event::Write { txn: TxnId(1), item: "x".into(), version: v(1, 1) });
+        h.events.push(Event::Read { txn: TxnId(2), item: "x".into(), observed: v(1, 1) });
+        assert!(matches!(h.check().unwrap_err(), Violation::DirtyRead { .. }));
+    }
+
+    #[test]
+    fn aborted_writes_are_excluded_from_ww_order() {
+        let mut h = History::default();
+        h.committed.extend([TxnId(2), TxnId(3)]);
+        h.aborted.insert(TxnId(1));
+        // T1's write never committed; T2 and T3 order normally.
+        h.events.push(Event::Write { txn: TxnId(1), item: "x".into(), version: v(1, 1) });
+        h.events.push(Event::Write { txn: TxnId(2), item: "x".into(), version: v(2, 2) });
+        h.events.push(Event::Read { txn: TxnId(3), item: "x".into(), observed: v(2, 2) });
+        assert!(h.check().is_ok());
+    }
+
+    #[test]
+    fn version_parse_roundtrip() {
+        let val = Version::encode(TxnId(7), 42);
+        assert_eq!(Version::parse(&val), v(7, 42));
+        assert_eq!(Version::parse(&Value::str("anything")), Version(None));
+        assert_eq!(Version::parse(&Value::Int(3)), Version(None));
+    }
+}

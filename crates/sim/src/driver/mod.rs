@@ -1,0 +1,4 @@
+//! Concurrency drivers.
+
+pub mod ticks;
+pub mod threads;

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! # `colock-sim` — workloads and concurrency drivers
+//!
+//! The paper evaluates qualitatively and names "simulations with regard to
+//! the efficiency of the proposed technique" as future work (§5). This crate
+//! performs those simulations:
+//!
+//! * [`workload`] — generators for the paper's two motivating data shapes:
+//!   manufacturing **cells/effectors** (Fig. 1, parameterized by object
+//!   count, fan-outs and sharing degree) and a **part library** with *nested*
+//!   common data (assemblies → parts → materials);
+//! * [`driver::ticks`] — a deterministic round-robin scheduler: every
+//!   transaction advances one operation per tick, blocked transactions burn
+//!   "blocked ticks", and an all-blocked round aborts the youngest
+//!   transaction (deadlock resolution). Deterministic across runs → used by
+//!   the experiment harness for reproducible numbers;
+//! * [`driver::threads`] — a real multithreaded driver over the blocking
+//!   lock manager, for wall-clock throughput;
+//! * [`metrics`] — the measured quantities: committed/aborted transactions,
+//!   blocked ticks, lock requests, conflict tests, lock-table high-water
+//!   marks, reverse-scan costs.
+
+pub mod consistency;
+pub mod driver;
+pub mod metrics;
+pub mod workload;
+pub mod workstation;
+
+pub use driver::ticks::{ScriptOutcome, TickDriver, TickReport};
+pub use driver::threads::{run_threads, ThreadConfig, ThreadReport};
+pub use metrics::Metrics;
+pub use workload::cells::{build_cells_store, CellsConfig};
+pub use workload::mix::{Op, OpGenerator, QueryMix};
+pub use workload::partlib::{build_partlib_store, PartLibConfig};
+pub use workstation::Workstation;

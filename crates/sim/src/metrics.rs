@@ -1,0 +1,144 @@
+//! Measured quantities and report formatting.
+
+use colock_lockmgr::StatsSnapshot;
+use std::fmt;
+
+/// Aggregate metrics of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    /// Committed transactions.
+    pub committed: u64,
+    /// Transactions aborted as deadlock victims (and retried).
+    pub deadlock_aborts: u64,
+    /// Ticks (or lock attempts) spent blocked.
+    pub blocked_ticks: u64,
+    /// Total ticks the run took (tick driver) — lower = more concurrency.
+    pub total_ticks: u64,
+    /// Wall-clock milliseconds (thread driver).
+    pub wall_ms: u64,
+    /// Lock-manager counter deltas for the run.
+    pub locks: StatsSnapshot,
+    /// Complex objects visited by reverse scans.
+    pub scan_visits: u64,
+}
+
+impl Metrics {
+    /// Committed transactions per 1000 ticks (tick driver throughput).
+    pub fn throughput_per_kilotick(&self) -> f64 {
+        if self.total_ticks == 0 {
+            0.0
+        } else {
+            self.committed as f64 * 1000.0 / self.total_ticks as f64
+        }
+    }
+
+    /// Lock requests per committed transaction (administration overhead).
+    pub fn locks_per_txn(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.locks.requests as f64 / self.committed as f64
+        }
+    }
+
+    /// Fraction of lock attempts that blocked.
+    pub fn block_rate(&self) -> f64 {
+        let attempts = self.locks.requests.max(1);
+        self.blocked_ticks as f64 / attempts as f64
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "committed={} deadlocks={} blocked={} ticks={} locks/txn={:.1} conflict_tests={} max_table={} scans={}",
+            self.committed,
+            self.deadlock_aborts,
+            self.blocked_ticks,
+            self.total_ticks,
+            self.locks_per_txn(),
+            self.locks.conflict_tests,
+            self.locks.max_table_entries,
+            self.scan_visits,
+        )
+    }
+}
+
+/// Renders aligned result tables for the experiment binaries.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Adds a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders with padded columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_and_rates() {
+        let m = Metrics { committed: 50, total_ticks: 1000, ..Default::default() };
+        assert_eq!(m.throughput_per_kilotick(), 50.0);
+        assert_eq!(Metrics::default().throughput_per_kilotick(), 0.0);
+        assert_eq!(Metrics::default().locks_per_txn(), 0.0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["proto", "committed"]);
+        t.row(vec!["proposed".into(), "120".into()]);
+        t.row(vec!["whole-object".into(), "7".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("proto"));
+        assert!(lines[3].trim_start().starts_with("whole-object"));
+    }
+
+    #[test]
+    fn display_is_one_line() {
+        let m = Metrics { committed: 3, ..Default::default() };
+        assert_eq!(m.to_string().lines().count(), 1);
+    }
+}

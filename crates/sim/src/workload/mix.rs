@@ -1,0 +1,289 @@
+//! Operation mixes: the per-transaction operations drawn by the drivers.
+
+use crate::workload::cells::CellsConfig;
+use colock_core::{AccessMode, InstanceTarget};
+use colock_nf2::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One operation of a simulated transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Read the c_objects of a cell (Q1 shape).
+    ReadParts {
+        /// Cell index.
+        cell: usize,
+    },
+    /// Update one robot of a cell (Q2/Q3 shape).
+    UpdateRobot {
+        /// Cell index.
+        cell: usize,
+        /// Robot index within the cell.
+        robot: usize,
+    },
+    /// Read one robot.
+    ReadRobot {
+        /// Cell index.
+        cell: usize,
+        /// Robot index.
+        robot: usize,
+    },
+    /// Check out a whole cell (long X).
+    CheckoutCell {
+        /// Cell index.
+        cell: usize,
+    },
+    /// Check out a single robot (long X on the element — only possible with
+    /// sub-object granules; coarse protocols widen it to the whole cell).
+    CheckoutRobot {
+        /// Cell index.
+        cell: usize,
+        /// Robot index.
+        robot: usize,
+    },
+    /// Read a whole cell.
+    ReadCell {
+        /// Cell index.
+        cell: usize,
+    },
+    /// Update one effector of the library directly.
+    UpdateEffector {
+        /// Effector index.
+        effector: usize,
+    },
+    /// Read one effector directly.
+    ReadEffector {
+        /// Effector index.
+        effector: usize,
+    },
+}
+
+impl Op {
+    /// The lock target and access of this operation.
+    pub fn target(&self) -> (InstanceTarget, AccessMode) {
+        match self {
+            Op::ReadParts { cell } => (
+                InstanceTarget::object("cells", CellsConfig::cell_key(*cell)).attr("c_objects"),
+                AccessMode::Read,
+            ),
+            Op::UpdateRobot { cell, robot } => (
+                InstanceTarget::object("cells", CellsConfig::cell_key(*cell))
+                    .elem("robots", CellsConfig::robot_key(*robot)),
+                AccessMode::Update,
+            ),
+            Op::ReadRobot { cell, robot } => (
+                InstanceTarget::object("cells", CellsConfig::cell_key(*cell))
+                    .elem("robots", CellsConfig::robot_key(*robot)),
+                AccessMode::Read,
+            ),
+            Op::CheckoutCell { cell } | Op::ReadCell { cell } => (
+                InstanceTarget::object("cells", CellsConfig::cell_key(*cell)),
+                if matches!(self, Op::CheckoutCell { .. }) {
+                    AccessMode::Update
+                } else {
+                    AccessMode::Read
+                },
+            ),
+            Op::CheckoutRobot { cell, robot } => (
+                InstanceTarget::object("cells", CellsConfig::cell_key(*cell))
+                    .elem("robots", CellsConfig::robot_key(*robot)),
+                AccessMode::Update,
+            ),
+            Op::UpdateEffector { effector } => (
+                InstanceTarget::object("effectors", CellsConfig::effector_key(*effector)),
+                AccessMode::Update,
+            ),
+            Op::ReadEffector { effector } => (
+                InstanceTarget::object("effectors", CellsConfig::effector_key(*effector)),
+                AccessMode::Read,
+            ),
+        }
+    }
+
+    /// The value an updating op writes (None for reads).
+    pub fn update_payload(&self, tick: u64) -> Option<(InstanceTarget, Value)> {
+        match self {
+            Op::UpdateRobot { cell, robot } => Some((
+                InstanceTarget::object("cells", CellsConfig::cell_key(*cell))
+                    .elem("robots", CellsConfig::robot_key(*robot))
+                    .attr("trajectory"),
+                Value::str(format!("traj-{tick}")),
+            )),
+            Op::UpdateEffector { effector } => Some((
+                InstanceTarget::object("effectors", CellsConfig::effector_key(*effector))
+                    .attr("tool"),
+                Value::str(format!("tool-{tick}")),
+            )),
+            _ => None,
+        }
+    }
+}
+
+/// Relative weights of the operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryMix {
+    /// Weight of `ReadParts`.
+    pub read_parts: u32,
+    /// Weight of `UpdateRobot`.
+    pub update_robot: u32,
+    /// Weight of `ReadRobot`.
+    pub read_robot: u32,
+    /// Weight of `CheckoutCell`.
+    pub checkout_cell: u32,
+    /// Weight of `ReadCell`.
+    pub read_cell: u32,
+    /// Weight of `UpdateEffector`.
+    pub update_effector: u32,
+    /// Weight of `ReadEffector`.
+    pub read_effector: u32,
+}
+
+impl QueryMix {
+    /// The paper's motivating mix: mostly partial reads and robot updates on
+    /// cells, rare library updates ("common data … updated infrequently").
+    pub fn engineering() -> Self {
+        QueryMix {
+            read_parts: 30,
+            update_robot: 25,
+            read_robot: 25,
+            checkout_cell: 5,
+            read_cell: 10,
+            update_effector: 1,
+            read_effector: 4,
+        }
+    }
+
+    /// Read-only mix.
+    pub fn read_only() -> Self {
+        QueryMix {
+            read_parts: 40,
+            update_robot: 0,
+            read_robot: 30,
+            checkout_cell: 0,
+            read_cell: 20,
+            update_effector: 0,
+            read_effector: 10,
+        }
+    }
+
+    /// Update-heavy mix (stresses shared data).
+    pub fn update_heavy() -> Self {
+        QueryMix {
+            read_parts: 10,
+            update_robot: 50,
+            read_robot: 10,
+            checkout_cell: 10,
+            read_cell: 5,
+            update_effector: 10,
+            read_effector: 5,
+        }
+    }
+
+    fn total(&self) -> u32 {
+        self.read_parts
+            + self.update_robot
+            + self.read_robot
+            + self.checkout_cell
+            + self.read_cell
+            + self.update_effector
+            + self.read_effector
+    }
+}
+
+/// Deterministic generator of operations from a mix.
+#[derive(Debug)]
+pub struct OpGenerator {
+    cfg: CellsConfig,
+    mix: QueryMix,
+    rng: StdRng,
+}
+
+impl OpGenerator {
+    /// Creates a generator.
+    pub fn new(cfg: CellsConfig, mix: QueryMix, seed: u64) -> Self {
+        OpGenerator { cfg, mix, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> Op {
+        let total = self.mix.total().max(1);
+        let mut roll = self.rng.gen_range(0..total);
+        let cell = self.rng.gen_range(0..self.cfg.n_cells.max(1));
+        let robot = self.rng.gen_range(0..self.cfg.robots_per_cell.max(1));
+        let effector = self.rng.gen_range(0..self.cfg.n_effectors.max(1));
+
+        let buckets = [
+            (self.mix.read_parts, 0u8),
+            (self.mix.update_robot, 1),
+            (self.mix.read_robot, 2),
+            (self.mix.checkout_cell, 3),
+            (self.mix.read_cell, 4),
+            (self.mix.update_effector, 5),
+            (self.mix.read_effector, 6),
+        ];
+        for (w, kind) in buckets {
+            if roll < w {
+                return match kind {
+                    0 => Op::ReadParts { cell },
+                    1 => Op::UpdateRobot { cell, robot },
+                    2 => Op::ReadRobot { cell, robot },
+                    3 => Op::CheckoutCell { cell },
+                    4 => Op::ReadCell { cell },
+                    5 => Op::UpdateEffector { effector },
+                    _ => Op::ReadEffector { effector },
+                };
+            }
+            roll -= w;
+        }
+        Op::ReadCell { cell }
+    }
+
+    /// Draws a transaction of `len` operations.
+    pub fn next_txn(&mut self, len: usize) -> Vec<Op> {
+        (0..len).map(|_| self.next_op()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let cfg = CellsConfig::default();
+        let a: Vec<Op> =
+            OpGenerator::new(cfg, QueryMix::engineering(), 1).next_txn(20);
+        let b: Vec<Op> =
+            OpGenerator::new(cfg, QueryMix::engineering(), 1).next_txn(20);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn read_only_mix_never_updates() {
+        let cfg = CellsConfig::default();
+        let mut g = OpGenerator::new(cfg, QueryMix::read_only(), 2);
+        for _ in 0..200 {
+            let op = g.next_op();
+            assert!(
+                !matches!(op, Op::UpdateRobot { .. } | Op::UpdateEffector { .. } | Op::CheckoutCell { .. } | Op::CheckoutRobot { .. }),
+                "{op:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn targets_are_well_formed() {
+        let (t, m) = Op::UpdateRobot { cell: 0, robot: 1 }.target();
+        assert_eq!(t.to_string(), "cells[c1].robots[r2]");
+        assert_eq!(m, AccessMode::Update);
+        let (t, m) = Op::ReadEffector { effector: 2 }.target();
+        assert_eq!(t.to_string(), "effectors[e3]");
+        assert_eq!(m, AccessMode::Read);
+    }
+
+    #[test]
+    fn update_payloads_only_for_updates() {
+        assert!(Op::UpdateRobot { cell: 0, robot: 0 }.update_payload(1).is_some());
+        assert!(Op::ReadCell { cell: 0 }.update_payload(1).is_none());
+    }
+}

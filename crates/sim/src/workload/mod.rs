@@ -1,0 +1,6 @@
+//! Workload generators.
+
+pub mod cells;
+pub mod chain;
+pub mod mix;
+pub mod partlib;

@@ -1,0 +1,254 @@
+//! Workstation–server check-out/check-in (§1).
+//!
+//! "Different users or user groups may check-out complex objects of a
+//! central database onto workstations. Data which are checked out can be
+//! regarded (at least temporarily) as private, local databases. A check-in
+//! back into the central database may be done for data which have been
+//! changed on a workstation." This module models exactly that: a
+//! [`Workstation`] runs one long transaction against the server
+//! (a [`TransactionManager`]), keeps private copies of everything it checked
+//! out, edits them locally, and checks the changes back in atomically.
+//! The long locks guarantee the private copies stay in a "well-known state"
+//! with the central database throughout.
+
+use colock_core::{AccessMode, InstanceTarget};
+use colock_nf2::Value;
+use colock_txn::{Result, Transaction, TransactionManager, TxnError, TxnKind};
+use std::collections::HashMap;
+
+/// A workstation with a private local database of checked-out subobjects.
+pub struct Workstation<'m> {
+    server: &'m TransactionManager,
+    name: String,
+    session: Option<Transaction<'m>>,
+    private: HashMap<String, (InstanceTarget, Value, AccessMode)>,
+}
+
+impl<'m> Workstation<'m> {
+    /// Connects a named workstation to the server.
+    pub fn connect(server: &'m TransactionManager, name: impl Into<String>) -> Self {
+        Workstation { server, name: name.into(), session: None, private: HashMap::new() }
+    }
+
+    /// The workstation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of checked-out subobjects in the private database.
+    pub fn private_size(&self) -> usize {
+        self.private.len()
+    }
+
+    fn session(&mut self) -> &Transaction<'m> {
+        if self.session.is_none() {
+            self.session = Some(self.server.begin(TxnKind::Long));
+        }
+        self.session.as_ref().expect("session just created")
+    }
+
+    /// Checks out a subobject: takes a long lock (S for read, X for update)
+    /// and copies the data into the private database.
+    pub fn checkout(&mut self, target: &InstanceTarget, access: AccessMode) -> Result<&Value> {
+        let txn = self.session();
+        let value = txn.checkout(target, access)?;
+        let key = target.to_string();
+        self.private.insert(key.clone(), (target.clone(), value, access));
+        Ok(&self.private[&key].1)
+    }
+
+    /// Reads a private copy (no server round-trip).
+    pub fn local(&self, target: &InstanceTarget) -> Option<&Value> {
+        self.private.get(&target.to_string()).map(|(_, v, _)| v)
+    }
+
+    /// Edits a private copy in place. Fails if the target was not checked
+    /// out for update.
+    pub fn edit(
+        &mut self,
+        target: &InstanceTarget,
+        f: impl FnOnce(&mut Value),
+    ) -> Result<()> {
+        let entry = self
+            .private
+            .get_mut(&target.to_string())
+            .ok_or_else(|| TxnError::NotCheckedOut(target.to_string()))?;
+        if entry.2 != AccessMode::Update {
+            return Err(TxnError::NotCheckedOut(format!(
+                "{target} was checked out read-only"
+            )));
+        }
+        f(&mut entry.1);
+        Ok(())
+    }
+
+    /// Checks all modified subobjects back into the central database and
+    /// commits the session, releasing the long locks. Returns the number of
+    /// subobjects written back.
+    pub fn checkin_all(&mut self) -> Result<usize> {
+        let Some(txn) = self.session.take() else {
+            return Ok(0);
+        };
+        let mut written = 0;
+        for (_, (target, value, access)) in self.private.drain() {
+            if access == AccessMode::Update {
+                txn.checkin(&target, value)?;
+                written += 1;
+            }
+        }
+        txn.commit()?;
+        Ok(written)
+    }
+
+    /// Abandons the session: private copies are discarded, nothing reaches
+    /// the central database, all locks are released.
+    pub fn abandon(&mut self) -> Result<()> {
+        self.private.clear();
+        if let Some(txn) = self.session.take() {
+            txn.abort()?;
+        }
+        Ok(())
+    }
+
+    /// Whether a session (long transaction) is currently open.
+    pub fn has_session(&self) -> bool {
+        self.session.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::cells::{build_cells_store, CellsConfig};
+    use colock_core::authorization::{Authorization, Right};
+    use colock_nf2::Value;
+    use colock_txn::ProtocolKind;
+
+    fn server() -> TransactionManager {
+        let store = build_cells_store(&CellsConfig::default());
+        let mut authz = Authorization::allow_all();
+        authz.set_relation_default("effectors", Right::Read);
+        TransactionManager::over_store(store, authz, ProtocolKind::Proposed)
+    }
+
+    fn robot(cell: &str, robot: &str) -> InstanceTarget {
+        InstanceTarget::object("cells", cell).elem("robots", robot)
+    }
+
+    #[test]
+    fn checkout_edit_checkin_roundtrip() {
+        let srv = server();
+        let mut ws = Workstation::connect(&srv, "ws1");
+        ws.checkout(&robot("c1", "r1"), AccessMode::Update).unwrap();
+        ws.edit(&robot("c1", "r1"), |v| {
+            *v.field_mut("trajectory").unwrap() = Value::str("edited-on-ws1");
+        })
+        .unwrap();
+        // The central database still shows the old value.
+        let central = srv
+            .store()
+            .get_at(
+                "cells",
+                &colock_nf2::ObjectKey::from("c1"),
+                &robot("c1", "r1").steps,
+            )
+            .unwrap();
+        assert_ne!(central.field("trajectory"), Some(&Value::str("edited-on-ws1")));
+
+        assert_eq!(ws.checkin_all().unwrap(), 1);
+        let central = srv
+            .store()
+            .get_at(
+                "cells",
+                &colock_nf2::ObjectKey::from("c1"),
+                &robot("c1", "r1").steps,
+            )
+            .unwrap();
+        assert_eq!(central.field("trajectory"), Some(&Value::str("edited-on-ws1")));
+        assert!(!ws.has_session());
+        assert_eq!(srv.lock_manager().table_size(), 0);
+    }
+
+    #[test]
+    fn two_workstations_on_different_robots_work_in_parallel() {
+        let srv = server();
+        let mut ws1 = Workstation::connect(&srv, "ws1");
+        let mut ws2 = Workstation::connect(&srv, "ws2");
+        ws1.checkout(&robot("c1", "r1"), AccessMode::Update).unwrap();
+        ws2.checkout(&robot("c1", "r2"), AccessMode::Update).unwrap();
+        ws1.edit(&robot("c1", "r1"), |v| {
+            *v.field_mut("trajectory").unwrap() = Value::str("a");
+        })
+        .unwrap();
+        ws2.edit(&robot("c1", "r2"), |v| {
+            *v.field_mut("trajectory").unwrap() = Value::str("b");
+        })
+        .unwrap();
+        assert_eq!(ws1.checkin_all().unwrap(), 1);
+        assert_eq!(ws2.checkin_all().unwrap(), 1);
+    }
+
+    #[test]
+    fn abandon_discards_local_edits() {
+        let srv = server();
+        let mut ws = Workstation::connect(&srv, "ws1");
+        ws.checkout(&robot("c1", "r1"), AccessMode::Update).unwrap();
+        ws.edit(&robot("c1", "r1"), |v| {
+            *v.field_mut("trajectory").unwrap() = Value::str("never-lands");
+        })
+        .unwrap();
+        ws.abandon().unwrap();
+        assert_eq!(ws.private_size(), 0);
+        let central = srv
+            .store()
+            .get_at(
+                "cells",
+                &colock_nf2::ObjectKey::from("c1"),
+                &robot("c1", "r1").steps,
+            )
+            .unwrap();
+        assert_ne!(central.field("trajectory"), Some(&Value::str("never-lands")));
+        assert_eq!(srv.lock_manager().table_size(), 0);
+    }
+
+    #[test]
+    fn read_only_checkout_cannot_be_edited() {
+        let srv = server();
+        let mut ws = Workstation::connect(&srv, "ws1");
+        ws.checkout(&robot("c1", "r1"), AccessMode::Read).unwrap();
+        let err = ws.edit(&robot("c1", "r1"), |_| {}).unwrap_err();
+        assert!(matches!(err, TxnError::NotCheckedOut(_)));
+        // Read-only checkouts are not written back.
+        assert_eq!(ws.checkin_all().unwrap(), 0);
+    }
+
+    #[test]
+    fn local_reads_do_not_touch_the_server() {
+        let srv = server();
+        let mut ws = Workstation::connect(&srv, "ws1");
+        ws.checkout(&robot("c1", "r1"), AccessMode::Read).unwrap();
+        let before = srv.lock_manager().stats().snapshot().requests;
+        for _ in 0..10 {
+            assert!(ws.local(&robot("c1", "r1")).is_some());
+        }
+        assert!(ws.local(&robot("c1", "r2")).is_none());
+        assert_eq!(srv.lock_manager().stats().snapshot().requests, before);
+        ws.abandon().unwrap();
+    }
+
+    #[test]
+    fn conflicting_checkout_blocks_until_checkin() {
+        let srv = server();
+        let mut ws1 = Workstation::connect(&srv, "ws1");
+        ws1.checkout(&robot("c1", "r1"), AccessMode::Update).unwrap();
+        // A second station cannot check out the same robot (try-lock via a
+        // short probe transaction).
+        let probe = srv.begin(TxnKind::Short);
+        assert!(probe.try_lock(&robot("c1", "r1"), AccessMode::Update).is_err());
+        probe.abort().unwrap();
+        ws1.checkin_all().unwrap();
+        let probe = srv.begin(TxnKind::Short);
+        assert!(probe.try_lock(&robot("c1", "r1"), AccessMode::Update).is_ok());
+        probe.commit().unwrap();
+    }
+}

@@ -1,0 +1,89 @@
+//! Storage errors.
+
+use colock_nf2::{Nf2Error, ObjectKey};
+use std::fmt;
+
+/// Errors raised by the store.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// Schema/type error from the data model layer.
+    Model(Nf2Error),
+    /// Unknown relation.
+    UnknownRelation(String),
+    /// No object with this key.
+    UnknownObject {
+        /// Relation searched.
+        relation: String,
+        /// Missing key.
+        key: ObjectKey,
+    },
+    /// Insert with an already-present key.
+    DuplicateObject {
+        /// Relation.
+        relation: String,
+        /// Conflicting key.
+        key: ObjectKey,
+    },
+    /// A reference inside a value does not resolve to a stored object.
+    DanglingReference {
+        /// Target relation.
+        relation: String,
+        /// Target key that does not exist.
+        key: ObjectKey,
+    },
+    /// Delete of an object still referenced from elsewhere.
+    StillReferenced {
+        /// Relation of the object.
+        relation: String,
+        /// Its key.
+        key: ObjectKey,
+        /// Number of referencing subobjects found.
+        referencers: usize,
+    },
+    /// A target path did not resolve inside the object value.
+    BadTarget(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Model(e) => write!(f, "model error: {e}"),
+            StorageError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            StorageError::UnknownObject { relation, key } => {
+                write!(f, "no object `{key}` in `{relation}`")
+            }
+            StorageError::DuplicateObject { relation, key } => {
+                write!(f, "object `{key}` already exists in `{relation}`")
+            }
+            StorageError::DanglingReference { relation, key } => {
+                write!(f, "dangling reference to `{relation}[{key}]`")
+            }
+            StorageError::StillReferenced { relation, key, referencers } => {
+                write!(f, "`{relation}[{key}]` is still referenced by {referencers} subobject(s)")
+            }
+            StorageError::BadTarget(t) => write!(f, "target `{t}` does not resolve"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<Nf2Error> for StorageError {
+    fn from(e: Nf2Error) -> Self {
+        StorageError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_paths() {
+        let e = StorageError::DanglingReference {
+            relation: "effectors".into(),
+            key: ObjectKey::from("e9"),
+        };
+        assert!(e.to_string().contains("effectors[e9]"));
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! # `colock-storage` — in-memory store for complex objects
+//!
+//! The storage substrate underneath the lock technique: a database holds
+//! segments, segments hold relations, relations hold complex objects
+//! (validated NF² values). The store implements
+//! [`colock_core::InstanceSource`], supplying the protocols with
+//!
+//! * the references contained in a subtree (downward propagation discovers
+//!   entry points from the data being read anyway, §4.4.2.1),
+//! * the basic element tuples of a subtree (tuple-level baseline),
+//! * reverse-reference scans (naive-DAG baseline; the scan cost is counted
+//!   and reported — the paper's "very time-consuming task", §3.2.2).
+//!
+//! Referential integrity is enforced on insert/update (references must
+//! resolve) and delete (referenced objects cannot be removed), matching the
+//! paper's assumption that references always target existing complex objects
+//! of a relation. Before-images are returned by mutating operations so the
+//! transaction layer can roll back.
+
+pub mod error;
+pub mod navigate;
+pub mod source;
+pub mod stats;
+pub mod store;
+
+pub use error::StorageError;
+pub use store::{RelationSnapshot, Store};
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,213 @@
+//! Navigation of NF² values along instance-target steps.
+//!
+//! A [`TargetStep`] names an attribute and optionally one element of a
+//! set/list by key; navigation needs the schema to extract element keys
+//! (sets of tuples are keyed by their key attribute).
+
+use colock_core::TargetStep;
+use colock_nf2::{AttrType, ObjectKey, RelationSchema, Value};
+
+/// Resolves the attribute type for a step within `ty` (stepping through
+/// set/list constructors like `AttrPath` resolution does).
+fn step_type<'t>(ty: &'t AttrType, attr: &str) -> Option<&'t AttrType> {
+    colock_nf2::path::resolve_step(ty, attr)
+}
+
+/// Navigates `value` (an object of `relation`) along `steps`, returning the
+/// referenced subvalue. An elem step selects one element of a set/list; a
+/// bare attr step selects the whole attribute value.
+pub fn navigate<'v>(
+    relation: &RelationSchema,
+    value: &'v Value,
+    steps: &[TargetStep],
+) -> Option<&'v Value> {
+    let mut cur = value;
+    let mut cur_ty = relation.tuple_type();
+    for step in steps {
+        let attr_ty = step_type(&cur_ty, &step.attr)?.clone();
+        cur = cur.field(&step.attr)?;
+        if let Some(key) = &step.elem {
+            let elem_ty = attr_ty.element()?.clone();
+            cur = find_element(cur, &elem_ty, key)?;
+            cur_ty = elem_ty;
+        } else {
+            cur_ty = attr_ty;
+        }
+    }
+    Some(cur)
+}
+
+/// Mutable navigation; same semantics as [`navigate`].
+pub fn navigate_mut<'v>(
+    relation: &RelationSchema,
+    value: &'v mut Value,
+    steps: &[TargetStep],
+) -> Option<&'v mut Value> {
+    let mut cur = value;
+    let mut cur_ty = relation.tuple_type();
+    for step in steps {
+        let attr_ty = step_type(&cur_ty, &step.attr)?.clone();
+        cur = cur.field_mut(&step.attr)?;
+        if let Some(key) = &step.elem {
+            let elem_ty = attr_ty.element()?.clone();
+            cur = find_element_mut(cur, &elem_ty, key)?;
+            cur_ty = elem_ty;
+        } else {
+            cur_ty = attr_ty;
+        }
+    }
+    Some(cur)
+}
+
+/// Finds a set/list element by key.
+pub fn find_element<'v>(container: &'v Value, elem_ty: &AttrType, key: &ObjectKey) -> Option<&'v Value> {
+    container
+        .elements()?
+        .iter()
+        .find(|e| e.element_key(elem_ty).as_ref() == Some(key))
+}
+
+fn find_element_mut<'v>(
+    container: &'v mut Value,
+    elem_ty: &AttrType,
+    key: &ObjectKey,
+) -> Option<&'v mut Value> {
+    container
+        .elements_mut()?
+        .iter_mut()
+        .find(|e| e.element_key(elem_ty).as_ref() == Some(key))
+}
+
+/// Enumerates the element keys of the set/list at the end of `steps`.
+pub fn element_keys(
+    relation: &RelationSchema,
+    value: &Value,
+    steps: &[TargetStep],
+) -> Vec<ObjectKey> {
+    let Some(container) = navigate(relation, value, steps) else {
+        return Vec::new();
+    };
+    // Determine the element type of the container.
+    let mut cur_ty = relation.tuple_type();
+    for step in steps {
+        let Some(t) = step_type(&cur_ty, &step.attr) else {
+            return Vec::new();
+        };
+        let t = t.clone();
+        cur_ty = if step.elem.is_some() {
+            match t.element() {
+                Some(e) => e.clone(),
+                None => return Vec::new(),
+            }
+        } else {
+            t
+        };
+    }
+    let Some(elem_ty) = cur_ty.element() else {
+        return Vec::new();
+    };
+    container
+        .elements()
+        .map(|es| es.iter().filter_map(|e| e.element_key(elem_ty)).collect())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colock_nf2::builder::RelationBuilder;
+    use colock_nf2::types::shorthand::*;
+    use colock_nf2::value::build::{list as vlist, set as vset, tup};
+
+    fn cells_schema() -> RelationSchema {
+        RelationBuilder::new("cells", "seg1")
+            .attr("cell_id", str_())
+            .attr(
+                "robots",
+                list(tuple(vec![
+                    attr("robot_id", str_()),
+                    attr("trajectory", str_()),
+                    attr("effectors", set(ref_("effectors"))),
+                ])),
+            )
+            .finish()
+    }
+
+    fn c1() -> Value {
+        tup(vec![
+            ("cell_id", Value::str("c1")),
+            (
+                "robots",
+                vlist(vec![
+                    tup(vec![
+                        ("robot_id", Value::str("r1")),
+                        ("trajectory", Value::str("t1")),
+                        ("effectors", vset(vec![Value::reference("effectors", "e1")])),
+                    ]),
+                    tup(vec![
+                        ("robot_id", Value::str("r2")),
+                        ("trajectory", Value::str("t2")),
+                        ("effectors", vset(vec![])),
+                    ]),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn navigate_to_attr_and_elem() {
+        let schema = cells_schema();
+        let v = c1();
+        let robots = navigate(&schema, &v, &[TargetStep::attr("robots")]).unwrap();
+        assert_eq!(robots.elements().unwrap().len(), 2);
+        let r2 = navigate(&schema, &v, &[TargetStep::elem("robots", "r2")]).unwrap();
+        assert_eq!(r2.field("trajectory"), Some(&Value::str("t2")));
+        let traj = navigate(
+            &schema,
+            &v,
+            &[TargetStep::elem("robots", "r1"), TargetStep::attr("trajectory")],
+        )
+        .unwrap();
+        assert_eq!(traj, &Value::str("t1"));
+    }
+
+    #[test]
+    fn navigate_missing_elem_is_none() {
+        let schema = cells_schema();
+        let v = c1();
+        assert!(navigate(&schema, &v, &[TargetStep::elem("robots", "r9")]).is_none());
+        assert!(navigate(&schema, &v, &[TargetStep::attr("nope")]).is_none());
+    }
+
+    #[test]
+    fn navigate_mut_allows_in_place_update() {
+        let schema = cells_schema();
+        let mut v = c1();
+        let traj = navigate_mut(
+            &schema,
+            &mut v,
+            &[TargetStep::elem("robots", "r1"), TargetStep::attr("trajectory")],
+        )
+        .unwrap();
+        *traj = Value::str("new");
+        assert_eq!(
+            navigate(&schema, &v, &[TargetStep::elem("robots", "r1"), TargetStep::attr("trajectory")]),
+            Some(&Value::str("new"))
+        );
+    }
+
+    #[test]
+    fn element_keys_of_robots() {
+        let schema = cells_schema();
+        let v = c1();
+        let keys = element_keys(&schema, &v, &[TargetStep::attr("robots")]);
+        assert_eq!(keys, vec![ObjectKey::from("r1"), ObjectKey::from("r2")]);
+    }
+
+    #[test]
+    fn element_keys_of_non_container_is_empty() {
+        let schema = cells_schema();
+        let v = c1();
+        assert!(element_keys(&schema, &v, &[TargetStep::elem("robots", "r1")]).is_empty());
+    }
+}

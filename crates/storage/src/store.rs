@@ -1,0 +1,461 @@
+//! The store: relations of complex objects with referential integrity.
+
+use crate::error::StorageError;
+use crate::navigate;
+use crate::Result;
+use colock_core::TargetStep;
+use colock_nf2::{Catalog, ObjectKey, ObjectRef, RelationSchema, Value};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct RelationData {
+    objects: BTreeMap<ObjectKey, Value>,
+}
+
+/// A consistent snapshot of one relation (keys in order).
+#[derive(Debug, Clone)]
+pub struct RelationSnapshot {
+    /// Relation name.
+    pub relation: String,
+    /// `(key, value)` pairs in key order.
+    pub objects: Vec<(ObjectKey, Value)>,
+}
+
+/// The in-memory complex-object store.
+///
+/// Thread-safe: relations are guarded by per-relation read/write locks (the
+/// *physical* latches of a storage engine — distinct from the transaction
+/// locks of `colock-lockmgr`, which are the paper's subject).
+///
+/// ```
+/// use colock_core::fixtures::fig1_catalog;
+/// use colock_nf2::value::build::tup;
+/// use colock_nf2::{ObjectKey, Value};
+/// use colock_storage::Store;
+/// use std::sync::Arc;
+///
+/// let store = Store::new(Arc::new(fig1_catalog()));
+/// store.insert("effectors", tup(vec![
+///     ("eff_id", Value::str("e1")),
+///     ("tool", Value::str("gripper")),
+/// ])).unwrap();
+/// let v = store.get("effectors", &ObjectKey::from("e1")).unwrap();
+/// assert_eq!(v.field("tool"), Some(&Value::str("gripper")));
+/// // A reference to a missing object is rejected (referential integrity).
+/// assert!(store.insert("effectors", tup(vec![
+///     ("eff_id", Value::Int(3)), // wrong type, schema validation fires too
+///     ("tool", Value::str("t")),
+/// ])).is_err());
+/// ```
+pub struct Store {
+    catalog: Arc<Catalog>,
+    relations: BTreeMap<String, RwLock<RelationData>>,
+    /// Objects visited by reverse-reference scans (cumulative, for E2).
+    scan_visits: AtomicU64,
+}
+
+impl Store {
+    /// Creates an empty store over a catalog.
+    pub fn new(catalog: Arc<Catalog>) -> Self {
+        let relations = catalog
+            .schema()
+            .relations
+            .iter()
+            .map(|r| (r.name.clone(), RwLock::new(RelationData::default())))
+            .collect();
+        Store { catalog, relations, scan_visits: AtomicU64::new(0) }
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    fn schema_of(&self, relation: &str) -> Result<&RelationSchema> {
+        self.catalog
+            .schema()
+            .relation(relation)
+            .map_err(|_| StorageError::UnknownRelation(relation.to_string()))
+    }
+
+    fn data(&self, relation: &str) -> Result<&RwLock<RelationData>> {
+        self.relations
+            .get(relation)
+            .ok_or_else(|| StorageError::UnknownRelation(relation.to_string()))
+    }
+
+    /// Inserts a complex object; validates the value against the schema and
+    /// checks that every contained reference resolves. Returns the key.
+    pub fn insert(&self, relation: &str, value: Value) -> Result<ObjectKey> {
+        let schema = self.schema_of(relation)?;
+        let key = value.check_object(schema)?;
+        self.check_refs_resolve(&value)?;
+        let mut data = self.data(relation)?.write();
+        if data.objects.contains_key(&key) {
+            return Err(StorageError::DuplicateObject {
+                relation: relation.to_string(),
+                key,
+            });
+        }
+        data.objects.insert(key.clone(), value);
+        Ok(key)
+    }
+
+    /// Reads a full object (cloned).
+    pub fn get(&self, relation: &str, key: &ObjectKey) -> Result<Value> {
+        let data = self.data(relation)?.read();
+        data.objects.get(key).cloned().ok_or_else(|| StorageError::UnknownObject {
+            relation: relation.to_string(),
+            key: key.clone(),
+        })
+    }
+
+    /// Runs `f` over an object without cloning it.
+    pub fn with_object<T>(
+        &self,
+        relation: &str,
+        key: &ObjectKey,
+        f: impl FnOnce(&Value) -> T,
+    ) -> Result<T> {
+        let data = self.data(relation)?.read();
+        data.objects
+            .get(key)
+            .map(f)
+            .ok_or_else(|| StorageError::UnknownObject {
+                relation: relation.to_string(),
+                key: key.clone(),
+            })
+    }
+
+    /// Reads the subvalue at `steps` within an object (cloned).
+    pub fn get_at(&self, relation: &str, key: &ObjectKey, steps: &[TargetStep]) -> Result<Value> {
+        let schema = self.schema_of(relation)?;
+        self.with_object(relation, key, |v| {
+            navigate::navigate(schema, v, steps).cloned().ok_or_else(|| {
+                StorageError::BadTarget(format!("{relation}[{key}].{steps:?}"))
+            })
+        })?
+    }
+
+    /// Replaces the whole object; returns the before-image.
+    pub fn update(&self, relation: &str, key: &ObjectKey, value: Value) -> Result<Value> {
+        let schema = self.schema_of(relation)?;
+        let new_key = value.check_object(schema)?;
+        if &new_key != key {
+            return Err(StorageError::BadTarget(format!(
+                "update must preserve key ({key} -> {new_key})"
+            )));
+        }
+        self.check_refs_resolve(&value)?;
+        let mut data = self.data(relation)?.write();
+        match data.objects.get_mut(key) {
+            Some(slot) => Ok(std::mem::replace(slot, value)),
+            None => Err(StorageError::UnknownObject {
+                relation: relation.to_string(),
+                key: key.clone(),
+            }),
+        }
+    }
+
+    /// Replaces the subvalue at `steps`; returns the before-image of the
+    /// *whole object* (undo granularity is the object).
+    pub fn update_at(
+        &self,
+        relation: &str,
+        key: &ObjectKey,
+        steps: &[TargetStep],
+        new_value: Value,
+    ) -> Result<Value> {
+        let schema = self.schema_of(relation)?;
+        self.check_refs_resolve(&new_value)?;
+        let mut data = self.data(relation)?.write();
+        let obj = data.objects.get_mut(key).ok_or_else(|| StorageError::UnknownObject {
+            relation: relation.to_string(),
+            key: key.clone(),
+        })?;
+        let before = obj.clone();
+        let slot = navigate::navigate_mut(schema, obj, steps).ok_or_else(|| {
+            StorageError::BadTarget(format!("{relation}[{key}].{steps:?}"))
+        })?;
+        *slot = new_value;
+        // Re-validate the whole object (type + key stability).
+        let new_key = obj.check_object(schema)?;
+        if &new_key != key {
+            *obj = before.clone();
+            return Err(StorageError::BadTarget("update_at must not change the key".into()));
+        }
+        Ok(before)
+    }
+
+    /// Deletes an object; rejected while other objects still reference it
+    /// (referential integrity). Returns the before-image.
+    pub fn delete(&self, relation: &str, key: &ObjectKey) -> Result<Value> {
+        let referencers = self.count_referencers(relation, key)?;
+        if referencers > 0 {
+            return Err(StorageError::StillReferenced {
+                relation: relation.to_string(),
+                key: key.clone(),
+                referencers,
+            });
+        }
+        let mut data = self.data(relation)?.write();
+        data.objects.remove(key).ok_or_else(|| StorageError::UnknownObject {
+            relation: relation.to_string(),
+            key: key.clone(),
+        })
+    }
+
+    /// Restores an object to a previous image (transaction rollback); also
+    /// used to undo a delete (re-insert) or an insert (remove, pass `None`).
+    pub fn restore(&self, relation: &str, key: &ObjectKey, image: Option<Value>) -> Result<()> {
+        let mut data = self.data(relation)?.write();
+        match image {
+            Some(v) => {
+                data.objects.insert(key.clone(), v);
+            }
+            None => {
+                data.objects.remove(key);
+            }
+        }
+        Ok(())
+    }
+
+    /// Keys of a relation, in order.
+    pub fn keys(&self, relation: &str) -> Result<Vec<ObjectKey>> {
+        Ok(self.data(relation)?.read().objects.keys().cloned().collect())
+    }
+
+    /// Number of objects in a relation.
+    pub fn len(&self, relation: &str) -> Result<usize> {
+        Ok(self.data(relation)?.read().objects.len())
+    }
+
+    /// Whether a relation is empty.
+    pub fn is_empty(&self, relation: &str) -> Result<bool> {
+        Ok(self.len(relation)? == 0)
+    }
+
+    /// Whether an object exists.
+    pub fn contains(&self, relation: &str, key: &ObjectKey) -> bool {
+        self.data(relation)
+            .map(|d| d.read().objects.contains_key(key))
+            .unwrap_or(false)
+    }
+
+    /// A consistent snapshot of one relation.
+    pub fn snapshot(&self, relation: &str) -> Result<RelationSnapshot> {
+        let data = self.data(relation)?.read();
+        Ok(RelationSnapshot {
+            relation: relation.to_string(),
+            objects: data.objects.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+        })
+    }
+
+    /// Objects visited by all reverse scans so far.
+    pub fn scan_visits(&self) -> u64 {
+        self.scan_visits.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn bump_scan_visits(&self, n: u64) {
+        self.scan_visits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts subobjects referencing `relation[key]` — a full scan over the
+    /// relations whose schema can reference `relation`.
+    pub fn count_referencers(&self, relation: &str, key: &ObjectKey) -> Result<usize> {
+        let mut count = 0;
+        for rel in &self.catalog.schema().relations {
+            if !rel.direct_ref_targets().contains(&relation) {
+                continue;
+            }
+            let data = self.data(&rel.name)?.read();
+            for obj in data.objects.values() {
+                let mut refs = Vec::new();
+                obj.collect_refs(&mut refs);
+                count += refs
+                    .iter()
+                    .filter(|r| r.relation == relation && &r.key == key)
+                    .count();
+            }
+        }
+        Ok(count)
+    }
+
+    fn check_refs_resolve(&self, value: &Value) -> Result<()> {
+        let mut refs: Vec<&ObjectRef> = Vec::new();
+        value.collect_refs(&mut refs);
+        for r in refs {
+            let data = self.data(&r.relation)?;
+            if !data.read().objects.contains_key(&r.key) {
+                return Err(StorageError::DanglingReference {
+                    relation: r.relation.clone(),
+                    key: r.key.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colock_core::fixtures::fig1_catalog;
+    use colock_nf2::value::build::*;
+
+    fn store() -> Store {
+        Store::new(Arc::new(fig1_catalog()))
+    }
+
+    fn effector(id: &str, tool: &str) -> Value {
+        tup(vec![("eff_id", Value::str(id)), ("tool", Value::str(tool))])
+    }
+
+    fn cell(id: &str, robots: Vec<(&str, Vec<&str>)>) -> Value {
+        tup(vec![
+            ("cell_id", Value::str(id)),
+            ("c_objects", set(vec![])),
+            (
+                "robots",
+                list(
+                    robots
+                        .into_iter()
+                        .map(|(rid, effs)| {
+                            tup(vec![
+                                ("robot_id", Value::str(rid)),
+                                ("trajectory", Value::str(format!("t-{rid}"))),
+                                (
+                                    "effectors",
+                                    set(effs
+                                        .into_iter()
+                                        .map(|e| Value::reference("effectors", e))
+                                        .collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let s = store();
+        s.insert("effectors", effector("e1", "gripper")).unwrap();
+        let v = s.get("effectors", &ObjectKey::from("e1")).unwrap();
+        assert_eq!(v.field("tool"), Some(&Value::str("gripper")));
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let s = store();
+        s.insert("effectors", effector("e1", "a")).unwrap();
+        let err = s.insert("effectors", effector("e1", "b")).unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateObject { .. }));
+    }
+
+    #[test]
+    fn dangling_reference_rejected() {
+        let s = store();
+        let err = s.insert("cells", cell("c1", vec![("r1", vec!["e1"])])).unwrap_err();
+        assert!(matches!(err, StorageError::DanglingReference { .. }));
+    }
+
+    #[test]
+    fn referenced_object_cannot_be_deleted() {
+        let s = store();
+        s.insert("effectors", effector("e1", "a")).unwrap();
+        s.insert("cells", cell("c1", vec![("r1", vec!["e1"])])).unwrap();
+        let err = s.delete("effectors", &ObjectKey::from("e1")).unwrap_err();
+        assert!(matches!(err, StorageError::StillReferenced { referencers: 1, .. }));
+        // Unreferenced objects delete fine.
+        s.insert("effectors", effector("e2", "b")).unwrap();
+        assert!(s.delete("effectors", &ObjectKey::from("e2")).is_ok());
+    }
+
+    #[test]
+    fn update_at_returns_before_image() {
+        let s = store();
+        s.insert("effectors", effector("e1", "a")).unwrap();
+        s.insert("cells", cell("c1", vec![("r1", vec!["e1"])])).unwrap();
+        let key = ObjectKey::from("c1");
+        let before = s
+            .update_at(
+                "cells",
+                &key,
+                &[TargetStep::elem("robots", "r1"), TargetStep::attr("trajectory")],
+                Value::str("t-new"),
+            )
+            .unwrap();
+        // Before-image holds the old trajectory.
+        let old = navigate::navigate(
+            s.catalog().schema().relation("cells").unwrap(),
+            &before,
+            &[TargetStep::elem("robots", "r1"), TargetStep::attr("trajectory")],
+        )
+        .unwrap();
+        assert_eq!(old, &Value::str("t-r1"));
+        let now = s
+            .get_at("cells", &key, &[TargetStep::elem("robots", "r1"), TargetStep::attr("trajectory")])
+            .unwrap();
+        assert_eq!(now, Value::str("t-new"));
+    }
+
+    #[test]
+    fn update_at_rejects_key_change() {
+        let s = store();
+        s.insert("effectors", effector("e1", "a")).unwrap();
+        let err = s
+            .update_at("effectors", &ObjectKey::from("e1"), &[TargetStep::attr("eff_id")], Value::str("e9"))
+            .unwrap_err();
+        assert!(matches!(err, StorageError::BadTarget(_)));
+        // Object unchanged.
+        let v = s.get("effectors", &ObjectKey::from("e1")).unwrap();
+        assert_eq!(v.field("eff_id"), Some(&Value::str("e1")));
+    }
+
+    #[test]
+    fn restore_rolls_back() {
+        let s = store();
+        s.insert("effectors", effector("e1", "a")).unwrap();
+        let key = ObjectKey::from("e1");
+        let before = s.update("effectors", &key, effector("e1", "b")).unwrap();
+        s.restore("effectors", &key, Some(before)).unwrap();
+        let v = s.get("effectors", &key).unwrap();
+        assert_eq!(v.field("tool"), Some(&Value::str("a")));
+        // Undo an insert.
+        s.restore("effectors", &key, None).unwrap();
+        assert!(!s.contains("effectors", &key));
+    }
+
+    #[test]
+    fn keys_are_ordered() {
+        let s = store();
+        for e in ["e3", "e1", "e2"] {
+            s.insert("effectors", effector(e, "t")).unwrap();
+        }
+        let keys: Vec<String> = s.keys("effectors").unwrap().iter().map(|k| k.to_string()).collect();
+        assert_eq!(keys, vec!["e1", "e2", "e3"]);
+        assert_eq!(s.len("effectors").unwrap(), 3);
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let s = store();
+        assert!(matches!(s.keys("nope"), Err(StorageError::UnknownRelation(_))));
+        assert!(s.get("nope", &ObjectKey::from("x")).is_err());
+    }
+
+    #[test]
+    fn snapshot_is_deep() {
+        let s = store();
+        s.insert("effectors", effector("e1", "a")).unwrap();
+        let snap = s.snapshot("effectors").unwrap();
+        s.update("effectors", &ObjectKey::from("e1"), effector("e1", "b")).unwrap();
+        assert_eq!(snap.objects[0].1.field("tool"), Some(&Value::str("a")));
+    }
+}

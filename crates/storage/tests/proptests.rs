@@ -1,0 +1,190 @@
+//! Property-based and concurrency tests of the store.
+
+use colock_core::fixtures::fig1_catalog;
+use colock_core::TargetStep;
+use colock_nf2::value::build::{list, set, tup};
+use colock_nf2::{ObjectKey, Value};
+use colock_storage::{StorageError, Store};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::thread;
+
+fn store() -> Store {
+    Store::new(Arc::new(fig1_catalog()))
+}
+
+fn effector(id: &str, tool: &str) -> Value {
+    tup(vec![("eff_id", Value::str(id)), ("tool", Value::str(tool))])
+}
+
+fn cell(id: &str, n_objects: usize, robots: &[(&str, &str)]) -> Value {
+    tup(vec![
+        ("cell_id", Value::str(id)),
+        (
+            "c_objects",
+            set((0..n_objects)
+                .map(|i| {
+                    tup(vec![
+                        ("obj_id", Value::str(format!("{id}-o{i}"))),
+                        ("obj_name", Value::str(format!("n{i}"))),
+                    ])
+                })
+                .collect()),
+        ),
+        (
+            "robots",
+            list(robots
+                .iter()
+                .map(|(rid, traj)| {
+                    tup(vec![
+                        ("robot_id", Value::str(*rid)),
+                        ("trajectory", Value::str(*traj)),
+                        ("effectors", set(vec![])),
+                    ])
+                })
+                .collect()),
+        ),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn insert_get_identity(n in 0usize..20, tool in "[a-z]{1,10}") {
+        let s = store();
+        s.insert("effectors", effector("e1", &tool)).unwrap();
+        s.insert("cells", cell("c1", n, &[("r1", "t1")])).unwrap();
+        let v = s.get("cells", &ObjectKey::from("c1")).unwrap();
+        prop_assert_eq!(v.field("c_objects").unwrap().elements().unwrap().len(), n);
+        let e = s.get("effectors", &ObjectKey::from("e1")).unwrap();
+        prop_assert_eq!(e.field("tool"), Some(&Value::str(tool)));
+    }
+
+    #[test]
+    fn update_at_then_get_at_roundtrip(traj in "[a-z0-9 ]{0,20}") {
+        let s = store();
+        s.insert("cells", cell("c1", 2, &[("r1", "t1"), ("r2", "t2")])).unwrap();
+        let steps = vec![TargetStep::elem("robots", "r2"), TargetStep::attr("trajectory")];
+        s.update_at("cells", &ObjectKey::from("c1"), &steps, Value::str(traj.clone())).unwrap();
+        let got = s.get_at("cells", &ObjectKey::from("c1"), &steps).unwrap();
+        prop_assert_eq!(got, Value::str(traj));
+        // The sibling robot is untouched.
+        let other = s
+            .get_at("cells", &ObjectKey::from("c1"), &[TargetStep::elem("robots", "r1"), TargetStep::attr("trajectory")])
+            .unwrap();
+        prop_assert_eq!(other, Value::str("t1"));
+    }
+
+    #[test]
+    fn restore_is_inverse_of_update(before_tool in "[a-z]{1,8}", after_tool in "[a-z]{1,8}") {
+        let s = store();
+        s.insert("effectors", effector("e1", &before_tool)).unwrap();
+        let key = ObjectKey::from("e1");
+        let image = s.update("effectors", &key, effector("e1", &after_tool)).unwrap();
+        s.restore("effectors", &key, Some(image)).unwrap();
+        let v = s.get("effectors", &key).unwrap();
+        prop_assert_eq!(v.field("tool"), Some(&Value::str(before_tool)));
+    }
+
+    #[test]
+    fn count_referencers_matches_reality(n_robots in 1usize..6, used in 0usize..6) {
+        let s = store();
+        s.insert("effectors", effector("e1", "t")).unwrap();
+        let used = used.min(n_robots);
+        let robots: Vec<Value> = (0..n_robots)
+            .map(|i| {
+                let refs = if i < used {
+                    set(vec![Value::reference("effectors", "e1")])
+                } else {
+                    set(vec![])
+                };
+                tup(vec![
+                    ("robot_id", Value::str(format!("r{i}"))),
+                    ("trajectory", Value::str("t")),
+                    ("effectors", refs),
+                ])
+            })
+            .collect();
+        s.insert(
+            "cells",
+            tup(vec![
+                ("cell_id", Value::str("c1")),
+                ("c_objects", set(vec![])),
+                ("robots", list(robots)),
+            ]),
+        )
+        .unwrap();
+        prop_assert_eq!(s.count_referencers("effectors", &ObjectKey::from("e1")).unwrap(), used);
+        let deletion = s.delete("effectors", &ObjectKey::from("e1"));
+        if used > 0 {
+            let still_referenced =
+                matches!(deletion, Err(StorageError::StillReferenced { .. }));
+            prop_assert!(still_referenced);
+        } else {
+            prop_assert!(deletion.is_ok());
+        }
+    }
+}
+
+#[test]
+fn concurrent_readers_and_writers_do_not_corrupt() {
+    let s = Arc::new(store());
+    for i in 0..8 {
+        s.insert("effectors", effector(&format!("e{i}"), "t0")).unwrap();
+    }
+    let mut handles = Vec::new();
+    for w in 0..4u64 {
+        let s = Arc::clone(&s);
+        handles.push(thread::spawn(move || {
+            for round in 0..50 {
+                let key = ObjectKey::from(format!("e{}", (w as usize + round) % 8));
+                if w % 2 == 0 {
+                    let _ = s.update(
+                        "effectors",
+                        &key,
+                        effector(&key.to_string(), &format!("t{round}")),
+                    );
+                } else {
+                    let v = s.get("effectors", &key).unwrap();
+                    assert!(v.field("tool").is_some());
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // All objects intact and typed.
+    for i in 0..8 {
+        let v = s.get("effectors", &ObjectKey::from(format!("e{i}"))).unwrap();
+        assert_eq!(v.field("eff_id"), Some(&Value::str(format!("e{i}"))));
+    }
+}
+
+#[test]
+fn snapshot_consistent_under_writes() {
+    let s = Arc::new(store());
+    for i in 0..4 {
+        s.insert("effectors", effector(&format!("e{i}"), "start")).unwrap();
+    }
+    let writer = {
+        let s = Arc::clone(&s);
+        thread::spawn(move || {
+            for round in 0..100 {
+                for i in 0..4 {
+                    let _ = s.update(
+                        "effectors",
+                        &ObjectKey::from(format!("e{i}")),
+                        effector(&format!("e{i}"), &format!("r{round}")),
+                    );
+                }
+            }
+        })
+    };
+    for _ in 0..50 {
+        let snap = s.snapshot("effectors").unwrap();
+        assert_eq!(snap.objects.len(), 4);
+    }
+    writer.join().unwrap();
+}

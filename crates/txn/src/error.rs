@@ -1,0 +1,80 @@
+//! Transaction errors.
+
+use colock_core::ProtocolError;
+use colock_lockmgr::{LockError, TxnId};
+use colock_storage::StorageError;
+use std::fmt;
+
+/// Errors raised by transaction operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TxnError {
+    /// Locking failed (would-block, deadlock victim, timeout, rights).
+    Protocol(ProtocolError),
+    /// Storage operation failed.
+    Storage(StorageError),
+    /// Operation on a transaction that is no longer active.
+    NotActive(TxnId),
+    /// Lock request after the transaction entered its shrinking phase
+    /// (strict 2PL violation).
+    TwoPhaseViolation(TxnId),
+    /// Check-in of a target that was never checked out.
+    NotCheckedOut(String),
+}
+
+impl TxnError {
+    /// Whether this error is a deadlock-victim notification (the caller
+    /// should abort and may retry).
+    pub fn is_deadlock(&self) -> bool {
+        matches!(self, TxnError::Protocol(ProtocolError::Lock(LockError::Deadlock { .. })))
+    }
+
+    /// Whether this is a would-block result of a try-lock policy.
+    pub fn is_would_block(&self) -> bool {
+        matches!(self, TxnError::Protocol(ProtocolError::Lock(LockError::WouldBlock { .. })))
+    }
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::Protocol(e) => write!(f, "{e}"),
+            TxnError::Storage(e) => write!(f, "{e}"),
+            TxnError::NotActive(t) => write!(f, "{t} is not active"),
+            TxnError::TwoPhaseViolation(t) => {
+                write!(f, "{t} requested a lock after releasing (2PL violation)")
+            }
+            TxnError::NotCheckedOut(t) => write!(f, "`{t}` was not checked out"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+impl From<ProtocolError> for TxnError {
+    fn from(e: ProtocolError) -> Self {
+        TxnError::Protocol(e)
+    }
+}
+
+impl From<StorageError> for TxnError {
+    fn from(e: StorageError) -> Self {
+        TxnError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlock_classification() {
+        let e = TxnError::Protocol(ProtocolError::Lock(LockError::Deadlock {
+            victim: TxnId(3),
+            cycle: vec![TxnId(1), TxnId(3)],
+        }));
+        assert!(e.is_deadlock());
+        assert!(!e.is_would_block());
+        let wb = TxnError::Protocol(ProtocolError::Lock(LockError::WouldBlock { holders: vec![] }));
+        assert!(wb.is_would_block());
+    }
+}

@@ -1,0 +1,278 @@
+//! The transaction manager.
+
+use crate::error::TxnError;
+use crate::transaction::{Transaction, TxnKind};
+use crate::Result;
+use colock_core::{
+    AccessMode, Authorization, InstanceTarget, LockReport, ProtocolEngine, ProtocolOptions,
+    ResourcePath,
+};
+use colock_lockmgr::{LockManager, TxnId};
+use colock_lockmgr::txnid::TxnIdGen;
+use colock_storage::Store;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which lock protocol a manager (or an individual transaction) uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// The paper's protocol with rule 4′.
+    Proposed,
+    /// The paper's protocol with plain rule 4 (no authorization cooperation).
+    ProposedRule4,
+    /// XSQL-style whole-object locking.
+    WholeObject,
+    /// System R tuple-level locking.
+    TupleLevel,
+    /// Naive traditional DAG on non-disjoint data.
+    NaiveDag,
+    /// Naive DAG with the all-parents rule given up (§3.2.2): cheap X on
+    /// shared data, but from-the-side conflicts go undetected.
+    NaiveRelaxed,
+}
+
+impl ProtocolKind {
+    /// All protocol kinds (for sweeps).
+    pub const ALL: [ProtocolKind; 6] = [
+        ProtocolKind::Proposed,
+        ProtocolKind::ProposedRule4,
+        ProtocolKind::WholeObject,
+        ProtocolKind::TupleLevel,
+        ProtocolKind::NaiveDag,
+        ProtocolKind::NaiveRelaxed,
+    ];
+
+    /// Short display name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Proposed => "proposed(4')",
+            ProtocolKind::ProposedRule4 => "proposed(4)",
+            ProtocolKind::WholeObject => "whole-object",
+            ProtocolKind::TupleLevel => "tuple-level",
+            ProtocolKind::NaiveDag => "naive-dag",
+            ProtocolKind::NaiveRelaxed => "naive-relaxed",
+        }
+    }
+}
+
+pub(crate) struct TxnState {
+    pub undo: Vec<crate::undo::UndoRecord>,
+    pub shrinking: bool,
+    pub checked_out: HashMap<String, InstanceTarget>,
+}
+
+/// The transaction manager: owns lock manager, engine, store, rights.
+pub struct TransactionManager {
+    lm: Arc<LockManager<ResourcePath>>,
+    engine: Arc<ProtocolEngine>,
+    store: Arc<Store>,
+    authz: Arc<Authorization>,
+    protocol: ProtocolKind,
+    idgen: TxnIdGen,
+    pub(crate) states: Mutex<HashMap<TxnId, TxnState>>,
+}
+
+impl TransactionManager {
+    /// Creates a manager over shared components.
+    pub fn new(
+        lm: Arc<LockManager<ResourcePath>>,
+        engine: Arc<ProtocolEngine>,
+        store: Arc<Store>,
+        authz: Arc<Authorization>,
+        protocol: ProtocolKind,
+    ) -> Self {
+        TransactionManager {
+            lm,
+            engine,
+            store,
+            authz,
+            protocol,
+            idgen: TxnIdGen::new(),
+            states: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Convenience constructor wiring everything from a store.
+    pub fn over_store(store: Arc<Store>, authz: Authorization, protocol: ProtocolKind) -> Self {
+        let engine = Arc::new(ProtocolEngine::new(Arc::clone(store.catalog())));
+        Self::new(Arc::new(LockManager::new()), engine, store, Arc::new(authz), protocol)
+    }
+
+    /// Starts a transaction.
+    pub fn begin(&self, kind: TxnKind) -> Transaction<'_> {
+        let id = self.idgen.next();
+        self.states.lock().insert(
+            id,
+            TxnState { undo: Vec::new(), shrinking: false, checked_out: HashMap::new() },
+        );
+        Transaction::new(self, id, kind)
+    }
+
+    /// The lock manager.
+    pub fn lock_manager(&self) -> &Arc<LockManager<ResourcePath>> {
+        &self.lm
+    }
+
+    /// The protocol engine.
+    pub fn engine(&self) -> &Arc<ProtocolEngine> {
+        &self.engine
+    }
+
+    /// The store.
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    /// The rights matrix.
+    pub fn authorization(&self) -> &Arc<Authorization> {
+        &self.authz
+    }
+
+    /// The protocol in use.
+    pub fn protocol(&self) -> ProtocolKind {
+        self.protocol
+    }
+
+    /// Locks `target` for `txn` under the configured protocol.
+    pub fn lock(
+        &self,
+        txn: TxnId,
+        target: &InstanceTarget,
+        access: AccessMode,
+        opts: ProtocolOptions,
+    ) -> Result<LockReport> {
+        {
+            let states = self.states.lock();
+            let st = states.get(&txn).ok_or(TxnError::NotActive(txn))?;
+            if st.shrinking {
+                return Err(TxnError::TwoPhaseViolation(txn));
+            }
+        }
+        let src: &Store = &self.store;
+        let report = match self.protocol {
+            ProtocolKind::Proposed => self.engine.lock_proposed(
+                &self.lm,
+                txn,
+                src,
+                &self.authz,
+                target,
+                access,
+                ProtocolOptions { rule4_prime: true, ..opts },
+            ),
+            ProtocolKind::ProposedRule4 => self.engine.lock_proposed(
+                &self.lm,
+                txn,
+                src,
+                &self.authz,
+                target,
+                access,
+                ProtocolOptions { rule4_prime: false, ..opts },
+            ),
+            ProtocolKind::WholeObject => self
+                .engine
+                .lock_whole_object(&self.lm, txn, src, &self.authz, target, access, opts),
+            ProtocolKind::TupleLevel => self
+                .engine
+                .lock_tuple_level(&self.lm, txn, src, &self.authz, target, access, opts),
+            ProtocolKind::NaiveDag => self
+                .engine
+                .lock_naive_dag(&self.lm, txn, src, &self.authz, target, access, opts),
+            ProtocolKind::NaiveRelaxed => self
+                .engine
+                .lock_naive_relaxed(&self.lm, txn, src, &self.authz, target, access, opts),
+        }?;
+        Ok(report)
+    }
+
+    /// Locks `target` in an explicit multi-granularity mode (IS/IX/S/SIX/X).
+    /// The proposed protocol honours the exact mode; the baselines have no
+    /// notion of intent requests from above and fall back to the S/X their
+    /// access-kind mapping produces.
+    pub fn lock_mode(
+        &self,
+        txn: TxnId,
+        target: &InstanceTarget,
+        mode: colock_lockmgr::LockMode,
+        opts: ProtocolOptions,
+    ) -> Result<LockReport> {
+        {
+            let states = self.states.lock();
+            let st = states.get(&txn).ok_or(TxnError::NotActive(txn))?;
+            if st.shrinking {
+                return Err(TxnError::TwoPhaseViolation(txn));
+            }
+        }
+        let src: &Store = &self.store;
+        match self.protocol {
+            ProtocolKind::Proposed => Ok(self.engine.lock_proposed_mode(
+                &self.lm,
+                txn,
+                src,
+                &self.authz,
+                target,
+                mode,
+                ProtocolOptions { rule4_prime: true, ..opts },
+            )?),
+            ProtocolKind::ProposedRule4 => Ok(self.engine.lock_proposed_mode(
+                &self.lm,
+                txn,
+                src,
+                &self.authz,
+                target,
+                mode,
+                ProtocolOptions { rule4_prime: false, ..opts },
+            )?),
+            _ => {
+                let access = if mode.covers(colock_lockmgr::LockMode::IX) {
+                    AccessMode::Update
+                } else {
+                    AccessMode::Read
+                };
+                self.lock(txn, target, access, opts)
+            }
+        }
+    }
+
+    pub(crate) fn finish(&self, txn: TxnId, commit: bool) -> Result<()> {
+        let state = self
+            .states
+            .lock()
+            .remove(&txn)
+            .ok_or(TxnError::NotActive(txn))?;
+        if !commit {
+            crate::undo::rollback(&self.store, &state.undo);
+        }
+        self.lm.release_all(txn);
+        Ok(())
+    }
+
+    /// Number of active transactions.
+    pub fn active_count(&self) -> usize {
+        self.states.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colock_core::fixtures::fig1_catalog;
+
+    #[test]
+    fn protocol_names_are_distinct() {
+        let mut names: Vec<&str> = ProtocolKind::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn begin_and_finish_lifecycle() {
+        let store = Arc::new(Store::new(Arc::new(fig1_catalog())));
+        let mgr = TransactionManager::over_store(store, Authorization::allow_all(), ProtocolKind::Proposed);
+        let t = mgr.begin(TxnKind::Short);
+        assert_eq!(mgr.active_count(), 1);
+        t.commit().unwrap();
+        assert_eq!(mgr.active_count(), 0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Transaction handles.
+
+use crate::error::TxnError;
+use crate::manager::TransactionManager;
+use crate::undo::UndoRecord;
+use crate::Result;
+use colock_core::{AccessMode, InstanceTarget, LockReport, ProtocolOptions};
+use colock_lockmgr::TxnId;
+use colock_nf2::{ObjectKey, Value};
+
+/// Short (conventional) vs long ("conversational", workstation-server)
+/// transactions (§1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnKind {
+    /// Conventional short transaction; short locks.
+    Short,
+    /// Long transaction; its explicit data locks are long locks that survive
+    /// simulated shutdowns.
+    Long,
+}
+
+/// A live transaction. Dropping without [`Transaction::commit`] /
+/// [`Transaction::abort`] leaks locks on purpose — call one of them (the
+/// experiment drivers always do); a `debug_assert` guards misuse in tests.
+pub struct Transaction<'m> {
+    mgr: &'m TransactionManager,
+    id: TxnId,
+    kind: TxnKind,
+    finished: bool,
+}
+
+impl<'m> Transaction<'m> {
+    pub(crate) fn new(mgr: &'m TransactionManager, id: TxnId, kind: TxnKind) -> Self {
+        Transaction { mgr, id, kind, finished: false }
+    }
+
+    /// The transaction id.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Short or long.
+    pub fn kind(&self) -> TxnKind {
+        self.kind
+    }
+
+    /// The owning manager (store/catalog/lock-manager access for executors).
+    pub fn manager(&self) -> &TransactionManager {
+        self.mgr
+    }
+
+    fn opts(&self) -> ProtocolOptions {
+        ProtocolOptions { long: self.kind == TxnKind::Long, ..ProtocolOptions::default() }
+    }
+
+    /// Locks `target` for `access` without touching data (explicit lock
+    /// request). Returns the lock report.
+    pub fn lock(&self, target: &InstanceTarget, access: AccessMode) -> Result<LockReport> {
+        self.mgr.lock(self.id, target, access, self.opts())
+    }
+
+    /// Non-blocking lock (used by deterministic schedulers).
+    pub fn try_lock(&self, target: &InstanceTarget, access: AccessMode) -> Result<LockReport> {
+        self.mgr.lock(self.id, target, access, self.opts().try_lock())
+    }
+
+    /// Locks `target` in an explicit multi-granularity mode (the planner
+    /// emits SIX for scan-updates). `deref_refs: false` skips downward
+    /// propagation for provably non-dereferencing accesses (§4.5).
+    pub fn lock_with_mode(
+        &self,
+        target: &InstanceTarget,
+        mode: colock_lockmgr::LockMode,
+        deref_refs: bool,
+    ) -> Result<LockReport> {
+        self.mgr.lock_mode(
+            self.id,
+            target,
+            mode,
+            ProtocolOptions { deref_refs, ..self.opts().try_lock() },
+        )
+    }
+
+    /// Blocking variant of [`Transaction::lock_with_mode`].
+    pub fn lock_with_mode_blocking(
+        &self,
+        target: &InstanceTarget,
+        mode: colock_lockmgr::LockMode,
+    ) -> Result<LockReport> {
+        self.mgr.lock_mode(self.id, target, mode, self.opts())
+    }
+
+    /// Locks without downward propagation — for accesses whose semantics
+    /// provably never dereference the contained references (§4.5).
+    pub fn lock_no_deref(&self, target: &InstanceTarget, access: AccessMode) -> Result<LockReport> {
+        self.mgr.lock(self.id, target, access, ProtocolOptions { deref_refs: false, ..self.opts() })
+    }
+
+    /// Reads the value at `target` (locks S first).
+    pub fn read(&self, target: &InstanceTarget) -> Result<Value> {
+        self.lock(target, AccessMode::Read)?;
+        let key = target.object.clone().ok_or_else(|| {
+            TxnError::Storage(colock_storage::StorageError::BadTarget(target.to_string()))
+        })?;
+        Ok(self.mgr.store().get_at(&target.relation, &key, &target.steps)?)
+    }
+
+    /// Updates the subvalue at `target` (locks X first, logs undo).
+    pub fn update(&self, target: &InstanceTarget, new_value: Value) -> Result<()> {
+        self.lock(target, AccessMode::Update)?;
+        let key = target.object.clone().ok_or_else(|| {
+            TxnError::Storage(colock_storage::StorageError::BadTarget(target.to_string()))
+        })?;
+        let before = self
+            .mgr
+            .store()
+            .update_at(&target.relation, &key, &target.steps, new_value)?;
+        self.log(UndoRecord::Updated { relation: target.relation.clone(), key, before });
+        Ok(())
+    }
+
+    /// Inserts a complex object (locks the relation IX + the new object X).
+    pub fn insert(&self, relation: &str, value: Value) -> Result<ObjectKey> {
+        // Insert first to learn the key, then lock the new object; the
+        // relation-level IX comes with the object lock chain. (Phantom
+        // protection is future work in the paper, §5.)
+        let key = self.mgr.store().insert(relation, value)?;
+        let target = InstanceTarget::object(relation, key.clone());
+        match self.lock(&target, AccessMode::Update) {
+            Ok(_) => {
+                self.log(UndoRecord::Inserted { relation: relation.to_string(), key: key.clone() });
+                Ok(key)
+            }
+            Err(e) => {
+                // Lock failed (deadlock victim, …): undo the insert now.
+                let _ = self.mgr.store().restore(relation, &key, None);
+                Err(e)
+            }
+        }
+    }
+
+    /// Deletes a complex object (locks X first, logs undo).
+    pub fn delete(&self, relation: &str, key: &ObjectKey) -> Result<()> {
+        let target = InstanceTarget::object(relation, key.clone());
+        self.lock(&target, AccessMode::Update)?;
+        let before = self.mgr.store().delete(relation, key)?;
+        self.log(UndoRecord::Deleted { relation: relation.to_string(), key: key.clone(), before });
+        Ok(())
+    }
+
+    /// Deletes one element of a set/list (e.g. one robot): X lock on the
+    /// element only. Because deletion provably never dereferences the
+    /// element's references, downward propagation is skipped (§4.5: "no locks
+    /// on common data are necessary at all").
+    pub fn delete_element(&self, element: &InstanceTarget) -> Result<()> {
+        let Some(last) = element.steps.last() else {
+            return Err(TxnError::Storage(colock_storage::StorageError::BadTarget(
+                element.to_string(),
+            )));
+        };
+        let elem_key = last.elem.clone().ok_or_else(|| {
+            TxnError::Storage(colock_storage::StorageError::BadTarget(element.to_string()))
+        })?;
+        let opts = ProtocolOptions { deref_refs: false, ..self.opts() };
+        self.mgr.lock(self.id, element, AccessMode::Update, opts)?;
+
+        let key = element.object.clone().ok_or_else(|| {
+            TxnError::Storage(colock_storage::StorageError::BadTarget(element.to_string()))
+        })?;
+        // Remove the element from its container.
+        let mut container_target = element.clone();
+        let mut last_step = container_target.steps.pop().expect("checked non-empty");
+        last_step.elem = None;
+        container_target.steps.push(last_step);
+        let container = self
+            .mgr
+            .store()
+            .get_at(&element.relation, &key, &container_target.steps)?;
+        let schema_elem_ty = {
+            let rel = self
+                .mgr
+                .store()
+                .catalog()
+                .schema()
+                .relation(&element.relation)
+                .map_err(colock_storage::StorageError::Model)?
+                .clone();
+            container_target
+                .attr_path()
+                .resolve(&rel)
+                .map_err(colock_storage::StorageError::Model)?
+                .element()
+                .cloned()
+        };
+        let mut new_container = container.clone();
+        if let (Some(es), Some(ty)) = (new_container.elements_mut(), schema_elem_ty) {
+            es.retain(|e| e.element_key(&ty).as_ref() != Some(&elem_key));
+        }
+        let before = self
+            .mgr
+            .store()
+            .update_at(&element.relation, &key, &container_target.steps, new_container)?;
+        self.log(UndoRecord::Updated { relation: element.relation.clone(), key, before });
+        Ok(())
+    }
+
+    /// Checks out `target` to a workstation: long lock (S for read-only
+    /// check-out, X for update check-out) plus a private copy of the data.
+    pub fn checkout(&self, target: &InstanceTarget, access: AccessMode) -> Result<Value> {
+        self.mgr.lock(
+            self.id,
+            target,
+            access,
+            ProtocolOptions { long: true, ..ProtocolOptions::default() },
+        )?;
+        let key = target.object.clone().ok_or_else(|| {
+            TxnError::Storage(colock_storage::StorageError::BadTarget(target.to_string()))
+        })?;
+        let value = self.mgr.store().get_at(&target.relation, &key, &target.steps)?;
+        let mut states = self.mgr.states.lock();
+        if let Some(st) = states.get_mut(&self.id) {
+            st.checked_out.insert(target.to_string(), target.clone());
+        }
+        Ok(value)
+    }
+
+    /// Checks a modified copy back in; the target must have been checked out
+    /// by this transaction.
+    pub fn checkin(&self, target: &InstanceTarget, new_value: Value) -> Result<()> {
+        {
+            let states = self.mgr.states.lock();
+            let st = states.get(&self.id).ok_or(TxnError::NotActive(self.id))?;
+            if !st.checked_out.contains_key(&target.to_string()) {
+                return Err(TxnError::NotCheckedOut(target.to_string()));
+            }
+        }
+        let key = target.object.clone().ok_or_else(|| {
+            TxnError::Storage(colock_storage::StorageError::BadTarget(target.to_string()))
+        })?;
+        let before = self
+            .mgr
+            .store()
+            .update_at(&target.relation, &key, &target.steps, new_value)?;
+        self.log(UndoRecord::Updated { relation: target.relation.clone(), key, before });
+        Ok(())
+    }
+
+    /// Releases `target` early (leaf-to-root, rule 5) and puts the
+    /// transaction into its shrinking phase: further lock requests fail.
+    pub fn release_early(&self, target: &InstanceTarget) -> Result<usize> {
+        let released = self
+            .mgr
+            .engine()
+            .release_target_early(self.mgr.lock_manager(), self.id, target)?;
+        let mut states = self.mgr.states.lock();
+        if let Some(st) = states.get_mut(&self.id) {
+            st.shrinking = true;
+        }
+        Ok(released)
+    }
+
+    fn log(&self, rec: UndoRecord) {
+        let mut states = self.mgr.states.lock();
+        if let Some(st) = states.get_mut(&self.id) {
+            st.undo.push(rec);
+        }
+    }
+
+    /// Commits: releases all locks, keeps all changes.
+    pub fn commit(mut self) -> Result<()> {
+        self.finished = true;
+        self.mgr.finish(self.id, true)
+    }
+
+    /// Aborts: rolls back all changes, releases all locks.
+    pub fn abort(mut self) -> Result<()> {
+        self.finished = true;
+        self.mgr.finish(self.id, false)
+    }
+}
+
+impl Drop for Transaction<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            // Abort on drop keeps the system consistent even on panics.
+            let _ = self.mgr.finish(self.id, false);
+        }
+    }
+}

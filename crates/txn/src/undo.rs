@@ -1,0 +1,104 @@
+//! Undo log: before-images for rollback.
+
+use colock_nf2::{ObjectKey, Value};
+use colock_storage::Store;
+
+/// One undo record; applied in reverse order on abort.
+#[derive(Debug, Clone)]
+pub enum UndoRecord {
+    /// An object was inserted: undo removes it.
+    Inserted {
+        /// Relation.
+        relation: String,
+        /// Key of the inserted object.
+        key: ObjectKey,
+    },
+    /// An object was updated: undo restores the before-image.
+    Updated {
+        /// Relation.
+        relation: String,
+        /// Key.
+        key: ObjectKey,
+        /// The full before-image.
+        before: Value,
+    },
+    /// An object was deleted: undo re-inserts the before-image.
+    Deleted {
+        /// Relation.
+        relation: String,
+        /// Key.
+        key: ObjectKey,
+        /// The deleted object.
+        before: Value,
+    },
+}
+
+impl UndoRecord {
+    /// Applies the undo against the store.
+    pub fn apply(&self, store: &Store) {
+        let result = match self {
+            UndoRecord::Inserted { relation, key } => store.restore(relation, key, None),
+            UndoRecord::Updated { relation, key, before }
+            | UndoRecord::Deleted { relation, key, before } => {
+                store.restore(relation, key, Some(before.clone()))
+            }
+        };
+        // `restore` only fails on unknown relations, which cannot happen for
+        // records we produced ourselves.
+        debug_assert!(result.is_ok());
+    }
+}
+
+/// Rolls back a log (newest first).
+pub fn rollback(store: &Store, log: &[UndoRecord]) {
+    for rec in log.iter().rev() {
+        rec.apply(store);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colock_core::fixtures::fig1_catalog;
+    use colock_nf2::value::build::tup;
+    use std::sync::Arc;
+
+    fn effector(id: &str, tool: &str) -> Value {
+        tup(vec![("eff_id", Value::str(id)), ("tool", Value::str(tool))])
+    }
+
+    #[test]
+    fn rollback_reverses_in_order() {
+        let store = Store::new(Arc::new(fig1_catalog()));
+        // op1: insert e1; op2: update e1.
+        store.insert("effectors", effector("e1", "a")).unwrap();
+        let before = store.update("effectors", &ObjectKey::from("e1"), effector("e1", "b")).unwrap();
+        let log = vec![
+            UndoRecord::Inserted { relation: "effectors".into(), key: ObjectKey::from("e1") },
+            UndoRecord::Updated {
+                relation: "effectors".into(),
+                key: ObjectKey::from("e1"),
+                before,
+            },
+        ];
+        rollback(&store, &log);
+        // update undone first, then the insert: object gone entirely.
+        assert!(!store.contains("effectors", &ObjectKey::from("e1")));
+    }
+
+    #[test]
+    fn deleted_record_reinserts() {
+        let store = Store::new(Arc::new(fig1_catalog()));
+        store.insert("effectors", effector("e1", "a")).unwrap();
+        let before = store.delete("effectors", &ObjectKey::from("e1")).unwrap();
+        rollback(
+            &store,
+            &[UndoRecord::Deleted {
+                relation: "effectors".into(),
+                key: ObjectKey::from("e1"),
+                before,
+            }],
+        );
+        assert!(store.contains("effectors", &ObjectKey::from("e1")));
+    }
+}

@@ -1,0 +1,244 @@
+//! Concurrency stress and corner cases at the transaction layer.
+
+use colock_core::authorization::{Authorization, Right};
+use colock_core::fixtures::fig1_catalog;
+use colock_core::{AccessMode, InstanceTarget};
+use colock_nf2::value::build::{list, set, tup};
+use colock_nf2::{ObjectKey, Value};
+use colock_storage::Store;
+use colock_txn::{ProtocolKind, TransactionManager, TxnKind};
+use std::sync::Arc;
+use std::thread;
+
+fn populated(n_cells: usize) -> Arc<Store> {
+    let store = Arc::new(Store::new(Arc::new(fig1_catalog())));
+    for e in 0..4 {
+        store
+            .insert(
+                "effectors",
+                tup(vec![
+                    ("eff_id", Value::str(format!("e{e}"))),
+                    ("tool", Value::str("t")),
+                ]),
+            )
+            .unwrap();
+    }
+    for c in 0..n_cells {
+        store
+            .insert(
+                "cells",
+                tup(vec![
+                    ("cell_id", Value::str(format!("c{c}"))),
+                    ("c_objects", set(vec![])),
+                    (
+                        "robots",
+                        list((0..4)
+                            .map(|r| {
+                                tup(vec![
+                                    ("robot_id", Value::str(format!("r{r}"))),
+                                    ("trajectory", Value::str("t0")),
+                                    (
+                                        "effectors",
+                                        set(vec![Value::reference(
+                                            "effectors",
+                                            format!("e{}", (c + r) % 4),
+                                        )]),
+                                    ),
+                                ])
+                            })
+                            .collect()),
+                    ),
+                ]),
+            )
+            .unwrap();
+    }
+    store
+}
+
+fn manager(n_cells: usize) -> Arc<TransactionManager> {
+    let mut authz = Authorization::allow_all();
+    authz.set_relation_default("effectors", Right::Read);
+    Arc::new(TransactionManager::over_store(populated(n_cells), authz, ProtocolKind::Proposed))
+}
+
+#[test]
+fn parallel_updaters_with_retry_all_writes_land() {
+    let mgr = manager(4);
+    let writers = 8u64;
+    let rounds = 20;
+    thread::scope(|scope| {
+        for w in 0..writers {
+            let mgr = Arc::clone(&mgr);
+            scope.spawn(move || {
+                for round in 0..rounds {
+                    loop {
+                        let txn = mgr.begin(TxnKind::Short);
+                        let target = InstanceTarget::object("cells", format!("c{}", w % 4))
+                            .elem("robots", format!("r{}", (w / 4) % 4))
+                            .attr("trajectory");
+                        match txn.update(&target, Value::str(format!("w{w}-{round}"))) {
+                            Ok(()) => {
+                                txn.commit().unwrap();
+                                break;
+                            }
+                            Err(e) if e.is_deadlock() => {
+                                txn.abort().unwrap();
+                            }
+                            Err(e) => panic!("{e}"),
+                        }
+                    }
+                }
+            });
+        }
+    });
+    // Final state: every touched trajectory carries a final-round value.
+    for w in 0..writers {
+        let v = mgr
+            .store()
+            .get_at(
+                "cells",
+                &ObjectKey::from(format!("c{}", w % 4)),
+                &[colock_core::TargetStep::elem("robots", format!("r{}", (w / 4) % 4))],
+            )
+            .unwrap();
+        let traj = v.field("trajectory").unwrap();
+        let Value::Str(s) = traj else { panic!() };
+        assert!(s.ends_with(&format!("-{}", rounds - 1)), "{s}");
+    }
+    assert_eq!(mgr.lock_manager().table_size(), 0);
+}
+
+#[test]
+fn writers_and_readers_never_observe_torn_objects() {
+    let mgr = manager(2);
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    thread::scope(|scope| {
+        {
+            let mgr = Arc::clone(&mgr);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                for round in 0..60 {
+                    let txn = mgr.begin(TxnKind::Short);
+                    let t = InstanceTarget::object("cells", "c0")
+                        .elem("robots", "r0")
+                        .attr("trajectory");
+                    if txn.update(&t, Value::str(format!("v{round}"))).is_ok() {
+                        txn.commit().unwrap();
+                    } else {
+                        txn.abort().unwrap();
+                    }
+                }
+                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            });
+        }
+        for _ in 0..3 {
+            let mgr = Arc::clone(&mgr);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let txn = mgr.begin(TxnKind::Short);
+                    let t = InstanceTarget::object("cells", "c0").elem("robots", "r0");
+                    match txn.read(&t) {
+                        Ok(v) => {
+                            // A read under S must see a complete robot tuple.
+                            assert!(v.field("robot_id").is_some());
+                            assert!(v.field("trajectory").is_some());
+                        }
+                        Err(e) if e.is_deadlock() => {}
+                        Err(e) => panic!("{e}"),
+                    }
+                    let _ = txn.commit();
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn checkout_of_attribute_subtree() {
+    let mgr = manager(1);
+    let txn = mgr.begin(TxnKind::Long);
+    // Check out the trajectory BLU only.
+    let target = InstanceTarget::object("cells", "c0").elem("robots", "r1").attr("trajectory");
+    let copy = txn.checkout(&target, AccessMode::Update).unwrap();
+    assert_eq!(copy, Value::str("t0"));
+    txn.checkin(&target, Value::str("after")).unwrap();
+    txn.commit().unwrap();
+    let check = mgr.begin(TxnKind::Short);
+    assert_eq!(check.read(&target).unwrap(), Value::str("after"));
+    check.commit().unwrap();
+}
+
+#[test]
+fn multi_object_undo_restores_every_touched_object() {
+    let mgr = manager(3);
+    let txn = mgr.begin(TxnKind::Short);
+    for c in 0..3 {
+        txn.update(
+            &InstanceTarget::object("cells", format!("c{c}"))
+                .elem("robots", "r0")
+                .attr("trajectory"),
+            Value::str("doomed"),
+        )
+        .unwrap();
+    }
+    txn.abort().unwrap();
+    for c in 0..3 {
+        let v = mgr
+            .store()
+            .get_at(
+                "cells",
+                &ObjectKey::from(format!("c{c}")),
+                &[
+                    colock_core::TargetStep::elem("robots", "r0"),
+                    colock_core::TargetStep::attr("trajectory"),
+                ],
+            )
+            .unwrap();
+        assert_eq!(v, Value::str("t0"), "cell c{c} must be rolled back");
+    }
+}
+
+#[test]
+fn naive_relaxed_protocol_end_to_end() {
+    let mut authz = Authorization::allow_all();
+    authz.set_relation_default("effectors", Right::Read);
+    let mgr = TransactionManager::over_store(populated(1), authz, ProtocolKind::NaiveRelaxed);
+    let txn = mgr.begin(TxnKind::Short);
+    txn.update(
+        &InstanceTarget::object("cells", "c0").elem("robots", "r0").attr("trajectory"),
+        Value::str("x"),
+    )
+    .unwrap();
+    txn.commit().unwrap();
+    // No entry-point locks were ever taken (that is the defect).
+    let e0 = mgr
+        .engine()
+        .resource_for(&InstanceTarget::object("effectors", "e0"))
+        .unwrap();
+    assert!(mgr.lock_manager().holders(&e0).is_empty());
+}
+
+#[test]
+fn long_and_short_transactions_interleave() {
+    let mgr = manager(2);
+    let long = mgr.begin(TxnKind::Long);
+    long.checkout(
+        &InstanceTarget::object("cells", "c0").elem("robots", "r0"),
+        AccessMode::Update,
+    )
+    .unwrap();
+    // Short transactions on the other cell proceed freely meanwhile.
+    for _ in 0..5 {
+        let short = mgr.begin(TxnKind::Short);
+        short
+            .update(
+                &InstanceTarget::object("cells", "c1").elem("robots", "r0").attr("trajectory"),
+                Value::str("short"),
+            )
+            .unwrap();
+        short.commit().unwrap();
+    }
+    long.commit().unwrap();
+    assert_eq!(mgr.lock_manager().table_size(), 0);
+}
