@@ -1,15 +1,14 @@
-//! Criterion companion to E1: lock-acquisition cost of "read all parts of a
+//! Companion to E1: lock-acquisition cost of "read all parts of a
 //! cell" per protocol, as the cell grows. Tuple-level locking pays per
 //! element; whole-object and proposed pay O(depth).
 
 use colock_bench::cells_manager;
 use colock_sim::{CellsConfig, Op};
 use colock_txn::{ProtocolKind, TxnKind};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use colock_testkit::BenchHarness;
 
-fn bench_read_parts(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e1_read_parts_lock_cost");
-    group.sample_size(20);
+fn bench_read_parts(h: &mut BenchHarness) {
+    let mut group = h.group("e1_read_parts_lock_cost");
     for n in [10usize, 100, 500] {
         for protocol in
             [ProtocolKind::Proposed, ProtocolKind::WholeObject, ProtocolKind::TupleLevel]
@@ -20,22 +19,20 @@ fn bench_read_parts(c: &mut Criterion) {
                 ..Default::default()
             };
             let mgr = cells_manager(&cfg, protocol);
-            group.bench_with_input(
-                BenchmarkId::new(protocol.name(), n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        let t = mgr.begin(TxnKind::Short);
-                        let (target, access) = Op::ReadParts { cell: 0 }.target();
-                        t.lock(&target, access).unwrap();
-                        t.commit().unwrap();
-                    });
-                },
-            );
+            group.bench(&format!("{}/{}", protocol.name(), n), |b| {
+                b.iter(|| {
+                    let t = mgr.begin(TxnKind::Short);
+                    let (target, access) = Op::ReadParts { cell: 0 }.target();
+                    t.lock(&target, access).unwrap();
+                    t.commit().unwrap();
+                });
+            });
         }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_read_parts);
-criterion_main!(benches);
+fn main() {
+    let mut h = BenchHarness::new();
+    bench_read_parts(&mut h);
+}

@@ -1,13 +1,12 @@
-//! Criterion: raw lock-manager operations — the constant factors underneath
-//! every protocol comparison.
+//! Raw lock-manager operations — the constant factors underneath every
+//! protocol comparison.
 
 use colock_lockmgr::{LockManager, LockMode, LockRequestOptions, TxnId};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use colock_testkit::{black_box, BenchHarness};
 
-fn bench_acquire_release(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lockmgr");
-    group.bench_function("acquire_release_x", |b| {
+fn bench_acquire_release(h: &mut BenchHarness) {
+    let mut group = h.group("lockmgr");
+    group.bench("acquire_release_x", |b| {
         let lm: LockManager<u64> = LockManager::new();
         let txn = TxnId(1);
         b.iter(|| {
@@ -15,7 +14,7 @@ fn bench_acquire_release(c: &mut Criterion) {
             lm.release(txn, &42);
         });
     });
-    group.bench_function("reentrant_covered_acquire", |b| {
+    group.bench("reentrant_covered_acquire", |b| {
         let lm: LockManager<u64> = LockManager::new();
         let txn = TxnId(1);
         lm.acquire(txn, 42, LockMode::X, LockRequestOptions::default()).unwrap();
@@ -23,7 +22,7 @@ fn bench_acquire_release(c: &mut Criterion) {
             lm.acquire(txn, black_box(42), LockMode::S, LockRequestOptions::default()).unwrap()
         });
     });
-    group.bench_function("shared_group_of_8", |b| {
+    group.bench("shared_group_of_8", |b| {
         let lm: LockManager<u64> = LockManager::new();
         for i in 0..8 {
             lm.acquire(TxnId(i), 7, LockMode::S, LockRequestOptions::default()).unwrap();
@@ -34,7 +33,7 @@ fn bench_acquire_release(c: &mut Criterion) {
             lm.release(txn, &7);
         });
     });
-    group.bench_function("conversion_s_to_x", |b| {
+    group.bench("conversion_s_to_x", |b| {
         let lm: LockManager<u64> = LockManager::new();
         let txn = TxnId(1);
         b.iter(|| {
@@ -43,7 +42,7 @@ fn bench_acquire_release(c: &mut Criterion) {
             lm.release(txn, &1);
         });
     });
-    group.bench_function("chain_of_6_intents", |b| {
+    group.bench("chain_of_6_intents", |b| {
         // The cost of one proposed-protocol chain: db/seg/rel/obj/holu/elem.
         let lm: LockManager<u64> = LockManager::new();
         let txn = TxnId(1);
@@ -58,5 +57,7 @@ fn bench_acquire_release(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_acquire_release);
-criterion_main!(benches);
+fn main() {
+    let mut h = BenchHarness::new();
+    bench_acquire_release(&mut h);
+}

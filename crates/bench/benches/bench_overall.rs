@@ -1,18 +1,17 @@
-//! Criterion companion to E6 plus the §4.6 disadvantage-1 measurement:
+//! Companion to E6 plus the §4.6 disadvantage-1 measurement:
 //! the once-per-query analysis/planning overhead of the proposed technique.
 
 use colock_bench::cells_manager;
 use colock_core::optimizer::Optimizer;
 use colock_query::{analyze::analyze, parse, plan::plan_locks};
 use colock_sim::{run_threads, CellsConfig, QueryMix, ThreadConfig};
+use colock_testkit::BenchHarness;
 use colock_txn::{ProtocolKind, TxnKind};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 const Q2: &str = "SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id = 'c1' AND r.robot_id = 'r1' FOR UPDATE";
 
-fn bench_mixed_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e6_mixed_throughput");
-    group.sample_size(10);
+fn bench_mixed_throughput(h: &mut BenchHarness) {
+    let mut group = h.group("e6_mixed_throughput");
     let cells = CellsConfig {
         n_cells: 4,
         c_objects_per_cell: 40,
@@ -27,24 +26,20 @@ fn bench_mixed_throughput(c: &mut Criterion) {
         ProtocolKind::WholeObject,
         ProtocolKind::TupleLevel,
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("engineering_mix", protocol.name()),
-            &protocol,
-            |b, &protocol| {
-                b.iter(|| {
-                    let mgr = cells_manager(&cells, protocol);
-                    let cfg = ThreadConfig {
-                        workers: 4,
-                        txns_per_worker: 8,
-                        ops_per_txn: 3,
-                        mix: QueryMix::engineering(),
-                        seed: 9,
-                        cells,
-                    };
-                    run_threads(&mgr, &cfg)
-                });
-            },
-        );
+        group.bench(&format!("engineering_mix/{}", protocol.name()), |b| {
+            b.iter(|| {
+                let mgr = cells_manager(&cells, protocol);
+                let cfg = ThreadConfig {
+                    workers: 4,
+                    txns_per_worker: 8,
+                    ops_per_txn: 3,
+                    mix: QueryMix::engineering(),
+                    seed: 9,
+                    cells,
+                };
+                run_threads(&mgr, &cfg)
+            });
+        });
     }
     group.finish();
 }
@@ -52,19 +47,19 @@ fn bench_mixed_throughput(c: &mut Criterion) {
 /// §4.6 disadvantage 1: "some additional but small overhead to determine
 /// (only once) the object- and query-specific lock graph before the
 /// execution of a query". Measured: parse+analyze+plan vs full execution.
-fn bench_plan_overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("disadvantage1_plan_overhead");
+fn bench_plan_overhead(h: &mut BenchHarness) {
+    let mut group = h.group("disadvantage1_plan_overhead");
     let cells = CellsConfig::default();
     let mgr = cells_manager(&cells, ProtocolKind::Proposed);
     let catalog = mgr.store().catalog().clone();
-    group.bench_function("parse_analyze_plan_q2", |b| {
+    group.bench("parse_analyze_plan_q2", |b| {
         b.iter(|| {
             let stmt = parse(Q2).unwrap();
             let a = analyze(&catalog, &stmt).unwrap();
             plan_locks(&catalog, stmt, a, &Optimizer::default()).unwrap()
         });
     });
-    group.bench_function("full_execution_q2", |b| {
+    group.bench("full_execution_q2", |b| {
         b.iter(|| {
             let t = mgr.begin(TxnKind::Short);
             let out = colock_query::exec::run(&t, Q2, &Optimizer::default()).unwrap();
@@ -75,5 +70,8 @@ fn bench_plan_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mixed_throughput, bench_plan_overhead);
-criterion_main!(benches);
+fn main() {
+    let mut h = BenchHarness::new();
+    bench_mixed_throughput(&mut h);
+    bench_plan_overhead(&mut h);
+}

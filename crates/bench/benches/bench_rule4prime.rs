@@ -1,14 +1,13 @@
-//! Criterion companion to E4 (ablation): multithreaded throughput of robot
-//! updaters sharing a small effector library — rule 4′ vs plain rule 4.
+//! Companion to E4 (ablation): multithreaded throughput of robot updaters
+//! sharing a small effector library — rule 4′ vs plain rule 4.
 
 use colock_bench::cells_manager;
 use colock_sim::{run_threads, CellsConfig, QueryMix, ThreadConfig};
+use colock_testkit::BenchHarness;
 use colock_txn::ProtocolKind;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_rule4(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e4_rule4_vs_rule4prime");
-    group.sample_size(10);
+fn bench_rule4(h: &mut BenchHarness) {
+    let mut group = h.group("e4_rule4_vs_rule4prime");
     let cells = CellsConfig {
         n_cells: 8,
         robots_per_cell: 4,
@@ -27,27 +26,25 @@ fn bench_rule4(c: &mut Criterion) {
         read_effector: 0,
     };
     for protocol in [ProtocolKind::Proposed, ProtocolKind::ProposedRule4] {
-        group.bench_with_input(
-            BenchmarkId::new("updaters_x4", protocol.name()),
-            &protocol,
-            |b, &protocol| {
-                b.iter(|| {
-                    let mgr = cells_manager(&cells, protocol);
-                    let cfg = ThreadConfig {
-                        workers: 4,
-                        txns_per_worker: 10,
-                        ops_per_txn: 2,
-                        mix,
-                        seed: 3,
-                        cells,
-                    };
-                    run_threads(&mgr, &cfg)
-                });
-            },
-        );
+        group.bench(&format!("updaters_x4/{}", protocol.name()), |b| {
+            b.iter(|| {
+                let mgr = cells_manager(&cells, protocol);
+                let cfg = ThreadConfig {
+                    workers: 4,
+                    txns_per_worker: 10,
+                    ops_per_txn: 2,
+                    mix,
+                    seed: 3,
+                    cells,
+                };
+                run_threads(&mgr, &cfg)
+            });
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_rule4);
-criterion_main!(benches);
+fn main() {
+    let mut h = BenchHarness::new();
+    bench_rule4(&mut h);
+}

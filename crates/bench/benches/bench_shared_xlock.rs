@@ -1,15 +1,14 @@
-//! Criterion companion to E2: wall-clock cost of X-locking a shared
-//! effector — the naive DAG's reverse scan vs the proposed entry-point lock.
+//! Companion to E2: wall-clock cost of X-locking a shared effector — the
+//! naive DAG's reverse scan vs the proposed entry-point lock.
 
 use colock_bench::cells_manager_writable;
 use colock_core::{AccessMode, InstanceTarget};
 use colock_sim::CellsConfig;
+use colock_testkit::BenchHarness;
 use colock_txn::{ProtocolKind, TxnKind};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_shared_xlock(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e2_x_on_shared_effector");
-    group.sample_size(20);
+fn bench_shared_xlock(h: &mut BenchHarness) {
+    let mut group = h.group("e2_x_on_shared_effector");
     for n_cells in [2usize, 8, 32] {
         let cfg = CellsConfig {
             n_cells,
@@ -21,25 +20,23 @@ fn bench_shared_xlock(c: &mut Criterion) {
         };
         for protocol in [ProtocolKind::NaiveDag, ProtocolKind::Proposed] {
             let mgr = cells_manager_writable(&cfg, protocol);
-            group.bench_with_input(
-                BenchmarkId::new(protocol.name(), n_cells),
-                &n_cells,
-                |b, _| {
-                    b.iter(|| {
-                        let t = mgr.begin(TxnKind::Short);
-                        t.lock(
-                            &InstanceTarget::object("effectors", "e1"),
-                            AccessMode::Update,
-                        )
-                        .unwrap();
-                        t.commit().unwrap();
-                    });
-                },
-            );
+            group.bench(&format!("{}/{}", protocol.name(), n_cells), |b| {
+                b.iter(|| {
+                    let t = mgr.begin(TxnKind::Short);
+                    t.lock(
+                        &InstanceTarget::object("effectors", "e1"),
+                        AccessMode::Update,
+                    )
+                    .unwrap();
+                    t.commit().unwrap();
+                });
+            });
         }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_shared_xlock);
-criterion_main!(benches);
+fn main() {
+    let mut h = BenchHarness::new();
+    bench_shared_xlock(&mut h);
+}

@@ -8,8 +8,7 @@ use colock_sim::consistency::{run_scripted, HOp};
 use colock_sim::metrics::Table;
 use colock_sim::{build_cells_store, CellsConfig};
 use colock_txn::{ProtocolKind, TransactionManager};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use colock_testkit::Rng;
 
 fn main() {
     println!("E10 — serializability audit over random concurrent histories\n");
@@ -39,7 +38,7 @@ fn main() {
                 Authorization::allow_all(),
                 protocol,
             );
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             let scripts: Vec<Vec<HOp>> = (0..4)
                 .map(|_| {
                     (0..4)

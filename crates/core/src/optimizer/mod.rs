@@ -18,7 +18,6 @@ pub mod escalation;
 use crate::protocol::target::AccessMode;
 use colock_lockmgr::LockMode;
 use colock_nf2::{AttrPath, Catalog};
-use serde::{Deserialize, Serialize};
 
 /// Estimated data touch of one accessed attribute path of a query.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,7 +51,7 @@ impl AccessEstimate {
 }
 
 /// The granule a planned lock targets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Granularity {
     /// The whole relation.
     Relation,

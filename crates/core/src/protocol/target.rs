@@ -2,11 +2,10 @@
 
 use crate::resource::{PathStep, ResourcePath};
 use colock_nf2::{ObjectKey, ObjectRef};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Kind of access a query performs (FOR READ / FOR UPDATE, Fig. 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessMode {
     /// Reading.
     Read,
@@ -16,7 +15,7 @@ pub enum AccessMode {
 
 /// One step into a complex object: an attribute, optionally narrowed to one
 /// set/list element by key.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TargetStep {
     /// Attribute name.
     pub attr: String,
@@ -38,7 +37,7 @@ impl TargetStep {
 
 /// An instance-level lock target: a lockable unit inside a concrete complex
 /// object — or the object, or its whole relation.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct InstanceTarget {
     /// Relation name.
     pub relation: String,

@@ -12,11 +12,10 @@
 //! the protocol (rule 5) a simple prefix walk.
 
 use colock_nf2::ObjectKey;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One step of an instance path.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum PathStep {
     /// The database node.
     Database(String),
@@ -46,7 +45,7 @@ impl fmt::Display for PathStep {
 }
 
 /// A hierarchical instance path identifying one lockable unit.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ResourcePath {
     steps: Vec<PathStep>,
 }

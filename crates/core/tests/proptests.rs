@@ -11,177 +11,190 @@ use colock_lockmgr::{LockManager, LockMode, TxnId};
 use colock_nf2::builder::{DatabaseBuilder, RelationBuilder};
 use colock_nf2::types::shorthand as ty;
 use colock_nf2::{AttrType, Catalog, DatabaseSchema, ObjectRef};
-use proptest::prelude::*;
+use colock_testkit::prop::{pick_weighted, vec_of};
+use colock_testkit::{ensure, ensure_eq, forall, Rng};
 use std::sync::Arc;
 
 /// Random attribute type of bounded depth (no refs — added separately).
-fn attr_type(depth: u32) -> BoxedStrategy<AttrType> {
-    let leaf = prop_oneof![
-        Just(ty::str_()),
-        Just(ty::int_()),
-        Just(ty::real_()),
-        Just(ty::bool_()),
-    ];
+fn attr_type(rng: &mut Rng, depth: u32) -> AttrType {
+    let leaf = |rng: &mut Rng| match rng.gen_range(0..4u32) {
+        0 => ty::str_(),
+        1 => ty::int_(),
+        2 => ty::real_(),
+        _ => ty::bool_(),
+    };
     if depth == 0 {
-        return leaf.boxed();
+        return leaf(rng);
     }
-    let inner = attr_type(depth - 1);
-    prop_oneof![
-        3 => leaf,
-        1 => inner.clone().prop_map(ty::set),
-        1 => inner.clone().prop_map(ty::list),
-        1 => proptest::collection::vec(inner, 1..3).prop_map(|ts| {
-            ty::tuple(ts.into_iter().enumerate().map(|(i, t)| ty::attr(&format!("g{i}"), t)).collect())
-        }),
-    ]
-    .boxed()
+    match pick_weighted(rng, &[3, 1, 1, 1]) {
+        0 => leaf(rng),
+        1 => ty::set(attr_type(rng, depth - 1)),
+        2 => ty::list(attr_type(rng, depth - 1)),
+        _ => {
+            let ts = vec_of(rng, 1..3, |rng| attr_type(rng, depth - 1));
+            ty::tuple(
+                ts.into_iter()
+                    .enumerate()
+                    .map(|(i, t)| ty::attr(&format!("g{i}"), t))
+                    .collect(),
+            )
+        }
+    }
 }
 
 /// Random two-relation schema: `top` references `lib` via 0..3 ref
 /// attributes, plus random extra attributes.
-fn schema() -> impl Strategy<Value = DatabaseSchema> {
-    (
-        proptest::collection::vec(attr_type(2), 1..4),
-        proptest::collection::vec(attr_type(1), 0..3),
-        0usize..3,
-    )
-        .prop_map(|(top_attrs, lib_attrs, n_refs)| {
-            let mut top = RelationBuilder::new("top", "s1").attr("top_id", ty::str_());
-            for (i, t) in top_attrs.into_iter().enumerate() {
-                top = top.attr(format!("a{i}"), t);
-            }
-            for i in 0..n_refs {
-                top = top.attr(format!("r{i}"), ty::ref_("lib"));
-            }
-            let mut lib = RelationBuilder::new("lib", "s2").attr("lib_id", ty::str_());
-            for (i, t) in lib_attrs.into_iter().enumerate() {
-                lib = lib.attr(format!("b{i}"), t);
-            }
-            DatabaseBuilder::new("db")
-                .segment("s1")
-                .segment("s2")
-                .relation(top.finish())
-                .relation(lib.finish())
-                .finish()
-                .expect("generated schema valid")
-        })
+fn schema(rng: &mut Rng) -> DatabaseSchema {
+    let top_attrs = vec_of(rng, 1..4, |rng| attr_type(rng, 2));
+    let lib_attrs = vec_of(rng, 0..3, |rng| attr_type(rng, 1));
+    let n_refs = rng.gen_range(0usize..3);
+    let mut top = RelationBuilder::new("top", "s1").attr("top_id", ty::str_());
+    for (i, t) in top_attrs.into_iter().enumerate() {
+        top = top.attr(format!("a{i}"), t);
+    }
+    for i in 0..n_refs {
+        top = top.attr(format!("r{i}"), ty::ref_("lib"));
+    }
+    let mut lib = RelationBuilder::new("lib", "s2").attr("lib_id", ty::str_());
+    for (i, t) in lib_attrs.into_iter().enumerate() {
+        lib = lib.attr(format!("b{i}"), t);
+    }
+    DatabaseBuilder::new("db")
+        .segment("s1")
+        .segment("s2")
+        .relation(top.finish())
+        .relation(lib.finish())
+        .finish()
+        .expect("generated schema valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[derive(Debug, Clone)]
+struct Db(DatabaseSchema);
 
-    #[test]
-    fn derivation_invariants(db in schema()) {
-        let g = derive_from_schema(&db);
+colock_testkit::no_shrink!(Db);
+
+#[test]
+fn derivation_invariants() {
+    forall!(cases: 64, |rng| Db(schema(rng)), |Db(db)| {
+        let g = derive_from_schema(db);
         // Every node except the database root has exactly one solid parent,
         // and is listed among that parent's children.
         for n in g.nodes() {
             if n.id == g.db_node() {
-                prop_assert!(n.parent.is_none());
+                ensure!(n.parent.is_none());
             } else {
                 let p = n.parent.expect("non-root has parent");
-                prop_assert!(g.node(p).children.contains(&n.id));
+                ensure!(g.node(p).children.contains(&n.id));
             }
         }
         // BLUs are leaves; only BLUs carry dashed edges; dashed targets are
         // registered relations.
         for n in g.nodes() {
             if n.category == Category::Blu {
-                prop_assert!(n.children.is_empty(), "{} has children", n.name);
+                ensure!(n.children.is_empty(), "{} has children", n.name);
             }
             if let Some(t) = &n.ref_target {
-                prop_assert_eq!(n.category, Category::Blu);
-                prop_assert!(g.relation_node(t).is_some());
+                ensure_eq!(n.category, Category::Blu);
+                ensure!(g.relation_node(t).is_some());
             }
         }
         // Ancestor chains terminate at the database node.
         for n in g.nodes() {
             let anc = g.ancestors(n.id);
             if n.id != g.db_node() {
-                prop_assert_eq!(anc[0], g.db_node());
+                ensure_eq!(anc[0], g.db_node());
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn units_invariants(db in schema()) {
+#[test]
+fn units_invariants() {
+    forall!(cases: 64, |rng| Db(schema(rng)), |Db(db)| {
         let catalog = Catalog::new(db.clone()).unwrap();
-        let g = derive_from_schema(&db);
+        let g = derive_from_schema(db);
         let units = Units::new(&g, &catalog);
-        prop_assert!(units.units_are_disjoint());
+        ensure!(units.units_are_disjoint());
         // If top references lib, lib's CO node is an entry point and its
         // superunit chain is db -> s2 -> lib.
         if db.relation("top").unwrap().direct_ref_targets().contains(&"lib") {
             let ep = units.entry_point("lib").expect("lib is common data");
-            prop_assert!(units.is_entry_point(ep));
+            ensure!(units.is_entry_point(ep));
             let chain = units.superunit_chain("lib");
-            prop_assert_eq!(chain.len(), 3);
+            ensure_eq!(chain.len(), 3);
         } else {
-            prop_assert!(units.entry_point("lib").is_none());
+            ensure!(units.entry_point("lib").is_none());
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn proposed_protocol_lock_sets_obey_parent_rule(
-        db in schema(),
-        n_objects in 1usize..4,
-    ) {
-        // Build a tiny instance: each top object references every lib object.
-        let catalog = Arc::new(Catalog::new(db.clone()).unwrap());
-        let engine = ProtocolEngine::new(Arc::clone(&catalog));
-        let lm = LockManager::new();
-        let mut src = StaticSource::new();
-        let has_refs = !db.relation("top").unwrap().direct_ref_targets().is_empty();
-        for i in 0..n_objects {
-            src.add_object("lib", format!("l{i}"));
-            src.add_object("top", format!("t{i}"));
-            if has_refs {
-                for j in 0..n_objects {
-                    src.add_ref(
-                        "top",
-                        format!("t{i}"),
-                        vec![TargetStep::attr("r0")],
-                        ObjectRef::new("lib", format!("l{j}")),
+#[test]
+fn proposed_protocol_lock_sets_obey_parent_rule() {
+    forall!(
+        cases: 64,
+        |rng| (Db(schema(rng)), rng.gen_range(1usize..4)),
+        |(Db(db), n_objects)| {
+            let n_objects = *n_objects;
+            // Build a tiny instance: each top object references every lib object.
+            let catalog = Arc::new(Catalog::new(db.clone()).unwrap());
+            let engine = ProtocolEngine::new(Arc::clone(&catalog));
+            let lm = LockManager::new();
+            let mut src = StaticSource::new();
+            let has_refs = !db.relation("top").unwrap().direct_ref_targets().is_empty();
+            for i in 0..n_objects {
+                src.add_object("lib", format!("l{i}"));
+                src.add_object("top", format!("t{i}"));
+                if has_refs {
+                    for j in 0..n_objects {
+                        src.add_ref(
+                            "top",
+                            format!("t{i}"),
+                            vec![TargetStep::attr("r0")],
+                            ObjectRef::new("lib", format!("l{j}")),
+                        );
+                    }
+                }
+            }
+            let txn = TxnId(1);
+            let report = engine
+                .lock_proposed(
+                    &lm,
+                    txn,
+                    &src,
+                    &Authorization::allow_all(),
+                    &InstanceTarget::object("top", "t0"),
+                    AccessMode::Update,
+                    ProtocolOptions::default(),
+                )
+                .unwrap();
+
+            // Rule check: for every held non-root lock, the parent resource is
+            // held in (at least) the required intent mode by the same txn.
+            for (resource, mode, _) in lm.locks_of(txn) {
+                if let Some(parent) = resource.parent() {
+                    let held = lm.held_mode(txn, &parent);
+                    let needed = mode.required_parent_intent();
+                    ensure!(
+                        held.covers(needed),
+                        "parent {parent} holds {held}, needs {needed} (child {resource}: {mode})"
                     );
                 }
             }
-        }
-        let txn = TxnId(1);
-        let report = engine
-            .lock_proposed(
-                &lm,
-                txn,
-                &src,
-                &Authorization::allow_all(),
-                &InstanceTarget::object("top", "t0"),
-                AccessMode::Update,
-                ProtocolOptions::default(),
-            )
-            .unwrap();
-
-        // Rule check: for every held non-root lock, the parent resource is
-        // held in (at least) the required intent mode by the same txn.
-        for (resource, mode, _) in lm.locks_of(txn) {
-            if let Some(parent) = resource.parent() {
-                let held = lm.held_mode(txn, &parent);
-                let needed = mode.required_parent_intent();
-                prop_assert!(
-                    held.covers(needed),
-                    "parent {parent} holds {held}, needs {needed} (child {resource}: {mode})"
-                );
+            // Downward propagation reached every referenced lib object.
+            if has_refs {
+                ensure_eq!(report.entry_points_locked as usize, n_objects);
+                for j in 0..n_objects {
+                    let lib = engine
+                        .resource_for(&InstanceTarget::object("lib", format!("l{j}")))
+                        .unwrap();
+                    ensure_eq!(lm.held_mode(txn, &lib), LockMode::X);
+                }
+            } else {
+                ensure_eq!(report.entry_points_locked, 0);
             }
+            Ok(())
         }
-        // Downward propagation reached every referenced lib object.
-        if has_refs {
-            prop_assert_eq!(report.entry_points_locked as usize, n_objects);
-            for j in 0..n_objects {
-                let lib = engine
-                    .resource_for(&InstanceTarget::object("lib", format!("l{j}")))
-                    .unwrap();
-                prop_assert_eq!(lm.held_mode(txn, &lib), LockMode::X);
-            }
-        } else {
-            prop_assert_eq!(report.entry_points_locked, 0);
-        }
-    }
+    );
 }

@@ -6,11 +6,10 @@
 //! supremum of S and IX from [GLPT76], so that lock conversions have a least
 //! upper bound, and **NL** as the neutral element.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Multi-granularity lock modes ordered by increasing strength.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum LockMode {
     /// No lock (neutral element; never stored in the table).
     NL,
@@ -123,6 +122,27 @@ impl fmt::Display for LockMode {
             LockMode::X => "X",
         };
         f.write_str(s)
+    }
+}
+
+impl colock_testkit::codec::FieldCodec for LockMode {
+    fn to_field(&self) -> String {
+        self.to_string()
+    }
+
+    fn from_field(field: &str) -> Result<Self, colock_testkit::codec::CodecError> {
+        match field {
+            "NL" => Ok(LockMode::NL),
+            "IS" => Ok(LockMode::IS),
+            "IX" => Ok(LockMode::IX),
+            "S" => Ok(LockMode::S),
+            "SIX" => Ok(LockMode::SIX),
+            "X" => Ok(LockMode::X),
+            _ => Err(colock_testkit::codec::CodecError::BadField {
+                field: field.to_string(),
+                expected: "LockMode",
+            }),
+        }
     }
 }
 

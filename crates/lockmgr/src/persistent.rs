@@ -6,14 +6,22 @@
 //! snapshot/restore pair: a [`LongLockImage`] captures every grant flagged
 //! `long`; after a (simulated) crash a fresh [`LockManager`] is re-primed
 //! from the image. Short locks — by design — do not survive.
+//!
+//! The on-medium representation is the line-oriented format of
+//! [`colock_testkit::codec`]: a header line, then one
+//! `resource \t owner \t mode` record per long lock. See
+//! [`LongLockImage::to_lines`] / [`LongLockImage::from_lines`].
 
 use crate::mode::LockMode;
 use crate::table::{LockManager, Resource};
 use crate::txnid::TxnId;
-use serde::{Deserialize, Serialize};
+use colock_testkit::codec::{self, CodecError, FieldCodec};
+
+/// Header line of the persisted image format.
+const HEADER: &str = "colock-long-locks v1";
 
 /// Serializable snapshot of all long locks in a lock manager.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct LongLockImage<R> {
     /// `(resource, owner, mode)` triples.
     pub entries: Vec<(R, TxnId, LockMode)>,
@@ -48,6 +56,49 @@ impl<R: Resource> LongLockImage<R> {
     /// Whether the image is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+}
+
+impl<R: Resource + FieldCodec> LongLockImage<R> {
+    /// Encodes the image into its persisted text form (§3.1's "long locks
+    /// must survive system shutdowns and system crashes" — this is the
+    /// representation that survives).
+    pub fn to_lines(&self) -> String {
+        let mut out = String::with_capacity(32 + self.entries.len() * 24);
+        out.push_str(HEADER);
+        out.push('\n');
+        for (resource, txn, mode) in &self.entries {
+            out.push_str(&codec::encode_record(&[
+                resource.to_field(),
+                txn.to_field(),
+                mode.to_field(),
+            ]));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Decodes an image previously produced by [`Self::to_lines`].
+    pub fn from_lines(text: &str) -> Result<Self, CodecError> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(HEADER) => {}
+            other => return Err(CodecError::BadHeader(other.unwrap_or("").to_string())),
+        }
+        let mut entries = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let fields = codec::decode_record(line)?;
+            codec::expect_arity(&fields, 3)?;
+            entries.push((
+                R::from_field(&fields[0])?,
+                TxnId::from_field(&fields[1])?,
+                LockMode::from_field(&fields[2])?,
+            ));
+        }
+        Ok(LongLockImage { entries })
     }
 }
 
@@ -86,6 +137,28 @@ mod tests {
         let mgr: LockManager<&'static str> = LockManager::new();
         mgr.acquire(TxnId(1), "a", S, LockRequestOptions::default()).unwrap();
         assert!(LongLockImage::capture(&mgr).is_empty());
+    }
+
+    #[test]
+    fn lines_roundtrip_exactly() {
+        let mgr: LockManager<String> = LockManager::new();
+        mgr.acquire(TxnId(3), "cells/c1".into(), X, LockRequestOptions::long()).unwrap();
+        mgr.acquire(TxnId(9), "lib/e\t2".into(), S, LockRequestOptions::long()).unwrap();
+        let image = LongLockImage::capture(&mgr);
+        let text = image.to_lines();
+        assert!(text.starts_with("colock-long-locks v1\n"), "{text}");
+        let back = LongLockImage::from_lines(&text).unwrap();
+        assert_eq!(back, image);
+    }
+
+    #[test]
+    fn from_lines_rejects_garbage() {
+        assert!(LongLockImage::<String>::from_lines("").is_err());
+        assert!(LongLockImage::<String>::from_lines("not-the-header\n").is_err());
+        let bad_mode = "colock-long-locks v1\nr\t1\tZZ\n";
+        assert!(LongLockImage::<String>::from_lines(bad_mode).is_err());
+        let bad_arity = "colock-long-locks v1\nr\t1\n";
+        assert!(LongLockImage::<String>::from_lines(bad_arity).is_err());
     }
 
     #[test]

@@ -22,8 +22,8 @@ use crate::mode::LockMode;
 use crate::stats::LockStats;
 use crate::txnid::TxnId;
 use crate::Result;
-use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::fmt;
 use std::hash::Hash;
 use std::time::{Duration, Instant};
@@ -171,9 +171,15 @@ impl<R: Resource> LockManager<R> {
         &self.stats
     }
 
+    /// Locks the table state, recovering from poisoning: a panicking test
+    /// thread must not cascade into every later acquire.
+    fn locked(&self) -> MutexGuard<'_, Inner<R>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// The mode `txn` currently holds on `resource` (NL if none).
     pub fn held_mode(&self, txn: TxnId, resource: &R) -> LockMode {
-        let inner = self.inner.lock();
+        let inner = self.locked();
         inner
             .txns
             .get(&txn)
@@ -184,7 +190,7 @@ impl<R: Resource> LockManager<R> {
 
     /// All `(resource, mode, long)` locks held by `txn`.
     pub fn locks_of(&self, txn: TxnId) -> Vec<(R, LockMode, bool)> {
-        let inner = self.inner.lock();
+        let inner = self.locked();
         inner
             .txns
             .get(&txn)
@@ -194,7 +200,7 @@ impl<R: Resource> LockManager<R> {
 
     /// All `(txn, mode)` grants on `resource`.
     pub fn holders(&self, resource: &R) -> Vec<(TxnId, LockMode)> {
-        let inner = self.inner.lock();
+        let inner = self.locked();
         inner
             .resources
             .get(resource)
@@ -204,19 +210,30 @@ impl<R: Resource> LockManager<R> {
 
     /// Number of resources currently present in the table.
     pub fn table_size(&self) -> usize {
-        self.inner.lock().resources.len()
+        self.locked().resources.len()
     }
 
     /// Total number of grant entries currently in the table.
     pub fn grant_count(&self) -> usize {
-        self.inner.lock().resources.values().map(|s| s.granted.len()).sum()
+        self.locked().resources.values().map(|s| s.granted.len()).sum()
+    }
+
+    /// Number of *ungranted* waiters queued on `resource`. Lets tests (and
+    /// stall diagnostics) observe "txn N is enqueued" directly instead of
+    /// sleeping and hoping the scheduler got there.
+    pub fn waiter_count(&self, resource: &R) -> usize {
+        self.locked()
+            .resources
+            .get(resource)
+            .map(|s| s.waiting.iter().filter(|w| !w.granted).count())
+            .unwrap_or(0)
     }
 
     /// Renders the full lock-table state (holders, waiters, wait targets) —
     /// for diagnostics and stall post-mortems.
     pub fn debug_dump(&self) -> String {
         use std::fmt::Write;
-        let inner = self.inner.lock();
+        let inner = self.locked();
         let mut out = String::new();
         for (r, state) in &inner.resources {
             let _ = writeln!(out, "resource {r:?}:");
@@ -250,7 +267,7 @@ impl<R: Resource> LockManager<R> {
         opts: LockRequestOptions,
     ) -> Result<AcquireOutcome> {
         debug_assert!(mode != LockMode::NL, "cannot acquire NL");
-        let mut inner = self.inner.lock();
+        let mut inner = self.locked();
         LockStats::bump(&self.stats.requests);
 
         let held = inner
@@ -291,7 +308,7 @@ impl<R: Resource> LockManager<R> {
 
     /// Releases `resource` for `txn`. Returns `true` if a lock was released.
     pub fn release(&self, txn: TxnId, resource: &R) -> bool {
-        let mut inner = self.inner.lock();
+        let mut inner = self.locked();
         let removed = self.remove_grant(&mut inner, txn, resource);
         if removed {
             LockStats::bump(&self.stats.releases);
@@ -304,7 +321,7 @@ impl<R: Resource> LockManager<R> {
     /// Releases all locks of `txn` (end of transaction). Returns the number
     /// released.
     pub fn release_all(&self, txn: TxnId) -> usize {
-        let mut inner = self.inner.lock();
+        let mut inner = self.locked();
         let resources: Vec<R> = inner
             .txns
             .get(&txn)
@@ -325,7 +342,7 @@ impl<R: Resource> LockManager<R> {
     /// Releases only the *short* locks of `txn`, keeping long locks — models
     /// the end of a workstation session whose check-outs persist ([KSUW85]).
     pub fn release_short(&self, txn: TxnId) -> usize {
-        let mut inner = self.inner.lock();
+        let mut inner = self.locked();
         let resources: Vec<R> = inner
             .txns
             .get(&txn)
@@ -350,7 +367,7 @@ impl<R: Resource> LockManager<R> {
 
     /// Iterates over every grant in the table (for persistence snapshots).
     pub fn for_each_grant(&self, mut f: impl FnMut(&R, TxnId, LockMode, bool)) {
-        let inner = self.inner.lock();
+        let inner = self.locked();
         for (r, state) in &inner.resources {
             for g in &state.granted {
                 f(r, g.txn, g.mode, g.long);
@@ -360,7 +377,7 @@ impl<R: Resource> LockManager<R> {
 
     /// Installs a grant directly (used by crash-recovery of long locks).
     pub fn install_recovered(&self, txn: TxnId, resource: R, mode: LockMode) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.locked();
         self.install_grant(&mut inner, txn, &resource, mode, true, false);
     }
 
@@ -558,7 +575,7 @@ impl<R: Resource> LockManager<R> {
     #[allow(clippy::too_many_arguments)]
     fn block_until_granted(
         &self,
-        mut inner: parking_lot::MutexGuard<'_, Inner<R>>,
+        mut inner: MutexGuard<'_, Inner<R>>,
         txn: TxnId,
         resource: R,
         target: LockMode,
@@ -621,12 +638,15 @@ impl<R: Resource> LockManager<R> {
             match deadline {
                 Some(d) => {
                     let now = Instant::now();
-                    if now >= d
-                        || self
+                    let timed_out = now >= d || {
+                        let (guard, wait) = self
                             .cond
-                            .wait_until(&mut inner, d)
-                            .timed_out()
-                    {
+                            .wait_timeout(inner, d - now)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        inner = guard;
+                        wait.timed_out()
+                    };
+                    if timed_out {
                         // Re-check once: we may have been granted exactly at
                         // the deadline.
                         let granted_now = inner
@@ -650,11 +670,12 @@ impl<R: Resource> LockManager<R> {
                     // Wake periodically to re-run deadlock detection: a cycle
                     // can involve edges invisible at wait-start (e.g. formed
                     // while a stale candidate masked the first resolution).
-                    let timed_out = self
+                    let (guard, wait) = self
                         .cond
-                        .wait_for(&mut inner, Duration::from_millis(50))
-                        .timed_out();
-                    if timed_out {
+                        .wait_timeout(inner, Duration::from_millis(50))
+                        .unwrap_or_else(PoisonError::into_inner);
+                    inner = guard;
+                    if wait.timed_out() {
                         if let Some(cycle) = self.find_cycle(&inner, txn) {
                             LockStats::bump(&self.stats.deadlocks);
                             if let Some(err) =
@@ -808,10 +829,15 @@ impl<R: Resource> LockManager<R> {
 mod tests {
     use super::*;
     use crate::mode::LockMode::*;
+    use colock_testkit::{run_threads, wait_until};
     use std::sync::Arc;
     use std::thread;
 
     type Mgr = LockManager<&'static str>;
+
+    /// Generous bound for "the other thread is enqueued" waits; the
+    /// predicates normally flip within microseconds.
+    const WAIT: Duration = Duration::from_secs(5);
 
     fn t(n: u64) -> TxnId {
         TxnId(n)
@@ -856,7 +882,7 @@ mod tests {
         let h = thread::spawn(move || {
             m2.acquire(t(2), "a", X, LockRequestOptions::default()).unwrap()
         });
-        thread::sleep(Duration::from_millis(30));
+        wait_until(WAIT, || m.waiter_count(&"a") == 1);
         assert!(m.release(t(1), &"a"));
         assert_eq!(h.join().unwrap(), AcquireOutcome::Granted { waited: true });
         assert_eq!(m.held_mode(t(2), &"a"), X);
@@ -884,7 +910,7 @@ mod tests {
         let h = thread::spawn(move || {
             m2.acquire(t(1), "a", X, LockRequestOptions::default()).unwrap()
         });
-        thread::sleep(Duration::from_millis(30));
+        wait_until(WAIT, || m.waiter_count(&"a") == 1);
         m.release(t(2), &"a");
         assert_eq!(h.join().unwrap(), AcquireOutcome::Granted { waited: true });
         assert_eq!(m.held_mode(t(1), &"a"), X);
@@ -899,7 +925,7 @@ mod tests {
         let h2 = thread::spawn(move || {
             m2.acquire(t(2), "a", X, LockRequestOptions::default()).unwrap()
         });
-        thread::sleep(Duration::from_millis(30));
+        wait_until(WAIT, || m.waiter_count(&"a") == 1);
         // t3's S would be compatible with the grant, but must not overtake.
         let err = m.acquire(t(3), "a", S, LockRequestOptions::try_lock()).unwrap_err();
         assert!(matches!(err, LockError::WouldBlock { .. }));
@@ -917,7 +943,7 @@ mod tests {
         // t1 waits for b.
         let m1 = Arc::clone(&m);
         let h1 = thread::spawn(move || m1.acquire(t(1), "b", X, LockRequestOptions::default()));
-        thread::sleep(Duration::from_millis(30));
+        wait_until(WAIT, || m.waiter_count(&"b") == 1);
         // t2 requests a -> cycle {1,2}; victim = youngest = t2 (the requester).
         let err = m.acquire(t(2), "a", X, LockRequestOptions::default()).unwrap_err();
         match err {
@@ -939,7 +965,7 @@ mod tests {
         m.acquire(t(2), "b", X, LockRequestOptions::default()).unwrap();
         let m2 = Arc::clone(&m);
         let h2 = thread::spawn(move || m2.acquire(t(2), "a", X, LockRequestOptions::default()));
-        thread::sleep(Duration::from_millis(30));
+        wait_until(WAIT, || m.waiter_count(&"a") == 1);
         let m1 = Arc::clone(&m);
         let h1 = thread::spawn(move || m1.acquire(t(1), "b", X, LockRequestOptions::default()));
         let r2 = h2.join().unwrap();
@@ -958,7 +984,7 @@ mod tests {
         m.acquire(t(2), "a", S, LockRequestOptions::default()).unwrap();
         let m1 = Arc::clone(&m);
         let h1 = thread::spawn(move || m1.acquire(t(1), "a", X, LockRequestOptions::default()));
-        thread::sleep(Duration::from_millis(30));
+        wait_until(WAIT, || m.waiter_count(&"a") == 1);
         let r2 = m.acquire(t(2), "a", X, LockRequestOptions::default());
         // One of the two must die (the younger: t2).
         match r2 {
@@ -1023,27 +1049,21 @@ mod tests {
     #[test]
     fn many_threads_on_one_resource_make_progress() {
         let m = Arc::new(Mgr::new());
-        let mut handles = Vec::new();
-        for i in 0..16u64 {
-            let m = Arc::clone(&m);
-            handles.push(thread::spawn(move || {
-                let id = t(i + 1);
-                for _ in 0..20 {
-                    match m.acquire(id, "hot", X, LockRequestOptions::default()) {
-                        Ok(_) => {
-                            m.release(id, &"hot");
-                        }
-                        Err(LockError::Deadlock { .. }) => {
-                            m.release_all(id);
-                        }
-                        Err(e) => panic!("{e}"),
+        let m2 = Arc::clone(&m);
+        run_threads(16, Duration::from_secs(60), move |i| {
+            let id = t(i as u64 + 1);
+            for _ in 0..20 {
+                match m2.acquire(id, "hot", X, LockRequestOptions::default()) {
+                    Ok(_) => {
+                        m2.release(id, &"hot");
                     }
+                    Err(LockError::Deadlock { .. }) => {
+                        m2.release_all(id);
+                    }
+                    Err(e) => panic!("{e}"),
                 }
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
+            }
+        });
         assert_eq!(m.table_size(), 0);
     }
 }

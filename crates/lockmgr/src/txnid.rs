@@ -1,17 +1,26 @@
 //! Transaction identifiers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A transaction identifier. Ids are totally ordered; a smaller id means an
 /// *older* transaction (used for youngest-victim deadlock resolution).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TxnId(pub u64);
 
 impl fmt::Display for TxnId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "T{}", self.0)
+    }
+}
+
+impl colock_testkit::codec::FieldCodec for TxnId {
+    fn to_field(&self) -> String {
+        self.0.to_string()
+    }
+
+    fn from_field(field: &str) -> Result<Self, colock_testkit::codec::CodecError> {
+        u64::from_field(field).map(TxnId)
     }
 }
 

@@ -3,7 +3,8 @@
 //! and the bookkeeping stays consistent.
 
 use colock_lockmgr::{AcquireOutcome, LockError, LockManager, LockMode, LockRequestOptions, TxnId};
-use proptest::prelude::*;
+use colock_testkit::prop::{pick_weighted, vec_of};
+use colock_testkit::{ensure, ensure_eq, forall, no_shrink, Rng};
 
 #[derive(Debug, Clone)]
 enum Cmd {
@@ -12,34 +13,35 @@ enum Cmd {
     ReleaseAll { txn: u64 },
 }
 
-fn cmd() -> impl Strategy<Value = Cmd> {
-    let mode = prop_oneof![
-        Just(LockMode::IS),
-        Just(LockMode::IX),
-        Just(LockMode::S),
-        Just(LockMode::SIX),
-        Just(LockMode::X),
-    ];
-    prop_oneof![
-        4 => (1u64..5, 0u8..4, mode).prop_map(|(txn, resource, mode)| Cmd::Acquire { txn, resource, mode }),
-        2 => (1u64..5, 0u8..4).prop_map(|(txn, resource)| Cmd::Release { txn, resource }),
-        1 => (1u64..5).prop_map(|txn| Cmd::ReleaseAll { txn }),
-    ]
+no_shrink!(Cmd);
+
+const MODES: [LockMode; 5] =
+    [LockMode::IS, LockMode::IX, LockMode::S, LockMode::SIX, LockMode::X];
+
+fn cmd(rng: &mut Rng) -> Cmd {
+    match pick_weighted(rng, &[4, 2, 1]) {
+        0 => Cmd::Acquire {
+            txn: rng.gen_range(1u64..5),
+            resource: rng.gen_range(0u8..4),
+            mode: *rng.choose(&MODES).unwrap(),
+        },
+        1 => Cmd::Release { txn: rng.gen_range(1u64..5), resource: rng.gen_range(0u8..4) },
+        _ => Cmd::ReleaseAll { txn: rng.gen_range(1u64..5) },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn granted_groups_stay_compatible(cmds in proptest::collection::vec(cmd(), 1..60)) {
+#[test]
+fn granted_groups_stay_compatible() {
+    forall!(cases: 256, |rng| vec_of(rng, 1..60, cmd), |cmds: &Vec<Cmd>| {
         let lm: LockManager<u8> = LockManager::new();
-        for c in &cmds {
+        for c in cmds {
             match *c {
                 Cmd::Acquire { txn, resource, mode } => {
                     match lm.acquire(TxnId(txn), resource, mode, LockRequestOptions::try_lock()) {
                         Ok(AcquireOutcome::Granted { .. }) | Ok(AcquireOutcome::AlreadyHeld) => {}
                         Err(LockError::WouldBlock { .. }) => {}
-                        Err(e) => prop_assert!(false, "unexpected error {e}"),
+                        Err(e) => ensure!(false, "unexpected error {e}"),
+                        Ok(o) => ensure!(false, "unexpected outcome {o:?}"),
                     }
                 }
                 Cmd::Release { txn, resource } => {
@@ -54,19 +56,15 @@ proptest! {
                 let holders = lm.holders(&r);
                 for (i, &(ta, ma)) in holders.iter().enumerate() {
                     for &(tb, mb) in holders.iter().skip(i + 1) {
-                        prop_assert!(ta != tb, "duplicate grant entries for {ta}");
-                        prop_assert!(
-                            ma.compatible(mb),
-                            "incompatible co-grants {ma}/{mb} on {r}"
-                        );
+                        ensure!(ta != tb, "duplicate grant entries for {ta}");
+                        ensure!(ma.compatible(mb), "incompatible co-grants {ma}/{mb} on {r}");
                     }
                 }
             }
             // Invariant 2: held_mode agrees with the holders list.
             for r in 0u8..4 {
-                let holders = lm.holders(&r);
-                for &(t, m) in &holders {
-                    prop_assert_eq!(lm.held_mode(t, &r), m);
+                for &(t, m) in &lm.holders(&r) {
+                    ensure_eq!(lm.held_mode(t, &r), m);
                 }
             }
         }
@@ -74,29 +72,38 @@ proptest! {
         for t in 1u64..5 {
             lm.release_all(TxnId(t));
         }
-        prop_assert_eq!(lm.table_size(), 0);
-        prop_assert_eq!(lm.grant_count(), 0);
-    }
+        ensure_eq!(lm.table_size(), 0);
+        ensure_eq!(lm.grant_count(), 0);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn held_mode_only_grows_within_txn(modes in proptest::collection::vec(
-        prop_oneof![Just(LockMode::IS), Just(LockMode::IX), Just(LockMode::S), Just(LockMode::SIX), Just(LockMode::X)],
-        1..10,
-    )) {
-        // A single transaction repeatedly locking one resource: its held
-        // mode is the running join of all requested modes.
-        let lm: LockManager<u8> = LockManager::new();
-        let t = TxnId(1);
-        let mut expected = LockMode::NL;
-        for m in modes {
-            lm.acquire(t, 0, m, LockRequestOptions::default()).unwrap();
-            expected = expected.join(m);
-            prop_assert_eq!(lm.held_mode(t, &0), expected);
+#[test]
+fn held_mode_only_grows_within_txn() {
+    forall!(
+        cases: 256,
+        |rng| vec_of(rng, 1..10, |rng| rng.gen_range(0..MODES.len())),
+        |idxs: &Vec<usize>| {
+            // A single transaction repeatedly locking one resource: its held
+            // mode is the running join of all requested modes.
+            let lm: LockManager<u8> = LockManager::new();
+            let t = TxnId(1);
+            let mut expected = LockMode::NL;
+            for &i in idxs {
+                let m = MODES[i];
+                lm.acquire(t, 0, m, LockRequestOptions::default())
+                    .map_err(|e| format!("acquire failed: {e}"))?;
+                expected = expected.join(m);
+                ensure_eq!(lm.held_mode(t, &0), expected);
+            }
+            Ok(())
         }
-    }
+    );
+}
 
-    #[test]
-    fn stats_requests_match_command_count(n in 1usize..30) {
+#[test]
+fn stats_requests_match_command_count() {
+    forall!(cases: 64, |rng| rng.gen_range(1usize..30), |&n| {
         let lm: LockManager<u8> = LockManager::new();
         for i in 0..n {
             let _ = lm.acquire(
@@ -106,6 +113,7 @@ proptest! {
                 LockRequestOptions::try_lock(),
             );
         }
-        prop_assert_eq!(lm.stats().snapshot().requests, n as u64);
-    }
+        ensure_eq!(lm.stats().snapshot().requests, n as u64);
+        Ok(())
+    });
 }

@@ -13,11 +13,10 @@ use crate::path::AttrPath;
 use crate::schema::DatabaseSchema;
 use crate::types::AttrType;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Statistics about one homogeneously structured attribute (set/list).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AttrStats {
     /// Average number of elements of the set/list per parent instance.
     pub avg_cardinality: f64,
@@ -31,7 +30,7 @@ impl Default for AttrStats {
 }
 
 /// Statistics about one relation.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RelationStats {
     /// Number of complex objects in the relation.
     pub cardinality: u64,
@@ -53,7 +52,7 @@ impl RelationStats {
 }
 
 /// The catalog: validated schema plus statistics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Catalog {
     schema: DatabaseSchema,
     stats: HashMap<String, RelationStats>,

@@ -10,11 +10,10 @@ use crate::error::Nf2Error;
 use crate::schema::RelationSchema;
 use crate::types::AttrType;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A dot-separated attribute path relative to a relation.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AttrPath {
     steps: Vec<String>,
 }

@@ -13,11 +13,10 @@
 use crate::error::Nf2Error;
 use crate::types::{AttrType, Attribute};
 use crate::Result;
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// Schema of one relation: a named set of complex tuples placed in a segment.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RelationSchema {
     /// Relation name, e.g. `cells`.
     pub name: String,
@@ -94,14 +93,14 @@ fn validate_attr_names(ty: &AttrType) -> Result<()> {
 
 /// Schema of a segment (a named container of relations, as in System R's lock
 /// graph, Fig. 2).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SegmentSchema {
     /// Segment name, e.g. `seg1`.
     pub name: String,
 }
 
 /// Schema of a whole database: segments plus relations.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DatabaseSchema {
     /// Database name, e.g. `db1`.
     pub name: String,

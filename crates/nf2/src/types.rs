@@ -7,11 +7,10 @@
 //! The HoLU/HeLU/BLU distinction of the general lock graph (Fig. 4) is derived
 //! from exactly this classification.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Atomic (leaf) data types without inner structure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AtomicType {
     /// Strings (`str` in Fig. 1).
     Str,
@@ -36,7 +35,7 @@ impl fmt::Display for AtomicType {
 }
 
 /// The type of an attribute value in the extended NF² model.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AttrType {
     /// An atomic attribute without inner structure.
     Atomic(AtomicType),
@@ -146,7 +145,7 @@ impl fmt::Display for AttrType {
 ///
 /// Following Fig. 1, an attribute whose name ends in `_id` is treated as a key
 /// attribute by convention; [`Attribute::key`] can also be set explicitly.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Attribute {
     /// Attribute name (added to each node of the schema tree in Fig. 1).
     pub name: String,

@@ -4,12 +4,11 @@ use crate::error::Nf2Error;
 use crate::schema::{DatabaseSchema, RelationSchema};
 use crate::types::{AtomicType, AttrType};
 use crate::Result;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Key of a complex object within its relation (the value of the relation's
 /// key attribute). Only atomic values can be keys.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ObjectKey {
     /// String key (e.g. `"c1"`, `"e2"`).
     Str(String),
@@ -49,7 +48,7 @@ impl From<i64> for ObjectKey {
 /// The paper makes no assumption about the implementation of references (key
 /// values, surrogates [MeLo83], …); we use `(relation, key)` pairs, which is
 /// the key-value variant.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ObjectRef {
     /// Target relation name.
     pub relation: String,
@@ -71,7 +70,7 @@ impl fmt::Display for ObjectRef {
 }
 
 /// An attribute value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// String value.
     Str(String),

@@ -7,8 +7,7 @@ use colock_nf2::value::build::{list, set, tup};
 use colock_nf2::{Catalog, ObjectKey, Value};
 use colock_storage::stats::catalog_with_stats;
 use colock_storage::Store;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use colock_testkit::Rng;
 use std::sync::Arc;
 
 /// Parameters of the cells/effectors database.
@@ -70,7 +69,7 @@ impl CellsConfig {
 pub fn build_cells_store(cfg: &CellsConfig) -> Arc<Store> {
     let base = Arc::new(Catalog::new(fig1_schema()).expect("fig1 schema"));
     let staging = Store::new(base);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
 
     for e in 0..cfg.n_effectors {
         staging

@@ -3,8 +3,7 @@
 use crate::workload::cells::CellsConfig;
 use colock_core::{AccessMode, InstanceTarget};
 use colock_nf2::Value;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use colock_testkit::Rng;
 
 /// One operation of a simulated transaction.
 #[derive(Debug, Clone, PartialEq)]
@@ -195,13 +194,13 @@ impl QueryMix {
 pub struct OpGenerator {
     cfg: CellsConfig,
     mix: QueryMix,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl OpGenerator {
     /// Creates a generator.
     pub fn new(cfg: CellsConfig, mix: QueryMix, seed: u64) -> Self {
-        OpGenerator { cfg, mix, rng: StdRng::seed_from_u64(seed) }
+        OpGenerator { cfg, mix, rng: Rng::seed_from_u64(seed) }
     }
 
     /// Draws the next operation.

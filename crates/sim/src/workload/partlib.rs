@@ -9,8 +9,7 @@ use colock_nf2::value::build::{set, tup};
 use colock_nf2::{Catalog, DatabaseSchema, ObjectKey, Value};
 use colock_storage::stats::catalog_with_stats;
 use colock_storage::Store;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use colock_testkit::Rng;
 use std::sync::Arc;
 
 /// Parameters of the part-library database.
@@ -88,7 +87,7 @@ pub fn material_key(i: usize) -> ObjectKey {
 pub fn build_partlib_store(cfg: &PartLibConfig) -> Arc<Store> {
     let base = Arc::new(Catalog::new(partlib_schema()).expect("schema"));
     let staging = Store::new(base);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
 
     for m in 0..cfg.n_materials {
         staging

@@ -6,8 +6,7 @@ use colock_core::authorization::Authorization;
 use colock_sim::consistency::{run_scripted, HOp, Violation};
 use colock_sim::{build_cells_store, CellsConfig};
 use colock_txn::{ProtocolKind, TransactionManager};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use colock_testkit::{ensure, forall, Rng};
 
 fn cfg() -> CellsConfig {
     CellsConfig {
@@ -108,7 +107,7 @@ fn random_scripts(seed: u64, workers: usize, txns: usize, ops: usize, c: &CellsC
     // transaction of `ops` operations, repeated over `txns` rounds by the
     // caller.
     let _ = txns;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..workers)
         .map(|_| {
             (0..ops)
@@ -128,32 +127,38 @@ fn random_scripts(seed: u64, workers: usize, txns: usize, ops: usize, c: &CellsC
         .collect()
 }
 
+/// A full multi-worker workload; opaque to shrinking (replay by seed).
+#[derive(Debug, Clone)]
+struct Workload(Vec<Vec<HOp>>);
+
+colock_testkit::no_shrink!(Workload);
+
 #[test]
 fn proposed_is_serializable_on_random_workloads() {
     let c = cfg();
-    for seed in 0..30 {
+    forall!(cases: 30, |rng| Workload(random_scripts(rng.next_u64(), 4, 1, 4, &c)), |w: &Workload| {
         let mgr = manager(ProtocolKind::Proposed);
-        let scripts = random_scripts(seed, 4, 1, 4, &c);
-        let history = run_scripted(&mgr, scripts);
+        let history = run_scripted(&mgr, w.0.clone());
         if let Err(v) = history.check() {
-            panic!("seed {seed}: {v}");
+            return Err(format!("{v}"));
         }
-    }
+        Ok(())
+    });
 }
 
 #[test]
 fn whole_object_and_tuple_level_are_serializable_on_random_workloads() {
     let c = cfg();
-    for protocol in [ProtocolKind::WholeObject, ProtocolKind::TupleLevel] {
-        for seed in 0..15 {
+    forall!(cases: 15, |rng| Workload(random_scripts(rng.next_u64(), 4, 1, 3, &c)), |w: &Workload| {
+        for protocol in [ProtocolKind::WholeObject, ProtocolKind::TupleLevel] {
             let mgr = manager(protocol);
-            let scripts = random_scripts(seed, 4, 1, 3, &c);
-            let history = run_scripted(&mgr, scripts);
+            let history = run_scripted(&mgr, w.0.clone());
             if let Err(v) = history.check() {
-                panic!("{protocol:?} seed {seed}: {v}");
+                return Err(format!("{protocol:?}: {v}"));
             }
         }
-    }
+        Ok(())
+    });
 }
 
 #[test]
@@ -177,16 +182,14 @@ fn aborted_transactions_never_leak_writes() {
     // Deadlock victims in the scripted runner stay aborted; committed
     // readers must never observe their versions (atomicity).
     let c = cfg();
-    for seed in 0..30 {
+    forall!(cases: 30, |rng| Workload(random_scripts(rng.next_u64(), 4, 1, 4, &c)), |w: &Workload| {
         let mgr = manager(ProtocolKind::Proposed);
-        let scripts = random_scripts(seed * 31 + 7, 4, 1, 4, &c);
-        let history = run_scripted(&mgr, scripts);
+        let history = run_scripted(&mgr, w.0.clone());
         match history.check() {
             Ok(()) => {}
-            Err(Violation::DirtyRead { .. }) => panic!("dirty read at seed {seed}"),
-            Err(Violation::NotSerializable { cycle }) => {
-                panic!("cycle at seed {seed}: {cycle:?}")
-            }
+            Err(Violation::DirtyRead { .. }) => ensure!(false, "dirty read"),
+            Err(Violation::NotSerializable { cycle }) => ensure!(false, "cycle: {cycle:?}"),
         }
-    }
+        Ok(())
+    });
 }

@@ -5,10 +5,27 @@ use crate::navigate;
 use crate::Result;
 use colock_core::TargetStep;
 use colock_nf2::{Catalog, ObjectKey, ObjectRef, RelationSchema, Value};
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Poison-recovering latch acquisition: a reader/writer that panicked cannot
+/// leave a relation permanently unusable — the data is guarded by the
+/// transaction locks above, the latch only protects the map structure.
+trait Latch<T> {
+    fn read_latch(&self) -> RwLockReadGuard<'_, T>;
+    fn write_latch(&self) -> RwLockWriteGuard<'_, T>;
+}
+
+impl<T> Latch<T> for RwLock<T> {
+    fn read_latch(&self) -> RwLockReadGuard<'_, T> {
+        self.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write_latch(&self) -> RwLockWriteGuard<'_, T> {
+        self.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
 
 #[derive(Debug, Default)]
 struct RelationData {
@@ -93,7 +110,7 @@ impl Store {
         let schema = self.schema_of(relation)?;
         let key = value.check_object(schema)?;
         self.check_refs_resolve(&value)?;
-        let mut data = self.data(relation)?.write();
+        let mut data = self.data(relation)?.write_latch();
         if data.objects.contains_key(&key) {
             return Err(StorageError::DuplicateObject {
                 relation: relation.to_string(),
@@ -106,7 +123,7 @@ impl Store {
 
     /// Reads a full object (cloned).
     pub fn get(&self, relation: &str, key: &ObjectKey) -> Result<Value> {
-        let data = self.data(relation)?.read();
+        let data = self.data(relation)?.read_latch();
         data.objects.get(key).cloned().ok_or_else(|| StorageError::UnknownObject {
             relation: relation.to_string(),
             key: key.clone(),
@@ -120,7 +137,7 @@ impl Store {
         key: &ObjectKey,
         f: impl FnOnce(&Value) -> T,
     ) -> Result<T> {
-        let data = self.data(relation)?.read();
+        let data = self.data(relation)?.read_latch();
         data.objects
             .get(key)
             .map(f)
@@ -150,7 +167,7 @@ impl Store {
             )));
         }
         self.check_refs_resolve(&value)?;
-        let mut data = self.data(relation)?.write();
+        let mut data = self.data(relation)?.write_latch();
         match data.objects.get_mut(key) {
             Some(slot) => Ok(std::mem::replace(slot, value)),
             None => Err(StorageError::UnknownObject {
@@ -161,7 +178,9 @@ impl Store {
     }
 
     /// Replaces the subvalue at `steps`; returns the before-image of the
-    /// *whole object* (undo granularity is the object).
+    /// *replaced subvalue*. Undo granularity matches lock granularity: a
+    /// rollback must restore only the subtree this update touched, or it
+    /// would clobber concurrent (element-locked) sibling writes.
     pub fn update_at(
         &self,
         relation: &str,
@@ -171,23 +190,46 @@ impl Store {
     ) -> Result<Value> {
         let schema = self.schema_of(relation)?;
         self.check_refs_resolve(&new_value)?;
-        let mut data = self.data(relation)?.write();
+        let mut data = self.data(relation)?.write_latch();
         let obj = data.objects.get_mut(key).ok_or_else(|| StorageError::UnknownObject {
             relation: relation.to_string(),
             key: key.clone(),
         })?;
-        let before = obj.clone();
+        let whole_before = obj.clone();
         let slot = navigate::navigate_mut(schema, obj, steps).ok_or_else(|| {
             StorageError::BadTarget(format!("{relation}[{key}].{steps:?}"))
         })?;
-        *slot = new_value;
+        let before = std::mem::replace(slot, new_value);
         // Re-validate the whole object (type + key stability).
         let new_key = obj.check_object(schema)?;
         if &new_key != key {
-            *obj = before.clone();
+            *obj = whole_before;
             return Err(StorageError::BadTarget("update_at must not change the key".into()));
         }
         Ok(before)
+    }
+
+    /// Writes a rollback image back at `steps` (the inverse of
+    /// [`Store::update_at`]). Like [`Store::restore`], no referential checks
+    /// are performed: the image is a state the object already held.
+    pub fn restore_at(
+        &self,
+        relation: &str,
+        key: &ObjectKey,
+        steps: &[TargetStep],
+        image: Value,
+    ) -> Result<()> {
+        let schema = self.schema_of(relation)?;
+        let mut data = self.data(relation)?.write_latch();
+        let obj = data.objects.get_mut(key).ok_or_else(|| StorageError::UnknownObject {
+            relation: relation.to_string(),
+            key: key.clone(),
+        })?;
+        let slot = navigate::navigate_mut(schema, obj, steps).ok_or_else(|| {
+            StorageError::BadTarget(format!("{relation}[{key}].{steps:?}"))
+        })?;
+        *slot = image;
+        Ok(())
     }
 
     /// Deletes an object; rejected while other objects still reference it
@@ -201,7 +243,7 @@ impl Store {
                 referencers,
             });
         }
-        let mut data = self.data(relation)?.write();
+        let mut data = self.data(relation)?.write_latch();
         data.objects.remove(key).ok_or_else(|| StorageError::UnknownObject {
             relation: relation.to_string(),
             key: key.clone(),
@@ -211,7 +253,7 @@ impl Store {
     /// Restores an object to a previous image (transaction rollback); also
     /// used to undo a delete (re-insert) or an insert (remove, pass `None`).
     pub fn restore(&self, relation: &str, key: &ObjectKey, image: Option<Value>) -> Result<()> {
-        let mut data = self.data(relation)?.write();
+        let mut data = self.data(relation)?.write_latch();
         match image {
             Some(v) => {
                 data.objects.insert(key.clone(), v);
@@ -225,12 +267,12 @@ impl Store {
 
     /// Keys of a relation, in order.
     pub fn keys(&self, relation: &str) -> Result<Vec<ObjectKey>> {
-        Ok(self.data(relation)?.read().objects.keys().cloned().collect())
+        Ok(self.data(relation)?.read_latch().objects.keys().cloned().collect())
     }
 
     /// Number of objects in a relation.
     pub fn len(&self, relation: &str) -> Result<usize> {
-        Ok(self.data(relation)?.read().objects.len())
+        Ok(self.data(relation)?.read_latch().objects.len())
     }
 
     /// Whether a relation is empty.
@@ -241,13 +283,13 @@ impl Store {
     /// Whether an object exists.
     pub fn contains(&self, relation: &str, key: &ObjectKey) -> bool {
         self.data(relation)
-            .map(|d| d.read().objects.contains_key(key))
+            .map(|d| d.read_latch().objects.contains_key(key))
             .unwrap_or(false)
     }
 
     /// A consistent snapshot of one relation.
     pub fn snapshot(&self, relation: &str) -> Result<RelationSnapshot> {
-        let data = self.data(relation)?.read();
+        let data = self.data(relation)?.read_latch();
         Ok(RelationSnapshot {
             relation: relation.to_string(),
             objects: data.objects.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
@@ -271,7 +313,7 @@ impl Store {
             if !rel.direct_ref_targets().contains(&relation) {
                 continue;
             }
-            let data = self.data(&rel.name)?.read();
+            let data = self.data(&rel.name)?.read_latch();
             for obj in data.objects.values() {
                 let mut refs = Vec::new();
                 obj.collect_refs(&mut refs);
@@ -289,7 +331,7 @@ impl Store {
         value.collect_refs(&mut refs);
         for r in refs {
             let data = self.data(&r.relation)?;
-            if !data.read().objects.contains_key(&r.key) {
+            if !data.read_latch().objects.contains_key(&r.key) {
                 return Err(StorageError::DanglingReference {
                     relation: r.relation.clone(),
                     key: r.key.clone(),
@@ -378,7 +420,7 @@ mod tests {
     }
 
     #[test]
-    fn update_at_returns_before_image() {
+    fn update_at_returns_subvalue_before_image() {
         let s = store();
         s.insert("effectors", effector("e1", "a")).unwrap();
         s.insert("cells", cell("c1", vec![("r1", vec!["e1"])])).unwrap();
@@ -391,14 +433,27 @@ mod tests {
                 Value::str("t-new"),
             )
             .unwrap();
-        // Before-image holds the old trajectory.
-        let old = navigate::navigate(
-            s.catalog().schema().relation("cells").unwrap(),
-            &before,
+        // The before-image is the replaced subvalue itself (path-granular).
+        assert_eq!(before, Value::str("t-r1"));
+        // And restore_at is its inverse.
+        s.restore_at(
+            "cells",
+            &key,
             &[TargetStep::elem("robots", "r1"), TargetStep::attr("trajectory")],
+            before,
         )
         .unwrap();
-        assert_eq!(old, &Value::str("t-r1"));
+        let restored = s
+            .get_at("cells", &key, &[TargetStep::elem("robots", "r1"), TargetStep::attr("trajectory")])
+            .unwrap();
+        assert_eq!(restored, Value::str("t-r1"));
+        s.update_at(
+            "cells",
+            &key,
+            &[TargetStep::elem("robots", "r1"), TargetStep::attr("trajectory")],
+            Value::str("t-new"),
+        )
+        .unwrap();
         let now = s
             .get_at("cells", &key, &[TargetStep::elem("robots", "r1"), TargetStep::attr("trajectory")])
             .unwrap();

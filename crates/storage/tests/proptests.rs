@@ -5,9 +5,11 @@ use colock_core::TargetStep;
 use colock_nf2::value::build::{list, set, tup};
 use colock_nf2::{ObjectKey, Value};
 use colock_storage::{StorageError, Store};
-use proptest::prelude::*;
+use colock_testkit::prop::string_of;
+use colock_testkit::{ensure, ensure_eq, forall, run_threads};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
 fn store() -> Store {
     Store::new(Arc::new(fig1_catalog()))
@@ -47,84 +49,115 @@ fn cell(id: &str, n_objects: usize, robots: &[(&str, &str)]) -> Value {
     ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn insert_get_identity(n in 0usize..20, tool in "[a-z]{1,10}") {
-        let s = store();
-        s.insert("effectors", effector("e1", &tool)).unwrap();
-        s.insert("cells", cell("c1", n, &[("r1", "t1")])).unwrap();
-        let v = s.get("cells", &ObjectKey::from("c1")).unwrap();
-        prop_assert_eq!(v.field("c_objects").unwrap().elements().unwrap().len(), n);
-        let e = s.get("effectors", &ObjectKey::from("e1")).unwrap();
-        prop_assert_eq!(e.field("tool"), Some(&Value::str(tool)));
-    }
-
-    #[test]
-    fn update_at_then_get_at_roundtrip(traj in "[a-z0-9 ]{0,20}") {
-        let s = store();
-        s.insert("cells", cell("c1", 2, &[("r1", "t1"), ("r2", "t2")])).unwrap();
-        let steps = vec![TargetStep::elem("robots", "r2"), TargetStep::attr("trajectory")];
-        s.update_at("cells", &ObjectKey::from("c1"), &steps, Value::str(traj.clone())).unwrap();
-        let got = s.get_at("cells", &ObjectKey::from("c1"), &steps).unwrap();
-        prop_assert_eq!(got, Value::str(traj));
-        // The sibling robot is untouched.
-        let other = s
-            .get_at("cells", &ObjectKey::from("c1"), &[TargetStep::elem("robots", "r1"), TargetStep::attr("trajectory")])
-            .unwrap();
-        prop_assert_eq!(other, Value::str("t1"));
-    }
-
-    #[test]
-    fn restore_is_inverse_of_update(before_tool in "[a-z]{1,8}", after_tool in "[a-z]{1,8}") {
-        let s = store();
-        s.insert("effectors", effector("e1", &before_tool)).unwrap();
-        let key = ObjectKey::from("e1");
-        let image = s.update("effectors", &key, effector("e1", &after_tool)).unwrap();
-        s.restore("effectors", &key, Some(image)).unwrap();
-        let v = s.get("effectors", &key).unwrap();
-        prop_assert_eq!(v.field("tool"), Some(&Value::str(before_tool)));
-    }
-
-    #[test]
-    fn count_referencers_matches_reality(n_robots in 1usize..6, used in 0usize..6) {
-        let s = store();
-        s.insert("effectors", effector("e1", "t")).unwrap();
-        let used = used.min(n_robots);
-        let robots: Vec<Value> = (0..n_robots)
-            .map(|i| {
-                let refs = if i < used {
-                    set(vec![Value::reference("effectors", "e1")])
-                } else {
-                    set(vec![])
-                };
-                tup(vec![
-                    ("robot_id", Value::str(format!("r{i}"))),
-                    ("trajectory", Value::str("t")),
-                    ("effectors", refs),
-                ])
-            })
-            .collect();
-        s.insert(
-            "cells",
-            tup(vec![
-                ("cell_id", Value::str("c1")),
-                ("c_objects", set(vec![])),
-                ("robots", list(robots)),
-            ]),
-        )
-        .unwrap();
-        prop_assert_eq!(s.count_referencers("effectors", &ObjectKey::from("e1")).unwrap(), used);
-        let deletion = s.delete("effectors", &ObjectKey::from("e1"));
-        if used > 0 {
-            let still_referenced =
-                matches!(deletion, Err(StorageError::StillReferenced { .. }));
-            prop_assert!(still_referenced);
-        } else {
-            prop_assert!(deletion.is_ok());
+#[test]
+fn insert_get_identity() {
+    forall!(
+        cases: 64,
+        |rng| (rng.gen_range(0usize..20), string_of(rng, "abcdefghijklmnopqrstuvwxyz", 1..11)),
+        |(n, tool): &(usize, String)| {
+            let s = store();
+            s.insert("effectors", effector("e1", tool)).unwrap();
+            s.insert("cells", cell("c1", *n, &[("r1", "t1")])).unwrap();
+            let v = s.get("cells", &ObjectKey::from("c1")).unwrap();
+            ensure_eq!(v.field("c_objects").unwrap().elements().unwrap().len(), *n);
+            let e = s.get("effectors", &ObjectKey::from("e1")).unwrap();
+            ensure_eq!(e.field("tool"), Some(&Value::str(tool.clone())));
+            Ok(())
         }
-    }
+    );
+}
+
+#[test]
+fn update_at_then_get_at_roundtrip() {
+    forall!(
+        cases: 64,
+        |rng| string_of(rng, "abcdefghijklmnopqrstuvwxyz0123456789 ", 0..21),
+        |traj: &String| {
+            let s = store();
+            s.insert("cells", cell("c1", 2, &[("r1", "t1"), ("r2", "t2")])).unwrap();
+            let steps = vec![TargetStep::elem("robots", "r2"), TargetStep::attr("trajectory")];
+            s.update_at("cells", &ObjectKey::from("c1"), &steps, Value::str(traj.clone())).unwrap();
+            let got = s.get_at("cells", &ObjectKey::from("c1"), &steps).unwrap();
+            ensure_eq!(got, Value::str(traj.clone()));
+            // The sibling robot is untouched.
+            let other = s
+                .get_at(
+                    "cells",
+                    &ObjectKey::from("c1"),
+                    &[TargetStep::elem("robots", "r1"), TargetStep::attr("trajectory")],
+                )
+                .unwrap();
+            ensure_eq!(other, Value::str("t1"));
+            Ok(())
+        }
+    );
+}
+
+#[test]
+fn restore_is_inverse_of_update() {
+    forall!(
+        cases: 64,
+        |rng| (
+            string_of(rng, "abcdefghijklmnopqrstuvwxyz", 1..9),
+            string_of(rng, "abcdefghijklmnopqrstuvwxyz", 1..9),
+        ),
+        |(before_tool, after_tool): &(String, String)| {
+            let s = store();
+            s.insert("effectors", effector("e1", before_tool)).unwrap();
+            let key = ObjectKey::from("e1");
+            let image = s.update("effectors", &key, effector("e1", after_tool)).unwrap();
+            s.restore("effectors", &key, Some(image)).unwrap();
+            let v = s.get("effectors", &key).unwrap();
+            ensure_eq!(v.field("tool"), Some(&Value::str(before_tool.clone())));
+            Ok(())
+        }
+    );
+}
+
+#[test]
+fn count_referencers_matches_reality() {
+    forall!(
+        cases: 64,
+        |rng| (rng.gen_range(1usize..6), rng.gen_range(0usize..6)),
+        |&(n_robots, used)| {
+            let s = store();
+            s.insert("effectors", effector("e1", "t")).unwrap();
+            let used = used.min(n_robots);
+            let robots: Vec<Value> = (0..n_robots)
+                .map(|i| {
+                    let refs = if i < used {
+                        set(vec![Value::reference("effectors", "e1")])
+                    } else {
+                        set(vec![])
+                    };
+                    tup(vec![
+                        ("robot_id", Value::str(format!("r{i}"))),
+                        ("trajectory", Value::str("t")),
+                        ("effectors", refs),
+                    ])
+                })
+                .collect();
+            s.insert(
+                "cells",
+                tup(vec![
+                    ("cell_id", Value::str("c1")),
+                    ("c_objects", set(vec![])),
+                    ("robots", list(robots)),
+                ]),
+            )
+            .unwrap();
+            ensure_eq!(s.count_referencers("effectors", &ObjectKey::from("e1")).unwrap(), used);
+            let deletion = s.delete("effectors", &ObjectKey::from("e1"));
+            if used > 0 {
+                let still_referenced =
+                    matches!(deletion, Err(StorageError::StillReferenced { .. }));
+                ensure!(still_referenced);
+            } else {
+                ensure!(deletion.is_ok());
+            }
+            Ok(())
+        }
+    );
 }
 
 #[test]
@@ -133,28 +166,22 @@ fn concurrent_readers_and_writers_do_not_corrupt() {
     for i in 0..8 {
         s.insert("effectors", effector(&format!("e{i}"), "t0")).unwrap();
     }
-    let mut handles = Vec::new();
-    for w in 0..4u64 {
-        let s = Arc::clone(&s);
-        handles.push(thread::spawn(move || {
-            for round in 0..50 {
-                let key = ObjectKey::from(format!("e{}", (w as usize + round) % 8));
-                if w % 2 == 0 {
-                    let _ = s.update(
-                        "effectors",
-                        &key,
-                        effector(&key.to_string(), &format!("t{round}")),
-                    );
-                } else {
-                    let v = s.get("effectors", &key).unwrap();
-                    assert!(v.field("tool").is_some());
-                }
+    let s2 = Arc::clone(&s);
+    run_threads(4, Duration::from_secs(30), move |w| {
+        for round in 0..50 {
+            let key = ObjectKey::from(format!("e{}", (w + round) % 8));
+            if w % 2 == 0 {
+                let _ = s2.update(
+                    "effectors",
+                    &key,
+                    effector(&key.to_string(), &format!("t{round}")),
+                );
+            } else {
+                let v = s2.get("effectors", &key).unwrap();
+                assert!(v.field("tool").is_some());
             }
-        }));
-    }
-    for h in handles {
-        h.join().unwrap();
-    }
+        }
+    });
     // All objects intact and typed.
     for i in 0..8 {
         let v = s.get("effectors", &ObjectKey::from(format!("e{i}"))).unwrap();

@@ -1,0 +1,187 @@
+//! A micro-benchmark timer: warmup, batched sampling, min/median/p99
+//! reporting, one JSON line per benchmark on stdout.
+//!
+//! The surface intentionally mirrors the sliver of `criterion` the bench
+//! binaries used, so a port is mechanical:
+//!
+//! ```no_run
+//! use colock_testkit::{black_box, BenchHarness};
+//!
+//! let mut h = BenchHarness::new();
+//! let mut g = h.group("lockmgr");
+//! g.bench("acquire_release_x", |b| {
+//!     b.iter(|| black_box(21u64) * 2);
+//! });
+//! ```
+//!
+//! Timing model: a warmup phase sizes a batch so one batch takes roughly
+//! [`TARGET_BATCH`]; the sampling phase then measures whole batches and
+//! divides by the batch size, which keeps `Instant` overhead out of the
+//! per-iteration numbers. `COLOCK_BENCH_MS` scales the sampling budget.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Target wall time of one measured batch.
+const TARGET_BATCH: Duration = Duration::from_micros(50);
+/// Warmup budget per benchmark.
+const WARMUP: Duration = Duration::from_millis(50);
+/// Default sampling budget per benchmark (override with `COLOCK_BENCH_MS`).
+const DEFAULT_SAMPLE_BUDGET_MS: u64 = 300;
+/// Cap on the number of collected samples.
+const MAX_SAMPLES: usize = 2000;
+
+/// Summary statistics of one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Group name.
+    pub group: String,
+    /// Benchmark name.
+    pub name: String,
+    /// Total measured iterations.
+    pub iters: u64,
+    /// Fastest per-iteration time observed (ns).
+    pub min_ns: f64,
+    /// Median per-iteration time (ns).
+    pub median_ns: f64,
+    /// 99th-percentile per-iteration time (ns).
+    pub p99_ns: f64,
+}
+
+impl BenchReport {
+    /// The one-line JSON rendering printed to stdout.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"group\":\"{}\",\"bench\":\"{}\",\"iters\":{},\"min_ns\":{:.1},\"median_ns\":{:.1},\"p99_ns\":{:.1}}}",
+            self.group, self.name, self.iters, self.min_ns, self.median_ns, self.p99_ns
+        )
+    }
+}
+
+/// Collects per-iteration timings for one benchmark.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `f` repeatedly (warmup, then batched sampling).
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warmup: run until the budget elapses, counting iterations to size
+        // the measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = WARMUP.as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((TARGET_BATCH.as_secs_f64() / per_iter).ceil() as u64).max(1);
+
+        let budget_ms = std::env::var("COLOCK_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_SAMPLE_BUDGET_MS);
+        let budget = Duration::from_millis(budget_ms);
+        let sample_start = Instant::now();
+        while sample_start.elapsed() < budget && self.samples_ns.len() < MAX_SAMPLES {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            self.samples_ns.push(elapsed.as_nanos() as f64 / batch as f64);
+            self.iters += batch;
+        }
+    }
+}
+
+/// A named group of benchmarks (mirrors criterion's `benchmark_group`).
+pub struct BenchGroup<'a> {
+    harness: &'a mut BenchHarness,
+    name: String,
+}
+
+impl BenchGroup<'_> {
+    /// Runs one benchmark and prints its JSON line.
+    pub fn bench(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> BenchReport {
+        let mut b = Bencher::default();
+        f(&mut b);
+        let mut samples = b.samples_ns;
+        assert!(!samples.is_empty(), "bench '{name}' never called Bencher::iter");
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pct = |q: f64| samples[(((samples.len() - 1) as f64) * q).round() as usize];
+        let report = BenchReport {
+            group: self.name.clone(),
+            name: name.to_string(),
+            iters: b.iters,
+            min_ns: samples[0],
+            median_ns: pct(0.5),
+            p99_ns: pct(0.99),
+        };
+        println!("{}", report.to_json());
+        self.harness.reports.push(report.clone());
+        report
+    }
+
+    /// Criterion-compat no-op.
+    pub fn finish(self) {}
+}
+
+/// Entry point for a bench binary: hands out groups and keeps all reports.
+#[derive(Debug, Default)]
+pub struct BenchHarness {
+    reports: Vec<BenchReport>,
+}
+
+impl BenchHarness {
+    /// An empty harness.
+    pub fn new() -> Self {
+        BenchHarness::default()
+    }
+
+    /// Opens a named benchmark group.
+    pub fn group(&mut self, name: &str) -> BenchGroup<'_> {
+        BenchGroup { harness: self, name: name.to_string() }
+    }
+
+    /// All reports produced so far.
+    pub fn reports(&self) -> &[BenchReport] {
+        &self.reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_shape() {
+        let r = BenchReport {
+            group: "g".into(),
+            name: "b".into(),
+            iters: 10,
+            min_ns: 1.25,
+            median_ns: 2.0,
+            p99_ns: 3.5,
+        };
+        assert_eq!(
+            r.to_json(),
+            "{\"group\":\"g\",\"bench\":\"b\",\"iters\":10,\"min_ns\":1.2,\"median_ns\":2.0,\"p99_ns\":3.5}"
+        );
+    }
+
+    #[test]
+    fn bencher_collects_ordered_percentiles() {
+        // Keep the budget tiny so the unit test is fast.
+        std::env::set_var("COLOCK_BENCH_MS", "5");
+        let mut h = BenchHarness::new();
+        let mut g = h.group("unit");
+        let r = g.bench("noop", |b| b.iter(|| black_box(1u64).wrapping_add(1)));
+        assert!(r.iters > 0);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.p99_ns);
+        std::env::remove_var("COLOCK_BENCH_MS");
+    }
+}

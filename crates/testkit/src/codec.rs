@@ -1,0 +1,197 @@
+//! A small hand-rolled, line-oriented encode/decode — the workspace's
+//! replacement for `serde` where bytes actually hit a medium (long-lock
+//! persistence in `colock-lockmgr`).
+//!
+//! Format: one *record* per line; a record is tab-separated *fields*; a
+//! field is escaped UTF-8 (`\\`, `\t`, `\n`, `\r` are backslash-escaped).
+//! The format is trivially greppable, diffable and append-friendly, which
+//! is all a crash-survivable lock image needs.
+//!
+//! ```
+//! use colock_testkit::codec::{decode_record, encode_record, FieldCodec};
+//!
+//! let line = encode_record(&["cells/c1".to_string(), 7u64.to_field(), "X".into()]);
+//! let fields = decode_record(&line).unwrap();
+//! assert_eq!(fields[0], "cells/c1");
+//! assert_eq!(u64::from_field(&fields[1]).unwrap(), 7);
+//! ```
+
+use std::fmt;
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// A field could not be parsed as the requested type.
+    BadField {
+        /// The offending field text.
+        field: String,
+        /// The type it failed to parse as.
+        expected: &'static str,
+    },
+    /// A backslash escape was malformed or dangling.
+    BadEscape(String),
+    /// A record had the wrong number of fields.
+    BadArity {
+        /// Fields found.
+        got: usize,
+        /// Fields required.
+        want: usize,
+    },
+    /// A document header/trailer was missing or unrecognized.
+    BadHeader(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadField { field, expected } => {
+                write!(f, "field {field:?} is not a valid {expected}")
+            }
+            CodecError::BadEscape(s) => write!(f, "malformed escape in {s:?}"),
+            CodecError::BadArity { got, want } => {
+                write!(f, "record has {got} fields, expected {want}")
+            }
+            CodecError::BadHeader(s) => write!(f, "bad header: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Escapes one field (backslash, tab, newline, carriage return).
+pub fn escape(field: &str) -> String {
+    let mut out = String::with_capacity(field.len());
+    for c in field.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape`].
+pub fn unescape(field: &str) -> Result<String, CodecError> {
+    let mut out = String::with_capacity(field.len());
+    let mut chars = field.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            _ => return Err(CodecError::BadEscape(field.to_string())),
+        }
+    }
+    Ok(out)
+}
+
+/// Encodes fields into one record line (no trailing newline).
+pub fn encode_record<S: AsRef<str>>(fields: &[S]) -> String {
+    fields
+        .iter()
+        .map(|f| escape(f.as_ref()))
+        .collect::<Vec<_>>()
+        .join("\t")
+}
+
+/// Decodes one record line back into its fields.
+pub fn decode_record(line: &str) -> Result<Vec<String>, CodecError> {
+    line.split('\t').map(unescape).collect()
+}
+
+/// Checks a decoded record for an exact field count.
+pub fn expect_arity(fields: &[String], want: usize) -> Result<(), CodecError> {
+    if fields.len() == want {
+        Ok(())
+    } else {
+        Err(CodecError::BadArity { got: fields.len(), want })
+    }
+}
+
+/// Types that encode to / decode from a single record field.
+pub trait FieldCodec: Sized {
+    /// The field text of this value (must survive [`escape`]/[`unescape`]).
+    fn to_field(&self) -> String;
+    /// Parses the field text back.
+    fn from_field(field: &str) -> Result<Self, CodecError>;
+}
+
+impl FieldCodec for String {
+    fn to_field(&self) -> String {
+        self.clone()
+    }
+    fn from_field(field: &str) -> Result<Self, CodecError> {
+        Ok(field.to_string())
+    }
+}
+
+macro_rules! impl_field_codec_parse {
+    ($($t:ty => $name:literal),* $(,)?) => {$(
+        impl FieldCodec for $t {
+            fn to_field(&self) -> String {
+                self.to_string()
+            }
+            fn from_field(field: &str) -> Result<Self, CodecError> {
+                field.parse().map_err(|_| CodecError::BadField {
+                    field: field.to_string(),
+                    expected: $name,
+                })
+            }
+        }
+    )*};
+}
+
+impl_field_codec_parse! {
+    u8 => "u8", u16 => "u16", u32 => "u32", u64 => "u64", usize => "usize",
+    i8 => "i8", i16 => "i16", i32 => "i32", i64 => "i64", isize => "isize",
+    bool => "bool", f64 => "f64",
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_roundtrip_on_nasty_strings() {
+        for s in ["", "plain", "a\tb", "a\nb\r", "back\\slash", "\\t literal", "mixed\t\\\n"] {
+            assert_eq!(unescape(&escape(s)).unwrap(), s, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn record_roundtrip_preserves_field_boundaries() {
+        let fields = vec!["a\tb".to_string(), "".to_string(), "c\\nd".to_string()];
+        let line = encode_record(&fields);
+        assert!(!line.contains('\n'));
+        assert_eq!(decode_record(&line).unwrap(), fields);
+    }
+
+    #[test]
+    fn dangling_escape_is_an_error() {
+        assert!(matches!(unescape("oops\\"), Err(CodecError::BadEscape(_))));
+        assert!(matches!(unescape("bad\\x"), Err(CodecError::BadEscape(_))));
+    }
+
+    #[test]
+    fn numeric_fields_roundtrip() {
+        assert_eq!(u64::from_field(&u64::MAX.to_field()).unwrap(), u64::MAX);
+        assert_eq!(i64::from_field(&(-42i64).to_field()).unwrap(), -42);
+        assert_eq!(bool::from_field("true").unwrap(), true);
+        assert!(u64::from_field("not-a-number").is_err());
+    }
+
+    #[test]
+    fn arity_check() {
+        let f = decode_record("a\tb").unwrap();
+        assert!(expect_arity(&f, 2).is_ok());
+        assert_eq!(expect_arity(&f, 3), Err(CodecError::BadArity { got: 2, want: 3 }));
+    }
+}

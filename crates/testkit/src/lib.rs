@@ -1,0 +1,39 @@
+//! Hermetic, zero-dependency test substrate for the colock workspace.
+//!
+//! The tier-1 gate of this repository must run on a machine with **no
+//! network**: nothing here (or anywhere in the workspace) may pull a
+//! registry crate. This crate replaces the five external dependencies the
+//! seed leaned on:
+//!
+//! * [`rng`] — a seedable SplitMix64 / xoshiro256++ PRNG with the
+//!   `gen_range` / `shuffle` / `choose` surface the simulation workloads
+//!   and bench binaries use (replaces `rand`),
+//! * [`prop`] — a minimal property-testing harness ([`forall!`]) with case
+//!   counts, failing-seed reporting and integer/vec/string shrinking
+//!   (replaces `proptest`),
+//! * [`stress`] — a deterministic concurrency stressor: seeded
+//!   round-robin/random interleaving driver, a barrier-stepped multi-thread
+//!   runner and predicate waits with timeouts (replaces the
+//!   `thread::sleep`-and-hope pattern),
+//! * [`bench`] — a micro-bench timer (warmup + N iterations,
+//!   min/median/p99, JSON lines on stdout — replaces `criterion`),
+//! * [`codec`] — a small hand-rolled line-oriented encode/decode used by
+//!   `colock-lockmgr`'s long-lock persistence (replaces `serde`).
+//!
+//! Reproducing a property-test failure: every failure report prints the
+//! per-case seed; re-run with `COLOCK_TEST_SEED=<seed>` to replay that case
+//! first, deterministically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod codec;
+pub mod prop;
+pub mod rng;
+pub mod stress;
+
+pub use bench::{black_box, BenchHarness};
+pub use prop::{run_forall, Config, Shrink};
+pub use rng::Rng;
+pub use stress::{lockstep, run_threads, wait_until, Interleaver, Schedule};

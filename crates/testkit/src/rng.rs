@@ -1,0 +1,223 @@
+//! Deterministic pseudo-random numbers: SplitMix64 seeding feeding a
+//! xoshiro256++ generator.
+//!
+//! The generator is *not* cryptographic — it exists so workloads, property
+//! tests and stressors are reproducible from a single `u64` seed on any
+//! platform, with no external crates. The algorithms are the public-domain
+//! reference constructions of Blackman & Vigna.
+
+use std::ops::Range;
+
+/// Advances a SplitMix64 state and returns the next output.
+///
+/// Also useful on its own for deriving independent sub-seeds from a base
+/// seed (the property harness derives per-case seeds this way).
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seedable xoshiro256++ generator.
+///
+/// ```
+/// use colock_testkit::Rng;
+/// let mut a = Rng::seed_from_u64(42);
+/// let mut b = Rng::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let x = a.gen_range(0..10usize);
+/// assert!(x < 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator whose full 256-bit state is expanded from `seed`
+    /// with SplitMix64 (the construction recommended by the xoshiro
+    /// authors).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The next raw 32-bit output (upper half of [`Self::next_u64`]).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform value in `range` (half-open, `start <= x < end`).
+    ///
+    /// Panics when the range is empty, like `rand`'s `gen_range`.
+    pub fn gen_range<T: UniformInt>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice, in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element of `slice`, or `None` when empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.index(slice.len() as u64) as usize])
+        }
+    }
+
+    /// An independent generator split off this one (for per-thread or
+    /// per-case sub-streams).
+    pub fn fork(&mut self) -> Rng {
+        Rng::seed_from_u64(self.next_u64())
+    }
+
+    /// Uniform in `[0, bound)` via 128-bit multiply-shift (no modulo bias
+    /// worth caring about at test scale). `bound` must be non-zero.
+    fn index(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Integer types [`Rng::gen_range`] can sample uniformly.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Samples uniformly from the half-open `range`.
+    fn sample(rng: &mut Rng, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample(rng: &mut Rng, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range on empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + rng.index(span) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample(rng: &mut Rng, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range on empty range");
+                let span = (range.end as i64).wrapping_sub(range.start as i64) as u64;
+                (range.start as i64).wrapping_add(rng.index(span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_unsigned!(u8, u16, u32, u64, usize);
+impl_uniform_signed!(i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = Rng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = r.gen_range(5..17usize);
+            assert!((5..17).contains(&x));
+            let y = r.gen_range(-10..10i64);
+            assert!((-10..10).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut r = Rng::seed_from_u64(4);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[r.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..20).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut r = Rng::seed_from_u64(6);
+        assert_eq!(r.choose::<u8>(&[]), None);
+        assert!(r.choose(&[1, 2, 3]).is_some());
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut r = Rng::seed_from_u64(8);
+        for _ in 0..1000 {
+            let f = r.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Deterministic concurrency testing: predicate waits with timeouts, a
+//! watchdogged multi-thread runner, a barrier-stepped (lockstep) driver and
+//! a seeded single-threaded interleaving scheduler.
+//!
+//! The seed tests used `thread::sleep(30ms)` to "wait" for another thread
+//! to reach a state — racy under load and slow everywhere. The primitives
+//! here replace that pattern:
+//!
+//! * [`wait_until`] polls an observable predicate and fails loudly on
+//!   timeout instead of silently racing,
+//! * [`run_threads`] joins a thread group with a deadline, so a stuck
+//!   waiter turns into a test failure (with the stuck thread ids) rather
+//!   than a hung CI job,
+//! * [`lockstep`] rendezvouses N threads at a barrier between rounds, so
+//!   every round's operations are genuinely concurrent,
+//! * [`Interleaver`] executes per-task step lists in a seeded round-robin
+//!   or random order on one thread — full determinism for non-blocking
+//!   (try-lock style) schedule exploration.
+
+use crate::rng::Rng;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Polls `pred` (every millisecond) until it holds, panicking after
+/// `timeout`. Returns the elapsed time on success.
+pub fn wait_until(timeout: Duration, pred: impl Fn() -> bool) -> Duration {
+    let start = Instant::now();
+    loop {
+        if pred() {
+            return start.elapsed();
+        }
+        if start.elapsed() >= timeout {
+            panic!("wait_until: predicate still false after {timeout:?}");
+        }
+        thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Runs `f(tid)` on `n` threads and joins them all within `timeout`.
+///
+/// Panics (listing the stuck thread ids) when the group does not finish in
+/// time; re-raises the first worker panic otherwise. Results are returned
+/// in thread-id order.
+pub fn run_threads<T, F>(n: usize, timeout: Duration, f: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(usize) -> T + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let (tx, rx) = mpsc::channel::<usize>();
+    let mut handles = Vec::with_capacity(n);
+    for tid in 0..n {
+        let f = Arc::clone(&f);
+        let tx = tx.clone();
+        let handle = thread::Builder::new()
+            .name(format!("stress-{tid}"))
+            .spawn(move || {
+                let out = panic::catch_unwind(AssertUnwindSafe(|| f(tid)));
+                // Signal completion (even on panic) so the watchdog can
+                // attribute failures precisely.
+                let _ = tx.send(tid);
+                match out {
+                    Ok(v) => v,
+                    Err(payload) => panic::resume_unwind(payload),
+                }
+            })
+            .expect("spawn stress thread");
+        handles.push(handle);
+    }
+    drop(tx);
+
+    let deadline = Instant::now() + timeout;
+    let mut finished = vec![false; n];
+    for _ in 0..n {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        match rx.recv_timeout(remaining) {
+            Ok(tid) => finished[tid] = true,
+            Err(_) => {
+                let stuck: Vec<usize> = finished
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &done)| !done)
+                    .map(|(tid, _)| tid)
+                    .collect();
+                panic!("run_threads: {stuck:?} still running after {timeout:?}");
+            }
+        }
+    }
+    handles
+        .into_iter()
+        .map(|h| match h.join() {
+            Ok(v) => v,
+            Err(payload) => panic::resume_unwind(payload),
+        })
+        .collect()
+}
+
+/// Barrier-stepped runner: `n` threads execute `rounds` rounds of
+/// `f(tid, round)`, all rendezvousing at a barrier *before* each round.
+///
+/// Every round's calls are therefore genuinely concurrent — the pattern
+/// the lock-table wait/deadlock tests need ("all four transactions request
+/// their second lock at once"). Panics on timeout like [`run_threads`].
+pub fn lockstep<F>(n: usize, rounds: usize, timeout: Duration, f: F)
+where
+    F: Fn(usize, usize) + Send + Sync + 'static,
+{
+    let barrier = Arc::new(Barrier::new(n));
+    run_threads(n, timeout, move |tid| {
+        for round in 0..rounds {
+            barrier.wait();
+            f(tid, round);
+        }
+    });
+}
+
+/// Scheduling policy of an [`Interleaver`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Strict rotation over unfinished tasks.
+    RoundRobin,
+    /// Seeded uniform choice among unfinished tasks.
+    Random(u64),
+}
+
+/// A deterministic single-threaded interleaving driver.
+///
+/// Each task is a queue of steps; the interleaver repeatedly picks an
+/// unfinished task (round-robin or seeded-random) and executes its next
+/// step. Because everything runs on one thread, steps must be non-blocking
+/// (use try-lock flavors); in exchange the whole schedule is replayable
+/// from the seed.
+///
+/// ```
+/// use colock_testkit::{Interleaver, Schedule};
+/// let mut trace = Vec::new();
+/// let order = Interleaver::new(Schedule::RoundRobin)
+///     .run(vec![vec![1, 2], vec![10]], |task, step| trace.push((task, step)));
+/// assert_eq!(trace, vec![(0, 1), (1, 10), (0, 2)]);
+/// assert_eq!(order, vec![0, 1, 0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Interleaver {
+    schedule: Schedule,
+}
+
+impl Interleaver {
+    /// Creates a driver with the given policy.
+    pub fn new(schedule: Schedule) -> Self {
+        Interleaver { schedule }
+    }
+
+    /// Executes every step of every task, one at a time, in the scheduled
+    /// order. Returns the task-id trace of the schedule that ran.
+    pub fn run<S>(
+        &self,
+        tasks: Vec<Vec<S>>,
+        mut exec: impl FnMut(usize, S),
+    ) -> Vec<usize> {
+        let mut queues: Vec<std::collections::VecDeque<S>> =
+            tasks.into_iter().map(Into::into).collect();
+        let mut rng = match self.schedule {
+            Schedule::Random(seed) => Some(Rng::seed_from_u64(seed)),
+            Schedule::RoundRobin => None,
+        };
+        let mut order = Vec::new();
+        let mut cursor = 0usize;
+        loop {
+            let live: Vec<usize> =
+                (0..queues.len()).filter(|&i| !queues[i].is_empty()).collect();
+            if live.is_empty() {
+                return order;
+            }
+            let task = match &mut rng {
+                Some(rng) => *rng.choose(&live).unwrap(),
+                None => {
+                    // Next live task at or after the rotating cursor.
+                    let t = *live
+                        .iter()
+                        .find(|&&i| i >= cursor)
+                        .unwrap_or(&live[0]);
+                    cursor = t + 1;
+                    t
+                }
+            };
+            let step = queues[task].pop_front().unwrap();
+            exec(task, step);
+            order.push(task);
+        }
+    }
+}
+
+/// A shared round counter for ad-hoc cross-thread checkpoints: threads
+/// [`Checkpoint::arrive`] at a phase and others [`Checkpoint::wait_for`]
+/// it without sleeping for fixed intervals.
+#[derive(Debug, Default)]
+pub struct Checkpoint {
+    phase: AtomicUsize,
+}
+
+impl Checkpoint {
+    /// A checkpoint at phase 0.
+    pub fn new() -> Self {
+        Checkpoint::default()
+    }
+
+    /// Marks `phase` (and any earlier phase) as reached.
+    pub fn arrive(&self, phase: usize) {
+        self.phase.fetch_max(phase, Ordering::SeqCst);
+    }
+
+    /// Blocks (polling) until `phase` has been reached; panics after
+    /// `timeout`.
+    pub fn wait_for(&self, phase: usize, timeout: Duration) {
+        wait_until(timeout, || self.phase.load(Ordering::SeqCst) >= phase);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_until_observes_progress() {
+        let flag = Arc::new(AtomicUsize::new(0));
+        let f2 = Arc::clone(&flag);
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(5));
+            f2.store(1, Ordering::SeqCst);
+        });
+        wait_until(Duration::from_secs(2), || flag.load(Ordering::SeqCst) == 1);
+        h.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "wait_until")]
+    fn wait_until_times_out() {
+        wait_until(Duration::from_millis(10), || false);
+    }
+
+    #[test]
+    fn run_threads_returns_in_tid_order() {
+        let out = run_threads(8, Duration::from_secs(5), |tid| tid * 2);
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    #[should_panic(expected = "still running")]
+    fn run_threads_watchdog_fires() {
+        run_threads(2, Duration::from_millis(20), |tid| {
+            if tid == 1 {
+                thread::sleep(Duration::from_secs(1));
+            }
+        });
+    }
+
+    #[test]
+    fn run_threads_propagates_worker_panic() {
+        let err = std::panic::catch_unwind(|| {
+            run_threads(2, Duration::from_secs(5), |tid| {
+                if tid == 0 {
+                    panic!("worker zero failed");
+                }
+            })
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "worker zero failed");
+    }
+
+    #[test]
+    fn lockstep_rounds_are_aligned() {
+        // Every thread observes that no thread is a full round ahead when
+        // it leaves the barrier.
+        let counters: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..4).map(|_| AtomicUsize::new(0)).collect());
+        let c = Arc::clone(&counters);
+        lockstep(4, 10, Duration::from_secs(10), move |tid, round| {
+            c[tid].store(round + 1, Ordering::SeqCst);
+            for other in c.iter() {
+                let r = other.load(Ordering::SeqCst);
+                assert!(r >= round && r <= round + 1, "round skew: {r} vs {round}");
+            }
+        });
+    }
+
+    #[test]
+    fn interleaver_round_robin_is_fair() {
+        let order = Interleaver::new(Schedule::RoundRobin)
+            .run(vec![vec![(); 3], vec![(); 3], vec![(); 3]], |_, _| {});
+        assert_eq!(order, vec![0, 1, 2, 0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn interleaver_random_is_seed_deterministic() {
+        let tasks = || vec![vec![(); 5], vec![(); 5], vec![(); 5]];
+        let a = Interleaver::new(Schedule::Random(11)).run(tasks(), |_, _| {});
+        let b = Interleaver::new(Schedule::Random(11)).run(tasks(), |_, _| {});
+        let c = Interleaver::new(Schedule::Random(12)).run(tasks(), |_, _| {});
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 15);
+        assert!(a != c || a.len() == 15, "different seeds usually differ");
+    }
+
+    #[test]
+    fn checkpoint_orders_phases() {
+        let cp = Arc::new(Checkpoint::new());
+        let cp2 = Arc::clone(&cp);
+        let h = thread::spawn(move || {
+            cp2.wait_for(1, Duration::from_secs(2));
+            cp2.arrive(2);
+        });
+        cp.arrive(1);
+        cp.wait_for(2, Duration::from_secs(2));
+        h.join().unwrap();
+    }
+}

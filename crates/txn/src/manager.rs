@@ -10,9 +10,8 @@ use colock_core::{
 use colock_lockmgr::{LockManager, TxnId};
 use colock_lockmgr::txnid::TxnIdGen;
 use colock_storage::Store;
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Which lock protocol a manager (or an individual transaction) uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +92,12 @@ impl TransactionManager {
         }
     }
 
+    /// Locks the per-transaction state map, recovering from poisoning so a
+    /// panicking test thread cannot wedge the whole manager.
+    pub(crate) fn states_locked(&self) -> MutexGuard<'_, HashMap<TxnId, TxnState>> {
+        self.states.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Convenience constructor wiring everything from a store.
     pub fn over_store(store: Arc<Store>, authz: Authorization, protocol: ProtocolKind) -> Self {
         let engine = Arc::new(ProtocolEngine::new(Arc::clone(store.catalog())));
@@ -102,7 +107,7 @@ impl TransactionManager {
     /// Starts a transaction.
     pub fn begin(&self, kind: TxnKind) -> Transaction<'_> {
         let id = self.idgen.next();
-        self.states.lock().insert(
+        self.states_locked().insert(
             id,
             TxnState { undo: Vec::new(), shrinking: false, checked_out: HashMap::new() },
         );
@@ -143,7 +148,7 @@ impl TransactionManager {
         opts: ProtocolOptions,
     ) -> Result<LockReport> {
         {
-            let states = self.states.lock();
+            let states = self.states_locked();
             let st = states.get(&txn).ok_or(TxnError::NotActive(txn))?;
             if st.shrinking {
                 return Err(TxnError::TwoPhaseViolation(txn));
@@ -197,7 +202,7 @@ impl TransactionManager {
         opts: ProtocolOptions,
     ) -> Result<LockReport> {
         {
-            let states = self.states.lock();
+            let states = self.states_locked();
             let st = states.get(&txn).ok_or(TxnError::NotActive(txn))?;
             if st.shrinking {
                 return Err(TxnError::TwoPhaseViolation(txn));
@@ -236,8 +241,7 @@ impl TransactionManager {
 
     pub(crate) fn finish(&self, txn: TxnId, commit: bool) -> Result<()> {
         let state = self
-            .states
-            .lock()
+            .states_locked()
             .remove(&txn)
             .ok_or(TxnError::NotActive(txn))?;
         if !commit {
@@ -249,7 +253,7 @@ impl TransactionManager {
 
     /// Number of active transactions.
     pub fn active_count(&self) -> usize {
-        self.states.lock().len()
+        self.states_locked().len()
     }
 }
 

@@ -115,7 +115,12 @@ impl<'m> Transaction<'m> {
             .mgr
             .store()
             .update_at(&target.relation, &key, &target.steps, new_value)?;
-        self.log(UndoRecord::Updated { relation: target.relation.clone(), key, before });
+        self.log(UndoRecord::Updated {
+            relation: target.relation.clone(),
+            key,
+            steps: target.steps.clone(),
+            before,
+        });
         Ok(())
     }
 
@@ -200,7 +205,12 @@ impl<'m> Transaction<'m> {
             .mgr
             .store()
             .update_at(&element.relation, &key, &container_target.steps, new_container)?;
-        self.log(UndoRecord::Updated { relation: element.relation.clone(), key, before });
+        self.log(UndoRecord::Updated {
+            relation: element.relation.clone(),
+            key,
+            steps: container_target.steps.clone(),
+            before,
+        });
         Ok(())
     }
 
@@ -217,7 +227,7 @@ impl<'m> Transaction<'m> {
             TxnError::Storage(colock_storage::StorageError::BadTarget(target.to_string()))
         })?;
         let value = self.mgr.store().get_at(&target.relation, &key, &target.steps)?;
-        let mut states = self.mgr.states.lock();
+        let mut states = self.mgr.states_locked();
         if let Some(st) = states.get_mut(&self.id) {
             st.checked_out.insert(target.to_string(), target.clone());
         }
@@ -228,7 +238,7 @@ impl<'m> Transaction<'m> {
     /// by this transaction.
     pub fn checkin(&self, target: &InstanceTarget, new_value: Value) -> Result<()> {
         {
-            let states = self.mgr.states.lock();
+            let states = self.mgr.states_locked();
             let st = states.get(&self.id).ok_or(TxnError::NotActive(self.id))?;
             if !st.checked_out.contains_key(&target.to_string()) {
                 return Err(TxnError::NotCheckedOut(target.to_string()));
@@ -241,7 +251,12 @@ impl<'m> Transaction<'m> {
             .mgr
             .store()
             .update_at(&target.relation, &key, &target.steps, new_value)?;
-        self.log(UndoRecord::Updated { relation: target.relation.clone(), key, before });
+        self.log(UndoRecord::Updated {
+            relation: target.relation.clone(),
+            key,
+            steps: target.steps.clone(),
+            before,
+        });
         Ok(())
     }
 
@@ -252,7 +267,7 @@ impl<'m> Transaction<'m> {
             .mgr
             .engine()
             .release_target_early(self.mgr.lock_manager(), self.id, target)?;
-        let mut states = self.mgr.states.lock();
+        let mut states = self.mgr.states_locked();
         if let Some(st) = states.get_mut(&self.id) {
             st.shrinking = true;
         }
@@ -260,7 +275,7 @@ impl<'m> Transaction<'m> {
     }
 
     fn log(&self, rec: UndoRecord) {
-        let mut states = self.mgr.states.lock();
+        let mut states = self.mgr.states_locked();
         if let Some(st) = states.get_mut(&self.id) {
             st.undo.push(rec);
         }

@@ -1,5 +1,6 @@
 //! Undo log: before-images for rollback.
 
+use colock_core::TargetStep;
 use colock_nf2::{ObjectKey, Value};
 use colock_storage::Store;
 
@@ -13,13 +14,18 @@ pub enum UndoRecord {
         /// Key of the inserted object.
         key: ObjectKey,
     },
-    /// An object was updated: undo restores the before-image.
+    /// A subvalue was updated: undo restores the before-image *at the
+    /// updated path only*. Path granularity matters: the transaction holds
+    /// an X lock on exactly this subtree, and a whole-object restore would
+    /// wipe out committed concurrent writes to element-locked siblings.
     Updated {
         /// Relation.
         relation: String,
         /// Key.
         key: ObjectKey,
-        /// The full before-image.
+        /// Path of the update within the object.
+        steps: Vec<TargetStep>,
+        /// The before-image of the subvalue at `steps`.
         before: Value,
     },
     /// An object was deleted: undo re-inserts the before-image.
@@ -38,8 +44,10 @@ impl UndoRecord {
     pub fn apply(&self, store: &Store) {
         let result = match self {
             UndoRecord::Inserted { relation, key } => store.restore(relation, key, None),
-            UndoRecord::Updated { relation, key, before }
-            | UndoRecord::Deleted { relation, key, before } => {
+            UndoRecord::Updated { relation, key, steps, before } => {
+                store.restore_at(relation, key, steps, before.clone())
+            }
+            UndoRecord::Deleted { relation, key, before } => {
                 store.restore(relation, key, Some(before.clone()))
             }
         };
@@ -72,12 +80,20 @@ mod tests {
         let store = Store::new(Arc::new(fig1_catalog()));
         // op1: insert e1; op2: update e1.
         store.insert("effectors", effector("e1", "a")).unwrap();
-        let before = store.update("effectors", &ObjectKey::from("e1"), effector("e1", "b")).unwrap();
+        let before = store
+            .update_at(
+                "effectors",
+                &ObjectKey::from("e1"),
+                &[TargetStep::attr("tool")],
+                Value::str("b"),
+            )
+            .unwrap();
         let log = vec![
             UndoRecord::Inserted { relation: "effectors".into(), key: ObjectKey::from("e1") },
             UndoRecord::Updated {
                 relation: "effectors".into(),
                 key: ObjectKey::from("e1"),
+                steps: vec![TargetStep::attr("tool")],
                 before,
             },
         ];

@@ -7,8 +7,9 @@ use colock_nf2::value::build::{list, set, tup};
 use colock_nf2::{ObjectKey, Value};
 use colock_storage::Store;
 use colock_txn::{ProtocolKind, TransactionManager, TxnKind};
+use colock_testkit::{lockstep, run_threads};
 use std::sync::Arc;
-use std::thread;
+use std::time::Duration;
 
 fn populated(n_cells: usize) -> Arc<Store> {
     let store = Arc::new(Store::new(Arc::new(fig1_catalog())));
@@ -64,31 +65,27 @@ fn manager(n_cells: usize) -> Arc<TransactionManager> {
 #[test]
 fn parallel_updaters_with_retry_all_writes_land() {
     let mgr = manager(4);
-    let writers = 8u64;
+    let writers = 8usize;
     let rounds = 20;
-    thread::scope(|scope| {
-        for w in 0..writers {
-            let mgr = Arc::clone(&mgr);
-            scope.spawn(move || {
-                for round in 0..rounds {
-                    loop {
-                        let txn = mgr.begin(TxnKind::Short);
-                        let target = InstanceTarget::object("cells", format!("c{}", w % 4))
-                            .elem("robots", format!("r{}", (w / 4) % 4))
-                            .attr("trajectory");
-                        match txn.update(&target, Value::str(format!("w{w}-{round}"))) {
-                            Ok(()) => {
-                                txn.commit().unwrap();
-                                break;
-                            }
-                            Err(e) if e.is_deadlock() => {
-                                txn.abort().unwrap();
-                            }
-                            Err(e) => panic!("{e}"),
-                        }
-                    }
+    // Barrier-stepped: all writers complete round k before any starts k+1,
+    // so every round contends and the watchdog bounds a wedged queue.
+    let mgr2 = Arc::clone(&mgr);
+    lockstep(writers, rounds, Duration::from_secs(60), move |w, round| {
+        loop {
+            let txn = mgr2.begin(TxnKind::Short);
+            let target = InstanceTarget::object("cells", format!("c{}", w % 4))
+                .elem("robots", format!("r{}", (w / 4) % 4))
+                .attr("trajectory");
+            match txn.update(&target, Value::str(format!("w{w}-{round}"))) {
+                Ok(()) => {
+                    txn.commit().unwrap();
+                    break;
                 }
-            });
+                Err(e) if e.is_deadlock() => {
+                    txn.abort().unwrap();
+                }
+                Err(e) => panic!("{e}"),
+            }
         }
     });
     // Final state: every touched trajectory carries a final-round value.
@@ -112,44 +109,35 @@ fn parallel_updaters_with_retry_all_writes_land() {
 fn writers_and_readers_never_observe_torn_objects() {
     let mgr = manager(2);
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
-    thread::scope(|scope| {
-        {
-            let mgr = Arc::clone(&mgr);
-            let stop = Arc::clone(&stop);
-            scope.spawn(move || {
-                for round in 0..60 {
-                    let txn = mgr.begin(TxnKind::Short);
-                    let t = InstanceTarget::object("cells", "c0")
-                        .elem("robots", "r0")
-                        .attr("trajectory");
-                    if txn.update(&t, Value::str(format!("v{round}"))).is_ok() {
-                        txn.commit().unwrap();
-                    } else {
-                        txn.abort().unwrap();
-                    }
+    run_threads(4, Duration::from_secs(60), move |tid| {
+        if tid == 0 {
+            for round in 0..60 {
+                let txn = mgr.begin(TxnKind::Short);
+                let t = InstanceTarget::object("cells", "c0")
+                    .elem("robots", "r0")
+                    .attr("trajectory");
+                if txn.update(&t, Value::str(format!("v{round}"))).is_ok() {
+                    txn.commit().unwrap();
+                } else {
+                    txn.abort().unwrap();
                 }
-                stop.store(true, std::sync::atomic::Ordering::Relaxed);
-            });
-        }
-        for _ in 0..3 {
-            let mgr = Arc::clone(&mgr);
-            let stop = Arc::clone(&stop);
-            scope.spawn(move || {
-                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
-                    let txn = mgr.begin(TxnKind::Short);
-                    let t = InstanceTarget::object("cells", "c0").elem("robots", "r0");
-                    match txn.read(&t) {
-                        Ok(v) => {
-                            // A read under S must see a complete robot tuple.
-                            assert!(v.field("robot_id").is_some());
-                            assert!(v.field("trajectory").is_some());
-                        }
-                        Err(e) if e.is_deadlock() => {}
-                        Err(e) => panic!("{e}"),
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        } else {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let txn = mgr.begin(TxnKind::Short);
+                let t = InstanceTarget::object("cells", "c0").elem("robots", "r0");
+                match txn.read(&t) {
+                    Ok(v) => {
+                        // A read under S must see a complete robot tuple.
+                        assert!(v.field("robot_id").is_some());
+                        assert!(v.field("trajectory").is_some());
                     }
-                    let _ = txn.commit();
+                    Err(e) if e.is_deadlock() => {}
+                    Err(e) => panic!("{e}"),
                 }
-            });
+                let _ = txn.commit();
+            }
         }
     });
 }

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Hermetic-build gate: the workspace must build, test and bench-compile with
+# the network unplugged, and no registry dependency may creep back into any
+# manifest. Run from anywhere; operates on the repo root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> checking manifests for registry dependencies"
+# Workspace-path and std-only is the rule: any mention of the crates we
+# replaced (rand/proptest/criterion/parking_lot/serde) or any version-keyed
+# dependency that is not `path = ...` is a failure.
+if grep -rn "rand\|proptest\|criterion\|parking_lot\|serde" \
+    Cargo.toml crates/*/Cargo.toml; then
+    echo "error: registry dependency found in a manifest" >&2
+    exit 1
+fi
+bad=$(python3 - <<'EOF'
+import glob, re
+bad = []
+for m in ["Cargo.toml", *glob.glob("crates/*/Cargo.toml")]:
+    section = None
+    for i, line in enumerate(open(m), 1):
+        line = line.split("#")[0].rstrip()
+        h = re.match(r"\[(.+)\]$", line.strip())
+        if h:
+            section = h.group(1)
+            continue
+        if section and ("dependencies" in section):
+            if re.match(r'\s*[\w-]+\s*=\s*"', line):  # name = "x.y" → registry
+                bad.append(f"{m}:{i}: {line.strip()}")
+            if "version" in line and "path" not in line:
+                bad.append(f"{m}:{i}: {line.strip()}")
+print("\n".join(bad))
+EOF
+)
+if [ -n "$bad" ]; then
+    echo "error: version-keyed (registry) dependencies found:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+echo "    ok: all dependencies are workspace-path deps"
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test --offline"
+cargo test --offline --workspace -q
+
+echo "==> cargo bench compiles (no run)"
+cargo bench --offline --workspace --no-run -q
+
+echo "==> all checks passed"
