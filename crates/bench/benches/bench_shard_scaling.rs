@@ -1,0 +1,116 @@
+//! Multithreaded lock-table scalability: threads sweeping disjoint vs
+//! shared-hot-spot resource sets, plus a shards=1 vs shards=16 ablation.
+//!
+//! Unlike the single-threaded microbenches, each measurement here times a
+//! whole parallel phase (barrier start → all threads joined) and reports
+//! nanoseconds per acquire/release pair. The [`BenchReport`] JSON lines use
+//! the same shape as the testkit harness so downstream tooling can ingest
+//! both. `COLOCK_BENCH_MS` scales the per-thread operation count.
+
+use colock_lockmgr::{LockManager, LockMode, LockRequestOptions, TxnId};
+use colock_testkit::bench::BenchReport;
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const REPS: usize = 3;
+/// Resources per thread in the disjoint workload (enough to keep several
+/// shards populated per thread).
+const DISJOINT_RES: u64 = 64;
+/// Size of the contended pool in the hot-spot workload.
+const HOT_RES: u64 = 4;
+
+fn ops_per_thread() -> u64 {
+    let ms: u64 = std::env::var("COLOCK_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    (ms * 60).clamp(1_000, 40_000)
+}
+
+/// Every thread loops over its own private resource range: zero logical
+/// conflicts, so the only serialization left is the lock manager's own.
+fn disjoint_body(lm: &LockManager<u64>, tid: usize, ops: u64) {
+    let txn = TxnId(tid as u64 + 1);
+    let base = tid as u64 * DISJOINT_RES;
+    for i in 0..ops {
+        let r = base + (i % DISJOINT_RES);
+        lm.acquire(txn, r, LockMode::X, LockRequestOptions::default()).unwrap();
+        lm.release(txn, &r);
+    }
+}
+
+/// Every thread hammers a tiny shared pool with X requests: real blocking,
+/// queue processing and targeted wakeups on every collision.
+fn hotspot_body(lm: &LockManager<u64>, tid: usize, ops: u64) {
+    let txn = TxnId(tid as u64 + 1);
+    for i in 0..ops {
+        let r = (i + tid as u64) % HOT_RES;
+        // One lock at a time per txn: waits happen, cycles cannot.
+        lm.acquire(txn, r, LockMode::X, LockRequestOptions::default()).unwrap();
+        lm.release(txn, &r);
+    }
+}
+
+fn run_case(
+    bench: &str,
+    threads: usize,
+    shards: usize,
+    body: fn(&LockManager<u64>, usize, u64),
+) -> BenchReport {
+    let ops = ops_per_thread();
+    let mut per_op_ns: Vec<f64> = Vec::with_capacity(REPS);
+    let mut iters: u64 = 0;
+    for _ in 0..REPS {
+        let lm: Arc<LockManager<u64>> = Arc::new(LockManager::with_shards(shards));
+        let barrier = Arc::new(Barrier::new(threads + 1));
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let lm = Arc::clone(&lm);
+                let barrier = Arc::clone(&barrier);
+                thread::spawn(move || {
+                    barrier.wait();
+                    body(&lm, tid, ops);
+                })
+            })
+            .collect();
+        // Stamp before releasing the barrier (main is the last arriver, so
+        // release is immediate): stamping after it can undercount on a
+        // single-core host where workers finish before main is rescheduled.
+        let t = Instant::now();
+        barrier.wait();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total_ops = ops * threads as u64;
+        per_op_ns.push(t.elapsed().as_nanos() as f64 / total_ops as f64);
+        iters += total_ops;
+        assert_eq!(lm.table_size(), 0, "{bench}: table must drain");
+    }
+    per_op_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let report = BenchReport {
+        group: "shard_scaling".to_string(),
+        name: bench.to_string(),
+        iters,
+        min_ns: per_op_ns[0],
+        median_ns: per_op_ns[per_op_ns.len() / 2],
+        p99_ns: *per_op_ns.last().unwrap(),
+    };
+    println!("{}", report.to_json());
+    report
+}
+
+fn main() {
+    // Thread sweep over both workloads at the default shard count.
+    for &threads in &THREAD_COUNTS {
+        run_case(&format!("disjoint_t{threads}"), threads, 16, disjoint_body);
+    }
+    for &threads in &THREAD_COUNTS {
+        run_case(&format!("hotspot_t{threads}"), threads, 16, hotspot_body);
+    }
+    // Ablation: the same 4-thread disjoint load against a single-shard
+    // (global-mutex-equivalent) table vs the striped default.
+    run_case("disjoint_t4_shards1", 4, 1, disjoint_body);
+    run_case("disjoint_t4_shards16", 4, 16, disjoint_body);
+}

@@ -1,8 +1,9 @@
 //! Stress harness: hammers the multithreaded driver with varied-seed
 //! engineering-mix workloads and watchdogs every round — the tool that
 //! exposed the lock manager's lost-grant and invisible-positional-block
-//! bugs (see DESIGN.md §5). Runs until interrupted; prints a lock-table
-//! dump and parks if any round stalls for more than 8 seconds.
+//! bugs (see DESIGN.md §5). Runs `COLOCK_STRESS_ROUNDS` rounds (default
+//! 100000 — effectively until interrupted; CI sets a small bound); prints a
+//! lock-table dump and parks if any round stalls for more than 8 seconds.
 
 use colock_bench::cells_manager;
 use colock_sim::{run_threads, CellsConfig, QueryMix, ThreadConfig};
@@ -15,8 +16,12 @@ fn main() {
         n_cells: 4, c_objects_per_cell: 40, robots_per_cell: 4,
         n_effectors: 6, effectors_per_robot: 2, ..Default::default()
     };
+    let rounds: u64 = std::env::var("COLOCK_STRESS_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100000);
     let round_counter = Arc::new(AtomicU64::new(0));
-    for round in 0..100000u64 {
+    for round in 0..rounds {
         round_counter.store(round, Ordering::Relaxed);
         let mgr = cells_manager(&cells, ProtocolKind::Proposed);
         let cfg = ThreadConfig {

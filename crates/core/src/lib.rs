@@ -59,6 +59,6 @@ pub use graph::{derive_lock_graph, Category, ConceptGraph, DbLockGraph, NodeId, 
 pub use optimizer::{AccessEstimate, Granularity, LockPlan, Optimizer, PlannedLock};
 pub use protocol::{
     AccessMode, InstanceSource, InstanceTarget, LockReport, ProtocolEngine, ProtocolError,
-    ProtocolOptions, ReverseScan, TargetStep,
+    ProtocolOptions, ReverseScan, TargetStep, TxnLockCache,
 };
 pub use resource::{PathStep, ResourcePath};

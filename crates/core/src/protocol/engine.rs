@@ -9,9 +9,9 @@ use colock_lockmgr::{
     AcquireOutcome, LockError, LockManager, LockMode, LockRequestOptions, TxnId, WaitPolicy,
 };
 use colock_nf2::Catalog;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Errors raised by protocol execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -229,6 +229,71 @@ impl ProtocolEngine {
     }
 }
 
+/// Per-transaction cache of locks already obtained, letting the protocol
+/// paths answer "is this request covered?" without a lock-table round-trip.
+///
+/// Rules 1–5 re-request the same database/segment/relation intention locks
+/// on *every* access; before this cache each re-request paid a shard lock
+/// just to be told `AlreadyHeld`. An entry `(mode, long)` means the
+/// transaction holds at least `mode` on the resource, as a long lock if
+/// `long` is set. A request is covered only when the cached mode covers the
+/// requested one **and** the cached entry is long if the request is —
+/// a long request over a short cached entry must go to the table, otherwise
+/// `release_short` would strand long leaf locks without their ancestor
+/// intents.
+///
+/// The cache is owned by the transaction's state and dropped at EOT, so
+/// invalidation is automatic; early (pre-EOT) releases must call
+/// [`TxnLockCache::clear`].
+#[derive(Debug, Default)]
+pub struct TxnLockCache {
+    held: Mutex<HashMap<ResourcePath, (LockMode, bool)>>,
+}
+
+impl TxnLockCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, HashMap<ResourcePath, (LockMode, bool)>> {
+        self.held.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Whether a request for `mode` (long if `long`) is covered by a cached
+    /// lock.
+    pub fn covers(&self, resource: &ResourcePath, mode: LockMode, long: bool) -> bool {
+        self.locked()
+            .get(resource)
+            .map(|&(m, l)| m.covers(mode) && (l || !long))
+            .unwrap_or(false)
+    }
+
+    /// Records a lock obtained from the table (joins modes, widens short to
+    /// long).
+    pub fn record(&self, resource: &ResourcePath, mode: LockMode, long: bool) {
+        let mut held = self.locked();
+        let entry = held.entry(resource.clone()).or_insert((LockMode::NL, false));
+        entry.0 = entry.0.join(mode);
+        entry.1 = entry.1 || long;
+    }
+
+    /// Forgets everything — required after any early (pre-EOT) release.
+    pub fn clear(&self) {
+        self.locked().clear();
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.locked().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.locked().is_empty()
+    }
+}
+
 /// Mutable per-call context: lock manager handle, transaction, data source,
 /// rights, options and the accumulating report.
 pub(crate) struct Ctx<'a> {
@@ -237,22 +302,32 @@ pub(crate) struct Ctx<'a> {
     pub src: &'a dyn InstanceSource,
     pub authz: &'a Authorization,
     pub opts: ProtocolOptions,
+    pub cache: Option<&'a TxnLockCache>,
     pub report: LockReport,
 }
 
 impl<'a> Ctx<'a> {
-    pub fn new(
+    pub fn with_cache(
         lm: &'a LockManager<ResourcePath>,
         txn: TxnId,
         src: &'a dyn InstanceSource,
         authz: &'a Authorization,
         opts: ProtocolOptions,
+        cache: Option<&'a TxnLockCache>,
     ) -> Self {
-        Ctx { lm, txn, src, authz, opts, report: LockReport::default() }
+        Ctx { lm, txn, src, authz, opts, cache, report: LockReport::default() }
     }
 
-    /// Acquires `mode` on `resource`, recording the outcome.
+    /// Acquires `mode` on `resource`, recording the outcome. A request
+    /// covered by the per-transaction cache is answered as redundant without
+    /// touching the lock table at all.
     pub fn acquire(&mut self, resource: &ResourcePath, mode: LockMode) -> Result<(), ProtocolError> {
+        if let Some(cache) = self.cache {
+            if cache.covers(resource, mode, self.opts.long) {
+                self.report.redundant += 1;
+                return Ok(());
+            }
+        }
         let lock_opts = LockRequestOptions { policy: self.opts.wait, long: self.opts.long };
         match self.lm.acquire(self.txn, resource.clone(), mode, lock_opts) {
             Ok(AcquireOutcome::Granted { waited }) => {
@@ -260,10 +335,18 @@ impl<'a> Ctx<'a> {
                     self.report.waited += 1;
                 }
                 self.report.acquired.push((resource.clone(), mode));
+                if let Some(cache) = self.cache {
+                    cache.record(resource, mode, self.opts.long);
+                }
                 Ok(())
             }
             Ok(AcquireOutcome::AlreadyHeld) => {
                 self.report.redundant += 1;
+                if let Some(cache) = self.cache {
+                    // The table does not widen the long flag on AlreadyHeld,
+                    // so cache the covering mode as short only.
+                    cache.record(resource, mode, false);
+                }
                 Ok(())
             }
             Err(e) => Err(ProtocolError::Lock(e)),

@@ -19,5 +19,5 @@ pub mod target;
 pub mod tuple_level;
 pub mod whole_object;
 
-pub use engine::{LockReport, ProtocolEngine, ProtocolError, ProtocolOptions};
+pub use engine::{LockReport, ProtocolEngine, ProtocolError, ProtocolOptions, TxnLockCache};
 pub use target::{AccessMode, InstanceSource, InstanceTarget, ReverseScan, TargetStep};

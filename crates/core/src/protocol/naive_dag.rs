@@ -22,7 +22,9 @@
 //!    inconsistency.
 
 use crate::authorization::Authorization;
-use crate::protocol::engine::{Ctx, LockReport, ProtocolEngine, ProtocolError, ProtocolOptions};
+use crate::protocol::engine::{
+    Ctx, LockReport, ProtocolEngine, ProtocolError, ProtocolOptions, TxnLockCache,
+};
 use crate::protocol::target::{AccessMode, InstanceSource, InstanceTarget};
 use crate::resource::ResourcePath;
 use colock_lockmgr::{LockManager, LockMode, TxnId};
@@ -42,9 +44,25 @@ impl ProtocolEngine {
         access: AccessMode,
         opts: ProtocolOptions,
     ) -> Result<LockReport, ProtocolError> {
+        self.lock_naive_dag_cached(lm, txn, src, authz, target, access, opts, None)
+    }
+
+    /// [`ProtocolEngine::lock_naive_dag`] with a per-transaction lock cache.
+    #[allow(clippy::too_many_arguments)]
+    pub fn lock_naive_dag_cached(
+        &self,
+        lm: &LockManager<ResourcePath>,
+        txn: TxnId,
+        src: &dyn InstanceSource,
+        authz: &Authorization,
+        target: &InstanceTarget,
+        access: AccessMode,
+        opts: ProtocolOptions,
+        cache: Option<&TxnLockCache>,
+    ) -> Result<LockReport, ProtocolError> {
         self.check_authorized(authz, txn, &target.relation, access)?;
         let mode = Self::target_mode(access);
-        let mut ctx = Ctx::new(lm, txn, src, authz, opts);
+        let mut ctx = Ctx::with_cache(lm, txn, src, authz, opts, cache);
 
         if mode == LockMode::X && self.is_common(&target.relation) {
             // Defect 1: X on shared data requires ALL parents to be locked.
@@ -75,9 +93,26 @@ impl ProtocolEngine {
         access: AccessMode,
         opts: ProtocolOptions,
     ) -> Result<LockReport, ProtocolError> {
+        self.lock_naive_relaxed_cached(lm, txn, src, authz, target, access, opts, None)
+    }
+
+    /// [`ProtocolEngine::lock_naive_relaxed`] with a per-transaction lock
+    /// cache.
+    #[allow(clippy::too_many_arguments)]
+    pub fn lock_naive_relaxed_cached(
+        &self,
+        lm: &LockManager<ResourcePath>,
+        txn: TxnId,
+        src: &dyn InstanceSource,
+        authz: &Authorization,
+        target: &InstanceTarget,
+        access: AccessMode,
+        opts: ProtocolOptions,
+        cache: Option<&TxnLockCache>,
+    ) -> Result<LockReport, ProtocolError> {
         self.check_authorized(authz, txn, &target.relation, access)?;
         let mode = Self::target_mode(access);
-        let mut ctx = Ctx::new(lm, txn, src, authz, opts);
+        let mut ctx = Ctx::with_cache(lm, txn, src, authz, opts, cache);
         let resource = self.resource_for(target)?;
         ctx.acquire_ancestor_intents(&resource, mode)?;
         ctx.acquire(&resource, mode)?;

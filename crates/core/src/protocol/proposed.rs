@@ -21,7 +21,9 @@
 //! keeps the table growth moderate (§4.4.2.1).
 
 use crate::authorization::Authorization;
-use crate::protocol::engine::{Ctx, LockReport, ProtocolEngine, ProtocolError, ProtocolOptions};
+use crate::protocol::engine::{
+    Ctx, LockReport, ProtocolEngine, ProtocolError, ProtocolOptions, TxnLockCache,
+};
 use crate::protocol::target::{AccessMode, InstanceSource, InstanceTarget};
 use colock_lockmgr::{LockManager, LockMode, TxnId};
 use colock_nf2::{ObjectKey, ObjectRef};
@@ -47,6 +49,33 @@ impl ProtocolEngine {
         self.lock_proposed_mode(lm, txn, src, authz, target, Self::target_mode(access), opts)
     }
 
+    /// [`ProtocolEngine::lock_proposed`] with a per-transaction lock cache:
+    /// ancestor intention locks already covered by the cache skip the lock
+    /// table entirely.
+    #[allow(clippy::too_many_arguments)]
+    pub fn lock_proposed_cached(
+        &self,
+        lm: &LockManager<ResourcePath>,
+        txn: TxnId,
+        src: &dyn InstanceSource,
+        authz: &Authorization,
+        target: &InstanceTarget,
+        access: AccessMode,
+        opts: ProtocolOptions,
+        cache: Option<&TxnLockCache>,
+    ) -> Result<LockReport, ProtocolError> {
+        self.lock_proposed_mode_cached(
+            lm,
+            txn,
+            src,
+            authz,
+            target,
+            Self::target_mode(access),
+            opts,
+            cache,
+        )
+    }
+
     /// Locks `target` in an explicit mode (IS/IX/S/X) under the proposed
     /// protocol.
     #[allow(clippy::too_many_arguments)]
@@ -60,10 +89,27 @@ impl ProtocolEngine {
         mode: LockMode,
         opts: ProtocolOptions,
     ) -> Result<LockReport, ProtocolError> {
+        self.lock_proposed_mode_cached(lm, txn, src, authz, target, mode, opts, None)
+    }
+
+    /// [`ProtocolEngine::lock_proposed_mode`] with a per-transaction lock
+    /// cache.
+    #[allow(clippy::too_many_arguments)]
+    pub fn lock_proposed_mode_cached(
+        &self,
+        lm: &LockManager<ResourcePath>,
+        txn: TxnId,
+        src: &dyn InstanceSource,
+        authz: &Authorization,
+        target: &InstanceTarget,
+        mode: LockMode,
+        opts: ProtocolOptions,
+        cache: Option<&TxnLockCache>,
+    ) -> Result<LockReport, ProtocolError> {
         let access = if mode.covers(LockMode::IX) { AccessMode::Update } else { AccessMode::Read };
         self.check_authorized(authz, txn, &target.relation, access)?;
 
-        let mut ctx = Ctx::new(lm, txn, src, authz, opts);
+        let mut ctx = Ctx::with_cache(lm, txn, src, authz, opts, cache);
         let resource = self.resource_for(target)?;
 
         // Rules 1–4, first half: intent locks on all immediate parents,

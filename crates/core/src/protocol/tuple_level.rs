@@ -9,7 +9,9 @@
 //! the data, which experiment E1 measures.
 
 use crate::authorization::Authorization;
-use crate::protocol::engine::{Ctx, LockReport, ProtocolEngine, ProtocolError, ProtocolOptions};
+use crate::protocol::engine::{
+    Ctx, LockReport, ProtocolEngine, ProtocolError, ProtocolOptions, TxnLockCache,
+};
 use crate::protocol::target::{AccessMode, InstanceSource, InstanceTarget};
 use crate::resource::ResourcePath;
 use colock_lockmgr::{LockManager, LockMode, TxnId};
@@ -29,9 +31,27 @@ impl ProtocolEngine {
         access: AccessMode,
         opts: ProtocolOptions,
     ) -> Result<LockReport, ProtocolError> {
+        self.lock_tuple_level_cached(lm, txn, src, authz, target, access, opts, None)
+    }
+
+    /// [`ProtocolEngine::lock_tuple_level`] with a per-transaction lock
+    /// cache (the database/segment/relation intents repeated per tuple are
+    /// where the cache pays off most).
+    #[allow(clippy::too_many_arguments)]
+    pub fn lock_tuple_level_cached(
+        &self,
+        lm: &LockManager<ResourcePath>,
+        txn: TxnId,
+        src: &dyn InstanceSource,
+        authz: &Authorization,
+        target: &InstanceTarget,
+        access: AccessMode,
+        opts: ProtocolOptions,
+        cache: Option<&TxnLockCache>,
+    ) -> Result<LockReport, ProtocolError> {
         self.check_authorized(authz, txn, &target.relation, access)?;
         let mode = Self::target_mode(access);
-        let mut ctx = Ctx::new(lm, txn, src, authz, opts);
+        let mut ctx = Ctx::with_cache(lm, txn, src, authz, opts, cache);
 
         let tuples = match &target.object {
             Some(_) => ctx.src.tuples_under(target),

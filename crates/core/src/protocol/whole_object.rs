@@ -8,7 +8,9 @@
 //! cell `c1` but serialize anyway.
 
 use crate::authorization::Authorization;
-use crate::protocol::engine::{Ctx, LockReport, ProtocolEngine, ProtocolError, ProtocolOptions};
+use crate::protocol::engine::{
+    Ctx, LockReport, ProtocolEngine, ProtocolError, ProtocolOptions, TxnLockCache,
+};
 use crate::protocol::target::{AccessMode, InstanceSource, InstanceTarget};
 use crate::resource::ResourcePath;
 use colock_lockmgr::{LockManager, LockMode, TxnId};
@@ -29,9 +31,26 @@ impl ProtocolEngine {
         access: AccessMode,
         opts: ProtocolOptions,
     ) -> Result<LockReport, ProtocolError> {
+        self.lock_whole_object_cached(lm, txn, src, authz, target, access, opts, None)
+    }
+
+    /// [`ProtocolEngine::lock_whole_object`] with a per-transaction lock
+    /// cache.
+    #[allow(clippy::too_many_arguments)]
+    pub fn lock_whole_object_cached(
+        &self,
+        lm: &LockManager<ResourcePath>,
+        txn: TxnId,
+        src: &dyn InstanceSource,
+        authz: &Authorization,
+        target: &InstanceTarget,
+        access: AccessMode,
+        opts: ProtocolOptions,
+        cache: Option<&TxnLockCache>,
+    ) -> Result<LockReport, ProtocolError> {
         self.check_authorized(authz, txn, &target.relation, access)?;
         let mode = Self::target_mode(access);
-        let mut ctx = Ctx::new(lm, txn, src, authz, opts);
+        let mut ctx = Ctx::with_cache(lm, txn, src, authz, opts, cache);
 
         match &target.object {
             Some(key) => {

@@ -24,6 +24,13 @@ pub struct LockStats {
     pub deadlocks: AtomicU64,
     /// Releases (per resource).
     pub releases: AtomicU64,
+    /// Snapshot deadlock-detector runs (one per new wait edge).
+    pub detector_runs: AtomicU64,
+    /// Targeted condvar notifications (per-resource wakeups on grant or
+    /// victim verdict). Under the old global-condvar design every release
+    /// woke every waiter; this counts how many wakeups the sharded table
+    /// actually issues.
+    pub wakeups: AtomicU64,
     /// High-water mark of resources present in the lock table.
     pub max_table_entries: AtomicU64,
     /// High-water mark of locks held by a single transaction.
@@ -56,6 +63,8 @@ impl LockStats {
             conflict_tests: self.conflict_tests.load(Ordering::Relaxed),
             deadlocks: self.deadlocks.load(Ordering::Relaxed),
             releases: self.releases.load(Ordering::Relaxed),
+            detector_runs: self.detector_runs.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
             max_table_entries: self.max_table_entries.load(Ordering::Relaxed),
             max_locks_per_txn: self.max_locks_per_txn.load(Ordering::Relaxed),
         }
@@ -70,6 +79,8 @@ impl LockStats {
         self.conflict_tests.store(0, Ordering::Relaxed);
         self.deadlocks.store(0, Ordering::Relaxed);
         self.releases.store(0, Ordering::Relaxed);
+        self.detector_runs.store(0, Ordering::Relaxed);
+        self.wakeups.store(0, Ordering::Relaxed);
         self.max_table_entries.store(0, Ordering::Relaxed);
         self.max_locks_per_txn.store(0, Ordering::Relaxed);
     }
@@ -92,6 +103,10 @@ pub struct StatsSnapshot {
     pub deadlocks: u64,
     /// Releases.
     pub releases: u64,
+    /// Deadlock-detector runs.
+    pub detector_runs: u64,
+    /// Targeted per-resource wakeups issued.
+    pub wakeups: u64,
     /// Max resources in the table.
     pub max_table_entries: u64,
     /// Max locks held by one transaction.
@@ -110,6 +125,8 @@ impl StatsSnapshot {
             conflict_tests: self.conflict_tests - earlier.conflict_tests,
             deadlocks: self.deadlocks - earlier.deadlocks,
             releases: self.releases - earlier.releases,
+            detector_runs: self.detector_runs - earlier.detector_runs,
+            wakeups: self.wakeups - earlier.wakeups,
             max_table_entries: self.max_table_entries,
             max_locks_per_txn: self.max_locks_per_txn,
         }

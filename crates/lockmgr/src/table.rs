@@ -11,11 +11,42 @@
 //! * conversions (upgrades by a transaction that already holds the resource)
 //!   only need compatibility with the *other* granted holders and bypass the
 //!   queue, as in System R,
-//! * on every release the queue is re-processed front-to-back (conversions
-//!   first),
-//! * before a request starts waiting, a waits-for cycle check runs; if the
-//!   request closes a cycle, the **youngest** transaction in the cycle is
-//!   aborted as the victim.
+//! * on every release the releasing resource's queue is re-processed
+//!   front-to-back (conversions first); queues of unrelated resources are
+//!   never touched,
+//! * when a request starts waiting, the snapshot deadlock detector runs over
+//!   the cross-shard waits-for graph; if the new edge closes a cycle, the
+//!   **youngest** transaction in the cycle is aborted as the victim.
+//!
+//! # Sharding and lock order
+//!
+//! The table is striped `N` ways (default 16): a resource hashes to one
+//! shard, and each shard owns its own mutex, so requests on unrelated
+//! resources never serialize on a common lock. Every [`ResourceState`]
+//! additionally carries its own condvar — releases and victim verdicts wake
+//! only the waiters of *that* resource, not the whole table (no
+//! thundering-herd `notify_all`).
+//!
+//! Per-transaction lock inventories live in separate *txn stripes* keyed by
+//! transaction id. The locking hierarchy is strict and acyclic:
+//!
+//! 1. shard mutexes, always in ascending shard-index order (single-resource
+//!    operations lock exactly one; only the deadlock detector locks all),
+//! 2. at most one txn-stripe mutex, only ever acquired *inside* a shard
+//!    critical section (leaf level) or on its own.
+//!
+//! No path locks a shard while holding a stripe and no path locks two
+//! stripes, so the manager's own locks cannot deadlock.
+//!
+//! # Deadlock detection
+//!
+//! Every waits-for edge is created by an enqueue, so detection triggered at
+//! enqueue time is complete: after publishing its wait entry (and dropping
+//! its shard lock) the enqueuing thread runs the detector, which locks all
+//! shards in canonical order, builds a consistent snapshot of the waits-for
+//! graph, and repeatedly extracts cycles. For each cycle the youngest
+//! markable member is stamped as victim and woken through its resource's
+//! condvar. There is no polling loop and no background thread.
 
 use crate::error::LockError;
 use crate::mode::LockMode;
@@ -23,9 +54,10 @@ use crate::stats::LockStats;
 use crate::txnid::TxnId;
 use crate::Result;
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::fmt;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Marker trait for lock-table resource keys.
@@ -105,6 +137,10 @@ struct Waiter {
 struct ResourceState {
     granted: Vec<Grant>,
     waiting: VecDeque<Waiter>,
+    /// Wakeups are targeted: only threads blocked on *this* resource wait
+    /// here. Cloned out of the shard before sleeping. Lazily allocated by the
+    /// first waiter — uncontended resources never pay for a condvar.
+    cond: Option<Arc<Condvar>>,
 }
 
 #[derive(Debug)]
@@ -119,18 +155,22 @@ impl<R> Default for TxnState<R> {
 }
 
 #[derive(Debug)]
-struct Inner<R: Resource> {
+struct ShardInner<R: Resource> {
     resources: HashMap<R, ResourceState>,
-    txns: HashMap<TxnId, TxnState<R>>,
-    /// `txn -> (resource, target mode)` for all currently waiting txns.
-    waiting_on: HashMap<TxnId, R>,
 }
 
-impl<R: Resource> Default for Inner<R> {
+impl<R: Resource> Default for ShardInner<R> {
     fn default() -> Self {
-        Inner { resources: HashMap::new(), txns: HashMap::new(), waiting_on: HashMap::new() }
+        ShardInner { resources: HashMap::new() }
     }
 }
+
+/// Number of txn-inventory stripes (fixed; inventories are small maps and
+/// only contended across distinct transactions).
+const TXN_STRIPES: usize = 16;
+
+/// Default number of lock-table shards.
+const DEFAULT_SHARDS: usize = 16;
 
 /// The lock manager.
 ///
@@ -149,8 +189,12 @@ impl<R: Resource> Default for Inner<R> {
 /// assert!(lm.acquire(t2, "cells/c1", LockMode::S, LockRequestOptions::try_lock()).is_ok());
 /// ```
 pub struct LockManager<R: Resource> {
-    inner: Mutex<Inner<R>>,
-    cond: Condvar,
+    shards: Box<[Mutex<ShardInner<R>>]>,
+    shard_mask: usize,
+    stripes: Box<[Mutex<HashMap<TxnId, TxnState<R>>>]>,
+    /// Resources currently present across all shards (kept as an atomic so
+    /// the `max_table_entries` high-water mark needs no cross-shard lock).
+    live_resources: AtomicU64,
     stats: LockStats,
 }
 
@@ -161,9 +205,23 @@ impl<R: Resource> Default for LockManager<R> {
 }
 
 impl<R: Resource> LockManager<R> {
-    /// Creates an empty lock manager.
+    /// Creates an empty lock manager with the default shard count.
     pub fn new() -> Self {
-        LockManager { inner: Mutex::new(Inner::default()), cond: Condvar::new(), stats: LockStats::default() }
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// Creates an empty lock manager striped `n` ways (`n` is rounded up to
+    /// a power of two, minimum 1). `with_shards(1)` degenerates to a single
+    /// global table — useful as an ablation baseline in benchmarks.
+    pub fn with_shards(n: usize) -> Self {
+        let n = n.max(1).next_power_of_two();
+        LockManager {
+            shards: (0..n).map(|_| Mutex::new(ShardInner::default())).collect(),
+            shard_mask: n - 1,
+            stripes: (0..TXN_STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
+            live_resources: AtomicU64::new(0),
+            stats: LockStats::default(),
+        }
     }
 
     /// Statistics counters.
@@ -171,17 +229,35 @@ impl<R: Resource> LockManager<R> {
         &self.stats
     }
 
-    /// Locks the table state, recovering from poisoning: a panicking test
-    /// thread must not cascade into every later acquire.
-    fn locked(&self) -> MutexGuard<'_, Inner<R>> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    /// Number of shards the table is striped into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `resource` hashes to. Exposed so tests can construct
+    /// resource sets that provably land on distinct (or identical) shards.
+    pub fn shard_index(&self, resource: &R) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        resource.hash(&mut h);
+        (h.finish() as usize) & self.shard_mask
+    }
+
+    /// Locks one shard, recovering from poisoning: a panicking test thread
+    /// must not cascade into every later acquire.
+    fn shard_locked(&self, idx: usize) -> MutexGuard<'_, ShardInner<R>> {
+        self.shards[idx].lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Locks the txn stripe owning `txn`'s inventory.
+    fn stripe_locked(&self, txn: TxnId) -> MutexGuard<'_, HashMap<TxnId, TxnState<R>>> {
+        self.stripes[(txn.0 as usize) & (TXN_STRIPES - 1)]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The mode `txn` currently holds on `resource` (NL if none).
     pub fn held_mode(&self, txn: TxnId, resource: &R) -> LockMode {
-        let inner = self.locked();
-        inner
-            .txns
+        self.stripe_locked(txn)
             .get(&txn)
             .and_then(|t| t.held.get(resource))
             .map(|&(m, _)| m)
@@ -190,9 +266,7 @@ impl<R: Resource> LockManager<R> {
 
     /// All `(resource, mode, long)` locks held by `txn`.
     pub fn locks_of(&self, txn: TxnId) -> Vec<(R, LockMode, bool)> {
-        let inner = self.locked();
-        inner
-            .txns
+        self.stripe_locked(txn)
             .get(&txn)
             .map(|t| t.held.iter().map(|(r, &(m, l))| (r.clone(), m, l)).collect())
             .unwrap_or_default()
@@ -200,8 +274,7 @@ impl<R: Resource> LockManager<R> {
 
     /// All `(txn, mode)` grants on `resource`.
     pub fn holders(&self, resource: &R) -> Vec<(TxnId, LockMode)> {
-        let inner = self.locked();
-        inner
+        self.shard_locked(self.shard_index(resource))
             .resources
             .get(resource)
             .map(|s| s.granted.iter().map(|g| (g.txn, g.mode)).collect())
@@ -210,19 +283,21 @@ impl<R: Resource> LockManager<R> {
 
     /// Number of resources currently present in the table.
     pub fn table_size(&self) -> usize {
-        self.locked().resources.len()
+        (0..self.shards.len()).map(|i| self.shard_locked(i).resources.len()).sum()
     }
 
     /// Total number of grant entries currently in the table.
     pub fn grant_count(&self) -> usize {
-        self.locked().resources.values().map(|s| s.granted.len()).sum()
+        (0..self.shards.len())
+            .map(|i| self.shard_locked(i).resources.values().map(|s| s.granted.len()).sum::<usize>())
+            .sum()
     }
 
     /// Number of *ungranted* waiters queued on `resource`. Lets tests (and
     /// stall diagnostics) observe "txn N is enqueued" directly instead of
     /// sleeping and hoping the scheduler got there.
     pub fn waiter_count(&self, resource: &R) -> usize {
-        self.locked()
+        self.shard_locked(self.shard_index(resource))
             .resources
             .get(resource)
             .map(|s| s.waiting.iter().filter(|w| !w.granted).count())
@@ -233,27 +308,26 @@ impl<R: Resource> LockManager<R> {
     /// for diagnostics and stall post-mortems.
     pub fn debug_dump(&self) -> String {
         use std::fmt::Write;
-        let inner = self.locked();
         let mut out = String::new();
-        for (r, state) in &inner.resources {
-            let _ = writeln!(out, "resource {r:?}:");
-            for g in &state.granted {
-                let _ = writeln!(out, "  granted {} {} long={}", g.txn, g.mode, g.long);
+        for si in 0..self.shards.len() {
+            let shard = self.shard_locked(si);
+            for (r, state) in &shard.resources {
+                let _ = writeln!(out, "resource {r:?} [shard {si}]:");
+                for g in &state.granted {
+                    let _ = writeln!(out, "  granted {} {} long={}", g.txn, g.mode, g.long);
+                }
+                for w in &state.waiting {
+                    let _ = writeln!(
+                        out,
+                        "  waiting {} {} conv={} granted={} victim={}",
+                        w.txn,
+                        w.mode,
+                        w.conversion,
+                        w.granted,
+                        w.victim.is_some()
+                    );
+                }
             }
-            for w in &state.waiting {
-                let _ = writeln!(
-                    out,
-                    "  waiting {} {} conv={} granted={} victim={}",
-                    w.txn,
-                    w.mode,
-                    w.conversion,
-                    w.granted,
-                    w.victim.is_some()
-                );
-            }
-        }
-        for (t, r) in &inner.waiting_on {
-            let _ = writeln!(out, "waiting_on: {t} -> {r:?}");
         }
         out
     }
@@ -267,14 +341,17 @@ impl<R: Resource> LockManager<R> {
         opts: LockRequestOptions,
     ) -> Result<AcquireOutcome> {
         debug_assert!(mode != LockMode::NL, "cannot acquire NL");
-        let mut inner = self.locked();
         LockStats::bump(&self.stats.requests);
+        let si = self.shard_index(&resource);
+        let mut shard = self.shard_locked(si);
 
-        let held = inner
-            .txns
-            .get(&txn)
-            .and_then(|t| t.held.get(&resource))
-            .map(|&(m, _)| m)
+        // Held mode comes from our own grant entry in the shard (there is at
+        // most one per txn/resource), keeping the hot path off the stripes.
+        let held = shard
+            .resources
+            .get(&resource)
+            .and_then(|s| s.granted.iter().find(|g| g.txn == txn))
+            .map(|g| g.mode)
             .unwrap_or(LockMode::NL);
         if held.covers(mode) {
             return Ok(AcquireOutcome::AlreadyHeld);
@@ -285,15 +362,15 @@ impl<R: Resource> LockManager<R> {
             LockStats::bump(&self.stats.conversions);
         }
 
-        if self.can_grant(&inner, txn, &resource, target, conversion) {
-            self.install_grant(&mut inner, txn, &resource, target, opts.long, conversion);
+        if self.can_grant(&shard, txn, &resource, target, conversion) {
+            self.install_grant(&mut shard, txn, &resource, target, opts.long);
             LockStats::bump(&self.stats.immediate_grants);
             return Ok(AcquireOutcome::Granted { waited: false });
         }
 
         match opts.policy {
             WaitPolicy::Try => {
-                let holders = self.conflicting_holders(&inner, txn, &resource, target);
+                let holders = self.conflicting_holders(&shard, txn, &resource, target);
                 Err(LockError::WouldBlock { holders })
             }
             WaitPolicy::Block | WaitPolicy::BlockTimeout(_) => {
@@ -301,97 +378,118 @@ impl<R: Resource> LockManager<R> {
                     WaitPolicy::BlockTimeout(d) => Some(Instant::now() + d),
                     _ => None,
                 };
-                self.block_until_granted(inner, txn, resource, target, conversion, opts.long, deadline)
+                self.block_until_granted(si, shard, txn, resource, target, conversion, opts.long, deadline)
             }
         }
     }
 
     /// Releases `resource` for `txn`. Returns `true` if a lock was released.
     pub fn release(&self, txn: TxnId, resource: &R) -> bool {
-        let mut inner = self.locked();
-        let removed = self.remove_grant(&mut inner, txn, resource);
+        let si = self.shard_index(resource);
+        let mut shard = self.shard_locked(si);
+        let removed = self.remove_grant(&mut shard, txn, resource, true);
         if removed {
             LockStats::bump(&self.stats.releases);
-            self.process_queue(&mut inner, resource);
-            self.cond.notify_all();
+            if self.has_ungranted_waiters(&shard, resource) {
+                self.process_queue(&mut shard, resource);
+            }
         }
         removed
     }
 
     /// Releases all locks of `txn` (end of transaction). Returns the number
     /// released.
+    ///
+    /// The per-txn inventory is *drained* (not cloned): ownership of the
+    /// resource keys moves out of the stripe, and each affected shard is
+    /// locked exactly once. Resources with no ungranted waiters skip queue
+    /// processing entirely.
     pub fn release_all(&self, txn: TxnId) -> usize {
-        let mut inner = self.locked();
-        let resources: Vec<R> = inner
-            .txns
-            .get(&txn)
-            .map(|t| t.held.keys().cloned().collect())
-            .unwrap_or_default();
-        for r in &resources {
-            self.remove_grant(&mut inner, txn, r);
-            LockStats::bump(&self.stats.releases);
-            self.process_queue(&mut inner, r);
-        }
-        inner.txns.remove(&txn);
-        if !resources.is_empty() {
-            self.cond.notify_all();
-        }
-        resources.len()
+        let held: HashMap<R, (LockMode, bool)> = {
+            let mut stripe = self.stripe_locked(txn);
+            stripe.remove(&txn).map(|t| t.held).unwrap_or_default()
+        };
+        let n = held.len();
+        self.release_batch(txn, held.into_keys());
+        n
     }
 
     /// Releases only the *short* locks of `txn`, keeping long locks — models
     /// the end of a workstation session whose check-outs persist ([KSUW85]).
     pub fn release_short(&self, txn: TxnId) -> usize {
-        let mut inner = self.locked();
-        let resources: Vec<R> = inner
-            .txns
-            .get(&txn)
-            .map(|t| {
-                t.held
-                    .iter()
-                    .filter(|(_, &(_, long))| !long)
-                    .map(|(r, _)| r.clone())
-                    .collect()
-            })
-            .unwrap_or_default();
-        for r in &resources {
-            self.remove_grant(&mut inner, txn, r);
-            LockStats::bump(&self.stats.releases);
-            self.process_queue(&mut inner, r);
+        let shorts: Vec<R> = {
+            let mut stripe = self.stripe_locked(txn);
+            let Some(t) = stripe.get_mut(&txn) else {
+                return 0;
+            };
+            let held = std::mem::take(&mut t.held);
+            let (long, short): (HashMap<_, _>, HashMap<_, _>) =
+                held.into_iter().partition(|&(_, (_, l))| l);
+            t.held = long;
+            if t.held.is_empty() {
+                stripe.remove(&txn);
+            }
+            short.into_keys().collect()
+        };
+        let n = shorts.len();
+        self.release_batch(txn, shorts.into_iter());
+        n
+    }
+
+    /// Removes `txn`'s grants on the given resources (inventory already
+    /// drained by the caller), grouped so each shard is locked once.
+    fn release_batch(&self, txn: TxnId, resources: impl Iterator<Item = R>) {
+        // Group by shard with a single sort (ascending, matching the
+        // detector's canonical order) so each shard is locked exactly once.
+        let mut keyed: Vec<(usize, R)> = resources.map(|r| (self.shard_index(&r), r)).collect();
+        keyed.sort_unstable_by_key(|&(si, _)| si);
+        let mut i = 0;
+        while i < keyed.len() {
+            let si = keyed[i].0;
+            let mut shard = self.shard_locked(si);
+            while i < keyed.len() && keyed[i].0 == si {
+                let r = &keyed[i].1;
+                if self.remove_grant(&mut shard, txn, r, false) {
+                    LockStats::bump(&self.stats.releases);
+                    if self.has_ungranted_waiters(&shard, r) {
+                        self.process_queue(&mut shard, r);
+                    }
+                }
+                i += 1;
+            }
         }
-        if !resources.is_empty() {
-            self.cond.notify_all();
-        }
-        resources.len()
     }
 
     /// Iterates over every grant in the table (for persistence snapshots).
     pub fn for_each_grant(&self, mut f: impl FnMut(&R, TxnId, LockMode, bool)) {
-        let inner = self.locked();
-        for (r, state) in &inner.resources {
-            for g in &state.granted {
-                f(r, g.txn, g.mode, g.long);
+        for si in 0..self.shards.len() {
+            let shard = self.shard_locked(si);
+            for (r, state) in &shard.resources {
+                for g in &state.granted {
+                    f(r, g.txn, g.mode, g.long);
+                }
             }
         }
     }
 
     /// Installs a grant directly (used by crash-recovery of long locks).
     pub fn install_recovered(&self, txn: TxnId, resource: R, mode: LockMode) {
-        let mut inner = self.locked();
-        self.install_grant(&mut inner, txn, &resource, mode, true, false);
+        let si = self.shard_index(&resource);
+        let mut shard = self.shard_locked(si);
+        self.install_grant(&mut shard, txn, &resource, mode, true);
     }
 
     // ----- internals -------------------------------------------------------
 
     fn can_grant(
         &self,
-        inner: &Inner<R>,
+        shard: &ShardInner<R>,
         txn: TxnId,
         resource: &R,
         target: LockMode,
         conversion: bool,
     ) -> bool {
-        let Some(state) = inner.resources.get(resource) else {
+        let Some(state) = shard.resources.get(resource) else {
             return true;
         };
         for g in &state.granted {
@@ -420,12 +518,12 @@ impl<R: Resource> LockManager<R> {
 
     fn conflicting_holders(
         &self,
-        inner: &Inner<R>,
+        shard: &ShardInner<R>,
         txn: TxnId,
         resource: &R,
         target: LockMode,
     ) -> Vec<TxnId> {
-        inner
+        shard
             .resources
             .get(resource)
             .map(|s| {
@@ -438,48 +536,82 @@ impl<R: Resource> LockManager<R> {
             .unwrap_or_default()
     }
 
+    /// Resource-state accessor that creates the entry on first use and
+    /// maintains the live-resource count / high-water mark.
+    fn state_entry<'a>(&self, shard: &'a mut ShardInner<R>, resource: &R) -> &'a mut ResourceState {
+        if !shard.resources.contains_key(resource) {
+            shard.resources.insert(resource.clone(), ResourceState::default());
+            let live = self.live_resources.fetch_add(1, Ordering::Relaxed) + 1;
+            LockStats::raise(&self.stats.max_table_entries, live);
+        }
+        shard.resources.get_mut(resource).expect("just inserted")
+    }
+
+    fn drop_state_if_empty(&self, shard: &mut ShardInner<R>, resource: &R) {
+        if let Some(s) = shard.resources.get(resource) {
+            if s.granted.is_empty() && s.waiting.is_empty() {
+                shard.resources.remove(resource);
+                self.live_resources.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     fn install_grant(
         &self,
-        inner: &mut Inner<R>,
+        shard: &mut ShardInner<R>,
         txn: TxnId,
         resource: &R,
         mode: LockMode,
         long: bool,
-        conversion: bool,
     ) {
-        let state = inner.resources.entry(resource.clone()).or_default();
-        if conversion {
-            if let Some(g) = state.granted.iter_mut().find(|g| g.txn == txn) {
-                g.mode = mode;
-                g.long = g.long || long;
-            } else {
-                state.granted.push(Grant { txn, mode, long });
-            }
+        let state = self.state_entry(shard, resource);
+        if let Some(g) = state.granted.iter_mut().find(|g| g.txn == txn) {
+            g.mode = g.mode.join(mode);
+            g.long = g.long || long;
         } else {
             state.granted.push(Grant { txn, mode, long });
         }
-        let txn_state = inner.txns.entry(txn).or_default();
+        // Stripe nests strictly inside the shard critical section (leaf).
+        let mut stripe = self.stripe_locked(txn);
+        let txn_state = stripe.entry(txn).or_default();
         let entry = txn_state.held.entry(resource.clone()).or_insert((LockMode::NL, false));
         entry.0 = entry.0.join(mode);
         entry.1 = entry.1 || long;
         LockStats::raise(&self.stats.max_locks_per_txn, txn_state.held.len() as u64);
-        LockStats::raise(&self.stats.max_table_entries, inner.resources.len() as u64);
     }
 
-    fn remove_grant(&self, inner: &mut Inner<R>, txn: TxnId, resource: &R) -> bool {
+    fn remove_grant(
+        &self,
+        shard: &mut ShardInner<R>,
+        txn: TxnId,
+        resource: &R,
+        update_inventory: bool,
+    ) -> bool {
         let mut removed = false;
-        if let Some(state) = inner.resources.get_mut(resource) {
+        if let Some(state) = shard.resources.get_mut(resource) {
             let before = state.granted.len();
             state.granted.retain(|g| g.txn != txn);
             removed = state.granted.len() != before;
-            if state.granted.is_empty() && state.waiting.is_empty() {
-                inner.resources.remove(resource);
+        }
+        self.drop_state_if_empty(shard, resource);
+        if update_inventory {
+            let mut stripe = self.stripe_locked(txn);
+            if let Some(t) = stripe.get_mut(&txn) {
+                t.held.remove(resource);
+                if t.held.is_empty() {
+                    stripe.remove(&txn);
+                }
             }
         }
-        if let Some(t) = inner.txns.get_mut(&txn) {
-            t.held.remove(resource);
-        }
         removed
+    }
+
+    fn has_ungranted_waiters(&self, shard: &ShardInner<R>, resource: &R) -> bool {
+        shard
+            .resources
+            .get(resource)
+            .map(|s| s.waiting.iter().any(|w| !w.granted))
+            .unwrap_or(false)
     }
 
     /// Grants queued waiters that have become compatible. Conversions are
@@ -491,10 +623,13 @@ impl<R: Resource> LockManager<R> {
     /// the pass repeats until a fixpoint: otherwise a waiter directly behind
     /// a freshly granted *compatible* one would be skipped with nothing left
     /// to re-trigger the queue — a lost grant that stalled whole workloads.
-    fn process_queue(&self, inner: &mut Inner<R>, resource: &R) {
+    ///
+    /// If anything was granted, exactly this resource's condvar is notified.
+    fn process_queue(&self, shard: &mut ShardInner<R>, resource: &R) {
+        let mut granted_any = false;
         loop {
-            let Some(state) = inner.resources.get(resource) else {
-                return;
+            let Some(state) = shard.resources.get(resource) else {
+                break;
             };
             // Conversion pass.
             let mut grant_idx: Vec<usize> = Vec::new();
@@ -513,11 +648,8 @@ impl<R: Resource> LockManager<R> {
             // predecessor's own grant, so fairness is preserved while the
             // policy stays aligned with the waits-for edge model.
             for (i, w) in state.waiting.iter().enumerate() {
-                if w.granted || w.victim.is_some() {
+                if w.granted || w.victim.is_some() || w.conversion {
                     continue;
-                }
-                if w.conversion {
-                    continue; // handled above
                 }
                 if self.queue_compatible(state, w, false)
                     && self.no_incompatible_ahead(state, i, w.mode)
@@ -526,22 +658,31 @@ impl<R: Resource> LockManager<R> {
                 }
             }
             if grant_idx.is_empty() {
-                return;
+                break;
             }
-            let to_grant: Vec<(TxnId, LockMode, bool, bool)> = {
-                let state = inner.resources.get_mut(resource).unwrap();
+            let to_grant: Vec<(TxnId, LockMode, bool)> = {
+                let state = shard.resources.get_mut(resource).expect("checked above");
                 let mut out = Vec::with_capacity(grant_idx.len());
                 for &i in &grant_idx {
                     let w = &mut state.waiting[i];
                     w.granted = true;
-                    out.push((w.txn, w.mode, w.long, w.conversion));
+                    out.push((w.txn, w.mode, w.long));
                 }
                 out
             };
-            for (txn, mode, long, conversion) in to_grant {
-                self.install_grant(inner, txn, resource, mode, long, conversion);
+            for (txn, mode, long) in to_grant {
+                self.install_grant(shard, txn, resource, mode, long);
             }
+            granted_any = true;
             // Loop: the new grants may make further waiters grantable.
+        }
+        if granted_any {
+            // Every granted waiter cloned the condvar out before sleeping, so
+            // it is always Some here.
+            if let Some(cond) = shard.resources.get(resource).and_then(|s| s.cond.as_ref()) {
+                LockStats::bump(&self.stats.wakeups);
+                cond.notify_all();
+            }
         }
     }
 
@@ -575,7 +716,8 @@ impl<R: Resource> LockManager<R> {
     #[allow(clippy::too_many_arguments)]
     fn block_until_granted(
         &self,
-        mut inner: MutexGuard<'_, Inner<R>>,
+        si: usize,
+        mut shard: MutexGuard<'_, ShardInner<R>>,
         txn: TxnId,
         resource: R,
         target: LockMode,
@@ -584,8 +726,8 @@ impl<R: Resource> LockManager<R> {
         deadline: Option<Instant>,
     ) -> Result<AcquireOutcome> {
         LockStats::bump(&self.stats.waits);
-        {
-            let state = inner.resources.entry(resource.clone()).or_default();
+        let cond = {
+            let state = self.state_entry(&mut shard, &resource);
             state.waiting.push_back(Waiter {
                 txn,
                 mode: target,
@@ -594,20 +736,20 @@ impl<R: Resource> LockManager<R> {
                 granted: false,
                 victim: None,
             });
-        }
-        inner.waiting_on.insert(txn, resource.clone());
-
-        if let Some(cycle) = self.find_cycle(&inner, txn) {
-            LockStats::bump(&self.stats.deadlocks);
-            if let Some(err) = self.resolve_deadlock(&mut inner, txn, &resource, cycle) {
-                return Err(err);
-            }
-        }
+            Arc::clone(state.cond.get_or_insert_with(Default::default))
+        };
+        // Publish the wait edge, then detect with no shard lock held: the
+        // detector needs all shards in canonical order.
+        drop(shard);
+        self.run_detector();
+        let mut shard = self.shard_locked(si);
 
         loop {
-            // Check our waiter entry.
+            // Check our waiter entry. The status is re-validated under the
+            // shard mutex before every wait, so a grant or victim verdict
+            // delivered between checks can never be lost.
             let status = {
-                let state = inner.resources.get(&resource).expect("resource with waiter");
+                let state = shard.resources.get(&resource).expect("resource with waiter");
                 let w = state
                     .waiting
                     .iter()
@@ -623,14 +765,16 @@ impl<R: Resource> LockManager<R> {
             };
             match status {
                 Some(Ok(())) => {
-                    self.remove_waiter_entry_only(&mut inner, txn, &resource);
-                    inner.waiting_on.remove(&txn);
+                    self.remove_waiter_entry_only(&mut shard, txn, &resource);
                     return Ok(AcquireOutcome::Granted { waited: true });
                 }
                 Some(Err(e)) => {
-                    self.remove_waiter(&mut inner, txn, &resource);
-                    self.process_queue(&mut inner, &resource);
-                    self.cond.notify_all();
+                    // Targeted cleanup: only this resource's queue can have
+                    // been affected by our departure.
+                    self.remove_waiter(&mut shard, txn, &resource);
+                    if self.has_ungranted_waiters(&shard, &resource) {
+                        self.process_queue(&mut shard, &resource);
+                    }
                     return Err(e);
                 }
                 None => {}
@@ -638,191 +782,175 @@ impl<R: Resource> LockManager<R> {
             match deadline {
                 Some(d) => {
                     let now = Instant::now();
-                    let timed_out = now >= d || {
-                        let (guard, wait) = self
-                            .cond
-                            .wait_timeout(inner, d - now)
-                            .unwrap_or_else(PoisonError::into_inner);
-                        inner = guard;
-                        wait.timed_out()
-                    };
-                    if timed_out {
-                        // Re-check once: we may have been granted exactly at
-                        // the deadline.
-                        let granted_now = inner
-                            .resources
-                            .get(&resource)
-                            .and_then(|s| s.waiting.iter().find(|w| w.txn == txn))
-                            .map(|w| w.granted)
-                            .unwrap_or(false);
-                        if granted_now {
-                            self.remove_waiter_entry_only(&mut inner, txn, &resource);
-                            inner.waiting_on.remove(&txn);
-                            return Ok(AcquireOutcome::Granted { waited: true });
+                    if now >= d {
+                        // Status was just checked: not granted, not a victim.
+                        self.remove_waiter(&mut shard, txn, &resource);
+                        if self.has_ungranted_waiters(&shard, &resource) {
+                            self.process_queue(&mut shard, &resource);
                         }
-                        self.remove_waiter(&mut inner, txn, &resource);
-                        self.process_queue(&mut inner, &resource);
-                        self.cond.notify_all();
                         return Err(LockError::Timeout);
                     }
+                    let (guard, _) = cond
+                        .wait_timeout(shard, d - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    shard = guard;
                 }
                 None => {
-                    // Wake periodically to re-run deadlock detection: a cycle
-                    // can involve edges invisible at wait-start (e.g. formed
-                    // while a stale candidate masked the first resolution).
-                    let (guard, wait) = self
-                        .cond
-                        .wait_timeout(inner, Duration::from_millis(50))
-                        .unwrap_or_else(PoisonError::into_inner);
-                    inner = guard;
-                    if wait.timed_out() {
-                        if let Some(cycle) = self.find_cycle(&inner, txn) {
-                            LockStats::bump(&self.stats.deadlocks);
-                            if let Some(err) =
-                                self.resolve_deadlock(&mut inner, txn, &resource, cycle)
-                            {
-                                return Err(err);
-                            }
-                        }
-                    }
+                    shard = cond.wait(shard).unwrap_or_else(PoisonError::into_inner);
                 }
             }
         }
     }
 
-    fn remove_waiter(&self, inner: &mut Inner<R>, txn: TxnId, resource: &R) {
-        if let Some(state) = inner.resources.get_mut(resource) {
+    fn remove_waiter(&self, shard: &mut ShardInner<R>, txn: TxnId, resource: &R) {
+        if let Some(state) = shard.resources.get_mut(resource) {
             state.waiting.retain(|w| w.txn != txn);
-            if state.granted.is_empty() && state.waiting.is_empty() {
-                inner.resources.remove(resource);
-            }
         }
-        inner.waiting_on.remove(&txn);
+        self.drop_state_if_empty(shard, resource);
     }
 
     /// Removes only the waiter entry (grant already installed by
     /// `process_queue`).
-    fn remove_waiter_entry_only(&self, inner: &mut Inner<R>, txn: TxnId, resource: &R) {
-        if let Some(state) = inner.resources.get_mut(resource) {
+    fn remove_waiter_entry_only(&self, shard: &mut ShardInner<R>, txn: TxnId, resource: &R) {
+        if let Some(state) = shard.resources.get_mut(resource) {
             state.waiting.retain(|w| w.txn != txn);
         }
     }
 
-    /// Picks and marks a deadlock victim for `cycle` (youngest first).
+    /// Snapshot deadlock detector.
     ///
-    /// Returns `Some(err)` when the requester itself is the victim (the
-    /// caller must clean up its waiter and return the error). When the
-    /// youngest member's waiter turned out to be already granted (runnable),
-    /// the next-youngest markable member is chosen instead, so a real cycle
-    /// is never left standing because of a stale candidate.
-    fn resolve_deadlock(
-        &self,
-        inner: &mut Inner<R>,
-        requester: TxnId,
-        requester_resource: &R,
-        cycle: Vec<TxnId>,
-    ) -> Option<LockError> {
-        let mut candidates: Vec<TxnId> = cycle.clone();
-        candidates.sort_unstable();
-        for &victim in candidates.iter().rev() {
-            if victim == requester {
-                self.remove_waiter(inner, requester, requester_resource);
-                self.process_queue(inner, requester_resource);
-                self.cond.notify_all();
-                return Some(LockError::Deadlock { victim, cycle });
-            }
-            let Some(victim_res) = inner.waiting_on.get(&victim).cloned() else {
-                continue;
-            };
-            let Some(state) = inner.resources.get_mut(&victim_res) else {
-                continue;
-            };
-            if let Some(w) = state
-                .waiting
-                .iter_mut()
-                .find(|w| w.txn == victim && !w.granted && w.victim.is_none())
-            {
-                w.victim = Some(cycle);
-                self.cond.notify_all();
-                return None;
-            }
-            // Victim already granted or already marked: try the next one.
-        }
-        None
-    }
-
-    /// DFS over the waits-for graph starting from `start`. Returns a cycle
-    /// (as a list of txns, first == last omitted) if `start` can reach
-    /// itself.
-    fn find_cycle(&self, inner: &Inner<R>, start: TxnId) -> Option<Vec<TxnId>> {
-        fn blockers<R: Resource>(inner: &Inner<R>, txn: TxnId) -> Vec<TxnId> {
-            let Some(resource) = inner.waiting_on.get(&txn) else {
-                return Vec::new();
-            };
-            let Some(state) = inner.resources.get(resource) else {
-                return Vec::new();
-            };
-            let Some(pos) = state.waiting.iter().position(|w| w.txn == txn) else {
-                return Vec::new();
-            };
-            let me = &state.waiting[pos];
-            if me.granted {
-                // Already granted, merely not woken yet: runnable, blocks on
-                // nothing (stale edges here would fabricate false cycles).
-                return Vec::new();
-            }
-            let mut out = Vec::new();
-            for g in &state.granted {
-                if g.txn != txn && !me.mode.compatible(g.mode) {
-                    out.push(g.txn);
-                }
-            }
-            // Under FIFO, earlier incompatible waiters also block us —
-            // except for conversions, which bypass queue order entirely.
-            if !me.conversion {
-                for w in state.waiting.iter().take(pos) {
-                    if !w.granted && w.txn != txn && !me.mode.compatible(w.mode) {
-                        out.push(w.txn);
+    /// Locks every shard in ascending index order (the canonical order — the
+    /// only code path that holds more than one shard), builds the waits-for
+    /// graph from the queues, and resolves cycles to fixpoint: each detected
+    /// cycle has its youngest markable member stamped as victim and woken
+    /// through its own resource's condvar. Granted and already-victimized
+    /// waiters contribute no edges, so a marked victim immediately breaks
+    /// its cycle and concurrent enqueuers re-detecting the same ring find
+    /// nothing — exactly one victim per cycle.
+    fn run_detector(&self) {
+        LockStats::bump(&self.stats.detector_runs);
+        let mut guards: Vec<MutexGuard<'_, ShardInner<R>>> =
+            (0..self.shards.len()).map(|i| self.shard_locked(i)).collect();
+        loop {
+            // Snapshot: waits-for edges plus each waiter's location.
+            let mut edges: HashMap<TxnId, Vec<TxnId>> = HashMap::new();
+            let mut locs: HashMap<TxnId, (usize, R)> = HashMap::new();
+            for (si, shard) in guards.iter().enumerate() {
+                for (r, state) in &shard.resources {
+                    for (pos, w) in state.waiting.iter().enumerate() {
+                        if w.granted || w.victim.is_some() {
+                            // Runnable or already condemned: no outgoing
+                            // edges (stale edges would fabricate cycles).
+                            continue;
+                        }
+                        let mut blockers = Vec::new();
+                        for g in &state.granted {
+                            if g.txn != w.txn && !w.mode.compatible(g.mode) {
+                                blockers.push(g.txn);
+                            }
+                        }
+                        // Under FIFO, earlier incompatible waiters also block
+                        // us — except for conversions, which bypass queue
+                        // order entirely.
+                        if !w.conversion {
+                            for w2 in state.waiting.iter().take(pos) {
+                                if !w2.granted
+                                    && w2.victim.is_none()
+                                    && w2.txn != w.txn
+                                    && !w.mode.compatible(w2.mode)
+                                {
+                                    blockers.push(w2.txn);
+                                }
+                            }
+                        }
+                        edges.insert(w.txn, blockers);
+                        locs.insert(w.txn, (si, r.clone()));
                     }
                 }
             }
-            out
+            let Some(cycle) = find_cycle_snapshot(&edges) else {
+                break;
+            };
+            LockStats::bump(&self.stats.deadlocks);
+            // Youngest member (max TxnId) dies; if its waiter is stale
+            // (granted meanwhile), fall back to the next youngest so a real
+            // cycle is never left standing.
+            let mut members = cycle.clone();
+            members.sort_unstable();
+            let mut marked = false;
+            for &victim in members.iter().rev() {
+                let Some((vsi, vres)) = locs.get(&victim) else {
+                    continue;
+                };
+                let Some(state) = guards[*vsi].resources.get_mut(vres) else {
+                    continue;
+                };
+                if let Some(w) = state
+                    .waiting
+                    .iter_mut()
+                    .find(|w| w.txn == victim && !w.granted && w.victim.is_none())
+                {
+                    w.victim = Some(cycle.clone());
+                    // The victim is a blocked waiter, so it installed the
+                    // condvar before sleeping.
+                    if let Some(cond) = &state.cond {
+                        LockStats::bump(&self.stats.wakeups);
+                        cond.notify_all();
+                    }
+                    marked = true;
+                    break;
+                }
+            }
+            if !marked {
+                // Every member turned runnable between snapshot and marking;
+                // nothing to do (and nothing left to loop on).
+                break;
+            }
         }
+    }
+}
 
-        let mut stack = vec![start];
-        let mut path: Vec<TxnId> = Vec::new();
-        let mut visited: HashMap<TxnId, bool> = HashMap::new(); // false=open, true=done
-        // Iterative DFS with explicit path tracking.
-        fn dfs<R: Resource>(
-            inner: &Inner<R>,
-            node: TxnId,
-            start: TxnId,
-            path: &mut Vec<TxnId>,
-            visited: &mut HashMap<TxnId, bool>,
-        ) -> Option<Vec<TxnId>> {
-            path.push(node);
-            visited.insert(node, false);
-            for b in blockers(inner, node) {
+/// DFS over the snapshot waits-for graph. Tries every waiting txn (in sorted
+/// order, for determinism) as the cycle anchor and returns the first cycle
+/// found as a list of txns (first == last omitted).
+fn find_cycle_snapshot(edges: &HashMap<TxnId, Vec<TxnId>>) -> Option<Vec<TxnId>> {
+    fn dfs(
+        edges: &HashMap<TxnId, Vec<TxnId>>,
+        node: TxnId,
+        start: TxnId,
+        path: &mut Vec<TxnId>,
+        visited: &mut HashMap<TxnId, bool>, // false = open, true = done
+    ) -> Option<Vec<TxnId>> {
+        path.push(node);
+        visited.insert(node, false);
+        if let Some(blockers) = edges.get(&node) {
+            for &b in blockers {
                 if b == start {
                     return Some(path.clone());
                 }
-                match visited.get(&b) {
-                    Some(false) => continue, // already on path, cycle not via start
-                    Some(true) => continue,
-                    None => {
-                        if let Some(c) = dfs(inner, b, start, path, visited) {
-                            return Some(c);
-                        }
-                    }
+                if visited.contains_key(&b) {
+                    continue; // on path (cycle not via start) or exhausted
+                }
+                if let Some(c) = dfs(edges, b, start, path, visited) {
+                    return Some(c);
                 }
             }
-            visited.insert(node, true);
-            path.pop();
-            None
         }
-        let _ = &mut stack;
-        dfs(inner, start, start, &mut path, &mut visited)
+        visited.insert(node, true);
+        path.pop();
+        None
     }
+
+    let mut starts: Vec<TxnId> = edges.keys().copied().collect();
+    starts.sort_unstable();
+    for &start in &starts {
+        let mut path = Vec::new();
+        let mut visited = HashMap::new();
+        if let Some(c) = dfs(edges, start, start, &mut path, &mut visited) {
+            return Some(c);
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -1044,6 +1172,30 @@ mod tests {
         assert_eq!(s.requests, 2);
         assert_eq!(s.immediate_grants, 2);
         assert_eq!(s.max_table_entries, 2);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let m: LockManager<&str> = LockManager::with_shards(5);
+        assert_eq!(m.shard_count(), 8);
+        let m1: LockManager<&str> = LockManager::with_shards(0);
+        assert_eq!(m1.shard_count(), 1);
+        // The single-shard table still works end to end.
+        m1.acquire(t(1), "a", X, LockRequestOptions::default()).unwrap();
+        assert_eq!(m1.shard_index(&"anything"), 0);
+        m1.release_all(t(1));
+        assert_eq!(m1.table_size(), 0);
+    }
+
+    #[test]
+    fn shard_index_is_stable_and_in_range() {
+        let m: LockManager<String> = LockManager::new();
+        for i in 0..64 {
+            let r = format!("res{i}");
+            let s1 = m.shard_index(&r);
+            assert_eq!(s1, m.shard_index(&r), "hashing must be deterministic");
+            assert!(s1 < m.shard_count());
+        }
     }
 
     #[test]

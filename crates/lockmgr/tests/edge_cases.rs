@@ -390,3 +390,121 @@ fn seeded_deadlock_storm_picks_youngest_victim_and_makes_progress() {
     assert_eq!(events.len(), CYCLES, "one deadlock per ring round: {events:?}");
     assert_eq!(m.table_size(), 0, "storm must drain the lock table completely");
 }
+
+#[test]
+fn cross_shard_deadlock_storm_picks_youngest_victim() {
+    // The storm above may land all four resources on one shard by accident of
+    // hashing; this variant *constructs* four resources with pairwise
+    // distinct shard indices, so every edge of the waits-for ring crosses a
+    // shard boundary and only the snapshot detector (which locks all shards)
+    // can see the cycle. Semantics must be identical: exactly one deadlock
+    // per ring round, youngest member as victim, full drain.
+    use colock_testkit::{lockstep, Rng};
+    use std::collections::HashSet;
+
+    const THREADS: usize = 4;
+    const CYCLES: usize = 8;
+    let seed = colock_testkit::prop::seed_from_env().unwrap_or(0x5AAD_C0DE);
+
+    let m: Arc<LockManager<String>> = Arc::new(LockManager::new());
+    assert!(m.shard_count() >= THREADS, "need one shard per ring slot");
+    let mut res: Vec<String> = Vec::new();
+    let mut used: HashSet<usize> = HashSet::new();
+    let mut i = 0u64;
+    while res.len() < THREADS {
+        let cand = format!("res{i}");
+        if used.insert(m.shard_index(&cand)) {
+            res.push(cand);
+        }
+        i += 1;
+    }
+    let res: Arc<Vec<String>> = Arc::new(res);
+
+    let deadlocks = Arc::new(Mutex::new(Vec::new()));
+    let m2 = Arc::clone(&m);
+    let dl = Arc::clone(&deadlocks);
+    let res2 = Arc::clone(&res);
+    lockstep(THREADS, CYCLES * 2, Duration::from_secs(60), move |tid, step| {
+        let k = step / 2;
+        let mut perm = [0usize, 1, 2, 3];
+        Rng::seed_from_u64(seed ^ k as u64).shuffle(&mut perm);
+        let rank = (tid + k) % THREADS;
+        let txn = TxnId(1 + (k * THREADS + rank) as u64);
+        if step % 2 == 0 {
+            m2.acquire(txn, res2[perm[tid]].clone(), LockMode::X, LockRequestOptions::default())
+                .unwrap();
+        } else {
+            let next = res2[perm[(tid + 1) % THREADS]].clone();
+            match m2.acquire(txn, next, LockMode::X, LockRequestOptions::default()) {
+                Ok(_) => {
+                    assert_ne!(rank, THREADS - 1, "the youngest txn {txn} must be the victim");
+                }
+                Err(LockError::Deadlock { victim, cycle }) => {
+                    assert_eq!(victim, txn);
+                    assert_eq!(rank, THREADS - 1, "an older txn {txn} was aborted");
+                    assert_eq!(cycle.len(), THREADS, "the full cross-shard ring: {cycle:?}");
+                    assert_eq!(victim, *cycle.iter().max().unwrap());
+                    dl.lock().unwrap().push((k, victim));
+                }
+                Err(e) => panic!("unexpected lock error: {e}"),
+            }
+            m2.release_all(txn);
+        }
+    });
+    let events = deadlocks.lock().unwrap();
+    assert_eq!(events.len(), CYCLES, "one deadlock per ring round: {events:?}");
+    assert_eq!(m.table_size(), 0);
+    assert!(m.stats().snapshot().detector_runs >= CYCLES as u64);
+}
+
+#[test]
+fn counters_stay_consistent_across_shards() {
+    // grant_count / waiter_count / table_size are assembled shard by shard;
+    // they must agree with what was actually installed when the resources
+    // span many shards.
+    use std::collections::HashSet;
+
+    let m: Arc<LockManager<String>> = Arc::new(LockManager::new());
+    const TXNS: u64 = 8;
+    const RES_PER_TXN: u64 = 6;
+    for txn in 1..=TXNS {
+        for j in 0..RES_PER_TXN {
+            m.acquire(TxnId(txn), format!("t{txn}-r{j}"), LockMode::X, LockRequestOptions::default())
+                .unwrap();
+        }
+        m.acquire(TxnId(txn), "shared".to_string(), LockMode::S, LockRequestOptions::default())
+            .unwrap();
+    }
+    // The disjoint resources must actually exercise several shards.
+    let spread: HashSet<usize> = (1..=TXNS)
+        .flat_map(|t| (0..RES_PER_TXN).map(move |j| format!("t{t}-r{j}")))
+        .map(|r| m.shard_index(&r))
+        .collect();
+    assert!(spread.len() > 1, "test resources all hashed to one shard");
+
+    assert_eq!(m.grant_count() as u64, TXNS * (RES_PER_TXN + 1));
+    assert_eq!(m.table_size() as u64, TXNS * RES_PER_TXN + 1);
+    for txn in 1..=TXNS {
+        for j in 0..RES_PER_TXN {
+            assert_eq!(m.waiter_count(&format!("t{txn}-r{j}")), 0);
+        }
+    }
+
+    // A blocked X on the shared resource is visible as exactly one waiter
+    // and must not disturb the grant count.
+    let m2 = Arc::clone(&m);
+    let h = thread::spawn(move || {
+        m2.acquire(TxnId(99), "shared".to_string(), LockMode::X, LockRequestOptions::default())
+    });
+    wait_until(WAIT, || m.waiter_count(&"shared".to_string()) == 1);
+    assert_eq!(m.grant_count() as u64, TXNS * (RES_PER_TXN + 1));
+
+    for txn in 1..=TXNS {
+        assert_eq!(m.release_all(TxnId(txn)) as u64, RES_PER_TXN + 1);
+    }
+    assert!(h.join().unwrap().is_ok());
+    assert_eq!(m.grant_count(), 1, "only the late X remains");
+    m.release_all(TxnId(99));
+    assert_eq!(m.table_size(), 0);
+    assert_eq!(m.grant_count(), 0);
+}

@@ -173,9 +173,10 @@ mod liveness_tests {
     /// Regression test for the stale-victim deadlock hang: under the
     /// engineering mix (checkouts + upgrades + shared-data propagation) a
     /// waits-for cycle could be detected but left unresolved when the chosen
-    /// victim's waiter had already been granted; periodic re-detection and
-    /// next-youngest fallback now guarantee progress. Sweep several seeds —
-    /// before the fix this hung within a handful of varied-seed rounds.
+    /// victim's waiter had already been granted; the snapshot detector (run
+    /// on every enqueue with all shards locked) and next-youngest fallback
+    /// now guarantee progress. Sweep several seeds — before the fix this
+    /// hung within a handful of varied-seed rounds.
     #[test]
     fn engineering_mix_liveness_across_seeds() {
         let cells = CellsConfig {

@@ -5,7 +5,7 @@ use crate::transaction::{Transaction, TxnKind};
 use crate::Result;
 use colock_core::{
     AccessMode, Authorization, InstanceTarget, LockReport, ProtocolEngine, ProtocolOptions,
-    ResourcePath,
+    ResourcePath, TxnLockCache,
 };
 use colock_lockmgr::{LockManager, TxnId};
 use colock_lockmgr::txnid::TxnIdGen;
@@ -59,6 +59,9 @@ pub(crate) struct TxnState {
     pub undo: Vec<crate::undo::UndoRecord>,
     pub shrinking: bool,
     pub checked_out: HashMap<String, InstanceTarget>,
+    /// Per-transaction ancestor-lock cache; dies with the state at EOT, so
+    /// invalidation needs no extra bookkeeping. Cleared on early release.
+    pub cache: Arc<TxnLockCache>,
 }
 
 /// The transaction manager: owns lock manager, engine, store, rights.
@@ -109,7 +112,12 @@ impl TransactionManager {
         let id = self.idgen.next();
         self.states_locked().insert(
             id,
-            TxnState { undo: Vec::new(), shrinking: false, checked_out: HashMap::new() },
+            TxnState {
+                undo: Vec::new(),
+                shrinking: false,
+                checked_out: HashMap::new(),
+                cache: Arc::new(TxnLockCache::new()),
+            },
         );
         Transaction::new(self, id, kind)
     }
@@ -147,16 +155,11 @@ impl TransactionManager {
         access: AccessMode,
         opts: ProtocolOptions,
     ) -> Result<LockReport> {
-        {
-            let states = self.states_locked();
-            let st = states.get(&txn).ok_or(TxnError::NotActive(txn))?;
-            if st.shrinking {
-                return Err(TxnError::TwoPhaseViolation(txn));
-            }
-        }
+        let cache = self.active_cache(txn)?;
+        let cache = Some(cache.as_ref());
         let src: &Store = &self.store;
         let report = match self.protocol {
-            ProtocolKind::Proposed => self.engine.lock_proposed(
+            ProtocolKind::Proposed => self.engine.lock_proposed_cached(
                 &self.lm,
                 txn,
                 src,
@@ -164,8 +167,9 @@ impl TransactionManager {
                 target,
                 access,
                 ProtocolOptions { rule4_prime: true, ..opts },
+                cache,
             ),
-            ProtocolKind::ProposedRule4 => self.engine.lock_proposed(
+            ProtocolKind::ProposedRule4 => self.engine.lock_proposed_cached(
                 &self.lm,
                 txn,
                 src,
@@ -173,21 +177,33 @@ impl TransactionManager {
                 target,
                 access,
                 ProtocolOptions { rule4_prime: false, ..opts },
+                cache,
             ),
             ProtocolKind::WholeObject => self
                 .engine
-                .lock_whole_object(&self.lm, txn, src, &self.authz, target, access, opts),
+                .lock_whole_object_cached(&self.lm, txn, src, &self.authz, target, access, opts, cache),
             ProtocolKind::TupleLevel => self
                 .engine
-                .lock_tuple_level(&self.lm, txn, src, &self.authz, target, access, opts),
+                .lock_tuple_level_cached(&self.lm, txn, src, &self.authz, target, access, opts, cache),
             ProtocolKind::NaiveDag => self
                 .engine
-                .lock_naive_dag(&self.lm, txn, src, &self.authz, target, access, opts),
+                .lock_naive_dag_cached(&self.lm, txn, src, &self.authz, target, access, opts, cache),
             ProtocolKind::NaiveRelaxed => self
                 .engine
-                .lock_naive_relaxed(&self.lm, txn, src, &self.authz, target, access, opts),
+                .lock_naive_relaxed_cached(&self.lm, txn, src, &self.authz, target, access, opts, cache),
         }?;
         Ok(report)
+    }
+
+    /// Fetches the ancestor-lock cache of an active, still-growing
+    /// transaction (shared entry point of `lock` / `lock_mode`).
+    fn active_cache(&self, txn: TxnId) -> Result<Arc<TxnLockCache>> {
+        let states = self.states_locked();
+        let st = states.get(&txn).ok_or(TxnError::NotActive(txn))?;
+        if st.shrinking {
+            return Err(TxnError::TwoPhaseViolation(txn));
+        }
+        Ok(Arc::clone(&st.cache))
     }
 
     /// Locks `target` in an explicit multi-granularity mode (IS/IX/S/SIX/X).
@@ -201,16 +217,10 @@ impl TransactionManager {
         mode: colock_lockmgr::LockMode,
         opts: ProtocolOptions,
     ) -> Result<LockReport> {
-        {
-            let states = self.states_locked();
-            let st = states.get(&txn).ok_or(TxnError::NotActive(txn))?;
-            if st.shrinking {
-                return Err(TxnError::TwoPhaseViolation(txn));
-            }
-        }
+        let cache = self.active_cache(txn)?;
         let src: &Store = &self.store;
         match self.protocol {
-            ProtocolKind::Proposed => Ok(self.engine.lock_proposed_mode(
+            ProtocolKind::Proposed => Ok(self.engine.lock_proposed_mode_cached(
                 &self.lm,
                 txn,
                 src,
@@ -218,8 +228,9 @@ impl TransactionManager {
                 target,
                 mode,
                 ProtocolOptions { rule4_prime: true, ..opts },
+                Some(cache.as_ref()),
             )?),
-            ProtocolKind::ProposedRule4 => Ok(self.engine.lock_proposed_mode(
+            ProtocolKind::ProposedRule4 => Ok(self.engine.lock_proposed_mode_cached(
                 &self.lm,
                 txn,
                 src,
@@ -227,6 +238,7 @@ impl TransactionManager {
                 target,
                 mode,
                 ProtocolOptions { rule4_prime: false, ..opts },
+                Some(cache.as_ref()),
             )?),
             _ => {
                 let access = if mode.covers(colock_lockmgr::LockMode::IX) {

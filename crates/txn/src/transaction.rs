@@ -270,6 +270,10 @@ impl<'m> Transaction<'m> {
         let mut states = self.mgr.states_locked();
         if let Some(st) = states.get_mut(&self.id) {
             st.shrinking = true;
+            // The cache may now claim locks that were just released; the
+            // shrinking flag already blocks further requests, but clear it
+            // anyway so no stale coverage can ever be consulted.
+            st.cache.clear();
         }
         Ok(released)
     }

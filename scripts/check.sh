@@ -50,4 +50,12 @@ cargo test --offline --workspace -q
 echo "==> cargo bench compiles (no run)"
 cargo bench --offline --workspace --no-run -q
 
+echo "==> stress_lockmgr (bounded rounds)"
+COLOCK_STRESS_ROUNDS="${COLOCK_STRESS_ROUNDS:-40}" \
+    cargo run --offline --release -q -p colock-bench --bin stress_lockmgr
+
+echo "==> shard-scaling bench (small budget)"
+COLOCK_BENCH_MS="${COLOCK_BENCH_MS:-50}" \
+    cargo bench --offline -p colock-bench --bench bench_shard_scaling -q
+
 echo "==> all checks passed"
