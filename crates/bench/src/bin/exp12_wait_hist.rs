@@ -1,0 +1,80 @@
+//! E12 — wait-time distribution on a hot spot (observability layer).
+//!
+//! Reruns E6's contended shape at its sharpest: a single manufacturing cell
+//! whose few objects every worker hammers with the update-heavy mix, under
+//! the proposed protocol vs tuple-level locking. Tracing is enabled, so the
+//! thread driver pairs every `Wait` with its `Grant` and buckets the blocked
+//! microseconds per resource into power-of-two histograms.
+//!
+//! ```text
+//! cargo run --release --bin exp12_wait_hist
+//! ```
+
+use colock_bench::{cells_manager, f1};
+use colock_sim::{run_threads, CellsConfig, QueryMix, ThreadConfig};
+use colock_trace::WaitHistogram;
+use colock_txn::ProtocolKind;
+
+fn main() {
+    colock_trace::enable();
+    println!("E12 — wait-time histograms on a hot-spot workload (tracing enabled)\n");
+
+    let cells = CellsConfig {
+        n_cells: 1,
+        c_objects_per_cell: 6,
+        robots_per_cell: 3,
+        n_effectors: 4,
+        effectors_per_robot: 2,
+        ..Default::default()
+    };
+    let cfg = ThreadConfig {
+        workers: 6,
+        txns_per_worker: 20,
+        ops_per_txn: 3,
+        mix: QueryMix::update_heavy(),
+        seed: 42,
+        cells,
+    };
+
+    for protocol in [ProtocolKind::Proposed, ProtocolKind::TupleLevel] {
+        let mgr = cells_manager(&cells, protocol);
+        let report = run_threads(&mgr, &cfg);
+        let m = &report.metrics;
+        println!("protocol = {}:", protocol.name());
+        println!(
+            "  committed={} deadlocks={} attempts={} locks/txn={} locks/attempt={} wall={}ms",
+            m.committed,
+            m.deadlock_aborts,
+            m.attempts(),
+            f1(m.locks_per_txn()),
+            f1(m.locks_per_attempt()),
+            m.wall_ms,
+        );
+
+        let total = m.total_wait_hist();
+        if total.count() == 0 {
+            println!("  no waits recorded (every request was granted immediately)\n");
+            continue;
+        }
+        print_hist(&total, "all resources merged");
+
+        // The hottest individual resources, by number of waits.
+        let mut hot: Vec<(&String, &WaitHistogram)> = m.wait_hists.iter().collect();
+        hot.sort_by(|a, b| b.1.count().cmp(&a.1.count()).then(a.0.cmp(b.0)));
+        for (resource, hist) in hot.iter().take(3) {
+            print_hist(hist, &format!("hot spot {resource}"));
+        }
+        println!();
+    }
+
+    println!("expected shape: both protocols serialize the same hot objects, but");
+    println!("tuple-level queues on many fine tuples (more, shorter waits) while the");
+    println!("proposed technique's subobject granules keep disjoint work out of each");
+    println!("other's way — fewer transactions ever reach the wait queue at all.");
+}
+
+fn print_hist(h: &WaitHistogram, label: &str) {
+    for line in h.render(label).lines() {
+        println!("  {line}");
+    }
+}

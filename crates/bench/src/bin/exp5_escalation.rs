@@ -1,4 +1,4 @@
-//! E5 — anticipation of lock escalations (§4.5, [HDKS89]).
+//! E5 — anticipation of lock escalations (§4.5, \[HDKS89\]).
 //!
 //! Two updaters each touch many c_objects of the *same* cell. The
 //! *anticipating* optimizer requests one subtree X lock up front (the second

@@ -26,7 +26,7 @@ fn main() {
         println!("mix = {mix_name}:");
         let mut table = Table::new(&[
             "protocol", "committed", "ticks", "thr/ktick", "blocked", "deadlocks",
-            "locks/txn", "conflict_tests", "max_table",
+            "locks/txn", "locks/attempt", "conflict_tests", "max_table",
         ]);
         for protocol in PROTOCOLS {
             let cfg = CellsConfig {
@@ -52,6 +52,7 @@ fn main() {
                 m.blocked_ticks.to_string(),
                 m.deadlock_aborts.to_string(),
                 f1(m.locks_per_txn()),
+                f1(m.locks_per_attempt()),
                 m.locks.conflict_tests.to_string(),
                 m.locks.max_table_entries.to_string(),
             ]);

@@ -46,8 +46,8 @@ impl fmt::Display for Category {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
-/// How a node materializes as a step of an instance [`ResourcePath`]
-/// (`crate::resource`).
+/// How a node materializes as a step of an instance
+/// [`ResourcePath`](crate::resource::ResourcePath).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StepKind {
     /// The database step.

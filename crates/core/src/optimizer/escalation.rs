@@ -1,7 +1,7 @@
 //! Run-time lock escalation and de-escalation.
 //!
 //! Escalation (trading many locks on small granules for one lock on a
-//! coarser granule, [Date85]) is what the §4.5 optimizer tries to *avoid* by
+//! coarser granule, \[Date85\]) is what the §4.5 optimizer tries to *avoid* by
 //! anticipation; it is implemented here so experiment E5 can compare the
 //! reactive strategy against the anticipating one. De-escalation ("the
 //! efficient release of locks", §5) is listed by the paper as future work
@@ -12,6 +12,7 @@ use crate::protocol::engine::{LockReport, ProtocolEngine, ProtocolError, Protoco
 use crate::protocol::target::{InstanceSource, InstanceTarget};
 use crate::resource::ResourcePath;
 use colock_lockmgr::{LockManager, LockMode, TxnId};
+use colock_trace::{rule_scope, RuleTag};
 
 impl ProtocolEngine {
     /// Reactive escalation: acquires `mode` on the coarse target (upgrade),
@@ -28,6 +29,7 @@ impl ProtocolEngine {
         mode: LockMode,
         opts: ProtocolOptions,
     ) -> Result<(LockReport, usize), ProtocolError> {
+        let _rule = rule_scope(RuleTag::Escalation);
         let report = self.lock_proposed_mode(lm, txn, src, authz, coarse, mode, opts)?;
         let coarse_resource = self.resource_for(coarse)?;
         let mut released = 0;
@@ -60,6 +62,7 @@ impl ProtocolEngine {
         keep: &[InstanceTarget],
         opts: ProtocolOptions,
     ) -> Result<LockReport, ProtocolError> {
+        let _rule = rule_scope(RuleTag::Escalation);
         let coarse_resource = self.resource_for(coarse)?;
         let held = lm.held_mode(txn, &coarse_resource);
         debug_assert!(held.allows_read(), "de-escalation requires a held S/X lock");

@@ -1,4 +1,4 @@
-//! Determination of "optimal" lock requests (§4.5, [HDKS89]).
+//! Determination of "optimal" lock requests (§4.5, \[HDKS89\]).
 //!
 //! During query analysis — before any data is touched — the optimizer decides
 //! for every accessed attribute path *which granule* to lock and *in which
@@ -10,7 +10,7 @@
 //! node — is the *query-specific lock graph*, stored with the query and used
 //! at execution time.
 //!
-//! The companion mechanism of [HDKS89] is reconstructed here from the §4.5
+//! The companion mechanism of \[HDKS89\] is reconstructed here from the §4.5
 //! sketch; θ and the statistics come from the catalog.
 
 pub mod escalation;

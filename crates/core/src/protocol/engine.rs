@@ -8,6 +8,7 @@ use crate::resource::ResourcePath;
 use colock_lockmgr::{
     AcquireOutcome, LockError, LockManager, LockMode, LockRequestOptions, TxnId, WaitPolicy,
 };
+use colock_trace::{rule_scope, RuleTag};
 use colock_nf2::Catalog;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -354,12 +355,14 @@ impl<'a> Ctx<'a> {
     }
 
     /// Acquires intent locks on every proper ancestor of `resource`,
-    /// root-to-leaf (rule 5), as required by rules 1–4.
+    /// root-to-leaf (rule 5), as required by rules 1–4. Trace events emitted
+    /// under here carry the [`RuleTag::AncestorIntent`] tag.
     pub fn acquire_ancestor_intents(
         &mut self,
         resource: &ResourcePath,
         mode: LockMode,
     ) -> Result<(), ProtocolError> {
+        let _rule = rule_scope(RuleTag::AncestorIntent);
         let intent = mode.required_parent_intent();
         for anc in resource.ancestors() {
             self.acquire(&anc, intent)?;

@@ -4,7 +4,7 @@
 //! | Protocol | Paper role |
 //! |---|---|
 //! | [`proposed`] | §4.4.2 rules 1–5 with implicit upward/downward propagation; rule 4′ optional |
-//! | [`whole_object`] | XSQL-style: complex objects locked as a whole incl. common data (§3.1/[HaLo82]) |
+//! | [`whole_object`] | XSQL-style: complex objects locked as a whole incl. common data (§3.1/\[HaLo82\]) |
 //! | [`tuple_level`] | System R tuple locking: every basic element tuple locked individually (§3.2.1) |
 //! | [`naive_dag`] | straightforward DAG application to non-disjoint objects (§3.2.2): reverse-scan all parents for X on shared data; no downward propagation, so implicit locks stay invisible from the side |
 //!

@@ -29,6 +29,7 @@ use crate::protocol::target::{AccessMode, InstanceSource, InstanceTarget};
 use crate::resource::ResourcePath;
 use colock_lockmgr::{LockManager, LockMode, TxnId};
 use colock_nf2::ObjectKey;
+use colock_trace::{rule_scope, RuleTag};
 use std::collections::HashSet;
 
 impl ProtocolEngine {
@@ -71,7 +72,10 @@ impl ProtocolEngine {
 
         let resource = self.resource_for(target)?;
         ctx.acquire_ancestor_intents(&resource, mode)?;
-        ctx.acquire(&resource, mode)?;
+        {
+            let _rule = rule_scope(RuleTag::Target);
+            ctx.acquire(&resource, mode)?;
+        }
         // Defect 2 (by construction): no downward propagation — referenced
         // common data is only "implicitly" locked, invisibly to other paths.
         Ok(ctx.finish())
@@ -115,7 +119,10 @@ impl ProtocolEngine {
         let mut ctx = Ctx::with_cache(lm, txn, src, authz, opts, cache);
         let resource = self.resource_for(target)?;
         ctx.acquire_ancestor_intents(&resource, mode)?;
-        ctx.acquire(&resource, mode)?;
+        {
+            let _rule = rule_scope(RuleTag::Target);
+            ctx.acquire(&resource, mode)?;
+        }
         Ok(ctx.finish())
     }
 
@@ -142,7 +149,10 @@ impl ProtocolEngine {
                 let resource = self.resource_for(&parent)?;
                 // The referencing subobject and all its ancestors in IX.
                 ctx.acquire_ancestor_intents(&resource, LockMode::X)?;
-                ctx.acquire(&resource, LockMode::IX)?;
+                {
+                    let _rule = rule_scope(RuleTag::AllParentsScan);
+                    ctx.acquire(&resource, LockMode::IX)?;
+                }
                 // If the referencing object itself lives in common data, its
                 // parents must be locked as well (transitive rule).
                 if self.is_common(&parent.relation) {

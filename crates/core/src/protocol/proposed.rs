@@ -27,6 +27,7 @@ use crate::protocol::engine::{
 use crate::protocol::target::{AccessMode, InstanceSource, InstanceTarget};
 use colock_lockmgr::{LockManager, LockMode, TxnId};
 use colock_nf2::{ObjectKey, ObjectRef};
+use colock_trace::{rule_scope, RuleTag};
 use crate::resource::ResourcePath;
 use std::collections::HashMap;
 
@@ -117,7 +118,10 @@ impl ProtocolEngine {
         // target lies inside an inner unit — the chain passes through the
         // superunit: database, segment, relation).
         ctx.acquire_ancestor_intents(&resource, mode)?;
-        ctx.acquire(&resource, mode)?;
+        {
+            let _rule = rule_scope(RuleTag::Target);
+            ctx.acquire(&resource, mode)?;
+        }
 
         // Rules 3/4, second half: implicit downward propagation for S/X.
         // Skipped when the query semantics guarantee no dereference (§4.5).
@@ -141,15 +145,15 @@ impl ProtocolEngine {
     ) -> Result<(), ProtocolError> {
         // visited: strongest mode already propagated per referenced object.
         let mut visited: HashMap<(String, ObjectKey), LockMode> = HashMap::new();
-        let mut work: Vec<(ObjectRef, LockMode)> = initial
+        let mut work: Vec<(ObjectRef, LockMode, RuleTag)> = initial
             .into_iter()
             .map(|r| {
-                let m = self.entry_mode(ctx, mode, &r.relation);
-                (r, m)
+                let (m, tag) = self.entry_mode(ctx, mode, &r.relation);
+                (r, m, tag)
             })
             .collect();
 
-        while let Some((r, m)) = work.pop() {
+        while let Some((r, m, tag)) = work.pop() {
             let key = (r.relation.clone(), r.key.clone());
             if let Some(prev) = visited.get(&key) {
                 if prev.covers(m) {
@@ -165,34 +169,39 @@ impl ProtocolEngine {
             let entry_resource = self.resource_for(&entry_target)?;
             ctx.acquire_ancestor_intents(&entry_resource, joined)?;
             // The entry point itself.
-            ctx.acquire(&entry_resource, joined)?;
+            {
+                let _rule = rule_scope(tag);
+                ctx.acquire(&entry_resource, joined)?;
+            }
             ctx.report.entry_points_locked += 1;
 
             // Common data may again contain common data (§2): recurse into
             // references of the inner unit just locked.
             for child in ctx.src.refs_under(&entry_target) {
-                let child_mode = self.entry_mode(ctx, joined, &child.relation);
-                work.push((child, child_mode));
+                let (child_mode, child_tag) = self.entry_mode(ctx, joined, &child.relation);
+                work.push((child, child_mode, child_tag));
             }
         }
         Ok(())
     }
 
-    /// Mode for an entry point during downward propagation.
+    /// Mode (and trace rule tag) for an entry point during downward
+    /// propagation.
     ///
     /// Rule 4: propagate the requested S/X unchanged. Rule 4′: under X,
     /// non-modifiable inner units get S — "locking of common data in a mode
-    /// which is the least restrictive necessary" (§4.6).
-    fn entry_mode(&self, ctx: &Ctx<'_>, mode: LockMode, relation: &str) -> LockMode {
+    /// which is the least restrictive necessary" (§4.6). The returned tag
+    /// distinguishes a rule-4′ weakening from a plain entry-point lock.
+    fn entry_mode(&self, ctx: &Ctx<'_>, mode: LockMode, relation: &str) -> (LockMode, RuleTag) {
         debug_assert!(mode.allows_read());
         if mode == LockMode::X || mode == LockMode::SIX {
             if ctx.opts.rule4_prime && !ctx.authz.can_modify(ctx.txn, relation) {
-                LockMode::S
+                (LockMode::S, RuleTag::EntryPointNonModifiable)
             } else {
-                LockMode::X
+                (LockMode::X, RuleTag::EntryPoint)
             }
         } else {
-            LockMode::S
+            (LockMode::S, RuleTag::EntryPoint)
         }
     }
 

@@ -16,6 +16,7 @@ use crate::protocol::target::{AccessMode, InstanceSource, InstanceTarget};
 use crate::resource::ResourcePath;
 use colock_lockmgr::{LockManager, LockMode, TxnId};
 use colock_nf2::{ObjectKey, ObjectRef};
+use colock_trace::{rule_scope, RuleTag};
 use std::collections::HashSet;
 
 impl ProtocolEngine {
@@ -99,9 +100,13 @@ impl ProtocolEngine {
             let intent = mode.required_parent_intent();
             let seg = self.segment_of(&t.relation)?.to_string();
             let db = ResourcePath::database(self.db_name());
-            ctx.acquire(&db, intent)?;
-            ctx.acquire(&db.segment(&seg), intent)?;
-            ctx.acquire(&db.segment(&seg).relation(&t.relation), intent)?;
+            {
+                let _rule = rule_scope(RuleTag::TupleIntent);
+                ctx.acquire(&db, intent)?;
+                ctx.acquire(&db.segment(&seg), intent)?;
+                ctx.acquire(&db.segment(&seg).relation(&t.relation), intent)?;
+            }
+            let _rule = rule_scope(RuleTag::Tuple);
             ctx.acquire(&resource, mode)?;
         }
         Ok(())

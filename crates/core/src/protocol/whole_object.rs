@@ -1,6 +1,6 @@
-//! Baseline: XSQL-style whole-object locking (§3.1, [HaLo82], [LoPl83]).
+//! Baseline: XSQL-style whole-object locking (§3.1, \[HaLo82\], \[LoPl83\]).
 //!
-//! "In the applications described in [HaLo82] complex objects are always
+//! "In the applications described in \[HaLo82\] complex objects are always
 //! manipulated (checked-out, checked-in) as a whole" — the lockable unit is
 //! the complex object; any access to a part of an object locks the *entire*
 //! object (including existing common data, §1). That is the
@@ -15,6 +15,7 @@ use crate::protocol::target::{AccessMode, InstanceSource, InstanceTarget};
 use crate::resource::ResourcePath;
 use colock_lockmgr::{LockManager, LockMode, TxnId};
 use colock_nf2::{ObjectKey, ObjectRef};
+use colock_trace::{rule_scope, RuleTag};
 use std::collections::HashSet;
 
 impl ProtocolEngine {
@@ -61,6 +62,7 @@ impl ProtocolEngine {
                 // Whole-relation access: lock the relation.
                 let resource = self.resource_for(target)?;
                 ctx.acquire_ancestor_intents(&resource, mode)?;
+                let _rule = rule_scope(RuleTag::WholeObject);
                 ctx.acquire(&resource, mode)?;
                 // Referenced common data still must be locked coarsely.
                 let refs = ctx.src.refs_in_relation(&target.relation);
@@ -78,7 +80,10 @@ impl ProtocolEngine {
     ) -> Result<(), ProtocolError> {
         let resource = self.resource_for(object)?;
         ctx.acquire_ancestor_intents(&resource, mode)?;
-        ctx.acquire(&resource, mode)?;
+        {
+            let _rule = rule_scope(RuleTag::WholeObject);
+            ctx.acquire(&resource, mode)?;
+        }
         let refs = ctx.src.refs_under(object);
         self.lock_refs_coarse(ctx, refs, mode)
     }
@@ -98,7 +103,10 @@ impl ProtocolEngine {
             let obj = InstanceTarget::object(&r.relation, r.key.clone());
             let resource = self.resource_for(&obj)?;
             ctx.acquire_ancestor_intents(&resource, mode)?;
-            ctx.acquire(&resource, mode)?;
+            {
+                let _rule = rule_scope(RuleTag::WholeObject);
+                ctx.acquire(&resource, mode)?;
+            }
             work.extend(ctx.src.refs_under(&obj));
         }
         Ok(())

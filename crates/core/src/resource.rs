@@ -45,9 +45,18 @@ impl fmt::Display for PathStep {
 }
 
 /// A hierarchical instance path identifying one lockable unit.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ResourcePath {
     steps: Vec<PathStep>,
+}
+
+/// `Debug` delegates to `Display` (`db:db1/seg:seg1/rel:cells/...`): the
+/// lock table formats resource keys with `{:?}` in diagnostics and trace
+/// events, and the path syntax is the readable form.
+impl fmt::Debug for ResourcePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
 }
 
 impl ResourcePath {

@@ -3,13 +3,13 @@
 //!
 //! This crate implements the lock-manager substrate underneath the paper's
 //! protocol: the classic Gray/Lorie/Putzolu/Traiger multi-granularity lock
-//! modes **IS, IX, S, SIX, X** ([GLP75], [GLPT76]) with
+//! modes **IS, IX, S, SIX, X** (\[GLP75\], \[GLPT76\]) with
 //!
 //! * a lock table keyed by arbitrary resource identifiers (the protocol layer
 //!   uses hierarchical instance paths),
 //! * FIFO wait queues with conversion (upgrade) priority,
 //! * waits-for-graph deadlock detection with youngest-victim selection,
-//! * *long locks* (§3.1/[KSUW85]): locks flagged long survive a simulated
+//! * *long locks* (§3.1/\[KSUW85\]): locks flagged long survive a simulated
 //!   system shutdown/crash via [`persistent`] snapshots,
 //! * detailed statistics (lock-table entries, conflict tests, waits,
 //!   deadlocks) — the quantities the paper's qualitative evaluation (§4.6)

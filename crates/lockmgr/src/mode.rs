@@ -3,7 +3,7 @@
 //! The paper uses the System R modes (§3.1): **IS** and **IX** grant the right
 //! to lock a descendant in S/X; **S** and **X** lock a subtree for shared or
 //! exclusive use. We additionally provide **SIX** (= S + IX), the standard
-//! supremum of S and IX from [GLPT76], so that lock conversions have a least
+//! supremum of S and IX from \[GLPT76\], so that lock conversions have a least
 //! upper bound, and **NL** as the neutral element.
 
 use std::fmt;
@@ -30,7 +30,7 @@ impl LockMode {
     pub const ALL: [LockMode; 5] =
         [LockMode::IS, LockMode::IX, LockMode::S, LockMode::SIX, LockMode::X];
 
-    /// Compatibility matrix of [GLPT76]. Symmetric.
+    /// Compatibility matrix of \[GLPT76\]. Symmetric.
     ///
     /// ```text
     ///        IS   IX   S    SIX  X

@@ -22,7 +22,7 @@
 //!
 //! The table is striped `N` ways (default 16): a resource hashes to one
 //! shard, and each shard owns its own mutex, so requests on unrelated
-//! resources never serialize on a common lock. Every [`ResourceState`]
+//! resources never serialize on a common lock. Every per-resource state
 //! additionally carries its own condvar — releases and victim verdicts wake
 //! only the waiters of *that* resource, not the whole table (no
 //! thundering-herd `notify_all`).
@@ -53,6 +53,7 @@ use crate::mode::LockMode;
 use crate::stats::LockStats;
 use crate::txnid::TxnId;
 use crate::Result;
+use colock_trace::{self as trace, Event, EventKind};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -343,6 +344,12 @@ impl<R: Resource> LockManager<R> {
         debug_assert!(mode != LockMode::NL, "cannot acquire NL");
         LockStats::bump(&self.stats.requests);
         let si = self.shard_index(&resource);
+        trace::emit(|| {
+            Event::new(EventKind::Request, txn.0)
+                .shard(si as u32)
+                .mode(mode.to_string())
+                .resource(format!("{resource:?}"))
+        });
         let mut shard = self.shard_locked(si);
 
         // Held mode comes from our own grant entry in the shard (there is at
@@ -354,17 +361,38 @@ impl<R: Resource> LockManager<R> {
             .map(|g| g.mode)
             .unwrap_or(LockMode::NL);
         if held.covers(mode) {
+            trace::emit(|| {
+                Event::new(EventKind::Grant, txn.0)
+                    .shard(si as u32)
+                    .mode(held.to_string())
+                    .resource(format!("{resource:?}"))
+                    .detail("already-held")
+            });
             return Ok(AcquireOutcome::AlreadyHeld);
         }
         let target = held.join(mode);
         let conversion = held != LockMode::NL;
         if conversion {
             LockStats::bump(&self.stats.conversions);
+            trace::emit(|| {
+                Event::new(EventKind::Conversion, txn.0)
+                    .shard(si as u32)
+                    .mode(target.to_string())
+                    .resource(format!("{resource:?}"))
+                    .detail(format!("{held} -> {target}"))
+            });
         }
 
         if self.can_grant(&shard, txn, &resource, target, conversion) {
             self.install_grant(&mut shard, txn, &resource, target, opts.long);
             LockStats::bump(&self.stats.immediate_grants);
+            trace::emit(|| {
+                Event::new(EventKind::Grant, txn.0)
+                    .shard(si as u32)
+                    .mode(target.to_string())
+                    .resource(format!("{resource:?}"))
+                    .detail("immediate")
+            });
             return Ok(AcquireOutcome::Granted { waited: false });
         }
 
@@ -387,14 +415,35 @@ impl<R: Resource> LockManager<R> {
     pub fn release(&self, txn: TxnId, resource: &R) -> bool {
         let si = self.shard_index(resource);
         let mut shard = self.shard_locked(si);
+        let prior = self.traced_mode(&shard, txn, resource);
         let removed = self.remove_grant(&mut shard, txn, resource, true);
         if removed {
             LockStats::bump(&self.stats.releases);
+            trace::emit(|| {
+                Event::new(EventKind::Release, txn.0)
+                    .shard(si as u32)
+                    .mode(prior.map(|m| m.to_string()).unwrap_or_default())
+                    .resource(format!("{resource:?}"))
+            });
             if self.has_ungranted_waiters(&shard, resource) {
                 self.process_queue(&mut shard, resource);
             }
         }
         removed
+    }
+
+    /// The mode `txn` currently holds on `resource` per the shard's grant
+    /// list — but only when tracing is on (release events label themselves
+    /// with the mode they drop; the lookup is skipped on the untraced path).
+    fn traced_mode(&self, shard: &ShardInner<R>, txn: TxnId, resource: &R) -> Option<LockMode> {
+        if !trace::is_enabled() {
+            return None;
+        }
+        shard
+            .resources
+            .get(resource)
+            .and_then(|s| s.granted.iter().find(|g| g.txn == txn))
+            .map(|g| g.mode)
     }
 
     /// Releases all locks of `txn` (end of transaction). Returns the number
@@ -415,7 +464,7 @@ impl<R: Resource> LockManager<R> {
     }
 
     /// Releases only the *short* locks of `txn`, keeping long locks — models
-    /// the end of a workstation session whose check-outs persist ([KSUW85]).
+    /// the end of a workstation session whose check-outs persist (\[KSUW85\]).
     pub fn release_short(&self, txn: TxnId) -> usize {
         let shorts: Vec<R> = {
             let mut stripe = self.stripe_locked(txn);
@@ -449,8 +498,15 @@ impl<R: Resource> LockManager<R> {
             let mut shard = self.shard_locked(si);
             while i < keyed.len() && keyed[i].0 == si {
                 let r = &keyed[i].1;
+                let prior = self.traced_mode(&shard, txn, r);
                 if self.remove_grant(&mut shard, txn, r, false) {
                     LockStats::bump(&self.stats.releases);
+                    trace::emit(|| {
+                        Event::new(EventKind::Release, txn.0)
+                            .shard(si as u32)
+                            .mode(prior.map(|m| m.to_string()).unwrap_or_default())
+                            .resource(format!("{r:?}"))
+                    });
                     if self.has_ungranted_waiters(&shard, r) {
                         self.process_queue(&mut shard, r);
                     }
@@ -477,6 +533,14 @@ impl<R: Resource> LockManager<R> {
         let si = self.shard_index(&resource);
         let mut shard = self.shard_locked(si);
         self.install_grant(&mut shard, txn, &resource, mode, true);
+        trace::emit(|| {
+            Event::new(EventKind::Grant, txn.0)
+                .shard(si as u32)
+                .mode(mode.to_string())
+                .rule(trace::RuleTag::Recovered)
+                .resource(format!("{resource:?}"))
+                .detail("recovered")
+        });
     }
 
     // ----- internals -------------------------------------------------------
@@ -672,6 +736,12 @@ impl<R: Resource> LockManager<R> {
             };
             for (txn, mode, long) in to_grant {
                 self.install_grant(shard, txn, resource, mode, long);
+                trace::emit(|| {
+                    Event::new(EventKind::Wakeup, txn.0)
+                        .shard(self.shard_index(resource) as u32)
+                        .mode(mode.to_string())
+                        .resource(format!("{resource:?}"))
+                });
             }
             granted_any = true;
             // Loop: the new grants may make further waiters grantable.
@@ -726,6 +796,12 @@ impl<R: Resource> LockManager<R> {
         deadline: Option<Instant>,
     ) -> Result<AcquireOutcome> {
         LockStats::bump(&self.stats.waits);
+        trace::emit(|| {
+            Event::new(EventKind::Wait, txn.0)
+                .shard(si as u32)
+                .mode(target.to_string())
+                .resource(format!("{resource:?}"))
+        });
         let cond = {
             let state = self.state_entry(&mut shard, &resource);
             state.waiting.push_back(Waiter {
@@ -766,6 +842,13 @@ impl<R: Resource> LockManager<R> {
             match status {
                 Some(Ok(())) => {
                     self.remove_waiter_entry_only(&mut shard, txn, &resource);
+                    trace::emit(|| {
+                        Event::new(EventKind::Grant, txn.0)
+                            .shard(si as u32)
+                            .mode(target.to_string())
+                            .resource(format!("{resource:?}"))
+                            .detail("after-wait")
+                    });
                     return Ok(AcquireOutcome::Granted { waited: true });
                 }
                 Some(Err(e)) => {
@@ -831,10 +914,14 @@ impl<R: Resource> LockManager<R> {
         LockStats::bump(&self.stats.detector_runs);
         let mut guards: Vec<MutexGuard<'_, ShardInner<R>>> =
             (0..self.shards.len()).map(|i| self.shard_locked(i)).collect();
+        let traced = trace::is_enabled();
         loop {
-            // Snapshot: waits-for edges plus each waiter's location.
+            // Snapshot: waits-for edges plus each waiter's location. When
+            // tracing is on, the same pass collects labelled edges for the
+            // DOT export (untraced runs skip the string formatting).
             let mut edges: HashMap<TxnId, Vec<TxnId>> = HashMap::new();
             let mut locs: HashMap<TxnId, (usize, R)> = HashMap::new();
+            let mut wf_edges: Vec<trace::WaitEdge> = Vec::new();
             for (si, shard) in guards.iter().enumerate() {
                 for (r, state) in &shard.resources {
                     for (pos, w) in state.waiting.iter().enumerate() {
@@ -863,6 +950,16 @@ impl<R: Resource> LockManager<R> {
                                 }
                             }
                         }
+                        if traced {
+                            for &b in &blockers {
+                                wf_edges.push(trace::WaitEdge {
+                                    waiter: w.txn.0,
+                                    holder: b.0,
+                                    resource: format!("{r:?}"),
+                                    mode: w.mode.to_string(),
+                                });
+                            }
+                        }
                         edges.insert(w.txn, blockers);
                         locs.insert(w.txn, (si, r.clone()));
                     }
@@ -872,6 +969,10 @@ impl<R: Resource> LockManager<R> {
                 break;
             };
             LockStats::bump(&self.stats.deadlocks);
+            trace::emit(|| {
+                let members: Vec<String> = cycle.iter().map(|t| format!("T{}", t.0)).collect();
+                Event::new(EventKind::DeadlockDetected, 0).detail(members.join(", "))
+            });
             // Youngest member (max TxnId) dies; if its waiter is stale
             // (granted meanwhile), fall back to the next youngest so a real
             // cycle is never left standing.
@@ -891,6 +992,21 @@ impl<R: Resource> LockManager<R> {
                     .find(|w| w.txn == victim && !w.granted && w.victim.is_none())
                 {
                     w.victim = Some(cycle.clone());
+                    let wmode = w.mode;
+                    trace::emit(|| {
+                        Event::new(EventKind::VictimChosen, victim.0)
+                            .shard(*vsi as u32)
+                            .mode(wmode.to_string())
+                            .resource(format!("{vres:?}"))
+                    });
+                    if traced {
+                        let graph = trace::WaitsForGraph {
+                            edges: std::mem::take(&mut wf_edges),
+                            cycle: cycle.iter().map(|t| t.0).collect(),
+                            victim: Some(victim.0),
+                        };
+                        trace::record_deadlock_dot(graph.to_dot());
+                    }
                     // The victim is a blocked waiter, so it installed the
                     // condvar before sleeping.
                     if let Some(cond) = &state.cond {

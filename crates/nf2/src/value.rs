@@ -46,7 +46,7 @@ impl From<i64> for ObjectKey {
 /// A reference to a complex object of a relation ("common data", §2).
 ///
 /// The paper makes no assumption about the implementation of references (key
-/// values, surrogates [MeLo83], …); we use `(relation, key)` pairs, which is
+/// values, surrogates \[MeLo83\], …); we use `(relation, key)` pairs, which is
 /// the key-value variant.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ObjectRef {

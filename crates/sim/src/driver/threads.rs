@@ -54,6 +54,9 @@ pub struct ThreadReport {
 pub fn run_threads(mgr: &Arc<TransactionManager>, cfg: &ThreadConfig) -> ThreadReport {
     let start_stats = mgr.lock_manager().stats().snapshot();
     let start_scans = mgr.store().scan_visits();
+    // When tracing is on, remember where the event stream stood so the
+    // histograms below cover exactly this run.
+    let trace_start = colock_trace::current_seq();
     let deadlocks = AtomicU64::new(0);
     let committed = AtomicU64::new(0);
     let started = Instant::now();
@@ -109,6 +112,11 @@ pub fn run_threads(mgr: &Arc<TransactionManager>, cfg: &ThreadConfig) -> ThreadR
     });
 
     let elapsed = started.elapsed();
+    let wait_hists = if colock_trace::is_enabled() {
+        colock_trace::wait_histograms(&colock_trace::events_since(trace_start))
+    } else {
+        Default::default()
+    };
     let metrics = Metrics {
         committed: committed.load(Ordering::Relaxed),
         deadlock_aborts: deadlocks.load(Ordering::Relaxed),
@@ -117,6 +125,7 @@ pub fn run_threads(mgr: &Arc<TransactionManager>, cfg: &ThreadConfig) -> ThreadR
         wall_ms: elapsed.as_millis() as u64,
         locks: mgr.lock_manager().stats().snapshot().since(&start_stats),
         scan_visits: mgr.store().scan_visits() - start_scans,
+        wait_hists,
     };
     let throughput = metrics.committed as f64 / elapsed.as_secs_f64().max(1e-9);
     ThreadReport { metrics, throughput_per_sec: throughput }

@@ -1,6 +1,8 @@
 //! Measured quantities and report formatting.
 
 use colock_lockmgr::StatsSnapshot;
+use colock_trace::WaitHistogram;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Aggregate metrics of one simulation run.
@@ -20,6 +22,9 @@ pub struct Metrics {
     pub locks: StatsSnapshot,
     /// Complex objects visited by reverse scans.
     pub scan_visits: u64,
+    /// Per-resource wait-time histograms, keyed by resource path. Populated
+    /// by the thread driver only when tracing is enabled (empty otherwise).
+    pub wait_hists: BTreeMap<String, WaitHistogram>,
 }
 
 impl Metrics {
@@ -32,7 +37,18 @@ impl Metrics {
         }
     }
 
-    /// Lock requests per committed transaction (administration overhead).
+    /// Transaction attempts: committed plus deadlock-aborted (each abort is
+    /// retried as a fresh attempt, so the sum counts every execution).
+    pub fn attempts(&self) -> u64 {
+        self.committed + self.deadlock_aborts
+    }
+
+    /// Lock requests per committed transaction (administration overhead as
+    /// the application sees it: the price of one unit of useful work).
+    ///
+    /// The numerator includes requests made by aborted-and-retried attempts,
+    /// so under deadlock storms this figure is inflated by doomed work; use
+    /// [`Metrics::locks_per_attempt`] for the per-execution cost.
     pub fn locks_per_txn(&self) -> f64 {
         if self.committed == 0 {
             0.0
@@ -41,10 +57,40 @@ impl Metrics {
         }
     }
 
+    /// Lock requests per transaction *attempt* (committed or aborted), i.e.
+    /// the protocol's administration overhead per execution, unskewed by
+    /// retries.
+    ///
+    /// ```
+    /// use colock_sim::Metrics;
+    /// let mut m = Metrics { committed: 10, deadlock_aborts: 10, ..Default::default() };
+    /// m.locks.requests = 100;
+    /// assert_eq!(m.attempts(), 20);
+    /// assert_eq!(m.locks_per_txn(), 10.0);     // inflated by doomed retries
+    /// assert_eq!(m.locks_per_attempt(), 5.0);  // true per-execution cost
+    /// ```
+    pub fn locks_per_attempt(&self) -> f64 {
+        let attempts = self.attempts();
+        if attempts == 0 {
+            0.0
+        } else {
+            self.locks.requests as f64 / attempts as f64
+        }
+    }
+
     /// Fraction of lock attempts that blocked.
     pub fn block_rate(&self) -> f64 {
         let attempts = self.locks.requests.max(1);
         self.blocked_ticks as f64 / attempts as f64
+    }
+
+    /// One merged wait histogram over all resources.
+    pub fn total_wait_hist(&self) -> WaitHistogram {
+        let mut total = WaitHistogram::default();
+        for h in self.wait_hists.values() {
+            total.merge(h);
+        }
+        total
     }
 }
 
@@ -52,12 +98,14 @@ impl fmt::Display for Metrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "committed={} deadlocks={} blocked={} ticks={} locks/txn={:.1} conflict_tests={} max_table={} scans={}",
+            "committed={} deadlocks={} attempts={} blocked={} ticks={} locks/txn={:.1} locks/attempt={:.1} conflict_tests={} max_table={} scans={}",
             self.committed,
             self.deadlock_aborts,
+            self.attempts(),
             self.blocked_ticks,
             self.total_ticks,
             self.locks_per_txn(),
+            self.locks_per_attempt(),
             self.locks.conflict_tests,
             self.locks.max_table_entries,
             self.scan_visits,
@@ -122,6 +170,35 @@ mod tests {
         assert_eq!(m.throughput_per_kilotick(), 50.0);
         assert_eq!(Metrics::default().throughput_per_kilotick(), 0.0);
         assert_eq!(Metrics::default().locks_per_txn(), 0.0);
+    }
+
+    #[test]
+    fn attempts_separate_retries_from_commits() {
+        let m = Metrics {
+            committed: 10,
+            deadlock_aborts: 10,
+            locks: StatsSnapshot { requests: 100, ..Default::default() },
+            ..Default::default()
+        };
+        assert_eq!(m.attempts(), 20);
+        // Per committed txn the overhead looks doubled by the doomed retries…
+        assert_eq!(m.locks_per_txn(), 10.0);
+        // …while per attempt it reports the true per-execution cost.
+        assert_eq!(m.locks_per_attempt(), 5.0);
+    }
+
+    #[test]
+    fn total_wait_hist_merges_resources() {
+        let mut m = Metrics::default();
+        let mut h1 = WaitHistogram::default();
+        h1.record(100);
+        let mut h2 = WaitHistogram::default();
+        h2.record(5000);
+        m.wait_hists.insert("a".into(), h1);
+        m.wait_hists.insert("b".into(), h2);
+        let total = m.total_wait_hist();
+        assert_eq!(total.count(), 2);
+        assert_eq!(total.max_us(), 5000);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! ```
 //!
 //! Timing model: a warmup phase sizes a batch so one batch takes roughly
-//! [`TARGET_BATCH`]; the sampling phase then measures whole batches and
+//! `TARGET_BATCH`; the sampling phase then measures whole batches and
 //! divides by the batch size, which keeps `Instant` overhead out of the
 //! per-iteration numbers. `COLOCK_BENCH_MS` scales the sampling budget.
 

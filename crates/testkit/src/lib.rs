@@ -15,7 +15,7 @@
 //!   round-robin/random interleaving driver, a barrier-stepped multi-thread
 //!   runner and predicate waits with timeouts (replaces the
 //!   `thread::sleep`-and-hope pattern),
-//! * [`bench`] — a micro-bench timer (warmup + N iterations,
+//! * [`bench`](mod@bench) — a micro-bench timer (warmup + N iterations,
 //!   min/median/p99, JSON lines on stdout — replaces `criterion`),
 //! * [`codec`] — a small hand-rolled line-oriented encode/decode used by
 //!   `colock-lockmgr`'s long-lock persistence (replaces `serde`).

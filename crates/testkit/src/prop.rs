@@ -4,7 +4,7 @@
 //!
 //! The surface is deliberately tiny compared to `proptest`: a generator is
 //! just a closure `Fn(&mut Rng) -> T`, a property is `Fn(&T) -> Result<(),
-//! String>` (the [`ensure!`]/[`ensure_eq!`] macros build the `Err` arm),
+//! String>` (the [`ensure!`](crate::ensure)/[`ensure_eq!`](crate::ensure_eq) macros build the `Err` arm),
 //! and shrinking comes from the [`Shrink`] trait implemented for integers,
 //! strings, vectors, options and tuples.
 //!

@@ -1,0 +1,129 @@
+//! Graphviz (DOT) export of a waits-for graph, captured by the deadlock
+//! detector at detection time.
+
+/// One waits-for edge: `waiter` is blocked on `holder`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaitEdge {
+    /// Raw id of the blocked transaction.
+    pub waiter: u64,
+    /// Raw id of the transaction it waits on.
+    pub holder: u64,
+    /// Resource the waiter is queued on (edge label).
+    pub resource: String,
+    /// Mode the waiter requested (edge label).
+    pub mode: String,
+}
+
+/// A waits-for graph snapshot, with the detected cycle and chosen victim
+/// highlighted in the rendered DOT.
+///
+/// ```
+/// use colock_trace::{WaitEdge, WaitsForGraph};
+/// let g = WaitsForGraph {
+///     edges: vec![
+///         WaitEdge { waiter: 1, holder: 2, resource: "rel:a".into(), mode: "X".into() },
+///         WaitEdge { waiter: 2, holder: 1, resource: "rel:b".into(), mode: "X".into() },
+///     ],
+///     cycle: vec![1, 2],
+///     victim: Some(2),
+/// };
+/// let dot = g.to_dot();
+/// assert!(dot.starts_with("digraph waits_for {"));
+/// assert!(dot.contains("\"T1\" -> \"T2\""));
+/// assert!(dot.contains("T2") && dot.contains("victim"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WaitsForGraph {
+    /// Every waits-for edge present when the cycle was found (the whole
+    /// graph, not just the cycle).
+    pub edges: Vec<WaitEdge>,
+    /// Raw txn ids forming the detected cycle.
+    pub cycle: Vec<u64>,
+    /// The cycle member chosen for abort, if one was markable.
+    pub victim: Option<u64>,
+}
+
+impl WaitsForGraph {
+    /// Renders the graph as a Graphviz `digraph`. Cycle members are drawn
+    /// as red ellipses, the victim as a red double ellipse, and each edge
+    /// is labelled with the blocked request's mode and resource.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph waits_for {\n  rankdir=LR;\n");
+        let mut nodes: Vec<u64> = self
+            .edges
+            .iter()
+            .flat_map(|e| [e.waiter, e.holder])
+            .chain(self.cycle.iter().copied())
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        for n in nodes {
+            let in_cycle = self.cycle.contains(&n);
+            let is_victim = self.victim == Some(n);
+            let attrs = match (in_cycle, is_victim) {
+                (_, true) => " [color=red, peripheries=2, label=\"T{n}\\n(victim)\"]",
+                (true, false) => " [color=red]",
+                (false, false) => "",
+            };
+            out.push_str(&format!("  \"T{n}\"{};\n", attrs.replace("{n}", &n.to_string())));
+        }
+        for e in &self.edges {
+            out.push_str(&format!(
+                "  \"T{}\" -> \"T{}\" [label=\"{} {}\"];\n",
+                e.waiter,
+                e.holder,
+                escape(&e.mode),
+                escape(&e.resource)
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Escapes a string for use inside a double-quoted DOT label.
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = WaitsForGraph {
+            edges: vec![
+                WaitEdge { waiter: 3, holder: 7, resource: "r1".into(), mode: "IX".into() },
+                WaitEdge { waiter: 7, holder: 3, resource: "r2".into(), mode: "S".into() },
+                WaitEdge { waiter: 9, holder: 3, resource: "r2".into(), mode: "X".into() },
+            ],
+            cycle: vec![3, 7],
+            victim: Some(7),
+        };
+        let dot = g.to_dot();
+        for t in ["\"T3\"", "\"T7\"", "\"T9\""] {
+            assert!(dot.contains(t), "{dot}");
+        }
+        assert!(dot.contains("\"T3\" -> \"T7\" [label=\"IX r1\"]"));
+        assert!(dot.contains("peripheries=2"));
+        // Non-cycle node 9 must not be red.
+        let t9_line = dot.lines().find(|l| l.contains("\"T9\"") && !l.contains("->")).unwrap();
+        assert!(!t9_line.contains("red"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let g = WaitsForGraph {
+            edges: vec![WaitEdge {
+                waiter: 1,
+                holder: 2,
+                resource: "a\"b".into(),
+                mode: "X".into(),
+            }],
+            cycle: vec![],
+            victim: None,
+        };
+        assert!(g.to_dot().contains("a\\\"b"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Replays a captured event stream into a human-readable per-transaction
+//! timeline — the `trace-explain` rendering logic.
+
+use crate::event::{Event, EventKind, RuleTag};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One rendered timeline line, kept structured so callers can filter
+/// before formatting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineLine {
+    /// Sequence number of the event that produced the line.
+    pub seq: u64,
+    /// Microsecond timestamp of that event.
+    pub t_us: u64,
+    /// The rendered sentence (without txn prefix or timestamp).
+    pub text: String,
+}
+
+/// A per-transaction timeline extracted from an event stream.
+pub type Timeline = BTreeMap<u64, Vec<TimelineLine>>;
+
+/// Builds per-transaction timelines from `seq`-sorted events.
+///
+/// `Request`/`Wait`/`Grant` triples on the same resource are folded into a
+/// single sentence stating the rule that caused the request and how long
+/// the wait lasted; detector events are attributed to every cycle member.
+///
+/// ```
+/// use colock_trace::{explain, Event, EventKind, RuleTag};
+/// let mut req = Event::new(EventKind::Request, 3)
+///     .mode("IX").rule(RuleTag::AncestorIntent).resource("rel:robots");
+/// req.t_us = 10;
+/// let mut grant = Event::new(EventKind::Grant, 3)
+///     .mode("IX").resource("rel:robots").detail("immediate");
+/// grant.seq = 1;
+/// grant.t_us = 12;
+/// let tl = explain::timeline(&[req, grant]);
+/// assert_eq!(tl[&3].len(), 1);
+/// assert!(tl[&3][0].text.contains("granted IX on rel:robots immediately"));
+/// assert!(tl[&3][0].text.contains("rules 1/2/5"));
+/// ```
+pub fn timeline(events: &[Event]) -> Timeline {
+    let mut out: Timeline = BTreeMap::new();
+    // Pending request context per (txn, resource): (rule, wait start µs).
+    let mut requested: BTreeMap<(u64, String), (RuleTag, Option<u64>)> = BTreeMap::new();
+    let mut push = |txn: u64, e: &Event, text: String| {
+        out.entry(txn)
+            .or_default()
+            .push(TimelineLine { seq: e.seq, t_us: e.t_us, text });
+    };
+    for e in events {
+        let key = (e.txn, e.resource.clone());
+        match e.kind {
+            EventKind::Request => {
+                requested.insert(key, (e.rule, None));
+            }
+            EventKind::Conversion => {
+                push(e.txn, e, format!("converting {} on {} ({})", e.mode, e.resource, e.detail));
+            }
+            EventKind::Wait => {
+                if let Some(ctx) = requested.get_mut(&key) {
+                    ctx.1 = Some(e.t_us);
+                } else {
+                    requested.insert(key, (e.rule, Some(e.t_us)));
+                }
+                push(e.txn, e, format!("blocked waiting for {} on {}", e.mode, e.resource));
+            }
+            EventKind::Grant => {
+                let (rule, wait_start) =
+                    requested.remove(&key).unwrap_or((e.rule, None));
+                let why = match rule {
+                    RuleTag::None => String::new(),
+                    r => format!(" — {}", r.describe()),
+                };
+                let how = match wait_start {
+                    Some(t0) => format!(
+                        "after waiting {}µs",
+                        e.t_us.saturating_sub(t0)
+                    ),
+                    None if e.detail == "already-held" => "already held".to_string(),
+                    None => "immediately".to_string(),
+                };
+                push(e.txn, e, format!("granted {} on {} {}{}", e.mode, e.resource, how, why));
+            }
+            EventKind::Wakeup => {
+                push(e.txn, e, format!("woken for {} on {}", e.mode, e.resource));
+            }
+            EventKind::DeadlockDetected => {
+                for txn in parse_cycle(&e.detail) {
+                    push(txn, e, format!("deadlock detected: cycle [{}]", e.detail));
+                }
+            }
+            EventKind::VictimChosen => {
+                push(e.txn, e, format!("chosen as deadlock victim (waiting on {})", e.resource));
+            }
+            EventKind::Release => {
+                push(e.txn, e, format!("released {} on {}", e.mode, e.resource));
+            }
+            EventKind::TxnBegin => push(e.txn, e, format!("began ({})", e.detail)),
+            EventKind::TxnCommit => push(e.txn, e, "committed".to_string()),
+            EventKind::TxnAbort => push(e.txn, e, "aborted".to_string()),
+            EventKind::TxnReleaseEarly => {
+                push(e.txn, e, format!("released target early (rule 5): {}", e.resource));
+            }
+        }
+    }
+    out
+}
+
+/// Parses the comma-separated txn list a `DeadlockDetected` event carries
+/// in its `detail` field.
+fn parse_cycle(detail: &str) -> Vec<u64> {
+    detail
+        .split(',')
+        .filter_map(|p| p.trim().trim_start_matches('T').parse().ok())
+        .collect()
+}
+
+/// Renders timelines as text: a header per transaction, then one
+/// `[t+<µs>] <sentence>` line per event.
+///
+/// ```
+/// use colock_trace::{explain, Event, EventKind};
+/// let tl = explain::timeline(&[Event::new(EventKind::TxnCommit, 4)]);
+/// let text = explain::render_timeline(&tl);
+/// assert!(text.contains("== txn 4 =="));
+/// assert!(text.contains("committed"));
+/// ```
+pub fn render_timeline(tl: &Timeline) -> String {
+    let mut out = String::new();
+    for (txn, lines) in tl {
+        let _ = writeln!(out, "== txn {txn} ==");
+        for l in lines {
+            let _ = writeln!(out, "  [t+{:>8}µs] {}", l.t_us, l.text);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, t_us: u64, kind: EventKind, txn: u64) -> Event {
+        let mut e = Event::new(kind, txn);
+        e.seq = seq;
+        e.t_us = t_us;
+        e
+    }
+
+    #[test]
+    fn wait_grant_folds_into_duration() {
+        let events = vec![
+            ev(0, 100, EventKind::Request, 1).mode("X").rule(RuleTag::Target).resource("r"),
+            ev(1, 100, EventKind::Wait, 1).mode("X").resource("r"),
+            ev(2, 1400, EventKind::Grant, 1).mode("X").resource("r").detail("after-wait"),
+        ];
+        let tl = timeline(&events);
+        let lines = &tl[&1];
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].text.contains("blocked waiting"));
+        assert!(lines[1].text.contains("after waiting 1300µs"));
+        assert!(lines[1].text.contains("rules 3/4"));
+    }
+
+    #[test]
+    fn deadlock_attributed_to_all_members() {
+        let events = vec![
+            ev(0, 5, EventKind::DeadlockDetected, 0).detail("T3, T8"),
+            ev(1, 6, EventKind::VictimChosen, 8).resource("r"),
+        ];
+        let tl = timeline(&events);
+        assert!(tl[&3][0].text.contains("cycle [T3, T8]"));
+        assert!(tl[&8].iter().any(|l| l.text.contains("victim")));
+    }
+
+    #[test]
+    fn render_is_grouped_by_txn() {
+        let events = vec![
+            ev(0, 1, EventKind::TxnBegin, 2).detail("short"),
+            ev(1, 2, EventKind::TxnBegin, 1).detail("long"),
+            ev(2, 3, EventKind::TxnCommit, 2),
+        ];
+        let text = render_timeline(&timeline(&events));
+        let pos1 = text.find("== txn 1 ==").unwrap();
+        let pos2 = text.find("== txn 2 ==").unwrap();
+        assert!(pos1 < pos2);
+        assert!(text.contains("began (long)"));
+    }
+}

@@ -1,0 +1,170 @@
+//! Power-of-two-bucket wait-time histograms, built from `Wait`→`Grant`
+//! event pairs.
+
+use crate::event::{Event, EventKind};
+use std::collections::BTreeMap;
+
+/// Number of buckets: bucket `i` counts waits in `[2^i, 2^(i+1))` µs
+/// (bucket 0 also absorbs sub-microsecond waits, the last bucket absorbs
+/// everything ≥ 2^31 µs ≈ 36 min).
+pub const BUCKETS: usize = 32;
+
+/// A histogram of wait durations with power-of-two microsecond buckets.
+///
+/// ```
+/// use colock_trace::WaitHistogram;
+/// let mut h = WaitHistogram::default();
+/// h.record(3);    // 2–4 µs  → bucket 1
+/// h.record(700);  // 512–1024 µs → bucket 9
+/// assert_eq!(h.count(), 2);
+/// assert_eq!(h.max_us(), 700);
+/// assert!(h.render("rel:cells").contains("<1024µs"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WaitHistogram {
+    /// Per-bucket counts; see [`BUCKETS`] for the bucket boundaries.
+    pub buckets: [u64; BUCKETS],
+    /// Total waits recorded.
+    pub count: u64,
+    /// Sum of all recorded wait durations, µs.
+    pub total_us: u64,
+    /// Longest recorded wait, µs.
+    pub max_us: u64,
+}
+
+/// Bucket index for a duration in microseconds.
+fn bucket_of(us: u64) -> usize {
+    (us.max(1).ilog2() as usize).min(BUCKETS - 1)
+}
+
+impl WaitHistogram {
+    /// Records one wait of `us` microseconds.
+    pub fn record(&mut self, us: u64) {
+        self.buckets[bucket_of(us)] += 1;
+        self.count += 1;
+        self.total_us += us;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Adds every count of `other` into `self`.
+    pub fn merge(&mut self, other: &WaitHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_us += other.total_us;
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Total waits recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean wait in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        if self.count == 0 { 0 } else { self.total_us / self.count }
+    }
+
+    /// Longest recorded wait in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Renders an ASCII histogram titled with `label`: one `lo–hi  count
+    /// bar` line per non-empty bucket plus a summary line.
+    pub fn render(&self, label: &str) -> String {
+        let mut out = format!(
+            "{label}: {} waits, mean {}µs, max {}µs\n",
+            self.count,
+            self.mean_us(),
+            self.max_us
+        );
+        let peak = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let hi = 1u64 << (i + 1);
+            let bar = "#".repeat(((n * 40).div_ceil(peak)) as usize);
+            out.push_str(&format!("  {:>9} {:>6}  {}\n", format!("<{hi}µs"), n, bar));
+        }
+        out
+    }
+}
+
+/// Pairs each `Wait` event with the requester's next `Grant` on the same
+/// resource and accumulates the elapsed time into a per-resource histogram.
+///
+/// Waits that never resolve inside the event window (timeouts, deadlock
+/// victims, buffer wraparound) are dropped. Events must be sorted by `seq`,
+/// as [`crate::TraceBuffer::snapshot`] returns them.
+///
+/// ```
+/// use colock_trace::{wait_histograms, Event, EventKind};
+/// let mut w = Event::new(EventKind::Wait, 1).resource("r");
+/// w.t_us = 100;
+/// let mut g = Event::new(EventKind::Grant, 1).resource("r");
+/// g.seq = 1;
+/// g.t_us = 350;
+/// let hists = wait_histograms(&[w, g]);
+/// assert_eq!(hists["r"].count(), 1);
+/// assert_eq!(hists["r"].mean_us(), 250);
+/// ```
+pub fn wait_histograms(events: &[Event]) -> BTreeMap<String, WaitHistogram> {
+    let mut pending: BTreeMap<(u64, &str), u64> = BTreeMap::new();
+    let mut hists: BTreeMap<String, WaitHistogram> = BTreeMap::new();
+    for e in events {
+        match e.kind {
+            EventKind::Wait => {
+                pending.insert((e.txn, e.resource.as_str()), e.t_us);
+            }
+            EventKind::Grant => {
+                if let Some(start) = pending.remove(&(e.txn, e.resource.as_str())) {
+                    hists
+                        .entry(e.resource.clone())
+                        .or_default()
+                        .record(e.t_us.saturating_sub(start));
+                }
+            }
+            _ => {}
+        }
+    }
+    hists
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = WaitHistogram::default();
+        a.record(10);
+        let mut b = WaitHistogram::default();
+        b.record(1000);
+        b.record(2);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max_us(), 1000);
+        assert_eq!(a.total_us, 1012);
+    }
+
+    #[test]
+    fn unresolved_waits_are_dropped() {
+        let mut w = Event::new(EventKind::Wait, 9).resource("r");
+        w.t_us = 5;
+        let hists = wait_histograms(&[w]);
+        assert!(hists.is_empty());
+    }
+}

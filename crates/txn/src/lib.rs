@@ -12,7 +12,7 @@
 //!   transaction (early release is possible leaf-to-root per rule 5, after
 //!   which the transaction may not grow again),
 //! * guarantee degree-3 consistency (§1: "multiple reads of the same data
-//!   during one transaction lead to the same result" [GLPT76]) — S locks held
+//!   during one transaction lead to the same result" \[GLPT76\]) — S locks held
 //!   to EOT make repeated reads stable,
 //! * keep an undo log of before-images so aborts (including deadlock
 //!   victims) roll back cleanly,

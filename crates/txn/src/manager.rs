@@ -119,6 +119,10 @@ impl TransactionManager {
                 cache: Arc::new(TxnLockCache::new()),
             },
         );
+        colock_trace::emit(|| {
+            colock_trace::Event::new(colock_trace::EventKind::TxnBegin, id.0)
+                .detail(if kind == TxnKind::Long { "long" } else { "short" })
+        });
         Transaction::new(self, id, kind)
     }
 
@@ -260,6 +264,11 @@ impl TransactionManager {
             crate::undo::rollback(&self.store, &state.undo);
         }
         self.lm.release_all(txn);
+        colock_trace::emit(|| {
+            let kind =
+                if commit { colock_trace::EventKind::TxnCommit } else { colock_trace::EventKind::TxnAbort };
+            colock_trace::Event::new(kind, txn.0)
+        });
         Ok(())
     }
 

@@ -267,6 +267,11 @@ impl<'m> Transaction<'m> {
             .mgr
             .engine()
             .release_target_early(self.mgr.lock_manager(), self.id, target)?;
+        colock_trace::emit(|| {
+            colock_trace::Event::new(colock_trace::EventKind::TxnReleaseEarly, self.id.0)
+                .resource(target.to_string())
+                .detail(format!("released {released} locks"))
+        });
         let mut states = self.mgr.states_locked();
         if let Some(st) = states.get_mut(&self.id) {
             st.shrinking = true;

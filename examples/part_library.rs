@@ -4,14 +4,22 @@
 //! two levels of inner units.
 //!
 //! Run with: `cargo run --example part_library`
+//!
+//! With `COLOCK_TRACE=1` the run also captures a structured lock-event trace
+//! and closes with a trace-explain timeline of every transaction, each lock
+//! annotated with the §4.4.2 rule that caused it (see README "Tracing a
+//! run").
 
 use colock::core::authorization::{Authorization, Right};
 use colock::core::{AccessMode, InstanceTarget};
 use colock::lockmgr::LockMode;
 use colock::sim::workload::partlib::{assembly_key, build_partlib_store, PartLibConfig};
+use colock::trace::explain::{render_timeline, timeline};
 use colock::txn::{ProtocolKind, TransactionManager, TxnKind};
 
 fn main() {
+    let tracing = colock::trace::enable_from_env();
+    let mark = colock::trace::current_seq();
     let cfg = PartLibConfig {
         n_assemblies: 4,
         parts_per_assembly: 3,
@@ -85,4 +93,9 @@ fn main() {
         .count();
     println!("\ndelete-style access to a3 took {lib_locks} locks on the libraries (semantics exploited)");
     t3.commit().unwrap();
+
+    if tracing {
+        println!("\n--- trace-explain (COLOCK_TRACE was set) ---\n");
+        print!("{}", render_timeline(&timeline(&colock::trace::events_since(mark))));
+    }
 }

@@ -47,6 +47,9 @@ cargo build --release --offline --workspace
 echo "==> cargo test --offline"
 cargo test --offline --workspace -q
 
+echo "==> rustdoc builds warning-free"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace -q
+
 echo "==> cargo bench compiles (no run)"
 cargo bench --offline --workspace --no-run -q
 

@@ -5,4 +5,5 @@ pub use colock_nf2 as nf2;
 pub use colock_query as query;
 pub use colock_sim as sim;
 pub use colock_storage as storage;
+pub use colock_trace as trace;
 pub use colock_txn as txn;
