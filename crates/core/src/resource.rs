@@ -12,6 +12,7 @@
 //! the protocol (rule 5) a simple prefix walk.
 
 use colock_nf2::ObjectKey;
+use colock_testkit::codec::{CodecError, FieldCodec};
 use std::fmt;
 
 /// One step of an instance path.
@@ -190,6 +191,118 @@ impl fmt::Display for ResourcePath {
     }
 }
 
+// ----- persistence ----------------------------------------------------------
+//
+// The long-lock journal (`colock-lockmgr`'s `persistent` module) needs the
+// lock table's key type to round-trip through a single record field. The
+// encoding is the `Display` syntax made unambiguous: each step gets an
+// explicit tag (`attr` steps print bare in `Display`), integer object keys
+// are tagged `#` so `Str("42")` and `Int(42)` stay distinct, and `%` / `/`
+// inside names are percent-escaped so the step separator can never be
+// forged by data.
+
+/// Escapes `%` and `/` in a step name for the persisted path syntax.
+fn escape_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            '/' => out.push_str("%2F"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape_name`].
+fn unescape_name(text: &str) -> Result<String, CodecError> {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let pair: String = chars.by_ref().take(2).collect();
+        match pair.as_str() {
+            "25" => out.push('%'),
+            "2F" | "2f" => out.push('/'),
+            _ => {
+                return Err(CodecError::BadField {
+                    field: text.to_string(),
+                    expected: "percent-escaped path name",
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn key_field(tag: &str, key: &ObjectKey) -> String {
+    match key {
+        ObjectKey::Str(s) => format!("{tag}:{}", escape_name(s)),
+        ObjectKey::Int(i) => format!("{tag}#{i}"),
+    }
+}
+
+fn step_field(step: &PathStep) -> String {
+    match step {
+        PathStep::Database(s) => format!("db:{}", escape_name(s)),
+        PathStep::Segment(s) => format!("seg:{}", escape_name(s)),
+        PathStep::Relation(s) => format!("rel:{}", escape_name(s)),
+        PathStep::Attr(s) => format!("attr:{}", escape_name(s)),
+        PathStep::Object(k) => key_field("obj", k),
+        PathStep::Elem(k) => key_field("elem", k),
+    }
+}
+
+fn parse_step(seg: &str) -> Result<PathStep, CodecError> {
+    let bad = || CodecError::BadField { field: seg.to_string(), expected: "resource path step" };
+    if let Some(rest) = seg.strip_prefix("db:") {
+        return Ok(PathStep::Database(unescape_name(rest)?));
+    }
+    if let Some(rest) = seg.strip_prefix("seg:") {
+        return Ok(PathStep::Segment(unescape_name(rest)?));
+    }
+    if let Some(rest) = seg.strip_prefix("rel:") {
+        return Ok(PathStep::Relation(unescape_name(rest)?));
+    }
+    if let Some(rest) = seg.strip_prefix("attr:") {
+        return Ok(PathStep::Attr(unescape_name(rest)?));
+    }
+    if let Some(rest) = seg.strip_prefix("obj#") {
+        return rest.parse().map(|i| PathStep::Object(ObjectKey::Int(i))).map_err(|_| bad());
+    }
+    if let Some(rest) = seg.strip_prefix("obj:") {
+        return Ok(PathStep::Object(ObjectKey::Str(unescape_name(rest)?)));
+    }
+    if let Some(rest) = seg.strip_prefix("elem#") {
+        return rest.parse().map(|i| PathStep::Elem(ObjectKey::Int(i))).map_err(|_| bad());
+    }
+    if let Some(rest) = seg.strip_prefix("elem:") {
+        return Ok(PathStep::Elem(ObjectKey::Str(unescape_name(rest)?)));
+    }
+    Err(bad())
+}
+
+impl FieldCodec for ResourcePath {
+    fn to_field(&self) -> String {
+        self.steps.iter().map(step_field).collect::<Vec<_>>().join("/")
+    }
+
+    fn from_field(field: &str) -> Result<Self, CodecError> {
+        let steps: Vec<PathStep> =
+            field.split('/').map(parse_step).collect::<Result<_, _>>()?;
+        if !matches!(steps.first(), Some(PathStep::Database(_))) {
+            return Err(CodecError::BadField {
+                field: field.to_string(),
+                expected: "resource path starting at db:",
+            });
+        }
+        Ok(ResourcePath { steps })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,6 +361,55 @@ mod tests {
         assert_ne!(a, c);
         assert!(a.is_prefix_of(&c));
         assert_eq!(c.attr_steps(), vec!["robots", "trajectory"]);
+    }
+
+    #[test]
+    fn field_codec_roundtrips_typical_paths() {
+        for p in [
+            ResourcePath::database("db1"),
+            robot_r1(),
+            robot_r1().attr("trajectory"),
+            ResourcePath::database("db1").segment("seg1").relation("lib").object(ObjectKey::Int(42)),
+        ] {
+            let field = p.to_field();
+            assert_eq!(ResourcePath::from_field(&field).unwrap(), p, "{field}");
+        }
+    }
+
+    #[test]
+    fn field_codec_distinguishes_int_and_string_keys() {
+        let base = ResourcePath::database("db1").segment("s").relation("r");
+        let by_int = base.object(ObjectKey::Int(42));
+        let by_str = base.object(ObjectKey::Str("42".into()));
+        assert_ne!(by_int, by_str);
+        assert_ne!(by_int.to_field(), by_str.to_field());
+        assert_eq!(ResourcePath::from_field(&by_int.to_field()).unwrap(), by_int);
+        assert_eq!(ResourcePath::from_field(&by_str.to_field()).unwrap(), by_str);
+    }
+
+    #[test]
+    fn field_codec_escapes_separators_in_names() {
+        let nasty = ResourcePath::database("d%b")
+            .segment("se/g")
+            .relation("r%2Fel")
+            .object("k/e%y")
+            .attr("a/t%tr");
+        let field = nasty.to_field();
+        assert_eq!(ResourcePath::from_field(&field).unwrap(), nasty, "{field}");
+    }
+
+    #[test]
+    fn field_codec_rejects_garbage() {
+        for bad in [
+            "",
+            "seg:s/db:d",             // does not start at the database
+            "db:d/unknown:x",         // unknown step tag
+            "db:d/obj#notanint",      // int tag with non-int key
+            "db:d/seg:a%GGb",         // malformed percent escape
+            "db:d/seg:trunc%2",       // truncated percent escape
+        ] {
+            assert!(ResourcePath::from_field(bad).is_err(), "{bad:?} must be rejected");
+        }
     }
 
     #[test]

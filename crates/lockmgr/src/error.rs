@@ -28,6 +28,11 @@ pub enum LockError {
     /// Attempt to operate on behalf of a transaction unknown to the manager
     /// (e.g. release after full release).
     UnknownTxn(TxnId),
+    /// The durable long-lock journal crashed (fault injection) before the
+    /// grant was acknowledged: the lock may or may not be on the medium, and
+    /// the caller must treat the whole system as down (§3.1 recovery decides
+    /// the lock's fate at restart).
+    Crashed,
 }
 
 impl fmt::Display for LockError {
@@ -43,6 +48,7 @@ impl fmt::Display for LockError {
             LockError::Timeout => f.write_str("lock request timed out"),
             LockError::VictimPending(t) => write!(f, "{t} was chosen as deadlock victim"),
             LockError::UnknownTxn(t) => write!(f, "unknown transaction {t}"),
+            LockError::Crashed => f.write_str("long-lock journal crashed; request unacknowledged"),
         }
     }
 }

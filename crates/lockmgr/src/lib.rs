@@ -10,7 +10,8 @@
 //! * FIFO wait queues with conversion (upgrade) priority,
 //! * waits-for-graph deadlock detection with youngest-victim selection,
 //! * *long locks* (§3.1/\[KSUW85\]): locks flagged long survive a simulated
-//!   system shutdown/crash via [`persistent`] snapshots,
+//!   system shutdown/crash via the [`persistent`] append-only journal
+//!   (crash-safe, checksummed) or whole-image snapshots (planned shutdowns),
 //! * detailed statistics (lock-table entries, conflict tests, waits,
 //!   deadlocks) — the quantities the paper's qualitative evaluation (§4.6)
 //!   argues about; the experiment harness measures them.
@@ -28,10 +29,12 @@ pub mod txnid;
 
 pub use error::LockError;
 pub use mode::LockMode;
-pub use persistent::LongLockImage;
+pub use persistent::{
+    Journal, JournalCrash, JournalError, JournalOp, JournalSink, LongLockImage, Recovered,
+};
 pub use stats::{LockStats, StatsSnapshot};
 pub use table::{AcquireOutcome, LockManager, LockRequestOptions, WaitPolicy};
-pub use txnid::TxnId;
+pub use txnid::{TxnId, TxnIdGen};
 
 /// Result alias for lock operations.
 pub type Result<T> = std::result::Result<T, LockError>;

@@ -2,23 +2,62 @@
 //!
 //! §3.1: "Complex objects which are checked-out by a user on a workstation
 //! get a long lock. In contrast to traditional short locks, long locks must
-//! survive system shutdowns and system crashes." We model this with a
-//! snapshot/restore pair: a [`LongLockImage`] captures every grant flagged
-//! `long`; after a (simulated) crash a fresh [`LockManager`] is re-primed
-//! from the image. Short locks — by design — do not survive.
+//! survive system shutdowns and system crashes." Two mechanisms live here:
 //!
-//! The on-medium representation is the line-oriented format of
-//! [`colock_testkit::codec`]: a header line, then one
-//! `resource \t owner \t mode` record per long lock. See
-//! [`LongLockImage::to_lines`] / [`LongLockImage::from_lines`].
+//! * [`LongLockImage`] — the original whole-image snapshot/restore pair,
+//!   kept for planned shutdowns and for tests: a manual capture of every
+//!   grant flagged `long`, restorable into a fresh [`LockManager`]. A
+//!   snapshot only protects locks that existed *at capture time* — a crash
+//!   between check-out and capture loses the lock.
+//! * [`Journal`] — the crash-safe replacement: an **append-only, checksummed,
+//!   versioned log** with one record per grant/conversion/release of a long
+//!   lock, written *before* the operation is acknowledged. Replaying the
+//!   journal after a crash yields exactly the set of long locks that were
+//!   durably granted ([`Recovered`]); a torn final record (the crash struck
+//!   mid-write) is truncated and reported via [`Recovered::dropped_tail`],
+//!   never silently re-adopted.
+//!
+//! Short locks — by design — do not survive either mechanism.
+//!
+//! # Journal format
+//!
+//! Line-oriented ([`colock_testkit::codec`]): a `colock-journal v1` header,
+//! then one record per line:
+//!
+//! ```text
+//! op \t resource \t owner \t mode \t crc
+//! ```
+//!
+//! `op` is `grant`, `convert` or `release`; `crc` is the CRC-32 (IEEE) of
+//! the escaped record text up to (excluding) the crc's own tab, in lowercase
+//! hex. Replay rules:
+//!
+//! * a record whose line is complete and whose CRC verifies is applied
+//!   (`grant`/`convert` join the mode into the owner's lock, `release`
+//!   removes it),
+//! * empty lines are skipped,
+//! * a trailing run of damaged records (torn line without a newline, CRC
+//!   mismatch, unparseable fields) is truncated and counted in
+//!   [`Recovered::dropped_tail`] — those operations were never acknowledged,
+//! * damage *followed by* valid records is not a torn tail but medium
+//!   corruption: replay refuses with a [`JournalError`] rather than guess.
 
 use crate::mode::LockMode;
 use crate::table::{LockManager, Resource};
 use crate::txnid::TxnId;
 use colock_testkit::codec::{self, CodecError, FieldCodec};
+use colock_testkit::fault::{CrashPoint, FaultPlan};
+use std::collections::HashMap;
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Header line of the persisted image format.
 const HEADER: &str = "colock-long-locks v1";
+
+/// Header line of the append-only journal format.
+const JOURNAL_HEADER: &str = "colock-journal v1";
 
 /// Serializable snapshot of all long locks in a lock manager.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -36,8 +75,10 @@ impl<R: Resource> LongLockImage<R> {
                 entries.push((r.clone(), txn, mode));
             }
         });
-        // Deterministic order for comparisons and round-trips.
-        entries.sort_by_key(|a| (a.1, a.2));
+        // Deterministic order for comparisons and round-trips. The resource
+        // must participate: one txn holding several long locks in the same
+        // mode would otherwise sort to a shard-iteration-dependent order.
+        entries.sort_by_cached_key(|a| (a.1, a.2, format!("{:?}", a.0)));
         LongLockImage { entries }
     }
 
@@ -99,6 +140,420 @@ impl<R: Resource + FieldCodec> LongLockImage<R> {
             ));
         }
         Ok(LongLockImage { entries })
+    }
+}
+
+// ----- journal --------------------------------------------------------------
+
+/// One journaled long-lock operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalOp {
+    /// A new long grant (owner did not hold the resource).
+    Grant,
+    /// A conversion of an existing long lock; the recorded mode is the
+    /// conversion *target* (already the join of held and requested).
+    Convert,
+    /// The long lock was released.
+    Release,
+}
+
+impl JournalOp {
+    fn as_str(self) -> &'static str {
+        match self {
+            JournalOp::Grant => "grant",
+            JournalOp::Convert => "convert",
+            JournalOp::Release => "release",
+        }
+    }
+
+    fn parse(s: &str) -> Option<JournalOp> {
+        match s {
+            "grant" => Some(JournalOp::Grant),
+            "convert" => Some(JournalOp::Convert),
+            "release" => Some(JournalOp::Release),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for JournalOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The journal's simulated medium crashed during an append (fault
+/// injection): the operation was not acknowledged and the whole system must
+/// be treated as down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalCrash {
+    /// Where in the append the crash struck.
+    pub point: CrashPoint,
+}
+
+/// Where the lock manager writes long-lock records. Implemented by
+/// [`Journal`]; a trait so the manager stays decoupled from the medium and
+/// tests can substitute their own sink.
+pub trait JournalSink<R>: Send + Sync {
+    /// Appends one record. `Err` means the medium crashed mid-append and the
+    /// operation must not be acknowledged to the caller.
+    fn record(
+        &self,
+        op: JournalOp,
+        txn: TxnId,
+        resource: &R,
+        mode: LockMode,
+    ) -> Result<(), JournalCrash>;
+}
+
+/// Replay failure: the journal text is damaged in a way a single torn-tail
+/// crash cannot explain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// Missing or unrecognized header (wrong version, not a journal).
+    BadHeader(String),
+    /// A non-tail record failed its CRC check.
+    BadCrc {
+        /// 1-based line number of the damaged record.
+        line: usize,
+    },
+    /// A non-tail record failed to decode.
+    Codec {
+        /// 1-based line number of the damaged record.
+        line: usize,
+        /// The underlying decode failure.
+        err: CodecError,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::BadHeader(h) => write!(f, "bad journal header: {h:?}"),
+            JournalError::BadCrc { line } => {
+                write!(f, "journal line {line}: CRC mismatch (not at tail)")
+            }
+            JournalError::Codec { line, err } => write!(f, "journal line {line}: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// Outcome of a journal replay: the long locks that were durably granted at
+/// crash time, plus what had to be dropped from the torn tail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recovered<R> {
+    /// Surviving `(resource, owner, mode)` long locks, in the same
+    /// deterministic order as [`LongLockImage::capture`].
+    pub entries: Vec<(R, TxnId, LockMode)>,
+    /// Complete, checksummed records that were applied.
+    pub records: usize,
+    /// Damaged records truncated from the tail (torn line, bad CRC) — these
+    /// operations were in flight at the crash and were never acknowledged.
+    pub dropped_tail: usize,
+}
+
+impl<R> Recovered<R> {
+    /// Distinct owners among the surviving locks, ascending.
+    pub fn owners(&self) -> Vec<TxnId> {
+        let mut owners: Vec<TxnId> = self.entries.iter().map(|e| e.1).collect();
+        owners.sort_unstable();
+        owners.dedup();
+        owners
+    }
+}
+
+/// Append-only, checksummed long-lock journal over a simulated durable
+/// medium (an `Arc<Mutex<String>>` that outlives the lock manager, the way a
+/// disk outlives a process).
+///
+/// Writes are acknowledged only after the record is fully on the medium; a
+/// [`FaultPlan`] can crash the medium before/after/mid-way through any
+/// append, after which the journal is frozen ([`Journal::crashed`]) and all
+/// further appends fail. [`Journal::replay`] turns the surviving text back
+/// into the set of durably-granted long locks.
+pub struct Journal<R> {
+    medium: Arc<Mutex<String>>,
+    plan: Mutex<Option<FaultPlan>>,
+    crashed: AtomicBool,
+    crash_point: Mutex<Option<CrashPoint>>,
+    appends: AtomicU64,
+    _resource: PhantomData<fn(R) -> R>,
+}
+
+impl<R> fmt::Debug for Journal<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Journal")
+            .field("appends", &self.appends.load(Ordering::Relaxed))
+            .field("crashed", &self.crashed())
+            .finish()
+    }
+}
+
+impl<R> Default for Journal<R> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<R> Journal<R> {
+    /// A journal over a fresh empty medium.
+    pub fn new() -> Self {
+        Self::over_medium(Arc::new(Mutex::new(String::new())))
+    }
+
+    /// A journal over an existing medium (writes the header if the medium is
+    /// empty; otherwise appends after whatever is already there).
+    pub fn over_medium(medium: Arc<Mutex<String>>) -> Self {
+        {
+            let mut m = medium.lock().unwrap_or_else(PoisonError::into_inner);
+            if m.is_empty() {
+                m.push_str(JOURNAL_HEADER);
+                m.push('\n');
+            }
+        }
+        Journal {
+            medium,
+            plan: Mutex::new(None),
+            crashed: AtomicBool::new(false),
+            crash_point: Mutex::new(None),
+            appends: AtomicU64::new(0),
+            _resource: PhantomData,
+        }
+    }
+
+    /// The shared medium (survives the crash of the journal's owner).
+    pub fn medium(&self) -> Arc<Mutex<String>> {
+        Arc::clone(&self.medium)
+    }
+
+    /// A copy of the medium's current text.
+    pub fn contents(&self) -> String {
+        self.medium.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// Arms a one-shot crash plan. Replaces any previous plan.
+    pub fn arm(&self, plan: FaultPlan) {
+        *self.plan.lock().unwrap_or_else(PoisonError::into_inner) = Some(plan);
+    }
+
+    /// Whether an armed crash has fired; once true, the journal is frozen.
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::Acquire)
+    }
+
+    /// The crash point of the fired plan, if any.
+    pub fn crash_point(&self) -> Option<CrashPoint> {
+        *self.crash_point.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Append attempts so far (including the crashing one) — a fault-free
+    /// dry run uses this to size an exhaustive crash sweep.
+    pub fn appends(&self) -> u64 {
+        self.appends.load(Ordering::Relaxed)
+    }
+}
+
+impl<R: Resource + FieldCodec> Journal<R> {
+    fn append(
+        &self,
+        op: JournalOp,
+        txn: TxnId,
+        resource: &R,
+        mode: LockMode,
+    ) -> Result<(), JournalCrash> {
+        if self.crashed() {
+            let point = self.crash_point().unwrap_or(CrashPoint::BeforeAppend);
+            return Err(JournalCrash { point });
+        }
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        let fired = {
+            let plan = self.plan.lock().unwrap_or_else(PoisonError::into_inner);
+            plan.as_ref().and_then(FaultPlan::on_append)
+        };
+        let payload = codec::encode_record(&[
+            op.as_str().to_string(),
+            resource.to_field(),
+            txn.to_field(),
+            mode.to_field(),
+        ]);
+        let crc = codec::crc32(payload.as_bytes());
+        let line = format!("{payload}\t{crc:08x}");
+        let mut medium = self.medium.lock().unwrap_or_else(PoisonError::into_inner);
+        match fired {
+            None => {
+                medium.push_str(&line);
+                medium.push('\n');
+                Ok(())
+            }
+            Some(point) => {
+                match point {
+                    CrashPoint::BeforeAppend => {}
+                    CrashPoint::AfterAppend => {
+                        medium.push_str(&line);
+                        medium.push('\n');
+                    }
+                    CrashPoint::MidRecord => {
+                        // Torn write: a prefix of the record, no newline.
+                        let cut = line.len() * 2 / 3;
+                        let cut = (0..=cut).rev().find(|&i| line.is_char_boundary(i)).unwrap_or(0);
+                        medium.push_str(&line[..cut]);
+                    }
+                }
+                drop(medium);
+                *self.crash_point.lock().unwrap_or_else(PoisonError::into_inner) = Some(point);
+                self.crashed.store(true, Ordering::Release);
+                Err(JournalCrash { point })
+            }
+        }
+    }
+
+    /// Replays journal text into the set of durably-granted long locks.
+    ///
+    /// See the module docs for the truncate-vs-refuse rules. The only damage
+    /// a single crash can produce — a trailing run of torn/unchecksummed
+    /// records — is dropped and counted; anything else is an error.
+    pub fn replay(text: &str) -> Result<Recovered<R>, JournalError> {
+        let Some(body) = text.strip_prefix(concat_header()) else {
+            let first = text.lines().next().unwrap_or("");
+            return Err(JournalError::BadHeader(first.to_string()));
+        };
+
+        // Split the body into line units, remembering whether each is
+        // newline-terminated (only the last can fail to be).
+        let terminated = body.is_empty() || body.ends_with('\n');
+        let segs: Vec<&str> = body.split('\n').collect();
+        let mut units: Vec<(usize, &str, bool)> = segs
+            .iter()
+            .enumerate()
+            .map(|(i, &seg)| (i + 2, seg, terminated || i + 1 < segs.len()))
+            .collect();
+        if terminated {
+            units.pop(); // the empty sentinel after the final newline
+        }
+
+        // Decode every unit; damaged units are only tolerated as a
+        // contiguous run at the tail.
+        let mut decoded: Vec<Unit<R>> = Vec::with_capacity(units.len());
+        for &(lineno, seg, complete) in &units {
+            if seg.is_empty() {
+                decoded.push(Unit::Skip);
+                continue;
+            }
+            if !complete {
+                // Torn write: no newline ever made it to the medium.
+                decoded.push(Unit::Bad(JournalError::Codec {
+                    line: lineno,
+                    err: CodecError::BadHeader("unterminated record".to_string()),
+                }));
+                continue;
+            }
+            decoded.push(decode_journal_line(lineno, seg));
+        }
+        let last_ok = decoded
+            .iter()
+            .rposition(|u| matches!(u, Unit::Ok(..)))
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        let mut dropped_tail = 0usize;
+        for u in &decoded[last_ok..] {
+            if let Unit::Bad(_) = u {
+                dropped_tail += 1;
+            }
+        }
+        // Any damage *before* the last valid record is not a torn tail.
+        for u in &decoded[..last_ok] {
+            if let Unit::Bad(e) = u {
+                return Err(e.clone());
+            }
+        }
+
+        let mut live: HashMap<(R, TxnId), LockMode> = HashMap::new();
+        let mut records = 0usize;
+        for u in &decoded[..last_ok] {
+            let Unit::Ok(op, r, txn, mode) = u else {
+                continue;
+            };
+            records += 1;
+            match op {
+                JournalOp::Grant | JournalOp::Convert => {
+                    let e = live.entry((r.clone(), *txn)).or_insert(LockMode::NL);
+                    *e = e.join(*mode);
+                }
+                JournalOp::Release => {
+                    live.remove(&(r.clone(), *txn));
+                }
+            }
+        }
+        let mut entries: Vec<(R, TxnId, LockMode)> =
+            live.into_iter().map(|((r, t), m)| (r, t, m)).collect();
+        entries.sort_by_cached_key(|a| (a.1, a.2, format!("{:?}", a.0)));
+        Ok(Recovered { entries, records, dropped_tail })
+    }
+}
+
+/// The journal header plus its newline (what a healthy medium starts with).
+fn concat_header() -> &'static str {
+    concat!("colock-journal v1", "\n")
+}
+
+enum Unit<R> {
+    Skip,
+    Ok(JournalOp, R, TxnId, LockMode),
+    Bad(JournalError),
+}
+
+fn decode_journal_line<R: FieldCodec>(lineno: usize, seg: &str) -> Unit<R> {
+    let Some((payload, crc_text)) = seg.rsplit_once('\t') else {
+        return Unit::Bad(JournalError::Codec {
+            line: lineno,
+            err: CodecError::BadArity { got: 1, want: 5 },
+        });
+    };
+    let Ok(crc) = u32::from_str_radix(crc_text, 16) else {
+        return Unit::Bad(JournalError::BadCrc { line: lineno });
+    };
+    if codec::crc32(payload.as_bytes()) != crc {
+        return Unit::Bad(JournalError::BadCrc { line: lineno });
+    }
+    let fields = match codec::decode_record(payload) {
+        Ok(f) => f,
+        Err(err) => return Unit::Bad(JournalError::Codec { line: lineno, err }),
+    };
+    if let Err(err) = codec::expect_arity(&fields, 4) {
+        return Unit::Bad(JournalError::Codec { line: lineno, err });
+    }
+    let Some(op) = JournalOp::parse(&fields[0]) else {
+        return Unit::Bad(JournalError::Codec {
+            line: lineno,
+            err: CodecError::BadField { field: fields[0].clone(), expected: "journal op" },
+        });
+    };
+    let r = match R::from_field(&fields[1]) {
+        Ok(r) => r,
+        Err(err) => return Unit::Bad(JournalError::Codec { line: lineno, err }),
+    };
+    let txn = match TxnId::from_field(&fields[2]) {
+        Ok(t) => t,
+        Err(err) => return Unit::Bad(JournalError::Codec { line: lineno, err }),
+    };
+    let mode = match LockMode::from_field(&fields[3]) {
+        Ok(m) => m,
+        Err(err) => return Unit::Bad(JournalError::Codec { line: lineno, err }),
+    };
+    Unit::Ok(op, r, txn, mode)
+}
+
+impl<R: Resource + FieldCodec> JournalSink<R> for Journal<R> {
+    fn record(
+        &self,
+        op: JournalOp,
+        txn: TxnId,
+        resource: &R,
+        mode: LockMode,
+    ) -> Result<(), JournalCrash> {
+        self.append(op, txn, resource, mode)
     }
 }
 
@@ -169,5 +624,242 @@ mod tests {
         mgr.acquire(t1, "a", X, LockRequestOptions::default()).unwrap();
         let image = LongLockImage::capture(&mgr);
         assert_eq!(image.entries, vec![("a", t1, X)]);
+    }
+
+    #[test]
+    fn capture_order_is_deterministic_for_same_mode_locks() {
+        // Regression: the sort key used to be (owner, mode) only, so two
+        // same-mode locks of one txn came out in shard-iteration order and
+        // image equality across managers could flake.
+        let t1 = TxnId(1);
+        let resources = ["cells/c1", "cells/c2", "lib/e9", "zz/last", "aa/first"];
+        let image_a = {
+            let mgr: LockManager<&'static str> = LockManager::new();
+            for r in resources {
+                mgr.acquire(t1, r, X, LockRequestOptions::long()).unwrap();
+            }
+            LongLockImage::capture(&mgr)
+        };
+        let image_b = {
+            // Different table (different insertion order → different shard
+            // iteration) must still capture an identical image.
+            let mgr: LockManager<&'static str> = LockManager::with_shards(4);
+            for r in resources.iter().rev() {
+                mgr.acquire(t1, *r, X, LockRequestOptions::long()).unwrap();
+            }
+            LongLockImage::capture(&mgr)
+        };
+        assert_eq!(image_a, image_b);
+        let mut sorted = image_a.entries.clone();
+        sorted.sort_by_cached_key(|a| (a.1, a.2, format!("{:?}", a.0)));
+        assert_eq!(image_a.entries, sorted, "entries must come out fully sorted");
+    }
+
+    // ----- journal ---------------------------------------------------------
+
+    use colock_testkit::fault::{CrashPoint, FaultPlan};
+    use std::sync::Arc;
+
+    type J = Journal<String>;
+
+    fn grant(j: &J, t: u64, r: &str, m: LockMode) -> Result<(), JournalCrash> {
+        j.record(JournalOp::Grant, TxnId(t), &r.to_string(), m)
+    }
+
+    #[test]
+    fn journal_replay_roundtrips_grants_conversions_releases() {
+        let j = J::new();
+        grant(&j, 1, "cells/c1", X).unwrap();
+        grant(&j, 1, "db", IX).unwrap();
+        grant(&j, 2, "cells/c2", S).unwrap();
+        j.record(JournalOp::Convert, TxnId(2), &"cells/c2".to_string(), X).unwrap();
+        j.record(JournalOp::Release, TxnId(1), &"db".to_string(), IX).unwrap();
+        let rec = J::replay(&j.contents()).unwrap();
+        assert_eq!(rec.records, 5);
+        assert_eq!(rec.dropped_tail, 0);
+        assert_eq!(
+            rec.entries,
+            vec![
+                ("cells/c1".to_string(), TxnId(1), X),
+                ("cells/c2".to_string(), TxnId(2), X),
+            ]
+        );
+        assert_eq!(rec.owners(), vec![TxnId(1), TxnId(2)]);
+    }
+
+    #[test]
+    fn journal_grant_then_release_nets_to_empty() {
+        let j = J::new();
+        grant(&j, 7, "a", X).unwrap();
+        j.record(JournalOp::Release, TxnId(7), &"a".to_string(), X).unwrap();
+        let rec = J::replay(&j.contents()).unwrap();
+        assert!(rec.entries.is_empty());
+        assert_eq!(rec.records, 2);
+    }
+
+    #[test]
+    fn journal_empty_medium_replays_to_nothing() {
+        let j = J::new();
+        let rec = J::replay(&j.contents()).unwrap();
+        assert!(rec.entries.is_empty());
+        assert_eq!(rec.records, 0);
+        assert_eq!(rec.dropped_tail, 0);
+    }
+
+    #[test]
+    fn journal_rejects_wrong_header_version() {
+        for text in ["", "colock-journal v2\n", "colock-long-locks v1\n", "garbage"] {
+            let err = J::replay(text).unwrap_err();
+            assert!(matches!(err, JournalError::BadHeader(_)), "{text:?} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn journal_skips_interleaved_empty_lines() {
+        let j = J::new();
+        grant(&j, 1, "a", S).unwrap();
+        j.medium().lock().unwrap().push('\n');
+        grant(&j, 2, "b", X).unwrap();
+        let text = j.contents();
+        let rec = J::replay(&text).unwrap();
+        assert_eq!(rec.records, 2);
+        assert_eq!(rec.entries.len(), 2);
+    }
+
+    #[test]
+    fn journal_truncated_final_record_is_dropped_and_reported() {
+        let j = J::new();
+        grant(&j, 1, "a", X).unwrap();
+        grant(&j, 2, "b", S).unwrap();
+        let mut text = j.contents();
+        // Tear the final record: lose the newline and half the bytes.
+        let torn = text.trim_end_matches('\n').len() - 7;
+        text.truncate(torn);
+        let rec = J::replay(&text).unwrap();
+        assert_eq!(rec.records, 1);
+        assert_eq!(rec.dropped_tail, 1);
+        assert_eq!(rec.entries, vec![("a".to_string(), TxnId(1), X)]);
+    }
+
+    #[test]
+    fn journal_bad_crc_at_tail_truncates_but_mid_file_refuses() {
+        let j = J::new();
+        grant(&j, 1, "a", X).unwrap();
+        grant(&j, 2, "b", S).unwrap();
+        let good = j.contents();
+
+        // Flip a payload byte of the *last* record: torn tail, truncated.
+        let mut tail_damaged = good.clone();
+        let flip_at = tail_damaged.rfind("\tS\t").expect("mode field of last record") + 1;
+        tail_damaged.replace_range(flip_at..flip_at + 1, "X");
+        let rec = J::replay(&tail_damaged).unwrap();
+        assert_eq!(rec.dropped_tail, 1);
+        assert_eq!(rec.entries, vec![("a".to_string(), TxnId(1), X)]);
+
+        // Same damage on the *first* record (valid record after it): refuse.
+        let mut mid_damaged = good.clone();
+        let flip_at = mid_damaged.find("\tX\t").expect("mode field of first record") + 1;
+        mid_damaged.replace_range(flip_at..flip_at + 1, "S");
+        let err = J::replay(&mid_damaged).unwrap_err();
+        assert_eq!(err, JournalError::BadCrc { line: 2 });
+    }
+
+    #[test]
+    fn journal_unparseable_mid_file_record_refuses() {
+        let j = J::new();
+        grant(&j, 1, "a", X).unwrap();
+        let mut text = j.contents();
+        text.push_str("not\ta\tvalid\trecord\tdeadbeef\n");
+        grant(&j, 2, "b", S).unwrap();
+        text.push_str(j.contents().lines().last().unwrap());
+        text.push('\n');
+        let err = J::replay(&text).unwrap_err();
+        assert!(matches!(err, JournalError::BadCrc { line: 3 } | JournalError::Codec { line: 3, .. }),
+            "{err:?}");
+    }
+
+    #[test]
+    fn journal_crash_points_freeze_the_medium() {
+        for point in CrashPoint::ALL {
+            let j = J::new();
+            grant(&j, 1, "a", X).unwrap();
+            j.arm(FaultPlan::crash_at(point, 1));
+            let err = grant(&j, 2, "b", S).unwrap_err();
+            assert_eq!(err.point, point);
+            assert!(j.crashed());
+            assert_eq!(j.crash_point(), Some(point));
+            // Frozen: later appends fail, the medium no longer changes.
+            let before = j.contents();
+            assert!(grant(&j, 3, "c", S).is_err());
+            assert_eq!(j.contents(), before);
+
+            // Replay of the surviving medium: first grant always survives;
+            // the crashed append survives exactly when it hit AfterAppend.
+            let rec = J::replay(&j.contents()).unwrap();
+            match point {
+                CrashPoint::BeforeAppend => {
+                    assert_eq!(rec.entries.len(), 1);
+                    assert_eq!(rec.dropped_tail, 0);
+                }
+                CrashPoint::AfterAppend => {
+                    assert_eq!(rec.entries.len(), 2);
+                    assert_eq!(rec.dropped_tail, 0);
+                }
+                CrashPoint::MidRecord => {
+                    assert_eq!(rec.entries.len(), 1);
+                    assert_eq!(rec.dropped_tail, 1, "torn record must be counted");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn manager_journal_tracks_long_locks_write_ahead() {
+        let mgr: LockManager<String> = LockManager::new();
+        let j = Arc::new(J::new());
+        assert!(mgr.attach_journal(j.clone()));
+        assert!(!mgr.attach_journal(j.clone()), "second attach must be refused");
+
+        mgr.acquire(TxnId(1), "cells/c1".into(), X, LockRequestOptions::long()).unwrap();
+        // Short locks never touch the journal.
+        mgr.acquire(TxnId(1), "scratch".into(), S, LockRequestOptions::default()).unwrap();
+        mgr.acquire(TxnId(2), "cells/c2".into(), S, LockRequestOptions::long()).unwrap();
+        // A short-flagged conversion of an already-long lock is still
+        // journaled: the surviving mode after a crash must be X, not S.
+        mgr.acquire(TxnId(2), "cells/c2".into(), X, LockRequestOptions::default()).unwrap();
+        mgr.release(TxnId(1), &"cells/c1".to_string());
+
+        let rec = J::replay(&j.contents()).unwrap();
+        assert_eq!(rec.entries, vec![("cells/c2".to_string(), TxnId(2), X)]);
+        // The journal's view agrees with a live capture.
+        assert_eq!(LongLockImage::capture(&mgr).entries, rec.entries);
+        // release_all journals the long release too.
+        mgr.release_all(TxnId(2));
+        assert!(J::replay(&j.contents()).unwrap().entries.is_empty());
+    }
+
+    #[test]
+    fn crashed_journal_fails_the_acquire_without_installing() {
+        let mgr: LockManager<String> = LockManager::new();
+        let j = Arc::new(J::new());
+        mgr.attach_journal(j.clone());
+        j.arm(FaultPlan::crash_at(CrashPoint::BeforeAppend, 1));
+        let err = mgr
+            .acquire(TxnId(1), "cells/c1".into(), X, LockRequestOptions::long())
+            .unwrap_err();
+        assert_eq!(err, LockError::Crashed);
+        assert!(j.crashed());
+        // The unacknowledged grant must not be installed in memory either.
+        assert!(mgr.locks_of(TxnId(1)).is_empty());
+        assert_eq!(mgr.grant_count(), 0);
+    }
+
+    #[test]
+    fn journal_resource_with_tabs_and_newlines_roundtrips() {
+        let j = J::new();
+        let nasty = "cells\tc1\nweird\\name".to_string();
+        j.record(JournalOp::Grant, TxnId(5), &nasty, SIX).unwrap();
+        let rec = J::replay(&j.contents()).unwrap();
+        assert_eq!(rec.entries, vec![(nasty, TxnId(5), SIX)]);
     }
 }

@@ -50,6 +50,7 @@
 
 use crate::error::LockError;
 use crate::mode::LockMode;
+use crate::persistent::{JournalOp, JournalSink};
 use crate::stats::LockStats;
 use crate::txnid::TxnId;
 use crate::Result;
@@ -58,7 +59,7 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Marker trait for lock-table resource keys.
@@ -197,6 +198,10 @@ pub struct LockManager<R: Resource> {
     /// the `max_table_entries` high-water mark needs no cross-shard lock).
     live_resources: AtomicU64,
     stats: LockStats,
+    /// Durable long-lock journal (write-ahead with respect to the grant
+    /// acknowledgement). `None` until attached; short-lock operations never
+    /// consult it, so the hot path stays journal-free.
+    journal: OnceLock<Arc<dyn JournalSink<R>>>,
 }
 
 impl<R: Resource> Default for LockManager<R> {
@@ -222,7 +227,21 @@ impl<R: Resource> LockManager<R> {
             stripes: (0..TXN_STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
             live_resources: AtomicU64::new(0),
             stats: LockStats::default(),
+            journal: OnceLock::new(),
         }
+    }
+
+    /// Attaches the durable long-lock journal. Every later grant, conversion
+    /// or release of a *long* lock is recorded before it is acknowledged. At
+    /// most one journal per manager: returns `false` (and changes nothing)
+    /// if one is already attached.
+    pub fn attach_journal(&self, sink: Arc<dyn JournalSink<R>>) -> bool {
+        self.journal.set(sink).is_ok()
+    }
+
+    /// Whether a journal is attached.
+    pub fn has_journal(&self) -> bool {
+        self.journal.get().is_some()
     }
 
     /// Statistics counters.
@@ -354,12 +373,12 @@ impl<R: Resource> LockManager<R> {
 
         // Held mode comes from our own grant entry in the shard (there is at
         // most one per txn/resource), keeping the hot path off the stripes.
-        let held = shard
+        let grant = shard
             .resources
             .get(&resource)
-            .and_then(|s| s.granted.iter().find(|g| g.txn == txn))
-            .map(|g| g.mode)
-            .unwrap_or(LockMode::NL);
+            .and_then(|s| s.granted.iter().find(|g| g.txn == txn));
+        let held = grant.map(|g| g.mode).unwrap_or(LockMode::NL);
+        let held_long = grant.is_some_and(|g| g.long);
         if held.covers(mode) {
             trace::emit(|| {
                 Event::new(EventKind::Grant, txn.0)
@@ -383,7 +402,21 @@ impl<R: Resource> LockManager<R> {
             });
         }
 
+        // A lock is journaled when the resulting grant is long: either the
+        // request itself is long, or it converts a grant that already is
+        // (the conversion target must survive a crash just like the
+        // original mode did).
+        let journal_long = opts.long || (conversion && held_long);
+
         if self.can_grant(&shard, txn, &resource, target, conversion) {
+            if journal_long {
+                // Write-ahead: the record must be durable before the grant
+                // is acknowledged. A journal crash aborts the acquire — the
+                // caller never learns whether the record made it, and replay
+                // decides the lock's fate at restart.
+                let op = if conversion { JournalOp::Convert } else { JournalOp::Grant };
+                self.journal_record(op, txn, &resource, target)?;
+            }
             self.install_grant(&mut shard, txn, &resource, target, opts.long);
             LockStats::bump(&self.stats.immediate_grants);
             trace::emit(|| {
@@ -406,7 +439,17 @@ impl<R: Resource> LockManager<R> {
                     WaitPolicy::BlockTimeout(d) => Some(Instant::now() + d),
                     _ => None,
                 };
-                self.block_until_granted(si, shard, txn, resource, target, conversion, opts.long, deadline)
+                self.block_until_granted(
+                    si,
+                    shard,
+                    txn,
+                    resource,
+                    target,
+                    conversion,
+                    opts.long,
+                    journal_long,
+                    deadline,
+                )
             }
         }
     }
@@ -415,35 +458,26 @@ impl<R: Resource> LockManager<R> {
     pub fn release(&self, txn: TxnId, resource: &R) -> bool {
         let si = self.shard_index(resource);
         let mut shard = self.shard_locked(si);
-        let prior = self.traced_mode(&shard, txn, resource);
         let removed = self.remove_grant(&mut shard, txn, resource, true);
-        if removed {
+        if let Some((mode, long)) = removed {
             LockStats::bump(&self.stats.releases);
+            if long {
+                // A journal crash here cannot fail the release (the caller's
+                // memory state dies with the crash anyway); the frozen
+                // journal simply stops acknowledging, and replay decides.
+                let _ = self.journal_record(JournalOp::Release, txn, resource, mode);
+            }
             trace::emit(|| {
                 Event::new(EventKind::Release, txn.0)
                     .shard(si as u32)
-                    .mode(prior.map(|m| m.to_string()).unwrap_or_default())
+                    .mode(mode.to_string())
                     .resource(format!("{resource:?}"))
             });
             if self.has_ungranted_waiters(&shard, resource) {
                 self.process_queue(&mut shard, resource);
             }
         }
-        removed
-    }
-
-    /// The mode `txn` currently holds on `resource` per the shard's grant
-    /// list — but only when tracing is on (release events label themselves
-    /// with the mode they drop; the lookup is skipped on the untraced path).
-    fn traced_mode(&self, shard: &ShardInner<R>, txn: TxnId, resource: &R) -> Option<LockMode> {
-        if !trace::is_enabled() {
-            return None;
-        }
-        shard
-            .resources
-            .get(resource)
-            .and_then(|s| s.granted.iter().find(|g| g.txn == txn))
-            .map(|g| g.mode)
+        removed.is_some()
     }
 
     /// Releases all locks of `txn` (end of transaction). Returns the number
@@ -498,13 +532,15 @@ impl<R: Resource> LockManager<R> {
             let mut shard = self.shard_locked(si);
             while i < keyed.len() && keyed[i].0 == si {
                 let r = &keyed[i].1;
-                let prior = self.traced_mode(&shard, txn, r);
-                if self.remove_grant(&mut shard, txn, r, false) {
+                if let Some((mode, long)) = self.remove_grant(&mut shard, txn, r, false) {
                     LockStats::bump(&self.stats.releases);
+                    if long {
+                        let _ = self.journal_record(JournalOp::Release, txn, r, mode);
+                    }
                     trace::emit(|| {
                         Event::new(EventKind::Release, txn.0)
                             .shard(si as u32)
-                            .mode(prior.map(|m| m.to_string()).unwrap_or_default())
+                            .mode(mode.to_string())
                             .resource(format!("{r:?}"))
                     });
                     if self.has_ungranted_waiters(&shard, r) {
@@ -529,9 +565,14 @@ impl<R: Resource> LockManager<R> {
     }
 
     /// Installs a grant directly (used by crash-recovery of long locks).
+    ///
+    /// The grant is re-journaled into this manager's journal (if attached):
+    /// a recovered lock is as durable as a fresh one, so a second crash
+    /// before its release must find it again.
     pub fn install_recovered(&self, txn: TxnId, resource: R, mode: LockMode) {
         let si = self.shard_index(&resource);
         let mut shard = self.shard_locked(si);
+        let _ = self.journal_record(JournalOp::Grant, txn, &resource, mode);
         self.install_grant(&mut shard, txn, &resource, mode, true);
         trace::emit(|| {
             Event::new(EventKind::Grant, txn.0)
@@ -644,18 +685,22 @@ impl<R: Resource> LockManager<R> {
         LockStats::raise(&self.stats.max_locks_per_txn, txn_state.held.len() as u64);
     }
 
+    /// Removes `txn`'s grant on `resource`, returning the removed mode and
+    /// long flag (the release paths journal and trace from this — no second
+    /// lookup).
     fn remove_grant(
         &self,
         shard: &mut ShardInner<R>,
         txn: TxnId,
         resource: &R,
         update_inventory: bool,
-    ) -> bool {
-        let mut removed = false;
+    ) -> Option<(LockMode, bool)> {
+        let mut removed = None;
         if let Some(state) = shard.resources.get_mut(resource) {
-            let before = state.granted.len();
-            state.granted.retain(|g| g.txn != txn);
-            removed = state.granted.len() != before;
+            if let Some(i) = state.granted.iter().position(|g| g.txn == txn) {
+                let g = state.granted.remove(i);
+                removed = Some((g.mode, g.long));
+            }
         }
         self.drop_state_if_empty(shard, resource);
         if update_inventory {
@@ -668,6 +713,15 @@ impl<R: Resource> LockManager<R> {
             }
         }
         removed
+    }
+
+    /// Journals one long-lock operation if a journal is attached; a
+    /// mid-append crash surfaces as [`LockError::Crashed`].
+    fn journal_record(&self, op: JournalOp, txn: TxnId, resource: &R, mode: LockMode) -> Result<()> {
+        if let Some(j) = self.journal.get() {
+            j.record(op, txn, resource, mode).map_err(|_| LockError::Crashed)?;
+        }
+        Ok(())
     }
 
     fn has_ungranted_waiters(&self, shard: &ShardInner<R>, resource: &R) -> bool {
@@ -793,6 +847,7 @@ impl<R: Resource> LockManager<R> {
         target: LockMode,
         conversion: bool,
         long: bool,
+        journal_long: bool,
         deadline: Option<Instant>,
     ) -> Result<AcquireOutcome> {
         LockStats::bump(&self.stats.waits);
@@ -842,6 +897,15 @@ impl<R: Resource> LockManager<R> {
             match status {
                 Some(Ok(())) => {
                     self.remove_waiter_entry_only(&mut shard, txn, &resource);
+                    if journal_long {
+                        // The grant was installed by `process_queue`; the
+                        // record must still be durable before the waiter's
+                        // acquire acknowledges. A crash here leaves the
+                        // in-memory grant unacknowledged — replay at restart
+                        // is the authority on whether it survived.
+                        let op = if conversion { JournalOp::Convert } else { JournalOp::Grant };
+                        self.journal_record(op, txn, &resource, target)?;
+                    }
                     trace::emit(|| {
                         Event::new(EventKind::Grant, txn.0)
                             .shard(si as u32)

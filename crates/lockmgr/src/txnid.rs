@@ -40,6 +40,13 @@ impl TxnIdGen {
     pub fn next(&self) -> TxnId {
         TxnId(self.next.fetch_add(1, Ordering::Relaxed))
     }
+
+    /// Raises the generator so it never re-issues `id` or anything below it.
+    /// Recovery calls this with the highest surviving journal owner: a fresh
+    /// post-crash `begin()` must not collide with a re-adopted transaction.
+    pub fn ensure_above(&self, id: TxnId) {
+        self.next.fetch_max(id.0 + 1, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -53,5 +60,15 @@ mod tests {
         let b = g.next();
         assert!(a < b);
         assert_eq!(a.to_string(), "T1");
+    }
+
+    #[test]
+    fn ensure_above_skips_recovered_ids() {
+        let g = TxnIdGen::new();
+        g.ensure_above(TxnId(41));
+        assert_eq!(g.next(), TxnId(42));
+        // Lowering is a no-op.
+        g.ensure_above(TxnId(5));
+        assert_eq!(g.next(), TxnId(43));
     }
 }

@@ -10,6 +10,7 @@
 
 use crate::metrics::Metrics;
 use crate::workload::mix::Op;
+use colock_testkit::Rng;
 use colock_txn::{TransactionManager, Transaction, TxnKind};
 
 /// Configuration of a tick run.
@@ -21,11 +22,21 @@ pub struct TickConfig {
     pub hold_ticks_after_checkout: u64,
     /// Safety valve: abort the run after this many ticks.
     pub max_ticks: u64,
+    /// Seed of the deadlock-abort backoff jitter. A constant rest period
+    /// lets two workers that deadlock, back off, and restart in lockstep
+    /// deadlock again on the same tick forever; jitter breaks the symmetry
+    /// while identical seeds keep runs reproducible.
+    pub jitter_seed: u64,
 }
 
 impl Default for TickConfig {
     fn default() -> Self {
-        TickConfig { txns_per_worker: 10, hold_ticks_after_checkout: 0, max_ticks: 1_000_000 }
+        TickConfig {
+            txns_per_worker: 10,
+            hold_ticks_after_checkout: 0,
+            max_ticks: 1_000_000,
+            jitter_seed: 0x5EED,
+        }
     }
 }
 
@@ -98,6 +109,7 @@ impl<'m> TickDriver<'m> {
             })
             .collect();
 
+        let mut jitter = Rng::seed_from_u64(self.cfg.jitter_seed);
         let mut tick: u64 = 0;
         loop {
             if tick >= self.cfg.max_ticks {
@@ -141,7 +153,7 @@ impl<'m> TickDriver<'m> {
             if !any_progress && any_active {
                 // Every awake worker blocked: abort the youngest txn and put
                 // its worker to sleep so the cycle can drain.
-                self.resolve_stall(&mut workers, &mut metrics, tick);
+                self.resolve_stall(&mut workers, &mut metrics, tick, &mut jitter);
             }
             tick += 1;
         }
@@ -226,8 +238,15 @@ impl<'m> TickDriver<'m> {
         }
     }
 
-    fn resolve_stall(&self, workers: &mut [Worker<'m>], metrics: &mut Metrics, tick: u64) {
-        let backoff = workers.len() as u64 + 2;
+    fn resolve_stall(
+        &self,
+        workers: &mut [Worker<'m>],
+        metrics: &mut Metrics,
+        tick: u64,
+        jitter: &mut Rng,
+    ) {
+        let base = workers.len() as u64 + 2;
+        let backoff = base + jitter.gen_range(0..base);
         // Youngest = highest TxnId among blocked actives.
         let victim = workers
             .iter_mut()

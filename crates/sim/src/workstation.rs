@@ -12,6 +12,7 @@
 //! with the central database throughout.
 
 use colock_core::{AccessMode, InstanceTarget};
+use colock_lockmgr::TxnId;
 use colock_nf2::Value;
 use colock_txn::{Result, Transaction, TransactionManager, TxnError, TxnKind};
 use std::collections::HashMap;
@@ -113,6 +114,38 @@ impl<'m> Workstation<'m> {
     /// Whether a session (long transaction) is currently open.
     pub fn has_session(&self) -> bool {
         self.session.is_some()
+    }
+
+    /// Simulates a workstation crash: the private database vanishes and the
+    /// open session is leaked *without* releasing its long locks — they stay
+    /// held on the server, which is exactly the state
+    /// `TransactionManager::recover` re-adopts after a server restart.
+    /// Returns the leaked session's id, or `None` if no session was open.
+    pub fn crash(&mut self) -> Option<TxnId> {
+        self.private.clear();
+        self.session.take().map(|txn| {
+            let id = txn.id();
+            txn.leak();
+            id
+        })
+    }
+
+    /// Reconnects to a (possibly rebuilt) server and resumes a crashed
+    /// session by id. The private database starts empty — the local copies
+    /// died with the crash — but the session's long locks are still held,
+    /// so every target can be re-read in the same well-known state.
+    pub fn restart(
+        server: &'m TransactionManager,
+        name: impl Into<String>,
+        session: TxnId,
+    ) -> Result<Self> {
+        let txn = server.resume(session)?;
+        Ok(Workstation {
+            server,
+            name: name.into(),
+            session: Some(txn),
+            private: HashMap::new(),
+        })
     }
 }
 
@@ -234,6 +267,25 @@ mod tests {
         assert!(ws.local(&robot("c1", "r2")).is_none());
         assert_eq!(srv.lock_manager().stats().snapshot().requests, before);
         ws.abandon().unwrap();
+    }
+
+    #[test]
+    fn crash_keeps_locks_and_restart_resumes_the_session() {
+        let srv = server();
+        let mut ws = Workstation::connect(&srv, "ws1");
+        ws.checkout(&robot("c1", "r1"), AccessMode::Update).unwrap();
+        let id = ws.crash().expect("session was open");
+        assert!(!ws.has_session());
+        assert_eq!(ws.private_size(), 0);
+        // The long locks survived the workstation crash on the live server.
+        let probe = srv.begin(TxnKind::Short);
+        assert!(probe.try_lock(&robot("c1", "r1"), AccessMode::Update).is_err());
+        probe.abort().unwrap();
+        // A rebooted workstation resumes the session and releases cleanly.
+        let mut ws2 = Workstation::restart(&srv, "ws1-rebooted", id).unwrap();
+        assert!(ws2.has_session());
+        ws2.abandon().unwrap();
+        assert_eq!(srv.lock_manager().table_size(), 0);
     }
 
     #[test]

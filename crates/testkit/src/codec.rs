@@ -116,6 +116,34 @@ pub fn expect_arity(fields: &[String], want: usize) -> Result<(), CodecError> {
     }
 }
 
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the checksum
+/// the long-lock journal stamps on every record so torn or bit-rotted tails
+/// are detected at replay rather than re-adopted as locks.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
 /// Types that encode to / decode from a single record field.
 pub trait FieldCodec: Sized {
     /// The field text of this value (must survive [`escape`]/[`unescape`]).
@@ -186,6 +214,16 @@ mod tests {
         assert_eq!(i64::from_field(&(-42i64).to_field()).unwrap(), -42);
         assert_eq!(bool::from_field("true").unwrap(), true);
         assert!(u64::from_field("not-a-number").is_err());
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Reference values for the IEEE polynomial.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        // Single-bit damage is detected.
+        assert_ne!(crc32(b"grant\tcells/c1\t7\tX"), crc32(b"grant\tcells/c1\t7\tS"));
     }
 
     #[test]

@@ -17,8 +17,14 @@
 //!   `thread::sleep`-and-hope pattern),
 //! * [`bench`](mod@bench) — a micro-bench timer (warmup + N iterations,
 //!   min/median/p99, JSON lines on stdout — replaces `criterion`),
-//! * [`codec`] — a small hand-rolled line-oriented encode/decode used by
-//!   `colock-lockmgr`'s long-lock persistence (replaces `serde`).
+//! * [`codec`] — a small hand-rolled line-oriented encode/decode (plus a
+//!   CRC-32) used by `colock-lockmgr`'s long-lock persistence (replaces
+//!   `serde`),
+//! * [`fault`] — deterministic crash-point injection ([`FaultPlan`]): crash a
+//!   durable medium before/after/mid-way through its *n*-th append, driven by
+//!   the seeded PRNG, so recovery tests can sweep every crash of a schedule,
+//! * [`backoff`] — exponential backoff with seeded full jitter for retry
+//!   loops that must not re-collide in lock-step.
 //!
 //! Reproducing a property-test failure: every failure report prints the
 //! per-case seed; re-run with `COLOCK_TEST_SEED=<seed>` to replay that case
@@ -27,13 +33,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod bench;
 pub mod codec;
+pub mod fault;
 pub mod prop;
 pub mod rng;
 pub mod stress;
 
+pub use backoff::Backoff;
 pub use bench::{black_box, BenchHarness};
+pub use fault::{CrashPoint, FaultPlan};
 pub use prop::{run_forall, Config, Shrink};
 pub use rng::Rng;
 pub use stress::{lockstep, run_threads, wait_until, Interleaver, Schedule};

@@ -41,6 +41,10 @@ pub enum EventKind {
     /// A long transaction released its target subtree early (paper §4.4.2
     /// rule 5 shrinking phase).
     TxnReleaseEarly,
+    /// A long transaction was re-adopted after a crash: journal replay found
+    /// its surviving long locks and recovery re-created its state (`detail`
+    /// holds the lock count).
+    TxnRecovered,
 }
 
 impl EventKind {
@@ -63,6 +67,7 @@ impl EventKind {
             EventKind::TxnCommit => "commit",
             EventKind::TxnAbort => "abort",
             EventKind::TxnReleaseEarly => "release-early",
+            EventKind::TxnRecovered => "recovered",
         }
     }
 
@@ -87,6 +92,7 @@ impl EventKind {
             "commit" => EventKind::TxnCommit,
             "abort" => EventKind::TxnAbort,
             "release-early" => EventKind::TxnReleaseEarly,
+            "recovered" => EventKind::TxnRecovered,
             _ => return None,
         })
     }
@@ -371,6 +377,7 @@ mod tests {
             EventKind::TxnCommit,
             EventKind::TxnAbort,
             EventKind::TxnReleaseEarly,
+            EventKind::TxnRecovered,
         ] {
             assert_eq!(EventKind::parse(k.as_str()), Some(k));
         }

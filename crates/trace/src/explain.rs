@@ -103,6 +103,9 @@ pub fn timeline(events: &[Event]) -> Timeline {
             EventKind::TxnReleaseEarly => {
                 push(e.txn, e, format!("released target early (rule 5): {}", e.resource));
             }
+            EventKind::TxnRecovered => {
+                push(e.txn, e, format!("re-adopted after crash recovery ({})", e.detail));
+            }
         }
     }
     out

@@ -1,7 +1,7 @@
 //! Transaction errors.
 
 use colock_core::ProtocolError;
-use colock_lockmgr::{LockError, TxnId};
+use colock_lockmgr::{JournalError, LockError, TxnId};
 use colock_storage::StorageError;
 use std::fmt;
 
@@ -19,6 +19,8 @@ pub enum TxnError {
     TwoPhaseViolation(TxnId),
     /// Check-in of a target that was never checked out.
     NotCheckedOut(String),
+    /// The long-lock journal could not be replayed during crash recovery.
+    Recovery(JournalError),
 }
 
 impl TxnError {
@@ -32,6 +34,12 @@ impl TxnError {
     pub fn is_would_block(&self) -> bool {
         matches!(self, TxnError::Protocol(ProtocolError::Lock(LockError::WouldBlock { .. })))
     }
+
+    /// Whether this error reports that the long-lock journal crashed before
+    /// acknowledging the request (the grant is not durable).
+    pub fn is_crashed(&self) -> bool {
+        matches!(self, TxnError::Protocol(ProtocolError::Lock(LockError::Crashed)))
+    }
 }
 
 impl fmt::Display for TxnError {
@@ -44,6 +52,7 @@ impl fmt::Display for TxnError {
                 write!(f, "{t} requested a lock after releasing (2PL violation)")
             }
             TxnError::NotCheckedOut(t) => write!(f, "`{t}` was not checked out"),
+            TxnError::Recovery(e) => write!(f, "recovery failed: {e}"),
         }
     }
 }
@@ -59,6 +68,12 @@ impl From<ProtocolError> for TxnError {
 impl From<StorageError> for TxnError {
     fn from(e: StorageError) -> Self {
         TxnError::Storage(e)
+    }
+}
+
+impl From<JournalError> for TxnError {
+    fn from(e: JournalError) -> Self {
+        TxnError::Recovery(e)
     }
 }
 

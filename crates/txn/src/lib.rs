@@ -26,7 +26,7 @@ pub mod transaction;
 pub mod undo;
 
 pub use error::TxnError;
-pub use manager::{ProtocolKind, TransactionManager};
+pub use manager::{ProtocolKind, RecoveryReport, TransactionManager};
 pub use transaction::{Transaction, TxnKind};
 pub use undo::UndoRecord;
 

@@ -7,11 +7,11 @@ use colock_core::{
     AccessMode, Authorization, InstanceTarget, LockReport, ProtocolEngine, ProtocolOptions,
     ResourcePath, TxnLockCache,
 };
-use colock_lockmgr::{LockManager, TxnId};
 use colock_lockmgr::txnid::TxnIdGen;
+use colock_lockmgr::{Journal, JournalSink, LockManager, TxnId};
 use colock_storage::Store;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Which lock protocol a manager (or an individual transaction) uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +73,22 @@ pub struct TransactionManager {
     protocol: ProtocolKind,
     idgen: TxnIdGen,
     pub(crate) states: Mutex<HashMap<TxnId, TxnState>>,
+    /// Durable long-lock journal, if one has been attached. The manager
+    /// keeps the concrete type (the lock manager only sees the sink trait)
+    /// so recovery can inspect the medium.
+    journal: OnceLock<Arc<Journal<ResourcePath>>>,
+}
+
+/// What `TransactionManager::recover` restored from a journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Owners that were re-adopted (ascending ids), one fresh long
+    /// transaction state each.
+    pub owners: Vec<TxnId>,
+    /// Total long locks re-installed across all owners.
+    pub locks: usize,
+    /// Torn-tail records dropped during replay (0 for a clean shutdown).
+    pub dropped_tail: usize,
 }
 
 impl TransactionManager {
@@ -92,6 +108,7 @@ impl TransactionManager {
             protocol,
             idgen: TxnIdGen::new(),
             states: Mutex::new(HashMap::new()),
+            journal: OnceLock::new(),
         }
     }
 
@@ -105,6 +122,84 @@ impl TransactionManager {
     pub fn over_store(store: Arc<Store>, authz: Authorization, protocol: ProtocolKind) -> Self {
         let engine = Arc::new(ProtocolEngine::new(Arc::clone(store.catalog())));
         Self::new(Arc::new(LockManager::new()), engine, store, Arc::new(authz), protocol)
+    }
+
+    /// Attaches a durable long-lock journal to this manager *and* its lock
+    /// manager; every long-lock grant/conversion/release is recorded
+    /// write-ahead from now on. First sink wins (returns `false` if either
+    /// the manager or the lock manager already had one).
+    pub fn attach_journal(&self, journal: Arc<Journal<ResourcePath>>) -> bool {
+        let sink: Arc<dyn JournalSink<ResourcePath>> = Arc::clone(&journal) as _;
+        self.journal.set(journal).is_ok() && self.lm.attach_journal(sink)
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&Arc<Journal<ResourcePath>>> {
+        self.journal.get()
+    }
+
+    /// Whether the attached journal has simulated a crash (after which all
+    /// long-lock requests fail unacknowledged).
+    pub fn journal_crashed(&self) -> bool {
+        self.journal.get().is_some_and(|j| j.crashed())
+    }
+
+    /// Replays a journal (the medium text of a crashed peer) into this
+    /// manager: every surviving long lock is re-installed in the lock
+    /// manager under its original owner, and each owner gets a fresh long
+    /// transaction state so it can be resumed, checked in, or aborted
+    /// exactly like a live one. The id generator is bumped past the highest
+    /// recovered owner so new transactions cannot collide with re-adopted
+    /// ones.
+    ///
+    /// If a journal is attached to *this* manager, the re-installed locks
+    /// are re-journaled into it, so a second crash recovers them again.
+    pub fn recover(&self, journal_text: &str) -> Result<RecoveryReport> {
+        let recovered = Journal::<ResourcePath>::replay(journal_text)?;
+        let owners = recovered.owners();
+        let mut per_owner: HashMap<TxnId, usize> = HashMap::new();
+        for (resource, txn, mode) in &recovered.entries {
+            self.lm.install_recovered(*txn, resource.clone(), *mode);
+            *per_owner.entry(*txn).or_insert(0) += 1;
+        }
+        {
+            let mut states = self.states_locked();
+            for &owner in &owners {
+                states.entry(owner).or_insert_with(|| TxnState {
+                    undo: Vec::new(),
+                    shrinking: false,
+                    checked_out: HashMap::new(),
+                    cache: Arc::new(TxnLockCache::new()),
+                });
+            }
+        }
+        if let Some(&max) = owners.iter().max() {
+            self.idgen.ensure_above(max);
+        }
+        for &owner in &owners {
+            let n = per_owner.get(&owner).copied().unwrap_or(0);
+            colock_trace::emit(|| {
+                colock_trace::Event::new(colock_trace::EventKind::TxnRecovered, owner.0)
+                    .detail(format!("{n} long locks"))
+            });
+        }
+        Ok(RecoveryReport {
+            owners,
+            locks: recovered.entries.len(),
+            dropped_tail: recovered.dropped_tail,
+        })
+    }
+
+    /// Hands out a handle to a transaction this manager already tracks —
+    /// the post-crash counterpart of `begin`, for owners re-adopted by
+    /// `recover`. The caller is responsible for not resuming the same
+    /// transaction twice concurrently (the second handle's drop would abort
+    /// an already-finished transaction).
+    pub fn resume(&self, txn: TxnId) -> Result<Transaction<'_>> {
+        if !self.states_locked().contains_key(&txn) {
+            return Err(TxnError::NotActive(txn));
+        }
+        Ok(Transaction::new(self, txn, TxnKind::Long))
     }
 
     /// Starts a transaction.
@@ -260,16 +355,21 @@ impl TransactionManager {
             .states_locked()
             .remove(&txn)
             .ok_or(TxnError::NotActive(txn))?;
-        if !commit {
-            crate::undo::rollback(&self.store, &state.undo);
-        }
+        let rolled_back = if commit {
+            Ok(())
+        } else {
+            crate::undo::rollback(&self.store, &state.undo)
+        };
+        // Locks are released even when an undo record failed: holding them
+        // would wedge every waiter behind a transaction that no longer
+        // exists. The failure still reaches the caller below.
         self.lm.release_all(txn);
         colock_trace::emit(|| {
             let kind =
                 if commit { colock_trace::EventKind::TxnCommit } else { colock_trace::EventKind::TxnAbort };
             colock_trace::Event::new(kind, txn.0)
         });
-        Ok(())
+        rolled_back.map_err(TxnError::from)
     }
 
     /// Number of active transactions.

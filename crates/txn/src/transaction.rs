@@ -290,6 +290,14 @@ impl<'m> Transaction<'m> {
         }
     }
 
+    /// Forgets this handle without releasing locks or rolling back — the
+    /// client side of a simulated crash. The transaction stays registered in
+    /// the manager and its long locks stay held; a post-crash manager can
+    /// re-adopt it from the journal via `TransactionManager::recover`.
+    pub fn leak(mut self) {
+        self.finished = true;
+    }
+
     /// Commits: releases all locks, keeps all changes.
     pub fn commit(mut self) -> Result<()> {
         self.finished = true;

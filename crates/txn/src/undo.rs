@@ -2,7 +2,7 @@
 
 use colock_core::TargetStep;
 use colock_nf2::{ObjectKey, Value};
-use colock_storage::Store;
+use colock_storage::{Store, StorageError};
 
 /// One undo record; applied in reverse order on abort.
 #[derive(Debug, Clone)]
@@ -41,8 +41,12 @@ pub enum UndoRecord {
 
 impl UndoRecord {
     /// Applies the undo against the store.
-    pub fn apply(&self, store: &Store) {
-        let result = match self {
+    ///
+    /// Failures (e.g. a record naming a relation the store no longer knows)
+    /// are propagated, not asserted away: a silently skipped undo leaves the
+    /// store half-rolled-back, which release builds must surface too.
+    pub fn apply(&self, store: &Store) -> Result<(), StorageError> {
+        match self {
             UndoRecord::Inserted { relation, key } => store.restore(relation, key, None),
             UndoRecord::Updated { relation, key, steps, before } => {
                 store.restore_at(relation, key, steps, before.clone())
@@ -50,17 +54,23 @@ impl UndoRecord {
             UndoRecord::Deleted { relation, key, before } => {
                 store.restore(relation, key, Some(before.clone()))
             }
-        };
-        // `restore` only fails on unknown relations, which cannot happen for
-        // records we produced ourselves.
-        debug_assert!(result.is_ok());
+        }
     }
 }
 
-/// Rolls back a log (newest first).
-pub fn rollback(store: &Store, log: &[UndoRecord]) {
+/// Rolls back a log (newest first). Every record is attempted even when an
+/// earlier one fails — partial damage control beats stopping — and the
+/// *first* failure is returned.
+pub fn rollback(store: &Store, log: &[UndoRecord]) -> Result<(), StorageError> {
+    let mut first_err = None;
     for rec in log.iter().rev() {
-        rec.apply(store);
+        if let Err(e) = rec.apply(store) {
+            first_err.get_or_insert(e);
+        }
+    }
+    match first_err {
+        None => Ok(()),
+        Some(e) => Err(e),
     }
 }
 
@@ -97,8 +107,28 @@ mod tests {
                 before,
             },
         ];
-        rollback(&store, &log);
+        rollback(&store, &log).unwrap();
         // update undone first, then the insert: object gone entirely.
+        assert!(!store.contains("effectors", &ObjectKey::from("e1")));
+    }
+
+    #[test]
+    fn unknown_relation_propagates_instead_of_being_swallowed() {
+        let store = Store::new(Arc::new(fig1_catalog()));
+        store.insert("effectors", effector("e1", "a")).unwrap();
+        let log = vec![
+            // Newest first at rollback: the bad record is attempted first,
+            // and the valid one must still be applied.
+            UndoRecord::Inserted { relation: "effectors".into(), key: ObjectKey::from("e1") },
+            UndoRecord::Deleted {
+                relation: "no-such-relation".into(),
+                key: ObjectKey::from("zz"),
+                before: effector("zz", "t"),
+            },
+        ];
+        let err = rollback(&store, &log).unwrap_err();
+        assert!(err.to_string().contains("no-such-relation"), "{err}");
+        // The valid undo still ran: the insert was removed.
         assert!(!store.contains("effectors", &ObjectKey::from("e1")));
     }
 
@@ -114,7 +144,8 @@ mod tests {
                 key: ObjectKey::from("e1"),
                 before,
             }],
-        );
+        )
+        .unwrap();
         assert!(store.contains("effectors", &ObjectKey::from("e1")));
     }
 }

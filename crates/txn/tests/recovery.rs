@@ -1,0 +1,268 @@
+//! Crash-recovery integration tests: the journal/re-adoption path of §3.1
+//! ("long locks survive system crashes") at the transaction-manager level.
+//!
+//! The crash model: a workstation checks subobjects out under long locks,
+//! the server process dies (the `Transaction` handle is leaked, the manager
+//! dropped), and a fresh manager over the *same* store replays the journal
+//! medium. Every long lock acknowledged before the crash must come back
+//! under its original owner — resumable, check-in-able, abortable.
+
+use colock_core::authorization::Authorization;
+use colock_core::fixtures::fig1_catalog;
+use colock_core::{AccessMode, InstanceTarget, ResourcePath};
+use colock_lockmgr::Journal;
+use colock_nf2::value::build::{list, set, tup};
+use colock_nf2::Value;
+use colock_storage::Store;
+use colock_testkit::{Backoff, CrashPoint, FaultPlan};
+use colock_txn::{ProtocolKind, TransactionManager, TxnKind};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+fn populated_store() -> Arc<Store> {
+    let store = Arc::new(Store::new(Arc::new(fig1_catalog())));
+    for (e, t) in [("e1", "grip"), ("e2", "weld")] {
+        store
+            .insert("effectors", tup(vec![("eff_id", Value::str(e)), ("tool", Value::str(t))]))
+            .unwrap();
+    }
+    store
+        .insert(
+            "cells",
+            tup(vec![
+                ("cell_id", Value::str("c1")),
+                ("c_objects", set(vec![])),
+                (
+                    "robots",
+                    list(vec![
+                        tup(vec![
+                            ("robot_id", Value::str("r1")),
+                            ("trajectory", Value::str("t1")),
+                            ("effectors", set(vec![Value::reference("effectors", "e1")])),
+                        ]),
+                        tup(vec![
+                            ("robot_id", Value::str("r2")),
+                            ("trajectory", Value::str("t2")),
+                            ("effectors", set(vec![Value::reference("effectors", "e2")])),
+                        ]),
+                    ]),
+                ),
+            ]),
+        )
+        .unwrap();
+    store
+}
+
+fn manager(store: &Arc<Store>) -> TransactionManager {
+    TransactionManager::over_store(
+        Arc::clone(store),
+        Authorization::allow_all(),
+        ProtocolKind::Proposed,
+    )
+}
+
+fn journaled_manager(store: &Arc<Store>) -> (TransactionManager, Arc<Journal<ResourcePath>>) {
+    let mgr = manager(store);
+    let journal = Arc::new(Journal::<ResourcePath>::new());
+    assert!(mgr.attach_journal(Arc::clone(&journal)));
+    (mgr, journal)
+}
+
+fn trajectory(r: &str) -> InstanceTarget {
+    InstanceTarget::object("cells", "c1").elem("robots", r).attr("trajectory")
+}
+
+#[test]
+fn recovered_owner_is_resumable_and_its_locks_survive() {
+    let store = populated_store();
+    let (mgr, journal) = journaled_manager(&store);
+    let t = mgr.begin(TxnKind::Long);
+    let id = t.id();
+    t.checkout(&trajectory("r1"), AccessMode::Update).unwrap();
+    t.leak(); // crash: no release, no rollback
+    let medium = journal.contents();
+    drop(mgr);
+
+    // Fresh server over the same store, its own (empty) journal.
+    let (mgr2, journal2) = journaled_manager(&store);
+    let report = mgr2.recover(&medium).unwrap();
+    assert_eq!(report.owners, vec![id]);
+    assert!(report.locks >= 1, "checkout journals at least the target lock");
+    assert_eq!(report.dropped_tail, 0);
+
+    // The recovered X lock still excludes others.
+    let probe = mgr2.begin(TxnKind::Short);
+    assert_ne!(probe.id(), id, "recovery must bump the id generator");
+    assert!(probe.try_lock(&trajectory("r1"), AccessMode::Update).is_err());
+    probe.abort().unwrap();
+
+    // Recovery re-journals into the new medium: a second crash would
+    // restore the same set.
+    let again = Journal::<ResourcePath>::replay(&journal2.contents()).unwrap();
+    assert_eq!(again.entries, Journal::<ResourcePath>::replay(&medium).unwrap().entries);
+
+    // The owner can be resumed and finished like a live transaction.
+    mgr2.resume(id).unwrap().abort().unwrap();
+    let probe2 = mgr2.begin(TxnKind::Short);
+    probe2.try_lock(&trajectory("r1"), AccessMode::Update).unwrap();
+    probe2.commit().unwrap();
+}
+
+#[test]
+fn recovered_owner_can_check_in() {
+    let store = populated_store();
+    let (mgr, journal) = journaled_manager(&store);
+    let t = mgr.begin(TxnKind::Long);
+    let id = t.id();
+    t.checkout(&trajectory("r2"), AccessMode::Update).unwrap();
+    t.leak();
+    let medium = journal.contents();
+    drop(mgr);
+
+    let (mgr2, _j2) = journaled_manager(&store);
+    mgr2.recover(&medium).unwrap();
+    let resumed = mgr2.resume(id).unwrap();
+    // The check-out registry died with the old manager, so the post-crash
+    // write path is a plain update under the still-held X lock.
+    resumed.update(&trajectory("r2"), Value::str("t2-edited")).unwrap();
+    resumed.commit().unwrap();
+    assert_eq!(
+        mgr2.begin(TxnKind::Short).read(&trajectory("r2")).unwrap(),
+        Value::str("t2-edited")
+    );
+}
+
+/// The bug the snapshot path hides: re-installing locks without re-adopting
+/// their owners leaves ghost holders nobody can release.
+#[test]
+fn install_recovered_without_readoption_leaks_the_lock() {
+    let store = populated_store();
+    let (mgr, journal) = journaled_manager(&store);
+    // Burn ids so the ghost's id cannot collide with fresh probes below.
+    mgr.begin(TxnKind::Short).commit().unwrap();
+    mgr.begin(TxnKind::Short).commit().unwrap();
+    let t = mgr.begin(TxnKind::Long);
+    let id = t.id();
+    t.checkout(&trajectory("r1"), AccessMode::Update).unwrap();
+    t.leak();
+    let medium = journal.contents();
+    drop(mgr);
+
+    let mgr2 = manager(&store);
+    // Old-style recovery: locks only, no transaction state.
+    let replayed = Journal::<ResourcePath>::replay(&medium).unwrap();
+    for (resource, owner, mode) in &replayed.entries {
+        mgr2.lock_manager().install_recovered(*owner, resource.clone(), *mode);
+    }
+    // The lock is held by a ghost: it blocks everyone...
+    let probe = mgr2.begin(TxnKind::Short);
+    assert!(probe.try_lock(&trajectory("r1"), AccessMode::Update).is_err());
+    probe.abort().unwrap();
+    // ...and the ghost cannot be finished, so nothing can ever release it.
+    assert!(mgr2.resume(id).is_err(), "no txn state: the owner is unknown to the manager");
+
+    // `recover` is the fix: it re-adopts the owner on top of the same locks.
+    mgr2.recover(&medium).unwrap();
+    mgr2.resume(id).unwrap().abort().unwrap();
+    let probe2 = mgr2.begin(TxnKind::Short);
+    probe2.try_lock(&trajectory("r1"), AccessMode::Update).unwrap();
+    probe2.commit().unwrap();
+}
+
+#[test]
+fn unacknowledged_grant_is_never_recovered() {
+    for point in CrashPoint::ALL {
+        let store = populated_store();
+        let (mgr, journal) = journaled_manager(&store);
+
+        // First checkout completes and is durable.
+        let t1 = mgr.begin(TxnKind::Long);
+        let id1 = t1.id();
+        t1.checkout(&trajectory("r1"), AccessMode::Update).unwrap();
+
+        // Second checkout crashes on its first journal append after arming.
+        journal.arm(FaultPlan::crash_at(point, 1));
+        let t2 = mgr.begin(TxnKind::Long);
+        let id2 = t2.id();
+        let err = t2.checkout(&trajectory("r2"), AccessMode::Update).unwrap_err();
+        assert!(err.is_crashed(), "{point}: expected crashed journal, got {err}");
+        assert!(mgr.journal_crashed());
+        t1.leak();
+        t2.leak();
+        let medium = journal.contents();
+        drop(mgr);
+
+        let (mgr2, _j2) = journaled_manager(&store);
+        let report = mgr2.recover(&medium).unwrap();
+        assert!(report.dropped_tail <= 1, "{point}");
+        match point {
+            // The record hit the medium before the crash: that one grant is
+            // durable even though the ack was lost, so the owner comes back
+            // with its partial (intent-only) lock set — never half-present,
+            // and releasable below like any other owner.
+            CrashPoint::AfterAppend => assert_eq!(report.owners, vec![id1, id2], "{point}"),
+            // Nothing (or a torn half-record) reached the medium: the
+            // unacknowledged grant must not resurrect t2.
+            CrashPoint::BeforeAppend | CrashPoint::MidRecord => {
+                assert_eq!(report.owners, vec![id1], "{point}");
+            }
+        }
+        // t2 crashed before its X lock on the target subtree was journaled,
+        // so the target itself is free in every case.
+        let probe = mgr2.begin(TxnKind::Short);
+        probe.try_lock(&trajectory("r2"), AccessMode::Update).unwrap();
+        probe.commit().unwrap();
+        for owner in report.owners {
+            mgr2.resume(owner).unwrap().abort().unwrap();
+        }
+        let sweep = mgr2.begin(TxnKind::Short);
+        sweep.try_lock(&trajectory("r1"), AccessMode::Update).unwrap();
+        sweep.commit().unwrap();
+    }
+}
+
+#[test]
+fn clean_finish_leaves_nothing_to_recover() {
+    let store = populated_store();
+    let (mgr, journal) = journaled_manager(&store);
+    let t = mgr.begin(TxnKind::Long);
+    t.checkout(&trajectory("r1"), AccessMode::Update).unwrap();
+    t.commit().unwrap();
+    let recovered = Journal::<ResourcePath>::replay(&journal.contents()).unwrap();
+    assert!(recovered.entries.is_empty(), "grants and releases must cancel out");
+    assert_eq!(recovered.dropped_tail, 0);
+}
+
+#[test]
+fn contenders_converge_with_seeded_backoff() {
+    let store = populated_store();
+    let mgr = manager(&store);
+    thread::scope(|s| {
+        for w in 0..4u64 {
+            let mgr = &mgr;
+            s.spawn(move || {
+                let mut backoff = Backoff::new(0xC0FFEE ^ w, 1, 64);
+                loop {
+                    let t = mgr.begin(TxnKind::Short);
+                    match t.try_lock(&trajectory("r1"), AccessMode::Update) {
+                        Ok(_) => {
+                            thread::sleep(Duration::from_micros(20));
+                            t.commit().unwrap();
+                            return backoff.attempts();
+                        }
+                        Err(e) if e.is_would_block() || e.is_deadlock() => {
+                            t.abort().unwrap();
+                            thread::sleep(Duration::from_micros(backoff.next_delay()));
+                        }
+                        Err(e) => panic!("unexpected error under contention: {e}"),
+                    }
+                }
+            });
+        }
+    });
+    // Everyone finished (scope joined) and the table is clean.
+    let probe = mgr.begin(TxnKind::Short);
+    probe.try_lock(&trajectory("r1"), AccessMode::Update).unwrap();
+    probe.commit().unwrap();
+}

@@ -57,8 +57,16 @@ echo "==> stress_lockmgr (bounded rounds)"
 COLOCK_STRESS_ROUNDS="${COLOCK_STRESS_ROUNDS:-40}" \
     cargo run --offline --release -q -p colock-bench --bin stress_lockmgr
 
+echo "==> stress_recovery (bounded fault-injection sweep)"
+COLOCK_RECOVERY_ROUNDS="${COLOCK_RECOVERY_ROUNDS:-10}" \
+    cargo run --offline --release -q -p colock-bench --bin stress_recovery
+
 echo "==> shard-scaling bench (small budget)"
 COLOCK_BENCH_MS="${COLOCK_BENCH_MS:-50}" \
     cargo bench --offline -p colock-bench --bench bench_shard_scaling -q
+
+echo "==> recovery bench (small budget)"
+COLOCK_BENCH_MS="${COLOCK_BENCH_MS:-50}" \
+    cargo bench --offline -p colock-bench --bench bench_recovery -q
 
 echo "==> all checks passed"
