@@ -6,7 +6,10 @@
 //! half-present and nothing leaks past a post-crash sweep.
 //!
 //! Knobs: `COLOCK_CRASH_SEED` (schedule seed, default 0xC010CC) and
-//! `COLOCK_RECOVERY_ROUNDS` (rounds per crash point, default 25).
+//! `COLOCK_RECOVERY_ROUNDS` (rounds per crash point, default 25). With
+//! `COLOCK_CHECK=1` every crash/recovery cycle is additionally traced and
+//! replayed through the §4.4.2 protocol linter — recovered grants, probes
+//! and the post-recovery sweep must all be conformant.
 
 use colock_core::authorization::{Authorization, Right};
 use colock_core::{AccessMode, InstanceTarget, ResourcePath};
@@ -49,7 +52,7 @@ fn run_cycle(
     }
     let mut stations: Vec<Workstation<'_>> =
         (0..STATIONS).map(|i| Workstation::connect(&mgr, format!("ws{i}"))).collect();
-    let mut holding = vec![false; STATIONS];
+    let mut holding = [false; STATIONS];
     let mut checked_in = Vec::new();
     'script: {
         for (i, ws) in stations.iter_mut().enumerate() {
@@ -75,9 +78,8 @@ fn run_cycle(
     }
     let mut held = Vec::new();
     for (i, ws) in stations.iter_mut().enumerate() {
-        match (ws.crash(), holding[i]) {
-            (Some(id), true) => held.push((i, id)),
-            _ => {}
+        if let (Some(id), true) = (ws.crash(), holding[i]) {
+            held.push((i, id));
         }
     }
     (journal.contents(), held, checked_in, journal.appends())
@@ -106,25 +108,51 @@ fn check(store: &Arc<Store>, medium: &str, held: &[(usize, TxnId)], checked_in: 
     (report.owners.len(), report.locks, report.dropped_tail)
 }
 
+/// Under `COLOCK_CHECK=1`, drains the cycle's trace window through the
+/// protocol linter and aborts loudly on any violation. The linter treats a
+/// re-begun transaction id as a fresh incarnation, so the pre-crash server
+/// and the recovery server sharing one window is fine.
+fn lint_cycle(store: &Arc<Store>, mark: u64, label: &str) {
+    let events = colock_trace::events_since(mark);
+    let report = colock_check::Linter::with_catalog(store.catalog()).lint(&events);
+    assert!(
+        report.is_clean(),
+        "COLOCK_CHECK: protocol violations in {label}:\n{}",
+        report.render_with_context(&events)
+    );
+}
+
 fn main() {
     let seed = env_u64("COLOCK_CRASH_SEED", 0xC0_10CC);
     let rounds = env_u64("COLOCK_RECOVERY_ROUNDS", 25);
+    let checking = colock_check::enabled_from_env();
+    if checking {
+        colock_trace::enable();
+    }
 
     // Dry run: learn the append budget and verify the no-crash control.
     let store = build_cells_store(&CellsConfig::default());
+    let mark = colock_trace::current_seq();
     let (medium, held, checked_in, appends) = run_cycle(&store, None);
     check(&store, &medium, &held, &checked_in);
+    if checking {
+        lint_cycle(&store, mark, "control cycle");
+    }
     println!("control: {appends} appends, {} holders recovered, clean sweep", held.len());
 
     let mut rng = Rng::seed_from_u64(seed);
     for point in CrashPoint::ALL {
         let (mut owners, mut locks, mut torn) = (0, 0, 0);
-        for _ in 0..rounds {
+        for round in 0..rounds {
             let store = build_cells_store(&CellsConfig::default());
             let nth = rng.gen_range(1..appends + 1);
+            let mark = colock_trace::current_seq();
             let (medium, held, checked_in, _) =
                 run_cycle(&store, Some(FaultPlan::crash_at(point, nth)));
             let (o, l, t) = check(&store, &medium, &held, &checked_in);
+            if checking {
+                lint_cycle(&store, mark, &format!("{point} round {round}"));
+            }
             owners += o;
             locks += l;
             torn += t;

@@ -16,13 +16,9 @@
 //! cargo run --release --bin trace_explain -- /tmp/run.trace
 //! ```
 
-use colock_bench::cells_manager;
-use colock_core::{AccessMode, InstanceTarget};
-use colock_sim::CellsConfig;
+use colock_bench::contention_demo;
 use colock_trace::explain::{render_timeline, timeline};
 use colock_trace::Event;
-use colock_txn::{ProtocolKind, TxnKind};
-use std::sync::Barrier;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,7 +29,8 @@ fn main() {
 }
 
 /// Parses `path` as one `Event::to_line` record per line and renders the
-/// per-transaction timelines. Unparseable lines are counted and skipped.
+/// per-transaction timelines. Malformed lines are reported with their typed
+/// parse error and line number, then skipped.
 fn explain_file(path: &str) {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -44,13 +41,16 @@ fn explain_file(path: &str) {
     };
     let mut events: Vec<Event> = Vec::new();
     let mut skipped = 0usize;
-    for line in text.lines() {
+    for (no, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         match Event::parse_line(line) {
-            Some(ev) => events.push(ev),
-            None => skipped += 1,
+            Ok(ev) => events.push(ev),
+            Err(e) => {
+                eprintln!("trace-explain: {path}:{}: {e}", no + 1);
+                skipped += 1;
+            }
         }
     }
     println!("trace-explain: {} events from {path} ({skipped} lines skipped)\n", events.len());
@@ -59,48 +59,8 @@ fn explain_file(path: &str) {
 
 /// Built-in demo: a little contention plus one forced deadlock, explained.
 fn demo() {
-    colock_trace::enable();
     println!("trace-explain — built-in contention demo (tracing enabled)\n");
-
-    let cfg = CellsConfig { n_cells: 2, c_objects_per_cell: 4, ..Default::default() };
-    let mgr = cells_manager(&cfg, ProtocolKind::Proposed);
-
-    // Two well-behaved transactions: a reader and an updater.
-    let reader = mgr.begin(TxnKind::Short);
-    reader
-        .lock(&InstanceTarget::object("cells", "c1").elem("robots", "r1"), AccessMode::Read)
-        .expect("read lock");
-    reader.commit().expect("commit");
-    let writer = mgr.begin(TxnKind::Short);
-    writer
-        .lock(&InstanceTarget::object("cells", "c2"), AccessMode::Update)
-        .expect("update lock");
-    writer.commit().expect("commit");
-
-    // Forced deadlock: two threads X-lock whole cells in opposite order. The
-    // barrier makes both hold their first lock before requesting the second,
-    // so the second requests close a waits-for cycle and the detector must
-    // abort one of them.
-    let barrier = Barrier::new(2);
-    std::thread::scope(|scope| {
-        for (mine, theirs) in [("c1", "c2"), ("c2", "c1")] {
-            let mgr = &mgr;
-            let barrier = &barrier;
-            scope.spawn(move || {
-                let txn = mgr.begin(TxnKind::Short);
-                txn.lock(&InstanceTarget::object("cells", mine), AccessMode::Update)
-                    .expect("first lock is uncontended");
-                barrier.wait();
-                match txn.lock(&InstanceTarget::object("cells", theirs), AccessMode::Update) {
-                    Ok(_) => txn.commit().expect("commit"),
-                    Err(e) if e.is_deadlock() => txn.abort().expect("abort"),
-                    Err(e) => panic!("unexpected lock failure: {e}"),
-                }
-            });
-        }
-    });
-
-    let events = colock_trace::snapshot();
+    let events = contention_demo();
     println!("captured {} events; per-transaction timelines:\n", events.len());
     print!("{}", render_timeline(&timeline(&events)));
 

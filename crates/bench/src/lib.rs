@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared experiment machinery for the figure/experiment binaries and the
 //! Criterion benches. Every table printed by a binary in `src/bin/` is
 //! recorded (paper statement vs measured shape) in `EXPERIMENTS.md`.
@@ -38,6 +39,58 @@ pub fn cells_manager_writable(cfg: &CellsConfig, protocol: ProtocolKind) -> Arc<
 /// Formats a float with 1 decimal.
 pub fn f1(v: f64) -> String {
     format!("{v:.1}")
+}
+
+/// Runs the built-in contention demo shared by `trace_explain` and
+/// `colock_check --self-test`: two well-behaved transactions (a reader and
+/// an updater) followed by a forced two-transaction deadlock — two threads
+/// X-lock whole cells in opposite order with a barrier between first and
+/// second acquisition, so the second requests close a waits-for cycle and
+/// the detector must abort one of them.
+///
+/// Enables tracing and returns exactly the events this demo produced.
+pub fn contention_demo() -> Vec<colock_trace::Event> {
+    use colock_core::{AccessMode, InstanceTarget};
+    use colock_txn::TxnKind;
+    use std::sync::Barrier;
+
+    colock_trace::enable();
+    let mark = colock_trace::current_seq();
+
+    let cfg = CellsConfig { n_cells: 2, c_objects_per_cell: 4, ..Default::default() };
+    let mgr = cells_manager(&cfg, ProtocolKind::Proposed);
+
+    let reader = mgr.begin(TxnKind::Short);
+    reader
+        .lock(&InstanceTarget::object("cells", "c1").elem("robots", "r1"), AccessMode::Read)
+        .expect("read lock");
+    reader.commit().expect("commit");
+    let writer = mgr.begin(TxnKind::Short);
+    writer
+        .lock(&InstanceTarget::object("cells", "c2"), AccessMode::Update)
+        .expect("update lock");
+    writer.commit().expect("commit");
+
+    let barrier = Barrier::new(2);
+    std::thread::scope(|scope| {
+        for (mine, theirs) in [("c1", "c2"), ("c2", "c1")] {
+            let mgr = &mgr;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let txn = mgr.begin(TxnKind::Short);
+                txn.lock(&InstanceTarget::object("cells", mine), AccessMode::Update)
+                    .expect("first lock is uncontended");
+                barrier.wait();
+                match txn.lock(&InstanceTarget::object("cells", theirs), AccessMode::Update) {
+                    Ok(_) => txn.commit().expect("commit"),
+                    Err(e) if e.is_deadlock() => txn.abort().expect("abort"),
+                    Err(e) => panic!("unexpected lock failure: {e}"),
+                }
+            });
+        }
+    });
+
+    colock_trace::events_since(mark)
 }
 
 #[cfg(test)]

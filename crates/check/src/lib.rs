@@ -1,0 +1,39 @@
+//! Independent conformance checking for the colock workspace.
+//!
+//! The engine crates *implement* the paper's lock technique; this crate
+//! *verifies* them, from the outside, using only public artifacts:
+//!
+//! - [`static_check`] analyzes a derived object-specific lock graph offline —
+//!   tree structure, Fig. 5 derivation conformance, §4.3 unit/entry-point
+//!   soundness, and the algebraic laws of the compatibility matrix.
+//! - [`lint`] replays a recorded trace (live ring drain or parsed trace
+//!   file) and checks the §4.4.2 protocol rules 1–5 against what the engine
+//!   actually did, reporting typed [`Violation`]s.
+//!
+//! Neither path touches engine internals, so a bug in the engine cannot hide
+//! itself from its own checker. The sim driver and the stress binaries drain
+//! the trace ring through the linter when `COLOCK_CHECK=1` is set (see
+//! [`enabled_from_env`]); `cargo run --bin colock_check` lints trace files
+//! offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lint;
+pub mod static_check;
+
+pub use lint::{LintReport, Linter, Violation, ViolationKind};
+pub use static_check::{check_graph, check_matrix, check_schema, CheckError, StaticReport};
+
+use std::sync::OnceLock;
+
+/// Whether `COLOCK_CHECK` asks for conformance checking (`1`, `true`, `on`
+/// or `yes`, case-insensitive). Read once and cached for the process.
+pub fn enabled_from_env() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        std::env::var("COLOCK_CHECK")
+            .map(|v| matches!(v.to_ascii_lowercase().as_str(), "1" | "true" | "on" | "yes"))
+            .unwrap_or(false)
+    })
+}

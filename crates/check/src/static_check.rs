@@ -1,0 +1,686 @@
+//! Static analysis of derived object-specific lock graphs.
+//!
+//! The derivation in `colock-core` (`graph::derive`) *constructs* lock
+//! graphs from schemas; this module *verifies* them with an independent
+//! implementation of the same rules, so a regression in either side is
+//! caught by the disagreement. Four passes:
+//!
+//! 1. **Structure** — the solid edges form a tree: one root (the database
+//!    node), every other node has exactly one immediate parent, parent and
+//!    child lists agree, and no parent chain cycles (§4.4.1).
+//! 2. **Derivation rules** (Fig. 5) — re-walks the schema and checks each
+//!    attribute against its node: set/list → HoLU, tuple → HeLU, atomic →
+//!    BLU, reference → BLU with a dashed edge into the referenced
+//!    relation's complex-object node.
+//! 3. **Unit soundness** (§4.3) — every common-data relation has exactly
+//!    its complex-object node as entry point, the set of dashed-edge
+//!    targets equals the set of common-data relations, superunit chains
+//!    terminate at the database node, and no data-bearing node belongs to
+//!    two units.
+//! 4. **Compatibility matrix** — symmetry, NL neutrality, lattice laws of
+//!    `join`/`covers`, and strength monotonicity of the GLPT76 matrix.
+
+use colock_core::graph::{Category, DbLockGraph, NodeId, Units};
+use colock_lockmgr::LockMode;
+use colock_nf2::{AttrPath, AttrType, Catalog, DatabaseSchema};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A well-formedness defect found by the static analyzer. Every variant
+/// carries enough context to point at the offending node (rendered as the
+/// root-to-node name path) or matrix entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// The solid edges do not form a tree rooted at the database node.
+    NotATree {
+        /// Path to the offending node.
+        node: String,
+        /// What exactly is broken.
+        why: String,
+    },
+    /// A parent chain revisits a node.
+    CycleDetected {
+        /// Path (as far as it could be rendered) to the node whose chain
+        /// cycles.
+        node: String,
+    },
+    /// A schema attribute and its lock-graph node disagree with the Fig. 5
+    /// derivation rules.
+    DerivationMismatch {
+        /// The relation being checked.
+        relation: String,
+        /// Schema path of the attribute.
+        path: String,
+        /// What the derivation rules require there.
+        expected: String,
+        /// What the graph actually holds.
+        found: String,
+    },
+    /// A reference BLU's dashed edge points at a relation with no
+    /// complex-object node.
+    DanglingRef {
+        /// Path to the reference BLU.
+        node: String,
+        /// The missing target relation.
+        target: String,
+    },
+    /// A dashed edge lands in a relation the catalog does not classify as
+    /// common data (or a common-data relation is never referenced).
+    CommonDataMismatch {
+        /// The relation whose classification disagrees.
+        relation: String,
+        /// What disagrees.
+        why: String,
+    },
+    /// A common-data relation lacks an entry point, or its entry point is
+    /// not its complex-object node.
+    BadEntryPoint {
+        /// The common-data relation.
+        relation: String,
+        /// What is wrong with its entry point.
+        why: String,
+    },
+    /// A superunit chain does not start at the database node.
+    SuperunitNotRooted {
+        /// The relation whose chain is broken.
+        relation: String,
+        /// The chain as rendered node names.
+        chain: Vec<String>,
+    },
+    /// A data-bearing node belongs to two units.
+    UnitsOverlap {
+        /// Path to the shared node.
+        node: String,
+        /// The first unit claiming it.
+        first: String,
+        /// The second unit claiming it.
+        second: String,
+    },
+    /// A compatibility-matrix or mode-lattice law fails.
+    MatrixViolation {
+        /// The law that failed.
+        law: &'static str,
+        /// The witnessing modes.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::NotATree { node, why } => write!(f, "not a tree at {node}: {why}"),
+            CheckError::CycleDetected { node } => {
+                write!(f, "parent chain of {node} contains a cycle")
+            }
+            CheckError::DerivationMismatch { relation, path, expected, found } => write!(
+                f,
+                "derivation mismatch in `{relation}` at `{path}`: expected {expected}, found {found}"
+            ),
+            CheckError::DanglingRef { node, target } => {
+                write!(f, "dashed edge from {node} dangles: relation `{target}` has no C.O. node")
+            }
+            CheckError::CommonDataMismatch { relation, why } => {
+                write!(f, "common-data classification of `{relation}` disagrees: {why}")
+            }
+            CheckError::BadEntryPoint { relation, why } => {
+                write!(f, "entry point of `{relation}`: {why}")
+            }
+            CheckError::SuperunitNotRooted { relation, chain } => write!(
+                f,
+                "superunit chain of `{relation}` does not start at the database node: [{}]",
+                chain.join(" / ")
+            ),
+            CheckError::UnitsOverlap { node, first, second } => {
+                write!(f, "node {node} belongs to two units: {first} and {second}")
+            }
+            CheckError::MatrixViolation { law, detail } => {
+                write!(f, "matrix law `{law}` fails: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Result of a static analysis run.
+#[derive(Debug, Clone, Default)]
+pub struct StaticReport {
+    /// Every defect found, in pass order.
+    pub errors: Vec<CheckError>,
+    /// Nodes visited by the structure pass.
+    pub nodes_checked: usize,
+    /// Relations walked by the derivation pass.
+    pub relations_checked: usize,
+}
+
+impl StaticReport {
+    /// Whether the graph passed every check.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// One line per defect (empty string when clean).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for e in &self.errors {
+            let _ = writeln!(out, "static check: {e}");
+        }
+        out
+    }
+}
+
+/// Root-to-node name path, e.g.
+/// `Database "db1" / Segment "seg1" / Relation "cells" / C.O. "cells"`.
+fn node_path(graph: &DbLockGraph, id: NodeId) -> String {
+    let mut names: Vec<&str> = Vec::new();
+    let mut cur = Some(id);
+    let mut hops = 0;
+    while let Some(n) = cur {
+        names.push(graph.node(n).name.as_str());
+        cur = graph.node(n).parent;
+        hops += 1;
+        if hops > graph.len() {
+            names.push("…cycle…");
+            break;
+        }
+    }
+    names.reverse();
+    names.join(" / ")
+}
+
+/// Runs all four passes over a derived graph and its catalog.
+pub fn check_graph(graph: &DbLockGraph, catalog: &Catalog) -> StaticReport {
+    let mut report = StaticReport::default();
+    check_structure(graph, &mut report);
+    check_derivation(graph, catalog.schema(), &mut report);
+    check_units(graph, catalog, &mut report);
+    report.errors.extend(check_matrix());
+    report
+}
+
+/// Convenience: derives the graph from a validated schema, then checks it.
+pub fn check_schema(schema: &DatabaseSchema) -> StaticReport {
+    let catalog = match Catalog::new(schema.clone()) {
+        Ok(c) => c,
+        Err(e) => {
+            let mut report = StaticReport::default();
+            report.errors.push(CheckError::CommonDataMismatch {
+                relation: schema.name.clone(),
+                why: format!("schema did not validate: {e}"),
+            });
+            return report;
+        }
+    };
+    let graph = colock_core::graph::derive_lock_graph(&catalog);
+    check_graph(&graph, &catalog)
+}
+
+/// Pass 1: solid edges form a tree rooted at the database node.
+fn check_structure(graph: &DbLockGraph, report: &mut StaticReport) {
+    report.nodes_checked = graph.len();
+    for node in graph.nodes() {
+        if node.id == graph.db_node() {
+            if node.parent.is_some() {
+                report.errors.push(CheckError::NotATree {
+                    node: node_path(graph, node.id),
+                    why: "the database node has a parent".into(),
+                });
+            }
+        } else if node.parent.is_none() {
+            report.errors.push(CheckError::NotATree {
+                node: node_path(graph, node.id),
+                why: "non-root node without an immediate parent (§4.4.1)".into(),
+            });
+        }
+        // Parent/child agreement in both directions.
+        if let Some(p) = node.parent {
+            if !graph.node(p).children.contains(&node.id) {
+                report.errors.push(CheckError::NotATree {
+                    node: node_path(graph, node.id),
+                    why: format!("missing from the child list of {}", graph.node(p).name),
+                });
+            }
+        }
+        for &c in &node.children {
+            if graph.node(c).parent != Some(node.id) {
+                report.errors.push(CheckError::NotATree {
+                    node: node_path(graph, c),
+                    why: format!("listed as child of {} but has another parent", node.name),
+                });
+            }
+        }
+        // Acyclicity of the parent chain.
+        let mut cur = node.parent;
+        let mut hops = 0;
+        while let Some(p) = cur {
+            hops += 1;
+            if hops > graph.len() {
+                report.errors.push(CheckError::CycleDetected { node: node_path(graph, node.id) });
+                break;
+            }
+            cur = graph.node(p).parent;
+        }
+    }
+}
+
+/// Pass 2: re-derive each relation from the schema and compare categories.
+fn check_derivation(graph: &DbLockGraph, schema: &DatabaseSchema, report: &mut StaticReport) {
+    for rel in &schema.relations {
+        report.relations_checked += 1;
+        let mismatch = |path: &AttrPath, expected: &str, found: String| CheckError::DerivationMismatch {
+            relation: rel.name.clone(),
+            path: if path.is_root() { "<object root>".into() } else { path.steps().join(".") },
+            expected: expected.into(),
+            found,
+        };
+        let Some(rel_id) = graph.relation_node(&rel.name) else {
+            report.errors.push(mismatch(&AttrPath::root(), "a Relation node", "nothing".into()));
+            continue;
+        };
+        let rel_node = graph.node(rel_id);
+        if rel_node.category != Category::Relation {
+            report.errors.push(mismatch(
+                &AttrPath::root(),
+                "category Relation",
+                rel_node.category.to_string(),
+            ));
+        }
+        // The relation hangs below its segment, which hangs below the root.
+        let seg_ok = rel_node.parent == graph.segment_node(&rel.segment)
+            && rel_node
+                .parent
+                .is_some_and(|s| graph.node(s).parent == Some(graph.db_node()));
+        if !seg_ok {
+            report.errors.push(mismatch(
+                &AttrPath::root(),
+                &format!("ancestry database / segment `{}`", rel.segment),
+                node_path(graph, rel_id),
+            ));
+        }
+        let Some(co_id) = graph.object_node(&rel.name) else {
+            report.errors.push(mismatch(&AttrPath::root(), "a C.O. (HeLU) node", "nothing".into()));
+            continue;
+        };
+        let co = graph.node(co_id);
+        if co.category != Category::HeLU || co.parent != Some(rel_id) {
+            report.errors.push(mismatch(
+                &AttrPath::root(),
+                "a HeLU complex-object node below the relation node",
+                format!("{} below {:?}", co.category, co.parent.map(|p| &graph.node(p).name)),
+            ));
+        }
+        // Children of the C.O. node must match the attributes 1:1, in order.
+        check_children(graph, rel, co_id, &rel.attributes, AttrPath::root(), report);
+    }
+}
+
+/// Checks that `parent`'s children realize exactly `attrs` (Fig. 5 rules).
+fn check_children(
+    graph: &DbLockGraph,
+    rel: &colock_nf2::RelationSchema,
+    parent: NodeId,
+    attrs: &[colock_nf2::Attribute],
+    parent_path: AttrPath,
+    report: &mut StaticReport,
+) {
+    let children = &graph.node(parent).children;
+    if children.len() != attrs.len() {
+        report.errors.push(CheckError::DerivationMismatch {
+            relation: rel.name.clone(),
+            path: if parent_path.is_root() {
+                "<object root>".into()
+            } else {
+                parent_path.steps().join(".")
+            },
+            expected: format!("{} child node(s)", attrs.len()),
+            found: format!("{}", children.len()),
+        });
+        return;
+    }
+    for (&child, attr) in children.iter().zip(attrs) {
+        check_attr_node(graph, rel, child, &attr.name, &attr.ty, parent_path.clone(), report);
+    }
+}
+
+/// Checks one attribute node (and its subtree) against its schema type.
+fn check_attr_node(
+    graph: &DbLockGraph,
+    rel: &colock_nf2::RelationSchema,
+    id: NodeId,
+    name: &str,
+    ty: &AttrType,
+    parent_path: AttrPath,
+    report: &mut StaticReport,
+) {
+    let path = parent_path.child(name);
+    let node = graph.node(id);
+    let mut mismatch = |expected: &str, found: String| {
+        report.errors.push(CheckError::DerivationMismatch {
+            relation: rel.name.clone(),
+            path: path.steps().join("."),
+            expected: expected.into(),
+            found,
+        });
+    };
+    if node.attr_path.as_ref() != Some(&path) {
+        mismatch(
+            "a node labelled with the attribute's schema path",
+            format!("path {:?}", node.attr_path),
+        );
+        return;
+    }
+    match ty {
+        // Rule 4: atomic attributes are BLUs (leaves, no dashed edge).
+        AttrType::Atomic(_) => {
+            if node.category != Category::Blu || !node.children.is_empty() || node.ref_target.is_some()
+            {
+                mismatch("a leaf BLU (rule 4)", describe_node(graph, id));
+            }
+        }
+        // References: BLU + dashed edge to the target's C.O. node.
+        AttrType::Ref(target) => {
+            if node.category != Category::Blu || !node.children.is_empty() {
+                mismatch("a leaf BLU carrying a dashed edge", describe_node(graph, id));
+            }
+            check_ref_edge(graph, id, target, report);
+        }
+        // Rules 1/2: sets and lists are HoLUs with one element node below.
+        AttrType::Set(elem) | AttrType::List(elem) => {
+            if node.category != Category::HoLU {
+                mismatch("a HoLU (rules 1/2)", describe_node(graph, id));
+                return;
+            }
+            if node.children.len() != 1 {
+                mismatch("exactly one element node below the HoLU", describe_node(graph, id));
+                return;
+            }
+            check_element_node(graph, rel, node.children[0], elem, path.clone(), report);
+        }
+        // Rule 3: complex tuples are HeLUs with one child per field.
+        AttrType::Tuple(fields) => {
+            if node.category != Category::HeLU {
+                mismatch("a HeLU (rule 3)", describe_node(graph, id));
+                return;
+            }
+            check_children(graph, rel, id, fields, path.clone(), report);
+        }
+    }
+}
+
+/// Checks the element node below a HoLU.
+fn check_element_node(
+    graph: &DbLockGraph,
+    rel: &colock_nf2::RelationSchema,
+    id: NodeId,
+    elem: &AttrType,
+    path: AttrPath,
+    report: &mut StaticReport,
+) {
+    let node = graph.node(id);
+    let mut mismatch = |expected: &str, found: String| {
+        report.errors.push(CheckError::DerivationMismatch {
+            relation: rel.name.clone(),
+            path: format!("{}[]", path.steps().join(".")),
+            expected: expected.into(),
+            found,
+        });
+    };
+    match elem {
+        AttrType::Tuple(fields) => {
+            if node.category != Category::HeLU {
+                mismatch("an element HeLU (C.O. node of Fig. 5)", describe_node(graph, id));
+                return;
+            }
+            check_children(graph, rel, id, fields, path.clone(), report);
+        }
+        AttrType::Set(inner) | AttrType::List(inner) => {
+            if node.category != Category::HoLU || node.children.len() != 1 {
+                mismatch("a nested HoLU with one element node", describe_node(graph, id));
+                return;
+            }
+            check_element_node(graph, rel, node.children[0], inner, path, report);
+        }
+        AttrType::Atomic(_) => {
+            if node.category != Category::Blu || !node.children.is_empty() || node.ref_target.is_some()
+            {
+                mismatch("an element BLU", describe_node(graph, id));
+            }
+        }
+        AttrType::Ref(target) => {
+            if node.category != Category::Blu || !node.children.is_empty() {
+                mismatch("an element reference BLU", describe_node(graph, id));
+            }
+            check_ref_edge(graph, id, target, report);
+        }
+    }
+}
+
+fn describe_node(graph: &DbLockGraph, id: NodeId) -> String {
+    let node = graph.node(id);
+    format!(
+        "{} `{}` with {} child(ren){}",
+        node.category,
+        node_path(graph, id),
+        node.children.len(),
+        match &node.ref_target {
+            Some(t) => format!(", dashed edge to `{t}`"),
+            None => String::new(),
+        }
+    )
+}
+
+/// A reference BLU's dashed edge must name the schema's target and land on
+/// an existing complex-object node.
+fn check_ref_edge(graph: &DbLockGraph, id: NodeId, target: &str, report: &mut StaticReport) {
+    let node = graph.node(id);
+    match node.ref_target.as_deref() {
+        Some(t) if t == target => {
+            if graph.object_node(target).is_none() {
+                report.errors.push(CheckError::DanglingRef {
+                    node: node_path(graph, id),
+                    target: target.to_string(),
+                });
+            }
+        }
+        other => {
+            report.errors.push(CheckError::DerivationMismatch {
+                relation: node.relation.clone().unwrap_or_default(),
+                path: node.attr_path.as_ref().map(|p| p.steps().join(".")).unwrap_or_default(),
+                expected: format!("a dashed edge to `{target}`"),
+                found: match other {
+                    Some(t) => format!("a dashed edge to `{t}`"),
+                    None => "no dashed edge".into(),
+                },
+            });
+        }
+    }
+}
+
+/// Pass 3: units, entry points and superunits (§4.3).
+fn check_units(graph: &DbLockGraph, catalog: &Catalog, report: &mut StaticReport) {
+    let units = Units::new(graph, catalog);
+    let common: HashSet<String> = catalog
+        .schema()
+        .common_data_relations()
+        .iter()
+        .map(|r| r.name.clone())
+        .collect();
+
+    // Dashed-edge targets across the whole graph must be exactly the
+    // common-data relations: inner units have exactly the entry points
+    // reachable via dashed edges, and nothing else is an inner unit.
+    let mut dashed_targets: HashSet<&str> = HashSet::new();
+    for rel in graph.relation_names() {
+        dashed_targets.extend(graph.dashed_targets(rel));
+    }
+    for t in &dashed_targets {
+        if !common.contains(*t) {
+            report.errors.push(CheckError::CommonDataMismatch {
+                relation: t.to_string(),
+                why: "a dashed edge points here, but the catalog calls it top-level data".into(),
+            });
+        }
+    }
+    for c in &common {
+        if !dashed_targets.contains(c.as_str()) {
+            report.errors.push(CheckError::CommonDataMismatch {
+                relation: c.clone(),
+                why: "classified as common data, but no dashed edge reaches it".into(),
+            });
+        }
+    }
+
+    for rel in graph.relation_names() {
+        if common.contains(rel) {
+            // Entry point: exactly the complex-object node.
+            match units.entry_point(rel) {
+                None => report.errors.push(CheckError::BadEntryPoint {
+                    relation: rel.to_string(),
+                    why: "common-data relation without an entry point".into(),
+                }),
+                Some(ep) => {
+                    if Some(ep) != graph.object_node(rel) || !units.is_entry_point(ep) {
+                        report.errors.push(CheckError::BadEntryPoint {
+                            relation: rel.to_string(),
+                            why: format!(
+                                "entry point is {} rather than the relation's C.O. node",
+                                node_path(graph, ep)
+                            ),
+                        });
+                    }
+                }
+            }
+            // Superunit chain: immediate parents up to and including the
+            // database node, root first.
+            let chain = units.superunit_chain(rel);
+            if chain.first() != Some(&graph.db_node()) {
+                report.errors.push(CheckError::SuperunitNotRooted {
+                    relation: rel.to_string(),
+                    chain: chain.iter().map(|&id| graph.node(id).name.clone()).collect(),
+                });
+            }
+        } else if units.entry_point(rel).is_some() {
+            report.errors.push(CheckError::BadEntryPoint {
+                relation: rel.to_string(),
+                why: "top-level relation must not have an entry point".into(),
+            });
+        }
+    }
+
+    // Unit disjointness over data-bearing nodes (database/segment nodes are
+    // shared by definition — "plus the parent nodes").
+    let mut owner: HashMap<NodeId, String> = HashMap::new();
+    for rel in graph.relation_names() {
+        let unit = if common.contains(rel) {
+            format!("inner unit `{rel}`")
+        } else {
+            format!("outer unit `{rel}`")
+        };
+        for id in units.unit_nodes(rel) {
+            if graph.node(id).relation.is_none() {
+                continue;
+            }
+            if let Some(first) = owner.insert(id, unit.clone()) {
+                if first != unit {
+                    report.errors.push(CheckError::UnitsOverlap {
+                        node: node_path(graph, id),
+                        first,
+                        second: unit.clone(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Pass 4: sanity of the compatibility matrix and mode lattice. This is
+/// schema-independent, so it can also be run on its own.
+pub fn check_matrix() -> Vec<CheckError> {
+    use LockMode::*;
+    let mut errors = Vec::new();
+    let all = [NL, IS, IX, S, SIX, X];
+    let real = LockMode::ALL;
+
+    for &a in &all {
+        for &b in &all {
+            if a.compatible(b) != b.compatible(a) {
+                errors.push(CheckError::MatrixViolation {
+                    law: "symmetry",
+                    detail: format!("{a} vs {b}"),
+                });
+            }
+            if a.join(b) != b.join(a) {
+                errors.push(CheckError::MatrixViolation {
+                    law: "join commutativity",
+                    detail: format!("{a} join {b}"),
+                });
+            }
+            for &c in &all {
+                if a.join(b).join(c) != a.join(b.join(c)) {
+                    errors.push(CheckError::MatrixViolation {
+                        law: "join associativity",
+                        detail: format!("({a}, {b}, {c})"),
+                    });
+                }
+            }
+        }
+        if !a.compatible(NL) || a.join(NL) != a || a.join(a) != a {
+            errors.push(CheckError::MatrixViolation {
+                law: "NL neutrality / idempotence",
+                detail: a.to_string(),
+            });
+        }
+    }
+    // covers() must be the partial order induced by join.
+    for &a in &all {
+        for &b in &all {
+            if a.covers(b) != (a.join(b) == a) {
+                errors.push(CheckError::MatrixViolation {
+                    law: "covers is the join order",
+                    detail: format!("{a} covers {b}"),
+                });
+            }
+        }
+    }
+    // Strength monotonicity: a stronger mode conflicts with a superset of
+    // what a weaker mode conflicts with (IS/IX/S/SIX/X lattice).
+    for &weak in &real {
+        for &strong in &real {
+            if !strong.covers(weak) {
+                continue;
+            }
+            for &c in &real {
+                if strong.compatible(c) && !weak.compatible(c) {
+                    errors.push(CheckError::MatrixViolation {
+                        law: "strength monotonicity",
+                        detail: format!("{weak} <= {strong} but {weak} !~ {c} while {strong} ~ {c}"),
+                    });
+                }
+            }
+            // Parent intents must be monotone too (rules 1–4 stay satisfied
+            // when a mode is strengthened).
+            if !strong.required_parent_intent().covers(weak.required_parent_intent()) {
+                errors.push(CheckError::MatrixViolation {
+                    law: "parent-intent monotonicity",
+                    detail: format!("{weak} <= {strong}"),
+                });
+            }
+        }
+        // Implicit descendant locks are covered by the lock itself.
+        if !weak.covers(weak.implicit_descendant()) {
+            errors.push(CheckError::MatrixViolation {
+                law: "implicit descendant covered",
+                detail: weak.to_string(),
+            });
+        }
+        // Intention modes lock nothing themselves.
+        if weak.is_intent() && (weak.allows_read() || weak.allows_write()) {
+            errors.push(CheckError::MatrixViolation {
+                law: "intent modes grant no access",
+                detail: weak.to_string(),
+            });
+        }
+    }
+    errors
+}

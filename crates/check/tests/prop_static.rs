@@ -1,0 +1,185 @@
+//! Property tests for the static analyzer.
+//!
+//! Every schema the nf2 builder accepts must derive a lock graph that the
+//! analyzer passes, and deliberately mismatched graph/catalog pairs must be
+//! rejected with the right typed error.
+
+use colock_check::{check_graph, check_matrix, check_schema, CheckError};
+use colock_core::fixtures::fig1_catalog;
+use colock_core::graph::derive::derive_from_schema;
+use colock_nf2::builder::{DatabaseBuilder, RelationBuilder};
+use colock_nf2::types::shorthand::*;
+use colock_nf2::{AttrType, Catalog, DatabaseSchema, SegmentSchema};
+use colock_testkit::{forall, Rng};
+
+/// A random attribute type of bounded depth. References only point at
+/// strictly later relations, which keeps the reference graph acyclic by
+/// construction (the paper treats only non-recursive complex objects).
+fn random_type(rng: &mut Rng, depth: u32, rel: usize, n_rels: usize, uniq: &mut u32) -> AttrType {
+    let can_ref = rel + 1 < n_rels;
+    let pick = rng.gen_range(0..if depth == 0 { if can_ref { 3u32 } else { 2 } } else { if can_ref { 6 } else { 5 } });
+    match pick {
+        0 => str_(),
+        1 => int_(),
+        2 if can_ref && depth == 0 => ref_(format!("r{}", rng.gen_range(rel + 1..n_rels))),
+        2 => set(random_type(rng, depth - 1, rel, n_rels, uniq)),
+        3 => list(random_type(rng, depth - 1, rel, n_rels, uniq)),
+        4 => {
+            let n = rng.gen_range(1..3usize);
+            tuple(
+                (0..n)
+                    .map(|_| {
+                        *uniq += 1;
+                        attr(&format!("f{uniq}"), random_type(rng, depth - 1, rel, n_rels, uniq))
+                    })
+                    .collect(),
+            )
+        }
+        _ => ref_(format!("r{}", rng.gen_range(rel + 1..n_rels))),
+    }
+}
+
+fn random_schema(rng: &mut Rng) -> DatabaseSchema {
+    let n_rels = rng.gen_range(2..6usize);
+    let mut db = DatabaseBuilder::new("db").segment("sa").segment("sb");
+    let mut uniq = 0u32;
+    for i in 0..n_rels {
+        let name = format!("r{i}");
+        let seg = if rng.gen_range(0..2u32) == 0 { "sa" } else { "sb" };
+        let mut rel = RelationBuilder::new(&name, seg).attr(format!("{name}_id"), str_());
+        for _ in 0..rng.gen_range(0..4u32) {
+            uniq += 1;
+            let attr_name = format!("a{uniq}");
+            let ty = random_type(rng, 2, i, n_rels, &mut uniq);
+            rel = rel.attr(&attr_name, ty);
+        }
+        db = db.relation(rel.finish());
+    }
+    db.finish().expect("generated schema must validate")
+}
+
+#[test]
+fn every_buildable_schema_derives_a_clean_graph() {
+    forall!(cases: 64, |rng| rng.next_u64(), |&seed| {
+        let schema = random_schema(&mut Rng::seed_from_u64(seed));
+        let report = check_schema(&schema);
+        colock_testkit::ensure!(
+            report.is_clean(),
+            "schema {:?} failed static analysis:\n{}",
+            schema.relations.iter().map(|r| &r.name).collect::<Vec<_>>(),
+            report.render()
+        );
+        colock_testkit::ensure!(report.nodes_checked > 0);
+        colock_testkit::ensure!(report.relations_checked == schema.relations.len());
+        Ok(())
+    });
+}
+
+#[test]
+fn fig1_graph_is_clean() {
+    let catalog = fig1_catalog();
+    let graph = colock_core::graph::derive_lock_graph(&catalog);
+    let report = check_graph(&graph, &catalog);
+    assert!(report.is_clean(), "{}", report.render());
+    assert_eq!(report.relations_checked, 2);
+}
+
+#[test]
+fn matrix_laws_hold() {
+    assert!(check_matrix().is_empty());
+}
+
+fn catalog(schema: DatabaseSchema) -> Catalog {
+    Catalog::new(schema).unwrap()
+}
+
+fn two_rel_schema(cells_extra: AttrType) -> DatabaseSchema {
+    DatabaseBuilder::new("db1")
+        .segment("s")
+        .relation(
+            RelationBuilder::new("cells", "s")
+                .attr("cell_id", str_())
+                .attr("payload", cells_extra)
+                .finish(),
+        )
+        .relation(
+            RelationBuilder::new("effectors", "s")
+                .attr("eff_id", str_())
+                .finish(),
+        )
+        .finish()
+        .unwrap()
+}
+
+#[test]
+fn graph_checked_against_wrong_schema_yields_derivation_mismatch() {
+    // The graph realizes a set (HoLU); the catalog says the attribute is a
+    // tuple (HeLU). An analyzer re-deriving from the schema must disagree.
+    let graph = derive_from_schema(&two_rel_schema(set(str_())));
+    let wrong = catalog(two_rel_schema(tuple(vec![attr("f", str_())])));
+    let report = check_graph(&graph, &wrong);
+    assert!(
+        report
+            .errors
+            .iter()
+            .any(|e| matches!(e, CheckError::DerivationMismatch { relation, .. } if relation == "cells")),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn unreferenced_relation_with_dashed_edge_is_a_common_data_mismatch() {
+    // Graph derived from a schema WITH a reference, checked against a
+    // catalog WITHOUT it: the dashed edge now points at top-level data.
+    let graph = derive_from_schema(&two_rel_schema(ref_("effectors")));
+    let wrong = catalog(two_rel_schema(str_()));
+    let report = check_graph(&graph, &wrong);
+    assert!(
+        report.errors.iter().any(|e| matches!(
+            e,
+            CheckError::CommonDataMismatch { relation, .. } if relation == "effectors"
+        )),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn missing_dashed_edge_for_common_data_is_flagged() {
+    // The mirror image: the catalog says effectors is common data, the
+    // graph has no dashed edge reaching it.
+    let graph = derive_from_schema(&two_rel_schema(str_()));
+    let wrong = catalog(two_rel_schema(ref_("effectors")));
+    let report = check_graph(&graph, &wrong);
+    assert!(
+        report.errors.iter().any(|e| matches!(
+            e,
+            CheckError::CommonDataMismatch { relation, .. } if relation == "effectors"
+        )),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn invalid_schema_is_reported_not_panicked() {
+    // A reference cycle fails catalog validation; check_schema must turn
+    // that into a typed error instead of unwrapping.
+    let schema = DatabaseSchema {
+        name: "db1".into(),
+        segments: vec![SegmentSchema { name: "s".into() }],
+        relations: vec![
+            RelationBuilder::new("a", "s")
+                .attr("a_id", str_())
+                .attr("to_b", ref_("b"))
+                .finish(),
+            RelationBuilder::new("b", "s")
+                .attr("b_id", str_())
+                .attr("to_a", ref_("a"))
+                .finish(),
+        ],
+    };
+    let report = check_schema(&schema);
+    assert!(!report.is_clean());
+}

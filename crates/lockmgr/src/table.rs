@@ -174,6 +174,9 @@ const TXN_STRIPES: usize = 16;
 /// Default number of lock-table shards.
 const DEFAULT_SHARDS: usize = 16;
 
+/// One stripe of the per-transaction state map.
+type TxnStripe<R> = Mutex<HashMap<TxnId, TxnState<R>>>;
+
 /// The lock manager.
 ///
 /// ```
@@ -193,7 +196,7 @@ const DEFAULT_SHARDS: usize = 16;
 pub struct LockManager<R: Resource> {
     shards: Box<[Mutex<ShardInner<R>>]>,
     shard_mask: usize,
-    stripes: Box<[Mutex<HashMap<TxnId, TxnState<R>>>]>,
+    stripes: Box<[TxnStripe<R>]>,
     /// Resources currently present across all shards (kept as an atomic so
     /// the `max_table_entries` high-water mark needs no cross-shard lock).
     live_resources: AtomicU64,
@@ -745,10 +748,7 @@ impl<R: Resource> LockManager<R> {
     /// If anything was granted, exactly this resource's condvar is notified.
     fn process_queue(&self, shard: &mut ShardInner<R>, resource: &R) {
         let mut granted_any = false;
-        loop {
-            let Some(state) = shard.resources.get(resource) else {
-                break;
-            };
+        while let Some(state) = shard.resources.get(resource) {
             // Conversion pass.
             let mut grant_idx: Vec<usize> = Vec::new();
             for (i, w) in state.waiting.iter().enumerate() {
@@ -1033,10 +1033,10 @@ impl<R: Resource> LockManager<R> {
                 break;
             };
             LockStats::bump(&self.stats.deadlocks);
-            trace::emit(|| {
+            let members_detail = {
                 let members: Vec<String> = cycle.iter().map(|t| format!("T{}", t.0)).collect();
-                Event::new(EventKind::DeadlockDetected, 0).detail(members.join(", "))
-            });
+                members.join(", ")
+            };
             // Youngest member (max TxnId) dies; if its waiter is stale
             // (granted meanwhile), fall back to the next youngest so a real
             // cycle is never left standing.
@@ -1057,6 +1057,13 @@ impl<R: Resource> LockManager<R> {
                 {
                     w.victim = Some(cycle.clone());
                     let wmode = w.mode;
+                    // The detection event goes out only once a victim is
+                    // actually marked, so every DeadlockDetected is followed
+                    // by exactly one VictimChosen (stale cycles carry the
+                    // `stale` marker instead — see below).
+                    trace::emit(|| {
+                        Event::new(EventKind::DeadlockDetected, 0).detail(members_detail.clone())
+                    });
                     trace::emit(|| {
                         Event::new(EventKind::VictimChosen, victim.0)
                             .shard(*vsi as u32)
@@ -1083,7 +1090,14 @@ impl<R: Resource> LockManager<R> {
             }
             if !marked {
                 // Every member turned runnable between snapshot and marking;
-                // nothing to do (and nothing left to loop on).
+                // nothing to do (and nothing left to loop on). The cycle is
+                // still recorded, marked `stale` so trace consumers know no
+                // victim was (or needed to be) chosen.
+                trace::emit(|| {
+                    Event::new(EventKind::DeadlockDetected, 0)
+                        .resource("stale")
+                        .detail(members_detail.clone())
+                });
                 break;
             }
         }

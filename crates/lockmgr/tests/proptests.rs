@@ -41,7 +41,6 @@ fn granted_groups_stay_compatible() {
                         Ok(AcquireOutcome::Granted { .. }) | Ok(AcquireOutcome::AlreadyHeld) => {}
                         Err(LockError::WouldBlock { .. }) => {}
                         Err(e) => ensure!(false, "unexpected error {e}"),
-                        Ok(o) => ensure!(false, "unexpected outcome {o:?}"),
                     }
                 }
                 Cmd::Release { txn, resource } => {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # `colock-nf2` — the extended NF² data model
 //!

@@ -137,7 +137,7 @@ fn condition_de_morgan() {
 
 #[test]
 fn and_or_precedence() {
-    forall!(cases: 256, |rng| any_i64(rng), |&x| {
+    forall!(cases: 256, any_i64, |&x| {
         use colock_query::analyze::eval_condition;
         // `a OR b AND c` must parse as `a OR (b AND c)`.
         let q = "SELECT v FROM v IN r WHERE v.n = 1 OR v.n > 5 AND v.n < 10 FOR READ";

@@ -54,8 +54,15 @@ pub struct ThreadReport {
 pub fn run_threads(mgr: &Arc<TransactionManager>, cfg: &ThreadConfig) -> ThreadReport {
     let start_stats = mgr.lock_manager().stats().snapshot();
     let start_scans = mgr.store().scan_visits();
+    // COLOCK_CHECK=1 turns every threaded run into a conformance check: the
+    // trace ring is drained through the protocol linter afterwards and any
+    // violation aborts the run loudly.
+    let checking = colock_check::enabled_from_env();
+    if checking {
+        colock_trace::enable();
+    }
     // When tracing is on, remember where the event stream stood so the
-    // histograms below cover exactly this run.
+    // histograms and the linter below cover exactly this run.
     let trace_start = colock_trace::current_seq();
     let deadlocks = AtomicU64::new(0);
     let committed = AtomicU64::new(0);
@@ -112,10 +119,23 @@ pub fn run_threads(mgr: &Arc<TransactionManager>, cfg: &ThreadConfig) -> ThreadR
     });
 
     let elapsed = started.elapsed();
-    let wait_hists = if colock_trace::is_enabled() {
-        colock_trace::wait_histograms(&colock_trace::events_since(trace_start))
+    let events = if colock_trace::is_enabled() {
+        colock_trace::events_since(trace_start)
     } else {
+        Vec::new()
+    };
+    if checking {
+        let report = colock_check::Linter::with_catalog(mgr.store().catalog()).lint(&events);
+        assert!(
+            report.is_clean(),
+            "COLOCK_CHECK: protocol violations in threaded run:\n{}",
+            report.render_with_context(&events)
+        );
+    }
+    let wait_hists = if events.is_empty() {
         Default::default()
+    } else {
+        colock_trace::wait_histograms(&events)
     };
     let metrics = Metrics {
         committed: committed.load(Ordering::Relaxed),
@@ -150,6 +170,33 @@ mod tests {
         assert!(report.throughput_per_sec > 0.0);
         // Everything released at the end.
         assert_eq!(mgr.lock_manager().table_size(), 0);
+    }
+
+    /// Seeded random workloads must produce protocol-conformant traces
+    /// under every shipped protocol — the linter stays silent.
+    #[test]
+    fn random_workloads_lint_clean() {
+        colock_trace::enable();
+        for (seed, protocol) in
+            [(1, ProtocolKind::Proposed), (7, ProtocolKind::Proposed), (42, ProtocolKind::WholeObject)]
+        {
+            let store = build_cells_store(&CellsConfig::default());
+            let linter = colock_check::Linter::with_catalog(store.catalog());
+            let mut authz = Authorization::allow_all();
+            authz.set_relation_default("effectors", Right::Read);
+            let mgr = Arc::new(TransactionManager::over_store(store, authz, protocol));
+            let mark = colock_trace::current_seq();
+            let cfg = ThreadConfig { workers: 4, txns_per_worker: 8, seed, ..Default::default() };
+            run_threads(&mgr, &cfg);
+            let events = colock_trace::events_since(mark);
+            let report = linter.lint(&events);
+            assert!(
+                report.is_clean(),
+                "seed {seed} {protocol:?}:\n{}",
+                report.render_with_context(&events)
+            );
+            assert!(report.grants_checked > 0, "seed {seed}: no grants seen");
+        }
     }
 
     #[test]

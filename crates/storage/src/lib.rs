@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # `colock-storage` — in-memory store for complex objects
 //!

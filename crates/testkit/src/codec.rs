@@ -212,7 +212,7 @@ mod tests {
     fn numeric_fields_roundtrip() {
         assert_eq!(u64::from_field(&u64::MAX.to_field()).unwrap(), u64::MAX);
         assert_eq!(i64::from_field(&(-42i64).to_field()).unwrap(), -42);
-        assert_eq!(bool::from_field("true").unwrap(), true);
+        assert!(bool::from_field("true").unwrap());
         assert!(u64::from_field("not-a-number").is_err());
     }
 

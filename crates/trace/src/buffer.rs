@@ -62,7 +62,7 @@ impl TraceBuffer {
         let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
         // A slow writer from a previous lap may land after a faster writer
         // from a later lap; keep the newer event.
-        if guard.as_ref().map_or(true, |old| old.seq < seq) {
+        if guard.as_ref().is_none_or(|old| old.seq < seq) {
             *guard = Some(event);
         }
         seq

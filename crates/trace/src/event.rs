@@ -3,15 +3,111 @@
 
 use std::fmt;
 
+/// Why a trace line failed to parse. The conformance linter consumes trace
+/// files, so a torn or corrupted line must surface as a typed error rather
+/// than being silently skipped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The line does not have the nine tab-separated fields of
+    /// [`Event::to_line`].
+    FieldCount {
+        /// How many fields the line actually had.
+        got: usize,
+    },
+    /// A numeric header field (`seq`, `t_us`, `txn`, `shard`) did not parse.
+    BadNumber {
+        /// Which field was malformed.
+        field: &'static str,
+        /// The offending text.
+        value: String,
+    },
+    /// The `kind` field names no [`EventKind`].
+    UnknownKind(String),
+    /// The `rule` field names no [`RuleTag`].
+    UnknownRule(String),
+    /// A payload field (`mode`, `resource`, `detail`) contains an
+    /// incomplete or unknown backslash escape — the classic symptom of a
+    /// line torn mid-write.
+    BadEscape {
+        /// Which field was malformed.
+        field: &'static str,
+        /// The offending (still escaped) text.
+        value: String,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::FieldCount { got } => {
+                write!(f, "expected 9 tab-separated fields, got {got}")
+            }
+            ParseError::BadNumber { field, value } => {
+                write!(f, "field `{field}` is not a number: {value:?}")
+            }
+            ParseError::UnknownKind(s) => write!(f, "unknown event kind {s:?}"),
+            ParseError::UnknownRule(s) => write!(f, "unknown rule tag {s:?}"),
+            ParseError::BadEscape { field, value } => {
+                write!(f, "field `{field}` has a bad escape sequence: {value:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Escapes tabs, newlines, carriage returns and backslashes so a payload
+/// field can never break the tab-separated line format.
+fn escape_field(s: &str) -> String {
+    if !s.contains(['\t', '\n', '\r', '\\']) {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len() + 4);
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape_field`]; rejects dangling or unknown escapes.
+fn unescape_field(s: &str, field: &'static str) -> Result<String, ParseError> {
+    if !s.contains('\\') {
+        return Ok(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            _ => return Err(ParseError::BadEscape { field, value: s.to_string() }),
+        }
+    }
+    Ok(out)
+}
+
 /// What happened, from the lock manager's or transaction manager's point of
 /// view.
 ///
 /// The first eight variants are emitted by `colock-lockmgr`; the `Txn*`
 /// variants by `colock-txn`. Every variant is documented in DESIGN.md §6
 /// together with the field conventions of the events that carry it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum EventKind {
     /// A lock was requested (emitted before the grant/wait decision).
+    #[default]
     Request,
     /// A lock was granted. `detail` distinguishes `immediate`,
     /// `already-held`, `after-wait`, and `recovered` grants.
@@ -25,7 +121,10 @@ pub enum EventKind {
     /// (e.g. S→X). Followed by a `Grant` or `Wait` for the joined mode.
     Conversion,
     /// The snapshot detector found a waits-for cycle. `txn` is 0; `detail`
-    /// lists the cycle members. Exactly one per detected cycle.
+    /// lists the cycle members. Exactly one per detected cycle, immediately
+    /// followed by its [`EventKind::VictimChosen`] — unless every member
+    /// turned runnable between snapshot and marking, in which case the event
+    /// carries `resource = "stale"` and no victim follows.
     DeadlockDetected,
     /// The youngest markable member of a detected cycle was chosen as the
     /// victim; `txn` is the victim.
@@ -273,12 +372,6 @@ pub struct Event {
     pub detail: String,
 }
 
-impl Default for EventKind {
-    fn default() -> Self {
-        EventKind::Request
-    }
-}
-
 impl Event {
     /// Starts an event of the given kind for the given raw txn id.
     pub fn new(kind: EventKind, txn: u64) -> Event {
@@ -318,10 +411,10 @@ impl Event {
     /// Serializes to one tab-separated line:
     /// `seq  t_us  kind  txn  shard  mode  rule  resource  detail`.
     ///
-    /// Tabs and newlines inside `resource`/`detail` are replaced with
-    /// spaces so the line stays parseable.
+    /// Tabs, newlines, carriage returns and backslashes inside the payload
+    /// fields (`mode`, `resource`, `detail`) are backslash-escaped so the
+    /// round-trip through [`Event::parse_line`] is lossless.
     pub fn to_line(&self) -> String {
-        let clean = |s: &str| s.replace(['\t', '\n'], " ");
         format!(
             "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             self.seq,
@@ -329,32 +422,47 @@ impl Event {
             self.kind,
             self.txn,
             self.shard,
-            clean(&self.mode),
+            escape_field(&self.mode),
             self.rule,
-            clean(&self.resource),
-            clean(&self.detail),
+            escape_field(&self.resource),
+            escape_field(&self.detail),
         )
     }
 
-    /// Parses a line produced by [`Event::to_line`]; `None` on malformed
-    /// input.
+    /// Parses a line produced by [`Event::to_line`]; malformed input yields
+    /// a typed [`ParseError`] naming the defect, so consumers (the
+    /// conformance linter in particular) can distinguish a torn line from
+    /// an empty stream.
     ///
     /// ```
-    /// use colock_trace::Event;
-    /// assert!(Event::parse_line("not an event").is_none());
+    /// use colock_trace::{Event, ParseError};
+    /// assert!(matches!(
+    ///     Event::parse_line("not an event"),
+    ///     Err(ParseError::FieldCount { got: 1 })
+    /// ));
     /// ```
-    pub fn parse_line(line: &str) -> Option<Event> {
-        let mut it = line.splitn(9, '\t');
-        let seq = it.next()?.parse().ok()?;
-        let t_us = it.next()?.parse().ok()?;
-        let kind = EventKind::parse(it.next()?)?;
-        let txn = it.next()?.parse().ok()?;
-        let shard = it.next()?.parse().ok()?;
-        let mode = it.next()?.to_string();
-        let rule = RuleTag::parse(it.next()?)?;
-        let resource = it.next()?.to_string();
-        let detail = it.next()?.to_string();
-        Some(Event { seq, t_us, kind, txn, shard, mode, rule, resource, detail })
+    pub fn parse_line(line: &str) -> Result<Event, ParseError> {
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 9 {
+            return Err(ParseError::FieldCount { got: fields.len() });
+        }
+        let number = |field: &'static str, value: &str| {
+            value
+                .parse::<u64>()
+                .map_err(|_| ParseError::BadNumber { field, value: value.to_string() })
+        };
+        let seq = number("seq", fields[0])?;
+        let t_us = number("t_us", fields[1])?;
+        let kind = EventKind::parse(fields[2])
+            .ok_or_else(|| ParseError::UnknownKind(fields[2].to_string()))?;
+        let txn = number("txn", fields[3])?;
+        let shard = number("shard", fields[4])? as u32;
+        let mode = unescape_field(fields[5], "mode")?;
+        let rule = RuleTag::parse(fields[6])
+            .ok_or_else(|| ParseError::UnknownRule(fields[6].to_string()))?;
+        let resource = unescape_field(fields[7], "resource")?;
+        let detail = unescape_field(fields[8], "detail")?;
+        Ok(Event { seq, t_us, kind, txn, shard, mode, rule, resource, detail })
     }
 }
 
@@ -404,12 +512,48 @@ mod tests {
     }
 
     #[test]
-    fn line_roundtrip_escapes_tabs() {
+    fn line_roundtrip_is_lossless_for_hostile_payloads() {
+        // Tabs, newlines, carriage returns and backslashes in payload
+        // fields must survive the wire format verbatim.
         let e = Event::new(EventKind::Wait, 7)
-            .resource("a\tb")
-            .detail("c\nd");
-        let parsed = Event::parse_line(&e.to_line()).unwrap();
-        assert_eq!(parsed.resource, "a b");
-        assert_eq!(parsed.detail, "c d");
+            .mode("S\\X")
+            .resource("a\tb\\c")
+            .detail("c\nd\re\\\\f");
+        let line = e.to_line();
+        assert_eq!(line.matches('\t').count(), 8, "payload tabs must be escaped");
+        assert!(!line.contains('\n'), "payload newlines must be escaped");
+        let parsed = Event::parse_line(&line).unwrap();
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn torn_lines_yield_typed_errors() {
+        let good = Event::new(EventKind::Grant, 3)
+            .mode("IX")
+            .resource("db:db1/rel:cells")
+            .detail("immediate")
+            .to_line();
+        // Truncation (torn write) drops fields.
+        let torn = &good[..good.rfind('\t').unwrap()];
+        assert_eq!(Event::parse_line(torn), Err(ParseError::FieldCount { got: 8 }));
+        // A raw (unescaped) tab inside a payload field changes the count.
+        let extra = good.replace("immediate", "imme\tdiate");
+        assert_eq!(Event::parse_line(&extra), Err(ParseError::FieldCount { got: 10 }));
+        // A dangling escape at end-of-line is rejected, not silently eaten.
+        let dangling = format!("{}\\", good);
+        assert!(matches!(
+            Event::parse_line(&dangling),
+            Err(ParseError::BadEscape { field: "detail", .. })
+        ));
+        // Unknown enum names are typed too.
+        let bad_kind = good.replace("grant", "grunt");
+        assert_eq!(Event::parse_line(&bad_kind), Err(ParseError::UnknownKind("grunt".into())));
+        let bad_rule = good.replacen("\t-\t", "\trule9\t", 1);
+        assert_eq!(Event::parse_line(&bad_rule), Err(ParseError::UnknownRule("rule9".into())));
+        let bad_seq = format!("x{good}");
+        assert!(matches!(
+            Event::parse_line(&bad_seq),
+            Err(ParseError::BadNumber { field: "seq", .. })
+        ));
     }
 }

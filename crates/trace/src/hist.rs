@@ -63,7 +63,7 @@ impl WaitHistogram {
 
     /// Mean wait in microseconds (0 when empty).
     pub fn mean_us(&self) -> u64 {
-        if self.count == 0 { 0 } else { self.total_us / self.count }
+        self.total_us.checked_div(self.count).unwrap_or(0)
     }
 
     /// Longest recorded wait in microseconds.

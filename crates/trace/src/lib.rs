@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Structured lock-event tracing for the `colock` workspace.
 //!
 //! The crate provides (see DESIGN.md §6 for the full schema):
@@ -39,7 +40,7 @@ mod hist;
 
 pub use buffer::TraceBuffer;
 pub use dot::{WaitEdge, WaitsForGraph};
-pub use event::{Event, EventKind, RuleTag};
+pub use event::{Event, EventKind, ParseError, RuleTag};
 pub use hist::{wait_histograms, WaitHistogram, BUCKETS};
 
 use std::cell::Cell;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # `colock-txn` — transactions over the lock technique
 //!

@@ -41,6 +41,9 @@ if [ -n "$bad" ]; then
 fi
 echo "    ok: all dependencies are workspace-path deps"
 
+echo "==> cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace
 
@@ -53,12 +56,18 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace -q
 echo "==> cargo bench compiles (no run)"
 cargo bench --offline --workspace --no-run -q
 
-echo "==> stress_lockmgr (bounded rounds)"
-COLOCK_STRESS_ROUNDS="${COLOCK_STRESS_ROUNDS:-40}" \
+echo "==> colock_check --self-test (static analysis + linted contention demo)"
+# Exercises both the clean path and the detected-cycle accounting: the
+# self-test runs the trace_explain forced-deadlock demo under the linter and
+# requires at least one detected and resolved deadlock with zero violations.
+cargo run --offline --release -q -p colock-bench --bin colock_check -- --self-test
+
+echo "==> stress_lockmgr (bounded rounds, linted)"
+COLOCK_CHECK=1 COLOCK_STRESS_ROUNDS="${COLOCK_STRESS_ROUNDS:-40}" \
     cargo run --offline --release -q -p colock-bench --bin stress_lockmgr
 
-echo "==> stress_recovery (bounded fault-injection sweep)"
-COLOCK_RECOVERY_ROUNDS="${COLOCK_RECOVERY_ROUNDS:-10}" \
+echo "==> stress_recovery (bounded fault-injection sweep, linted)"
+COLOCK_CHECK=1 COLOCK_RECOVERY_ROUNDS="${COLOCK_RECOVERY_ROUNDS:-10}" \
     cargo run --offline --release -q -p colock-bench --bin stress_recovery
 
 echo "==> shard-scaling bench (small budget)"

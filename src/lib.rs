@@ -1,4 +1,6 @@
 //! Facade crate re-exporting the whole `colock` workspace.
+#![forbid(unsafe_code)]
+pub use colock_check as check;
 pub use colock_core as core;
 pub use colock_lockmgr as lockmgr;
 pub use colock_nf2 as nf2;
