@@ -44,13 +44,55 @@ fn bench_acquire_release(h: &mut BenchHarness) {
     });
     group.bench("chain_of_6_intents", |b| {
         // The cost of one proposed-protocol chain: db/seg/rel/obj/holu/elem.
+        // Uses the batched chain call exactly like the protocol engine does;
+        // with the fast path on, the five intents are one summary-word
+        // publication each under a single stripe critical section.
+        let lm: LockManager<u64> = LockManager::new();
+        let txn = TxnId(1);
+        let ancestors: Vec<u64> = (0..5).collect();
+        b.iter(|| {
+            lm.acquire_intent_chain(txn, black_box(&ancestors), LockMode::IX, LockRequestOptions::default())
+                .unwrap();
+            lm.acquire(txn, 5, LockMode::X, LockRequestOptions::default()).unwrap();
+            lm.release_all(txn);
+        });
+    });
+    group.finish();
+}
+
+/// The optimistic-vs-pessimistic ablation: the same 5-intent ancestor chain
+/// through the summary-word CAS (per-acquire and batched) and forced down
+/// the shard-mutex path.
+fn bench_optimistic_ablation(h: &mut BenchHarness) {
+    let mut group = h.group("optimistic");
+    group.bench("chain_fastpath_gate", |b| {
         let lm: LockManager<u64> = LockManager::new();
         let txn = TxnId(1);
         b.iter(|| {
             for r in 0..5u64 {
-                lm.acquire(txn, r, LockMode::IX, LockRequestOptions::default()).unwrap();
+                lm.acquire(txn, black_box(r), LockMode::IX, LockRequestOptions::default()).unwrap();
             }
-            lm.acquire(txn, 5, LockMode::X, LockRequestOptions::default()).unwrap();
+            lm.release_all(txn);
+        });
+    });
+    group.bench("chain_fastpath_batched", |b| {
+        let lm: LockManager<u64> = LockManager::new();
+        let txn = TxnId(1);
+        let ancestors: Vec<u64> = (0..5).collect();
+        b.iter(|| {
+            lm.acquire_intent_chain(txn, black_box(&ancestors), LockMode::IX, LockRequestOptions::default())
+                .unwrap();
+            lm.release_all(txn);
+        });
+    });
+    group.bench("chain_pessimistic", |b| {
+        let lm: LockManager<u64> = LockManager::new();
+        lm.set_fastpath(false);
+        let txn = TxnId(1);
+        let ancestors: Vec<u64> = (0..5).collect();
+        b.iter(|| {
+            lm.acquire_intent_chain(txn, black_box(&ancestors), LockMode::IX, LockRequestOptions::default())
+                .unwrap();
             lm.release_all(txn);
         });
     });
@@ -60,4 +102,5 @@ fn bench_acquire_release(h: &mut BenchHarness) {
 fn main() {
     let mut h = BenchHarness::new();
     bench_acquire_release(&mut h);
+    bench_optimistic_ablation(&mut h);
 }

@@ -47,8 +47,24 @@ fn main() {
         });
         let r = run_threads(&mgr, &cfg);
         drop(watchdog);
+        // Fast-path bookkeeping must balance every round: each gate entry is
+        // exactly one CAS publication or one shard-mutex fallback, and the
+        // summary words must re-derive from the (now quiescent) shard maps.
+        let stats = mgr.lock_manager().stats().snapshot();
+        assert_eq!(
+            stats.fastpath_hits + stats.fastpath_fallbacks,
+            stats.intent_acquires,
+            "round {round}: fast-path gate identity broken: {stats:?}"
+        );
+        if let Err(e) = mgr.lock_manager().check_summary_consistency() {
+            panic!("round {round}: summary words inconsistent: {e}");
+        }
         if round % 50 == 0 {
-            println!("round {round}: committed={} deadlocks={}", r.metrics.committed, r.metrics.deadlock_aborts);
+            println!(
+                "round {round}: committed={} deadlocks={} fastpath={}/{}",
+                r.metrics.committed, r.metrics.deadlock_aborts,
+                stats.fastpath_hits, stats.intent_acquires
+            );
         }
     }
 }

@@ -748,6 +748,48 @@ mod tests {
         assert_eq!(report.violations[0].kind, ViolationKind::AcquireAfterRelease);
     }
 
+    /// A grant carrying the `fastpath` detail (optimistic summary-word CAS)
+    /// is a normal grant to the linter: it satisfies ancestor-intent checks
+    /// exactly like a shard-mutex grant and needs no exemption class.
+    #[test]
+    fn fastpath_grants_are_ordinary_grants() {
+        let fast = |seq, txn, resource: &str, mode: &str, rule| {
+            let mut e =
+                ev(seq, EventKind::Grant, txn).resource(resource).mode(mode).detail("fastpath");
+            e.rule = rule;
+            e
+        };
+        let events = vec![
+            ev(1, EventKind::TxnBegin, 7).detail("short"),
+            fast(2, 7, "db:d", "IX", RuleTag::AncestorIntent),
+            fast(3, 7, "db:d/seg:s", "IX", RuleTag::AncestorIntent),
+            fast(4, 7, "db:d/seg:s/rel:r", "IX", RuleTag::AncestorIntent),
+            grant(5, 7, "db:d/seg:s/rel:r/obj:k", "X", RuleTag::Target),
+            ev(6, EventKind::Release, 7).resource("db:d/seg:s/rel:r/obj:k").mode("X"),
+            ev(7, EventKind::TxnCommit, 7),
+        ];
+        let report = Linter::new().lint(&events);
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.grants_checked, 4);
+    }
+
+    /// ... and being optimistic buys no indulgence: a fastpath grant inside
+    /// a short transaction's shrinking phase is still two-phase breakage.
+    #[test]
+    fn fastpath_grant_after_release_is_still_flagged() {
+        let mut g = ev(4, EventKind::Grant, 7).resource("db:d").mode("IX").detail("fastpath");
+        g.rule = RuleTag::AncestorIntent;
+        let events = vec![
+            ev(1, EventKind::TxnBegin, 7).detail("short"),
+            grant(2, 7, "db:d", "IX", RuleTag::AncestorIntent),
+            ev(3, EventKind::Release, 7).resource("db:d").mode("IX"),
+            g,
+        ];
+        let report = Linter::new().lint(&events);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].kind, ViolationKind::AcquireAfterRelease);
+    }
+
     #[test]
     fn long_txns_may_grow_after_releasing() {
         let events = vec![

@@ -357,6 +357,11 @@ impl<'a> Ctx<'a> {
     /// Acquires intent locks on every proper ancestor of `resource`,
     /// root-to-leaf (rule 5), as required by rules 1–4. Trace events emitted
     /// under here carry the [`RuleTag::AncestorIntent`] tag.
+    ///
+    /// The cache-missing ancestors go to the lock manager as one batch
+    /// ([`LockManager::acquire_intent_chain`]): compatible links share a
+    /// single optimistic fast-path section instead of taking one shard mutex
+    /// each, which is what makes deep chains cheap.
     pub fn acquire_ancestor_intents(
         &mut self,
         resource: &ResourcePath,
@@ -364,8 +369,42 @@ impl<'a> Ctx<'a> {
     ) -> Result<(), ProtocolError> {
         let _rule = rule_scope(RuleTag::AncestorIntent);
         let intent = mode.required_parent_intent();
+        let mut chain: Vec<ResourcePath> = Vec::new();
         for anc in resource.ancestors() {
-            self.acquire(&anc, intent)?;
+            if let Some(cache) = self.cache {
+                if cache.covers(&anc, intent, self.opts.long) {
+                    self.report.redundant += 1;
+                    continue;
+                }
+            }
+            chain.push(anc);
+        }
+        if chain.is_empty() {
+            return Ok(());
+        }
+        let lock_opts = LockRequestOptions { policy: self.opts.wait, long: self.opts.long };
+        let outcomes = self
+            .lm
+            .acquire_intent_chain(self.txn, &chain, intent, lock_opts)
+            .map_err(ProtocolError::Lock)?;
+        for (anc, outcome) in chain.into_iter().zip(outcomes) {
+            match outcome {
+                AcquireOutcome::Granted { waited } => {
+                    if waited {
+                        self.report.waited += 1;
+                    }
+                    if let Some(cache) = self.cache {
+                        cache.record(&anc, intent, self.opts.long);
+                    }
+                    self.report.acquired.push((anc, intent));
+                }
+                AcquireOutcome::AlreadyHeld => {
+                    self.report.redundant += 1;
+                    if let Some(cache) = self.cache {
+                        cache.record(&anc, intent, false);
+                    }
+                }
+            }
         }
         Ok(())
     }

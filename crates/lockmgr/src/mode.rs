@@ -100,6 +100,21 @@ impl LockMode {
         }
     }
 
+    /// Whether grants in this mode are counted in the *share class* of the
+    /// lock table's mode-summary words: S and SIX — the modes whose presence
+    /// excludes optimistic IX publication but still admits IS.
+    pub fn is_share_class(self) -> bool {
+        matches!(self, LockMode::S | LockMode::SIX)
+    }
+
+    /// Whether grants in this mode are counted in the *exclusive class* of
+    /// the summary words: X alone — its presence excludes every optimistic
+    /// intent. Intent modes belong to neither class (two intents never
+    /// conflict), which is what makes the optimistic fast path sound.
+    pub fn is_exclusive_class(self) -> bool {
+        matches!(self, LockMode::X)
+    }
+
     /// The mode a descendant is *implicitly* locked in when an ancestor holds
     /// `self` on the same path: S and SIX imply S below; X implies X below.
     pub fn implicit_descendant(self) -> LockMode {
@@ -261,6 +276,27 @@ mod tests {
         assert_eq!(X.implicit_descendant(), X);
         assert_eq!(IX.implicit_descendant(), NL);
         assert_eq!(IS.implicit_descendant(), NL);
+    }
+
+    #[test]
+    fn summary_classes_agree_with_the_matrix() {
+        // The summary word admits an optimistic intent iff the compatibility
+        // matrix does: IS conflicts exactly with the exclusive class, IX with
+        // both classes. Derived, so a matrix change cannot silently break the
+        // fast path's admission test.
+        for m in LockMode::ALL {
+            assert_eq!(IS.compatible(m), !m.is_exclusive_class(), "IS vs {m}");
+            assert_eq!(
+                IX.compatible(m),
+                !m.is_exclusive_class() && !m.is_share_class(),
+                "IX vs {m}"
+            );
+        }
+        // The two classes partition the non-intent modes.
+        for m in LockMode::ALL {
+            assert_eq!(m.is_share_class() || m.is_exclusive_class(), !m.is_intent());
+            assert!(!(m.is_share_class() && m.is_exclusive_class()));
+        }
     }
 
     #[test]

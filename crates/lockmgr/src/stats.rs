@@ -35,6 +35,20 @@ pub struct LockStats {
     pub max_table_entries: AtomicU64,
     /// High-water mark of locks held by a single transaction.
     pub max_locks_per_txn: AtomicU64,
+    /// Short IS/IX requests that entered the optimistic fast-path gate
+    /// (every such request ends as exactly one fast-path hit or fallback,
+    /// so `fastpath_hits + fastpath_fallbacks == intent_acquires`).
+    pub intent_acquires: AtomicU64,
+    /// Intent requests published by summary-word CAS (no shard mutex).
+    pub fastpath_hits: AtomicU64,
+    /// Summary-word CAS attempts that lost the race and re-validated.
+    pub fastpath_retries: AtomicU64,
+    /// Gate entries that fell back to the shard-mutex path (summary
+    /// conflict, seal, waiters, saturation, conversion or retry exhaustion).
+    pub fastpath_fallbacks: AtomicU64,
+    /// Slot drains: a pessimistic S/SIX/X decision migrated outstanding
+    /// optimistic intent grants into real table grants first.
+    pub fastpath_drains: AtomicU64,
 }
 
 impl LockStats {
@@ -67,6 +81,11 @@ impl LockStats {
             wakeups: self.wakeups.load(Ordering::Relaxed),
             max_table_entries: self.max_table_entries.load(Ordering::Relaxed),
             max_locks_per_txn: self.max_locks_per_txn.load(Ordering::Relaxed),
+            intent_acquires: self.intent_acquires.load(Ordering::Relaxed),
+            fastpath_hits: self.fastpath_hits.load(Ordering::Relaxed),
+            fastpath_retries: self.fastpath_retries.load(Ordering::Relaxed),
+            fastpath_fallbacks: self.fastpath_fallbacks.load(Ordering::Relaxed),
+            fastpath_drains: self.fastpath_drains.load(Ordering::Relaxed),
         }
     }
 
@@ -83,6 +102,11 @@ impl LockStats {
         self.wakeups.store(0, Ordering::Relaxed);
         self.max_table_entries.store(0, Ordering::Relaxed);
         self.max_locks_per_txn.store(0, Ordering::Relaxed);
+        self.intent_acquires.store(0, Ordering::Relaxed);
+        self.fastpath_hits.store(0, Ordering::Relaxed);
+        self.fastpath_retries.store(0, Ordering::Relaxed);
+        self.fastpath_fallbacks.store(0, Ordering::Relaxed);
+        self.fastpath_drains.store(0, Ordering::Relaxed);
     }
 }
 
@@ -111,6 +135,16 @@ pub struct StatsSnapshot {
     pub max_table_entries: u64,
     /// Max locks held by one transaction.
     pub max_locks_per_txn: u64,
+    /// Short intent requests that entered the fast-path gate.
+    pub intent_acquires: u64,
+    /// Intent grants published by summary-word CAS.
+    pub fastpath_hits: u64,
+    /// Lost-CAS revalidations on the fast path.
+    pub fastpath_retries: u64,
+    /// Gate entries that fell back to the shard-mutex path.
+    pub fastpath_fallbacks: u64,
+    /// Optimistic-grant drains by pessimistic S/SIX/X decisions.
+    pub fastpath_drains: u64,
 }
 
 impl StatsSnapshot {
@@ -129,6 +163,11 @@ impl StatsSnapshot {
             wakeups: self.wakeups - earlier.wakeups,
             max_table_entries: self.max_table_entries,
             max_locks_per_txn: self.max_locks_per_txn,
+            intent_acquires: self.intent_acquires - earlier.intent_acquires,
+            fastpath_hits: self.fastpath_hits - earlier.fastpath_hits,
+            fastpath_retries: self.fastpath_retries - earlier.fastpath_retries,
+            fastpath_fallbacks: self.fastpath_fallbacks - earlier.fastpath_fallbacks,
+            fastpath_drains: self.fastpath_drains - earlier.fastpath_drains,
         }
     }
 }
@@ -165,7 +204,22 @@ mod tests {
     fn reset_clears_everything() {
         let s = LockStats::default();
         LockStats::bump(&s.waits);
+        LockStats::bump(&s.fastpath_hits);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn fastpath_counters_roundtrip() {
+        let s = LockStats::default();
+        LockStats::add(&s.intent_acquires, 3);
+        LockStats::bump(&s.fastpath_hits);
+        LockStats::bump(&s.fastpath_retries);
+        LockStats::add(&s.fastpath_fallbacks, 2);
+        LockStats::bump(&s.fastpath_drains);
+        let first = s.snapshot();
+        assert_eq!(first.intent_acquires, first.fastpath_hits + first.fastpath_fallbacks);
+        LockStats::bump(&s.fastpath_drains);
+        assert_eq!(s.snapshot().since(&first).fastpath_drains, 1);
     }
 }

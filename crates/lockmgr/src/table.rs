@@ -47,6 +47,25 @@
 //! graph, and repeatedly extracts cycles. For each cycle the youngest
 //! markable member is stamped as victim and woken through its resource's
 //! condvar. There is no polling loop and no background thread.
+//!
+//! # Optimistic intent fast path
+//!
+//! Short IS/IX requests — the protocol's ancestor-chain intents, the most
+//! frequent requests in the system — can bypass the shard mutex entirely.
+//! Every (shard, slot) pair owns a versioned atomic *mode-summary word*
+//! packing per-class grant counts, a waiter count, a seal bit and a version
+//! counter for all resources hashing to that slot. A compatible intent
+//! publishes itself by validate-and-CAS on the word (bounded retries); the
+//! grant then lives only in the transaction's inventory, marked
+//! *optimistic*, and never materializes in the shard map. Any pessimistic
+//! S/SIX/X decision on the slot first *seals* the word and *drains*
+//! outstanding optimistic grants into real shard grants, so the classic path
+//! always decides against a complete granted group; waiters, conversions,
+//! long locks and saturated counters all force the fallback. Releases and
+//! every pessimistic publication bump the version, so an optimist can never
+//! miss a concurrent writer. See DESIGN.md §5 for the word layout and the
+//! equivalence argument; `COLOCK_NO_FASTPATH=1` (or [`LockManager::set_fastpath`])
+//! disables the fast path for ablations and differential testing.
 
 use crate::error::LockError;
 use crate::mode::LockMode;
@@ -57,10 +76,74 @@ use crate::Result;
 use colock_trace::{self as trace, Event, EventKind};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Multiply-rotate hasher (the `rustc-hash` idiom) for every placement
+/// decision and hot map in the table. Placement hashes on each acquire and
+/// release were the largest constant factor on the intent chain; SipHash's
+/// DoS resistance buys nothing for an in-process table keyed by internal
+/// resource ids.
+#[derive(Default)]
+struct FastHasher(u64);
+
+impl FastHasher {
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+
+    #[inline]
+    fn add(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(Self::K);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = 0u64;
+            for (i, &b) in rest.iter().enumerate() {
+                tail |= u64::from(b) << (8 * i);
+            }
+            self.add(tail);
+        }
+        self.add(bytes.len() as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// Hot maps (shard resources, txn inventories) keyed through [`FastHasher`].
+type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
 
 /// Marker trait for lock-table resource keys.
 pub trait Resource: Eq + Hash + Clone + fmt::Debug {}
@@ -145,25 +228,38 @@ struct ResourceState {
     cond: Option<Arc<Condvar>>,
 }
 
+/// One entry of a transaction's lock inventory.
+#[derive(Debug, Clone, Copy)]
+struct HeldLock {
+    mode: LockMode,
+    long: bool,
+    /// Published only in the slot's summary word — the grant has no entry in
+    /// the shard map until a pessimistic decision drains it there.
+    optimistic: bool,
+    /// The resource's placement hash, cached so releases and drains derive
+    /// shard and summary slot without rehashing.
+    hash: u64,
+}
+
 #[derive(Debug)]
 struct TxnState<R> {
-    held: HashMap<R, (LockMode, bool)>,
+    held: FastMap<R, HeldLock>,
 }
 
 impl<R> Default for TxnState<R> {
     fn default() -> Self {
-        TxnState { held: HashMap::new() }
+        TxnState { held: FastMap::default() }
     }
 }
 
 #[derive(Debug)]
 struct ShardInner<R: Resource> {
-    resources: HashMap<R, ResourceState>,
+    resources: FastMap<R, ResourceState>,
 }
 
 impl<R: Resource> Default for ShardInner<R> {
     fn default() -> Self {
-        ShardInner { resources: HashMap::new() }
+        ShardInner { resources: FastMap::default() }
     }
 }
 
@@ -174,8 +270,212 @@ const TXN_STRIPES: usize = 16;
 /// Default number of lock-table shards.
 const DEFAULT_SHARDS: usize = 16;
 
+/// Mode-summary slots per shard. A slot aggregates every resource whose hash
+/// lands on it; collisions are only ever conservative (they can force a
+/// fallback, never a wrong grant).
+const SLOTS_PER_SHARD: usize = 64;
+
+/// Bound on lost-CAS revalidations before an optimistic publication gives up
+/// and takes the shard-mutex path.
+pub const MAX_FASTPATH_ATTEMPTS: u32 = 4;
+
+/// Packed mode-summary words for the optimistic intent fast path.
+///
+/// Layout of one `u64`, low to high:
+///
+/// ```text
+/// bits  0..10  optimistic IS grants (inventory-only)
+/// bits 10..20  optimistic IX grants (inventory-only)
+/// bits 20..30  real share-class grants (S, SIX) in the shard map
+/// bits 30..40  real exclusive-class grants (X) in the shard map
+/// bits 40..50  waiter-queue entries (granted or not)
+/// bit  50      SEALED — a pessimistic S/SIX/X decision is in flight
+/// bits 51..64  version — bumped by every publication
+/// ```
+///
+/// Count fields saturate *sticky* at [`COUNT_MAX`]: once a field reaches the
+/// ceiling it never moves again and the fast path treats the slot as
+/// permanently contended (conservative, not wrong). Optimistic fields never
+/// reach it — `admits` refuses the publication one short of the ceiling, so
+/// their decrements stay exact.
+mod summary {
+    use crate::mode::LockMode;
+
+    /// Sticky saturation ceiling of every count field.
+    pub const COUNT_MAX: u64 = (1 << 10) - 1;
+    const IS_SHIFT: u32 = 0;
+    const IX_SHIFT: u32 = 10;
+    const SHARE_SHIFT: u32 = 20;
+    const X_SHIFT: u32 = 30;
+    const WAIT_SHIFT: u32 = 40;
+    /// The seal bit.
+    pub const SEALED: u64 = 1 << 50;
+    const VERSION_UNIT: u64 = 1 << 51;
+
+    fn field(w: u64, shift: u32) -> u64 {
+        (w >> shift) & COUNT_MAX
+    }
+
+    fn inc(w: u64, shift: u32) -> u64 {
+        if field(w, shift) == COUNT_MAX {
+            w // sticky: a saturated field never moves again
+        } else {
+            w + (1 << shift)
+        }
+    }
+
+    fn dec(w: u64, shift: u32) -> u64 {
+        let f = field(w, shift);
+        if f == COUNT_MAX || f == 0 {
+            debug_assert!(f != 0, "summary underflow");
+            w
+        } else {
+            w - (1 << shift)
+        }
+    }
+
+    pub fn opt_is(w: u64) -> u64 {
+        field(w, IS_SHIFT)
+    }
+
+    pub fn opt_ix(w: u64) -> u64 {
+        field(w, IX_SHIFT)
+    }
+
+    pub fn share(w: u64) -> u64 {
+        field(w, SHARE_SHIFT)
+    }
+
+    pub fn x(w: u64) -> u64 {
+        field(w, X_SHIFT)
+    }
+
+    pub fn waiters(w: u64) -> u64 {
+        field(w, WAIT_SHIFT)
+    }
+
+    /// Outstanding optimistic grants on the slot.
+    pub fn opt_total(w: u64) -> u64 {
+        opt_is(w) + opt_ix(w)
+    }
+
+    pub fn sealed(w: u64) -> bool {
+        w & SEALED != 0
+    }
+
+    pub fn clear_seal(w: u64) -> u64 {
+        w & !SEALED
+    }
+
+    /// Version bump; the carry out of bit 63 (version wrap) is dropped by
+    /// the wrapping add and the count fields below stay intact.
+    pub fn bump_version(w: u64) -> u64 {
+        w.wrapping_add(VERSION_UNIT)
+    }
+
+    /// Whether the summary admits an optimistic publication of `mode`
+    /// (IS/IX only): no seal, no waiters (FIFO fairness), no conflicting
+    /// class counts, and the target count safely below saturation.
+    pub fn admits(w: u64, mode: LockMode) -> bool {
+        if sealed(w) || waiters(w) != 0 || x(w) != 0 {
+            return false;
+        }
+        match mode {
+            LockMode::IS => opt_is(w) < COUNT_MAX - 1,
+            LockMode::IX => share(w) == 0 && opt_ix(w) < COUNT_MAX - 1,
+            _ => false,
+        }
+    }
+
+    fn opt_shift(mode: LockMode) -> u32 {
+        match mode {
+            LockMode::IS => IS_SHIFT,
+            LockMode::IX => IX_SHIFT,
+            _ => unreachable!("only intents publish optimistically"),
+        }
+    }
+
+    pub fn opt_inc(w: u64, mode: LockMode) -> u64 {
+        inc(w, opt_shift(mode))
+    }
+
+    pub fn opt_dec(w: u64, mode: LockMode) -> u64 {
+        dec(w, opt_shift(mode))
+    }
+
+    /// Moves one real grant from `from`'s class to `to`'s class (either may
+    /// be an intent or NL, contributing to no class).
+    pub fn class_delta(w: u64, from: LockMode, to: LockMode) -> u64 {
+        let mut w = w;
+        if from.is_share_class() {
+            w = dec(w, SHARE_SHIFT);
+        } else if from.is_exclusive_class() {
+            w = dec(w, X_SHIFT);
+        }
+        if to.is_share_class() {
+            w = inc(w, SHARE_SHIFT);
+        } else if to.is_exclusive_class() {
+            w = inc(w, X_SHIFT);
+        }
+        w
+    }
+
+    pub fn wait_inc(w: u64) -> u64 {
+        inc(w, WAIT_SHIFT)
+    }
+
+    pub fn wait_dec(w: u64) -> u64 {
+        dec(w, WAIT_SHIFT)
+    }
+}
+
+/// Applies `f` to the slot word with a version bump, retrying until the CAS
+/// lands. Returns the published word.
+fn slot_update(slot: &AtomicU64, f: impl Fn(u64) -> u64) -> u64 {
+    let mut w = slot.load(Ordering::Acquire);
+    loop {
+        let next = summary::bump_version(f(w));
+        match slot.compare_exchange_weak(w, next, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => return next,
+            Err(cur) => w = cur,
+        }
+    }
+}
+
+/// RAII for the SEALED bit: armed by `seal_and_drain`, cleared on drop on
+/// every early exit (journal crash, `WouldBlock`), unless the owner folded
+/// the clear into its own publication and `defuse`d the guard.
+struct SealGuard<'a> {
+    slot: &'a AtomicU64,
+    armed: bool,
+}
+
+impl SealGuard<'_> {
+    fn defuse(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for SealGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            slot_update(self.slot, summary::clear_seal);
+        }
+    }
+}
+
+/// Test instrumentation hook run between an optimistic publication's
+/// validate and its CAS.
+type FastpathProbe = Box<dyn FnMut() + Send>;
+
+/// Whether the fast path starts enabled: `COLOCK_NO_FASTPATH` set to any
+/// non-empty value other than `0` disables it.
+fn fastpath_default() -> bool {
+    !std::env::var("COLOCK_NO_FASTPATH").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+}
+
 /// One stripe of the per-transaction state map.
-type TxnStripe<R> = Mutex<HashMap<TxnId, TxnState<R>>>;
+type TxnStripe<R> = Mutex<FastMap<TxnId, TxnState<R>>>;
 
 /// The lock manager.
 ///
@@ -205,6 +505,18 @@ pub struct LockManager<R: Resource> {
     /// acknowledgement). `None` until attached; short-lock operations never
     /// consult it, so the hot path stays journal-free.
     journal: OnceLock<Arc<dyn JournalSink<R>>>,
+    /// Mode-summary words, `shards * SLOTS_PER_SHARD` of them: the slot
+    /// index embeds the shard index, so same slot ⟹ same shard mutex.
+    summaries: Box<[AtomicU64]>,
+    /// Whether the optimistic intent fast path is on (default: on unless
+    /// `COLOCK_NO_FASTPATH` is set).
+    fastpath: AtomicBool,
+    /// Cheap flag checked on the publication path; the probe mutex is only
+    /// touched when armed.
+    probe_armed: AtomicBool,
+    /// Test probe run between validate and CAS (deterministic interleaving
+    /// tests force version bumps there).
+    fastpath_probe: Mutex<Option<FastpathProbe>>,
 }
 
 impl<R: Resource> Default for LockManager<R> {
@@ -227,11 +539,39 @@ impl<R: Resource> LockManager<R> {
         LockManager {
             shards: (0..n).map(|_| Mutex::new(ShardInner::default())).collect(),
             shard_mask: n - 1,
-            stripes: (0..TXN_STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
+            stripes: (0..TXN_STRIPES).map(|_| Mutex::new(FastMap::default())).collect(),
             live_resources: AtomicU64::new(0),
             stats: LockStats::default(),
             journal: OnceLock::new(),
+            summaries: (0..n * SLOTS_PER_SHARD).map(|_| AtomicU64::new(0)).collect(),
+            fastpath: AtomicBool::new(fastpath_default()),
+            probe_armed: AtomicBool::new(false),
+            fastpath_probe: Mutex::new(None),
         }
+    }
+
+    /// Whether the optimistic intent fast path is currently enabled.
+    pub fn fastpath_enabled(&self) -> bool {
+        self.fastpath.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables the optimistic fast path at runtime (ablations,
+    /// differential tests). Outstanding optimistic grants stay valid either
+    /// way: the pessimistic path always drains them before deciding against
+    /// them.
+    pub fn set_fastpath(&self, on: bool) {
+        self.fastpath.store(on, Ordering::Relaxed);
+    }
+
+    /// Installs (or clears) a test probe invoked between an optimistic
+    /// publication's validate and its CAS — deterministic interleaving tests
+    /// force a version bump in exactly that window. The probe runs with the
+    /// caller's txn stripe held: it must only act as transactions owned by
+    /// *other* stripes, and only while no optimistic grants are outstanding
+    /// on the probed slot (a drain would block on the held stripe).
+    pub fn set_fastpath_probe(&self, probe: Option<FastpathProbe>) {
+        self.probe_armed.store(probe.is_some(), Ordering::Relaxed);
+        *self.fastpath_probe.lock().unwrap_or_else(PoisonError::into_inner) = probe;
     }
 
     /// Attaches the durable long-lock journal. Every later grant, conversion
@@ -260,9 +600,26 @@ impl<R: Resource> LockManager<R> {
     /// The shard index `resource` hashes to. Exposed so tests can construct
     /// resource sets that provably land on distinct (or identical) shards.
     pub fn shard_index(&self, resource: &R) -> usize {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
+        (Self::hash_of(resource) as usize) & self.shard_mask
+    }
+
+    /// The one hash every placement decision derives from: low bits pick the
+    /// shard, bits 32+ pick the summary slot within it.
+    fn hash_of(resource: &R) -> u64 {
+        let mut h = FastHasher::default();
         resource.hash(&mut h);
-        (h.finish() as usize) & self.shard_mask
+        h.finish()
+    }
+
+    /// Global index of the summary slot for hash `h`. Embeds the shard
+    /// index, so two resources sharing a slot always share a shard mutex.
+    fn slot_index_from_hash(&self, h: u64) -> usize {
+        ((h as usize) & self.shard_mask) * SLOTS_PER_SHARD
+            + ((h >> 32) as usize & (SLOTS_PER_SHARD - 1))
+    }
+
+    fn slot_from_hash(&self, h: u64) -> &AtomicU64 {
+        &self.summaries[self.slot_index_from_hash(h)]
     }
 
     /// Locks one shard, recovering from poisoning: a panicking test thread
@@ -272,7 +629,7 @@ impl<R: Resource> LockManager<R> {
     }
 
     /// Locks the txn stripe owning `txn`'s inventory.
-    fn stripe_locked(&self, txn: TxnId) -> MutexGuard<'_, HashMap<TxnId, TxnState<R>>> {
+    fn stripe_locked(&self, txn: TxnId) -> MutexGuard<'_, FastMap<TxnId, TxnState<R>>> {
         self.stripes[(txn.0 as usize) & (TXN_STRIPES - 1)]
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -283,7 +640,7 @@ impl<R: Resource> LockManager<R> {
         self.stripe_locked(txn)
             .get(&txn)
             .and_then(|t| t.held.get(resource))
-            .map(|&(m, _)| m)
+            .map(|h| h.mode)
             .unwrap_or(LockMode::NL)
     }
 
@@ -291,17 +648,31 @@ impl<R: Resource> LockManager<R> {
     pub fn locks_of(&self, txn: TxnId) -> Vec<(R, LockMode, bool)> {
         self.stripe_locked(txn)
             .get(&txn)
-            .map(|t| t.held.iter().map(|(r, &(m, l))| (r.clone(), m, l)).collect())
+            .map(|t| t.held.iter().map(|(r, h)| (r.clone(), h.mode, h.long)).collect())
             .unwrap_or_default()
     }
 
-    /// All `(txn, mode)` grants on `resource`.
+    /// All `(txn, mode)` grants on `resource` — the shard map's real grants
+    /// plus any optimistic fast-path grants, which live only in the
+    /// inventories.
     pub fn holders(&self, resource: &R) -> Vec<(TxnId, LockMode)> {
-        self.shard_locked(self.shard_index(resource))
+        let mut out: Vec<(TxnId, LockMode)> = self
+            .shard_locked(self.shard_index(resource))
             .resources
             .get(resource)
             .map(|s| s.granted.iter().map(|g| (g.txn, g.mode)).collect())
-            .unwrap_or_default()
+            .unwrap_or_default();
+        for stripe in self.stripes.iter() {
+            let guard = stripe.lock().unwrap_or_else(PoisonError::into_inner);
+            for (txn, t) in guard.iter() {
+                if let Some(h) = t.held.get(resource) {
+                    if h.optimistic {
+                        out.push((*txn, h.mode));
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Number of resources currently present in the table.
@@ -309,11 +680,24 @@ impl<R: Resource> LockManager<R> {
         (0..self.shards.len()).map(|i| self.shard_locked(i).resources.len()).sum()
     }
 
-    /// Total number of grant entries currently in the table.
+    /// Total number of grant entries currently held: real grants in the
+    /// table plus optimistic fast-path grants in the inventories.
     pub fn grant_count(&self) -> usize {
-        (0..self.shards.len())
+        let real: usize = (0..self.shards.len())
             .map(|i| self.shard_locked(i).resources.values().map(|s| s.granted.len()).sum::<usize>())
-            .sum()
+            .sum();
+        let optimistic: usize = self
+            .stripes
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .values()
+                    .map(|t| t.held.values().filter(|h| h.optimistic).count())
+                    .sum::<usize>()
+            })
+            .sum();
+        real + optimistic
     }
 
     /// Number of *ungranted* waiters queued on `resource`. Lets tests (and
@@ -352,10 +736,25 @@ impl<R: Resource> LockManager<R> {
                 }
             }
         }
+        for stripe in self.stripes.iter() {
+            let guard = stripe.lock().unwrap_or_else(PoisonError::into_inner);
+            for (txn, t) in guard.iter() {
+                for (r, h) in &t.held {
+                    if h.optimistic {
+                        let _ = writeln!(out, "optimistic {txn} {} on {r:?}", h.mode);
+                    }
+                }
+            }
+        }
         out
     }
 
     /// Acquires (or converts to) `mode` on `resource` for `txn`.
+    ///
+    /// Short IS/IX requests first try the optimistic fast path (a validated
+    /// CAS on the slot's mode-summary word, no shard mutex); every other
+    /// request — and every fast-path refusal — takes the classic
+    /// shard-mutex path.
     pub fn acquire(
         &self,
         txn: TxnId,
@@ -364,8 +763,230 @@ impl<R: Resource> LockManager<R> {
         opts: LockRequestOptions,
     ) -> Result<AcquireOutcome> {
         debug_assert!(mode != LockMode::NL, "cannot acquire NL");
+        if mode.is_intent() && !opts.long && self.fastpath.load(Ordering::Relaxed) {
+            if let Some(outcome) = self.try_fastpath(txn, &resource, mode) {
+                return Ok(outcome);
+            }
+        }
+        self.acquire_pessimistic(txn, resource, mode, opts)
+    }
+
+    /// Acquires `mode` (an intent) on every resource of `chain`, front to
+    /// back — the protocol layer's ancestor chain. Consecutive fast-path
+    /// answers share one stripe critical section and coalesced stats; any
+    /// link the fast path refuses (conversion, summary conflict, long
+    /// request, fast path disabled) is delegated to the pessimistic path and
+    /// the batch resumes after it. Outcomes come back per link, in order; an
+    /// error keeps earlier grants, exactly like the equivalent sequence of
+    /// [`LockManager::acquire`] calls.
+    pub fn acquire_intent_chain(
+        &self,
+        txn: TxnId,
+        chain: &[R],
+        mode: LockMode,
+        opts: LockRequestOptions,
+    ) -> Result<Vec<AcquireOutcome>> {
+        debug_assert!(mode.is_intent(), "chain batching is for intent modes");
+        let mut out = Vec::with_capacity(chain.len());
+        if !mode.is_intent() || opts.long || !self.fastpath.load(Ordering::Relaxed) {
+            for r in chain {
+                out.push(self.acquire(txn, r.clone(), mode, opts)?);
+            }
+            return Ok(out);
+        }
+        let mut i = 0;
+        while i < chain.len() {
+            // Batched section: answer as many consecutive links as the fast
+            // path admits under one stripe lock; stats and trace follow
+            // after the unlock. `already` holds the covering mode for
+            // AlreadyHeld answers, None for fresh optimistic grants.
+            let mut batched: Vec<(usize, Option<LockMode>)> = Vec::new();
+            let mut hits = 0u64;
+            let mut fell_back = false;
+            {
+                let mut stripe = self.stripe_locked(txn);
+                let t = stripe.entry(txn).or_default();
+                while i < chain.len() {
+                    let r = &chain[i];
+                    if let Some(held) = t.held.get(r) {
+                        if held.mode.covers(mode) {
+                            batched.push((i, Some(held.mode)));
+                            out.push(AcquireOutcome::AlreadyHeld);
+                            i += 1;
+                            continue;
+                        }
+                        // Conversions belong to the pessimistic path.
+                        LockStats::bump(&self.stats.intent_acquires);
+                        LockStats::bump(&self.stats.fastpath_fallbacks);
+                        fell_back = true;
+                        break;
+                    }
+                    LockStats::bump(&self.stats.intent_acquires);
+                    let h = Self::hash_of(r);
+                    if !self.publish_optimistic(self.slot_from_hash(h), mode) {
+                        LockStats::bump(&self.stats.fastpath_fallbacks);
+                        fell_back = true;
+                        break;
+                    }
+                    t.held.insert(r.clone(), HeldLock { mode, long: false, optimistic: true, hash: h });
+                    LockStats::raise(&self.stats.max_locks_per_txn, t.held.len() as u64);
+                    hits += 1;
+                    batched.push((i, None));
+                    out.push(AcquireOutcome::Granted { waited: false });
+                    i += 1;
+                }
+            }
+            LockStats::add(&self.stats.requests, batched.len() as u64);
+            LockStats::add(&self.stats.immediate_grants, hits);
+            LockStats::add(&self.stats.fastpath_hits, hits);
+            if trace::is_enabled() {
+                for &(idx, already) in &batched {
+                    let r = &chain[idx];
+                    let si = self.shard_index(r);
+                    trace::emit(|| {
+                        Event::new(EventKind::Request, txn.0)
+                            .shard(si as u32)
+                            .mode(mode.to_string())
+                            .resource(format!("{r:?}"))
+                    });
+                    trace::emit(|| {
+                        let e = Event::new(EventKind::Grant, txn.0)
+                            .shard(si as u32)
+                            .resource(format!("{r:?}"));
+                        match already {
+                            Some(held) => e.mode(held.to_string()).detail("already-held"),
+                            None => e.mode(mode.to_string()).detail("fastpath"),
+                        }
+                    });
+                }
+            }
+            if fell_back {
+                // Delegate directly (not via `acquire`): the gate already
+                // counted this link, so re-entering it would double-count.
+                out.push(self.acquire_pessimistic(txn, chain[i].clone(), mode, opts)?);
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// The optimistic gate: answers a short IS/IX request from the inventory
+    /// and the summary word alone — no shard mutex. `None` means the caller
+    /// must take the pessimistic path (the fallback is counted here; the
+    /// request itself is counted by whichever path answers).
+    fn try_fastpath(&self, txn: TxnId, resource: &R, mode: LockMode) -> Option<AcquireOutcome> {
+        let h = Self::hash_of(resource);
+        let si = (h as usize) & self.shard_mask;
+        let slot = self.slot_from_hash(h);
+        let mut stripe = self.stripe_locked(txn);
+        if let Some(held) = stripe.get(&txn).and_then(|t| t.held.get(resource)) {
+            if held.mode.covers(mode) {
+                let held_mode = held.mode;
+                drop(stripe);
+                LockStats::bump(&self.stats.requests);
+                trace::emit(|| {
+                    Event::new(EventKind::Request, txn.0)
+                        .shard(si as u32)
+                        .mode(mode.to_string())
+                        .resource(format!("{resource:?}"))
+                });
+                trace::emit(|| {
+                    Event::new(EventKind::Grant, txn.0)
+                        .shard(si as u32)
+                        .mode(held_mode.to_string())
+                        .resource(format!("{resource:?}"))
+                        .detail("already-held")
+                });
+                return Some(AcquireOutcome::AlreadyHeld);
+            }
+            // Conversions belong to the pessimistic path.
+            LockStats::bump(&self.stats.intent_acquires);
+            LockStats::bump(&self.stats.fastpath_fallbacks);
+            return None;
+        }
+        LockStats::bump(&self.stats.intent_acquires);
+        if !self.publish_optimistic(slot, mode) {
+            LockStats::bump(&self.stats.fastpath_fallbacks);
+            return None;
+        }
+        // Published: the inventory entry must exist before the stripe
+        // unlocks, or a draining pessimist could find the count with nothing
+        // to migrate.
+        let t = stripe.entry(txn).or_default();
+        t.held.insert(resource.clone(), HeldLock { mode, long: false, optimistic: true, hash: h });
+        LockStats::raise(&self.stats.max_locks_per_txn, t.held.len() as u64);
+        drop(stripe);
         LockStats::bump(&self.stats.requests);
-        let si = self.shard_index(&resource);
+        LockStats::bump(&self.stats.immediate_grants);
+        LockStats::bump(&self.stats.fastpath_hits);
+        trace::emit(|| {
+            Event::new(EventKind::Request, txn.0)
+                .shard(si as u32)
+                .mode(mode.to_string())
+                .resource(format!("{resource:?}"))
+        });
+        trace::emit(|| {
+            Event::new(EventKind::Grant, txn.0)
+                .shard(si as u32)
+                .mode(mode.to_string())
+                .resource(format!("{resource:?}"))
+                .detail("fastpath")
+        });
+        Some(AcquireOutcome::Granted { waited: false })
+    }
+
+    /// Bounded validate-and-CAS publication of one optimistic intent into
+    /// `slot`. Retries only on a lost CAS (the version moved); any summary
+    /// conflict — seal, waiters, class counts, saturation — refuses
+    /// immediately.
+    fn publish_optimistic(&self, slot: &AtomicU64, mode: LockMode) -> bool {
+        let mut attempts = 0;
+        loop {
+            let w = slot.load(Ordering::Acquire);
+            if !summary::admits(w, mode) {
+                return false;
+            }
+            if self.probe_armed.load(Ordering::Relaxed) {
+                self.run_probe();
+            }
+            let next = summary::bump_version(summary::opt_inc(w, mode));
+            match slot.compare_exchange(w, next, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => return true,
+                Err(_) => {
+                    LockStats::bump(&self.stats.fastpath_retries);
+                    attempts += 1;
+                    if attempts >= MAX_FASTPATH_ATTEMPTS {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs the armed test probe (see [`LockManager::set_fastpath_probe`]).
+    fn run_probe(&self) {
+        if let Some(f) =
+            self.fastpath_probe.lock().unwrap_or_else(PoisonError::into_inner).as_mut()
+        {
+            f();
+        }
+    }
+
+    /// The classic shard-mutex acquire path. Pessimistic S/SIX/X decisions
+    /// seal the summary slot and drain outstanding optimistic grants into
+    /// real shard grants before deciding, so `can_grant` always sees the
+    /// complete granted group.
+    fn acquire_pessimistic(
+        &self,
+        txn: TxnId,
+        resource: R,
+        mode: LockMode,
+        opts: LockRequestOptions,
+    ) -> Result<AcquireOutcome> {
+        LockStats::bump(&self.stats.requests);
+        let h = Self::hash_of(&resource);
+        let si = (h as usize) & self.shard_mask;
+        let slot = self.slot_from_hash(h);
         trace::emit(|| {
             Event::new(EventKind::Request, txn.0)
                 .shard(si as u32)
@@ -380,8 +1001,22 @@ impl<R: Resource> LockManager<R> {
             .resources
             .get(&resource)
             .and_then(|s| s.granted.iter().find(|g| g.txn == txn));
-        let held = grant.map(|g| g.mode).unwrap_or(LockMode::NL);
+        let mut held = grant.map(|g| g.mode).unwrap_or(LockMode::NL);
         let held_long = grant.is_some_and(|g| g.long);
+        if held == LockMode::NL
+            && summary::opt_total(slot.load(Ordering::Acquire)) != 0
+        {
+            // An own fast-path grant lives only in the inventory; surface it
+            // so covering answers and conversion events see the true held
+            // mode. Zero optimistic counts prove there is nothing to find,
+            // keeping the common path at one atomic load.
+            let stripe = self.stripe_locked(txn);
+            if let Some(e) = stripe.get(&txn).and_then(|t| t.held.get(&resource)) {
+                if e.optimistic {
+                    held = e.mode;
+                }
+            }
+        }
         if held.covers(mode) {
             trace::emit(|| {
                 Event::new(EventKind::Grant, txn.0)
@@ -411,16 +1046,66 @@ impl<R: Resource> LockManager<R> {
         // original mode did).
         let journal_long = opts.long || (conversion && held_long);
 
-        if self.can_grant(&shard, txn, &resource, target, conversion) {
+        // S/SIX/X decisions must account for every optimistic grant. With
+        // optimists outstanding, seal the slot first: from here to our own
+        // publication no optimist can publish, and the drain has migrated
+        // every outstanding optimistic grant into the shard map — including
+        // our own, which is why the seal comes before `can_grant`. With
+        // none outstanding — the overwhelmingly common case — skip the
+        // seal: the validated CAS at publication time (below) proves no
+        // optimist slipped in between decision and grant. Intent targets
+        // never seal: optimistic grants are compatible with them by
+        // construction (two intents never conflict).
+        let mut seal = if !target.is_intent()
+            && summary::opt_total(slot.load(Ordering::Acquire)) != 0
+        {
+            Some(self.seal_and_drain(&mut shard, si, self.slot_index_from_hash(h)))
+        } else {
+            None
+        };
+
+        let mut grantable = self.can_grant(&shard, txn, &resource, target, conversion);
+        let mut reserved = false;
+        if grantable && !target.is_intent() && seal.is_none() {
+            // One CAS that moves our class counts and atomically re-checks
+            // that no optimist published since the decision. Failure (an
+            // optimist raced in, or the version churned past the retry
+            // budget) falls back to the full seal-and-drain decision;
+            // draining only *adds* grants, so the request must be
+            // re-decided and may now have to wait.
+            reserved = self.try_reserve_classes(slot, held, target);
+            if !reserved {
+                seal = Some(self.seal_and_drain(&mut shard, si, self.slot_index_from_hash(h)));
+                grantable = self.can_grant(&shard, txn, &resource, target, conversion);
+            }
+        }
+
+        if grantable {
             if journal_long {
                 // Write-ahead: the record must be durable before the grant
                 // is acknowledged. A journal crash aborts the acquire — the
                 // caller never learns whether the record made it, and replay
                 // decides the lock's fate at restart.
                 let op = if conversion { JournalOp::Convert } else { JournalOp::Grant };
-                self.journal_record(op, txn, &resource, target)?;
+                if let Err(e) = self.journal_record(op, txn, &resource, target) {
+                    if reserved {
+                        // Nothing was installed: retract the reserved class
+                        // counts before surfacing the crash.
+                        slot_update(slot, |w| summary::class_delta(w, target, held));
+                    }
+                    return Err(e);
+                }
             }
-            self.install_grant(&mut shard, txn, &resource, target, opts.long);
+            let (prev, absorbed) =
+                self.install_grant(&mut shard, txn, &resource, target, opts.long, h);
+            if reserved {
+                // The reserve CAS already published the class move; it
+                // validated zero optimistic counts, so there was nothing to
+                // absorb and the previous mode is the real grant's.
+                debug_assert!(absorbed.is_none() && prev == held, "reserve raced an optimist");
+            } else {
+                self.publish_grant(slot, seal.take(), prev, target, absorbed);
+            }
             LockStats::bump(&self.stats.immediate_grants);
             trace::emit(|| {
                 Event::new(EventKind::Grant, txn.0)
@@ -435,6 +1120,7 @@ impl<R: Resource> LockManager<R> {
         match opts.policy {
             WaitPolicy::Try => {
                 let holders = self.conflicting_holders(&shard, txn, &resource, target);
+                // A live seal guard unseals itself on drop.
                 Err(LockError::WouldBlock { holders })
             }
             WaitPolicy::Block | WaitPolicy::BlockTimeout(_) => {
@@ -452,6 +1138,8 @@ impl<R: Resource> LockManager<R> {
                     opts.long,
                     journal_long,
                     deadline,
+                    self.slot_index_from_hash(h),
+                    seal,
                 )
             }
         }
@@ -459,9 +1147,43 @@ impl<R: Resource> LockManager<R> {
 
     /// Releases `resource` for `txn`. Returns `true` if a lock was released.
     pub fn release(&self, txn: TxnId, resource: &R) -> bool {
-        let si = self.shard_index(resource);
+        let h = Self::hash_of(resource);
+        let si = (h as usize) & self.shard_mask;
+        let slot = self.slot_from_hash(h);
+        // Optimistic grants live only in the inventory: releasing one never
+        // touches the shard. Zero optimistic counts prove ours (if any) is a
+        // real grant — one atomic load on the common path.
+        if summary::opt_total(slot.load(Ordering::Acquire)) != 0 {
+            let mut stripe = self.stripe_locked(txn);
+            let opt_mode = stripe
+                .get(&txn)
+                .and_then(|t| t.held.get(resource))
+                .filter(|e| e.optimistic)
+                .map(|e| e.mode);
+            if let Some(mode) = opt_mode {
+                let t = stripe.get_mut(&txn).expect("entry just seen");
+                t.held.remove(resource);
+                if t.held.is_empty() {
+                    stripe.remove(&txn);
+                }
+                // Decrement before the stripe unlocks so a draining
+                // pessimist never sees a count with no entry left behind it.
+                slot_update(slot, |w| summary::opt_dec(w, mode));
+                drop(stripe);
+                LockStats::bump(&self.stats.releases);
+                trace::emit(|| {
+                    Event::new(EventKind::Release, txn.0)
+                        .shard(si as u32)
+                        .mode(mode.to_string())
+                        .resource(format!("{resource:?}"))
+                });
+                // Never migrated ⟹ no real grant ⟹ no queue to process: a
+                // conflicting request would have drained this grant first.
+                return true;
+            }
+        }
         let mut shard = self.shard_locked(si);
-        let removed = self.remove_grant(&mut shard, txn, resource, true);
+        let removed = self.remove_grant(&mut shard, txn, resource, slot, true);
         if let Some((mode, long)) = removed {
             LockStats::bump(&self.stats.releases);
             if long {
@@ -491,51 +1213,108 @@ impl<R: Resource> LockManager<R> {
     /// locked exactly once. Resources with no ungranted waiters skip queue
     /// processing entirely.
     pub fn release_all(&self, txn: TxnId) -> usize {
-        let held: HashMap<R, (LockMode, bool)> = {
+        let traced = trace::is_enabled();
+        let mut real: Vec<(R, u64)> = Vec::new();
+        let mut optimistic: Vec<(R, LockMode)> = Vec::new();
+        let mut opt_count = 0usize;
+        {
             let mut stripe = self.stripe_locked(txn);
-            stripe.remove(&txn).map(|t| t.held).unwrap_or_default()
-        };
-        let n = held.len();
-        self.release_batch(txn, held.into_keys());
+            let held = stripe.remove(&txn).map(|t| t.held).unwrap_or_default();
+            for (r, e) in held {
+                if e.optimistic {
+                    // Decrement under the stripe (see `release`).
+                    slot_update(self.slot_from_hash(e.hash), |w| summary::opt_dec(w, e.mode));
+                    opt_count += 1;
+                    if traced {
+                        optimistic.push((r, e.mode));
+                    }
+                } else {
+                    real.push((r, e.hash));
+                }
+            }
+        }
+        let n = real.len() + opt_count;
+        self.report_optimistic_releases(txn, opt_count, &optimistic);
+        self.release_batch(txn, real);
         n
     }
 
     /// Releases only the *short* locks of `txn`, keeping long locks — models
     /// the end of a workstation session whose check-outs persist (\[KSUW85\]).
     pub fn release_short(&self, txn: TxnId) -> usize {
-        let shorts: Vec<R> = {
+        let traced = trace::is_enabled();
+        let mut real: Vec<(R, u64)> = Vec::new();
+        let mut optimistic: Vec<(R, LockMode)> = Vec::new();
+        let mut opt_count = 0usize;
+        {
             let mut stripe = self.stripe_locked(txn);
             let Some(t) = stripe.get_mut(&txn) else {
                 return 0;
             };
             let held = std::mem::take(&mut t.held);
-            let (long, short): (HashMap<_, _>, HashMap<_, _>) =
-                held.into_iter().partition(|&(_, (_, l))| l);
-            t.held = long;
+            for (r, e) in held {
+                if e.long {
+                    t.held.insert(r, e);
+                } else if e.optimistic {
+                    slot_update(self.slot_from_hash(e.hash), |w| summary::opt_dec(w, e.mode));
+                    opt_count += 1;
+                    if traced {
+                        optimistic.push((r, e.mode));
+                    }
+                } else {
+                    real.push((r, e.hash));
+                }
+            }
             if t.held.is_empty() {
                 stripe.remove(&txn);
             }
-            short.into_keys().collect()
-        };
-        let n = shorts.len();
-        self.release_batch(txn, shorts.into_iter());
+        }
+        let n = real.len() + opt_count;
+        self.report_optimistic_releases(txn, opt_count, &optimistic);
+        self.release_batch(txn, real);
         n
     }
 
+    /// Stats and trace for optimistic releases already removed (and their
+    /// summary slots decremented) under the stripe. `released` carries only
+    /// the entries to trace — empty when tracing is off — so `count` is the
+    /// authoritative number.
+    fn report_optimistic_releases(&self, txn: TxnId, count: usize, released: &[(R, LockMode)]) {
+        if count == 0 {
+            return;
+        }
+        LockStats::add(&self.stats.releases, count as u64);
+        for (r, mode) in released {
+            trace::emit(|| {
+                Event::new(EventKind::Release, txn.0)
+                    .shard(self.shard_index(r) as u32)
+                    .mode(mode.to_string())
+                    .resource(format!("{r:?}"))
+            });
+        }
+    }
+
     /// Removes `txn`'s grants on the given resources (inventory already
-    /// drained by the caller), grouped so each shard is locked once.
-    fn release_batch(&self, txn: TxnId, resources: impl Iterator<Item = R>) {
+    /// drained by the caller, each paired with its cached placement hash),
+    /// grouped so each shard is locked once.
+    fn release_batch(&self, txn: TxnId, resources: Vec<(R, u64)>) {
         // Group by shard with a single sort (ascending, matching the
         // detector's canonical order) so each shard is locked exactly once.
-        let mut keyed: Vec<(usize, R)> = resources.map(|r| (self.shard_index(&r), r)).collect();
-        keyed.sort_unstable_by_key(|&(si, _)| si);
+        // The cached hash rides along so each resource's summary slot is
+        // derivable without rehashing.
+        let mut keyed: Vec<(usize, u64, R)> = resources
+            .into_iter()
+            .map(|(r, h)| ((h as usize) & self.shard_mask, h, r))
+            .collect();
+        keyed.sort_unstable_by_key(|&(si, _, _)| si);
         let mut i = 0;
         while i < keyed.len() {
             let si = keyed[i].0;
             let mut shard = self.shard_locked(si);
             while i < keyed.len() && keyed[i].0 == si {
-                let r = &keyed[i].1;
-                if let Some((mode, long)) = self.remove_grant(&mut shard, txn, r, false) {
+                let (_, h, ref r) = keyed[i];
+                let slot = self.slot_from_hash(h);
+                if let Some((mode, long)) = self.remove_grant(&mut shard, txn, r, slot, false) {
                     LockStats::bump(&self.stats.releases);
                     if long {
                         let _ = self.journal_record(JournalOp::Release, txn, r, mode);
@@ -555,13 +1334,25 @@ impl<R: Resource> LockManager<R> {
         }
     }
 
-    /// Iterates over every grant in the table (for persistence snapshots).
+    /// Iterates over every grant — real grants in the table, then optimistic
+    /// fast-path grants from the inventories (always short, so persistence
+    /// snapshots never capture them).
     pub fn for_each_grant(&self, mut f: impl FnMut(&R, TxnId, LockMode, bool)) {
         for si in 0..self.shards.len() {
             let shard = self.shard_locked(si);
             for (r, state) in &shard.resources {
                 for g in &state.granted {
                     f(r, g.txn, g.mode, g.long);
+                }
+            }
+        }
+        for stripe in self.stripes.iter() {
+            let guard = stripe.lock().unwrap_or_else(PoisonError::into_inner);
+            for (txn, t) in guard.iter() {
+                for (r, h) in &t.held {
+                    if h.optimistic {
+                        f(r, *txn, h.mode, false);
+                    }
                 }
             }
         }
@@ -573,10 +1364,16 @@ impl<R: Resource> LockManager<R> {
     /// a recovered lock is as durable as a fresh one, so a second crash
     /// before its release must find it again.
     pub fn install_recovered(&self, txn: TxnId, resource: R, mode: LockMode) {
-        let si = self.shard_index(&resource);
+        let h = Self::hash_of(&resource);
+        let si = (h as usize) & self.shard_mask;
+        let slot = self.slot_from_hash(h);
         let mut shard = self.shard_locked(si);
         let _ = self.journal_record(JournalOp::Grant, txn, &resource, mode);
-        self.install_grant(&mut shard, txn, &resource, mode, true);
+        // Recovery is cold: seal and drain unconditionally, keeping the
+        // summary publication a single step regardless of the mode.
+        let seal = self.seal_and_drain(&mut shard, si, self.slot_index_from_hash(h));
+        let (prev, absorbed) = self.install_grant(&mut shard, txn, &resource, mode, true, h);
+        self.publish_grant(slot, Some(seal), prev, prev.join(mode), absorbed);
         trace::emit(|| {
             Event::new(EventKind::Grant, txn.0)
                 .shard(si as u32)
@@ -587,7 +1384,191 @@ impl<R: Resource> LockManager<R> {
         });
     }
 
+    /// Debug re-derivation: recomputes every summary word from the shard
+    /// maps and the inventories and compares. Only meaningful at quiescent
+    /// points (no in-flight acquire or release) — tests and the stress
+    /// harnesses call it between rounds. Sticky-saturated count fields are
+    /// skipped (they are permanently conservative by design). Returns a
+    /// description of the first mismatch.
+    pub fn check_summary_consistency(&self) -> std::result::Result<(), String> {
+        for si in 0..self.shards.len() {
+            let mut share = vec![0u64; SLOTS_PER_SHARD];
+            let mut x = vec![0u64; SLOTS_PER_SHARD];
+            let mut waiters = vec![0u64; SLOTS_PER_SHARD];
+            let mut opt_is = vec![0u64; SLOTS_PER_SHARD];
+            let mut opt_ix = vec![0u64; SLOTS_PER_SHARD];
+            let shard = self.shard_locked(si);
+            for (r, state) in &shard.resources {
+                let li = (Self::hash_of(r) >> 32) as usize & (SLOTS_PER_SHARD - 1);
+                for g in &state.granted {
+                    if g.mode.is_share_class() {
+                        share[li] += 1;
+                    } else if g.mode.is_exclusive_class() {
+                        x[li] += 1;
+                    }
+                }
+                waiters[li] += state.waiting.len() as u64;
+            }
+            for stripe in self.stripes.iter() {
+                let guard = stripe.lock().unwrap_or_else(PoisonError::into_inner);
+                for t in guard.values() {
+                    for (r, e) in &t.held {
+                        if !e.optimistic {
+                            continue;
+                        }
+                        let h = Self::hash_of(r);
+                        if (h as usize) & self.shard_mask != si {
+                            continue;
+                        }
+                        let li = (h >> 32) as usize & (SLOTS_PER_SHARD - 1);
+                        match e.mode {
+                            LockMode::IS => opt_is[li] += 1,
+                            LockMode::IX => opt_ix[li] += 1,
+                            m => return Err(format!("optimistic non-intent grant {m} on {r:?}")),
+                        }
+                    }
+                }
+            }
+            for li in 0..SLOTS_PER_SHARD {
+                let w = self.summaries[si * SLOTS_PER_SHARD + li].load(Ordering::Acquire);
+                let fields = [
+                    ("opt_is", summary::opt_is(w), opt_is[li]),
+                    ("opt_ix", summary::opt_ix(w), opt_ix[li]),
+                    ("share", summary::share(w), share[li]),
+                    ("x", summary::x(w), x[li]),
+                    ("waiters", summary::waiters(w), waiters[li]),
+                ];
+                for (name, got, want) in fields {
+                    if got != summary::COUNT_MAX && got != want {
+                        return Err(format!(
+                            "shard {si} slot {li}: summary {name}={got}, table says {want}"
+                        ));
+                    }
+                }
+                if summary::sealed(w) {
+                    return Err(format!("shard {si} slot {li}: sealed at quiescence"));
+                }
+            }
+        }
+        Ok(())
+    }
+
     // ----- internals -------------------------------------------------------
+
+    /// Seals the slot (no optimistic publication can succeed past this
+    /// point) and migrates every outstanding optimistic grant hashing to it
+    /// into a real shard grant, so `can_grant` decides against the complete
+    /// granted group. The caller must hold the mutex of shard `si` — the one
+    /// every resource of this slot maps to. The returned guard unseals on
+    /// drop unless the caller folds the clear into its own publication.
+    fn seal_and_drain<'a>(
+        &'a self,
+        shard: &mut ShardInner<R>,
+        si: usize,
+        slot_idx: usize,
+    ) -> SealGuard<'a> {
+        let slot = &self.summaries[slot_idx];
+        debug_assert!(!summary::sealed(slot.load(Ordering::Acquire)), "double seal");
+        let w = slot_update(slot, |w| w | summary::SEALED);
+        if summary::opt_total(w) != 0 {
+            self.drain_slot(shard, si, slot_idx);
+        }
+        SealGuard { slot, armed: true }
+    }
+
+    /// Migrates the optimistic grants of one (shard, slot) pair into the
+    /// shard map. Migration emits no trace events: each grant was already
+    /// reported when it was published, and a second Grant here could land
+    /// inside its owner's shrinking phase (see DESIGN.md §5).
+    fn drain_slot(&self, shard: &mut ShardInner<R>, si: usize, slot_idx: usize) {
+        LockStats::bump(&self.stats.fastpath_drains);
+        let slot = &self.summaries[slot_idx];
+        for stripe in self.stripes.iter() {
+            // The seal (or a published waiter count) blocks new
+            // publications, so counts only fall (owner releases and our own
+            // migrations): once zero, no entry is left to find.
+            if summary::opt_total(slot.load(Ordering::Acquire)) == 0 {
+                break;
+            }
+            let mut guard = stripe.lock().unwrap_or_else(PoisonError::into_inner);
+            for (owner, tstate) in guard.iter_mut() {
+                for (r, e) in tstate.held.iter_mut() {
+                    if !e.optimistic {
+                        continue;
+                    }
+                    if self.slot_index_from_hash(e.hash) != slot_idx {
+                        continue;
+                    }
+                    debug_assert_eq!((e.hash as usize) & self.shard_mask, si);
+                    let state = self.state_entry(shard, r);
+                    debug_assert!(state.granted.iter().all(|g| g.txn != *owner));
+                    state.granted.push(Grant { txn: *owner, mode: e.mode, long: false });
+                    e.optimistic = false;
+                    let mode = e.mode;
+                    slot_update(slot, |w| summary::opt_dec(w, mode));
+                }
+            }
+        }
+        debug_assert_eq!(summary::opt_total(slot.load(Ordering::Acquire)), 0);
+    }
+
+    /// Bounded validate-and-CAS publication of a pessimistic class move
+    /// (`prev → target`) for a slot with **no** optimistic grants
+    /// outstanding. The CAS atomically re-validates that the optimistic
+    /// counts are still zero at the publication instant — success proves no
+    /// fast-path grant predates this decision, making the seal-and-drain
+    /// detour unnecessary. Returns `false` (publishing nothing) when an
+    /// optimist shows up or the version churns past the retry budget; the
+    /// caller then seals, drains and re-decides. The seal check is
+    /// defensive: same-slot pessimists serialize on this shard's mutex.
+    fn try_reserve_classes(&self, slot: &AtomicU64, prev: LockMode, target: LockMode) -> bool {
+        let mut attempts = 0;
+        loop {
+            let w = slot.load(Ordering::Acquire);
+            if summary::opt_total(w) != 0 || summary::sealed(w) {
+                return false;
+            }
+            let next = summary::bump_version(summary::class_delta(w, prev, target));
+            match slot.compare_exchange(w, next, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => return true,
+                Err(_) => {
+                    attempts += 1;
+                    if attempts >= MAX_FASTPATH_ATTEMPTS {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Publishes a pessimistic grant's effect on the summary word — the
+    /// class-count move `prev → now`, the decrement for an absorbed own
+    /// optimistic grant, and the seal clear — as one versioned update. A
+    /// no-op when nothing changed and no seal is armed (pure intent grants).
+    fn publish_grant(
+        &self,
+        slot: &AtomicU64,
+        mut seal: Option<SealGuard<'_>>,
+        prev: LockMode,
+        now: LockMode,
+        absorbed: Option<LockMode>,
+    ) {
+        let class_moved = prev.is_share_class() != now.is_share_class()
+            || prev.is_exclusive_class() != now.is_exclusive_class();
+        if seal.is_none() && !class_moved && absorbed.is_none() {
+            return;
+        }
+        slot_update(slot, |w| {
+            let mut w = summary::class_delta(w, prev, now);
+            if let Some(m) = absorbed {
+                w = summary::opt_dec(w, m);
+            }
+            summary::clear_seal(w)
+        });
+        if let Some(g) = seal.as_mut() {
+            g.defuse();
+        }
+    }
 
     fn can_grant(
         &self,
@@ -664,6 +1645,10 @@ impl<R: Resource> LockManager<R> {
         }
     }
 
+    /// Installs (or joins) the real grant and the inventory entry. Returns
+    /// the grant's previous real mode (`NL` if new) and, when the inventory
+    /// entry was an optimistic fast-path grant absorbed by this install, its
+    /// mode — the caller owes the summary slot that decrement.
     fn install_grant(
         &self,
         shard: &mut ShardInner<R>,
@@ -671,31 +1656,46 @@ impl<R: Resource> LockManager<R> {
         resource: &R,
         mode: LockMode,
         long: bool,
-    ) {
+        h: u64,
+    ) -> (LockMode, Option<LockMode>) {
         let state = self.state_entry(shard, resource);
-        if let Some(g) = state.granted.iter_mut().find(|g| g.txn == txn) {
+        let prev = if let Some(g) = state.granted.iter_mut().find(|g| g.txn == txn) {
+            let p = g.mode;
             g.mode = g.mode.join(mode);
             g.long = g.long || long;
+            p
         } else {
             state.granted.push(Grant { txn, mode, long });
-        }
+            LockMode::NL
+        };
         // Stripe nests strictly inside the shard critical section (leaf).
         let mut stripe = self.stripe_locked(txn);
         let txn_state = stripe.entry(txn).or_default();
-        let entry = txn_state.held.entry(resource.clone()).or_insert((LockMode::NL, false));
-        entry.0 = entry.0.join(mode);
-        entry.1 = entry.1 || long;
+        let entry = txn_state
+            .held
+            .entry(resource.clone())
+            .or_insert(HeldLock { mode: LockMode::NL, long: false, optimistic: false, hash: h });
+        let absorbed = if entry.optimistic { Some(entry.mode) } else { None };
+        debug_assert!(
+            absorbed.is_none() || prev == LockMode::NL,
+            "optimistic entry alongside a real grant"
+        );
+        entry.mode = entry.mode.join(mode);
+        entry.long = entry.long || long;
+        entry.optimistic = false;
         LockStats::raise(&self.stats.max_locks_per_txn, txn_state.held.len() as u64);
+        (prev, absorbed)
     }
 
     /// Removes `txn`'s grant on `resource`, returning the removed mode and
     /// long flag (the release paths journal and trace from this — no second
-    /// lookup).
+    /// lookup). Keeps the summary slot's class count in step.
     fn remove_grant(
         &self,
         shard: &mut ShardInner<R>,
         txn: TxnId,
         resource: &R,
+        slot: &AtomicU64,
         update_inventory: bool,
     ) -> Option<(LockMode, bool)> {
         let mut removed = None;
@@ -703,6 +1703,15 @@ impl<R: Resource> LockManager<R> {
             if let Some(i) = state.granted.iter().position(|g| g.txn == txn) {
                 let g = state.granted.remove(i);
                 removed = Some((g.mode, g.long));
+            }
+        }
+        if let Some((mode, _)) = removed {
+            if !mode.is_intent() {
+                slot_update(slot, |w| summary::class_delta(w, mode, LockMode::NL));
+            } else {
+                // Intent releases still bump the version so in-flight
+                // optimistic validations observe the writer.
+                slot_update(slot, |w| w);
             }
         }
         self.drop_state_if_empty(shard, resource);
@@ -747,6 +1756,8 @@ impl<R: Resource> LockManager<R> {
     ///
     /// If anything was granted, exactly this resource's condvar is notified.
     fn process_queue(&self, shard: &mut ShardInner<R>, resource: &R) {
+        let h = Self::hash_of(resource);
+        let slot = self.slot_from_hash(h);
         let mut granted_any = false;
         while let Some(state) = shard.resources.get(resource) {
             // Conversion pass.
@@ -789,7 +1800,11 @@ impl<R: Resource> LockManager<R> {
                 out
             };
             for (txn, mode, long) in to_grant {
-                self.install_grant(shard, txn, resource, mode, long);
+                let (prev, absorbed) = self.install_grant(shard, txn, resource, mode, long, h);
+                // The grantee's own waiter entry keeps the slot's waiter
+                // count above zero throughout, blocking new optimists; the
+                // publication below only races optimistic releases.
+                self.publish_grant(slot, None, prev, prev.join(mode), absorbed);
                 trace::emit(|| {
                     Event::new(EventKind::Wakeup, txn.0)
                         .shard(self.shard_index(resource) as u32)
@@ -838,10 +1853,10 @@ impl<R: Resource> LockManager<R> {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn block_until_granted(
-        &self,
+    fn block_until_granted<'a>(
+        &'a self,
         si: usize,
-        mut shard: MutexGuard<'_, ShardInner<R>>,
+        mut shard: MutexGuard<'a, ShardInner<R>>,
         txn: TxnId,
         resource: R,
         target: LockMode,
@@ -849,7 +1864,10 @@ impl<R: Resource> LockManager<R> {
         long: bool,
         journal_long: bool,
         deadline: Option<Instant>,
+        slot_idx: usize,
+        mut seal: Option<SealGuard<'a>>,
     ) -> Result<AcquireOutcome> {
+        let slot = &self.summaries[slot_idx];
         LockStats::bump(&self.stats.waits);
         trace::emit(|| {
             Event::new(EventKind::Wait, txn.0)
@@ -869,6 +1887,22 @@ impl<R: Resource> LockManager<R> {
             });
             Arc::clone(state.cond.get_or_insert_with(Default::default))
         };
+        // Publish waiters+1 (and clear any seal) in one step: with a
+        // non-zero waiter count no optimist can publish, so FIFO order
+        // holds against the fast path too.
+        slot_update(slot, |w| summary::clear_seal(summary::wait_inc(w)));
+        if let Some(g) = seal.as_mut() {
+            g.defuse();
+        }
+        drop(seal);
+        // The non-zero waiter count now blocks new optimists, but a
+        // seal-free S/SIX/X decision may have raced one publishing between
+        // its decision and this point. Migrate any stragglers while the
+        // shard is still held, so the queued request never waits behind an
+        // invisible optimistic grant.
+        if !target.is_intent() && summary::opt_total(slot.load(Ordering::Acquire)) != 0 {
+            self.drain_slot(&mut shard, si, slot_idx);
+        }
         // Publish the wait edge, then detect with no shard lock held: the
         // detector needs all shards in canonical order.
         drop(shard);
@@ -897,6 +1931,7 @@ impl<R: Resource> LockManager<R> {
             match status {
                 Some(Ok(())) => {
                     self.remove_waiter_entry_only(&mut shard, txn, &resource);
+                    slot_update(slot, summary::wait_dec);
                     if journal_long {
                         // The grant was installed by `process_queue`; the
                         // record must still be durable before the waiter's
@@ -919,6 +1954,7 @@ impl<R: Resource> LockManager<R> {
                     // Targeted cleanup: only this resource's queue can have
                     // been affected by our departure.
                     self.remove_waiter(&mut shard, txn, &resource);
+                    slot_update(slot, summary::wait_dec);
                     if self.has_ungranted_waiters(&shard, &resource) {
                         self.process_queue(&mut shard, &resource);
                     }
@@ -932,6 +1968,7 @@ impl<R: Resource> LockManager<R> {
                     if now >= d {
                         // Status was just checked: not granted, not a victim.
                         self.remove_waiter(&mut shard, txn, &resource);
+                        slot_update(slot, summary::wait_dec);
                         if self.has_ungranted_waiters(&shard, &resource) {
                             self.process_queue(&mut shard, &resource);
                         }
@@ -1390,6 +2427,94 @@ mod tests {
             assert_eq!(s1, m.shard_index(&r), "hashing must be deterministic");
             assert!(s1 < m.shard_count());
         }
+    }
+
+    #[test]
+    fn summary_word_packs_and_saturates() {
+        let mut w = 0u64;
+        for _ in 0..3 {
+            w = summary::opt_inc(w, IS);
+        }
+        w = summary::opt_inc(w, IX);
+        w = summary::class_delta(w, NL, S);
+        w = summary::class_delta(w, NL, X);
+        w = summary::wait_inc(w);
+        assert_eq!(summary::opt_is(w), 3);
+        assert_eq!(summary::opt_ix(w), 1);
+        assert_eq!(summary::share(w), 1);
+        assert_eq!(summary::x(w), 1);
+        assert_eq!(summary::waiters(w), 1);
+        assert_eq!(summary::opt_total(w), 4);
+        // S -> SIX stays within the share class; SIX -> X moves classes.
+        let w2 = summary::class_delta(w, S, SIX);
+        assert_eq!(summary::share(w2), 1);
+        let w3 = summary::class_delta(w2, SIX, X);
+        assert_eq!(summary::share(w3), 0);
+        assert_eq!(summary::x(w3), 2);
+        // Version bumps leave every field alone, even across the wrap.
+        let mut v = w;
+        for _ in 0..10_000 {
+            v = summary::bump_version(v);
+        }
+        assert_eq!(summary::opt_is(v), 3);
+        assert_eq!(summary::waiters(v), 1);
+        // Sticky saturation: once a field hits the ceiling it never moves.
+        let mut s = 0u64;
+        for _ in 0..2000 {
+            s = summary::wait_inc(s);
+        }
+        assert_eq!(summary::waiters(s), summary::COUNT_MAX);
+        s = summary::wait_dec(s);
+        assert_eq!(summary::waiters(s), summary::COUNT_MAX);
+    }
+
+    #[test]
+    fn summary_admits_follows_classes() {
+        let empty = 0u64;
+        assert!(summary::admits(empty, IS));
+        assert!(summary::admits(empty, IX));
+        assert!(!summary::admits(empty, S));
+        assert!(!summary::admits(empty, X));
+        let with_share = summary::class_delta(empty, NL, S);
+        assert!(summary::admits(with_share, IS));
+        assert!(!summary::admits(with_share, IX));
+        let with_x = summary::class_delta(empty, NL, X);
+        assert!(!summary::admits(with_x, IS));
+        let with_wait = summary::wait_inc(empty);
+        assert!(!summary::admits(with_wait, IS));
+        let sealed = empty | summary::SEALED;
+        assert!(!summary::admits(sealed, IS));
+        assert!(summary::admits(summary::clear_seal(sealed), IS));
+        // Optimistic intents coexist in the word.
+        let opt = summary::opt_inc(summary::opt_inc(empty, IS), IX);
+        assert!(summary::admits(opt, IS) && summary::admits(opt, IX));
+    }
+
+    #[test]
+    fn fastpath_intent_never_enters_the_shard_map() {
+        let m = Mgr::new();
+        m.set_fastpath(true);
+        assert_eq!(
+            m.acquire(t(1), "a", IS, LockRequestOptions::default()).unwrap(),
+            AcquireOutcome::Granted { waited: false }
+        );
+        // The grant is inventory-only...
+        assert_eq!(m.table_size(), 0);
+        assert_eq!(m.held_mode(t(1), &"a"), IS);
+        assert_eq!(m.holders(&"a"), vec![(t(1), IS)]);
+        assert_eq!(m.grant_count(), 1);
+        let s = m.stats().snapshot();
+        assert_eq!((s.intent_acquires, s.fastpath_hits, s.fastpath_fallbacks), (1, 1, 0));
+        // ...and an S by someone else drains it into a real grant.
+        m.acquire(t(2), "a", S, LockRequestOptions::default()).unwrap();
+        assert_eq!(m.table_size(), 1);
+        assert_eq!(m.holders(&"a").len(), 2);
+        assert!(m.stats().snapshot().fastpath_drains >= 1);
+        m.check_summary_consistency().unwrap();
+        m.release_all(t(1));
+        m.release_all(t(2));
+        assert_eq!(m.table_size(), 0);
+        m.check_summary_consistency().unwrap();
     }
 
     #[test]

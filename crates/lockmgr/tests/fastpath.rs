@@ -1,0 +1,393 @@
+//! Deterministic coverage for the optimistic intent fast path.
+//!
+//! The summary-word CAS has no scheduler to lean on, so these tests force
+//! the interesting interleavings directly: the manager's test probe runs a
+//! competing writer *between* an optimist's validate and its CAS (exactly
+//! one retry; retry exhaustion), threads race optimistic intents against
+//! exclusive acquire/release cycles, and conversions/escalations/releases
+//! over outstanding optimistic grants are checked to drain into the shard
+//! map and leave the summary words consistent (re-derived from the maps by
+//! `check_summary_consistency`).
+//!
+//! No trace/lint assertions live here — the trace ring is process-global
+//! and these tests run in parallel; `tracing.rs` and the check crate own
+//! those.
+
+use colock_lockmgr::table::MAX_FASTPATH_ATTEMPTS;
+use colock_lockmgr::{
+    AcquireOutcome, LockError, LockManager, LockMode, LockRequestOptions, TxnId,
+};
+use colock_testkit::run_threads;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+type Mgr = LockManager<&'static str>;
+
+fn t(n: u64) -> TxnId {
+    TxnId(n)
+}
+
+fn short() -> LockRequestOptions {
+    LockRequestOptions::default()
+}
+
+/// A writer bumps the slot version between the optimist's validate and its
+/// CAS: the publication must lose exactly once, revalidate, and then win.
+#[test]
+fn forced_cas_conflict_retries_once_then_succeeds() {
+    let mgr = Arc::new(Mgr::new());
+    let fired = Arc::new(AtomicBool::new(false));
+    let inner = Arc::clone(&mgr);
+    let flag = Arc::clone(&fired);
+    // The probe acts as a transaction on another stripe (TxnId 2 vs the
+    // optimist's TxnId 1) and only while the slot has zero optimistic
+    // counts, as the probe contract requires.
+    mgr.set_fastpath_probe(Some(Box::new(move || {
+        if flag.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        inner.acquire(t(2), "res", LockMode::X, short()).unwrap();
+        assert!(inner.release(t(2), &"res"));
+    })));
+
+    let out = mgr.acquire(t(1), "res", LockMode::IS, short()).unwrap();
+    assert_eq!(out, AcquireOutcome::Granted { waited: false });
+    mgr.set_fastpath_probe(None);
+    assert!(fired.load(Ordering::SeqCst), "probe must have interfered");
+
+    let s = mgr.stats().snapshot();
+    assert_eq!(s.fastpath_retries, 1, "exactly one lost CAS");
+    assert_eq!(s.fastpath_hits, 1, "second attempt must win");
+    assert_eq!(s.fastpath_fallbacks, 0);
+    assert_eq!(s.intent_acquires, 1);
+    mgr.check_summary_consistency().unwrap();
+    assert!(mgr.release(t(1), &"res"));
+    mgr.check_summary_consistency().unwrap();
+}
+
+/// A writer interferes on *every* validate: the optimist exhausts its CAS
+/// budget, falls back to the shard-mutex path, and still gets the lock.
+#[test]
+fn retry_exhaustion_falls_back_to_the_mutex_path() {
+    let mgr = Arc::new(Mgr::new());
+    let inner = Arc::clone(&mgr);
+    mgr.set_fastpath_probe(Some(Box::new(move || {
+        inner.acquire(t(2), "res", LockMode::X, short()).unwrap();
+        assert!(inner.release(t(2), &"res"));
+    })));
+
+    let out = mgr.acquire(t(1), "res", LockMode::IS, short()).unwrap();
+    assert_eq!(out, AcquireOutcome::Granted { waited: false });
+    mgr.set_fastpath_probe(None);
+
+    let s = mgr.stats().snapshot();
+    assert_eq!(s.fastpath_retries, u64::from(MAX_FASTPATH_ATTEMPTS));
+    assert_eq!(s.fastpath_fallbacks, 1);
+    assert_eq!(s.fastpath_hits, 0);
+    assert_eq!(s.intent_acquires, 1);
+    assert_eq!(s.intent_acquires, s.fastpath_hits + s.fastpath_fallbacks);
+    // The fallback grant is a real shard-map entry, not an optimistic one.
+    assert_eq!(mgr.table_size(), 1);
+    assert_eq!(mgr.holders(&"res"), vec![(t(1), LockMode::IS)]);
+    mgr.check_summary_consistency().unwrap();
+    assert_eq!(mgr.release_all(t(1)), 1);
+    mgr.check_summary_consistency().unwrap();
+}
+
+/// Optimistic IS grants race concurrent X acquire/release cycles on one
+/// resource. Every interleaving must preserve mutual exclusion bookkeeping:
+/// afterwards the table is empty, the summary words re-derive cleanly, and
+/// the gate identity `hits + fallbacks == intent_acquires` holds.
+#[test]
+fn optimistic_grants_race_concurrent_exclusive_traffic() {
+    let mgr = Arc::new(Mgr::new());
+    let rounds = 200;
+    let m = Arc::clone(&mgr);
+    run_threads(8, Duration::from_secs(60), move |tid| {
+        let txn = t(tid as u64 + 1);
+        for _ in 0..rounds {
+            if tid % 2 == 0 {
+                m.acquire(txn, "hot", LockMode::IS, short()).unwrap();
+            } else {
+                m.acquire(txn, "hot", LockMode::X, short()).unwrap();
+            }
+            assert!(m.release(txn, &"hot"));
+        }
+    });
+    assert_eq!(mgr.table_size(), 0);
+    assert_eq!(mgr.grant_count(), 0);
+    let s = mgr.stats().snapshot();
+    assert_eq!(
+        s.fastpath_hits + s.fastpath_fallbacks,
+        s.intent_acquires,
+        "gate identity must hold under races: {s:?}"
+    );
+    assert!(s.intent_acquires >= 4 * rounds, "every IS request enters the gate");
+    mgr.check_summary_consistency().unwrap();
+}
+
+/// Converting one's own optimistic grant (IS → IX) is refused by the gate
+/// and handled pessimistically, absorbing the optimistic entry into a real
+/// shard grant.
+#[test]
+fn conversion_of_an_optimistic_grant_takes_the_pessimistic_path() {
+    let mgr = Mgr::new();
+    mgr.acquire(t(1), "r", LockMode::IS, short()).unwrap();
+    let s = mgr.stats().snapshot();
+    assert_eq!((s.fastpath_hits, s.fastpath_fallbacks), (1, 0));
+    assert_eq!(mgr.table_size(), 0, "optimistic grant has no shard entry");
+
+    let out = mgr.acquire(t(1), "r", LockMode::IX, short()).unwrap();
+    assert_eq!(out, AcquireOutcome::Granted { waited: false });
+    let s = mgr.stats().snapshot();
+    assert_eq!(s.fastpath_fallbacks, 1, "conversion is a gate fallback");
+    assert_eq!(s.conversions, 1);
+    assert_eq!(s.intent_acquires, s.fastpath_hits + s.fastpath_fallbacks);
+    assert_eq!(mgr.held_mode(t(1), &"r"), LockMode::IX);
+    assert_eq!(mgr.table_size(), 1, "converted grant is real");
+    mgr.check_summary_consistency().unwrap();
+    assert_eq!(mgr.release_all(t(1)), 1);
+    mgr.check_summary_consistency().unwrap();
+}
+
+/// A pessimistic S decision over a slot with outstanding optimistic intent
+/// grants drains them into the shard map first, so its compatibility check
+/// sees the whole granted group; a later X conversion attempt then conflicts
+/// with the drained grant like any real one.
+#[test]
+fn share_decision_drains_outstanding_optimistic_grants() {
+    let mgr = Mgr::new();
+    mgr.acquire(t(1), "r", LockMode::IS, short()).unwrap();
+    mgr.acquire(t(2), "r", LockMode::IS, short()).unwrap();
+    assert_eq!(mgr.stats().snapshot().fastpath_hits, 2);
+    assert_eq!(mgr.table_size(), 0);
+
+    // t2 escalates its own IS to S: seals, drains both optimists, converts.
+    mgr.acquire(t(2), "r", LockMode::S, short()).unwrap();
+    let s = mgr.stats().snapshot();
+    assert_eq!(s.fastpath_drains, 1);
+    assert_eq!(s.conversions, 1);
+    let mut holders = mgr.holders(&"r");
+    holders.sort();
+    assert_eq!(holders, vec![(t(1), LockMode::IS), (t(2), LockMode::S)]);
+    assert_eq!(mgr.table_size(), 1);
+    mgr.check_summary_consistency().unwrap();
+
+    // The drained IS grant of t1 now conflicts like a real one.
+    let err = mgr.acquire(t(1), "r", LockMode::X, LockRequestOptions::try_lock()).unwrap_err();
+    match err {
+        LockError::WouldBlock { holders } => assert_eq!(holders, vec![t(2)]),
+        other => panic!("expected WouldBlock, got {other:?}"),
+    }
+    mgr.check_summary_consistency().unwrap();
+    assert_eq!(mgr.release_all(t(1)) + mgr.release_all(t(2)), 2);
+    assert_eq!(mgr.table_size(), 0);
+    mgr.check_summary_consistency().unwrap();
+}
+
+/// Escalating one's own optimistic IX straight to X: the exclusive decision
+/// seals and drains its *own* optimistic grant before deciding, so the
+/// conversion is granted and the summary word records one exclusive holder.
+#[test]
+fn own_escalation_from_optimistic_intent_to_exclusive() {
+    let mgr = Mgr::new();
+    mgr.acquire(t(1), "r", LockMode::IX, short()).unwrap();
+    let out = mgr.acquire(t(1), "r", LockMode::X, short()).unwrap();
+    assert_eq!(out, AcquireOutcome::Granted { waited: false });
+    let s = mgr.stats().snapshot();
+    assert_eq!(s.fastpath_drains, 1, "exclusive decision must drain own grant");
+    assert_eq!(s.conversions, 1);
+    assert_eq!(mgr.held_mode(t(1), &"r"), LockMode::X);
+    mgr.check_summary_consistency().unwrap();
+    assert_eq!(mgr.release_all(t(1)), 1);
+    mgr.check_summary_consistency().unwrap();
+}
+
+/// Releasing an optimistic grant early (before any drain) retracts it from
+/// the summary word without ever touching the shard map.
+#[test]
+fn release_early_of_an_optimistic_grant_clears_the_summary() {
+    let mgr = Mgr::new();
+    mgr.acquire(t(1), "a", LockMode::IS, short()).unwrap();
+    mgr.acquire(t(1), "b", LockMode::IX, short()).unwrap();
+    assert_eq!(mgr.grant_count(), 2);
+    assert_eq!(mgr.table_size(), 0);
+
+    assert!(mgr.release(t(1), &"a"));
+    assert_eq!(mgr.grant_count(), 1);
+    assert_eq!(mgr.table_size(), 0, "optimistic release never creates shard entries");
+    mgr.check_summary_consistency().unwrap();
+
+    assert_eq!(mgr.release_all(t(1)), 1);
+    assert_eq!(mgr.grant_count(), 0);
+    assert_eq!(mgr.stats().snapshot().releases, 2);
+    mgr.check_summary_consistency().unwrap();
+}
+
+/// `release_short` drops optimistic grants alongside real short ones and
+/// keeps long locks (which never ride the fast path).
+#[test]
+fn release_short_drops_optimistic_grants_and_keeps_long_locks() {
+    let mgr = Mgr::new();
+    mgr.acquire(t(1), "a", LockMode::IX, LockRequestOptions::long()).unwrap();
+    mgr.acquire(t(1), "b", LockMode::IS, short()).unwrap();
+    mgr.acquire(t(1), "c", LockMode::S, short()).unwrap();
+    let s = mgr.stats().snapshot();
+    assert_eq!((s.fastpath_hits, s.intent_acquires), (1, 1), "long IX skips the gate");
+
+    assert_eq!(mgr.release_short(t(1)), 2);
+    assert_eq!(mgr.locks_of(t(1)), vec![("a", LockMode::IX, true)]);
+    mgr.check_summary_consistency().unwrap();
+    assert_eq!(mgr.release_all(t(1)), 1);
+    mgr.check_summary_consistency().unwrap();
+}
+
+/// A covered re-request is answered from the inventory without entering the
+/// fast-path accounting: `intent_acquires` counts decisions, not lookups.
+#[test]
+fn covered_re_request_skips_the_gate_counters() {
+    let mgr = Mgr::new();
+    mgr.acquire(t(1), "r", LockMode::IS, short()).unwrap();
+    let out = mgr.acquire(t(1), "r", LockMode::IS, short()).unwrap();
+    assert_eq!(out, AcquireOutcome::AlreadyHeld);
+    let s = mgr.stats().snapshot();
+    assert_eq!(s.requests, 2);
+    assert_eq!(s.intent_acquires, 1);
+    assert_eq!((s.fastpath_hits, s.fastpath_fallbacks), (1, 0));
+    mgr.check_summary_consistency().unwrap();
+}
+
+/// Disabling the fast path at runtime sends intents down the classic path:
+/// the gate is never entered and grants are real shard entries.
+#[test]
+fn runtime_toggle_disables_the_gate() {
+    let mgr = Mgr::new();
+    assert!(mgr.fastpath_enabled());
+    mgr.set_fastpath(false);
+    assert!(!mgr.fastpath_enabled());
+    mgr.acquire(t(1), "r", LockMode::IS, short()).unwrap();
+    let s = mgr.stats().snapshot();
+    assert_eq!(s.intent_acquires, 0, "disabled gate counts nothing");
+    assert_eq!(mgr.table_size(), 1);
+    mgr.check_summary_consistency().unwrap();
+    assert_eq!(mgr.release_all(t(1)), 1);
+
+    mgr.set_fastpath(true);
+    mgr.acquire(t(1), "r", LockMode::IS, short()).unwrap();
+    assert_eq!(mgr.stats().snapshot().fastpath_hits, 1);
+    assert_eq!(mgr.table_size(), 0);
+    mgr.check_summary_consistency().unwrap();
+    assert_eq!(mgr.release_all(t(1)), 1);
+}
+
+/// The batched chain call answers every compatible link optimistically,
+/// repeats as AlreadyHeld, and its grants behave like per-call acquires.
+#[test]
+fn chain_batches_compatible_links() {
+    let mgr = Mgr::new();
+    let chain = ["db", "seg", "rel"];
+    let out = mgr.acquire_intent_chain(t(1), &chain, LockMode::IX, short()).unwrap();
+    assert_eq!(out, vec![AcquireOutcome::Granted { waited: false }; 3]);
+    let s = mgr.stats().snapshot();
+    assert_eq!((s.intent_acquires, s.fastpath_hits), (3, 3));
+    assert_eq!(mgr.table_size(), 0, "whole chain published optimistically");
+
+    let again = mgr.acquire_intent_chain(t(1), &chain, LockMode::IX, short()).unwrap();
+    assert_eq!(again, vec![AcquireOutcome::AlreadyHeld; 3]);
+    let s = mgr.stats().snapshot();
+    assert_eq!(s.intent_acquires, 3, "covered links skip the gate counters");
+    assert_eq!(s.requests, 6);
+    mgr.check_summary_consistency().unwrap();
+    assert_eq!(mgr.release_all(t(1)), 3);
+    mgr.check_summary_consistency().unwrap();
+}
+
+/// A mid-chain conflict under `try_lock` errors out but keeps the grants of
+/// earlier links — exactly like the equivalent sequence of single acquires.
+#[test]
+fn chain_conflict_keeps_earlier_links() {
+    let mgr = Mgr::new();
+    mgr.acquire(t(2), "seg", LockMode::S, short()).unwrap();
+    let err = mgr
+        .acquire_intent_chain(t(3), &["db", "seg", "rel"], LockMode::IX, LockRequestOptions::try_lock())
+        .unwrap_err();
+    assert!(matches!(err, LockError::WouldBlock { .. }), "got {err:?}");
+    assert_eq!(mgr.held_mode(t(3), &"db"), LockMode::IX);
+    assert_eq!(mgr.held_mode(t(3), &"seg"), LockMode::NL);
+    assert_eq!(mgr.held_mode(t(3), &"rel"), LockMode::NL);
+    let s = mgr.stats().snapshot();
+    assert_eq!(s.intent_acquires, s.fastpath_hits + s.fastpath_fallbacks);
+    assert_eq!(s.fastpath_fallbacks, 1, "the conflicting link fell back");
+    mgr.check_summary_consistency().unwrap();
+    assert_eq!(mgr.release_all(t(3)) + mgr.release_all(t(2)), 2);
+    mgr.check_summary_consistency().unwrap();
+}
+
+/// Long chains never ride the fast path: every link becomes a real,
+/// journaled-eligible shard grant.
+#[test]
+fn long_chains_take_the_pessimistic_loop() {
+    let mgr = Mgr::new();
+    let out = mgr
+        .acquire_intent_chain(t(1), &["db", "seg", "rel"], LockMode::IX, LockRequestOptions::long())
+        .unwrap();
+    assert_eq!(out, vec![AcquireOutcome::Granted { waited: false }; 3]);
+    let s = mgr.stats().snapshot();
+    assert_eq!(s.intent_acquires, 0);
+    assert_eq!(mgr.table_size(), 3);
+    for r in ["db", "seg", "rel"] {
+        assert_eq!(mgr.locks_of(t(1)).iter().filter(|(k, _, long)| *k == r && *long).count(), 1);
+    }
+    mgr.check_summary_consistency().unwrap();
+    assert_eq!(mgr.release_all(t(1)), 3);
+    mgr.check_summary_consistency().unwrap();
+}
+
+/// Concurrent chains over a shared ancestor prefix: all optimistic, no
+/// shard entries, and the summary stays consistent after interleaved
+/// releases.
+#[test]
+fn concurrent_chains_share_ancestors_optimistically() {
+    let mgr = Arc::new(Mgr::new());
+    let m = Arc::clone(&mgr);
+    run_threads(6, Duration::from_secs(60), move |tid| {
+        let txn = t(tid as u64 + 1);
+        let leaf: &'static str = ["l0", "l1", "l2", "l3", "l4", "l5"][tid];
+        for _ in 0..100 {
+            m.acquire_intent_chain(txn, &["db", "seg", leaf], LockMode::IS, short()).unwrap();
+            assert_eq!(m.release_all(txn), 3);
+        }
+    });
+    let s = mgr.stats().snapshot();
+    assert_eq!(s.intent_acquires, s.fastpath_hits + s.fastpath_fallbacks);
+    assert_eq!(mgr.grant_count(), 0);
+    mgr.check_summary_consistency().unwrap();
+}
+
+/// The retry counter is monotone evidence of real contention: two optimists
+/// racing the same slot version can lose a CAS but must never lose a grant.
+#[test]
+fn racing_optimists_never_lose_grants() {
+    let mgr = Arc::new(Mgr::new());
+    let granted = Arc::new(AtomicU64::new(0));
+    let m = Arc::clone(&mgr);
+    let g = Arc::clone(&granted);
+    run_threads(8, Duration::from_secs(60), move |tid| {
+        let txn = t(tid as u64 + 1);
+        for _ in 0..250 {
+            match m.acquire(txn, "slot", LockMode::IS, short()).unwrap() {
+                AcquireOutcome::Granted { .. } => {
+                    g.fetch_add(1, Ordering::Relaxed);
+                }
+                AcquireOutcome::AlreadyHeld => panic!("fresh acquire cannot be held"),
+            }
+            assert!(m.release(txn, &"slot"));
+        }
+    });
+    assert_eq!(granted.load(Ordering::Relaxed), 8 * 250);
+    let s = mgr.stats().snapshot();
+    assert_eq!(s.intent_acquires, 8 * 250);
+    assert_eq!(s.intent_acquires, s.fastpath_hits + s.fastpath_fallbacks);
+    mgr.check_summary_consistency().unwrap();
+}

@@ -110,7 +110,8 @@ pub enum EventKind {
     #[default]
     Request,
     /// A lock was granted. `detail` distinguishes `immediate`,
-    /// `already-held`, `after-wait`, and `recovered` grants.
+    /// `already-held`, `after-wait`, `recovered`, and `fastpath`
+    /// (optimistic summary-word CAS) grants.
     Grant,
     /// The requester enqueued as a waiter and is about to block.
     Wait,

@@ -70,6 +70,21 @@ echo "==> stress_recovery (bounded fault-injection sweep, linted)"
 COLOCK_CHECK=1 COLOCK_RECOVERY_ROUNDS="${COLOCK_RECOVERY_ROUNDS:-10}" \
     cargo run --offline --release -q -p colock-bench --bin stress_recovery
 
+echo "==> differential fast-path equivalence suite"
+# The optimistic/pessimistic differential harness runs both paths itself;
+# this run keeps it in the gate so a fast-path change cannot land without
+# the observational-equivalence proof passing.
+cargo test --offline -q -p colock-sim --test differential
+
+echo "==> stress harnesses with the fast path disabled"
+# One bounded round of each with COLOCK_NO_FASTPATH=1: the classic
+# shard-mutex path must keep passing the same per-round invariants
+# (gate identity trivially zero, summary words re-derivable).
+COLOCK_NO_FASTPATH=1 COLOCK_CHECK=1 COLOCK_STRESS_ROUNDS=10 \
+    cargo run --offline --release -q -p colock-bench --bin stress_lockmgr
+COLOCK_NO_FASTPATH=1 COLOCK_CHECK=1 COLOCK_RECOVERY_ROUNDS=5 \
+    cargo run --offline --release -q -p colock-bench --bin stress_recovery
+
 echo "==> shard-scaling bench (small budget)"
 COLOCK_BENCH_MS="${COLOCK_BENCH_MS:-50}" \
     cargo bench --offline -p colock-bench --bench bench_shard_scaling -q
