@@ -36,6 +36,7 @@ fn bench_mixed_throughput(h: &mut BenchHarness) {
                     mix: QueryMix::engineering(),
                     seed: 9,
                     cells,
+                    readonly_pct: 0,
                 };
                 run_threads(&mgr, &cfg)
             });

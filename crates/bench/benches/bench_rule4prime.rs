@@ -36,6 +36,7 @@ fn bench_rule4(h: &mut BenchHarness) {
                     mix,
                     seed: 3,
                     cells,
+                    readonly_pct: 0,
                 };
                 run_threads(&mgr, &cfg)
             });

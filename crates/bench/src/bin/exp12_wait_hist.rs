@@ -34,6 +34,7 @@ fn main() {
         mix: QueryMix::update_heavy(),
         seed: 42,
         cells,
+        readonly_pct: 0,
     };
 
     for protocol in [ProtocolKind::Proposed, ProtocolKind::TupleLevel] {
@@ -77,4 +78,12 @@ fn print_hist(h: &WaitHistogram, label: &str) {
     for line in h.render(label).lines() {
         println!("  {line}");
     }
+    println!(
+        "    p50={}us p90={}us p95={}us p99={}us max={}us",
+        h.quantile_us(0.50),
+        h.quantile_us(0.90),
+        h.quantile_us(0.95),
+        h.quantile_us(0.99),
+        h.max_us(),
+    );
 }

@@ -1,0 +1,119 @@
+//! E13 — multiversion read overlay: snapshot readers under an active long
+//! check-out.
+//!
+//! The §3.1 workstation scenario at its worst for readers: a designer holds
+//! a whole manufacturing cell under a *long* X check-out for the entire
+//! experiment. Locking readers of that cell would wait for the full session
+//! (here they would simply never be granted); snapshot readers take a commit
+//! timestamp at begin, read the newest committed versions, and never enter
+//! the lock table — their p99 latency is a few microseconds of tree walking
+//! regardless of the check-out. The ablation (`COLOCK_NO_MVCC` semantics,
+//! toggled in-process) sends the same readers through S locks and counts how
+//! many of their reads would block.
+//!
+//! ```text
+//! cargo run --release --bin exp13_snapshot_reads
+//! ```
+
+use colock_bench::cells_manager;
+use colock_core::{AccessMode, InstanceTarget};
+use colock_sim::metrics::Table;
+use colock_sim::CellsConfig;
+use colock_trace::WaitHistogram;
+use colock_txn::{ProtocolKind, TxnKind};
+use std::sync::Mutex;
+
+const READERS: usize = 4;
+const TXNS_PER_READER: usize = 200;
+const READS_PER_TXN: usize = 8;
+
+fn targets(cells: &CellsConfig) -> Vec<InstanceTarget> {
+    let mut out = Vec::new();
+    for robot in 0..cells.robots_per_cell {
+        out.push(
+            InstanceTarget::object("cells", CellsConfig::cell_key(0))
+                .elem("robots", CellsConfig::robot_key(robot))
+                .attr("trajectory"),
+        );
+    }
+    out.push(InstanceTarget::object("cells", CellsConfig::cell_key(0)).attr("c_objects"));
+    out
+}
+
+fn main() {
+    println!("E13 — snapshot readers never wait on long locks\n");
+    let cells = CellsConfig {
+        n_cells: 2,
+        c_objects_per_cell: 20,
+        robots_per_cell: 4,
+        ..Default::default()
+    };
+    let mgr = cells_manager(&cells, ProtocolKind::Proposed);
+
+    // The designer checks out the whole cell — a long X lock that stays held
+    // across everything below, exactly the blocking hazard of §3.1.
+    let designer = mgr.begin(TxnKind::Long);
+    designer
+        .checkout(&InstanceTarget::object("cells", CellsConfig::cell_key(0)), AccessMode::Update)
+        .expect("checkout");
+
+    let mut table = Table::new(&[
+        "readers", "reads", "p50", "p95", "p99", "max", "would-block", "reads elided",
+    ]);
+    for (label, mvcc) in [("snapshot", true), ("locking", false)] {
+        mgr.set_mvcc(mvcc);
+        let before = mgr.lock_manager().stats().snapshot();
+        let hist = Mutex::new(WaitHistogram::default());
+        let would_block = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..READERS {
+                let mgr = &mgr;
+                let cells = &cells;
+                let hist = &hist;
+                let would_block = &would_block;
+                scope.spawn(move || {
+                    let targets = targets(cells);
+                    let mut local = WaitHistogram::default();
+                    let mut blocked = 0u64;
+                    for _ in 0..TXNS_PER_READER {
+                        let reader = mgr.begin_readonly();
+                        for i in 0..READS_PER_TXN {
+                            let target = &targets[i % targets.len()];
+                            let t0 = std::time::Instant::now();
+                            match reader.try_snapshot_read(target) {
+                                Ok(_) => local.record(t0.elapsed().as_micros() as u64),
+                                Err(e) if e.is_would_block() => blocked += 1,
+                                Err(e) => panic!("reader failed: {e}"),
+                            }
+                        }
+                        reader.commit().expect("reader commit");
+                    }
+                    hist.lock().unwrap().merge(&local);
+                    would_block.fetch_add(blocked, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        });
+        let stats = mgr.lock_manager().stats().snapshot().since(&before);
+        let h = hist.into_inner().unwrap();
+        table.row(vec![
+            label.to_string(),
+            h.count().to_string(),
+            format!("{}us", h.quantile_us(0.50)),
+            format!("{}us", h.quantile_us(0.95)),
+            format!("{}us", h.quantile_us(0.99)),
+            format!("{}us", h.max_us()),
+            would_block.load(std::sync::atomic::Ordering::Relaxed).to_string(),
+            stats.reads_elided.to_string(),
+        ]);
+    }
+    designer.abort().expect("designer abort");
+    mgr.set_mvcc(true);
+
+    print!("{}", table.render());
+    println!();
+    println!("expected shape: with the overlay every read completes (p99 a handful");
+    println!("of microseconds, zero lock requests, reads==reads_elided) while the");
+    println!("check-out stays held; without it every read of the checked-out cell");
+    println!("would block behind the long X lock — the readers make no progress at");
+    println!("all until check-in. Long locks stop costing readers anything.");
+}

@@ -3,7 +3,10 @@
 //! Workstations check out data for long periods. With whole-object locking a
 //! robot check-out blocks the whole cell (readers of the cell's parts stall
 //! for the entire hold time); with the proposed sub-object granules the
-//! check-out blocks only the robot. Sweep the hold time.
+//! check-out blocks only the robot. The multiversion overlay removes the
+//! readers from the picture entirely: as snapshot transactions they acquire
+//! no locks, so their p99 wait is 0 under *both* protocols. Sweep the hold
+//! time with locking readers and with snapshot readers.
 
 use colock_bench::cells_manager;
 use colock_sim::driver::ticks::TickConfig;
@@ -14,42 +17,55 @@ use colock_txn::ProtocolKind;
 fn main() {
     println!("E7 — workstation check-out: long locks vs readers of other parts\n");
     let mut table = Table::new(&[
-        "hold_ticks", "protocol", "ticks", "blocked", "reader stalls",
+        "hold_ticks", "protocol", "readers", "ticks", "blocked", "reader p99", "reads elided",
     ]);
     for hold in [10u64, 50, 200] {
         for protocol in [ProtocolKind::Proposed, ProtocolKind::WholeObject] {
-            let cfg = CellsConfig { n_cells: 2, c_objects_per_cell: 20, ..Default::default() };
-            let mgr = cells_manager(&cfg, protocol);
-            let driver = TickDriver::new(
-                &mgr,
-                TickConfig { hold_ticks_after_checkout: hold, ..Default::default() },
-            );
-            // Worker 0 checks out a robot of cell 0 and holds it; workers
-            // 1..4 read the *parts* of cell 0 repeatedly.
-            let mut scripts: Vec<Vec<Vec<Op>>> =
-                vec![vec![vec![Op::CheckoutRobot { cell: 0, robot: 0 }]]];
-            for _ in 0..3 {
-                scripts.push(vec![
-                    vec![Op::ReadParts { cell: 0 }],
-                    vec![Op::ReadParts { cell: 0 }],
-                    vec![Op::ReadParts { cell: 0 }],
+            for snapshot in [false, true] {
+                let cfg = CellsConfig { n_cells: 2, c_objects_per_cell: 20, ..Default::default() };
+                let mgr = cells_manager(&cfg, protocol);
+                // Readers always run as read-only transactions; the overlay
+                // toggle decides whether they snapshot-read or S-lock.
+                mgr.set_mvcc(snapshot);
+                let driver = TickDriver::new(
+                    &mgr,
+                    TickConfig {
+                        hold_ticks_after_checkout: hold,
+                        snapshot_readers: true,
+                        ..Default::default()
+                    },
+                );
+                // Worker 0 checks out a robot of cell 0 and holds it; workers
+                // 1..4 read the *parts* of cell 0 repeatedly.
+                let mut scripts: Vec<Vec<Vec<Op>>> =
+                    vec![vec![vec![Op::CheckoutRobot { cell: 0, robot: 0 }]]];
+                for _ in 0..3 {
+                    scripts.push(vec![
+                        vec![Op::ReadParts { cell: 0 }],
+                        vec![Op::ReadParts { cell: 0 }],
+                        vec![Op::ReadParts { cell: 0 }],
+                    ]);
+                }
+                let out = driver.run(scripts);
+                table.row(vec![
+                    hold.to_string(),
+                    protocol.name().to_string(),
+                    if snapshot { "snapshot" } else { "locking" }.to_string(),
+                    out.metrics.total_ticks.to_string(),
+                    out.metrics.blocked_ticks.to_string(),
+                    format!("{} ticks", out.metrics.reader_waits.quantile_us(0.99)),
+                    out.metrics.locks.reads_elided.to_string(),
                 ]);
             }
-            let out = driver.run(scripts);
-            table.row(vec![
-                hold.to_string(),
-                protocol.name().to_string(),
-                out.metrics.total_ticks.to_string(),
-                out.metrics.blocked_ticks.to_string(),
-                (out.metrics.blocked_ticks > 0).to_string(),
-            ]);
         }
     }
     print!("{}", table.render());
     println!();
-    println!("expected shape (paper): under whole-object locking the readers stall");
-    println!("for the whole hold time (blocked ~ 3 readers x hold); under the");
+    println!("expected shape (paper): under whole-object locking the locking readers");
+    println!("stall for the whole hold time (blocked ~ 3 readers x hold); under the");
     println!("proposed technique the robot check-out never blocks part readers —");
     println!("'long locks on coarse granules may unnecessarily block a large amount");
-    println!("of data for a long time' (§3.2.1).");
+    println!("of data for a long time' (§3.2.1). Snapshot readers sidestep the");
+    println!("trade-off: reader p99 is 0 ticks under either protocol because they");
+    println!("read committed versions and never enter the lock table at all.");
 }

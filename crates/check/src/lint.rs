@@ -64,6 +64,14 @@ pub enum ViolationKind {
     /// An event carried a field the linter could not interpret (e.g. an
     /// unknown lock mode) — the trace itself is damaged.
     MalformedEvent,
+    /// A snapshot (read-only MVCC) transaction appeared in a lock-manager
+    /// event: snapshot readers must never enter the lock table, wait, or
+    /// release anything.
+    SnapshotTxnLocked,
+    /// A `SnapshotRead` event was emitted by a transaction that did not
+    /// begin as a snapshot reader — a writer (or locking reader) bypassing
+    /// the lock protocol through the version chains.
+    SnapshotReadOutsideSnapshotTxn,
 }
 
 impl ViolationKind {
@@ -80,6 +88,8 @@ impl ViolationKind {
             ViolationKind::UnmatchedVictim => "unmatched-victim",
             ViolationKind::MissingVictim => "missing-victim",
             ViolationKind::MalformedEvent => "malformed-event",
+            ViolationKind::SnapshotTxnLocked => "snapshot-txn-locked",
+            ViolationKind::SnapshotReadOutsideSnapshotTxn => "snapshot-read-outside-snapshot-txn",
         }
     }
 }
@@ -259,6 +269,9 @@ fn object_root_relation(resource: &str) -> Option<&str> {
 #[derive(Default)]
 struct TxnState {
     long: bool,
+    /// Begun as a snapshot reader (`TxnBegin` detail `readonly`); the
+    /// locking fallback begins as `readonly-locking` and is *not* snapshot.
+    snapshot: bool,
     held: HashMap<String, LockMode>,
     released_any: bool,
     /// Contiguous run of this transaction's `Release` events, pending a
@@ -321,9 +334,41 @@ impl Linter {
                 // re-uses ids. State from the previous incarnation must not
                 // leak into the new one.
                 EventKind::TxnBegin => {
-                    *state = TxnState { long: e.detail == "long", ..Default::default() }
+                    *state = TxnState {
+                        long: e.detail == "long",
+                        snapshot: e.detail == "readonly",
+                        ..Default::default()
+                    }
                 }
                 EventKind::TxnRecovered => state.long = true,
+                // Lock-free reads are checked, not silently exempt: the pair
+                // of rules below makes "snapshot readers acquire zero locks"
+                // and "only snapshot readers use the version chains"
+                // machine-verified properties of every trace.
+                EventKind::SnapshotRead if !state.snapshot => {
+                    report.violations.push(Violation {
+                        kind: ViolationKind::SnapshotReadOutsideSnapshotTxn,
+                        txn: e.txn,
+                        seq: e.seq,
+                        resource: e.resource.clone(),
+                        detail: format!(
+                            "snapshot read ({}) from a transaction not begun readonly",
+                            e.detail
+                        ),
+                    });
+                }
+                kind if state.snapshot && is_lockmgr_kind(kind) => {
+                    report.violations.push(Violation {
+                        kind: ViolationKind::SnapshotTxnLocked,
+                        txn: e.txn,
+                        seq: e.seq,
+                        resource: e.resource.clone(),
+                        detail: format!(
+                            "snapshot transaction in a {} event (readers must elide all locks)",
+                            kind.as_str()
+                        ),
+                    });
+                }
                 EventKind::Grant => {
                     report.grants_checked += 1;
                     state.release_run.clear();
@@ -951,6 +996,69 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.kind == ViolationKind::EntryPointNotWeakened));
+    }
+
+    #[test]
+    fn clean_snapshot_txn_passes() {
+        let events = vec![
+            ev(1, EventKind::TxnBegin, 7).detail("readonly"),
+            ev(2, EventKind::SnapshotRead, 7).resource("cells[c1]").detail("ts=4"),
+            ev(3, EventKind::SnapshotRead, 7).resource("cells[c1].robots[r1]").detail("ts=4"),
+            ev(4, EventKind::TxnCommit, 7),
+        ];
+        let report = Linter::new().lint(&events);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn snapshot_txn_acquiring_a_lock_is_flagged() {
+        for kind in [EventKind::Request, EventKind::Grant, EventKind::Wait, EventKind::Release] {
+            let events = vec![
+                ev(1, EventKind::TxnBegin, 7).detail("readonly"),
+                ev(2, kind, 7).resource("db:d").mode("S"),
+            ];
+            let report = Linter::new().lint(&events);
+            assert_eq!(report.violations.len(), 1, "kind {kind:?}");
+            assert_eq!(report.violations[0].kind, ViolationKind::SnapshotTxnLocked);
+        }
+    }
+
+    #[test]
+    fn snapshot_read_from_locking_txn_is_flagged() {
+        for begin_detail in ["short", "long", "readonly-locking"] {
+            let events = vec![
+                ev(1, EventKind::TxnBegin, 7).detail(begin_detail),
+                ev(2, EventKind::SnapshotRead, 7).resource("cells[c1]").detail("ts=4"),
+            ];
+            let report = Linter::new().lint(&events);
+            assert_eq!(report.violations.len(), 1, "begin {begin_detail}");
+            assert_eq!(
+                report.violations[0].kind,
+                ViolationKind::SnapshotReadOutsideSnapshotTxn
+            );
+        }
+    }
+
+    /// The `COLOCK_NO_MVCC` fallback reader begins `readonly-locking` and
+    /// reads through ordinary S locks — that is legal, not a violation.
+    #[test]
+    fn readonly_locking_fallback_may_lock() {
+        let events = vec![
+            ev(1, EventKind::TxnBegin, 7).detail("readonly-locking"),
+            grant(2, 7, "db:d", "IS", RuleTag::AncestorIntent),
+            ev(3, EventKind::Release, 7).resource("db:d").mode("IS"),
+            ev(4, EventKind::TxnCommit, 7),
+        ];
+        let report = Linter::new().lint(&events);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    /// Ring-wraparound tolerance extends to the snapshot rules: a lock event
+    /// from a txn whose begin is outside the window is not flagged.
+    #[test]
+    fn snapshot_rules_skip_unbegun_txns() {
+        let events = vec![ev(2, EventKind::SnapshotRead, 7).resource("cells[c1]").detail("ts=4")];
+        assert!(Linter::new().lint(&events).is_clean());
     }
 
     #[test]

@@ -49,6 +49,10 @@ pub struct LockStats {
     /// Slot drains: a pessimistic S/SIX/X decision migrated outstanding
     /// optimistic intent grants into real table grants first.
     pub fastpath_drains: AtomicU64,
+    /// Reads served by the multiversion overlay with no lock acquired at
+    /// all: snapshot transactions never enter the table, so these reads
+    /// appear in no other counter here. Bumped by `colock-txn`.
+    pub reads_elided: AtomicU64,
 }
 
 impl LockStats {
@@ -86,6 +90,7 @@ impl LockStats {
             fastpath_retries: self.fastpath_retries.load(Ordering::Relaxed),
             fastpath_fallbacks: self.fastpath_fallbacks.load(Ordering::Relaxed),
             fastpath_drains: self.fastpath_drains.load(Ordering::Relaxed),
+            reads_elided: self.reads_elided.load(Ordering::Relaxed),
         }
     }
 
@@ -107,6 +112,7 @@ impl LockStats {
         self.fastpath_retries.store(0, Ordering::Relaxed);
         self.fastpath_fallbacks.store(0, Ordering::Relaxed);
         self.fastpath_drains.store(0, Ordering::Relaxed);
+        self.reads_elided.store(0, Ordering::Relaxed);
     }
 }
 
@@ -145,6 +151,8 @@ pub struct StatsSnapshot {
     pub fastpath_fallbacks: u64,
     /// Optimistic-grant drains by pessimistic S/SIX/X decisions.
     pub fastpath_drains: u64,
+    /// Reads served lock-free by the multiversion overlay.
+    pub reads_elided: u64,
 }
 
 impl StatsSnapshot {
@@ -168,6 +176,7 @@ impl StatsSnapshot {
             fastpath_retries: self.fastpath_retries - earlier.fastpath_retries,
             fastpath_fallbacks: self.fastpath_fallbacks - earlier.fastpath_fallbacks,
             fastpath_drains: self.fastpath_drains - earlier.fastpath_drains,
+            reads_elided: self.reads_elided - earlier.reads_elided,
         }
     }
 }

@@ -193,7 +193,7 @@ fn full_scan_uses_relation_granule_when_large() {
     let store2 = Arc::new(Store::new(Arc::clone(&with_stats)));
     // Repopulate under the stats-bearing catalog.
     for snap in ["effectors", "cells"] {
-        for (k, v) in mgr.store().snapshot(snap).unwrap().objects {
+        for (k, v) in mgr.store().snapshot(snap).unwrap().objects() {
             let _ = k;
             store2.insert(snap, v).unwrap();
         }

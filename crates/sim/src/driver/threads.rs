@@ -4,9 +4,11 @@
 use crate::metrics::Metrics;
 use crate::workload::cells::CellsConfig;
 use crate::workload::mix::{OpGenerator, QueryMix};
+use colock_testkit::Rng;
+use colock_trace::WaitHistogram;
 use colock_txn::{TransactionManager, TxnKind};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Instant;
 
@@ -25,6 +27,12 @@ pub struct ThreadConfig {
     pub seed: u64,
     /// Workload shape (for drawing op parameters).
     pub cells: CellsConfig,
+    /// Percentage (0–100) of transactions run as read-only snapshot
+    /// transactions: they draw from [`QueryMix::read_only`], begin via
+    /// [`TransactionManager::begin_readonly`], and read through the
+    /// multiversion overlay (or S locks when MVCC is disabled). Their
+    /// per-read wall-clock latency lands in [`Metrics::reader_waits`].
+    pub readonly_pct: u8,
 }
 
 impl Default for ThreadConfig {
@@ -36,6 +44,7 @@ impl Default for ThreadConfig {
             mix: QueryMix::engineering(),
             seed: 1,
             cells: CellsConfig::default(),
+            readonly_pct: 0,
         }
     }
 }
@@ -66,6 +75,7 @@ pub fn run_threads(mgr: &Arc<TransactionManager>, cfg: &ThreadConfig) -> ThreadR
     let trace_start = colock_trace::current_seq();
     let deadlocks = AtomicU64::new(0);
     let committed = AtomicU64::new(0);
+    let reader_hist = Mutex::new(WaitHistogram::default());
     let started = Instant::now();
 
     thread::scope(|scope| {
@@ -73,11 +83,52 @@ pub fn run_threads(mgr: &Arc<TransactionManager>, cfg: &ThreadConfig) -> ThreadR
             let mgr = Arc::clone(mgr);
             let deadlocks = &deadlocks;
             let committed = &committed;
+            let reader_hist = &reader_hist;
             let cfg = *cfg;
             scope.spawn(move || {
                 let mut gen = OpGenerator::new(cfg.cells, cfg.mix, cfg.seed + w as u64);
+                // Readers draw from an independent stream so turning them on
+                // (or off) never perturbs the writer workload of a seed.
+                let mut ro_gen = OpGenerator::new(
+                    cfg.cells,
+                    QueryMix::read_only(),
+                    cfg.seed ^ 0x5eed_0000 ^ w as u64,
+                );
+                let mut ro_rng = Rng::seed_from_u64(cfg.seed.wrapping_mul(31) + w as u64);
+                let mut local_hist = WaitHistogram::default();
                 let mut done = 0usize;
                 while done < cfg.txns_per_worker {
+                    if cfg.readonly_pct > 0
+                        && ro_rng.gen_range(0..100u32) < cfg.readonly_pct as u32
+                    {
+                        let ops = ro_gen.next_txn(cfg.ops_per_txn);
+                        let txn = mgr.begin_readonly();
+                        let mut failed = false;
+                        for op in &ops {
+                            let (target, _) = op.target();
+                            let t0 = Instant::now();
+                            match txn.snapshot_read(&target) {
+                                Err(e) if e.is_deadlock() => {
+                                    // Only possible on the S-locking fallback
+                                    // path (MVCC off); retry like a writer.
+                                    deadlocks.fetch_add(1, Ordering::Relaxed);
+                                    failed = true;
+                                    break;
+                                }
+                                // Unauthorized/absent targets still cost a
+                                // read attempt; the txn continues.
+                                _ => local_hist.record(t0.elapsed().as_micros() as u64),
+                            }
+                        }
+                        if failed {
+                            let _ = txn.abort();
+                            continue;
+                        }
+                        txn.commit().expect("commit");
+                        committed.fetch_add(1, Ordering::Relaxed);
+                        done += 1;
+                        continue;
+                    }
                     let ops = gen.next_txn(cfg.ops_per_txn);
                     let long = ops
                         .iter()
@@ -114,6 +165,9 @@ pub fn run_threads(mgr: &Arc<TransactionManager>, cfg: &ThreadConfig) -> ThreadR
                     committed.fetch_add(1, Ordering::Relaxed);
                     done += 1;
                 }
+                if local_hist.count() > 0 {
+                    reader_hist.lock().unwrap().merge(&local_hist);
+                }
             });
         }
     });
@@ -146,6 +200,7 @@ pub fn run_threads(mgr: &Arc<TransactionManager>, cfg: &ThreadConfig) -> ThreadR
         locks: mgr.lock_manager().stats().snapshot().since(&start_stats),
         scan_visits: mgr.store().scan_visits() - start_scans,
         wait_hists,
+        reader_waits: reader_hist.into_inner().unwrap(),
     };
     let throughput = metrics.committed as f64 / elapsed.as_secs_f64().max(1e-9);
     ThreadReport { metrics, throughput_per_sec: throughput }
@@ -197,6 +252,36 @@ mod tests {
             );
             assert!(report.grants_checked > 0, "seed {seed}: no grants seen");
         }
+    }
+
+    /// Read-mostly runs commit their quota, route every snapshot read past
+    /// the lock table, and record per-read latencies — with and without the
+    /// multiversion overlay (the ablation falls back to S locks).
+    #[test]
+    fn read_mostly_run_elides_locks_and_records_reader_waits() {
+        let store = build_cells_store(&CellsConfig::default());
+        let mut authz = Authorization::allow_all();
+        authz.set_relation_default("effectors", Right::Read);
+        let mgr = Arc::new(TransactionManager::over_store(store, authz, ProtocolKind::Proposed));
+        let cfg = ThreadConfig {
+            workers: 4,
+            txns_per_worker: 10,
+            readonly_pct: 60,
+            ..Default::default()
+        };
+        let report = run_threads(&mgr, &cfg);
+        assert_eq!(report.metrics.committed, 40);
+        assert!(report.metrics.locks.reads_elided > 0, "no snapshot reads happened");
+        assert_eq!(report.metrics.reader_waits.count(), report.metrics.locks.reads_elided);
+        assert_eq!(mgr.lock_manager().table_size(), 0);
+
+        // Ablation: same shape, overlay off — readers lock instead.
+        mgr.set_mvcc(false);
+        let report = run_threads(&mgr, &cfg);
+        assert_eq!(report.metrics.committed, 40);
+        assert_eq!(report.metrics.locks.reads_elided, 0);
+        assert!(report.metrics.reader_waits.count() > 0);
+        assert_eq!(mgr.lock_manager().table_size(), 0);
     }
 
     #[test]
@@ -259,6 +344,7 @@ mod liveness_tests {
                 mix: QueryMix::engineering(),
                 seed,
                 cells,
+                readonly_pct: 0,
             };
             let report = run_threads(&mgr, &cfg);
             assert_eq!(report.metrics.committed, 16, "seed {seed}");

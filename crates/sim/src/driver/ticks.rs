@@ -10,6 +10,7 @@
 
 use crate::metrics::Metrics;
 use crate::workload::mix::Op;
+use colock_core::AccessMode;
 use colock_testkit::Rng;
 use colock_txn::{TransactionManager, Transaction, TxnKind};
 
@@ -27,6 +28,12 @@ pub struct TickConfig {
     /// deadlock again on the same tick forever; jitter breaks the symmetry
     /// while identical seeds keep runs reproducible.
     pub jitter_seed: u64,
+    /// Run all-read scripts as read-only snapshot transactions: they begin
+    /// via [`TransactionManager::begin_readonly`] and read through the
+    /// multiversion overlay instead of S locks. Per-read blocked-tick counts
+    /// land in [`Metrics::reader_waits`] (always 0 while MVCC is on — the
+    /// whole point; under the `COLOCK_NO_MVCC` ablation they lock and wait).
+    pub snapshot_readers: bool,
 }
 
 impl Default for TickConfig {
@@ -36,6 +43,7 @@ impl Default for TickConfig {
             hold_ticks_after_checkout: 0,
             max_ticks: 1_000_000,
             jitter_seed: 0x5EED,
+            snapshot_readers: false,
         }
     }
 }
@@ -75,6 +83,11 @@ struct Worker<'m> {
     /// the surviving transactions can drain the cycle (prevents the
     /// restart-and-reblock livelock).
     sleep_until: u64,
+    /// Current transaction is a read-only snapshot transaction.
+    readonly: bool,
+    /// Ticks the current operation has spent blocked (flushed into
+    /// `Metrics::reader_waits` when a read-only op finally succeeds).
+    op_blocked: u64,
 }
 
 /// The deterministic driver.
@@ -106,6 +119,8 @@ impl<'m> TickDriver<'m> {
                 committed: 0,
                 blocked_now: false,
                 sleep_until: 0,
+                readonly: false,
+                op_blocked: 0,
             })
             .collect();
 
@@ -170,7 +185,14 @@ impl<'m> TickDriver<'m> {
             let long = script
                 .iter()
                 .any(|op| matches!(op, Op::CheckoutCell { .. } | Op::CheckoutRobot { .. }));
-            w.txn = Some(self.mgr.begin(if long { TxnKind::Long } else { TxnKind::Short }));
+            w.readonly = self.cfg.snapshot_readers
+                && script.iter().all(|op| op.target().1 == AccessMode::Read);
+            w.txn = Some(if w.readonly {
+                self.mgr.begin_readonly()
+            } else {
+                self.mgr.begin(if long { TxnKind::Long } else { TxnKind::Short })
+            });
+            w.op_blocked = 0;
             w.steps = script
                 .iter()
                 .flat_map(|op| {
@@ -199,6 +221,33 @@ impl<'m> TickDriver<'m> {
             }
             Step::Do(op) => {
                 let (target, access) = op.target();
+                if w.readonly {
+                    return match txn.try_snapshot_read(&target) {
+                        Ok(_) => {
+                            metrics.reader_waits.record(w.op_blocked);
+                            w.op_blocked = 0;
+                            w.step_idx += 1;
+                            w.blocked_now = false;
+                            self.maybe_finish(w, metrics);
+                            true
+                        }
+                        Err(e) if e.is_would_block() => {
+                            // Only the S-locking ablation can get here: a
+                            // snapshot read never blocks.
+                            metrics.blocked_ticks += 1;
+                            w.op_blocked += 1;
+                            w.blocked_now = true;
+                            false
+                        }
+                        Err(_) => {
+                            w.op_blocked = 0;
+                            w.step_idx += 1;
+                            w.blocked_now = false;
+                            self.maybe_finish(w, metrics);
+                            true
+                        }
+                    };
+                }
                 match txn.try_lock(&target, access) {
                     Ok(_) => {
                         if let Some((t, v)) = op.update_payload(tick) {
@@ -259,6 +308,7 @@ impl<'m> TickDriver<'m> {
             metrics.deadlock_aborts += 1;
             w.step_idx = 0; // restart the same script after the backoff
             w.blocked_now = false;
+            w.op_blocked = 0;
             w.sleep_until = tick + backoff;
         }
     }
@@ -350,6 +400,42 @@ mod tests {
         assert_eq!(a.blocked_ticks, b.blocked_ticks);
         assert_eq!(a.total_ticks, b.total_ticks);
         assert_eq!(a.deadlock_aborts, b.deadlock_aborts);
+    }
+
+    /// With `snapshot_readers` on, an all-read script rides the multiversion
+    /// overlay and finishes instantly even while a long checkout holds the
+    /// whole cell under X — the exact scenario that blocks for the full hold
+    /// period in `hold_ticks_stretch_checkouts` below.
+    #[test]
+    fn snapshot_readers_never_wait_behind_checkouts() {
+        let mgr = manager(ProtocolKind::Proposed);
+        let cfg = TickConfig {
+            hold_ticks_after_checkout: 10,
+            snapshot_readers: true,
+            ..Default::default()
+        };
+        let driver = TickDriver::new(&mgr, cfg);
+        let scripts = vec![
+            vec![vec![Op::CheckoutCell { cell: 0 }]],
+            vec![vec![Op::ReadRobot { cell: 0, robot: 0 }, Op::ReadParts { cell: 0 }]],
+        ];
+        let report = driver.run(scripts);
+        assert_eq!(report.metrics.committed, 2);
+        assert_eq!(report.metrics.blocked_ticks, 0, "snapshot reads never block");
+        assert_eq!(report.metrics.reader_waits.count(), 2);
+        assert_eq!(report.metrics.reader_waits.max_us(), 0);
+        assert_eq!(report.metrics.locks.reads_elided, 2);
+        // The ablation turns the same scripts back into waiting S readers.
+        mgr.set_mvcc(false);
+        let driver = TickDriver::new(&mgr, cfg);
+        let report = driver.run(vec![
+            vec![vec![Op::CheckoutCell { cell: 0 }]],
+            vec![vec![Op::ReadRobot { cell: 0, robot: 0 }, Op::ReadParts { cell: 0 }]],
+        ]);
+        assert_eq!(report.metrics.committed, 2);
+        assert!(report.metrics.blocked_ticks >= 8, "{}", report.metrics.blocked_ticks);
+        assert!(report.metrics.reader_waits.max_us() >= 8);
+        assert_eq!(report.metrics.locks.reads_elided, 0);
     }
 
     #[test]

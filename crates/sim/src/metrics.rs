@@ -25,6 +25,11 @@ pub struct Metrics {
     /// Per-resource wait-time histograms, keyed by resource path. Populated
     /// by the thread driver only when tracing is enabled (empty otherwise).
     pub wait_hists: BTreeMap<String, WaitHistogram>,
+    /// Wait time of read-only transactions' individual reads. In the tick
+    /// driver the unit is *ticks spent blocked per read* (0 for every
+    /// snapshot read — they cannot block); in the thread driver it is
+    /// microseconds of wall clock per read.
+    pub reader_waits: WaitHistogram,
 }
 
 impl Metrics {

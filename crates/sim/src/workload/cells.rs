@@ -136,7 +136,7 @@ pub fn build_cells_store(cfg: &CellsConfig) -> Arc<Store> {
     let catalog = Arc::new(catalog_with_stats(&staging));
     let store = Arc::new(Store::new(catalog));
     for rel in ["effectors", "cells"] {
-        for (_, v) in staging.snapshot(rel).expect("snapshot").objects {
+        for (_, v) in staging.snapshot(rel).expect("snapshot").objects() {
             store.insert(rel, v).expect("reinsert");
         }
     }
@@ -153,8 +153,8 @@ mod tests {
         let a = build_cells_store(&cfg);
         let b = build_cells_store(&cfg);
         assert_eq!(
-            a.snapshot("cells").unwrap().objects,
-            b.snapshot("cells").unwrap().objects
+            a.snapshot("cells").unwrap().objects(),
+            b.snapshot("cells").unwrap().objects()
         );
     }
 
@@ -188,7 +188,7 @@ mod tests {
     fn every_robot_has_distinct_effectors() {
         let cfg = CellsConfig::default();
         let s = build_cells_store(&cfg);
-        for (_, cell) in s.snapshot("cells").unwrap().objects {
+        for (_, cell) in s.snapshot("cells").unwrap().objects() {
             for robot in cell.field("robots").unwrap().elements().unwrap() {
                 let effs = robot.field("effectors").unwrap().elements().unwrap();
                 let mut keys: Vec<String> = effs.iter().map(|e| e.to_string()).collect();

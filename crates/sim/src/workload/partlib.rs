@@ -142,7 +142,7 @@ pub fn build_partlib_store(cfg: &PartLibConfig) -> Arc<Store> {
     let catalog = Arc::new(catalog_with_stats(&staging));
     let store = Arc::new(Store::new(catalog));
     for rel in ["materials", "parts", "assemblies"] {
-        for (_, v) in staging.snapshot(rel).expect("snapshot").objects {
+        for (_, v) in staging.snapshot(rel).expect("snapshot").objects() {
             store.insert(rel, v).expect("reinsert");
         }
     }
@@ -193,8 +193,8 @@ mod tests {
         let a = build_partlib_store(&PartLibConfig::default());
         let b = build_partlib_store(&PartLibConfig::default());
         assert_eq!(
-            a.snapshot("assemblies").unwrap().objects,
-            b.snapshot("assemblies").unwrap().objects
+            a.snapshot("assemblies").unwrap().objects(),
+            b.snapshot("assemblies").unwrap().objects()
         );
     }
 }

@@ -16,7 +16,7 @@
 
 use colock_check::Linter;
 use colock_core::authorization::Authorization;
-use colock_core::TargetStep;
+use colock_core::{InstanceTarget, TargetStep};
 use colock_sim::consistency::{run_scripted, History, HOp};
 use colock_sim::{build_cells_store, CellsConfig};
 use colock_testkit::prop::Shrink;
@@ -193,6 +193,80 @@ fn optimistic_and_pessimistic_paths_are_observationally_equivalent() {
             optimistic.storage,
             pessimistic.storage
         );
+        Ok(())
+    });
+}
+
+/// Runs the writer workload, then a quiesced read-only transaction over
+/// every item the workload can touch — once through the multiversion
+/// overlay, once through the S-locking fallback. Returns the writer-phase
+/// observation, the reader-phase results, and the `reads_elided` delta of
+/// the reader phase. Both phases must be lint-clean (the snapshot rules
+/// check the reader trace: no lock events from "readonly" transactions,
+/// no snapshot reads outside them).
+fn run_mvcc(w: &Workload, mvcc: bool) -> Result<(Observation, String, u64), String> {
+    use std::fmt::Write;
+    let mgr = TransactionManager::over_store(
+        build_cells_store(&cfg()),
+        Authorization::allow_all(),
+        ProtocolKind::Proposed,
+    );
+    mgr.set_mvcc(mvcc);
+    trace::enable();
+    let mark = trace::current_seq();
+    let history = run_scripted(&mgr, w.0.clone());
+    let writer_obs = observe(&history, &mgr);
+
+    let c = cfg();
+    let before = mgr.lock_manager().stats().snapshot();
+    let reader = mgr.begin_readonly();
+    let mut results = String::new();
+    for cell in 0..c.n_cells {
+        for robot in 0..c.robots_per_cell {
+            let t = InstanceTarget::object("cells", CellsConfig::cell_key(cell))
+                .elem("robots", CellsConfig::robot_key(robot))
+                .attr("trajectory");
+            let v = reader.snapshot_read(&t).map_err(|e| format!("mvcc={mvcc}: {e}"))?;
+            let _ = writeln!(results, "{t} = {v:?}");
+        }
+    }
+    for e in 0..c.n_effectors {
+        let t = InstanceTarget::object("effectors", CellsConfig::effector_key(e)).attr("tool");
+        let v = reader.snapshot_read(&t).map_err(|e| format!("mvcc={mvcc}: {e}"))?;
+        let _ = writeln!(results, "{t} = {v:?}");
+    }
+    reader.commit().map_err(|e| format!("mvcc={mvcc}: reader commit: {e}"))?;
+    let elided = mgr.lock_manager().stats().snapshot().since(&before).reads_elided;
+
+    let events = trace::events_since(mark);
+    let report = Linter::with_catalog(mgr.store().catalog()).lint(&events);
+    if !report.violations.is_empty() {
+        return Err(format!("mvcc={mvcc}: trace not lint-clean:\n{}", report.render()));
+    }
+    Ok((writer_obs, results, elided))
+}
+
+/// The multiversion overlay must be invisible to writers and to reader
+/// *results*: seeded workloads with a read-only phase produce identical
+/// commit/abort sets, histories, final storage, and reader values whether
+/// snapshots or S locks serve the reads. Only the mechanism differs —
+/// every overlay read is lock-elided, every fallback read is not.
+#[test]
+fn mvcc_overlay_and_locking_reads_are_observationally_equivalent() {
+    let c = cfg();
+    forall!(cases: 16, |rng| Workload(random_scripts(rng.next_u64(), 4, 4, &c)), |w: &Workload| {
+        let (on_obs, on_reads, on_elided) = run_mvcc(w, true)?;
+        let (off_obs, off_reads, off_elided) = run_mvcc(w, false)?;
+        ensure_eq!(on_obs, off_obs, "writer phase diverges under MVCC");
+        ensure!(
+            on_reads == off_reads,
+            "reader results diverge:\n  mvcc:\n{}\n  locking:\n{}",
+            on_reads,
+            off_reads
+        );
+        let expected = (cfg().n_cells * cfg().robots_per_cell + cfg().n_effectors) as u64;
+        ensure_eq!(on_elided, expected, "every overlay read must elide its lock");
+        ensure_eq!(off_elided, 0, "fallback readers must go through the lock table");
         Ok(())
     });
 }

@@ -26,7 +26,7 @@ pub mod stats;
 pub mod store;
 
 pub use error::StorageError;
-pub use store::{RelationSnapshot, Store};
+pub use store::{CommitClock, RelationSnapshot, Store, VersionPatch};
 
 /// Result alias.
 pub type Result<T> = std::result::Result<T, StorageError>;

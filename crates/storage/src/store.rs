@@ -1,4 +1,14 @@
-//! The store: relations of complex objects with referential integrity.
+//! The store: relations of complex objects with referential integrity and a
+//! multiversion read overlay.
+//!
+//! Every committed state of an object is kept as an entry of a per-object
+//! **version chain**, stamped by a monotonic commit timestamp from the
+//! store's [`CommitClock`]. The live map holds the current (possibly
+//! uncommitted) state behind `Arc` copy-on-write: installing a version is an
+//! `Arc` clone, and the first in-place mutation after it pays the deep copy.
+//! Snapshot readers resolve "newest version ≤ ts" against the chains and
+//! never consult the live map, so uncommitted in-place writes are invisible
+//! to them by construction.
 
 use crate::error::StorageError;
 use crate::navigate;
@@ -7,7 +17,7 @@ use colock_core::TargetStep;
 use colock_nf2::{Catalog, ObjectKey, ObjectRef, RelationSchema, Value};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Poison-recovering latch acquisition: a reader/writer that panicked cannot
 /// leave a relation permanently unusable — the data is guarded by the
@@ -27,18 +37,136 @@ impl<T> Latch<T> for RwLock<T> {
     }
 }
 
+/// One committed state: the commit timestamp and the object image as of that
+/// commit (`None` = the object was deleted by that commit).
+type ChainEntry = (u64, Option<Arc<Value>>);
+
 #[derive(Debug, Default)]
 struct RelationData {
-    objects: BTreeMap<ObjectKey, Value>,
+    /// Live (current) states; shared with chain entries via `Arc`
+    /// copy-on-write, so an unmodified install costs one refcount.
+    objects: BTreeMap<ObjectKey, Arc<Value>>,
+    /// Per-object version chains, ascending by commit timestamp. Every
+    /// committed object has at least one entry (non-transactional mutators
+    /// auto-commit one version); a key absent here is invisible to every
+    /// snapshot.
+    chains: BTreeMap<ObjectKey, Vec<ChainEntry>>,
 }
 
-/// A consistent snapshot of one relation (keys in order).
+/// Newest chain entry visible at snapshot `ts` (`None` if the object did not
+/// exist — never committed before `ts`, or deleted by then).
+fn visible(chain: &[ChainEntry], ts: u64) -> Option<&Arc<Value>> {
+    chain.iter().rev().find(|(t, _)| *t <= ts).and_then(|(_, v)| v.as_ref())
+}
+
+/// The monotonic commit-timestamp counter (GTM-style) behind the
+/// multiversion overlay.
+///
+/// `stable` is the newest timestamp whose commit is fully installed; readers
+/// snapshot it without any lock. The `gate` mutex serializes commits so a
+/// multi-object install publishes atomically: a snapshot taken at `stable`
+/// can never observe half of a commit.
+#[derive(Debug, Default)]
+pub struct CommitClock {
+    stable: AtomicU64,
+    gate: Mutex<()>,
+}
+
+impl CommitClock {
+    /// The newest fully-installed commit timestamp — the snapshot timestamp
+    /// a read-only transaction takes at begin.
+    pub fn stable(&self) -> u64 {
+        self.stable.load(Ordering::Acquire)
+    }
+
+    /// Runs `f` with a fresh commit timestamp under the commit gate and
+    /// publishes the timestamp as stable afterwards. `f` installs the
+    /// commit's versions; until it returns, no reader can take a snapshot
+    /// that covers the new timestamp.
+    pub fn commit<R>(&self, f: impl FnOnce(u64) -> R) -> R {
+        let _gate = self.gate.lock().unwrap_or_else(PoisonError::into_inner);
+        let ts = self.stable.load(Ordering::Relaxed) + 1;
+        let out = f(ts);
+        self.stable.store(ts, Ordering::Release);
+        out
+    }
+}
+
+/// How a committing transaction's new version of one object is derived (see
+/// [`Store::install_version`]).
 #[derive(Debug, Clone)]
-pub struct RelationSnapshot {
+pub enum VersionPatch {
+    /// The whole live object is the new version (the writer held a
+    /// whole-object X lock, e.g. it inserted the object).
+    Full,
+    /// Compose the new version from the last committed image plus the listed
+    /// subtrees copied from the live object — the paths this transaction
+    /// held element X locks on. A raw live clone would leak the uncommitted
+    /// writes of concurrent sibling-element writers into the chain.
+    Paths(Vec<Vec<TargetStep>>),
+    /// The object was deleted.
+    Tombstone,
+}
+
+/// An O(1) versioned handle to one relation: a snapshot timestamp plus a
+/// borrow of the store. Materialization ([`RelationSnapshot::objects`],
+/// [`RelationSnapshot::get`]) resolves against the version chains at the
+/// handle's timestamp, so later writes never show through.
+#[derive(Debug, Clone, Copy)]
+pub struct RelationSnapshot<'s> {
+    store: &'s Store,
+    relation: &'s str,
+    ts: u64,
+}
+
+impl RelationSnapshot<'_> {
     /// Relation name.
-    pub relation: String,
-    /// `(key, value)` pairs in key order.
-    pub objects: Vec<(ObjectKey, Value)>,
+    pub fn relation(&self) -> &str {
+        self.relation
+    }
+
+    /// The snapshot timestamp.
+    pub fn ts(&self) -> u64 {
+        self.ts
+    }
+
+    /// `(key, value)` pairs visible at the snapshot, in key order.
+    pub fn objects(&self) -> Vec<(ObjectKey, Value)> {
+        let data = self.store.data(self.relation).expect("validated at snapshot()").read_latch();
+        data.chains
+            .iter()
+            .filter_map(|(k, chain)| {
+                visible(chain, self.ts).map(|v| (k.clone(), (**v).clone()))
+            })
+            .collect()
+    }
+
+    /// The value of one object at the snapshot, if visible.
+    pub fn get(&self, key: &ObjectKey) -> Option<Value> {
+        let data = self.store.data(self.relation).ok()?.read_latch();
+        visible(data.chains.get(key)?, self.ts).map(|v| (**v).clone())
+    }
+
+    /// Keys visible at the snapshot, in order.
+    pub fn keys(&self) -> Vec<ObjectKey> {
+        let data = self.store.data(self.relation).expect("validated at snapshot()").read_latch();
+        data.chains
+            .iter()
+            .filter(|(_, chain)| visible(chain, self.ts).is_some())
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Number of objects visible at the snapshot.
+    pub fn len(&self) -> usize {
+        let data = self.store.data(self.relation).expect("validated at snapshot()").read_latch();
+        data.chains.values().filter(|chain| visible(chain, self.ts).is_some()).count()
+    }
+
+    /// Whether nothing is visible at the snapshot.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// The in-memory complex-object store.
@@ -67,11 +195,17 @@ pub struct RelationSnapshot {
 ///     ("tool", Value::str("t")),
 /// ])).is_err());
 /// ```
+#[derive(Debug)]
 pub struct Store {
     catalog: Arc<Catalog>,
     relations: BTreeMap<String, RwLock<RelationData>>,
+    clock: CommitClock,
     /// Objects visited by reverse-reference scans (cumulative, for E2).
     scan_visits: AtomicU64,
+    /// Versions installed into chains (cumulative).
+    versions_installed: AtomicU64,
+    /// Chain entries dropped by [`Store::prune_versions`] (cumulative).
+    versions_pruned: AtomicU64,
 }
 
 impl Store {
@@ -83,12 +217,24 @@ impl Store {
             .iter()
             .map(|r| (r.name.clone(), RwLock::new(RelationData::default())))
             .collect();
-        Store { catalog, relations, scan_visits: AtomicU64::new(0) }
+        Store {
+            catalog,
+            relations,
+            clock: CommitClock::default(),
+            scan_visits: AtomicU64::new(0),
+            versions_installed: AtomicU64::new(0),
+            versions_pruned: AtomicU64::new(0),
+        }
     }
 
     /// The catalog.
     pub fn catalog(&self) -> &Arc<Catalog> {
         &self.catalog
+    }
+
+    /// The commit-timestamp clock of the multiversion overlay.
+    pub fn clock(&self) -> &CommitClock {
+        &self.clock
     }
 
     fn schema_of(&self, relation: &str) -> Result<&RelationSchema> {
@@ -106,7 +252,19 @@ impl Store {
 
     /// Inserts a complex object; validates the value against the schema and
     /// checks that every contained reference resolves. Returns the key.
+    /// Auto-commits one version (the non-transactional entry point).
     pub fn insert(&self, relation: &str, value: Value) -> Result<ObjectKey> {
+        self.clock.commit(|ts| self.insert_inner(relation, value, Some(ts)))
+    }
+
+    /// Transactional insert: identical checks, but no version is installed —
+    /// the object stays invisible to snapshots until the owning transaction
+    /// commits it via [`Store::install_version`].
+    pub fn insert_pending(&self, relation: &str, value: Value) -> Result<ObjectKey> {
+        self.insert_inner(relation, value, None)
+    }
+
+    fn insert_inner(&self, relation: &str, value: Value, version: Option<u64>) -> Result<ObjectKey> {
         let schema = self.schema_of(relation)?;
         let key = value.check_object(schema)?;
         self.check_refs_resolve(&value)?;
@@ -117,14 +275,19 @@ impl Store {
                 key,
             });
         }
-        data.objects.insert(key.clone(), value);
+        let arc = Arc::new(value);
+        if let Some(ts) = version {
+            data.chains.entry(key.clone()).or_default().push((ts, Some(Arc::clone(&arc))));
+            self.versions_installed.fetch_add(1, Ordering::Relaxed);
+        }
+        data.objects.insert(key.clone(), arc);
         Ok(key)
     }
 
     /// Reads a full object (cloned).
     pub fn get(&self, relation: &str, key: &ObjectKey) -> Result<Value> {
         let data = self.data(relation)?.read_latch();
-        data.objects.get(key).cloned().ok_or_else(|| StorageError::UnknownObject {
+        data.objects.get(key).map(|v| (**v).clone()).ok_or_else(|| StorageError::UnknownObject {
             relation: relation.to_string(),
             key: key.clone(),
         })
@@ -140,7 +303,7 @@ impl Store {
         let data = self.data(relation)?.read_latch();
         data.objects
             .get(key)
-            .map(f)
+            .map(|v| f(v))
             .ok_or_else(|| StorageError::UnknownObject {
                 relation: relation.to_string(),
                 key: key.clone(),
@@ -157,7 +320,48 @@ impl Store {
         })?
     }
 
-    /// Replaces the whole object; returns the before-image.
+    /// Reads the subvalue at `steps` as of snapshot timestamp `ts` — against
+    /// the version chains only, never the live map, so no lock or latch held
+    /// by a writer is ever needed.
+    pub fn get_at_snapshot(
+        &self,
+        relation: &str,
+        key: &ObjectKey,
+        steps: &[TargetStep],
+        ts: u64,
+    ) -> Result<Value> {
+        let schema = self.schema_of(relation)?;
+        let data = self.data(relation)?.read_latch();
+        let img = data.chains.get(key).and_then(|chain| visible(chain, ts)).ok_or_else(|| {
+            StorageError::UnknownObject { relation: relation.to_string(), key: key.clone() }
+        })?;
+        navigate::navigate(schema, img, steps)
+            .cloned()
+            .ok_or_else(|| StorageError::BadTarget(format!("{relation}[{key}].{steps:?}")))
+    }
+
+    /// Whether an object is visible at snapshot timestamp `ts`.
+    pub fn contains_at(&self, relation: &str, key: &ObjectKey, ts: u64) -> bool {
+        self.data(relation)
+            .map(|d| {
+                d.read_latch().chains.get(key).and_then(|c| visible(c, ts)).is_some()
+            })
+            .unwrap_or(false)
+    }
+
+    /// Keys visible at snapshot timestamp `ts`, in order.
+    pub fn keys_at(&self, relation: &str, ts: u64) -> Result<Vec<ObjectKey>> {
+        let data = self.data(relation)?.read_latch();
+        Ok(data
+            .chains
+            .iter()
+            .filter(|(_, c)| visible(c, ts).is_some())
+            .map(|(k, _)| k.clone())
+            .collect())
+    }
+
+    /// Replaces the whole object; returns the before-image. Auto-commits one
+    /// version (the non-transactional entry point).
     pub fn update(&self, relation: &str, key: &ObjectKey, value: Value) -> Result<Value> {
         let schema = self.schema_of(relation)?;
         let new_key = value.check_object(schema)?;
@@ -167,20 +371,29 @@ impl Store {
             )));
         }
         self.check_refs_resolve(&value)?;
-        let mut data = self.data(relation)?.write_latch();
-        match data.objects.get_mut(key) {
-            Some(slot) => Ok(std::mem::replace(slot, value)),
-            None => Err(StorageError::UnknownObject {
-                relation: relation.to_string(),
-                key: key.clone(),
-            }),
-        }
+        self.clock.commit(|ts| {
+            let mut data = self.data(relation)?.write_latch();
+            match data.objects.get_mut(key) {
+                Some(slot) => {
+                    let arc = Arc::new(value);
+                    let before = std::mem::replace(slot, Arc::clone(&arc));
+                    data.chains.entry(key.clone()).or_default().push((ts, Some(arc)));
+                    self.versions_installed.fetch_add(1, Ordering::Relaxed);
+                    Ok((*before).clone())
+                }
+                None => Err(StorageError::UnknownObject {
+                    relation: relation.to_string(),
+                    key: key.clone(),
+                }),
+            }
+        })
     }
 
     /// Replaces the subvalue at `steps`; returns the before-image of the
     /// *replaced subvalue*. Undo granularity matches lock granularity: a
     /// rollback must restore only the subtree this update touched, or it
     /// would clobber concurrent (element-locked) sibling writes.
+    /// Auto-commits one version (the non-transactional entry point).
     pub fn update_at(
         &self,
         relation: &str,
@@ -188,30 +401,61 @@ impl Store {
         steps: &[TargetStep],
         new_value: Value,
     ) -> Result<Value> {
+        self.clock.commit(|ts| self.update_at_inner(relation, key, steps, new_value, Some(ts)))
+    }
+
+    /// Transactional sub-object update: identical semantics, but the result
+    /// stays out of the version chains until the owning transaction commits
+    /// it via [`Store::install_version`].
+    pub fn update_at_pending(
+        &self,
+        relation: &str,
+        key: &ObjectKey,
+        steps: &[TargetStep],
+        new_value: Value,
+    ) -> Result<Value> {
+        self.update_at_inner(relation, key, steps, new_value, None)
+    }
+
+    fn update_at_inner(
+        &self,
+        relation: &str,
+        key: &ObjectKey,
+        steps: &[TargetStep],
+        new_value: Value,
+        version: Option<u64>,
+    ) -> Result<Value> {
         let schema = self.schema_of(relation)?;
         self.check_refs_resolve(&new_value)?;
         let mut data = self.data(relation)?.write_latch();
-        let obj = data.objects.get_mut(key).ok_or_else(|| StorageError::UnknownObject {
+        let slot = data.objects.get_mut(key).ok_or_else(|| StorageError::UnknownObject {
             relation: relation.to_string(),
             key: key.clone(),
         })?;
-        let whole_before = obj.clone();
-        let slot = navigate::navigate_mut(schema, obj, steps).ok_or_else(|| {
+        let whole_before = Arc::clone(slot);
+        let obj = Arc::make_mut(slot);
+        let subtree = navigate::navigate_mut(schema, obj, steps).ok_or_else(|| {
             StorageError::BadTarget(format!("{relation}[{key}].{steps:?}"))
         })?;
-        let before = std::mem::replace(slot, new_value);
+        let before = std::mem::replace(subtree, new_value);
         // Re-validate the whole object (type + key stability).
         let new_key = obj.check_object(schema)?;
         if &new_key != key {
-            *obj = whole_before;
+            *slot = whole_before;
             return Err(StorageError::BadTarget("update_at must not change the key".into()));
+        }
+        if let Some(ts) = version {
+            let arc = Arc::clone(slot);
+            data.chains.entry(key.clone()).or_default().push((ts, Some(arc)));
+            self.versions_installed.fetch_add(1, Ordering::Relaxed);
         }
         Ok(before)
     }
 
     /// Writes a rollback image back at `steps` (the inverse of
     /// [`Store::update_at`]). Like [`Store::restore`], no referential checks
-    /// are performed: the image is a state the object already held.
+    /// are performed and no version is installed: the image is a state the
+    /// object already held.
     pub fn restore_at(
         &self,
         relation: &str,
@@ -221,20 +465,33 @@ impl Store {
     ) -> Result<()> {
         let schema = self.schema_of(relation)?;
         let mut data = self.data(relation)?.write_latch();
-        let obj = data.objects.get_mut(key).ok_or_else(|| StorageError::UnknownObject {
+        let slot = data.objects.get_mut(key).ok_or_else(|| StorageError::UnknownObject {
             relation: relation.to_string(),
             key: key.clone(),
         })?;
-        let slot = navigate::navigate_mut(schema, obj, steps).ok_or_else(|| {
+        let obj = Arc::make_mut(slot);
+        let subtree = navigate::navigate_mut(schema, obj, steps).ok_or_else(|| {
             StorageError::BadTarget(format!("{relation}[{key}].{steps:?}"))
         })?;
-        *slot = image;
+        *subtree = image;
         Ok(())
     }
 
     /// Deletes an object; rejected while other objects still reference it
-    /// (referential integrity). Returns the before-image.
+    /// (referential integrity). Returns the before-image. Auto-commits a
+    /// tombstone version (the non-transactional entry point).
     pub fn delete(&self, relation: &str, key: &ObjectKey) -> Result<Value> {
+        self.clock.commit(|ts| self.delete_inner(relation, key, Some(ts)))
+    }
+
+    /// Transactional delete: the object leaves the live map now, but stays
+    /// visible to snapshots until the owning transaction commits a tombstone
+    /// via [`Store::install_version`].
+    pub fn delete_pending(&self, relation: &str, key: &ObjectKey) -> Result<Value> {
+        self.delete_inner(relation, key, None)
+    }
+
+    fn delete_inner(&self, relation: &str, key: &ObjectKey, version: Option<u64>) -> Result<Value> {
         let referencers = self.count_referencers(relation, key)?;
         if referencers > 0 {
             return Err(StorageError::StillReferenced {
@@ -244,25 +501,138 @@ impl Store {
             });
         }
         let mut data = self.data(relation)?.write_latch();
-        data.objects.remove(key).ok_or_else(|| StorageError::UnknownObject {
+        let gone = data.objects.remove(key).ok_or_else(|| StorageError::UnknownObject {
             relation: relation.to_string(),
             key: key.clone(),
-        })
+        })?;
+        if let Some(ts) = version {
+            data.chains.entry(key.clone()).or_default().push((ts, None));
+            self.versions_installed.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok((*gone).clone())
     }
 
     /// Restores an object to a previous image (transaction rollback); also
     /// used to undo a delete (re-insert) or an insert (remove, pass `None`).
+    /// Never versions: rollback re-establishes a state the chains already
+    /// end in.
     pub fn restore(&self, relation: &str, key: &ObjectKey, image: Option<Value>) -> Result<()> {
         let mut data = self.data(relation)?.write_latch();
         match image {
             Some(v) => {
-                data.objects.insert(key.clone(), v);
+                data.objects.insert(key.clone(), Arc::new(v));
             }
             None => {
                 data.objects.remove(key);
             }
         }
         Ok(())
+    }
+
+    /// Installs one object's new committed version at timestamp `ts` — the
+    /// commit step of a writing transaction, called under
+    /// [`CommitClock::commit`] while the writer still holds its X locks.
+    ///
+    /// `Paths` composition exists because element X locks admit concurrent
+    /// writers on *sibling* elements of the same object: the live object may
+    /// carry their uncommitted data, so the new version is the last
+    /// committed image plus only the committing transaction's own locked
+    /// subtrees. If composition is impossible (no prior committed image, a
+    /// path that no longer navigates), the whole live object is installed.
+    pub fn install_version(
+        &self,
+        relation: &str,
+        key: &ObjectKey,
+        ts: u64,
+        patch: &VersionPatch,
+    ) -> Result<()> {
+        let schema = self.schema_of(relation)?;
+        let mut data = self.data(relation)?.write_latch();
+        let data = &mut *data;
+        let entry = match patch {
+            VersionPatch::Tombstone => (ts, None),
+            VersionPatch::Full => {
+                let live = data.objects.get(key).ok_or_else(|| StorageError::UnknownObject {
+                    relation: relation.to_string(),
+                    key: key.clone(),
+                })?;
+                (ts, Some(Arc::clone(live)))
+            }
+            VersionPatch::Paths(paths) => {
+                let live = data.objects.get(key).ok_or_else(|| StorageError::UnknownObject {
+                    relation: relation.to_string(),
+                    key: key.clone(),
+                })?;
+                let base = data.chains.get(key).and_then(|c| c.last()).and_then(|(_, v)| v.as_ref());
+                match base {
+                    None => (ts, Some(Arc::clone(live))),
+                    Some(base) => {
+                        let mut img = (**base).clone();
+                        let mut composed = true;
+                        for path in paths {
+                            let (Some(src), Some(dst)) = (
+                                navigate::navigate(schema, live, path),
+                                navigate::navigate_mut(schema, &mut img, path),
+                            ) else {
+                                composed = false;
+                                break;
+                            };
+                            // Split borrows: `src` is read from `live`,
+                            // `dst` written into the fresh `img`.
+                            let src = src.clone();
+                            *dst = src;
+                        }
+                        if composed {
+                            (ts, Some(Arc::new(img)))
+                        } else {
+                            (ts, Some(Arc::clone(live)))
+                        }
+                    }
+                }
+            }
+        };
+        data.chains.entry(key.clone()).or_default().push(entry);
+        self.versions_installed.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Drops chain entries no active snapshot can reach: per chain, every
+    /// entry older than the newest entry ≤ `watermark` (the oldest active
+    /// snapshot timestamp). A chain whose only remaining entry is a
+    /// tombstone ≤ `watermark` is removed entirely. Returns the number of
+    /// entries dropped.
+    pub fn prune_versions(&self, watermark: u64) -> u64 {
+        let mut pruned = 0u64;
+        for lock in self.relations.values() {
+            let mut data = lock.write_latch();
+            data.chains.retain(|_, chain| {
+                let keep_from = chain.iter().rposition(|(t, _)| *t <= watermark).unwrap_or(0);
+                pruned += keep_from as u64;
+                chain.drain(..keep_from);
+                if chain.len() == 1 && chain[0].0 <= watermark && chain[0].1.is_none() {
+                    pruned += 1;
+                    return false;
+                }
+                true
+            });
+        }
+        self.versions_pruned.fetch_add(pruned, Ordering::Relaxed);
+        pruned
+    }
+
+    /// Total chain entries of one relation (GC observability).
+    pub fn version_entries(&self, relation: &str) -> Result<usize> {
+        Ok(self.data(relation)?.read_latch().chains.values().map(Vec::len).sum())
+    }
+
+    /// Versions installed into chains so far (cumulative).
+    pub fn versions_installed(&self) -> u64 {
+        self.versions_installed.load(Ordering::Relaxed)
+    }
+
+    /// Chain entries dropped by pruning so far (cumulative).
+    pub fn versions_pruned(&self) -> u64 {
+        self.versions_pruned.load(Ordering::Relaxed)
     }
 
     /// Keys of a relation, in order.
@@ -287,13 +657,15 @@ impl Store {
             .unwrap_or(false)
     }
 
-    /// A consistent snapshot of one relation.
-    pub fn snapshot(&self, relation: &str) -> Result<RelationSnapshot> {
-        let data = self.data(relation)?.read_latch();
-        Ok(RelationSnapshot {
-            relation: relation.to_string(),
-            objects: data.objects.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
-        })
+    /// An O(1) versioned snapshot handle of one relation, pinned at the
+    /// current stable commit timestamp. Later writes never show through;
+    /// materialization is deferred to the accessors.
+    pub fn snapshot(&self, relation: &str) -> Result<RelationSnapshot<'_>> {
+        let (name, _) = self
+            .relations
+            .get_key_value(relation)
+            .ok_or_else(|| StorageError::UnknownRelation(relation.to_string()))?;
+        Ok(RelationSnapshot { store: self, relation: name, ts: self.clock.stable() })
     }
 
     /// Objects visited by all reverse scans so far.
@@ -511,6 +883,145 @@ mod tests {
         s.insert("effectors", effector("e1", "a")).unwrap();
         let snap = s.snapshot("effectors").unwrap();
         s.update("effectors", &ObjectKey::from("e1"), effector("e1", "b")).unwrap();
-        assert_eq!(snap.objects[0].1.field("tool"), Some(&Value::str("a")));
+        assert_eq!(snap.objects()[0].1.field("tool"), Some(&Value::str("a")));
+    }
+
+    #[test]
+    fn snapshot_handle_is_lazy_and_pinned() {
+        let s = store();
+        s.insert("effectors", effector("e1", "a")).unwrap();
+        let snap = s.snapshot("effectors").unwrap();
+        let ts = snap.ts();
+        s.insert("effectors", effector("e2", "b")).unwrap();
+        s.delete("effectors", &ObjectKey::from("e1")).unwrap();
+        // The handle still sees exactly the state at its timestamp.
+        assert_eq!(snap.keys().len(), 1);
+        assert_eq!(snap.get(&ObjectKey::from("e1")).unwrap().field("tool"), Some(&Value::str("a")));
+        assert!(snap.get(&ObjectKey::from("e2")).is_none());
+        assert_eq!(snap.len(), 1);
+        assert!(!snap.is_empty());
+        // A fresh handle sees the new state.
+        let now = s.snapshot("effectors").unwrap();
+        assert!(now.ts() > ts);
+        assert_eq!(now.keys(), vec![ObjectKey::from("e2")]);
+    }
+
+    #[test]
+    fn pending_writes_are_invisible_to_snapshots() {
+        let s = store();
+        s.insert("effectors", effector("e1", "a")).unwrap();
+        let ts = s.clock().stable();
+        // Pending update: live changes, chains do not.
+        s.update_at_pending("effectors", &ObjectKey::from("e1"), &[TargetStep::attr("tool")], Value::str("dirty"))
+            .unwrap();
+        let read = s
+            .get_at_snapshot("effectors", &ObjectKey::from("e1"), &[TargetStep::attr("tool")], ts)
+            .unwrap();
+        assert_eq!(read, Value::str("a"));
+        // Pending insert: invisible until installed.
+        s.insert_pending("effectors", effector("e2", "b")).unwrap();
+        assert!(!s.contains_at("effectors", &ObjectKey::from("e2"), s.clock().stable()));
+        // Install both at one commit timestamp.
+        s.clock().commit(|ts| {
+            s.install_version("effectors", &ObjectKey::from("e1"), ts, &VersionPatch::Paths(vec![vec![
+                TargetStep::attr("tool"),
+            ]]))
+            .unwrap();
+            s.install_version("effectors", &ObjectKey::from("e2"), ts, &VersionPatch::Full).unwrap();
+        });
+        let now = s.clock().stable();
+        assert_eq!(
+            s.get_at_snapshot("effectors", &ObjectKey::from("e1"), &[TargetStep::attr("tool")], now)
+                .unwrap(),
+            Value::str("dirty")
+        );
+        assert!(s.contains_at("effectors", &ObjectKey::from("e2"), now));
+        // The old snapshot still reads the old value.
+        assert_eq!(
+            s.get_at_snapshot("effectors", &ObjectKey::from("e1"), &[TargetStep::attr("tool")], ts)
+                .unwrap(),
+            Value::str("a")
+        );
+    }
+
+    #[test]
+    fn paths_patch_excludes_sibling_dirty_data() {
+        let s = store();
+        s.insert("effectors", effector("e1", "x")).unwrap();
+        s.insert("effectors", effector("e2", "y")).unwrap();
+        s.insert("cells", cell("c1", vec![("r1", vec!["e1"]), ("r2", vec!["e2"])])).unwrap();
+        let key = ObjectKey::from("c1");
+        let r1 = vec![TargetStep::elem("robots", "r1"), TargetStep::attr("trajectory")];
+        let r2 = vec![TargetStep::elem("robots", "r2"), TargetStep::attr("trajectory")];
+        // Two concurrent element writers: T1 updates r1, T2 updates r2.
+        // Both are pending; T1 commits first.
+        s.update_at_pending("cells", &key, &r1, Value::str("t1-traj")).unwrap();
+        s.update_at_pending("cells", &key, &r2, Value::str("t2-dirty")).unwrap();
+        s.clock().commit(|ts| {
+            s.install_version("cells", &key, ts, &VersionPatch::Paths(vec![r1.clone()])).unwrap();
+        });
+        let now = s.clock().stable();
+        // T1's commit carries its own subtree but NOT T2's uncommitted write.
+        assert_eq!(s.get_at_snapshot("cells", &key, &r1, now).unwrap(), Value::str("t1-traj"));
+        assert_eq!(s.get_at_snapshot("cells", &key, &r2, now).unwrap(), Value::str("t-r2"));
+        // After T2 commits, its subtree is visible too.
+        s.clock().commit(|ts| {
+            s.install_version("cells", &key, ts, &VersionPatch::Paths(vec![r2.clone()])).unwrap();
+        });
+        let later = s.clock().stable();
+        assert_eq!(s.get_at_snapshot("cells", &key, &r2, later).unwrap(), Value::str("t2-dirty"));
+        assert_eq!(s.get_at_snapshot("cells", &key, &r1, later).unwrap(), Value::str("t1-traj"));
+    }
+
+    #[test]
+    fn tombstone_hides_object_from_later_snapshots() {
+        let s = store();
+        s.insert("effectors", effector("e1", "a")).unwrap();
+        let before = s.clock().stable();
+        s.delete_pending("effectors", &ObjectKey::from("e1")).unwrap();
+        // Still visible to snapshots until the tombstone commits.
+        assert!(s.contains_at("effectors", &ObjectKey::from("e1"), s.clock().stable()));
+        s.clock().commit(|ts| {
+            s.install_version("effectors", &ObjectKey::from("e1"), ts, &VersionPatch::Tombstone)
+                .unwrap();
+        });
+        assert!(!s.contains_at("effectors", &ObjectKey::from("e1"), s.clock().stable()));
+        assert!(s.contains_at("effectors", &ObjectKey::from("e1"), before));
+        assert_eq!(s.keys_at("effectors", before).unwrap().len(), 1);
+        assert!(s.keys_at("effectors", s.clock().stable()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn prune_keeps_watermark_visibility() {
+        let s = store();
+        s.insert("effectors", effector("e1", "v0")).unwrap();
+        for i in 1..=5 {
+            s.update("effectors", &ObjectKey::from("e1"), effector("e1", &format!("v{i}")))
+                .unwrap();
+        }
+        assert_eq!(s.version_entries("effectors").unwrap(), 6);
+        let watermark = 3; // an active snapshot at ts=3
+        let pruned = s.prune_versions(watermark);
+        assert_eq!(pruned, 2); // ts 1 and 2 dropped; 3,4,5,6 kept
+        assert_eq!(s.version_entries("effectors").unwrap(), 4);
+        // The watermark snapshot still reads its version.
+        let v = s
+            .get_at_snapshot("effectors", &ObjectKey::from("e1"), &[TargetStep::attr("tool")], watermark)
+            .unwrap();
+        assert_eq!(v, Value::str("v2"));
+        assert_eq!(s.versions_pruned(), 2);
+        assert!(s.versions_installed() >= 6);
+    }
+
+    #[test]
+    fn prune_drops_dead_tombstone_chains() {
+        let s = store();
+        s.insert("effectors", effector("e1", "a")).unwrap();
+        s.delete("effectors", &ObjectKey::from("e1")).unwrap();
+        assert_eq!(s.version_entries("effectors").unwrap(), 2);
+        // Watermark past the tombstone: the whole chain is unreachable.
+        let pruned = s.prune_versions(s.clock().stable());
+        assert_eq!(pruned, 2);
+        assert_eq!(s.version_entries("effectors").unwrap(), 0);
     }
 }

@@ -145,6 +145,10 @@ pub enum EventKind {
     /// its surviving long locks and recovery re-created its state (`detail`
     /// holds the lock count).
     TxnRecovered,
+    /// A read-only snapshot transaction read a target through the
+    /// multiversion overlay without acquiring any lock (`detail` holds the
+    /// snapshot timestamp).
+    SnapshotRead,
 }
 
 impl EventKind {
@@ -168,6 +172,7 @@ impl EventKind {
             EventKind::TxnAbort => "abort",
             EventKind::TxnReleaseEarly => "release-early",
             EventKind::TxnRecovered => "recovered",
+            EventKind::SnapshotRead => "snapshot-read",
         }
     }
 
@@ -193,6 +198,7 @@ impl EventKind {
             "abort" => EventKind::TxnAbort,
             "release-early" => EventKind::TxnReleaseEarly,
             "recovered" => EventKind::TxnRecovered,
+            "snapshot-read" => EventKind::SnapshotRead,
             _ => return None,
         })
     }
@@ -487,6 +493,7 @@ mod tests {
             EventKind::TxnAbort,
             EventKind::TxnReleaseEarly,
             EventKind::TxnRecovered,
+            EventKind::SnapshotRead,
         ] {
             assert_eq!(EventKind::parse(k.as_str()), Some(k));
         }

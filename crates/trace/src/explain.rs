@@ -106,6 +106,9 @@ pub fn timeline(events: &[Event]) -> Timeline {
             EventKind::TxnRecovered => {
                 push(e.txn, e, format!("re-adopted after crash recovery ({})", e.detail));
             }
+            EventKind::SnapshotRead => {
+                push(e.txn, e, format!("snapshot read of {} ({})", e.resource, e.detail));
+            }
         }
     }
     out

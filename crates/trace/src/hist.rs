@@ -71,6 +71,37 @@ impl WaitHistogram {
         self.max_us
     }
 
+    /// Nearest-rank quantile in microseconds: the upper bound of the bucket
+    /// holding the `⌈q·count⌉`-th wait, clamped to [`WaitHistogram::max_us`]
+    /// (so the p100 of a histogram is exact, and low quantiles are bounded
+    /// by the bucket resolution). Returns 0 when empty.
+    ///
+    /// ```
+    /// use colock_trace::WaitHistogram;
+    /// let mut h = WaitHistogram::default();
+    /// for us in [3, 3, 3, 700] {
+    ///     h.record(us);
+    /// }
+    /// assert_eq!(h.quantile_us(0.50), 4);    // bucket [2,4)
+    /// assert_eq!(h.quantile_us(0.99), 700);  // bucket [512,1024) clamped to max
+    /// assert_eq!(WaitHistogram::default().quantile_us(0.99), 0);
+    /// ```
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let hi = if i + 1 >= 64 { u64::MAX } else { 1u64 << (i + 1) };
+                return hi.min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
     /// Renders an ASCII histogram titled with `label`: one `lo–hi  count
     /// bar` line per non-empty bucket plus a summary line.
     pub fn render(&self, label: &str) -> String {
@@ -158,6 +189,36 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.max_us(), 1000);
         assert_eq!(a.total_us, 1012);
+    }
+
+    #[test]
+    fn quantiles_track_distribution() {
+        let mut h = WaitHistogram::default();
+        // 90 fast waits (~8µs) and 10 slow ones (~5000µs).
+        for _ in 0..90 {
+            h.record(8);
+        }
+        for _ in 0..10 {
+            h.record(5000);
+        }
+        assert_eq!(h.quantile_us(0.50), 16); // bucket [8,16)
+        assert_eq!(h.quantile_us(0.90), 16);
+        assert_eq!(h.quantile_us(0.95), 5000); // bucket [4096,8192) clamped to max
+        assert_eq!(h.quantile_us(0.99), 5000);
+        assert_eq!(h.quantile_us(1.0), 5000);
+        // Quantiles survive a merge.
+        let mut all = WaitHistogram::default();
+        all.merge(&h);
+        assert_eq!(all.quantile_us(0.99), h.quantile_us(0.99));
+    }
+
+    #[test]
+    fn quantile_of_single_sample_is_exact() {
+        let mut h = WaitHistogram::default();
+        h.record(42);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_us(q), 42);
+        }
     }
 
     #[test]

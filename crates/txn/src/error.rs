@@ -21,6 +21,10 @@ pub enum TxnError {
     NotCheckedOut(String),
     /// The long-lock journal could not be replayed during crash recovery.
     Recovery(JournalError),
+    /// A write (or lock request) on a read-only snapshot transaction.
+    /// Snapshot transactions read the multiversion overlay and must never
+    /// mutate data or enter the lock table.
+    ReadOnlyTxn(TxnId),
 }
 
 impl TxnError {
@@ -53,6 +57,9 @@ impl fmt::Display for TxnError {
             }
             TxnError::NotCheckedOut(t) => write!(f, "`{t}` was not checked out"),
             TxnError::Recovery(e) => write!(f, "recovery failed: {e}"),
+            TxnError::ReadOnlyTxn(t) => {
+                write!(f, "{t} is read-only (snapshot transactions cannot write or lock)")
+            }
         }
     }
 }

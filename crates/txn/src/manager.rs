@@ -9,8 +9,10 @@ use colock_core::{
 };
 use colock_lockmgr::txnid::TxnIdGen;
 use colock_lockmgr::{Journal, JournalSink, LockManager, TxnId};
+use colock_lockmgr::LockStats;
 use colock_storage::Store;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Which lock protocol a manager (or an individual transaction) uses.
@@ -62,6 +64,11 @@ pub(crate) struct TxnState {
     /// Per-transaction ancestor-lock cache; dies with the state at EOT, so
     /// invalidation needs no extra bookkeeping. Cleared on early release.
     pub cache: Arc<TxnLockCache>,
+    /// Begun via `begin_readonly`: must never write.
+    pub readonly: bool,
+    /// Snapshot timestamp pinned at begin (MVCC read-only transactions
+    /// only); unregistered from the GC watermark set at EOT.
+    pub snapshot_ts: Option<u64>,
 }
 
 /// The transaction manager: owns lock manager, engine, store, rights.
@@ -77,6 +84,31 @@ pub struct TransactionManager {
     /// keeps the concrete type (the lock manager only sees the sink trait)
     /// so recovery can inspect the medium.
     journal: OnceLock<Arc<Journal<ResourcePath>>>,
+    /// Multiversion overlay toggle (`COLOCK_NO_MVCC` ablation): off,
+    /// `begin_readonly` degrades to a locking reader.
+    mvcc: AtomicBool,
+    /// Active snapshot timestamps → number of pinning transactions. The min
+    /// key is the GC low watermark; pruning runs under this mutex so a
+    /// concurrent `begin_readonly` cannot pin a timestamp mid-prune.
+    snapshots: Mutex<BTreeMap<u64, usize>>,
+    /// Writer commits since the last GC pass.
+    commits_since_gc: AtomicU64,
+    /// GC cadence in writer commits (`COLOCK_GC_EVERY`, 0 = off).
+    gc_every: AtomicU64,
+}
+
+/// `COLOCK_NO_MVCC` set (non-empty, not "0") disables the overlay.
+fn mvcc_default() -> bool {
+    match std::env::var("COLOCK_NO_MVCC") {
+        Ok(v) => v.is_empty() || v == "0",
+        Err(_) => true,
+    }
+}
+
+/// `COLOCK_GC_EVERY` overrides the version-GC cadence (default every 64
+/// writer commits; 0 disables automatic pruning).
+fn gc_every_default() -> u64 {
+    std::env::var("COLOCK_GC_EVERY").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
 }
 
 /// What `TransactionManager::recover` restored from a journal.
@@ -109,7 +141,63 @@ impl TransactionManager {
             idgen: TxnIdGen::new(),
             states: Mutex::new(HashMap::new()),
             journal: OnceLock::new(),
+            mvcc: AtomicBool::new(mvcc_default()),
+            snapshots: Mutex::new(BTreeMap::new()),
+            commits_since_gc: AtomicU64::new(0),
+            gc_every: AtomicU64::new(gc_every_default()),
         }
+    }
+
+    fn snapshots_locked(&self) -> MutexGuard<'_, BTreeMap<u64, usize>> {
+        self.snapshots.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Whether the multiversion read overlay is active (read-only
+    /// transactions elide locks). Defaults to on; `COLOCK_NO_MVCC=1` or
+    /// [`TransactionManager::set_mvcc`] turn it off.
+    pub fn mvcc_enabled(&self) -> bool {
+        self.mvcc.load(Ordering::Relaxed)
+    }
+
+    /// Toggles the multiversion overlay (ablation hook; the env-independent
+    /// counterpart of `COLOCK_NO_MVCC` for parallel tests).
+    pub fn set_mvcc(&self, enabled: bool) {
+        self.mvcc.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Version-GC cadence in writer commits (0 = automatic GC off).
+    pub fn gc_every(&self) -> u64 {
+        self.gc_every.load(Ordering::Relaxed)
+    }
+
+    /// Overrides the version-GC cadence (the env-independent counterpart of
+    /// `COLOCK_GC_EVERY`).
+    pub fn set_gc_every(&self, every: u64) {
+        self.gc_every.store(every, Ordering::Relaxed);
+    }
+
+    /// The GC low watermark: the oldest snapshot timestamp still pinned by
+    /// an active read-only transaction, or the current stable timestamp when
+    /// none is active. Versions older than the newest chain entry ≤ this are
+    /// unreachable.
+    pub fn low_watermark(&self) -> u64 {
+        self.snapshots_locked()
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or_else(|| self.store.clock().stable())
+    }
+
+    /// Prunes version chains up to the low watermark now; returns entries
+    /// dropped. Runs automatically every [`TransactionManager::gc_every`]
+    /// writer commits.
+    pub fn gc_versions(&self) -> u64 {
+        // Hold the snapshot registry across the prune: a reader beginning
+        // concurrently pins stable() ≥ our watermark, which pruning keeps.
+        let snaps = self.snapshots_locked();
+        let watermark =
+            snaps.keys().next().copied().unwrap_or_else(|| self.store.clock().stable());
+        self.store.prune_versions(watermark)
     }
 
     /// Locks the per-transaction state map, recovering from poisoning so a
@@ -170,6 +258,8 @@ impl TransactionManager {
                     shrinking: false,
                     checked_out: HashMap::new(),
                     cache: Arc::new(TxnLockCache::new()),
+                    readonly: false,
+                    snapshot_ts: None,
                 });
             }
         }
@@ -212,6 +302,8 @@ impl TransactionManager {
                 shrinking: false,
                 checked_out: HashMap::new(),
                 cache: Arc::new(TxnLockCache::new()),
+                readonly: false,
+                snapshot_ts: None,
             },
         );
         colock_trace::emit(|| {
@@ -219,6 +311,42 @@ impl TransactionManager {
                 .detail(if kind == TxnKind::Long { "long" } else { "short" })
         });
         Transaction::new(self, id, kind)
+    }
+
+    /// Starts a read-only transaction. With the multiversion overlay on it
+    /// pins a snapshot timestamp at begin and every read resolves against
+    /// the version chains — zero locks, never in the waits-for graph, never
+    /// blocked behind a long check-out. With the overlay off
+    /// (`COLOCK_NO_MVCC`) it degrades to an ordinary locking reader (begin
+    /// detail `readonly-locking`), which is the ablation baseline.
+    pub fn begin_readonly(&self) -> Transaction<'_> {
+        let id = self.idgen.next();
+        let snap = if self.mvcc_enabled() {
+            // Pin under the registry lock so a concurrent GC pass cannot
+            // compute a watermark above this timestamp before it lands.
+            let mut snaps = self.snapshots_locked();
+            let ts = self.store.clock().stable();
+            *snaps.entry(ts).or_insert(0) += 1;
+            Some(ts)
+        } else {
+            None
+        };
+        self.states_locked().insert(
+            id,
+            TxnState {
+                undo: Vec::new(),
+                shrinking: false,
+                checked_out: HashMap::new(),
+                cache: Arc::new(TxnLockCache::new()),
+                readonly: true,
+                snapshot_ts: snap,
+            },
+        );
+        colock_trace::emit(|| {
+            colock_trace::Event::new(colock_trace::EventKind::TxnBegin, id.0)
+                .detail(if snap.is_some() { "readonly" } else { "readonly-locking" })
+        });
+        Transaction::new_readonly(self, id, snap)
     }
 
     /// The lock manager.
@@ -302,6 +430,12 @@ impl TransactionManager {
         if st.shrinking {
             return Err(TxnError::TwoPhaseViolation(txn));
         }
+        // Manager-level backstop for the handle-level guard: a snapshot
+        // transaction must never reach the lock table, whatever path the
+        // request took.
+        if st.readonly && st.snapshot_ts.is_some() {
+            return Err(TxnError::ReadOnlyTxn(txn));
+        }
         Ok(Arc::clone(&st.cache))
     }
 
@@ -355,10 +489,37 @@ impl TransactionManager {
             .states_locked()
             .remove(&txn)
             .ok_or(TxnError::NotActive(txn))?;
+        if let Some(ts) = state.snapshot_ts {
+            // Unpin the snapshot; the GC watermark may advance past it now.
+            let mut snaps = self.snapshots_locked();
+            if let Some(n) = snaps.get_mut(&ts) {
+                *n -= 1;
+                if *n == 0 {
+                    snaps.remove(&ts);
+                }
+            }
+        }
         let rolled_back = if commit {
             Ok(())
         } else {
             crate::undo::rollback(&self.store, &state.undo)
+        };
+        // A committing writer installs its new versions *before* releasing
+        // its X locks: the patches are composed from subtrees no concurrent
+        // transaction may touch yet, and the commit gate makes the whole
+        // multi-object install atomic to snapshot readers.
+        let installed: std::result::Result<(), colock_storage::StorageError> = if commit
+            && !state.undo.is_empty()
+        {
+            let patches = crate::undo::commit_patches(&self.store, &state.undo);
+            self.store.clock().commit(|ts| {
+                for (relation, key, patch) in &patches {
+                    self.store.install_version(relation, key, ts, patch)?;
+                }
+                Ok(())
+            })
+        } else {
+            Ok(())
         };
         // Locks are released even when an undo record failed: holding them
         // would wedge every waiter behind a transaction that no longer
@@ -369,7 +530,20 @@ impl TransactionManager {
                 if commit { colock_trace::EventKind::TxnCommit } else { colock_trace::EventKind::TxnAbort };
             colock_trace::Event::new(kind, txn.0)
         });
-        rolled_back.map_err(TxnError::from)
+        if commit && !state.undo.is_empty() {
+            let every = self.gc_every.load(Ordering::Relaxed);
+            if every > 0
+                && (self.commits_since_gc.fetch_add(1, Ordering::Relaxed) + 1).is_multiple_of(every)
+            {
+                self.gc_versions();
+            }
+        }
+        rolled_back.map_err(TxnError::from).and(installed.map_err(TxnError::from))
+    }
+
+    /// Bumps the elided-read counter (one per lock-free snapshot read).
+    pub(crate) fn note_read_elided(&self) {
+        LockStats::bump(&self.lm.stats().reads_elided);
     }
 
     /// Number of active transactions.

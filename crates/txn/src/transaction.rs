@@ -17,6 +17,11 @@ pub enum TxnKind {
     /// Long transaction; its explicit data locks are long locks that survive
     /// simulated shutdowns.
     Long,
+    /// Read-only transaction begun via
+    /// [`TransactionManager::begin_readonly`]: reads through the
+    /// multiversion overlay at a pinned snapshot timestamp (or, with the
+    /// overlay disabled, through ordinary S locks) and may never write.
+    ReadOnly,
 }
 
 /// A live transaction. Dropping without [`Transaction::commit`] /
@@ -26,12 +31,20 @@ pub struct Transaction<'m> {
     mgr: &'m TransactionManager,
     id: TxnId,
     kind: TxnKind,
+    /// Snapshot timestamp (MVCC read-only transactions only). `Some` means
+    /// every read resolves against the version chains and any lock request
+    /// is an error.
+    snap: Option<u64>,
     finished: bool,
 }
 
 impl<'m> Transaction<'m> {
     pub(crate) fn new(mgr: &'m TransactionManager, id: TxnId, kind: TxnKind) -> Self {
-        Transaction { mgr, id, kind, finished: false }
+        Transaction { mgr, id, kind, snap: None, finished: false }
+    }
+
+    pub(crate) fn new_readonly(mgr: &'m TransactionManager, id: TxnId, snap: Option<u64>) -> Self {
+        Transaction { mgr, id, kind: TxnKind::ReadOnly, snap, finished: false }
     }
 
     /// The transaction id.
@@ -49,18 +62,44 @@ impl<'m> Transaction<'m> {
         self.mgr
     }
 
+    /// The pinned snapshot timestamp, if this is an MVCC read-only
+    /// transaction.
+    pub fn snapshot_ts(&self) -> Option<u64> {
+        self.snap
+    }
+
     fn opts(&self) -> ProtocolOptions {
         ProtocolOptions { long: self.kind == TxnKind::Long, ..ProtocolOptions::default() }
+    }
+
+    /// Snapshot transactions never enter the lock table; a lock request on
+    /// one is a protocol bug, reported as [`TxnError::ReadOnlyTxn`] (and the
+    /// conformance linter flags any that slips through to the trace).
+    fn check_may_lock(&self) -> Result<()> {
+        if self.snap.is_some() {
+            return Err(TxnError::ReadOnlyTxn(self.id));
+        }
+        Ok(())
+    }
+
+    /// Any write on a read-only transaction is rejected, snapshot or not.
+    fn check_may_write(&self) -> Result<()> {
+        if self.kind == TxnKind::ReadOnly {
+            return Err(TxnError::ReadOnlyTxn(self.id));
+        }
+        Ok(())
     }
 
     /// Locks `target` for `access` without touching data (explicit lock
     /// request). Returns the lock report.
     pub fn lock(&self, target: &InstanceTarget, access: AccessMode) -> Result<LockReport> {
+        self.check_may_lock()?;
         self.mgr.lock(self.id, target, access, self.opts())
     }
 
     /// Non-blocking lock (used by deterministic schedulers).
     pub fn try_lock(&self, target: &InstanceTarget, access: AccessMode) -> Result<LockReport> {
+        self.check_may_lock()?;
         self.mgr.lock(self.id, target, access, self.opts().try_lock())
     }
 
@@ -73,6 +112,7 @@ impl<'m> Transaction<'m> {
         mode: colock_lockmgr::LockMode,
         deref_refs: bool,
     ) -> Result<LockReport> {
+        self.check_may_lock()?;
         self.mgr.lock_mode(
             self.id,
             target,
@@ -87,18 +127,64 @@ impl<'m> Transaction<'m> {
         target: &InstanceTarget,
         mode: colock_lockmgr::LockMode,
     ) -> Result<LockReport> {
+        self.check_may_lock()?;
         self.mgr.lock_mode(self.id, target, mode, self.opts())
     }
 
     /// Locks without downward propagation — for accesses whose semantics
     /// provably never dereference the contained references (§4.5).
     pub fn lock_no_deref(&self, target: &InstanceTarget, access: AccessMode) -> Result<LockReport> {
+        self.check_may_lock()?;
         self.mgr.lock(self.id, target, access, ProtocolOptions { deref_refs: false, ..self.opts() })
     }
 
-    /// Reads the value at `target` (locks S first).
+    /// Reads the value at `target`: through the multiversion overlay for a
+    /// snapshot transaction, via an S lock otherwise.
     pub fn read(&self, target: &InstanceTarget) -> Result<Value> {
+        if self.snap.is_some() {
+            return self.snapshot_read(target);
+        }
         self.lock(target, AccessMode::Read)?;
+        let key = target.object.clone().ok_or_else(|| {
+            TxnError::Storage(colock_storage::StorageError::BadTarget(target.to_string()))
+        })?;
+        Ok(self.mgr.store().get_at(&target.relation, &key, &target.steps)?)
+    }
+
+    /// Reads `target` as of this transaction's snapshot timestamp, without
+    /// acquiring any lock: the read resolves "newest version ≤ snapshot"
+    /// against the version chains, so it can never block behind a long
+    /// check-out (and never appears in the waits-for graph). Emits a
+    /// `SnapshotRead` trace event and counts as an elided read in the lock
+    /// manager's statistics. On a non-MVCC read-only transaction
+    /// (`COLOCK_NO_MVCC` ablation) this degrades to the locking
+    /// [`Transaction::read`], which *can* block.
+    pub fn snapshot_read(&self, target: &InstanceTarget) -> Result<Value> {
+        let Some(ts) = self.snap else {
+            return self.read(target);
+        };
+        let key = target.object.clone().ok_or_else(|| {
+            TxnError::Storage(colock_storage::StorageError::BadTarget(target.to_string()))
+        })?;
+        let value =
+            self.mgr.store().get_at_snapshot(&target.relation, &key, &target.steps, ts)?;
+        colock_trace::emit(|| {
+            colock_trace::Event::new(colock_trace::EventKind::SnapshotRead, self.id.0)
+                .resource(target.to_string())
+                .detail(format!("ts={ts}"))
+        });
+        self.mgr.note_read_elided();
+        Ok(value)
+    }
+
+    /// Non-blocking variant for deterministic schedulers: identical to
+    /// [`Transaction::snapshot_read`] under MVCC (which never blocks
+    /// anyway); under the ablation it try-locks S and surfaces would-block.
+    pub fn try_snapshot_read(&self, target: &InstanceTarget) -> Result<Value> {
+        if self.snap.is_some() {
+            return self.snapshot_read(target);
+        }
+        self.try_lock(target, AccessMode::Read)?;
         let key = target.object.clone().ok_or_else(|| {
             TxnError::Storage(colock_storage::StorageError::BadTarget(target.to_string()))
         })?;
@@ -107,6 +193,7 @@ impl<'m> Transaction<'m> {
 
     /// Updates the subvalue at `target` (locks X first, logs undo).
     pub fn update(&self, target: &InstanceTarget, new_value: Value) -> Result<()> {
+        self.check_may_write()?;
         self.lock(target, AccessMode::Update)?;
         let key = target.object.clone().ok_or_else(|| {
             TxnError::Storage(colock_storage::StorageError::BadTarget(target.to_string()))
@@ -114,7 +201,7 @@ impl<'m> Transaction<'m> {
         let before = self
             .mgr
             .store()
-            .update_at(&target.relation, &key, &target.steps, new_value)?;
+            .update_at_pending(&target.relation, &key, &target.steps, new_value)?;
         self.log(UndoRecord::Updated {
             relation: target.relation.clone(),
             key,
@@ -126,10 +213,12 @@ impl<'m> Transaction<'m> {
 
     /// Inserts a complex object (locks the relation IX + the new object X).
     pub fn insert(&self, relation: &str, value: Value) -> Result<ObjectKey> {
+        self.check_may_write()?;
         // Insert first to learn the key, then lock the new object; the
         // relation-level IX comes with the object lock chain. (Phantom
-        // protection is future work in the paper, §5.)
-        let key = self.mgr.store().insert(relation, value)?;
+        // protection is future work in the paper, §5.) The insert is
+        // *pending*: no version exists until this transaction commits.
+        let key = self.mgr.store().insert_pending(relation, value)?;
         let target = InstanceTarget::object(relation, key.clone());
         match self.lock(&target, AccessMode::Update) {
             Ok(_) => {
@@ -146,9 +235,10 @@ impl<'m> Transaction<'m> {
 
     /// Deletes a complex object (locks X first, logs undo).
     pub fn delete(&self, relation: &str, key: &ObjectKey) -> Result<()> {
+        self.check_may_write()?;
         let target = InstanceTarget::object(relation, key.clone());
         self.lock(&target, AccessMode::Update)?;
-        let before = self.mgr.store().delete(relation, key)?;
+        let before = self.mgr.store().delete_pending(relation, key)?;
         self.log(UndoRecord::Deleted { relation: relation.to_string(), key: key.clone(), before });
         Ok(())
     }
@@ -158,6 +248,7 @@ impl<'m> Transaction<'m> {
     /// element's references, downward propagation is skipped (§4.5: "no locks
     /// on common data are necessary at all").
     pub fn delete_element(&self, element: &InstanceTarget) -> Result<()> {
+        self.check_may_write()?;
         let Some(last) = element.steps.last() else {
             return Err(TxnError::Storage(colock_storage::StorageError::BadTarget(
                 element.to_string(),
@@ -204,7 +295,7 @@ impl<'m> Transaction<'m> {
         let before = self
             .mgr
             .store()
-            .update_at(&element.relation, &key, &container_target.steps, new_container)?;
+            .update_at_pending(&element.relation, &key, &container_target.steps, new_container)?;
         self.log(UndoRecord::Updated {
             relation: element.relation.clone(),
             key,
@@ -217,6 +308,7 @@ impl<'m> Transaction<'m> {
     /// Checks out `target` to a workstation: long lock (S for read-only
     /// check-out, X for update check-out) plus a private copy of the data.
     pub fn checkout(&self, target: &InstanceTarget, access: AccessMode) -> Result<Value> {
+        self.check_may_write()?;
         self.mgr.lock(
             self.id,
             target,
@@ -237,6 +329,7 @@ impl<'m> Transaction<'m> {
     /// Checks a modified copy back in; the target must have been checked out
     /// by this transaction.
     pub fn checkin(&self, target: &InstanceTarget, new_value: Value) -> Result<()> {
+        self.check_may_write()?;
         {
             let states = self.mgr.states_locked();
             let st = states.get(&self.id).ok_or(TxnError::NotActive(self.id))?;
@@ -250,7 +343,7 @@ impl<'m> Transaction<'m> {
         let before = self
             .mgr
             .store()
-            .update_at(&target.relation, &key, &target.steps, new_value)?;
+            .update_at_pending(&target.relation, &key, &target.steps, new_value)?;
         self.log(UndoRecord::Updated {
             relation: target.relation.clone(),
             key,

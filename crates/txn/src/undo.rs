@@ -2,7 +2,8 @@
 
 use colock_core::TargetStep;
 use colock_nf2::{ObjectKey, Value};
-use colock_storage::{Store, StorageError};
+use colock_storage::{StorageError, Store, VersionPatch};
+use std::collections::BTreeMap;
 
 /// One undo record; applied in reverse order on abort.
 #[derive(Debug, Clone)]
@@ -74,6 +75,64 @@ pub fn rollback(store: &Store, log: &[UndoRecord]) -> Result<(), StorageError> {
     }
 }
 
+/// Derives a committing transaction's version patches from its undo log:
+/// one patch per touched `(relation, key)`, in deterministic key order.
+///
+/// The undo log is the exact record of what this transaction wrote under
+/// its own X locks, which makes it the right source for the new versions —
+/// a raw clone of the live object could carry uncommitted sibling-element
+/// writes of concurrent transactions (see
+/// [`colock_storage::Store::install_version`]).
+///
+/// * live object gone          → [`VersionPatch::Tombstone`]
+/// * inserted by this txn      → [`VersionPatch::Full`]
+/// * otherwise                 → [`VersionPatch::Paths`] of the updated
+///   subtrees, in write order
+pub fn commit_patches(
+    store: &Store,
+    log: &[UndoRecord],
+) -> Vec<(String, ObjectKey, VersionPatch)> {
+    #[derive(Default)]
+    struct Touched {
+        inserted: bool,
+        paths: Vec<Vec<TargetStep>>,
+    }
+    let mut grouped: BTreeMap<(String, ObjectKey), Touched> = BTreeMap::new();
+    for rec in log {
+        match rec {
+            UndoRecord::Inserted { relation, key } => {
+                grouped.entry((relation.clone(), key.clone())).or_default().inserted = true;
+            }
+            UndoRecord::Updated { relation, key, steps, .. } => {
+                grouped
+                    .entry((relation.clone(), key.clone()))
+                    .or_default()
+                    .paths
+                    .push(steps.clone());
+            }
+            UndoRecord::Deleted { relation, key, .. } => {
+                grouped.entry((relation.clone(), key.clone())).or_default();
+            }
+        }
+    }
+    grouped
+        .into_iter()
+        .map(|((relation, key), t)| {
+            let patch = if !store.contains(&relation, &key) {
+                // Deleted (possibly after updates): commit a tombstone.
+                VersionPatch::Tombstone
+            } else if t.inserted || t.paths.is_empty() {
+                // Born in this txn (even if updated afterwards — its whole
+                // state is this txn's work), or delete-then-reinsert.
+                VersionPatch::Full
+            } else {
+                VersionPatch::Paths(t.paths)
+            };
+            (relation, key, patch)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +189,42 @@ mod tests {
         assert!(err.to_string().contains("no-such-relation"), "{err}");
         // The valid undo still ran: the insert was removed.
         assert!(!store.contains("effectors", &ObjectKey::from("e1")));
+    }
+
+    #[test]
+    fn commit_patches_classify_touches() {
+        let store = Store::new(Arc::new(fig1_catalog()));
+        store.insert("effectors", effector("e1", "a")).unwrap();
+        store.insert("effectors", effector("e2", "b")).unwrap();
+        let before = store
+            .update_at_pending(
+                "effectors",
+                &ObjectKey::from("e1"),
+                &[TargetStep::attr("tool")],
+                Value::str("a2"),
+            )
+            .unwrap();
+        let gone = store.delete_pending("effectors", &ObjectKey::from("e2")).unwrap();
+        store.insert_pending("effectors", effector("e3", "c")).unwrap();
+        let log = vec![
+            UndoRecord::Updated {
+                relation: "effectors".into(),
+                key: ObjectKey::from("e1"),
+                steps: vec![TargetStep::attr("tool")],
+                before,
+            },
+            UndoRecord::Deleted {
+                relation: "effectors".into(),
+                key: ObjectKey::from("e2"),
+                before: gone,
+            },
+            UndoRecord::Inserted { relation: "effectors".into(), key: ObjectKey::from("e3") },
+        ];
+        let patches = commit_patches(&store, &log);
+        assert_eq!(patches.len(), 3);
+        assert!(matches!(patches[0], (_, _, VersionPatch::Paths(ref p)) if p.len() == 1));
+        assert!(matches!(patches[1], (_, _, VersionPatch::Tombstone)));
+        assert!(matches!(patches[2], (_, _, VersionPatch::Full)));
     }
 
     #[test]

@@ -70,6 +70,13 @@ echo "==> stress_recovery (bounded fault-injection sweep, linted)"
 COLOCK_CHECK=1 COLOCK_RECOVERY_ROUNDS="${COLOCK_RECOVERY_ROUNDS:-10}" \
     cargo run --offline --release -q -p colock-bench --bin stress_recovery
 
+echo "==> stress_snapshot (read-mostly storm against the MVCC overlay, linted)"
+# 70% snapshot readers against writers under COLOCK_CHECK=1: every round
+# asserts reads_elided matches the reader histogram, the lock table drains,
+# and the linter sees no snapshot txn in any lock-manager event.
+COLOCK_CHECK=1 COLOCK_STRESS_ROUNDS="${COLOCK_STRESS_ROUNDS:-40}" \
+    cargo run --offline --release -q -p colock-bench --bin stress_snapshot
+
 echo "==> differential fast-path equivalence suite"
 # The optimistic/pessimistic differential harness runs both paths itself;
 # this run keeps it in the gate so a fast-path change cannot land without
@@ -85,6 +92,13 @@ COLOCK_NO_FASTPATH=1 COLOCK_CHECK=1 COLOCK_STRESS_ROUNDS=10 \
 COLOCK_NO_FASTPATH=1 COLOCK_CHECK=1 COLOCK_RECOVERY_ROUNDS=5 \
     cargo run --offline --release -q -p colock-bench --bin stress_recovery
 
+echo "==> stress_snapshot with the overlay disabled (locking fallback)"
+# COLOCK_NO_MVCC=1 drops read-only txns to the S-locking fallback: the same
+# storm must still commit every round with zero elided reads and a drained
+# table, proving the toggle is safe under contention.
+COLOCK_NO_MVCC=1 COLOCK_CHECK=1 COLOCK_STRESS_ROUNDS=10 \
+    cargo run --offline --release -q -p colock-bench --bin stress_snapshot
+
 echo "==> shard-scaling bench (small budget)"
 COLOCK_BENCH_MS="${COLOCK_BENCH_MS:-50}" \
     cargo bench --offline -p colock-bench --bench bench_shard_scaling -q
@@ -92,5 +106,9 @@ COLOCK_BENCH_MS="${COLOCK_BENCH_MS:-50}" \
 echo "==> recovery bench (small budget)"
 COLOCK_BENCH_MS="${COLOCK_BENCH_MS:-50}" \
     cargo bench --offline -p colock-bench --bench bench_recovery -q
+
+echo "==> snapshot-read bench (small budget)"
+COLOCK_BENCH_MS="${COLOCK_BENCH_MS:-50}" \
+    cargo bench --offline -p colock-bench --bench bench_snapshot -q
 
 echo "==> all checks passed"

@@ -64,7 +64,7 @@ fn all_protocols_preserve_data_integrity_under_contention() {
         // store revalidates types, keys and references.
         let fresh = colock::storage::Store::new(Arc::clone(mgr.store().catalog()));
         for rel in ["effectors", "cells"] {
-            for (_, v) in mgr.store().snapshot(rel).unwrap().objects {
+            for (_, v) in mgr.store().snapshot(rel).unwrap().objects() {
                 fresh.insert(rel, v).unwrap_or_else(|e| panic!("{protocol:?}: {e}"));
             }
         }

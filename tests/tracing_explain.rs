@@ -37,6 +37,7 @@ fn every_committed_txn_has_a_nonempty_timeline() {
         mix: QueryMix::update_heavy(),
         seed: 7,
         cells,
+        readonly_pct: 0,
     };
     let report = run_threads(&mgr, &cfg);
     assert_eq!(report.metrics.committed, 20);
