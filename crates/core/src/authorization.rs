@@ -7,9 +7,16 @@
 //! transaction has (not) the right to modify it (§4.4.1). Rule 4′ uses this:
 //! during downward propagation under an X request, entry points of
 //! non-modifiable inner units are locked S instead of X.
+//!
+//! Per-transaction rights are interior-mutable behind an `RwLock` so a
+//! long-lived shared `Arc<Authorization>` (the transaction manager holds one)
+//! can be updated by a serving layer: `colock-server` grants a session's
+//! rights at `BEGIN` and retracts them at end of transaction, giving each
+//! connection its own rule 4′ environment without rebuilding the manager.
 
 use colock_lockmgr::TxnId;
 use std::collections::HashMap;
+use std::sync::{PoisonError, RwLock};
 
 /// Access right of a transaction on a relation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
@@ -29,13 +36,26 @@ pub enum Right {
 /// rule 4′ degenerate to rule 4 unless rights are restricted — matching the
 /// paper, where the benefit appears exactly when transactions lack update
 /// rights on common data (e.g. the effectors library).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Authorization {
     default_right: Right,
-    /// `(txn) -> (relation -> right)`.
-    txn_rights: HashMap<TxnId, HashMap<String, Right>>,
+    /// `(txn) -> (relation -> right)`. Interior-mutable: grants arrive while
+    /// the matrix is shared behind an `Arc` (per-session contexts).
+    txn_rights: RwLock<HashMap<TxnId, HashMap<String, Right>>>,
     /// Relation-wide defaults (apply to all txns without specific override).
     relation_defaults: HashMap<String, Right>,
+}
+
+impl Clone for Authorization {
+    fn clone(&self) -> Self {
+        Authorization {
+            default_right: self.default_right,
+            txn_rights: RwLock::new(
+                self.txn_rights.read().unwrap_or_else(PoisonError::into_inner).clone(),
+            ),
+            relation_defaults: self.relation_defaults.clone(),
+        }
+    }
 }
 
 impl Authorization {
@@ -56,14 +76,33 @@ impl Authorization {
         self.relation_defaults.insert(relation.into(), right);
     }
 
-    /// Grants a specific right to one transaction on one relation.
-    pub fn grant(&mut self, txn: TxnId, relation: impl Into<String>, right: Right) {
-        self.txn_rights.entry(txn).or_default().insert(relation.into(), right);
+    /// Grants a specific right to one transaction on one relation. Takes
+    /// `&self`: the matrix may already be shared (sessions grant through the
+    /// manager's `Arc`).
+    pub fn grant(&self, txn: TxnId, relation: impl Into<String>, right: Right) {
+        self.txn_rights
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(txn)
+            .or_default()
+            .insert(relation.into(), right);
+    }
+
+    /// Drops every per-transaction override of `txn` (end of transaction —
+    /// ids are never reused, so keeping them would leak).
+    pub fn retract(&self, txn: TxnId) {
+        self.txn_rights.write().unwrap_or_else(PoisonError::into_inner).remove(&txn);
     }
 
     /// The effective right of `txn` on `relation`.
     pub fn right(&self, txn: TxnId, relation: &str) -> Right {
-        if let Some(r) = self.txn_rights.get(&txn).and_then(|m| m.get(relation)) {
+        if let Some(r) = self
+            .txn_rights
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&txn)
+            .and_then(|m| m.get(relation))
+        {
             return *r;
         }
         if let Some(r) = self.relation_defaults.get(relation) {
@@ -114,10 +153,32 @@ mod tests {
 
     #[test]
     fn deny_blocks_read_too() {
-        let mut a = Authorization::allow_all();
+        let a = Authorization::allow_all();
         a.grant(TxnId(2), "cells", Right::Deny);
         assert!(!a.can_read(TxnId(2), "cells"));
         assert!(!a.can_modify(TxnId(2), "cells"));
+    }
+
+    #[test]
+    fn retract_restores_defaults() {
+        let mut a = Authorization::allow_all();
+        a.set_relation_default("effectors", Right::Read);
+        a.grant(TxnId(4), "effectors", Right::Update);
+        assert!(a.can_modify(TxnId(4), "effectors"));
+        a.retract(TxnId(4));
+        assert!(!a.can_modify(TxnId(4), "effectors"));
+        assert!(a.can_read(TxnId(4), "effectors"));
+    }
+
+    #[test]
+    fn grants_work_through_shared_references() {
+        use std::sync::Arc;
+        let a = Arc::new(Authorization::allow_all().with_default(Right::Read));
+        let b = Arc::clone(&a);
+        b.grant(TxnId(3), "cells", Right::Update);
+        assert!(a.can_modify(TxnId(3), "cells"));
+        let c = (*a).clone();
+        assert!(c.can_modify(TxnId(3), "cells"));
     }
 
     #[test]

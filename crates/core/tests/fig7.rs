@@ -197,7 +197,7 @@ fn from_the_side_conflict_is_detected() {
         .lock_proposed(&lm, ta, &src, &authz, &q2_target(), AccessMode::Update, ProtocolOptions::default())
         .unwrap();
 
-    let mut authz_b = Authorization::allow_all();
+    let authz_b = Authorization::allow_all();
     authz_b.grant(TxnId(11), "effectors", Right::Update);
     let r = engine.lock_proposed(
         &lm,

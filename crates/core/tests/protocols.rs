@@ -229,7 +229,7 @@ fn diamond_shared_ref_locked_once() {
 #[test]
 fn unauthorized_access_is_rejected_before_locking() {
     let (engine, lm, src) = setup(2);
-    let mut authz = Authorization::allow_all();
+    let authz = Authorization::allow_all();
     authz.grant(TxnId(7), "cells", Right::Read);
     let r = engine.lock_proposed(
         &lm,

@@ -33,6 +33,11 @@ pub enum LockError {
     /// the caller must treat the whole system as down (§3.1 recovery decides
     /// the lock's fate at restart).
     Crashed,
+    /// The manager is draining for shutdown: parked waiters are woken and
+    /// refused so in-flight transactions can abort promptly instead of
+    /// sleeping through the drain window. Already-granted locks are
+    /// unaffected.
+    Draining,
 }
 
 impl fmt::Display for LockError {
@@ -49,6 +54,7 @@ impl fmt::Display for LockError {
             LockError::VictimPending(t) => write!(f, "{t} was chosen as deadlock victim"),
             LockError::UnknownTxn(t) => write!(f, "unknown transaction {t}"),
             LockError::Crashed => f.write_str("long-lock journal crashed; request unacknowledged"),
+            LockError::Draining => f.write_str("lock manager is draining for shutdown"),
         }
     }
 }

@@ -511,6 +511,10 @@ pub struct LockManager<R: Resource> {
     /// Whether the optimistic intent fast path is on (default: on unless
     /// `COLOCK_NO_FASTPATH` is set).
     fastpath: AtomicBool,
+    /// Set by [`LockManager::begin_drain`]: parked waiters are woken and
+    /// refused with [`LockError::Draining`] so shutdown never sleeps behind
+    /// a blocked lock request. Granted locks are unaffected.
+    draining: AtomicBool,
     /// Cheap flag checked on the publication path; the probe mutex is only
     /// touched when armed.
     probe_armed: AtomicBool,
@@ -545,6 +549,7 @@ impl<R: Resource> LockManager<R> {
             journal: OnceLock::new(),
             summaries: (0..n * SLOTS_PER_SHARD).map(|_| AtomicU64::new(0)).collect(),
             fastpath: AtomicBool::new(fastpath_default()),
+            draining: AtomicBool::new(false),
             probe_armed: AtomicBool::new(false),
             fastpath_probe: Mutex::new(None),
         }
@@ -561,6 +566,39 @@ impl<R: Resource> LockManager<R> {
     /// them.
     pub fn set_fastpath(&self, on: bool) {
         self.fastpath.store(on, Ordering::Relaxed);
+    }
+
+    /// Starts draining for shutdown: every parked waiter is woken and its
+    /// blocked `acquire` returns [`LockError::Draining`]; blocking requests
+    /// issued while the flag is set fail the same way the moment they would
+    /// park. Granted locks (including durable long locks) are untouched —
+    /// the caller decides whether to release or journal-and-leak them.
+    /// Reversed by [`LockManager::end_drain`].
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        // Wake every parked waiter so each one observes the flag under its
+        // shard mutex and returns. Locking shard-by-shard is fine: a waiter
+        // that parks after we pass its shard re-checks the flag before
+        // sleeping and never blocks.
+        for shard in self.shards.iter() {
+            let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            for state in shard.resources.values() {
+                if let Some(cond) = &state.cond {
+                    cond.notify_all();
+                }
+            }
+        }
+    }
+
+    /// Clears the drain flag so blocking requests park normally again
+    /// (a server restart without process restart).
+    pub fn end_drain(&self) {
+        self.draining.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether [`LockManager::begin_drain`] is in effect.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
     }
 
     /// Installs (or clears) a test probe invoked between an optimistic
@@ -1961,6 +1999,16 @@ impl<R: Resource> LockManager<R> {
                     return Err(e);
                 }
                 None => {}
+            }
+            if self.draining.load(Ordering::SeqCst) {
+                // Shutdown: refuse instead of sleeping. Status was just
+                // checked under the shard mutex — not granted, not a victim.
+                self.remove_waiter(&mut shard, txn, &resource);
+                slot_update(slot, summary::wait_dec);
+                if self.has_ungranted_waiters(&shard, &resource) {
+                    self.process_queue(&mut shard, &resource);
+                }
+                return Err(LockError::Draining);
             }
             match deadline {
                 Some(d) => {

@@ -1,0 +1,149 @@
+//! Interactive / demo client for the colock wire protocol.
+//!
+//! - `colock_client <addr> --demo` runs a scripted conversational session
+//!   (the transcript quoted in the README) and exits non-zero if any step
+//!   fails.
+//! - `colock_client <addr>` reads commands from stdin, one per line, spaces
+//!   standing in for the record separator (`BEGIN LONG`,
+//!   `GET rel:cells/obj:c1`, …), and prints each response frame.
+
+use colock_server::client::Client;
+use colock_server::wire::{parse_target, BeginKind, Request, Response, Role};
+use colock_core::AccessMode;
+use colock_nf2::Value;
+use std::io::BufRead;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("colock_client: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .or_else(|| std::env::var("COLOCK_ADDR").ok())
+        .unwrap_or_else(|| fail("usage: colock_client <addr> [--demo]"));
+    let demo = args.iter().any(|a| a == "--demo");
+    if demo {
+        run_demo(&addr);
+    } else {
+        run_repl(&addr);
+    }
+}
+
+/// The scripted conversational session: rename a cell, check a robot out
+/// and back in under a long transaction, show the timeline.
+fn run_demo(addr: &str) {
+    let show = |dir: char, text: &str| println!("{dir} {text}");
+    let mut c = Client::connect(addr, "demo", Role::Engineer)
+        .unwrap_or_else(|e| fail(&format!("connect {addr}: {e}")));
+    show('>', "HELLO demo 1 engineer");
+    show('<', "OK sid v1 engineer");
+
+    let txn = c.begin(BeginKind::Short).unwrap_or_else(|e| fail(&e.to_string()));
+    show('>', "BEGIN");
+    show('<', &format!("OK T{}", txn.0));
+
+    let name = parse_target("rel:cells/obj:c1/attr:robots/elem:r1/attr:trajectory").expect("static target");
+    let v = c.get(&name).unwrap_or_else(|e| fail(&e.to_string()));
+    show('>', "GET rel:cells/obj:c1/attr:robots/elem:r1/attr:trajectory");
+    show('<', &format!("OK {}", colock_server::client::value_text(&v)));
+
+    c.put(&name, Value::str("traj-retuned")).unwrap_or_else(|e| fail(&e.to_string()));
+    show('>', "PUT rel:cells/obj:c1/attr:robots/elem:r1/attr:trajectory s:traj-retuned");
+    show('<', "OK");
+
+    c.commit().unwrap_or_else(|e| fail(&e.to_string()));
+    show('>', "COMMIT");
+    show('<', "OK");
+
+    // The conversational part: a long transaction checks a robot out.
+    let txn = c.begin(BeginKind::Long).unwrap_or_else(|e| fail(&e.to_string()));
+    show('>', "BEGIN LONG");
+    show('<', &format!("OK T{}", txn.0));
+
+    let robot = parse_target("rel:cells/obj:c1/attr:robots/elem:r1").expect("static target");
+    let copy = c.checkout(&robot, AccessMode::Update).unwrap_or_else(|e| fail(&e.to_string()));
+    show('>', "CHECKOUT rel:cells/obj:c1/attr:robots/elem:r1 UPDATE");
+    show('<', "OK <robot tuple>");
+
+    c.checkin(&robot, copy).unwrap_or_else(|e| fail(&e.to_string()));
+    show('>', "CHECKIN rel:cells/obj:c1/attr:robots/elem:r1 <robot tuple>");
+    show('<', "OK");
+
+    c.commit().unwrap_or_else(|e| fail(&e.to_string()));
+    show('>', "COMMIT");
+    show('<', "OK");
+
+    let timeline = c.explain().unwrap_or_else(|e| fail(&e.to_string()));
+    show('>', "EXPLAIN");
+    for line in &timeline {
+        show('<', &format!("EVENT {line}"));
+    }
+    show('<', &format!("END {}", timeline.len()));
+
+    c.quit();
+    show('>', "QUIT");
+    show('<', "OK");
+}
+
+/// Line-oriented REPL: space-separated words become record fields.
+fn run_repl(addr: &str) {
+    let mut c = Client::connect(addr, "repl", Role::Engineer)
+        .unwrap_or_else(|e| fail(&format!("connect {addr}: {e}")));
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let payload = line.split_whitespace().collect::<Vec<_>>().join("\t");
+        let req = match Request::parse(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("! {e}");
+                continue;
+            }
+        };
+        let streaming = matches!(req, Request::Explain | Request::Trace | Request::Stats);
+        if let Err(e) = c.send(&req) {
+            fail(&e.to_string());
+        }
+        loop {
+            match c.recv() {
+                Ok(frame) => {
+                    println!("{}", render(&frame));
+                    let done = !streaming || matches!(frame, Response::End(_));
+                    if streaming && !matches!(frame, Response::End(_)) {
+                        continue;
+                    }
+                    if done {
+                        break;
+                    }
+                }
+                Err(e) => fail(&e.to_string()),
+            }
+        }
+        if matches!(req, Request::Quit) {
+            break;
+        }
+    }
+}
+
+fn render(frame: &Response) -> String {
+    match frame {
+        Response::Ok(fields) if fields.is_empty() => "OK".into(),
+        Response::Ok(fields) => format!("OK {}", fields.join(" ")),
+        Response::Err { code, message, backoff_ms } => match backoff_ms {
+            Some(ms) => format!("ERR {code} {message} (retry in {ms}ms)"),
+            None => format!("ERR {code} {message}"),
+        },
+        Response::Event(line) => format!("EVENT {line}"),
+        Response::Stat { name, value } => format!("STAT {name} {value}"),
+        Response::End(n) => format!("END {n}"),
+    }
+}

@@ -195,19 +195,33 @@ pub struct OpGenerator {
     cfg: CellsConfig,
     mix: QueryMix,
     rng: Rng,
+    /// Percentage (0–100) of cell-targeting draws redirected to cell 0 (the
+    /// "hot" cell). 0 keeps the uniform draw. Models the skewed access the
+    /// load generator uses to provoke contention.
+    hot_spot_pct: u32,
 }
 
 impl OpGenerator {
     /// Creates a generator.
     pub fn new(cfg: CellsConfig, mix: QueryMix, seed: u64) -> Self {
-        OpGenerator { cfg, mix, rng: Rng::seed_from_u64(seed) }
+        OpGenerator { cfg, mix, rng: Rng::seed_from_u64(seed), hot_spot_pct: 0 }
+    }
+
+    /// Makes `pct` % of cell-targeting operations hit cell 0 instead of a
+    /// uniformly drawn cell (hot-spot skew; values > 100 are clamped).
+    pub fn with_hot_spot(mut self, pct: u32) -> Self {
+        self.hot_spot_pct = pct.min(100);
+        self
     }
 
     /// Draws the next operation.
     pub fn next_op(&mut self) -> Op {
         let total = self.mix.total().max(1);
         let mut roll = self.rng.gen_range(0..total);
-        let cell = self.rng.gen_range(0..self.cfg.n_cells.max(1));
+        let mut cell = self.rng.gen_range(0..self.cfg.n_cells.max(1));
+        if self.hot_spot_pct > 0 && self.rng.gen_range(0..100) < self.hot_spot_pct {
+            cell = 0;
+        }
         let robot = self.rng.gen_range(0..self.cfg.robots_per_cell.max(1));
         let effector = self.rng.gen_range(0..self.cfg.n_effectors.max(1));
 
@@ -267,6 +281,23 @@ mod tests {
                 !matches!(op, Op::UpdateRobot { .. } | Op::UpdateEffector { .. } | Op::CheckoutCell { .. } | Op::CheckoutRobot { .. }),
                 "{op:?}"
             );
+        }
+    }
+
+    #[test]
+    fn full_hot_spot_pins_every_cell_draw() {
+        let cfg = CellsConfig::default();
+        let mut g = OpGenerator::new(cfg, QueryMix::engineering(), 3).with_hot_spot(100);
+        for _ in 0..100 {
+            match g.next_op() {
+                Op::ReadParts { cell }
+                | Op::UpdateRobot { cell, .. }
+                | Op::ReadRobot { cell, .. }
+                | Op::CheckoutCell { cell }
+                | Op::CheckoutRobot { cell, .. }
+                | Op::ReadCell { cell } => assert_eq!(cell, 0),
+                Op::UpdateEffector { .. } | Op::ReadEffector { .. } => {}
+            }
         }
     }
 

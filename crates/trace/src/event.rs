@@ -149,6 +149,13 @@ pub enum EventKind {
     /// multiversion overlay without acquiring any lock (`detail` holds the
     /// snapshot timestamp).
     SnapshotRead,
+    /// A server session was admitted (`colock-server`). `txn` is 0 — a
+    /// session is not a transaction; the session id and peer address travel
+    /// in `detail`, so the conformance linter ignores these events.
+    SessionOpen,
+    /// A server session ended (QUIT, idle timeout, error, or drain).
+    /// `txn` is 0; `detail` holds the session id and the close reason.
+    SessionClose,
 }
 
 impl EventKind {
@@ -173,6 +180,8 @@ impl EventKind {
             EventKind::TxnReleaseEarly => "release-early",
             EventKind::TxnRecovered => "recovered",
             EventKind::SnapshotRead => "snapshot-read",
+            EventKind::SessionOpen => "session-open",
+            EventKind::SessionClose => "session-close",
         }
     }
 
@@ -199,6 +208,8 @@ impl EventKind {
             "release-early" => EventKind::TxnReleaseEarly,
             "recovered" => EventKind::TxnRecovered,
             "snapshot-read" => EventKind::SnapshotRead,
+            "session-open" => EventKind::SessionOpen,
+            "session-close" => EventKind::SessionClose,
             _ => return None,
         })
     }
@@ -494,6 +505,8 @@ mod tests {
             EventKind::TxnReleaseEarly,
             EventKind::TxnRecovered,
             EventKind::SnapshotRead,
+            EventKind::SessionOpen,
+            EventKind::SessionClose,
         ] {
             assert_eq!(EventKind::parse(k.as_str()), Some(k));
         }

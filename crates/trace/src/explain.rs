@@ -109,6 +109,12 @@ pub fn timeline(events: &[Event]) -> Timeline {
             EventKind::SnapshotRead => {
                 push(e.txn, e, format!("snapshot read of {} ({})", e.resource, e.detail));
             }
+            EventKind::SessionOpen => {
+                push(e.txn, e, format!("session opened ({})", e.detail));
+            }
+            EventKind::SessionClose => {
+                push(e.txn, e, format!("session closed ({})", e.detail));
+            }
         }
     }
     out

@@ -44,6 +44,17 @@ impl TxnError {
     pub fn is_crashed(&self) -> bool {
         matches!(self, TxnError::Protocol(ProtocolError::Lock(LockError::Crashed)))
     }
+
+    /// Whether this error reports a lock request refused because the lock
+    /// manager is draining for shutdown (the caller should abort).
+    pub fn is_draining(&self) -> bool {
+        matches!(self, TxnError::Protocol(ProtocolError::Lock(LockError::Draining)))
+    }
+
+    /// Whether this is a blocking request that exceeded its timeout.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, TxnError::Protocol(ProtocolError::Lock(LockError::Timeout)))
+    }
 }
 
 impl fmt::Display for TxnError {

@@ -525,6 +525,9 @@ impl TransactionManager {
         // would wedge every waiter behind a transaction that no longer
         // exists. The failure still reaches the caller below.
         self.lm.release_all(txn);
+        // Per-transaction rights die with the transaction (ids are never
+        // reused; session-granted rule 4′ contexts must not accumulate).
+        self.authz.retract(txn);
         colock_trace::emit(|| {
             let kind =
                 if commit { colock_trace::EventKind::TxnCommit } else { colock_trace::EventKind::TxnAbort };

@@ -5,8 +5,9 @@ use crate::manager::TransactionManager;
 use crate::undo::UndoRecord;
 use crate::Result;
 use colock_core::{AccessMode, InstanceTarget, LockReport, ProtocolOptions};
-use colock_lockmgr::TxnId;
+use colock_lockmgr::{TxnId, WaitPolicy};
 use colock_nf2::{ObjectKey, Value};
+use std::cell::Cell;
 
 /// Short (conventional) vs long ("conversational", workstation-server)
 /// transactions (§1).
@@ -35,16 +36,27 @@ pub struct Transaction<'m> {
     /// every read resolves against the version chains and any lock request
     /// is an error.
     snap: Option<u64>,
+    /// Wait policy applied to every implicit lock request this handle
+    /// issues. Defaults to [`WaitPolicy::Block`]; a serving layer overrides
+    /// it with a timeout so one stuck session can never block forever.
+    wait: Cell<WaitPolicy>,
     finished: bool,
 }
 
 impl<'m> Transaction<'m> {
     pub(crate) fn new(mgr: &'m TransactionManager, id: TxnId, kind: TxnKind) -> Self {
-        Transaction { mgr, id, kind, snap: None, finished: false }
+        Transaction { mgr, id, kind, snap: None, wait: Cell::new(WaitPolicy::Block), finished: false }
     }
 
     pub(crate) fn new_readonly(mgr: &'m TransactionManager, id: TxnId, snap: Option<u64>) -> Self {
-        Transaction { mgr, id, kind: TxnKind::ReadOnly, snap, finished: false }
+        Transaction {
+            mgr,
+            id,
+            kind: TxnKind::ReadOnly,
+            snap,
+            wait: Cell::new(WaitPolicy::Block),
+            finished: false,
+        }
     }
 
     /// The transaction id.
@@ -68,8 +80,24 @@ impl<'m> Transaction<'m> {
         self.snap
     }
 
+    /// Overrides the wait policy for every later lock request made through
+    /// this handle (`colock-server` uses `BlockTimeout` so a session blocked
+    /// behind a long check-out eventually answers its client).
+    pub fn set_wait_policy(&self, wait: WaitPolicy) {
+        self.wait.set(wait);
+    }
+
+    /// The wait policy lock requests currently use.
+    pub fn wait_policy(&self) -> WaitPolicy {
+        self.wait.get()
+    }
+
     fn opts(&self) -> ProtocolOptions {
-        ProtocolOptions { long: self.kind == TxnKind::Long, ..ProtocolOptions::default() }
+        ProtocolOptions {
+            long: self.kind == TxnKind::Long,
+            wait: self.wait.get(),
+            ..ProtocolOptions::default()
+        }
     }
 
     /// Snapshot transactions never enter the lock table; a lock request on
@@ -313,7 +341,7 @@ impl<'m> Transaction<'m> {
             self.id,
             target,
             access,
-            ProtocolOptions { long: true, ..ProtocolOptions::default() },
+            ProtocolOptions { long: true, wait: self.wait.get(), ..ProtocolOptions::default() },
         )?;
         let key = target.object.clone().ok_or_else(|| {
             TxnError::Storage(colock_storage::StorageError::BadTarget(target.to_string()))

@@ -77,6 +77,21 @@ echo "==> stress_snapshot (read-mostly storm against the MVCC overlay, linted)"
 COLOCK_CHECK=1 COLOCK_STRESS_ROUNDS="${COLOCK_STRESS_ROUNDS:-40}" \
     cargo run --offline --release -q -p colock-bench --bin stress_snapshot
 
+echo "==> loopback serving smoke (loadgen small budget, linted)"
+# Real TCP over loopback at a bounded scale: 40 sessions, 300 txns through
+# the full mix. COLOCK_CHECK=1 replays the entire served trace window
+# through the protocol linter — served traffic must be as conformant as
+# in-process traffic.
+COLOCK_CHECK=1 COLOCK_LOAD_SESSIONS=40 COLOCK_LOAD_WORKERS=4 COLOCK_LOAD_TXNS=300 \
+    cargo run --offline --release -q -p colock-bench --bin loadgen
+
+echo "==> stress_server (one kill/restart recovery round over TCP, linted)"
+# §3.1 durability end to end: clients check out long locks over TCP, the
+# server is killed, a new one recovers the journal, every acked lock must
+# be re-adopted and resumable by reconnecting clients.
+COLOCK_CHECK=1 COLOCK_SERVER_ROUNDS="${COLOCK_SERVER_ROUNDS:-1}" \
+    cargo run --offline --release -q -p colock-bench --bin stress_server
+
 echo "==> differential fast-path equivalence suite"
 # The optimistic/pessimistic differential harness runs both paths itself;
 # this run keeps it in the gate so a fast-path change cannot land without

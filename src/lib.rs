@@ -5,6 +5,7 @@ pub use colock_core as core;
 pub use colock_lockmgr as lockmgr;
 pub use colock_nf2 as nf2;
 pub use colock_query as query;
+pub use colock_server as server;
 pub use colock_sim as sim;
 pub use colock_storage as storage;
 pub use colock_trace as trace;
