@@ -99,8 +99,70 @@ fn bench_optimistic_ablation(h: &mut BenchHarness) {
     group.finish();
 }
 
+/// Costs of the semantic commutativity modes (Insert/Delete/Member): the
+/// conflict rows equal IX/IX/IS, so none of these may cost more than the
+/// classical intents they stand in for.
+fn bench_semantic_modes(h: &mut BenchHarness) {
+    let mut group = h.group("semantic");
+    group.bench("insert_acquire_release", |b| {
+        let lm: LockManager<u64> = LockManager::new();
+        let txn = TxnId(1);
+        b.iter(|| {
+            lm.acquire(txn, black_box(42), LockMode::Insert, LockRequestOptions::default())
+                .unwrap();
+            lm.release(txn, &42);
+        });
+    });
+    group.bench("commuting_inserters_of_8", |b| {
+        // Eight concurrent inserters hold Insert on the hot container; a
+        // ninth joins and leaves — the semantic analogue of
+        // shared_group_of_8, except every holder is a *writer*.
+        let lm: LockManager<u64> = LockManager::new();
+        for i in 0..8 {
+            lm.acquire(TxnId(i), 7, LockMode::Insert, LockRequestOptions::default()).unwrap();
+        }
+        let txn = TxnId(99);
+        b.iter(|| {
+            lm.acquire(txn, black_box(7), LockMode::Insert, LockRequestOptions::default())
+                .unwrap();
+            lm.release(txn, &7);
+        });
+    });
+    group.bench("member_beside_inserters", |b| {
+        // A membership probe joining a container full of active inserters:
+        // Member's row is IS, Insert's is IX — compatible, no queueing.
+        let lm: LockManager<u64> = LockManager::new();
+        for i in 0..8 {
+            lm.acquire(TxnId(i), 7, LockMode::Insert, LockRequestOptions::default()).unwrap();
+        }
+        let txn = TxnId(99);
+        b.iter(|| {
+            lm.acquire(txn, black_box(7), LockMode::Member, LockRequestOptions::default())
+                .unwrap();
+            lm.release(txn, &7);
+        });
+    });
+    group.bench("semantic_element_insert_chain", |b| {
+        // The full protocol shape of one element insert: 4 classical
+        // intents (db/seg/rel/obj), Insert on the container, X on the
+        // element — what `Transaction::insert_element` pays per call.
+        let lm: LockManager<u64> = LockManager::new();
+        let txn = TxnId(1);
+        let ancestors: Vec<u64> = (0..4).collect();
+        b.iter(|| {
+            lm.acquire_intent_chain(txn, black_box(&ancestors), LockMode::IX, LockRequestOptions::default())
+                .unwrap();
+            lm.acquire(txn, 4, LockMode::Insert, LockRequestOptions::default()).unwrap();
+            lm.acquire(txn, 5, LockMode::X, LockRequestOptions::default()).unwrap();
+            lm.release_all(txn);
+        });
+    });
+    group.finish();
+}
+
 fn main() {
     let mut h = BenchHarness::new();
     bench_acquire_release(&mut h);
     bench_optimistic_ablation(&mut h);
+    bench_semantic_modes(&mut h);
 }

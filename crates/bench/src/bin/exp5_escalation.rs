@@ -142,6 +142,140 @@ fn main() {
     println!("expected shape (paper): anticipation avoids run-time escalations and");
     println!("their deadlocks — 'lock escalations … cause immense run-time overhead,");
     println!("and increase highly the probability for deadlocks' (§4.5).");
+
+    // Part 3: the hot-HoLU insert storm — semantic Insert modes vs the
+    // classical protocol. N writers insert distinct robots into ONE
+    // set-valued HoLU; classically each insert X-locks the container and
+    // the storm serializes, with the semantic modes the inserters commute.
+    println!("\nhot-HoLU insert storm (distinct-element inserts into one set):");
+    let mut t3 =
+        Table::new(&["writers", "mode", "committed", "txns/s", "vs 1 writer", "lock waits"]);
+    let mut baselines: [f64; 2] = [0.0, 0.0];
+    for &writers in &[1usize, 2, 4, 8] {
+        for (mi, (label, semantic)) in
+            [("semantic", true), ("classical", false)].into_iter().enumerate()
+        {
+            let cfg = CellsConfig {
+                n_cells: 1, c_objects_per_cell: 4, robots_per_cell: 2,
+                n_effectors: 4, effectors_per_robot: 1, ..Default::default()
+            };
+            let mgr = cells_manager(&cfg, ProtocolKind::Proposed);
+            mgr.set_semantic(semantic);
+            let per_worker = 200usize;
+            let container = InstanceTarget::object("cells", "c1").attr("robots");
+            let started = std::time::Instant::now();
+            std::thread::scope(|scope| {
+                for w in 0..writers {
+                    let mgr = &mgr;
+                    let container = &container;
+                    scope.spawn(move || {
+                        for i in 0..per_worker {
+                            let t = mgr.begin(TxnKind::Short);
+                            t.insert_element(container, storm_robot(w, i)).unwrap();
+                            t.commit().unwrap();
+                        }
+                    });
+                }
+            });
+            let committed = writers * per_worker;
+            let rate = committed as f64 / started.elapsed().as_secs_f64();
+            if writers == 1 {
+                baselines[mi] = rate;
+            }
+            t3.row(vec![
+                writers.to_string(),
+                label.to_string(),
+                committed.to_string(),
+                format!("{rate:.0}"),
+                format!("{:.2}x", rate / baselines[mi]),
+                mgr.lock_manager().stats().snapshot().waits.to_string(),
+            ]);
+        }
+    }
+    print!("{}", t3.render());
+    println!();
+    println!("expected shape: semantic Insert modes never block — the `lock waits`");
+    println!("column stays 0 however many writers pile on, so on a multi-core host");
+    println!("committed txns/s grows near-linearly with the writer count.");
+    println!("Classically every insert X-locks the container: each added writer");
+    println!("queues (one wait per insert beyond the first in flight) and the");
+    println!("storm is fully serialized. On a single-core host the waits column");
+    println!("is the machine-independent signal; wall-clock speedup is bounded");
+    println!("at 1x there regardless of locking.");
+    println!("this host: {} core(s).", std::thread::available_parallelism().map_or(1, |n| n.get()));
+
+    // Part 4: adaptive θ — the static E5 anticipation number replaced by one
+    // derived from measured waits (PR 3 wait histograms).
+    println!("\nadaptive θ from measured contention (COLOCK_ADAPTIVE_THETA):");
+    colock_trace::enable();
+    let mark = colock_trace::current_seq();
+    {
+        // Generate real waits: a serialized storm on the hot container.
+        let cfg = CellsConfig { n_cells: 1, c_objects_per_cell: 4, ..Default::default() };
+        let mgr = cells_manager(&cfg, ProtocolKind::Proposed);
+        mgr.set_semantic(false);
+        let container = InstanceTarget::object("cells", "c1").attr("robots");
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let mgr = &mgr;
+                let container = &container;
+                scope.spawn(move || {
+                    for i in 0..25 {
+                        let t = mgr.begin(TxnKind::Short);
+                        t.insert_element(container, storm_robot(w, 1000 + i)).unwrap();
+                        // Hold the container X across a "think time" so the
+                        // queued rivals accumulate real, hot waits.
+                        std::thread::sleep(std::time::Duration::from_millis(3));
+                        t.commit().unwrap();
+                    }
+                });
+            }
+        });
+    }
+    let mut measured = colock_trace::WaitHistogram::default();
+    for (_, h) in colock_trace::wait_histograms(&colock_trace::events_since(mark)) {
+        measured.merge(&h);
+    }
+    let mut t4 = Table::new(&["signal", "waits", "p99 (us)", "θ in", "θ out", "20-elem scan plans"]);
+    let quiet = colock_trace::WaitHistogram::default();
+    for (label, hist) in [("quiet (no waits)", &quiet), ("measured storm", &measured)] {
+        let base = Optimizer::new(16.0);
+        let adapted = base.adapted(hist);
+        let plan = adapted.plan(
+            mgr_catalog(&CellsConfig { n_cells: 1, c_objects_per_cell: 256, ..Default::default() }),
+            &[colock_core::optimizer::AccessEstimate {
+                relation: "cells".into(),
+                path: colock_nf2::AttrPath::parse("c_objects"),
+                access: AccessMode::Read,
+                objects_expected: 1.0,
+                elems_expected: 20.0,
+            }],
+        );
+        t4.row(vec![
+            label.to_string(),
+            hist.count().to_string(),
+            hist.quantile_us(0.99).to_string(),
+            "16".to_string(),
+            format!("{}", adapted.theta),
+            format!("{:?}", plan.locks[0].granularity),
+        ]);
+    }
+    print!("{}", t4.render());
+    println!();
+    println!("expected shape: with no measured waiting the optimizer escalates");
+    println!("eagerly (θ halves — coarse locks cost no concurrency); a hot wait");
+    println!("tail raises θ (stay fine-grained), so the same 20-element scan that");
+    println!("the static θ=16 coarsens stays element-granular under contention.");
+}
+
+fn storm_robot(worker: usize, i: usize) -> colock_nf2::Value {
+    use colock_nf2::value::build::{set, tup};
+    use colock_nf2::Value;
+    tup(vec![
+        ("robot_id", Value::str(format!("w{worker}-i{i}"))),
+        ("trajectory", Value::str(format!("storm-{worker}-{i}"))),
+        ("effectors", set(Vec::new())),
+    ])
 }
 
 fn mgr_catalog(cfg: &CellsConfig) -> &'static colock_nf2::Catalog {

@@ -27,11 +27,11 @@ use colock_core::authorization::{Authorization, Right};
 use colock_core::AccessMode;
 use colock_nf2::Value;
 use colock_server::client::Client;
-use colock_server::session::AdmissionPolicy;
+use colock_server::session::{AdmissionPolicy, BACKOFF_FLOOR_MS};
 use colock_server::wire::{parse_target, BeginKind, Role};
 use colock_server::{Server, ServerConfig};
 use colock_sim::{build_cells_store, CellsConfig};
-use colock_testkit::Rng;
+use colock_testkit::{Backoff, Rng};
 use colock_trace::WaitHistogram;
 use colock_txn::{ProtocolKind, TransactionManager};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -73,6 +73,10 @@ fn run_worker(
         })
         .collect();
     let mut rng = Rng::seed_from_u64(cfg.seed ^ (worker_id as u64).wrapping_mul(0x9E37_79B9));
+    // Retry pacing: deadlock/timeout retries draw pure jitter; admission
+    // refusals additionally honor the server's hint, floored so a 0-ms (or
+    // missing) hint can never turn the workers into a tight retry herd.
+    let mut backoff = Backoff::new(cfg.seed ^ (worker_id as u64), 1, 8);
     let mut hist = WaitHistogram::default();
     let mut committed = 0u64;
     let mut retries = 0u64;
@@ -101,6 +105,7 @@ fn run_worker(
             Ok(()) => {
                 hist.record(started.elapsed().as_micros() as u64);
                 committed += 1;
+                backoff.reset();
             }
             Err(e) => {
                 // Closed loop: clean up and retry on this session later.
@@ -108,6 +113,16 @@ fn run_worker(
                 retries += 1;
                 if !e.is_retryable() {
                     panic!("non-retryable server error in loadgen: {e}");
+                }
+                let hinted = match &e {
+                    colock_server::client::ClientError::Server {
+                        backoff_ms: Some(ms), ..
+                    } => Some((*ms).max(BACKOFF_FLOOR_MS)),
+                    _ => None,
+                };
+                let ms = hinted.unwrap_or(0) + backoff.next_delay();
+                if ms > 0 {
+                    std::thread::sleep(Duration::from_millis(ms));
                 }
                 budget.fetch_add(1, Ordering::Relaxed);
             }

@@ -72,6 +72,13 @@ pub enum ViolationKind {
     /// begin as a snapshot reader — a writer (or locking reader) bypassing
     /// the lock protocol through the version chains.
     SnapshotReadOutsideSnapshotTxn,
+    /// Two transactions held incompatible non-intent modes on the same
+    /// resource at once — the manager granted through a conflict. With
+    /// semantic container modes this is where an element-key collision
+    /// surfaces: commuting `Insert`/`Insert` grants are clean, but an
+    /// `Insert` and a `Member` touching the same element key materialize as
+    /// X and S on the element resource, which must never overlap.
+    ConflictingGrants,
 }
 
 impl ViolationKind {
@@ -90,6 +97,7 @@ impl ViolationKind {
             ViolationKind::MalformedEvent => "malformed-event",
             ViolationKind::SnapshotTxnLocked => "snapshot-txn-locked",
             ViolationKind::SnapshotReadOutsideSnapshotTxn => "snapshot-read-outside-snapshot-txn",
+            ViolationKind::ConflictingGrants => "conflicting-grants",
         }
     }
 }
@@ -227,6 +235,9 @@ fn parse_mode(s: &str) -> Option<LockMode> {
     Some(match s {
         "NL" => LockMode::NL,
         "IS" => LockMode::IS,
+        "MB" => LockMode::Member,
+        "IN" => LockMode::Insert,
+        "DL" => LockMode::Delete,
         "IX" => LockMode::IX,
         "S" => LockMode::S,
         "SIX" => LockMode::SIX,
@@ -321,9 +332,57 @@ impl Linter {
         report.txns_checked = began.len();
 
         // Pass 2: chronological replay of per-transaction state.
+        //
+        // `holders` replays the cross-transaction grant table for the
+        // conflicting-grants check. Only *non-intent* modes participate:
+        // their grant and release events are emitted under the owning shard
+        // mutex, so their trace order is their lock order — optimistic
+        // intent releases may be traced late and would false-positive.
         let mut txns: HashMap<u64, TxnState> = HashMap::new();
+        let mut holders: HashMap<String, Vec<(u64, LockMode)>> = HashMap::new();
         for e in events {
-            if e.txn == 0 || !began.contains(&e.txn) {
+            if e.txn == 0 {
+                continue;
+            }
+            match e.kind {
+                // A fresh incarnation of the id invalidates any holdings a
+                // previous (possibly killed) incarnation left untraced.
+                EventKind::TxnBegin => {
+                    for hs in holders.values_mut() {
+                        hs.retain(|&(t, _)| t != e.txn);
+                    }
+                }
+                EventKind::Grant => {
+                    if let Some(mode) = parse_mode(&e.mode) {
+                        if !mode.is_intent() && mode != LockMode::NL {
+                            let hs = holders.entry(e.resource.clone()).or_default();
+                            for &(other, held) in hs.iter() {
+                                if other != e.txn && !mode.compatible(held) {
+                                    report.violations.push(Violation {
+                                        kind: ViolationKind::ConflictingGrants,
+                                        txn: e.txn,
+                                        seq: e.seq,
+                                        resource: e.resource.clone(),
+                                        detail: format!(
+                                            "{} granted while T{other} holds {held}",
+                                            e.mode
+                                        ),
+                                    });
+                                }
+                            }
+                            hs.retain(|&(t, _)| t != e.txn);
+                            hs.push((e.txn, mode));
+                        }
+                    }
+                }
+                EventKind::Release => {
+                    if let Some(hs) = holders.get_mut(&e.resource) {
+                        hs.retain(|&(t, _)| t != e.txn);
+                    }
+                }
+                _ => {}
+            }
+            if !began.contains(&e.txn) {
                 continue;
             }
             let state = txns.entry(e.txn).or_default();
@@ -441,7 +500,11 @@ impl Linter {
             let need = mode.required_parent_intent();
             for anc in strict_ancestors(&e.resource) {
                 let held = state.held.get(anc).copied().unwrap_or(LockMode::NL);
-                if !held.covers(need) {
+                // `satisfies_parent_intent`, not bare `covers`: a semantic
+                // Insert/Delete on the container announces descendant writes
+                // just as loudly as IX (identical conflict rows), so an
+                // element X under it needs no IX conversion.
+                if !held.satisfies_parent_intent(need) {
                     report.violations.push(Violation {
                         kind: ViolationKind::MissingAncestorIntent,
                         txn: e.txn,
@@ -1071,5 +1134,109 @@ mod tests {
         let rendered = report.render_with_context(&events);
         assert!(rendered.contains("missing-ancestor-intent"));
         assert!(rendered.contains("timeline of T7"));
+    }
+
+    /// A semantic Insert on the container licenses an element X below it
+    /// without an IX conversion (`satisfies_parent_intent`): the protocol's
+    /// commutativity win must lint clean.
+    #[test]
+    fn semantic_insert_licenses_element_x_below() {
+        let obj = "db:d/seg:s/rel:r/obj:k";
+        let events = vec![
+            ev(1, EventKind::TxnBegin, 7).detail("short"),
+            grant(2, 7, "db:d", "IX", RuleTag::AncestorIntent),
+            grant(3, 7, "db:d/seg:s", "IX", RuleTag::AncestorIntent),
+            grant(4, 7, "db:d/seg:s/rel:r", "IX", RuleTag::AncestorIntent),
+            grant(5, 7, obj, "IX", RuleTag::AncestorIntent),
+            grant(6, 7, &format!("{obj}/attr:members"), "IN", RuleTag::AncestorIntent),
+            grant(7, 7, &format!("{obj}/attr:members/elem:9"), "X", RuleTag::Target),
+            ev(8, EventKind::TxnCommit, 7),
+        ];
+        let report = Linter::new().lint(&events);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    /// A Member grant on the container does *not* license element writes —
+    /// it reads like IS, so an X below still demands a write intent.
+    #[test]
+    fn member_does_not_license_element_x() {
+        let obj = "db:d/seg:s/rel:r/obj:k";
+        let events = vec![
+            ev(1, EventKind::TxnBegin, 7).detail("short"),
+            grant(2, 7, "db:d", "IX", RuleTag::AncestorIntent),
+            grant(3, 7, "db:d/seg:s", "IX", RuleTag::AncestorIntent),
+            grant(4, 7, "db:d/seg:s/rel:r", "IX", RuleTag::AncestorIntent),
+            grant(5, 7, obj, "IX", RuleTag::AncestorIntent),
+            grant(6, 7, &format!("{obj}/attr:members"), "MB", RuleTag::AncestorIntent),
+            grant(7, 7, &format!("{obj}/attr:members/elem:9"), "X", RuleTag::Target),
+        ];
+        let report = Linter::new().lint(&events);
+        assert_eq!(report.violations.len(), 1, "{}", report.render());
+        assert_eq!(report.violations[0].kind, ViolationKind::MissingAncestorIntent);
+    }
+
+    /// Mutation test: a manager granting an Insert and a Member that touch
+    /// the *same element key* hands out X and S on the same element
+    /// resource concurrently — the linter must flag the collision.
+    #[test]
+    fn conflicting_insert_member_on_same_element_key_is_flagged() {
+        let obj = "db:d/seg:s/rel:r/obj:k";
+        let elem = format!("{obj}/attr:members/elem:9");
+        let events = vec![
+            ev(1, EventKind::TxnBegin, 7).detail("short"),
+            ev(2, EventKind::TxnBegin, 8).detail("short"),
+            grant(3, 7, obj, "IN", RuleTag::None),
+            grant(4, 8, obj, "MB", RuleTag::None),
+            // T7 inserts element 9 (X), the buggy manager then grants T8's
+            // membership probe (S) on the same element while X is live.
+            grant(5, 7, &elem, "X", RuleTag::None),
+            grant(6, 8, &elem, "S", RuleTag::None),
+        ];
+        let report = Linter::new().lint(&events);
+        let kinds: Vec<ViolationKind> = report.violations.iter().map(|v| v.kind).collect();
+        assert_eq!(kinds, vec![ViolationKind::ConflictingGrants], "{}", report.render());
+        assert!(report.violations[0].detail.contains("T7 holds X"), "{}", report.render());
+    }
+
+    /// Commuting Inserts on the same container with *distinct* element keys
+    /// lint clean: the container grants commute and the element X locks are
+    /// disjoint.
+    #[test]
+    fn commuting_inserts_on_distinct_elements_lint_clean() {
+        let obj = "db:d/seg:s/rel:r/obj:k";
+        let events = vec![
+            ev(1, EventKind::TxnBegin, 7).detail("short"),
+            ev(2, EventKind::TxnBegin, 8).detail("short"),
+            grant(3, 7, obj, "IN", RuleTag::None),
+            grant(4, 8, obj, "IN", RuleTag::None),
+            grant(5, 7, &format!("{obj}/attr:members/elem:1"), "X", RuleTag::None),
+            grant(6, 8, &format!("{obj}/attr:members/elem:2"), "X", RuleTag::None),
+            ev(7, EventKind::Release, 7).resource(format!("{obj}/attr:members/elem:1")).mode("X"),
+            ev(8, EventKind::Release, 8).resource(format!("{obj}/attr:members/elem:2")).mode("X"),
+        ];
+        let report = Linter::new().lint(&events);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    /// Sequential reuse of a resource by incompatible modes is clean as long
+    /// as the release separates them — and a re-begun incarnation drops any
+    /// holdings its killed predecessor never released.
+    #[test]
+    fn conflicting_grants_respects_releases_and_incarnations() {
+        let events = vec![
+            ev(1, EventKind::TxnBegin, 7).detail("short"),
+            grant(2, 7, "r", "X", RuleTag::None),
+            ev(3, EventKind::Release, 7).resource("r").mode("X"),
+            ev(4, EventKind::TxnBegin, 8).detail("short"),
+            grant(5, 8, "r", "X", RuleTag::None),
+            // T8 is killed (no release traced); its re-begun incarnation
+            // must not leave a phantom X behind.
+            ev(6, EventKind::TxnBegin, 8).detail("short"),
+            grant(7, 8, "q", "S", RuleTag::None),
+            ev(8, EventKind::TxnBegin, 9).detail("short"),
+            grant(9, 9, "r", "X", RuleTag::None),
+        ];
+        let report = Linter::new().lint(&events);
+        assert!(report.is_clean(), "{}", report.render());
     }
 }

@@ -599,7 +599,7 @@ fn check_units(graph: &DbLockGraph, catalog: &Catalog, report: &mut StaticReport
 pub fn check_matrix() -> Vec<CheckError> {
     use LockMode::*;
     let mut errors = Vec::new();
-    let all = [NL, IS, IX, S, SIX, X];
+    let all = [NL, IS, Member, Insert, Delete, IX, S, SIX, X];
     let real = LockMode::ALL;
 
     for &a in &all {
@@ -679,6 +679,81 @@ pub fn check_matrix() -> Vec<CheckError> {
             errors.push(CheckError::MatrixViolation {
                 law: "intent modes grant no access",
                 detail: weak.to_string(),
+            });
+        }
+    }
+    // Semantic commutativity modes: each row must equal its classical
+    // archetype's row — Member reads like IS, Insert/Delete write like IX —
+    // so every matrix argument about the classical modes carries over
+    // (rule 4′ in particular: role separation reasons about conflict rows,
+    // and the semantic rows introduce no new conflict shape).
+    for &m in &all {
+        let archetype = match m {
+            Member => Some(IS),
+            Insert | Delete => Some(IX),
+            _ => None,
+        };
+        if let Some(arch) = archetype {
+            for &c in &all {
+                if m.compatible(c) != arch.compatible(c) {
+                    errors.push(CheckError::MatrixViolation {
+                        law: "semantic row equals classical row",
+                        detail: format!("{m} vs {c} (archetype {arch})"),
+                    });
+                }
+            }
+        }
+    }
+    // Ancestor-intent admissibility must refine covers soundly: whenever a
+    // held mode satisfies a required parent intent, its conflict set must
+    // contain the intent's — descendant activity stays as visible to
+    // conflicting requests as under the classical protocol.
+    for &held in &all {
+        for &req in &all {
+            if !held.satisfies_parent_intent(req) {
+                continue;
+            }
+            for &c in &all {
+                if !req.compatible(c) && held.compatible(c) {
+                    errors.push(CheckError::MatrixViolation {
+                        law: "parent-intent admissibility refines covers",
+                        detail: format!("{held} admits for {req} but hides conflict with {c}"),
+                    });
+                }
+            }
+        }
+    }
+    // Fast-path lanes must exist exactly for the intent modes and be
+    // conflict-faithful: every conflict of the published mode is visible as
+    // a conflict of its lane, so lane-based summary admission never hides a
+    // real conflict.
+    for &m in &all {
+        if m.fastpath_lane().is_some() != m.is_intent() {
+            errors.push(CheckError::MatrixViolation {
+                law: "fastpath lanes cover exactly the intents",
+                detail: m.to_string(),
+            });
+        }
+        if let Some(lane) = m.fastpath_lane() {
+            for &c in &all {
+                if !m.compatible(c) && lane.compatible(c) {
+                    errors.push(CheckError::MatrixViolation {
+                        law: "fastpath lane is conflict-faithful",
+                        detail: format!("{m} conflicts with {c}, lane {lane} does not"),
+                    });
+                }
+            }
+        }
+    }
+    // The summary word's two real-grant classes partition the non-intent,
+    // non-NL modes; intent modes (semantic ones included) belong to neither.
+    for &m in &all {
+        let classes = (m.is_share_class() as u8) + (m.is_exclusive_class() as u8);
+        let expected = if m == NL || m.is_intent() { 0 } else { 1 };
+        if classes != expected {
+            errors.push(CheckError::MatrixViolation {
+                law: "summary classes partition non-intent modes",
+                detail: m.to_string(),
             });
         }
     }

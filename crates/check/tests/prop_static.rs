@@ -89,6 +89,85 @@ fn matrix_laws_hold() {
     assert!(check_matrix().is_empty());
 }
 
+/// Every nf2-derivable enlarged compatibility matrix passes the lattice laws.
+///
+/// A catalog admits the semantic modes only for keyed set/list HoLUs, so the
+/// mode set an actual schema puts in play is the classical six plus *some
+/// subset* of {Member, Insert, Delete} — which subset depends on the types the
+/// schema happens to contain. Each restricted set must itself be a lawful
+/// matrix: closed under join, join still the least upper bound within the
+/// subset, compatibility symmetric and antitone under `covers`, and every
+/// required parent intent representable inside the subset.
+#[test]
+fn every_nf2_derivable_matrix_passes_the_lattice_laws() {
+    use colock_lockmgr::LockMode;
+    use colock_testkit::{ensure, ensure_eq};
+
+    // The full enlarged lattice passes the analyzer's own laws first; the
+    // restrictions below would be vacuous against a broken base matrix.
+    assert!(check_matrix().is_empty());
+
+    let classical =
+        [LockMode::NL, LockMode::IS, LockMode::IX, LockMode::S, LockMode::SIX, LockMode::X];
+    let semantic = [LockMode::Member, LockMode::Insert, LockMode::Delete];
+
+    forall!(cases: 96, |rng| rng.next_u64(), |&seed| {
+        let mut rng = Rng::seed_from_u64(seed);
+        // Derive the in-play semantic subset from a random schema exactly the
+        // way the planner does: a semantic mode is reachable iff some
+        // attribute in the schema admits it. Sets admit Insert/Delete/Member,
+        // keyed lists likewise; on odd cases exercise an arbitrary subset
+        // directly so sparse schemas don't starve the 3-of-8 combinations.
+        let subset: Vec<LockMode> = if rng.gen_range(0..2u32) == 0 {
+            let schema = random_schema(&mut rng);
+            let any_semantic_holu = schema.relations.iter().any(|r| {
+                fn admits_below(t: &colock_nf2::AttrType) -> bool {
+                    t.admits_semantic_modes()
+                        || t.element().is_some_and(admits_below)
+                        || t.fields().is_some_and(|fs| fs.iter().any(|a| admits_below(&a.ty)))
+                }
+                r.attributes.iter().any(|a| admits_below(&a.ty))
+            });
+            if any_semantic_holu { semantic.to_vec() } else { vec![] }
+        } else {
+            semantic.iter().copied().filter(|_| rng.gen_range(0..2u32) == 0).collect()
+        };
+        let modes: Vec<LockMode> = classical.iter().chain(subset.iter()).copied().collect();
+
+        for &a in &modes {
+            // Parent intents stay representable after restriction.
+            ensure!(modes.contains(&a.required_parent_intent()));
+            for &b in &modes {
+                // Compatibility is symmetric.
+                ensure_eq!(a.compatible(b), b.compatible(a));
+                // The join stays inside the restricted set…
+                let j = a.join(b);
+                ensure!(modes.contains(&j), "join({a}, {b}) = {j} escapes the subset");
+                // …and is still the least upper bound *within* it.
+                ensure!(j.covers(a) && j.covers(b));
+                for &m in &modes {
+                    if m.covers(a) && m.covers(b) {
+                        ensure!(m.covers(j), "{m} above {a},{b} but not above join {j}");
+                    }
+                }
+                // Stronger modes conflict at least as much (covers antitone).
+                if a.covers(b) {
+                    for &c in &modes {
+                        ensure!(a.compatible(c) <= b.compatible(c));
+                    }
+                }
+                // Admissible parent announcements never hide a conflict.
+                if a.satisfies_parent_intent(b) {
+                    for &c in &modes {
+                        ensure!(a.compatible(c) <= b.compatible(c));
+                    }
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
 fn catalog(schema: DatabaseSchema) -> Catalog {
     Catalog::new(schema).unwrap()
 }

@@ -262,11 +262,14 @@ impl TxnLockCache {
     }
 
     /// Whether a request for `mode` (long if `long`) is covered by a cached
-    /// lock.
+    /// lock. Admissibility is `satisfies_parent_intent`, not bare `covers`: a
+    /// held semantic Insert/Delete answers an IX ancestor requirement without
+    /// a conversion — upgrading the container to IX would re-serialize the
+    /// commuting inserters the semantic mode exists to keep parallel.
     pub fn covers(&self, resource: &ResourcePath, mode: LockMode, long: bool) -> bool {
         self.locked()
             .get(resource)
-            .map(|&(m, l)| m.covers(mode) && (l || !long))
+            .map(|&(m, l)| m.satisfies_parent_intent(mode) && (l || !long))
             .unwrap_or(false)
     }
 

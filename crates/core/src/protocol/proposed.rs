@@ -107,7 +107,14 @@ impl ProtocolEngine {
         opts: ProtocolOptions,
         cache: Option<&TxnLockCache>,
     ) -> Result<LockReport, ProtocolError> {
-        let access = if mode.covers(LockMode::IX) { AccessMode::Update } else { AccessMode::Read };
+        // Write-side modes are exactly those whose parents must announce IX:
+        // semantic Insert/Delete sit *below* IX in the lattice yet authorize
+        // mutation, so `covers(IX)` would misclassify them as reads.
+        let access = if mode.required_parent_intent() == LockMode::IX {
+            AccessMode::Update
+        } else {
+            AccessMode::Read
+        };
         self.check_authorized(authz, txn, &target.relation, access)?;
 
         let mut ctx = Ctx::with_cache(lm, txn, src, authz, opts, cache);

@@ -21,6 +21,7 @@
 //! released, normally at end-of-transaction; action-oriented (latch-style)
 //! locks are out of scope, exactly as in the paper.
 
+pub mod adaptive;
 pub mod error;
 pub mod mode;
 pub mod persistent;
@@ -28,6 +29,7 @@ pub mod stats;
 pub mod table;
 pub mod txnid;
 
+pub use adaptive::AdaptivePolicy;
 pub use error::LockError;
 pub use mode::LockMode;
 pub use persistent::{

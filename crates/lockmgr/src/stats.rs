@@ -53,6 +53,12 @@ pub struct LockStats {
     /// all: snapshot transactions never enter the table, so these reads
     /// appear in no other counter here. Bumped by `colock-txn`.
     pub reads_elided: AtomicU64,
+    /// Sticky-saturated summary-slot count fields repaired after the slot's
+    /// activity drained (the fast path works on the slot again).
+    pub desaturations: AtomicU64,
+    /// Blocking requests refused because the wait queue had already reached
+    /// the adaptive wait-depth limit.
+    pub wait_depth_refusals: AtomicU64,
 }
 
 impl LockStats {
@@ -91,6 +97,8 @@ impl LockStats {
             fastpath_fallbacks: self.fastpath_fallbacks.load(Ordering::Relaxed),
             fastpath_drains: self.fastpath_drains.load(Ordering::Relaxed),
             reads_elided: self.reads_elided.load(Ordering::Relaxed),
+            desaturations: self.desaturations.load(Ordering::Relaxed),
+            wait_depth_refusals: self.wait_depth_refusals.load(Ordering::Relaxed),
         }
     }
 
@@ -113,6 +121,8 @@ impl LockStats {
         self.fastpath_fallbacks.store(0, Ordering::Relaxed);
         self.fastpath_drains.store(0, Ordering::Relaxed);
         self.reads_elided.store(0, Ordering::Relaxed);
+        self.desaturations.store(0, Ordering::Relaxed);
+        self.wait_depth_refusals.store(0, Ordering::Relaxed);
     }
 }
 
@@ -153,6 +163,10 @@ pub struct StatsSnapshot {
     pub fastpath_drains: u64,
     /// Reads served lock-free by the multiversion overlay.
     pub reads_elided: u64,
+    /// Saturated summary fields repaired after draining.
+    pub desaturations: u64,
+    /// Blocking requests refused by the adaptive wait-depth limit.
+    pub wait_depth_refusals: u64,
 }
 
 impl StatsSnapshot {
@@ -177,6 +191,8 @@ impl StatsSnapshot {
             fastpath_fallbacks: self.fastpath_fallbacks - earlier.fastpath_fallbacks,
             fastpath_drains: self.fastpath_drains - earlier.fastpath_drains,
             reads_elided: self.reads_elided - earlier.reads_elided,
+            desaturations: self.desaturations - earlier.desaturations,
+            wait_depth_refusals: self.wait_depth_refusals - earlier.wait_depth_refusals,
         }
     }
 }

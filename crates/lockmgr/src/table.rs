@@ -67,6 +67,7 @@
 //! equivalence argument; `COLOCK_NO_FASTPATH=1` (or [`LockManager::set_fastpath`])
 //! disables the fast path for ablations and differential testing.
 
+use crate::adaptive::AdaptivePolicy;
 use crate::error::LockError;
 use crate::mode::LockMode;
 use crate::persistent::{JournalOp, JournalSink};
@@ -294,10 +295,13 @@ pub const MAX_FASTPATH_ATTEMPTS: u32 = 4;
 /// ```
 ///
 /// Count fields saturate *sticky* at [`COUNT_MAX`]: once a field reaches the
-/// ceiling it never moves again and the fast path treats the slot as
-/// permanently contended (conservative, not wrong). Optimistic fields never
-/// reach it — `admits` refuses the publication one short of the ceiling, so
-/// their decrements stay exact.
+/// ceiling it stops moving and the fast path treats the slot as contended
+/// (conservative, not wrong). The release paths repair a saturated field by
+/// recounting it from the shard map once the slot's activity drains
+/// (`maybe_desaturate`), so one burst no longer disables the fast path for
+/// the slot's lifetime. Optimistic fields never reach the ceiling —
+/// `admits` refuses the publication one short of it, so their decrements
+/// stay exact.
 mod summary {
     use crate::mode::LockMode;
 
@@ -373,25 +377,28 @@ mod summary {
         w.wrapping_add(VERSION_UNIT)
     }
 
-    /// Whether the summary admits an optimistic publication of `mode`
-    /// (IS/IX only): no seal, no waiters (FIFO fairness), no conflicting
-    /// class counts, and the target count safely below saturation.
+    /// Whether the summary admits an optimistic publication of `mode`: no
+    /// seal, no waiters (FIFO fairness), no conflicting class counts, and
+    /// the target count safely below saturation. Modes share the two
+    /// optimistic count fields by *lane*: the read-intent lane (IS, Member)
+    /// conflicts only with X, the write-intent lane (IX, Insert, Delete)
+    /// with both real classes — exactly their compatibility rows.
     pub fn admits(w: u64, mode: LockMode) -> bool {
         if sealed(w) || waiters(w) != 0 || x(w) != 0 {
             return false;
         }
-        match mode {
-            LockMode::IS => opt_is(w) < COUNT_MAX - 1,
-            LockMode::IX => share(w) == 0 && opt_ix(w) < COUNT_MAX - 1,
+        match mode.fastpath_lane() {
+            Some(LockMode::IS) => opt_is(w) < COUNT_MAX - 1,
+            Some(LockMode::IX) => share(w) == 0 && opt_ix(w) < COUNT_MAX - 1,
             _ => false,
         }
     }
 
     fn opt_shift(mode: LockMode) -> u32 {
-        match mode {
-            LockMode::IS => IS_SHIFT,
-            LockMode::IX => IX_SHIFT,
-            _ => unreachable!("only intents publish optimistically"),
+        match mode.fastpath_lane() {
+            Some(LockMode::IS) => IS_SHIFT,
+            Some(LockMode::IX) => IX_SHIFT,
+            _ => unreachable!("only intent-lane modes publish optimistically"),
         }
     }
 
@@ -426,6 +433,23 @@ mod summary {
 
     pub fn wait_dec(w: u64) -> u64 {
         dec(w, WAIT_SHIFT)
+    }
+
+    /// Whether any shard-mutex-owned count field (share / x / waiters) is
+    /// pinned at the sticky ceiling. The optimistic fields never saturate
+    /// (`admits` refuses one short of it), so they are not consulted.
+    pub fn real_saturated(w: u64) -> bool {
+        share(w) == COUNT_MAX || x(w) == COUNT_MAX || waiters(w) == COUNT_MAX
+    }
+
+    /// Rewrites the share / x / waiter fields to exact recounted values,
+    /// leaving the optimistic fields, seal bit and version untouched (the
+    /// caller publishes through `slot_update`, which version-bumps).
+    pub fn rewrite_real(w: u64, share_n: u64, x_n: u64, wait_n: u64) -> u64 {
+        debug_assert!(share_n < COUNT_MAX && x_n < COUNT_MAX && wait_n < COUNT_MAX);
+        let mask =
+            (COUNT_MAX << SHARE_SHIFT) | (COUNT_MAX << X_SHIFT) | (COUNT_MAX << WAIT_SHIFT);
+        (w & !mask) | (share_n << SHARE_SHIFT) | (x_n << X_SHIFT) | (wait_n << WAIT_SHIFT)
     }
 }
 
@@ -508,6 +532,12 @@ pub struct LockManager<R: Resource> {
     /// Mode-summary words, `shards * SLOTS_PER_SHARD` of them: the slot
     /// index embeds the shard index, so same slot ⟹ same shard mutex.
     summaries: Box<[AtomicU64]>,
+    /// Per-slot heat: accumulated waits, one counter per summary slot. The
+    /// adaptive victim policy ranks deadlock-cycle members by the heat of
+    /// the slot they are waiting at.
+    heat: Box<[AtomicU64]>,
+    /// Adaptive contention-management knobs (all off by default).
+    adaptive: AdaptivePolicy,
     /// Whether the optimistic intent fast path is on (default: on unless
     /// `COLOCK_NO_FASTPATH` is set).
     fastpath: AtomicBool,
@@ -548,6 +578,8 @@ impl<R: Resource> LockManager<R> {
             stats: LockStats::default(),
             journal: OnceLock::new(),
             summaries: (0..n * SLOTS_PER_SHARD).map(|_| AtomicU64::new(0)).collect(),
+            heat: (0..n * SLOTS_PER_SHARD).map(|_| AtomicU64::new(0)).collect(),
+            adaptive: AdaptivePolicy::from_env(),
             fastpath: AtomicBool::new(fastpath_default()),
             draining: AtomicBool::new(false),
             probe_armed: AtomicBool::new(false),
@@ -628,6 +660,11 @@ impl<R: Resource> LockManager<R> {
     /// Statistics counters.
     pub fn stats(&self) -> &LockStats {
         &self.stats
+    }
+
+    /// The adaptive contention-management policy (runtime-tunable).
+    pub fn adaptive(&self) -> &AdaptivePolicy {
+        &self.adaptive
     }
 
     /// Number of shards the table is striped into.
@@ -1162,6 +1199,30 @@ impl<R: Resource> LockManager<R> {
                 Err(LockError::WouldBlock { holders })
             }
             WaitPolicy::Block | WaitPolicy::BlockTimeout(_) => {
+                // Adaptive wait-depth limiting: refuse instead of joining a
+                // queue already at the limit — under hot-spot contention a
+                // bounded refusal the caller can retry with backoff beats an
+                // unbounded convoy. A live seal guard unseals on drop.
+                let limit = self.adaptive.wait_depth_limit();
+                if limit != 0 {
+                    let depth = shard
+                        .resources
+                        .get(&resource)
+                        .map(|s| s.waiting.iter().filter(|w| !w.granted).count())
+                        .unwrap_or(0);
+                    if depth >= limit {
+                        LockStats::bump(&self.stats.wait_depth_refusals);
+                        trace::emit(|| {
+                            Event::new(EventKind::Request, txn.0)
+                                .shard(si as u32)
+                                .mode(target.to_string())
+                                .resource(format!("{resource:?}"))
+                                .detail("wait-depth-refused")
+                        });
+                        let holders = self.conflicting_holders(&shard, txn, &resource, target);
+                        return Err(LockError::WouldBlock { holders });
+                    }
+                }
                 let deadline = match opts.policy {
                     WaitPolicy::BlockTimeout(d) => Some(Instant::now() + d),
                     _ => None,
@@ -1239,6 +1300,7 @@ impl<R: Resource> LockManager<R> {
             if self.has_ungranted_waiters(&shard, resource) {
                 self.process_queue(&mut shard, resource);
             }
+            self.maybe_desaturate(&shard, self.slot_index_from_hash(h));
         }
         removed.is_some()
     }
@@ -1366,6 +1428,7 @@ impl<R: Resource> LockManager<R> {
                     if self.has_ungranted_waiters(&shard, r) {
                         self.process_queue(&mut shard, r);
                     }
+                    self.maybe_desaturate(&shard, self.slot_index_from_hash(h));
                 }
                 i += 1;
             }
@@ -1459,10 +1522,15 @@ impl<R: Resource> LockManager<R> {
                             continue;
                         }
                         let li = (h >> 32) as usize & (SLOTS_PER_SHARD - 1);
-                        match e.mode {
-                            LockMode::IS => opt_is[li] += 1,
-                            LockMode::IX => opt_ix[li] += 1,
-                            m => return Err(format!("optimistic non-intent grant {m} on {r:?}")),
+                        match e.mode.fastpath_lane() {
+                            Some(LockMode::IS) => opt_is[li] += 1,
+                            Some(LockMode::IX) => opt_ix[li] += 1,
+                            _ => {
+                                return Err(format!(
+                                    "optimistic non-intent grant {} on {r:?}",
+                                    e.mode
+                                ))
+                            }
                         }
                     }
                 }
@@ -1765,6 +1833,43 @@ impl<R: Resource> LockManager<R> {
         removed
     }
 
+    /// Repairs a slot whose share / x / waiter count saturated sticky at
+    /// [`summary::COUNT_MAX`]: once the burst that pinned it drains, the
+    /// fields are recounted from the shard map and rewritten, so the slot's
+    /// fast path comes back instead of staying disabled for the process
+    /// lifetime. Called on the release paths with the shard mutex held —
+    /// every mutator of those three fields holds it too, so the recount is
+    /// exact; the optimistic fields (mutated lock-free) are left alone and
+    /// the rewrite goes through a version-bumped CAS. The check is one
+    /// atomic load on the common (unsaturated) path.
+    fn maybe_desaturate(&self, shard: &ShardInner<R>, slot_idx: usize) {
+        let slot = &self.summaries[slot_idx];
+        let w = slot.load(Ordering::Acquire);
+        if !summary::real_saturated(w) || summary::sealed(w) {
+            return;
+        }
+        let (mut share, mut x, mut waiters) = (0u64, 0u64, 0u64);
+        for (r, state) in &shard.resources {
+            if self.slot_index_from_hash(Self::hash_of(r)) != slot_idx {
+                continue;
+            }
+            for g in &state.granted {
+                if g.mode.is_share_class() {
+                    share += 1;
+                } else if g.mode.is_exclusive_class() {
+                    x += 1;
+                }
+            }
+            waiters += state.waiting.len() as u64;
+        }
+        if share >= summary::COUNT_MAX || x >= summary::COUNT_MAX || waiters >= summary::COUNT_MAX
+        {
+            return; // still genuinely at the ceiling
+        }
+        slot_update(slot, |w| summary::rewrite_real(w, share, x, waiters));
+        LockStats::bump(&self.stats.desaturations);
+    }
+
     /// Journals one long-lock operation if a journal is attached; a
     /// mid-append crash surfaces as [`LockError::Crashed`].
     fn journal_record(&self, op: JournalOp, txn: TxnId, resource: &R, mode: LockMode) -> Result<()> {
@@ -1907,6 +2012,9 @@ impl<R: Resource> LockManager<R> {
     ) -> Result<AcquireOutcome> {
         let slot = &self.summaries[slot_idx];
         LockStats::bump(&self.stats.waits);
+        // Heat accrues per wait: the adaptive victim policy reads it to rank
+        // deadlock-cycle members by the demand on their wait target.
+        self.heat[slot_idx].fetch_add(1, Ordering::Relaxed);
         trace::emit(|| {
             Event::new(EventKind::Wait, txn.0)
                 .shard(si as u32)
@@ -2124,9 +2232,26 @@ impl<R: Resource> LockManager<R> {
             };
             // Youngest member (max TxnId) dies; if its waiter is stale
             // (granted meanwhile), fall back to the next youngest so a real
-            // cycle is never left standing.
+            // cycle is never left standing. With the adaptive hot-victim
+            // policy on, members are ranked by the heat of the slot they
+            // wait at instead (ties still youngest-first): killing the
+            // waiter at the hottest spot frees the deepest demand first.
+            // Any cycle member is a protocol-correct victim.
             let mut members = cycle.clone();
-            members.sort_unstable();
+            if self.adaptive.hot_victim() {
+                members.sort_unstable_by_key(|t| {
+                    let heat = locs
+                        .get(t)
+                        .map(|(_, r)| {
+                            let idx = self.slot_index_from_hash(Self::hash_of(r));
+                            self.heat[idx].load(Ordering::Relaxed)
+                        })
+                        .unwrap_or(0);
+                    (heat, *t)
+                });
+            } else {
+                members.sort_unstable();
+            }
             let mut marked = false;
             for &victim in members.iter().rev() {
                 let Some((vsi, vres)) = locs.get(&victim) else {
@@ -2536,6 +2661,13 @@ mod tests {
         // Optimistic intents coexist in the word.
         let opt = summary::opt_inc(summary::opt_inc(empty, IS), IX);
         assert!(summary::admits(opt, IS) && summary::admits(opt, IX));
+        // Semantic modes are admitted by lane: Member behaves like IS
+        // (compatible with S), Insert/Delete like IX (not).
+        assert!(summary::admits(empty, Member));
+        assert!(summary::admits(empty, Insert) && summary::admits(empty, Delete));
+        assert!(summary::admits(with_share, Member));
+        assert!(!summary::admits(with_share, Insert));
+        assert!(!summary::admits(with_x, Member) && !summary::admits(with_x, Delete));
     }
 
     #[test]
@@ -2583,6 +2715,143 @@ mod tests {
                 }
             }
         });
+        assert_eq!(m.table_size(), 0);
+    }
+
+    #[test]
+    fn semantic_modes_ride_the_intent_fastpath_lanes() {
+        let m = Mgr::new();
+        m.set_fastpath(true);
+        m.acquire(t(1), "set", Insert, LockRequestOptions::default()).unwrap();
+        m.acquire(t(2), "set", Insert, LockRequestOptions::default()).unwrap();
+        m.acquire(t(3), "set", Delete, LockRequestOptions::default()).unwrap();
+        m.acquire(t(4), "set", Member, LockRequestOptions::default()).unwrap();
+        // All four commute: inventory-only grants, no shard-map entry.
+        assert_eq!(m.table_size(), 0);
+        let s = m.stats().snapshot();
+        assert_eq!((s.intent_acquires, s.fastpath_hits, s.fastpath_fallbacks), (4, 4, 0));
+        m.check_summary_consistency().unwrap();
+        // A whole-container S conflicts with the writers: it drains the
+        // slot and is refused, reporting exactly the Insert/Delete holders
+        // (the Member holder commutes with S).
+        let err = m.acquire(t(5), "set", S, LockRequestOptions::try_lock()).unwrap_err();
+        match err {
+            LockError::WouldBlock { mut holders } => {
+                holders.sort_unstable();
+                assert_eq!(holders, vec![t(1), t(2), t(3)]);
+            }
+            e => panic!("expected WouldBlock, got {e:?}"),
+        }
+        assert!(m.stats().snapshot().fastpath_drains >= 1);
+        for i in 1..=4 {
+            m.release_all(t(i));
+        }
+        assert_eq!(m.table_size(), 0);
+        m.check_summary_consistency().unwrap();
+    }
+
+    #[test]
+    fn saturated_slot_desaturates_and_recovers_fastpath() {
+        let m = Mgr::new();
+        m.set_fastpath(true);
+        // COUNT_MAX concurrent S holders pin the slot's share field at the
+        // sticky ceiling.
+        let n = summary::COUNT_MAX;
+        for i in 1..=n {
+            m.acquire(t(i), "hot", S, LockRequestOptions::default()).unwrap();
+        }
+        let slot = m.slot_from_hash(Mgr::hash_of(&"hot"));
+        assert_eq!(summary::share(slot.load(Ordering::Acquire)), summary::COUNT_MAX);
+        for i in 1..=n {
+            m.release(t(i), &"hot");
+        }
+        assert_eq!(m.table_size(), 0);
+        // Before the fix the share field stayed pinned at COUNT_MAX forever
+        // and `admits` refused every IX-lane publication on the slot.
+        assert_eq!(summary::share(slot.load(Ordering::Acquire)), 0);
+        assert!(m.stats().snapshot().desaturations >= 1);
+        let before = m.stats().snapshot();
+        m.acquire(t(5000), "hot", IX, LockRequestOptions::default()).unwrap();
+        let after = m.stats().snapshot();
+        assert_eq!(after.fastpath_hits - before.fastpath_hits, 1);
+        m.check_summary_consistency().unwrap();
+        m.release_all(t(5000));
+        m.check_summary_consistency().unwrap();
+    }
+
+    #[test]
+    fn wait_depth_limit_refuses_instead_of_parking() {
+        let m = Arc::new(Mgr::new());
+        m.adaptive().set_wait_depth_limit(1);
+        m.acquire(t(1), "a", X, LockRequestOptions::default()).unwrap();
+        let m2 = Arc::clone(&m);
+        let h = thread::spawn(move || {
+            m2.acquire(t(2), "a", X, LockRequestOptions::default()).unwrap()
+        });
+        wait_until(WAIT, || m.waiter_count(&"a") == 1);
+        // The queue is at the limit: a third blocking X is refused with
+        // WouldBlock instead of parked behind the convoy.
+        let err = m.acquire(t(3), "a", X, LockRequestOptions::default()).unwrap_err();
+        assert!(matches!(err, LockError::WouldBlock { .. }));
+        assert_eq!(m.stats().snapshot().wait_depth_refusals, 1);
+        m.release(t(1), &"a");
+        h.join().unwrap();
+        m.release_all(t(2));
+        assert_eq!(m.table_size(), 0);
+    }
+
+    #[test]
+    fn hot_victim_policy_kills_hottest_waiter() {
+        let m = Arc::new(Mgr::new());
+        m.adaptive().set_hot_victim(true);
+        let cold = "cold";
+        // Pick a hot resource on a different summary slot than `cold` so
+        // the heat comparison is meaningful.
+        let hot = ["hot0", "hot1", "hot2", "hot3", "hot4", "hot5"]
+            .into_iter()
+            .find(|r| {
+                m.slot_index_from_hash(Mgr::hash_of(r))
+                    != m.slot_index_from_hash(Mgr::hash_of(&cold))
+            })
+            .expect("a candidate on a different slot");
+        // Pre-heat `hot`'s slot: every enqueued wait bumps it, timeouts
+        // included.
+        m.acquire(t(9), hot, X, LockRequestOptions::default()).unwrap();
+        for i in 0..4 {
+            let err = m
+                .acquire(
+                    t(10 + i),
+                    hot,
+                    X,
+                    LockRequestOptions {
+                        policy: WaitPolicy::BlockTimeout(Duration::from_millis(5)),
+                        long: false,
+                    },
+                )
+                .unwrap_err();
+            assert_eq!(err, LockError::Timeout);
+        }
+        m.release_all(t(9));
+        // Cycle: t1 (older) holds `cold` and waits on `hot`; t2 (younger)
+        // holds `hot` and waits on `cold`. The youngest rule would kill t2;
+        // the hot policy kills t1, the waiter at the hotter slot.
+        m.acquire(t(2), hot, X, LockRequestOptions::default()).unwrap();
+        m.acquire(t(1), cold, X, LockRequestOptions::default()).unwrap();
+        let m1 = Arc::clone(&m);
+        let h1 = thread::spawn(move || match m1.acquire(t(1), hot, X, LockRequestOptions::default())
+        {
+            Err(LockError::Deadlock { victim, .. }) => {
+                assert_eq!(victim, t(1), "hot policy must pick the hottest waiter");
+                m1.release_all(t(1));
+            }
+            other => panic!("expected t1 to be the victim, got {other:?}"),
+        });
+        wait_until(WAIT, || m.waiter_count(&hot) == 1);
+        let m2 = Arc::clone(&m);
+        let h2 = thread::spawn(move || m2.acquire(t(2), cold, X, LockRequestOptions::default()));
+        h1.join().unwrap();
+        assert!(h2.join().unwrap().is_ok());
+        m.release_all(t(2));
         assert_eq!(m.table_size(), 0);
     }
 }

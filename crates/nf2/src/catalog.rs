@@ -107,6 +107,15 @@ impl Catalog {
         self.relation_stats_mut(relation).set_attr(path, avg);
     }
 
+    /// Whether the attribute at `path` within `relation` admits the semantic
+    /// commutativity lock modes (Insert/Delete/Member): a set/list HoLU whose
+    /// elements carry a derivable key. The planner consults this before
+    /// emitting a semantic container mode instead of plain IX/IS.
+    pub fn admits_semantic_modes(&self, relation: &str, path: &AttrPath) -> Result<bool> {
+        let rel = self.schema.relation(relation)?;
+        Ok(path.resolve(rel)?.admits_semantic_modes())
+    }
+
     /// Whether `relation` holds common data (is referenced by some relation).
     pub fn is_common_data(&self, relation: &str) -> bool {
         self.schema
@@ -182,6 +191,18 @@ mod tests {
         let c = catalog();
         assert!(c.is_common_data("effectors"));
         assert!(!c.is_common_data("cells"));
+    }
+
+    #[test]
+    fn semantic_admission_resolves_through_the_schema() {
+        let c = catalog();
+        // Keyed tuple elements (obj_id, robot_id) admit semantic modes.
+        assert!(c.admits_semantic_modes("cells", &AttrPath::parse("c_objects")).unwrap());
+        assert!(c.admits_semantic_modes("cells", &AttrPath::parse("robots")).unwrap());
+        // Ref elements have no derivable key; scalars are not containers.
+        assert!(!c.admits_semantic_modes("cells", &AttrPath::parse("robots.effectors")).unwrap());
+        assert!(!c.admits_semantic_modes("cells", &AttrPath::parse("cell_id")).unwrap());
+        assert!(c.admits_semantic_modes("nope", &AttrPath::parse("x")).is_err());
     }
 
     #[test]

@@ -79,6 +79,33 @@ impl AttrType {
         }
     }
 
+    /// For a set/list whose elements carry a *derivable element key*, the
+    /// element type. Atomic `str`/`int` elements are self-keyed; tuple
+    /// elements need a key field of `str`/`int` (the `_id` convention of
+    /// Fig. 1). Elements without such a key — reals, bools, refs, nested
+    /// containers, keyless tuples — cannot be addressed individually, so
+    /// their container gets `None`.
+    pub fn keyed_element(&self) -> Option<&AttrType> {
+        let elem = self.element()?;
+        let keyable = match elem {
+            AttrType::Atomic(AtomicType::Str | AtomicType::Int) => true,
+            AttrType::Tuple(fields) => fields
+                .iter()
+                .any(|a| a.key && matches!(a.ty, AttrType::Atomic(AtomicType::Str | AtomicType::Int))),
+            _ => false,
+        };
+        keyable.then_some(elem)
+    }
+
+    /// Whether this HoLU admits the semantic commutativity lock modes
+    /// (Insert/Delete/Member): set- and list-valued attributes whose
+    /// elements are addressable by a derivable key. Two inserts of distinct
+    /// keys commute on such a container, and same-key collisions materialize
+    /// as classical locks on the element resource named by that key.
+    pub fn admits_semantic_modes(&self) -> bool {
+        self.keyed_element().is_some()
+    }
+
     /// The fields of a tuple type, if any.
     pub fn fields(&self) -> Option<&[Attribute]> {
         match self {
@@ -224,6 +251,24 @@ mod tests {
         assert!(list(int_()).is_homogeneous());
         assert!(tuple(vec![attr("a", str_())]).is_heterogeneous());
         assert!(!tuple(vec![]).is_basic());
+    }
+
+    #[test]
+    fn semantic_mode_admission_requires_a_derivable_element_key() {
+        // Self-keyed atomic elements and keyed tuple elements qualify.
+        assert!(set(str_()).admits_semantic_modes());
+        assert!(list(int_()).admits_semantic_modes());
+        assert!(set(tuple(vec![attr("robot_id", str_()), attr("t", real_())])).admits_semantic_modes());
+        // No derivable key: reals, refs, nested containers, keyless tuples.
+        assert!(!set(real_()).admits_semantic_modes());
+        assert!(!set(ref_("effectors")).admits_semantic_modes());
+        assert!(!list(set(str_())).admits_semantic_modes());
+        assert!(!set(tuple(vec![attr("name", str_())])).admits_semantic_modes());
+        // A key field must itself be keyable (bool keys carry no ObjectKey).
+        assert!(!set(tuple(vec![Attribute::key("flag", bool_())])).admits_semantic_modes());
+        // Non-containers never admit semantic modes.
+        assert!(!str_().admits_semantic_modes());
+        assert!(!tuple(vec![attr("a_id", str_())]).admits_semantic_modes());
     }
 
     #[test]

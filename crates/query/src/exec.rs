@@ -380,6 +380,18 @@ impl Executor<'_, '_> {
             .map(|(planned, access)| (planned.clone(), access.clone()))
             .collect();
         for (planned, access) in rules {
+            // Semantic container mode first (root-to-leaf, rule 5): Member/
+            // Insert/Delete on the set/list replaces the plain intent so
+            // distinct-element operations commute.
+            if let Some(container_mode) = planned.container_mode {
+                if let Some(container) = container_of(element) {
+                    let report = self
+                        .txn
+                        .lock_with_mode_blocking(&container, container_mode)
+                        .map_err(|e| QueryError::Execution(e.to_string()))?;
+                    self.absorb(&report);
+                }
+            }
             // Trailing attribute steps below the element (e.g. trajectory).
             let trailing: Vec<String> =
                 access.path.steps()[range.path.steps().len()..].to_vec();
@@ -422,13 +434,24 @@ impl Executor<'_, '_> {
 }
 
 fn mode_to_access(mode: LockMode) -> AccessMode {
-    // SIX carries an intent to write, so it maps to Update for code paths
-    // that only distinguish read/update (no-deref locks, baselines).
-    if mode.covers(LockMode::IX) {
+    // Write-side modes are exactly those whose parents must announce IX
+    // (SIX, X, IX itself, and the semantic Insert/Delete, which sit *below*
+    // IX and so would be misread by a bare `covers(IX)` test).
+    if mode.required_parent_intent() == LockMode::IX {
         AccessMode::Update
     } else {
         AccessMode::Read
     }
+}
+
+/// The enclosing container target of an element target (`…robots[r1]` →
+/// `…robots`), if the target's last step is element-qualified.
+fn container_of(element: &InstanceTarget) -> Option<InstanceTarget> {
+    element.steps.last()?.elem.as_ref()?;
+    let mut container = element.clone();
+    let last = container.steps.pop()?;
+    container.steps.push(colock_core::TargetStep::attr(last.attr));
+    Some(container)
 }
 
 fn projection_name(p: &Operand) -> String {

@@ -43,8 +43,16 @@ impl QueryPlan {
         for (planned, access) in self.lock_plan.locks.iter().zip(&self.analysis.accesses) {
             let _ = writeln!(
                 out,
-                "  {:?} {} on {}.{} (via {})",
-                planned.granularity, planned.mode, planned.relation, planned.path, access.var
+                "  {:?} {} on {}.{}{} (via {})",
+                planned.granularity,
+                planned.mode,
+                planned.relation,
+                planned.path,
+                match planned.container_mode {
+                    Some(m) => format!(" [container {m}]"),
+                    None => String::new(),
+                },
+                access.var
             );
         }
         if self.lock_plan.anticipated_escalations > 0 {
@@ -97,6 +105,25 @@ pub fn plan_locks(
             if !keyed {
                 planned.mode = LockMode::SIX;
             }
+        }
+        // Semantic commutativity modes: an element-granular access on a
+        // keyed set/list gets its container locked Member (read) or
+        // Insert/Delete (mutation) instead of the plain IS/IX intent —
+        // distinct-element operations then commute in the lock table.
+        if planned.granularity == Granularity::Elements
+            && catalog.admits_semantic_modes(&planned.relation, &planned.path).unwrap_or(false)
+        {
+            planned.container_mode = match (&statement, planned.mode) {
+                // Element removal commutes with other structural edits.
+                (Statement::Delete { .. }, LockMode::X) => Some(LockMode::Delete),
+                // Membership probe / element read.
+                (_, LockMode::S) => Some(LockMode::Member),
+                // In-place element update: the classical IX intent is already
+                // the least-restrictive container announcement (element
+                // inserts come through `Transaction::insert_element`, which
+                // requests the Insert mode itself).
+                _ => None,
+            };
         }
     }
     Ok(QueryPlan { statement, analysis, lock_plan })
@@ -174,6 +201,49 @@ mod tests {
         let l = &p.lock_plan.locks[0];
         assert_eq!(l.granularity, Granularity::Subtree);
         assert_eq!(l.mode, LockMode::SIX);
+    }
+
+    #[test]
+    fn keyed_element_delete_plans_semantic_container_delete() {
+        let p = planned(
+            "DELETE r FROM c IN cells, r IN c.robots WHERE c.cell_id='c1' AND r.robot_id='r1'",
+            16.0,
+            |c| {
+                c.record_cardinality("cells", "robots", 4.0);
+            },
+        );
+        let l = &p.lock_plan.locks[0];
+        assert_eq!(l.granularity, Granularity::Elements);
+        assert_eq!(l.mode, LockMode::X);
+        assert_eq!(l.container_mode, Some(LockMode::Delete));
+        assert!(p.explain().contains("[container DL]"), "{}", p.explain());
+    }
+
+    #[test]
+    fn keyed_element_read_plans_semantic_member() {
+        let p = planned(
+            "SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id='c1' AND r.robot_id='r1' FOR READ",
+            16.0,
+            |_| {},
+        );
+        let l = &p.lock_plan.locks[0];
+        assert_eq!(l.granularity, Granularity::Elements);
+        assert_eq!(l.mode, LockMode::S);
+        assert_eq!(l.container_mode, Some(LockMode::Member));
+    }
+
+    #[test]
+    fn element_update_keeps_the_classical_intent() {
+        // In-place element modification is already least-restrictively
+        // announced by IX; no semantic container mode applies.
+        let p = planned(
+            "UPDATE r.trajectory = 'v' FROM c IN cells, r IN c.robots WHERE c.cell_id='c1' AND r.robot_id='r1'",
+            16.0,
+            |_| {},
+        );
+        let l = &p.lock_plan.locks[0];
+        assert_eq!(l.granularity, Granularity::Elements);
+        assert_eq!(l.container_mode, None);
     }
 
     #[test]

@@ -132,6 +132,11 @@ struct GateInner {
     peak: usize,
 }
 
+/// Minimum backoff hint, in milliseconds. A refused `BEGIN` told "retry in
+/// 0 ms" comes straight back, and under load *every* shed client does — the
+/// hint must shed the herd, so it never drops below this floor.
+pub const BACKOFF_FLOOR_MS: u64 = 5;
+
 /// Bounds transactions in flight across all sessions.
 pub struct AdmissionGate {
     max: usize,
@@ -139,6 +144,10 @@ pub struct AdmissionGate {
     queue_budget: Duration,
     inner: Mutex<GateInner>,
     freed: Condvar,
+    /// Jitter source for refusal hints: consecutive refusals draw from
+    /// doubling windows (spreading a sustained herd), and every freed slot
+    /// resets the exponent.
+    hint: Mutex<colock_testkit::Backoff>,
 }
 
 /// RAII in-flight slot: dropping it (transaction finished) frees the slot
@@ -152,6 +161,9 @@ impl Drop for Permit {
         let mut inner = self.gate.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.inflight = inner.inflight.saturating_sub(1);
         drop(inner);
+        // A freed slot means the overload is draining: refusal hints may
+        // start over from the floor window.
+        self.gate.hint.lock().unwrap_or_else(PoisonError::into_inner).reset();
         self.gate.freed.notify_one();
     }
 }
@@ -166,6 +178,8 @@ impl AdmissionGate {
             queue_budget,
             inner: Mutex::new(GateInner { inflight: 0, peak: 0 }),
             freed: Condvar::new(),
+            // Fixed seed: hint schedules are part of the deterministic replay.
+            hint: Mutex::new(colock_testkit::Backoff::new(0x0ADB_0FF5, 8, 96)),
         })
     }
 
@@ -183,27 +197,29 @@ impl AdmissionGate {
             if self.policy == AdmissionPolicy::Refuse {
                 return Err(self.backoff_hint_ms());
             }
-            let now = Instant::now();
-            if now >= deadline {
+            // The remaining budget is recomputed on *every* pass, and an
+            // exhausted budget refuses before re-parking: a wakeup — spurious
+            // or stolen — landing at or past the deadline must not turn into
+            // a zero-length `wait_timeout`, which returns immediately and
+            // busy-spins this loop for as long as the gate stays full.
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
                 return Err(self.backoff_hint_ms());
             }
-            let (guard, timeout) = self
+            let (guard, _timeout) = self
                 .freed
-                .wait_timeout(inner, deadline - now)
+                .wait_timeout(inner, remaining)
                 .unwrap_or_else(PoisonError::into_inner);
             inner = guard;
-            if timeout.timed_out() && inner.inflight >= self.max {
-                return Err(self.backoff_hint_ms());
-            }
         }
     }
 
     fn backoff_hint_ms(&self) -> u64 {
-        // Rough heuristic: the fuller the gate, the longer the hint. With the
-        // gate exactly full this lands at 25 ms — short enough that closed-
-        // loop clients keep the server busy, long enough to shed a thundering
-        // herd.
-        25
+        // Floor plus seeded full jitter: the floor keeps refused clients from
+        // returning instantly in a tight herd, the doubling jitter window
+        // (reset whenever a slot frees) spreads a sustained overload out.
+        let mut hint = self.hint.lock().unwrap_or_else(PoisonError::into_inner);
+        BACKOFF_FLOOR_MS + hint.next_delay()
     }
 
     /// Transactions currently in flight.
@@ -809,13 +825,66 @@ mod tests {
         match &b.handle(Request::Begin { kind: BeginKind::Short }).frames[0] {
             Response::Err { code, backoff_ms, .. } => {
                 assert_eq!(*code, ErrorCode::Busy);
-                assert!(backoff_ms.is_some());
+                let hint = backoff_ms.expect("BUSY must hint a backoff");
+                assert!(
+                    hint >= BACKOFF_FLOOR_MS,
+                    "a 0-ms hint turns shed clients into a tight retry herd: got {hint}"
+                );
             }
             other => panic!("{other:?}"),
         }
         a.handle(Request::Commit);
         assert!(matches!(b.handle(Request::Begin { kind: BeginKind::Short }).frames[0], Response::Ok(_)));
         b.handle(Request::Abort);
+    }
+
+    #[test]
+    fn backoff_hints_never_drop_below_the_floor_and_stay_jittered() {
+        let gate = AdmissionGate::new(1, AdmissionPolicy::Refuse, Duration::from_millis(1));
+        let _held = gate.admit().expect("first slot");
+        let hints: Vec<u64> =
+            (0..64).map(|_| gate.admit().err().expect("gate is full")).collect();
+        assert!(hints.iter().all(|&h| h >= BACKOFF_FLOOR_MS), "{hints:?}");
+        // Full jitter, not a constant: consecutive refusals must not all
+        // agree (64 identical draws from a ≥8-wide window ≈ impossible).
+        assert!(hints.windows(2).any(|w| w[0] != w[1]), "{hints:?}");
+    }
+
+    #[test]
+    fn spurious_notify_storm_refuses_at_the_budget_instead_of_spinning() {
+        // Regression: a wakeup landing at/past the deadline used to feed a
+        // zero-length `wait_timeout`, so a notify storm could spin the admit
+        // loop while the gate stayed full. Staged deterministically: the
+        // waiter parks behind a full gate, then the main thread fires
+        // spurious notifies (nothing ever frees a slot) well past the
+        // waiter's budget; the waiter must come back refused, promptly.
+        let gate = AdmissionGate::new(1, AdmissionPolicy::Queue, Duration::from_millis(40));
+        let held = gate.admit().expect("fill the gate");
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| {
+                barrier.wait(); // stage 1: both sides ready
+                let started = Instant::now();
+                let refused = gate.admit();
+                (refused.err(), started.elapsed())
+            });
+            barrier.wait();
+            // Spurious-notify storm for 4× the wait budget.
+            let storm_ends = Instant::now() + Duration::from_millis(160);
+            while Instant::now() < storm_ends {
+                gate.freed.notify_all();
+                std::thread::yield_now();
+            }
+            let (hint, elapsed) = waiter.join().expect("waiter");
+            let hint = hint.expect("gate stayed full: the BEGIN must be refused");
+            assert!(hint >= BACKOFF_FLOOR_MS, "refusal must carry a floored hint: {hint}");
+            assert!(
+                elapsed < Duration::from_millis(160),
+                "waiter must refuse when its budget runs out, not spin while notified: {elapsed:?}"
+            );
+        });
+        drop(held);
+        assert_eq!(gate.inflight(), 0);
     }
 
     #[test]

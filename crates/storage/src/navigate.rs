@@ -78,6 +78,30 @@ fn find_element_mut<'v>(
         .find(|e| e.element_key(elem_ty).as_ref() == Some(key))
 }
 
+/// Removes the element with `key` from a set/list value, returning its
+/// position and before-image (the position lets a rollback re-insert a list
+/// element where it was).
+pub fn remove_element(
+    container: &mut Value,
+    elem_ty: &AttrType,
+    key: &ObjectKey,
+) -> Option<(usize, Value)> {
+    let es = container.elements_mut()?;
+    let idx = es.iter().position(|e| e.element_key(elem_ty).as_ref() == Some(key))?;
+    Some((idx, es.remove(idx)))
+}
+
+/// The attribute type at the end of `steps` (elem steps resolve to the
+/// element type), starting from the relation's tuple type.
+pub fn path_type(relation: &RelationSchema, steps: &[TargetStep]) -> Option<AttrType> {
+    let mut cur_ty = relation.tuple_type();
+    for step in steps {
+        let t = step_type(&cur_ty, &step.attr)?.clone();
+        cur_ty = if step.elem.is_some() { t.element()?.clone() } else { t };
+    }
+    Some(cur_ty)
+}
+
 /// Enumerates the element keys of the set/list at the end of `steps`.
 pub fn element_keys(
     relation: &RelationSchema,

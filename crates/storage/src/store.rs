@@ -452,6 +452,128 @@ impl Store {
         Ok(before)
     }
 
+    /// Transactional element insert: appends `element` to the keyed set/list
+    /// at `container` within `relation[key]` and returns the derived element
+    /// key. No version is installed — the element stays invisible to
+    /// snapshots until the owning transaction commits it via
+    /// [`Store::install_version`] with the element's path in its patch.
+    pub fn insert_element_pending(
+        &self,
+        relation: &str,
+        key: &ObjectKey,
+        container: &[TargetStep],
+        element: Value,
+    ) -> Result<ObjectKey> {
+        let schema = self.schema_of(relation)?;
+        self.check_refs_resolve(&element)?;
+        let elem_ty = navigate::path_type(schema, container)
+            .and_then(|t| t.element().cloned())
+            .ok_or_else(|| {
+                StorageError::BadTarget(format!("{relation}[{key}].{container:?} is not a set/list"))
+            })?;
+        let elem_key = element.element_key(&elem_ty).ok_or_else(|| {
+            StorageError::BadTarget(format!(
+                "element inserted at {relation}[{key}].{container:?} has no derivable key"
+            ))
+        })?;
+        let mut data = self.data(relation)?.write_latch();
+        let slot = data.objects.get_mut(key).ok_or_else(|| StorageError::UnknownObject {
+            relation: relation.to_string(),
+            key: key.clone(),
+        })?;
+        let whole_before = Arc::clone(slot);
+        let obj = Arc::make_mut(slot);
+        let cont = navigate::navigate_mut(schema, obj, container).ok_or_else(|| {
+            StorageError::BadTarget(format!("{relation}[{key}].{container:?}"))
+        })?;
+        if navigate::find_element(cont, &elem_ty, &elem_key).is_some() {
+            return Err(StorageError::DuplicateObject {
+                relation: format!("{relation}[{key}].{container:?}"),
+                key: elem_key,
+            });
+        }
+        cont.elements_mut()
+            .expect("path_type proved this is a container")
+            .push(element);
+        // Re-validate the whole object (element type, set-key uniqueness).
+        if let Err(e) = obj.check_object(schema) {
+            *slot = whole_before;
+            return Err(e.into());
+        }
+        Ok(elem_key)
+    }
+
+    /// Transactional element removal: removes the element with `elem_key`
+    /// from the keyed set/list at `container` and returns its position and
+    /// before-image. Snapshots keep seeing the element until a commit
+    /// installs a version carrying the removal.
+    pub fn remove_element_pending(
+        &self,
+        relation: &str,
+        key: &ObjectKey,
+        container: &[TargetStep],
+        elem_key: &ObjectKey,
+    ) -> Result<(usize, Value)> {
+        let schema = self.schema_of(relation)?;
+        let elem_ty = navigate::path_type(schema, container)
+            .and_then(|t| t.element().cloned())
+            .ok_or_else(|| {
+                StorageError::BadTarget(format!("{relation}[{key}].{container:?} is not a set/list"))
+            })?;
+        let mut data = self.data(relation)?.write_latch();
+        let slot = data.objects.get_mut(key).ok_or_else(|| StorageError::UnknownObject {
+            relation: relation.to_string(),
+            key: key.clone(),
+        })?;
+        let obj = Arc::make_mut(slot);
+        let cont = navigate::navigate_mut(schema, obj, container).ok_or_else(|| {
+            StorageError::BadTarget(format!("{relation}[{key}].{container:?}"))
+        })?;
+        navigate::remove_element(cont, &elem_ty, elem_key).ok_or_else(|| {
+            StorageError::UnknownObject {
+                relation: format!("{relation}[{key}].{container:?}"),
+                key: elem_key.clone(),
+            }
+        })
+    }
+
+    /// Rollback inverse of the element ops: `Some((at, image))`
+    /// re-establishes the element at its original position (undoing a
+    /// removal), `None` drops it (undoing an insert). Like
+    /// [`Store::restore`], no checks run and no version is installed — the
+    /// image is a state the element already held.
+    pub fn restore_element(
+        &self,
+        relation: &str,
+        key: &ObjectKey,
+        container: &[TargetStep],
+        elem_key: &ObjectKey,
+        image: Option<(usize, Value)>,
+    ) -> Result<()> {
+        let schema = self.schema_of(relation)?;
+        let elem_ty = navigate::path_type(schema, container)
+            .and_then(|t| t.element().cloned())
+            .ok_or_else(|| {
+                StorageError::BadTarget(format!("{relation}[{key}].{container:?} is not a set/list"))
+            })?;
+        let mut data = self.data(relation)?.write_latch();
+        let slot = data.objects.get_mut(key).ok_or_else(|| StorageError::UnknownObject {
+            relation: relation.to_string(),
+            key: key.clone(),
+        })?;
+        let obj = Arc::make_mut(slot);
+        let cont = navigate::navigate_mut(schema, obj, container).ok_or_else(|| {
+            StorageError::BadTarget(format!("{relation}[{key}].{container:?}"))
+        })?;
+        navigate::remove_element(cont, &elem_ty, elem_key);
+        if let Some((at, v)) = image {
+            if let Some(es) = cont.elements_mut() {
+                es.insert(at.min(es.len()), v);
+            }
+        }
+        Ok(())
+    }
+
     /// Writes a rollback image back at `steps` (the inverse of
     /// [`Store::update_at`]). Like [`Store::restore`], no referential checks
     /// are performed and no version is installed: the image is a state the
@@ -568,20 +690,8 @@ impl Store {
                     None => (ts, Some(Arc::clone(live))),
                     Some(base) => {
                         let mut img = (**base).clone();
-                        let mut composed = true;
-                        for path in paths {
-                            let (Some(src), Some(dst)) = (
-                                navigate::navigate(schema, live, path),
-                                navigate::navigate_mut(schema, &mut img, path),
-                            ) else {
-                                composed = false;
-                                break;
-                            };
-                            // Split borrows: `src` is read from `live`,
-                            // `dst` written into the fresh `img`.
-                            let src = src.clone();
-                            *dst = src;
-                        }
+                        let composed =
+                            paths.iter().all(|path| compose_path(schema, live, &mut img, path));
                         if composed {
                             (ts, Some(Arc::new(img)))
                         } else {
@@ -711,6 +821,61 @@ impl Store {
             }
         }
         Ok(())
+    }
+}
+
+/// Copies the subtree at `path` from `live` into `img`, element-aware: a
+/// trailing elem step that navigates in `live` but not in `img` is an
+/// element *insert* (appended to `img`'s container), one that navigates in
+/// `img` but not in `live` is an element *removal*. Returns `false` when the
+/// path cannot be composed (the caller falls back to the whole live object).
+fn compose_path(
+    schema: &RelationSchema,
+    live: &Arc<Value>,
+    img: &mut Value,
+    path: &[TargetStep],
+) -> bool {
+    // The container path of a trailing elem step, plus its element type.
+    let elem_context = || {
+        let (last, prefix) = path.split_last()?;
+        let elem_key = last.elem.clone()?;
+        let mut cpath = prefix.to_vec();
+        cpath.push(TargetStep::attr(last.attr.clone()));
+        let elem_ty = navigate::path_type(schema, &cpath)?.element()?.clone();
+        Some((cpath, elem_ty, elem_key))
+    };
+    match navigate::navigate(schema, live, path).cloned() {
+        Some(src) => {
+            if let Some(dst) = navigate::navigate_mut(schema, img, path) {
+                *dst = src;
+                return true;
+            }
+            // In live but not in the committed base: an inserted element.
+            let Some((cpath, elem_ty, elem_key)) = elem_context() else {
+                return false;
+            };
+            let Some(es) = navigate::navigate_mut(schema, img, &cpath)
+                .and_then(Value::elements_mut)
+            else {
+                return false;
+            };
+            es.retain(|e| e.element_key(&elem_ty).as_ref() != Some(&elem_key));
+            es.push(src);
+            true
+        }
+        None => {
+            // Gone from live: a removed element (anything else can't compose).
+            let Some((cpath, elem_ty, elem_key)) = elem_context() else {
+                return false;
+            };
+            match navigate::navigate_mut(schema, img, &cpath).and_then(Value::elements_mut) {
+                Some(es) => {
+                    es.retain(|e| e.element_key(&elem_ty).as_ref() != Some(&elem_key));
+                    true
+                }
+                None => false,
+            }
+        }
     }
 }
 
@@ -971,6 +1136,119 @@ mod tests {
         let later = s.clock().stable();
         assert_eq!(s.get_at_snapshot("cells", &key, &r2, later).unwrap(), Value::str("t2-dirty"));
         assert_eq!(s.get_at_snapshot("cells", &key, &r1, later).unwrap(), Value::str("t1-traj"));
+    }
+
+    fn robot(id: &str) -> Value {
+        tup(vec![
+            ("robot_id", Value::str(id)),
+            ("trajectory", Value::str(format!("t-{id}"))),
+            ("effectors", set(vec![])),
+        ])
+    }
+
+    #[test]
+    fn element_insert_remove_restore_roundtrip() {
+        let s = store();
+        s.insert("cells", cell("c1", vec![("r1", vec![])])).unwrap();
+        let key = ObjectKey::from("c1");
+        let robots = [TargetStep::attr("robots")];
+        // Insert derives the element key from the key attribute.
+        let ek = s.insert_element_pending("cells", &key, &robots, robot("r2")).unwrap();
+        assert_eq!(ek, ObjectKey::from("r2"));
+        assert!(s
+            .get_at("cells", &key, &[TargetStep::elem("robots", "r2")])
+            .is_ok());
+        // Same key again is a duplicate.
+        assert!(matches!(
+            s.insert_element_pending("cells", &key, &robots, robot("r2")),
+            Err(StorageError::DuplicateObject { .. })
+        ));
+        // Removal returns the before-image; restore re-establishes it.
+        let before = s.remove_element_pending("cells", &key, &robots, &ek).unwrap();
+        assert!(s.get_at("cells", &key, &[TargetStep::elem("robots", "r2")]).is_err());
+        s.restore_element("cells", &key, &robots, &ek, Some(before)).unwrap();
+        assert!(s.get_at("cells", &key, &[TargetStep::elem("robots", "r2")]).is_ok());
+        // Undo of an insert: restore with None.
+        s.restore_element("cells", &key, &robots, &ek, None).unwrap();
+        assert!(s.get_at("cells", &key, &[TargetStep::elem("robots", "r2")]).is_err());
+    }
+
+    #[test]
+    fn element_insert_rejects_bad_targets() {
+        let s = store();
+        s.insert("cells", cell("c1", vec![("r1", vec![])])).unwrap();
+        let key = ObjectKey::from("c1");
+        // A scalar attribute is not a container.
+        assert!(matches!(
+            s.insert_element_pending("cells", &key, &[TargetStep::attr("cell_id")], robot("r2")),
+            Err(StorageError::BadTarget(_))
+        ));
+        // A schema-typed element that fails validation is rolled back whole.
+        let bad = tup(vec![("robot_id", Value::Int(9))]);
+        assert!(s
+            .insert_element_pending("cells", &key, &[TargetStep::attr("robots")], bad)
+            .is_err());
+        assert_eq!(
+            s.get("cells", &key).unwrap().field("robots").unwrap().elements().unwrap().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn element_insert_composes_without_leaking_sibling_writes() {
+        // The regression install_version's element-awareness exists for: a
+        // committing element INSERT used to fall back to the whole live
+        // clone, carrying a concurrent sibling writer's uncommitted update
+        // into the committed chain.
+        let s = store();
+        s.insert("cells", cell("c1", vec![("r1", vec![])])).unwrap();
+        let key = ObjectKey::from("c1");
+        let robots = [TargetStep::attr("robots")];
+        let r1_traj = vec![TargetStep::elem("robots", "r1"), TargetStep::attr("trajectory")];
+        let r2_path = vec![TargetStep::elem("robots", "r2")];
+        // T1 inserts element r2; T2 updates sibling r1 — both pending.
+        s.insert_element_pending("cells", &key, &robots, robot("r2")).unwrap();
+        s.update_at_pending("cells", &key, &r1_traj, Value::str("t2-dirty")).unwrap();
+        // T1 commits alone.
+        s.clock().commit(|ts| {
+            s.install_version("cells", &key, ts, &VersionPatch::Paths(vec![r2_path.clone()]))
+                .unwrap();
+        });
+        let now = s.clock().stable();
+        // The insert is visible, the sibling's dirty write is not.
+        assert!(s.get_at_snapshot("cells", &key, &r2_path, now).is_ok());
+        assert_eq!(s.get_at_snapshot("cells", &key, &r1_traj, now).unwrap(), Value::str("t-r1"));
+        // T2 commits; its update lands on top of the insert.
+        s.clock().commit(|ts| {
+            s.install_version("cells", &key, ts, &VersionPatch::Paths(vec![r1_traj.clone()]))
+                .unwrap();
+        });
+        let later = s.clock().stable();
+        assert_eq!(
+            s.get_at_snapshot("cells", &key, &r1_traj, later).unwrap(),
+            Value::str("t2-dirty")
+        );
+        assert!(s.get_at_snapshot("cells", &key, &r2_path, later).is_ok());
+    }
+
+    #[test]
+    fn element_removal_composes_into_the_committed_image() {
+        let s = store();
+        s.insert("cells", cell("c1", vec![("r1", vec![]), ("r2", vec![])])).unwrap();
+        let key = ObjectKey::from("c1");
+        let robots = [TargetStep::attr("robots")];
+        let r2_path = vec![TargetStep::elem("robots", "r2")];
+        let before_ts = s.clock().stable();
+        s.remove_element_pending("cells", &key, &robots, &ObjectKey::from("r2")).unwrap();
+        // Visible to snapshots until the removal commits.
+        assert!(s.get_at_snapshot("cells", &key, &r2_path, s.clock().stable()).is_ok());
+        s.clock().commit(|ts| {
+            s.install_version("cells", &key, ts, &VersionPatch::Paths(vec![r2_path.clone()]))
+                .unwrap();
+        });
+        assert!(s.get_at_snapshot("cells", &key, &r2_path, s.clock().stable()).is_err());
+        // Old snapshots still see it.
+        assert!(s.get_at_snapshot("cells", &key, &r2_path, before_ts).is_ok());
     }
 
     #[test]

@@ -95,6 +95,10 @@ pub struct TransactionManager {
     commits_since_gc: AtomicU64,
     /// GC cadence in writer commits (`COLOCK_GC_EVERY`, 0 = off).
     gc_every: AtomicU64,
+    /// Semantic commutativity container modes toggle (`COLOCK_NO_SEMANTIC`
+    /// ablation): off, element operations degrade to classical X on the
+    /// container.
+    semantic: AtomicBool,
 }
 
 /// `COLOCK_NO_MVCC` set (non-empty, not "0") disables the overlay.
@@ -109,6 +113,15 @@ fn mvcc_default() -> bool {
 /// writer commits; 0 disables automatic pruning).
 fn gc_every_default() -> u64 {
     std::env::var("COLOCK_GC_EVERY").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// `COLOCK_NO_SEMANTIC` set (non-empty, not "0") disables the semantic
+/// Insert/Delete/Member container modes.
+fn semantic_default() -> bool {
+    match std::env::var("COLOCK_NO_SEMANTIC") {
+        Ok(v) => v.is_empty() || v == "0",
+        Err(_) => true,
+    }
 }
 
 /// What `TransactionManager::recover` restored from a journal.
@@ -145,6 +158,7 @@ impl TransactionManager {
             snapshots: Mutex::new(BTreeMap::new()),
             commits_since_gc: AtomicU64::new(0),
             gc_every: AtomicU64::new(gc_every_default()),
+            semantic: AtomicBool::new(semantic_default()),
         }
     }
 
@@ -163,6 +177,35 @@ impl TransactionManager {
     /// counterpart of `COLOCK_NO_MVCC` for parallel tests).
     pub fn set_mvcc(&self, enabled: bool) {
         self.mvcc.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether the semantic commutativity container modes (Insert/Delete/
+    /// Member) are in play. Defaults to on; `COLOCK_NO_SEMANTIC=1` or
+    /// [`TransactionManager::set_semantic`] turn them off.
+    pub fn semantic_enabled(&self) -> bool {
+        self.semantic.load(Ordering::Relaxed)
+    }
+
+    /// Toggles the semantic container modes (the env-independent counterpart
+    /// of `COLOCK_NO_SEMANTIC` for parallel tests).
+    pub fn set_semantic(&self, enabled: bool) {
+        self.semantic.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether the container HoLU named by `container` should be locked with
+    /// the semantic modes: toggle on, a protocol that understands explicit
+    /// modes, and a schema whose element keys are derivable (the catalog's
+    /// admission rule). Anything else degrades to the classical protocol.
+    pub fn semantic_for(&self, container: &InstanceTarget) -> bool {
+        if !self.semantic_enabled()
+            || !matches!(self.protocol, ProtocolKind::Proposed | ProtocolKind::ProposedRule4)
+        {
+            return false;
+        }
+        self.store
+            .catalog()
+            .admits_semantic_modes(&container.relation, &container.attr_path())
+            .unwrap_or(false)
     }
 
     /// Version-GC cadence in writer commits (0 = automatic GC off).
@@ -474,7 +517,10 @@ impl TransactionManager {
                 Some(cache.as_ref()),
             )?),
             _ => {
-                let access = if mode.covers(colock_lockmgr::LockMode::IX) {
+                // Required parent intent IX singles out the write-side modes
+                // including semantic Insert/Delete, which sit below IX and so
+                // would be misread as Read by a bare `covers(IX)` test.
+                let access = if mode.required_parent_intent() == colock_lockmgr::LockMode::IX {
                     AccessMode::Update
                 } else {
                     AccessMode::Read

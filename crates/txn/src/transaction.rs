@@ -4,8 +4,8 @@ use crate::error::TxnError;
 use crate::manager::TransactionManager;
 use crate::undo::UndoRecord;
 use crate::Result;
-use colock_core::{AccessMode, InstanceTarget, LockReport, ProtocolOptions};
-use colock_lockmgr::{TxnId, WaitPolicy};
+use colock_core::{AccessMode, InstanceTarget, LockReport, ProtocolOptions, TargetStep};
+use colock_lockmgr::{LockMode, TxnId, WaitPolicy};
 use colock_nf2::{ObjectKey, Value};
 use std::cell::Cell;
 
@@ -271,66 +271,125 @@ impl<'m> Transaction<'m> {
         Ok(())
     }
 
-    /// Deletes one element of a set/list (e.g. one robot): X lock on the
-    /// element only. Because deletion provably never dereferences the
-    /// element's references, downward propagation is skipped (§4.5: "no locks
-    /// on common data are necessary at all").
+    /// Splits an element target (`…robots[r1]`) into the owning object's key,
+    /// the element key, and the container target (`…robots`).
+    fn element_parts(element: &InstanceTarget) -> Result<(ObjectKey, ObjectKey, InstanceTarget)> {
+        let bad =
+            || TxnError::Storage(colock_storage::StorageError::BadTarget(element.to_string()));
+        let key = element.object.clone().ok_or_else(bad)?;
+        let elem_key = element.steps.last().and_then(|s| s.elem.clone()).ok_or_else(bad)?;
+        let mut container = element.clone();
+        let mut last = container.steps.pop().expect("last() above succeeded");
+        last.elem = None;
+        container.steps.push(last);
+        Ok((key, elem_key, container))
+    }
+
+    /// Deletes one element of a set/list (e.g. one robot): semantic Delete on
+    /// the container plus X on the element, so deleters of *distinct*
+    /// elements commute while whole-container readers/writers still conflict.
+    /// Because deletion provably never dereferences the element's references,
+    /// downward propagation is skipped (§4.5: "no locks on common data are
+    /// necessary at all").
+    ///
+    /// With the semantic modes unavailable (ablation, baseline protocol, or
+    /// keyless elements) the container is X-locked instead. Either way the
+    /// removal itself is a single element splice under the store latch — the
+    /// old read-modify-write of the whole container value let two deleters
+    /// holding only their element X locks overwrite each other's splice.
     pub fn delete_element(&self, element: &InstanceTarget) -> Result<()> {
         self.check_may_write()?;
-        let Some(last) = element.steps.last() else {
-            return Err(TxnError::Storage(colock_storage::StorageError::BadTarget(
-                element.to_string(),
-            )));
-        };
-        let elem_key = last.elem.clone().ok_or_else(|| {
-            TxnError::Storage(colock_storage::StorageError::BadTarget(element.to_string()))
-        })?;
+        let (key, elem_key, container) = Self::element_parts(element)?;
         let opts = ProtocolOptions { deref_refs: false, ..self.opts() };
-        self.mgr.lock(self.id, element, AccessMode::Update, opts)?;
-
-        let key = element.object.clone().ok_or_else(|| {
-            TxnError::Storage(colock_storage::StorageError::BadTarget(element.to_string()))
-        })?;
-        // Remove the element from its container.
-        let mut container_target = element.clone();
-        let mut last_step = container_target.steps.pop().expect("checked non-empty");
-        last_step.elem = None;
-        container_target.steps.push(last_step);
-        let container = self
-            .mgr
-            .store()
-            .get_at(&element.relation, &key, &container_target.steps)?;
-        let schema_elem_ty = {
-            let rel = self
-                .mgr
-                .store()
-                .catalog()
-                .schema()
-                .relation(&element.relation)
-                .map_err(colock_storage::StorageError::Model)?
-                .clone();
-            container_target
-                .attr_path()
-                .resolve(&rel)
-                .map_err(colock_storage::StorageError::Model)?
-                .element()
-                .cloned()
-        };
-        let mut new_container = container.clone();
-        if let (Some(es), Some(ty)) = (new_container.elements_mut(), schema_elem_ty) {
-            es.retain(|e| e.element_key(&ty).as_ref() != Some(&elem_key));
+        if self.mgr.semantic_for(&container) {
+            self.mgr.lock_mode(self.id, &container, LockMode::Delete, opts)?;
+            self.mgr.lock(self.id, element, AccessMode::Update, opts)?;
+        } else {
+            self.mgr.lock(self.id, &container, AccessMode::Update, opts)?;
         }
-        let before = self
-            .mgr
-            .store()
-            .update_at_pending(&element.relation, &key, &container_target.steps, new_container)?;
-        self.log(UndoRecord::Updated {
+        let (at, before) =
+            self.mgr.store().remove_element_pending(&element.relation, &key, &container.steps, &elem_key)?;
+        self.log(UndoRecord::ElementRemoved {
             relation: element.relation.clone(),
             key,
-            steps: container_target.steps.clone(),
+            steps: container.steps.clone(),
+            elem_key,
+            at,
             before,
         });
         Ok(())
+    }
+
+    /// Inserts one element into a set/list HoLU (e.g. one robot into
+    /// `cell.robots`): semantic Insert on the container plus X on the new
+    /// element, so inserters of distinct elements commute instead of
+    /// serializing on a container X. Insertion never dereferences existing
+    /// elements, so downward propagation is skipped (§4.5).
+    ///
+    /// Falls back to a classical container X when the semantic modes are
+    /// unavailable. Returns the new element's key.
+    pub fn insert_element(&self, container: &InstanceTarget, element: Value) -> Result<ObjectKey> {
+        self.check_may_write()?;
+        let bad =
+            || TxnError::Storage(colock_storage::StorageError::BadTarget(container.to_string()));
+        let key = container.object.clone().ok_or_else(bad)?;
+        if container.steps.last().is_none_or(|s| s.elem.is_some()) {
+            return Err(bad());
+        }
+        let opts = ProtocolOptions { deref_refs: false, ..self.opts() };
+        let mode = if self.mgr.semantic_for(container) { LockMode::Insert } else { LockMode::X };
+        self.mgr.lock_mode(self.id, container, mode, opts)?;
+        // Insert pending first to derive (and validate) the element key, then
+        // lock the new element; mirrors [`Transaction::insert`].
+        let elem_key = self.mgr.store().insert_element_pending(
+            &container.relation,
+            &key,
+            &container.steps,
+            element,
+        )?;
+        let mut elem_target = container.clone();
+        let last = elem_target.steps.pop().expect("non-empty: checked above");
+        elem_target.steps.push(TargetStep { attr: last.attr, elem: Some(elem_key.clone()) });
+        match self.mgr.lock(self.id, &elem_target, AccessMode::Update, opts) {
+            Ok(_) => {
+                self.log(UndoRecord::ElementInserted {
+                    relation: container.relation.clone(),
+                    key,
+                    steps: container.steps.clone(),
+                    elem_key: elem_key.clone(),
+                });
+                Ok(elem_key)
+            }
+            Err(e) => {
+                // Lock failed (deadlock victim, …): undo the splice now.
+                let _ = self.mgr.store().restore_element(
+                    &container.relation,
+                    &key,
+                    &container.steps,
+                    &elem_key,
+                    None,
+                );
+                Err(e)
+            }
+        }
+    }
+
+    /// Membership probe: reads one element of a set/list under a semantic
+    /// Member mode on the container plus S on the element — compatible with
+    /// concurrent inserters/deleters of *other* elements. The probe never
+    /// dereferences, so downward propagation is skipped. Snapshot
+    /// transactions read the version chains lock-free; without semantic
+    /// modes the container gets a plain IS (the classical read ancestor).
+    pub fn member_element(&self, element: &InstanceTarget) -> Result<Value> {
+        if self.snap.is_some() {
+            return self.snapshot_read(element);
+        }
+        let (key, _elem_key, container) = Self::element_parts(element)?;
+        let opts = ProtocolOptions { deref_refs: false, ..self.opts() };
+        let mode = if self.mgr.semantic_for(&container) { LockMode::Member } else { LockMode::IS };
+        self.mgr.lock_mode(self.id, &container, mode, opts)?;
+        self.mgr.lock(self.id, element, AccessMode::Read, opts)?;
+        Ok(self.mgr.store().get_at(&element.relation, &key, &element.steps)?)
     }
 
     /// Checks out `target` to a workstation: long lock (S for read-only

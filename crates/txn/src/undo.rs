@@ -38,6 +38,35 @@ pub enum UndoRecord {
         /// The deleted object.
         before: Value,
     },
+    /// One element was inserted into a set/list HoLU under a semantic Insert
+    /// lock: undo removes exactly that element, leaving concurrent writes to
+    /// sibling elements untouched.
+    ElementInserted {
+        /// Relation.
+        relation: String,
+        /// Key of the owning object.
+        key: ObjectKey,
+        /// Path of the *container* within the object.
+        steps: Vec<TargetStep>,
+        /// Key of the inserted element.
+        elem_key: ObjectKey,
+    },
+    /// One element was removed from a set/list HoLU under a semantic Delete
+    /// lock: undo puts the before-image back into the container.
+    ElementRemoved {
+        /// Relation.
+        relation: String,
+        /// Key of the owning object.
+        key: ObjectKey,
+        /// Path of the *container* within the object.
+        steps: Vec<TargetStep>,
+        /// Key of the removed element.
+        elem_key: ObjectKey,
+        /// Position the element held in the container (lists are ordered).
+        at: usize,
+        /// The removed element.
+        before: Value,
+    },
 }
 
 impl UndoRecord {
@@ -55,7 +84,23 @@ impl UndoRecord {
             UndoRecord::Deleted { relation, key, before } => {
                 store.restore(relation, key, Some(before.clone()))
             }
+            UndoRecord::ElementInserted { relation, key, steps, elem_key } => {
+                store.restore_element(relation, key, steps, elem_key, None)
+            }
+            UndoRecord::ElementRemoved { relation, key, steps, elem_key, at, before } => {
+                store.restore_element(relation, key, steps, elem_key, Some((*at, before.clone())))
+            }
         }
+    }
+
+    /// The element's full instance path (container steps with the trailing
+    /// attr step element-qualified) for element-granular records.
+    fn element_path(steps: &[TargetStep], elem_key: &ObjectKey) -> Vec<TargetStep> {
+        let mut path = steps.to_vec();
+        if let Some(last) = path.pop() {
+            path.push(TargetStep { attr: last.attr, elem: Some(elem_key.clone()) });
+        }
+        path
     }
 }
 
@@ -112,6 +157,17 @@ pub fn commit_patches(
             }
             UndoRecord::Deleted { relation, key, .. } => {
                 grouped.entry((relation.clone(), key.clone())).or_default();
+            }
+            // Element-granular writes commit as paths ending in an elem step;
+            // `install_version` composes them as element insert/removal
+            // against the base image.
+            UndoRecord::ElementInserted { relation, key, steps, elem_key }
+            | UndoRecord::ElementRemoved { relation, key, steps, elem_key, .. } => {
+                grouped
+                    .entry((relation.clone(), key.clone()))
+                    .or_default()
+                    .paths
+                    .push(UndoRecord::element_path(steps, elem_key));
             }
         }
     }

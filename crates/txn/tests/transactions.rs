@@ -313,3 +313,148 @@ fn tuple_level_and_naive_protocols_also_work_end_to_end() {
         t.commit().unwrap();
     }
 }
+
+// ---- semantic element operations ------------------------------------------
+
+fn robots_container() -> InstanceTarget {
+    InstanceTarget::object("cells", "c1").attr("robots")
+}
+
+fn new_robot(id: &str) -> Value {
+    tup(vec![
+        ("robot_id", Value::str(id)),
+        ("trajectory", Value::str("t-new")),
+        ("effectors", set(vec![])),
+    ])
+}
+
+fn robot_ids(container: &Value) -> Vec<String> {
+    container
+        .elements()
+        .unwrap()
+        .iter()
+        .map(|r| match r.field("robot_id") {
+            Some(Value::Str(s)) => s.clone(),
+            other => panic!("robot without id: {other:?}"),
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_element_inserters_commute_under_semantic_modes() {
+    let mgr = manager(ProtocolKind::Proposed);
+    let t1 = mgr.begin(TxnKind::Short);
+    let t2 = mgr.begin(TxnKind::Short);
+    // Try-policy: any lock conflict surfaces as WouldBlock instead of
+    // wedging the single test thread.
+    t2.set_wait_policy(colock_lockmgr::WaitPolicy::Try);
+    t1.insert_element(&robots_container(), new_robot("r3")).unwrap();
+    // t1 still holds Insert on the container and X on its new element; a
+    // second inserter of a *different* element gets in without waiting.
+    t2.insert_element(&robots_container(), new_robot("r4")).unwrap();
+    t1.commit().unwrap();
+    t2.commit().unwrap();
+    let t = mgr.begin(TxnKind::Short);
+    assert_eq!(robot_ids(&t.read(&robots_container()).unwrap()), ["r1", "r2", "r3", "r4"]);
+    t.commit().unwrap();
+}
+
+#[test]
+fn semantic_ablation_serializes_element_inserters() {
+    let mgr = manager(ProtocolKind::Proposed);
+    mgr.set_semantic(false);
+    let t1 = mgr.begin(TxnKind::Short);
+    let t2 = mgr.begin(TxnKind::Short);
+    t2.set_wait_policy(colock_lockmgr::WaitPolicy::Try);
+    t1.insert_element(&robots_container(), new_robot("r3")).unwrap();
+    // Classical fallback X-locks the whole container: the second inserter
+    // conflicts even though the elements are distinct.
+    let err = t2.insert_element(&robots_container(), new_robot("r4")).unwrap_err();
+    assert!(err.is_would_block(), "{err}");
+    t1.commit().unwrap();
+    t2.abort().unwrap();
+}
+
+#[test]
+fn concurrent_element_delete_and_insert_compose_at_commit() {
+    let mgr = manager(ProtocolKind::Proposed);
+    let t1 = mgr.begin(TxnKind::Short);
+    let t2 = mgr.begin(TxnKind::Short);
+    t2.set_wait_policy(colock_lockmgr::WaitPolicy::Try);
+    t1.delete_element(&robot("r1")).unwrap();
+    t2.insert_element(&robots_container(), new_robot("r3")).unwrap();
+    t1.commit().unwrap();
+    t2.commit().unwrap();
+    let t = mgr.begin(TxnKind::Short);
+    assert_eq!(robot_ids(&t.read(&robots_container()).unwrap()), ["r2", "r3"]);
+    t.commit().unwrap();
+}
+
+#[test]
+fn concurrent_deleters_do_not_lose_each_others_splice() {
+    // Regression: delete_element used to read the whole container, splice in
+    // memory, and write the container back under only an element X lock —
+    // two deleters of distinct robots could silently resurrect each other's
+    // victim. The splice now happens element-granular under the store latch.
+    let mgr = manager(ProtocolKind::Proposed);
+    let t1 = mgr.begin(TxnKind::Short);
+    let t2 = mgr.begin(TxnKind::Short);
+    t2.set_wait_policy(colock_lockmgr::WaitPolicy::Try);
+    t1.delete_element(&robot("r1")).unwrap();
+    t2.delete_element(&robot("r2")).unwrap();
+    t1.commit().unwrap();
+    t2.commit().unwrap();
+    let t = mgr.begin(TxnKind::Short);
+    assert!(robot_ids(&t.read(&robots_container()).unwrap()).is_empty());
+    t.commit().unwrap();
+}
+
+#[test]
+fn member_probe_runs_beside_an_uncommitted_inserter() {
+    let mgr = manager(ProtocolKind::Proposed);
+    let t1 = mgr.begin(TxnKind::Short);
+    t1.insert_element(&robots_container(), new_robot("r3")).unwrap();
+    let t2 = mgr.begin(TxnKind::Short);
+    t2.set_wait_policy(colock_lockmgr::WaitPolicy::Try);
+    // Member on the container is compatible with t1's Insert; the probe of
+    // an untouched element proceeds.
+    let r1 = t2.member_element(&robot("r1")).unwrap();
+    assert_eq!(r1.field("robot_id"), Some(&Value::str("r1")));
+    // Probing the not-yet-committed element hits its X lock.
+    let err = t2.member_element(&robot("r3")).unwrap_err();
+    assert!(err.is_would_block(), "{err}");
+    t1.abort().unwrap();
+    t2.commit().unwrap();
+}
+
+#[test]
+fn abort_rolls_back_element_insert_and_delete() {
+    let mgr = manager(ProtocolKind::Proposed);
+    let t = mgr.begin(TxnKind::Short);
+    t.insert_element(&robots_container(), new_robot("r3")).unwrap();
+    t.delete_element(&robot("r1")).unwrap();
+    assert_eq!(robot_ids(&t.read(&robots_container()).unwrap()), ["r2", "r3"]);
+    t.abort().unwrap();
+    let t2 = mgr.begin(TxnKind::Short);
+    assert_eq!(robot_ids(&t2.read(&robots_container()).unwrap()), ["r1", "r2"]);
+    t2.commit().unwrap();
+}
+
+#[test]
+fn snapshot_reader_never_sees_a_half_committed_element_storm() {
+    let mgr = manager(ProtocolKind::Proposed);
+    let reader = mgr.begin_readonly();
+    let t = mgr.begin(TxnKind::Short);
+    t.insert_element(&robots_container(), new_robot("r3")).unwrap();
+    // Pinned before the writer committed: still the original two robots.
+    assert_eq!(robot_ids(&reader.snapshot_read(&robots_container()).unwrap()), ["r1", "r2"]);
+    t.commit().unwrap();
+    assert_eq!(robot_ids(&reader.snapshot_read(&robots_container()).unwrap()), ["r1", "r2"]);
+    reader.commit().unwrap();
+    let after = mgr.begin_readonly();
+    assert_eq!(
+        robot_ids(&after.snapshot_read(&robots_container()).unwrap()),
+        ["r1", "r2", "r3"]
+    );
+    after.commit().unwrap();
+}

@@ -66,6 +66,17 @@ echo "==> stress_lockmgr (bounded rounds, linted)"
 COLOCK_CHECK=1 COLOCK_STRESS_ROUNDS="${COLOCK_STRESS_ROUNDS:-40}" \
     cargo run --offline --release -q -p colock-bench --bin stress_lockmgr
 
+echo "==> stress_insert_storm (hot-HoLU commuting inserts, linted)"
+# The semantic-mode acceptance workload: N writers insert distinct elements
+# into ONE set-valued HoLU. Runs twice under COLOCK_CHECK=1 — semantic modes
+# on (inserters commute via Insert on the container) and the
+# COLOCK_NO_SEMANTIC=1 ablation (every insert X-locks the container) — both
+# must keep every per-round invariant and lint clean.
+COLOCK_CHECK=1 COLOCK_STRESS_ROUNDS="${COLOCK_STRESS_ROUNDS:-20}" \
+    cargo run --offline --release -q -p colock-bench --bin stress_insert_storm
+COLOCK_NO_SEMANTIC=1 COLOCK_CHECK=1 COLOCK_STRESS_ROUNDS=10 \
+    cargo run --offline --release -q -p colock-bench --bin stress_insert_storm
+
 echo "==> stress_recovery (bounded fault-injection sweep, linted)"
 COLOCK_CHECK=1 COLOCK_RECOVERY_ROUNDS="${COLOCK_RECOVERY_ROUNDS:-10}" \
     cargo run --offline --release -q -p colock-bench --bin stress_recovery
@@ -97,6 +108,16 @@ echo "==> differential fast-path equivalence suite"
 # this run keeps it in the gate so a fast-path change cannot land without
 # the observational-equivalence proof passing.
 cargo test --offline -q -p colock-sim --test differential
+
+echo "==> stress + differential with the adaptive policy enabled"
+# COLOCK_ADAPTIVE=1 switches on wait-depth limiting, histogram-driven
+# escalation thresholds and hot-spot victim selection; the same invariants
+# and the linter must hold with the policy live.
+COLOCK_ADAPTIVE=1 COLOCK_CHECK=1 COLOCK_STRESS_ROUNDS=10 \
+    cargo run --offline --release -q -p colock-bench --bin stress_lockmgr
+COLOCK_ADAPTIVE=1 COLOCK_CHECK=1 COLOCK_STRESS_ROUNDS=10 \
+    cargo run --offline --release -q -p colock-bench --bin stress_insert_storm
+COLOCK_ADAPTIVE=1 cargo test --offline -q -p colock-sim --test differential
 
 echo "==> stress harnesses with the fast path disabled"
 # One bounded round of each with COLOCK_NO_FASTPATH=1: the classic
