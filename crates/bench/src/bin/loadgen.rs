@@ -272,6 +272,18 @@ fn main() {
             events.len(),
             report.grants_checked
         );
+        if colock_check::certify_enabled_from_env() {
+            let cert = colock_check::Certifier::new().certify(&events);
+            assert!(
+                cert.is_clean(),
+                "COLOCK_CERTIFY: served trace not conflict-serializable:\n{}",
+                cert.render_with_context(&events)
+            );
+            println!(
+                "certify: {} committed txn(s), {} edge(s), conflict graph acyclic",
+                cert.txns_committed, cert.edges
+            );
+        }
     }
     println!("loadgen: ok");
 }

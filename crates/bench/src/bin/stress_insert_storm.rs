@@ -121,6 +121,14 @@ fn main() {
                 "round {round}: storm trace has protocol violations:\n{}",
                 report.render()
             );
+            if colock_check::certify_enabled_from_env() {
+                let cert = colock_check::Certifier::new().certify(&events);
+                assert!(
+                    cert.is_clean(),
+                    "round {round}: storm trace not conflict-serializable:\n{}",
+                    cert.render_with_context(&events)
+                );
+            }
         }
         if round % 50 == 0 {
             println!(

@@ -120,6 +120,14 @@ fn lint_cycle(store: &Arc<Store>, mark: u64, label: &str) {
         "COLOCK_CHECK: protocol violations in {label}:\n{}",
         report.render_with_context(&events)
     );
+    if colock_check::certify_enabled_from_env() {
+        let cert = colock_check::Certifier::new().certify(&events);
+        assert!(
+            cert.is_clean(),
+            "COLOCK_CERTIFY: {label} not conflict-serializable:\n{}",
+            cert.render_with_context(&events)
+        );
+    }
 }
 
 fn main() {

@@ -147,6 +147,14 @@ fn main() {
                 "COLOCK_CHECK: round {round} violations:\n{}",
                 lint.render()
             );
+            if colock_check::certify_enabled_from_env() {
+                let cert = colock_check::Certifier::new().certify(&events);
+                assert!(
+                    cert.is_clean(),
+                    "COLOCK_CERTIFY: round {round} not conflict-serializable:\n{}",
+                    cert.render_with_context(&events)
+                );
+            }
         }
         println!(
             "round {round}: {} long locks crashed, {} re-adopted, resumed and committed over TCP",

@@ -19,21 +19,38 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod certify;
 pub mod lint;
 pub mod static_check;
 
+pub use certify::{Certifier, CertifyReport, ConflictCycle, ConflictEdge, TxnNode};
 pub use lint::{LintReport, Linter, Violation, ViolationKind};
 pub use static_check::{check_graph, check_matrix, check_schema, CheckError, StaticReport};
 
 use std::sync::OnceLock;
+
+fn env_flag(v: &str) -> bool {
+    matches!(v.to_ascii_lowercase().as_str(), "1" | "true" | "on" | "yes")
+}
 
 /// Whether `COLOCK_CHECK` asks for conformance checking (`1`, `true`, `on`
 /// or `yes`, case-insensitive). Read once and cached for the process.
 pub fn enabled_from_env() -> bool {
     static ENABLED: OnceLock<bool> = OnceLock::new();
     *ENABLED.get_or_init(|| {
-        std::env::var("COLOCK_CHECK")
-            .map(|v| matches!(v.to_ascii_lowercase().as_str(), "1" | "true" | "on" | "yes"))
-            .unwrap_or(false)
+        std::env::var("COLOCK_CHECK").map(|v| env_flag(&v)).unwrap_or(false)
+    })
+}
+
+/// Whether the serializability certifier should run. `COLOCK_CERTIFY` wins
+/// when set (so the certifier can be toggled independently, e.g. off for a
+/// bisect of a linter failure); otherwise it follows `COLOCK_CHECK`, putting
+/// the certifier next to the linter in every gated harness. Read once and
+/// cached for the process.
+pub fn certify_enabled_from_env() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| match std::env::var("COLOCK_CERTIFY") {
+        Ok(v) => env_flag(&v),
+        Err(_) => enabled_from_env(),
     })
 }

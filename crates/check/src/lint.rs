@@ -79,6 +79,12 @@ pub enum ViolationKind {
     /// `Insert` and a `Member` touching the same element key materialize as
     /// X and S on the element resource, which must never overlap.
     ConflictingGrants,
+    /// A semantic container mode (Member/Insert/Delete) was granted on an
+    /// attribute whose schema does not admit it
+    /// (`Catalog::admits_semantic_modes` is false): without a derivable
+    /// element key, "distinct elements commute" is unenforceable and the
+    /// planner must fall back to classical IS/IX.
+    SemanticModeNotAdmitted,
 }
 
 impl ViolationKind {
@@ -98,6 +104,7 @@ impl ViolationKind {
             ViolationKind::SnapshotTxnLocked => "snapshot-txn-locked",
             ViolationKind::SnapshotReadOutsideSnapshotTxn => "snapshot-read-outside-snapshot-txn",
             ViolationKind::ConflictingGrants => "conflicting-grants",
+            ViolationKind::SemanticModeNotAdmitted => "semantic-mode-not-admitted",
         }
     }
 }
@@ -219,7 +226,7 @@ fn is_lockmgr_kind(kind: EventKind) -> bool {
 }
 
 /// Detector events carry txn 0 but mention cycle members in their detail.
-fn involves_txn(e: &Event, txn: u64) -> bool {
+pub(crate) fn involves_txn(e: &Event, txn: u64) -> bool {
     matches!(e.kind, EventKind::DeadlockDetected) && parse_cycle(&e.detail).contains(&txn)
 }
 
@@ -231,7 +238,7 @@ fn parse_cycle(detail: &str) -> Vec<u64> {
         .collect()
 }
 
-fn parse_mode(s: &str) -> Option<LockMode> {
+pub(crate) fn parse_mode(s: &str) -> Option<LockMode> {
     Some(match s {
         "NL" => LockMode::NL,
         "IS" => LockMode::IS,
@@ -250,14 +257,14 @@ fn parse_mode(s: &str) -> Option<LockMode> {
 /// `a/b/c` yields `a` then `a/b`.
 ///
 /// [`ResourcePath`]: colock_core::resource::ResourcePath
-fn strict_ancestors(resource: &str) -> impl Iterator<Item = &str> {
+pub(crate) fn strict_ancestors(resource: &str) -> impl Iterator<Item = &str> {
     resource
         .char_indices()
         .filter(|&(_, c)| c == '/')
         .map(move |(i, _)| &resource[..i])
 }
 
-fn is_strict_ancestor(a: &str, b: &str) -> bool {
+pub(crate) fn is_strict_ancestor(a: &str, b: &str) -> bool {
     b.len() > a.len() && b.as_bytes()[a.len()] == b'/' && b.starts_with(a)
 }
 
@@ -290,30 +297,107 @@ struct TxnState {
     release_run: Vec<(u64, String)>,
 }
 
+/// Walks an attribute type tree collecting every dotted attribute path
+/// (element components contribute no step) whose type admits the semantic
+/// container modes.
+fn collect_semantic_paths(
+    relation: &str,
+    path: &str,
+    ty: &colock_nf2::AttrType,
+    out: &mut HashSet<(String, String)>,
+) {
+    use colock_nf2::AttrType;
+    match ty {
+        AttrType::Set(inner) | AttrType::List(inner) => {
+            if ty.admits_semantic_modes() {
+                out.insert((relation.to_string(), path.to_string()));
+            }
+            // Element tuples continue the dotted path below the container
+            // (`robots.effectors`): resources address them via `[key]`
+            // components, which carry no path step.
+            collect_semantic_paths(relation, path, inner, out);
+        }
+        AttrType::Tuple(fields) => {
+            for f in fields {
+                let child = if path.is_empty() {
+                    f.name.clone()
+                } else {
+                    format!("{path}.{}", f.name)
+                };
+                collect_semantic_paths(relation, &child, &f.ty, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// `Some((relation, dotted attr path))` for a resource naming an attribute
+/// inside a complex object: `db:…/seg:…/rel:R/obj:…/a/[e]/b` maps to
+/// `(R, "a.b")` (attribute steps print bare in the path syntax, elements
+/// as `[key]`). `None` when the resource names no relation or no attribute
+/// below the object (a semantic grant there is malformed by construction).
+fn semantic_target(resource: &str) -> Option<(&str, String)> {
+    let mut relation = None;
+    let mut in_object = false;
+    let mut path = String::new();
+    for comp in resource.split('/') {
+        if let Some(r) = comp.strip_prefix("rel:") {
+            relation = Some(r);
+        } else if comp.starts_with("obj:") {
+            in_object = true;
+        } else if in_object && !comp.starts_with('[') && !comp.is_empty() {
+            // A bare component below the object is an attribute step;
+            // `[key]` components are set/list elements and contribute no
+            // schema path step (`AttrPath` skips them the same way).
+            if !path.is_empty() {
+                path.push('.');
+            }
+            path.push_str(comp);
+        }
+    }
+    match (relation, path.is_empty()) {
+        (Some(r), false) => Some((r, path)),
+        _ => None,
+    }
+}
+
 /// The conformance linter. Construct with [`Linter::with_catalog`] when the
-/// schema is known (enables the entry-point placement checks) or
-/// [`Linter::new`] for schema-free linting.
+/// schema is known (enables the entry-point placement and semantic-mode
+/// admission checks) or [`Linter::new`] for schema-free linting.
 #[derive(Debug, Clone, Default)]
 pub struct Linter {
     common: Option<HashSet<String>>,
+    /// `(relation, dotted attr path)` pairs whose schema admits the
+    /// semantic container modes; `None` disables the admission check.
+    semantic_admitted: Option<HashSet<(String, String)>>,
 }
 
 impl Linter {
-    /// A schema-free linter: all checks except entry-point placement.
+    /// A schema-free linter: all checks except entry-point placement and
+    /// semantic-mode admission.
     pub fn new() -> Self {
-        Linter { common: None }
+        Linter::default()
     }
 
-    /// A linter that knows the catalog's common-data relations.
+    /// A linter that knows the catalog's common-data relations and which
+    /// attribute paths admit the semantic container modes.
     pub fn with_catalog(catalog: &Catalog) -> Self {
-        Self::with_common_data(
+        let mut l = Self::with_common_data(
             catalog.schema().common_data_relations().iter().map(|r| r.name.clone()),
-        )
+        );
+        let mut admitted = HashSet::new();
+        for rel in &catalog.schema().relations {
+            for attr in &rel.attributes {
+                collect_semantic_paths(&rel.name, &attr.name, &attr.ty, &mut admitted);
+            }
+        }
+        l.semantic_admitted = Some(admitted);
+        l
     }
 
     /// A linter with an explicit common-data relation set.
     pub fn with_common_data<I: IntoIterator<Item = String>>(relations: I) -> Self {
-        Linter { common: Some(relations.into_iter().collect()) }
+        Linter { common: Some(relations.into_iter().collect()), semantic_admitted: None }
     }
 
     /// Replays `events` (which must be in sequence order, as produced by the
@@ -336,8 +420,9 @@ impl Linter {
         // `holders` replays the cross-transaction grant table for the
         // conflicting-grants check. Only *non-intent* modes participate:
         // their grant and release events are emitted under the owning shard
-        // mutex, so their trace order is their lock order — optimistic
-        // intent releases may be traced late and would false-positive.
+        // mutex, so their trace order is their lock order. Optimistic intent
+        // grants can migrate into the shard map without a trace event (the
+        // drain), so replaying intents here would false-positive.
         let mut txns: HashMap<u64, TxnState> = HashMap::new();
         let mut holders: HashMap<String, Vec<(u64, LockMode)>> = HashMap::new();
         for e in events {
@@ -467,6 +552,38 @@ impl Linter {
             return;
         };
         let recovered = e.rule == RuleTag::Recovered || e.detail == "recovered";
+
+        // Semantic container modes are schema-gated: Member/Insert/Delete
+        // are only sound on set/list attributes with a derivable element key
+        // (`admits_semantic_modes`), because commuting distinct-element
+        // operations requires the element resources those keys name.
+        if mode.is_semantic() {
+            if let Some(admitted) = &self.semantic_admitted {
+                let target = semantic_target(&e.resource);
+                let ok = target
+                    .as_ref()
+                    .is_some_and(|(r, p)| admitted.contains(&(r.to_string(), p.clone())));
+                if !ok {
+                    report.violations.push(Violation {
+                        kind: ViolationKind::SemanticModeNotAdmitted,
+                        txn: e.txn,
+                        seq: e.seq,
+                        resource: e.resource.clone(),
+                        detail: match target {
+                            Some((r, p)) => format!(
+                                "{} on `{p}` of relation `{r}`, which does not admit \
+                                 semantic modes",
+                                e.mode
+                            ),
+                            None => format!(
+                                "{} on a resource that names no container attribute",
+                                e.mode
+                            ),
+                        },
+                    });
+                }
+            }
+        }
 
         // Two-phase discipline. Long transactions span sessions (their short
         // locks come and go around the persistent long locks), recovery
@@ -1216,6 +1333,156 @@ mod tests {
         ];
         let report = Linter::new().lint(&events);
         assert!(report.is_clean(), "{}", report.render());
+    }
+
+    fn semantic_catalog() -> Catalog {
+        use colock_nf2::types::shorthand::*;
+        use colock_nf2::{DatabaseBuilder, RelationBuilder};
+        let db = DatabaseBuilder::new("d")
+            .segment("s")
+            .relation(
+                RelationBuilder::new("cells", "s")
+                    .attr("cell_id", str_())
+                    // Keyed tuple elements: admits semantic modes.
+                    .attr("objs", set(tuple(vec![attr("obj_id", str_()), attr("nm", str_())])))
+                    // Real elements carry no derivable key: rejected.
+                    .attr("scores", set(real_()))
+                    .finish(),
+            )
+            .finish()
+            .expect("schema validates");
+        Catalog::new(db).expect("catalog builds")
+    }
+
+    /// Mutation case for the PR 9 planner contract: a semantic mode used on
+    /// an attribute whose schema `admits_semantic_modes` rejects must be
+    /// flagged — on every semantic mode — while an admitted path stays clean
+    /// and a schema-free linter leaves admission unchecked.
+    #[test]
+    fn semantic_mode_on_non_admitting_schema_is_flagged() {
+        let linter = Linter::with_catalog(&semantic_catalog());
+        let ok = vec![
+            ev(1, EventKind::TxnBegin, 7).detail("short"),
+            grant(2, 7, "db:d/seg:s/rel:cells/obj:k/objs", "IN", RuleTag::None),
+        ];
+        let report = linter.lint(&ok);
+        assert!(report.is_clean(), "{}", report.render());
+        for mode in ["MB", "IN", "DL"] {
+            let bad = vec![
+                ev(1, EventKind::TxnBegin, 7).detail("short"),
+                grant(2, 7, "db:d/seg:s/rel:cells/obj:k/scores", mode, RuleTag::None),
+            ];
+            let report = linter.lint(&bad);
+            let kinds: Vec<ViolationKind> =
+                report.violations.iter().map(|v| v.kind).collect();
+            assert_eq!(
+                kinds,
+                vec![ViolationKind::SemanticModeNotAdmitted],
+                "{mode}: {}",
+                report.render()
+            );
+            assert!(report.violations[0].detail.contains("scores"), "{}", report.render());
+            // Schema-free linting cannot check admission.
+            assert!(Linter::new().lint(&bad).is_clean());
+        }
+        // A semantic grant that names no container attribute at all.
+        let bad = vec![
+            ev(1, EventKind::TxnBegin, 7).detail("short"),
+            grant(2, 7, "db:d/seg:s/rel:cells/obj:k", "IN", RuleTag::None),
+        ];
+        let report = linter.lint(&bad);
+        assert_eq!(report.violations.len(), 1, "{}", report.render());
+        assert_eq!(report.violations[0].kind, ViolationKind::SemanticModeNotAdmitted);
+    }
+
+    /// The dotted path skips `elem:` components: a nested container below a
+    /// keyed element is resolved as `objs.inner`, not flagged as unknown.
+    #[test]
+    fn semantic_admission_resolves_through_element_components() {
+        use colock_nf2::types::shorthand::*;
+        use colock_nf2::{DatabaseBuilder, RelationBuilder};
+        let db = DatabaseBuilder::new("d")
+            .segment("s")
+            .relation(
+                RelationBuilder::new("cells", "s")
+                    .attr("cell_id", str_())
+                    .attr(
+                        "objs",
+                        set(tuple(vec![
+                            attr("obj_id", str_()),
+                            attr("tags", set(str_())),   // admitted (string elements)
+                            attr("weights", list(real_())), // rejected (no key)
+                        ])),
+                    )
+                    .finish(),
+            )
+            .finish()
+            .expect("schema validates");
+        let linter = Linter::with_catalog(&Catalog::new(db).expect("catalog builds"));
+        let base = "db:d/seg:s/rel:cells/obj:k/objs/[e1]";
+        let ok = vec![
+            ev(1, EventKind::TxnBegin, 7).detail("short"),
+            grant(2, 7, &format!("{base}/tags"), "IN", RuleTag::None),
+        ];
+        assert!(linter.lint(&ok).is_clean(), "{}", linter.lint(&ok).render());
+        let bad = vec![
+            ev(1, EventKind::TxnBegin, 7).detail("short"),
+            grant(2, 7, &format!("{base}/weights"), "DL", RuleTag::None),
+        ];
+        let report = linter.lint(&bad);
+        assert_eq!(report.violations.len(), 1, "{}", report.render());
+        assert_eq!(report.violations[0].kind, ViolationKind::SemanticModeNotAdmitted);
+        assert!(report.violations[0].detail.contains("objs.weights"), "{}", report.render());
+    }
+
+    /// Mutation case for rules 1/2 over the semantic row: an `Insert` on the
+    /// container requires IX-strength intent on every ancestor — an IS chain
+    /// (or a bare chain) must be flagged, an IX chain passes, and a sibling
+    /// `Insert` on the *parent* container satisfies the requirement too
+    /// (`satisfies_parent_intent`).
+    #[test]
+    fn insert_without_parent_ix_is_flagged() {
+        let container = "db:d/seg:s/rel:r/obj:k/members";
+        let chain = |m: &str, seq0: u64| {
+            vec![
+                grant(seq0, 7, "db:d", m, RuleTag::AncestorIntent),
+                grant(seq0 + 1, 7, "db:d/seg:s", m, RuleTag::AncestorIntent),
+                grant(seq0 + 2, 7, "db:d/seg:s/rel:r", m, RuleTag::AncestorIntent),
+                grant(seq0 + 3, 7, "db:d/seg:s/rel:r/obj:k", m, RuleTag::AncestorIntent),
+            ]
+        };
+        // IS ancestors do not license an Insert below.
+        let mut events = vec![ev(1, EventKind::TxnBegin, 7).detail("short")];
+        events.extend(chain("IS", 2));
+        events.push(grant(6, 7, container, "IN", RuleTag::Target));
+        let report = Linter::new().lint(&events);
+        let kinds: Vec<ViolationKind> = report.violations.iter().map(|v| v.kind).collect();
+        assert_eq!(kinds, vec![ViolationKind::MissingAncestorIntent], "{}", report.render());
+        assert!(report.violations[0].detail.contains("requires IX"), "{}", report.render());
+
+        // No ancestor intent at all is flagged at the database root.
+        let events = vec![
+            ev(1, EventKind::TxnBegin, 7).detail("short"),
+            grant(2, 7, container, "IN", RuleTag::Target),
+        ];
+        let report = Linter::new().lint(&events);
+        assert_eq!(report.violations.len(), 1, "{}", report.render());
+        assert_eq!(report.violations[0].kind, ViolationKind::MissingAncestorIntent);
+        assert!(report.violations[0].detail.contains("`db:d` holds NL"), "{}", report.render());
+
+        // An IX chain licenses it.
+        let mut events = vec![ev(1, EventKind::TxnBegin, 7).detail("short")];
+        events.extend(chain("IX", 2));
+        events.push(grant(6, 7, container, "IN", RuleTag::Target));
+        assert!(Linter::new().lint(&events).is_clean());
+
+        // A semantic Insert on the parent container announces descendant
+        // writes as loudly as IX: an element X below needs no conversion.
+        let mut events = vec![ev(1, EventKind::TxnBegin, 7).detail("short")];
+        events.extend(chain("IX", 2));
+        events.push(grant(6, 7, container, "IN", RuleTag::Target));
+        events.push(grant(7, 7, &format!("{container}/[9]"), "X", RuleTag::Target));
+        assert!(Linter::new().lint(&events).is_clean());
     }
 
     /// Sequential reuse of a resource by incompatible modes is clean as long

@@ -74,6 +74,7 @@ use crate::persistent::{JournalOp, JournalSink};
 use crate::stats::LockStats;
 use crate::txnid::TxnId;
 use crate::Result;
+use colock_testkit::explore;
 use colock_trace::{self as trace, Event, EventKind};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -838,6 +839,7 @@ impl<R: Resource> LockManager<R> {
         opts: LockRequestOptions,
     ) -> Result<AcquireOutcome> {
         debug_assert!(mode != LockMode::NL, "cannot acquire NL");
+        explore::yield_point(|| format!("acquire {mode}|{resource:?}"));
         if mode.is_intent() && !opts.long && self.fastpath.load(Ordering::Relaxed) {
             if let Some(outcome) = self.try_fastpath(txn, &resource, mode) {
                 return Ok(outcome);
@@ -862,6 +864,14 @@ impl<R: Resource> LockManager<R> {
         opts: LockRequestOptions,
     ) -> Result<Vec<AcquireOutcome>> {
         debug_assert!(mode.is_intent(), "chain batching is for intent modes");
+        explore::yield_point(|| {
+            let mut label = format!("chain {mode}");
+            for r in chain {
+                label.push('|');
+                label.push_str(&format!("{r:?}"));
+            }
+            label
+        });
         let mut out = Vec::with_capacity(chain.len());
         if !mode.is_intent() || opts.long || !self.fastpath.load(Ordering::Relaxed) {
             for r in chain {
@@ -1246,6 +1256,7 @@ impl<R: Resource> LockManager<R> {
 
     /// Releases `resource` for `txn`. Returns `true` if a lock was released.
     pub fn release(&self, txn: TxnId, resource: &R) -> bool {
+        explore::yield_point(|| format!("release|{resource:?}"));
         let h = Self::hash_of(resource);
         let si = (h as usize) & self.shard_mask;
         let slot = self.slot_from_hash(h);
@@ -1265,17 +1276,22 @@ impl<R: Resource> LockManager<R> {
                 if t.held.is_empty() {
                     stripe.remove(&txn);
                 }
-                // Decrement before the stripe unlocks so a draining
-                // pessimist never sees a count with no entry left behind it.
-                slot_update(slot, |w| summary::opt_dec(w, mode));
-                drop(stripe);
-                LockStats::bump(&self.stats.releases);
+                // Trace before the decrement: the summary CAS is what lets a
+                // conflicting request through, so the Release event must
+                // carry an earlier sequence than any grant it enables — the
+                // serializability certifier orders commit-release overlaps
+                // by these sequences.
                 trace::emit(|| {
                     Event::new(EventKind::Release, txn.0)
                         .shard(si as u32)
                         .mode(mode.to_string())
                         .resource(format!("{resource:?}"))
                 });
+                // Decrement before the stripe unlocks so a draining
+                // pessimist never sees a count with no entry left behind it.
+                slot_update(slot, |w| summary::opt_dec(w, mode));
+                drop(stripe);
+                LockStats::bump(&self.stats.releases);
                 // Never migrated ⟹ no real grant ⟹ no queue to process: a
                 // conflicting request would have drained this grant first.
                 return true;
@@ -1313,28 +1329,27 @@ impl<R: Resource> LockManager<R> {
     /// locked exactly once. Resources with no ungranted waiters skip queue
     /// processing entirely.
     pub fn release_all(&self, txn: TxnId) -> usize {
-        let traced = trace::is_enabled();
+        explore::yield_point(|| "release_all|*".to_string());
         let mut real: Vec<(R, u64)> = Vec::new();
-        let mut optimistic: Vec<(R, LockMode)> = Vec::new();
         let mut opt_count = 0usize;
         {
             let mut stripe = self.stripe_locked(txn);
             let held = stripe.remove(&txn).map(|t| t.held).unwrap_or_default();
             for (r, e) in held {
                 if e.optimistic {
+                    // Trace before the decrement (see `release`): the event
+                    // sequence must precede any grant the CAS enables.
+                    self.trace_optimistic_release(txn, &r, e.mode);
                     // Decrement under the stripe (see `release`).
                     slot_update(self.slot_from_hash(e.hash), |w| summary::opt_dec(w, e.mode));
                     opt_count += 1;
-                    if traced {
-                        optimistic.push((r, e.mode));
-                    }
                 } else {
                     real.push((r, e.hash));
                 }
             }
         }
         let n = real.len() + opt_count;
-        self.report_optimistic_releases(txn, opt_count, &optimistic);
+        LockStats::add(&self.stats.releases, opt_count as u64);
         self.release_batch(txn, real);
         n
     }
@@ -1342,9 +1357,8 @@ impl<R: Resource> LockManager<R> {
     /// Releases only the *short* locks of `txn`, keeping long locks — models
     /// the end of a workstation session whose check-outs persist (\[KSUW85\]).
     pub fn release_short(&self, txn: TxnId) -> usize {
-        let traced = trace::is_enabled();
+        explore::yield_point(|| "release_short|*".to_string());
         let mut real: Vec<(R, u64)> = Vec::new();
-        let mut optimistic: Vec<(R, LockMode)> = Vec::new();
         let mut opt_count = 0usize;
         {
             let mut stripe = self.stripe_locked(txn);
@@ -1356,11 +1370,10 @@ impl<R: Resource> LockManager<R> {
                 if e.long {
                     t.held.insert(r, e);
                 } else if e.optimistic {
+                    // Trace before the decrement (see `release`).
+                    self.trace_optimistic_release(txn, &r, e.mode);
                     slot_update(self.slot_from_hash(e.hash), |w| summary::opt_dec(w, e.mode));
                     opt_count += 1;
-                    if traced {
-                        optimistic.push((r, e.mode));
-                    }
                 } else {
                     real.push((r, e.hash));
                 }
@@ -1370,28 +1383,24 @@ impl<R: Resource> LockManager<R> {
             }
         }
         let n = real.len() + opt_count;
-        self.report_optimistic_releases(txn, opt_count, &optimistic);
+        LockStats::add(&self.stats.releases, opt_count as u64);
         self.release_batch(txn, real);
         n
     }
 
-    /// Stats and trace for optimistic releases already removed (and their
-    /// summary slots decremented) under the stripe. `released` carries only
-    /// the entries to trace — empty when tracing is off — so `count` is the
-    /// authoritative number.
-    fn report_optimistic_releases(&self, txn: TxnId, count: usize, released: &[(R, LockMode)]) {
-        if count == 0 {
-            return;
-        }
-        LockStats::add(&self.stats.releases, count as u64);
-        for (r, mode) in released {
-            trace::emit(|| {
-                Event::new(EventKind::Release, txn.0)
-                    .shard(self.shard_index(r) as u32)
-                    .mode(mode.to_string())
-                    .resource(format!("{r:?}"))
-            });
-        }
+    /// Traces one optimistic release. Called *before* the summary-slot
+    /// decrement, while the stripe is still held: the decrement CAS is what
+    /// admits a conflicting grant, so the Release event must carry an
+    /// earlier trace sequence than any grant it enables — the
+    /// serializability certifier orders commit-release overlaps by those
+    /// sequences.
+    fn trace_optimistic_release(&self, txn: TxnId, r: &R, mode: LockMode) {
+        trace::emit(|| {
+            Event::new(EventKind::Release, txn.0)
+                .shard(self.shard_index(r) as u32)
+                .mode(mode.to_string())
+                .resource(format!("{r:?}"))
+        });
     }
 
     /// Removes `txn`'s grants on the given resources (inventory already
@@ -1943,6 +1952,7 @@ impl<R: Resource> LockManager<R> {
                 out
             };
             for (txn, mode, long) in to_grant {
+                explore::note_wakeup(txn.0);
                 let (prev, absorbed) = self.install_grant(shard, txn, resource, mode, long, h);
                 // The grantee's own waiter entry keeps the slot's waiter
                 // count above zero throughout, blocking new optimists; the
@@ -2130,13 +2140,17 @@ impl<R: Resource> LockManager<R> {
                         }
                         return Err(LockError::Timeout);
                     }
+                    explore::before_block(txn.0);
                     let (guard, _) = cond
                         .wait_timeout(shard, d - now)
                         .unwrap_or_else(PoisonError::into_inner);
                     shard = guard;
+                    explore::after_block(txn.0);
                 }
                 None => {
+                    explore::before_block(txn.0);
                     shard = cond.wait(shard).unwrap_or_else(PoisonError::into_inner);
+                    explore::after_block(txn.0);
                 }
             }
         }
@@ -2290,6 +2304,7 @@ impl<R: Resource> LockManager<R> {
                     }
                     // The victim is a blocked waiter, so it installed the
                     // condvar before sleeping.
+                    explore::note_wakeup(victim.0);
                     if let Some(cond) = &state.cond {
                         LockStats::bump(&self.stats.wakeups);
                         cond.notify_all();

@@ -186,6 +186,21 @@ pub fn run_threads(mgr: &Arc<TransactionManager>, cfg: &ThreadConfig) -> ThreadR
             report.render_with_context(&events)
         );
     }
+    if colock_check::certify_enabled_from_env() && !events.is_empty() {
+        let cert = colock_check::Certifier::new().certify(&events);
+        if !cert.is_clean() {
+            // Persist the raw trace so the failure can be replayed offline
+            // with `colock_check --certify <file>`.
+            let path = std::env::temp_dir().join("colock_certify_fail.trace");
+            let lines: String = events.iter().map(|e| format!("{}\n", e.to_line())).collect();
+            let saved = std::fs::write(&path, lines).map(|_| path.display().to_string());
+            panic!(
+                "COLOCK_CERTIFY: threaded run not conflict-serializable \
+                 (trace saved: {saved:?}):\n{}",
+                cert.render_with_context(&events)
+            );
+        }
+    }
     let wait_hists = if events.is_empty() {
         Default::default()
     } else {
@@ -228,7 +243,8 @@ mod tests {
     }
 
     /// Seeded random workloads must produce protocol-conformant traces
-    /// under every shipped protocol — the linter stays silent.
+    /// under every shipped protocol — the linter stays silent — and every
+    /// trace must certify conflict-serializable (acyclic conflict graph).
     #[test]
     fn random_workloads_lint_clean() {
         colock_trace::enable();
@@ -251,6 +267,13 @@ mod tests {
                 report.render_with_context(&events)
             );
             assert!(report.grants_checked > 0, "seed {seed}: no grants seen");
+            let cert = colock_check::Certifier::new().certify(&events);
+            assert!(
+                cert.is_clean(),
+                "seed {seed} {protocol:?} not conflict-serializable:\n{}",
+                cert.render_with_context(&events)
+            );
+            assert!(cert.txns_committed > 0, "seed {seed}: no committed txns certified");
         }
     }
 

@@ -1,0 +1,199 @@
+//! Tier-1 integration of the interleaving explorer: small, bounded
+//! versions of the `stress_explore` scenarios so the gate proves the
+//! lock-table yield points, the cooperative scheduler, and the per-schedule
+//! certifier replay work together. The unbounded sweep lives in the
+//! `stress_explore` harness.
+
+use colock_core::authorization::Authorization;
+use colock_core::{AccessMode, InstanceTarget};
+use colock_nf2::value::build::{set, tup};
+use colock_nf2::Value;
+use colock_sim::{build_cells_store, CellsConfig};
+use colock_testkit::explore::{explore, Explorable, ExploreConfig};
+use colock_txn::{ProtocolKind, TransactionManager, TxnKind};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn small_cells() -> CellsConfig {
+    CellsConfig {
+        n_cells: 2,
+        c_objects_per_cell: 2,
+        robots_per_cell: 1,
+        n_effectors: 2,
+        effectors_per_robot: 1,
+        ..Default::default()
+    }
+}
+
+fn manager(cfg: &CellsConfig) -> Arc<TransactionManager> {
+    Arc::new(TransactionManager::over_store(
+        build_cells_store(cfg),
+        Authorization::allow_all(),
+        ProtocolKind::Proposed,
+    ))
+}
+
+fn verify_trace(mgr: &TransactionManager, mark: u64) -> Result<(), String> {
+    let events = colock_trace::events_since(mark);
+    let lint = colock_check::Linter::with_catalog(mgr.store().catalog()).lint(&events);
+    if !lint.is_clean() {
+        return Err(format!("protocol violations:\n{}", lint.render()));
+    }
+    let cert = colock_check::Certifier::new().certify(&events);
+    if !cert.is_clean() {
+        return Err(format!("not serializable:\n{}", cert.render_with_context(&events)));
+    }
+    Ok(())
+}
+
+/// Two writers inserting distinct robots into the same container: every
+/// schedule must commit both and certify conflict-serializable.
+struct TwoInserters {
+    mgr: Option<Arc<TransactionManager>>,
+    mark: u64,
+}
+
+impl Explorable for TwoInserters {
+    fn reset(&mut self) {
+        self.mark = colock_trace::current_seq();
+        self.mgr = Some(manager(&small_cells()));
+    }
+
+    fn threads(&mut self) -> Vec<Box<dyn FnOnce() + Send + 'static>> {
+        let mgr = self.mgr.as_ref().expect("reset ran").clone();
+        (0..2)
+            .map(|w| {
+                let mgr = Arc::clone(&mgr);
+                Box::new(move || {
+                    let container = InstanceTarget::object("cells", "c1").attr("robots");
+                    let robot = tup(vec![
+                        ("robot_id", Value::str(format!("t-w{w}"))),
+                        ("trajectory", Value::str("t")),
+                        ("effectors", set(Vec::new())),
+                    ]);
+                    let t = mgr.begin(TxnKind::Short);
+                    t.insert_element(&container, robot).expect("insert");
+                    t.commit().expect("commit");
+                }) as Box<dyn FnOnce() + Send + 'static>
+            })
+            .collect()
+    }
+
+    fn check(&mut self) -> Result<(), String> {
+        let mgr = self.mgr.take().expect("reset ran");
+        if mgr.active_count() != 0 {
+            return Err("transactions survived".into());
+        }
+        verify_trace(&mgr, self.mark)
+    }
+
+    fn rescue(&self) {
+        if let Some(mgr) = &self.mgr {
+            mgr.lock_manager().begin_drain();
+        }
+    }
+}
+
+#[test]
+fn explored_insert_schedules_certify_clean() {
+    colock_trace::enable();
+    let cfg = ExploreConfig { max_schedules: 64, ..ExploreConfig::default() };
+    let mut scenario = TwoInserters { mgr: None, mark: 0 };
+    let report = explore(&cfg, &mut scenario);
+    if let Some(f) = &report.failure {
+        panic!("schedule failed:\n{f}");
+    }
+    assert!(report.is_clean(), "{report}");
+    assert!(report.distinct_schedules >= 2, "only one schedule explored: {report}");
+}
+
+/// Opposite-order X locks: the explorer must reach the deadlock and see it
+/// resolved (one victim, one survivor) in every schedule that closes it.
+struct OppositeOrder {
+    mgr: Option<Arc<TransactionManager>>,
+    mark: u64,
+    outcomes: Arc<(AtomicU64, AtomicU64)>, // (committed, deadlock aborts)
+    deadlock_schedules: u64,
+}
+
+impl Explorable for OppositeOrder {
+    fn reset(&mut self) {
+        self.mark = colock_trace::current_seq();
+        self.mgr = Some(manager(&small_cells()));
+        self.outcomes.0.store(0, Ordering::Relaxed);
+        self.outcomes.1.store(0, Ordering::Relaxed);
+    }
+
+    fn threads(&mut self) -> Vec<Box<dyn FnOnce() + Send + 'static>> {
+        let mgr = self.mgr.as_ref().expect("reset ran").clone();
+        [("c1", "c2"), ("c2", "c1")]
+            .into_iter()
+            .map(|(first, second)| {
+                let mgr = Arc::clone(&mgr);
+                let outcomes = Arc::clone(&self.outcomes);
+                Box::new(move || {
+                    let t = mgr.begin(TxnKind::Short);
+                    let a = InstanceTarget::object("cells", first);
+                    let b = InstanceTarget::object("cells", second);
+                    let locked = t
+                        .lock(&a, AccessMode::Update)
+                        .and_then(|_| t.lock(&b, AccessMode::Update));
+                    match locked {
+                        Ok(_) => {
+                            t.commit().expect("survivor commit");
+                            outcomes.0.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) if e.is_deadlock() => {
+                            let _ = t.abort();
+                            outcomes.1.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("unexpected lock failure: {e}"),
+                    }
+                }) as Box<dyn FnOnce() + Send + 'static>
+            })
+            .collect()
+    }
+
+    fn check(&mut self) -> Result<(), String> {
+        let mgr = self.mgr.take().expect("reset ran");
+        let committed = self.outcomes.0.load(Ordering::Relaxed);
+        let aborted = self.outcomes.1.load(Ordering::Relaxed);
+        if committed + aborted != 2 || committed == 0 {
+            return Err(format!("not live: {committed} committed, {aborted} aborted"));
+        }
+        if aborted > 0 {
+            self.deadlock_schedules += 1;
+        }
+        if mgr.active_count() != 0 {
+            return Err("transactions survived".into());
+        }
+        verify_trace(&mgr, self.mark)
+    }
+
+    fn rescue(&self) {
+        if let Some(mgr) = &self.mgr {
+            mgr.lock_manager().begin_drain();
+        }
+    }
+}
+
+#[test]
+fn explored_deadlocks_are_resolved_and_certify_clean() {
+    colock_trace::enable();
+    let cfg = ExploreConfig { max_schedules: 64, ..ExploreConfig::default() };
+    let mut scenario = OppositeOrder {
+        mgr: None,
+        mark: 0,
+        outcomes: Arc::new((AtomicU64::new(0), AtomicU64::new(0))),
+        deadlock_schedules: 0,
+    };
+    let report = explore(&cfg, &mut scenario);
+    if let Some(f) = &report.failure {
+        panic!("schedule failed:\n{f}");
+    }
+    assert!(report.is_clean(), "{report}");
+    assert!(
+        scenario.deadlock_schedules > 0,
+        "no explored schedule reached the deadlock: {report}"
+    );
+}

@@ -36,6 +36,7 @@
 pub mod backoff;
 pub mod bench;
 pub mod codec;
+pub mod explore;
 pub mod fault;
 pub mod prop;
 pub mod rng;
@@ -43,6 +44,7 @@ pub mod stress;
 
 pub use backoff::Backoff;
 pub use bench::{black_box, BenchHarness};
+pub use explore::{Explorable, ExploreConfig, ExploreReport};
 pub use fault::{CrashPoint, FaultPlan};
 pub use prop::{run_forall, Config, Shrink};
 pub use rng::Rng;

@@ -82,8 +82,59 @@ impl WaitsForGraph {
 }
 
 /// Escapes a string for use inside a double-quoted DOT label.
+///
+/// Backslashes and double quotes are backslash-escaped; literal newlines,
+/// carriage returns and tabs become the two-character sequences `\n`, `\r`
+/// and `\t` (which Graphviz renders as line breaks / whitespace instead of
+/// terminating the attribute). Percent-escaped path components (`%22`,
+/// `%7B`, …) are valid inside a quoted DOT string and pass through
+/// unchanged, so an escaped label round-trips via [`dot_unescape`].
+///
+/// ```
+/// use colock_trace::{dot_escape, dot_unescape};
+/// let hostile = "rel:a\"b/obj:%22\nelem:c\\d";
+/// let esc = dot_escape(hostile);
+/// assert!(!esc.contains('\n'));
+/// assert_eq!(dot_unescape(&esc), hostile);
+/// ```
+pub fn dot_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`dot_escape`]: decodes the backslash sequences it emits.
+/// Unknown escape sequences keep their literal character (as Graphviz does).
+pub fn dot_unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some(c) => out.push(c),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
 fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    dot_escape(s)
 }
 
 #[cfg(test)]
@@ -125,5 +176,64 @@ mod tests {
             victim: None,
         };
         assert!(g.to_dot().contains("a\\\"b"));
+    }
+
+    #[test]
+    fn hostile_labels_stay_inside_quotes() {
+        // Quotes, %-escaped components, newlines and backslashes must all
+        // survive inside one double-quoted label: no raw `"` or newline may
+        // leak into the DOT structure.
+        let g = WaitsForGraph {
+            edges: vec![WaitEdge {
+                waiter: 1,
+                holder: 2,
+                resource: "rel:a\"b/obj:%22%7B\nelem:c\\d".into(),
+                mode: "X".into(),
+            }],
+            cycle: vec![],
+            victim: None,
+        };
+        let dot = g.to_dot();
+        let label_line = dot.lines().find(|l| l.contains("->")).unwrap();
+        // Every `"` on the edge line is either a node-name delimiter, the
+        // label delimiter, or escaped — count unescaped quotes: exactly 6
+        // (2 per node name, 2 around the label).
+        let mut unescaped = 0;
+        let mut prev_backslash = false;
+        for c in label_line.chars() {
+            if c == '"' && !prev_backslash {
+                unescaped += 1;
+            }
+            prev_backslash = c == '\\' && !prev_backslash;
+        }
+        assert_eq!(unescaped, 6, "{label_line}");
+        // %-escapes pass through verbatim.
+        assert!(label_line.contains("%22%7B"));
+        // The literal newline was converted, not emitted.
+        assert!(label_line.contains("\\n"));
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        for s in [
+            "plain",
+            "rel:a\"b",
+            "back\\slash",
+            "multi\nline\r\n",
+            "tab\there",
+            "pct %22 %7B %n",
+            "\\n already-escaped",
+            "trailing backslash \\",
+        ] {
+            assert_eq!(dot_unescape(&dot_escape(s)), s, "round-trip of {s:?}");
+            // The escaped form never contains raw quotes or line breaks.
+            let esc = dot_escape(s);
+            assert!(!esc.contains('\n') && !esc.contains('\r'));
+            let mut prev = ' ';
+            for c in esc.chars() {
+                assert!(c != '"' || prev == '\\', "raw quote in {esc:?}");
+                prev = c;
+            }
+        }
     }
 }

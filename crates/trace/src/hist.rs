@@ -96,7 +96,12 @@ impl WaitHistogram {
             seen += n;
             if seen >= rank {
                 let hi = if i + 1 >= 64 { u64::MAX } else { 1u64 << (i + 1) };
-                return hi.min(self.max_us);
+                // Clamp to the observed maximum only when one was recorded:
+                // a histogram whose samples all landed in bucket 0 without
+                // raising `max_us` (e.g. a single 0µs wait, or hand-built
+                // bucket counts) must still report the bucket's upper bound
+                // rather than collapsing every quantile to 0.
+                return if self.max_us > 0 { hi.min(self.max_us) } else { hi };
             }
         }
         self.max_us
@@ -219,6 +224,40 @@ mod tests {
         for q in [0.0, 0.5, 0.99, 1.0] {
             assert_eq!(h.quantile_us(q), 42);
         }
+    }
+
+    #[test]
+    fn quantile_boundaries() {
+        // Empty histogram: every quantile is 0.
+        let empty = WaitHistogram::default();
+        assert_eq!(empty.quantile_us(0.0), 0);
+        assert_eq!(empty.quantile_us(1.0), 0);
+
+        // A single 0µs wait lands in bucket 0 ([0,2)µs) without raising
+        // max_us; q=1.0 must report the bucket's upper bound, not 0.
+        let mut h = WaitHistogram::default();
+        h.record(0);
+        assert_eq!(h.quantile_us(0.0), 2);
+        assert_eq!(h.quantile_us(1.0), 2);
+
+        // Hand-built single-bucket counts (max_us never set, as a merge of
+        // raw bucket data would produce): same rule, upper bound of the
+        // populated bucket.
+        let mut raw = WaitHistogram::default();
+        raw.buckets[3] = 5; // [8,16)µs
+        raw.count = 5;
+        assert_eq!(raw.quantile_us(1.0), 16);
+        assert_eq!(raw.quantile_us(0.0), 16);
+
+        // q=0.0 on a multi-bucket histogram is the first sample's bucket.
+        let mut multi = WaitHistogram::default();
+        multi.record(3);
+        multi.record(700);
+        assert_eq!(multi.quantile_us(0.0), 4);
+        assert_eq!(multi.quantile_us(1.0), 700);
+        // Out-of-range q is clamped.
+        assert_eq!(multi.quantile_us(-1.0), 4);
+        assert_eq!(multi.quantile_us(2.0), 700);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod explain;
 mod hist;
 
 pub use buffer::TraceBuffer;
-pub use dot::{WaitEdge, WaitsForGraph};
+pub use dot::{dot_escape, dot_unescape, WaitEdge, WaitsForGraph};
 pub use event::{Event, EventKind, ParseError, RuleTag};
 pub use hist::{wait_histograms, WaitHistogram, BUCKETS};
 

@@ -554,11 +554,13 @@ impl TransactionManager {
         // its X locks: the patches are composed from subtrees no concurrent
         // transaction may touch yet, and the commit gate makes the whole
         // multi-object install atomic to snapshot readers.
+        let mut commit_ts = None;
         let installed: std::result::Result<(), colock_storage::StorageError> = if commit
             && !state.undo.is_empty()
         {
             let patches = crate::undo::commit_patches(&self.store, &state.undo);
             self.store.clock().commit(|ts| {
+                commit_ts = Some(ts);
                 for (relation, key, patch) in &patches {
                     self.store.install_version(relation, key, ts, patch)?;
                 }
@@ -577,7 +579,14 @@ impl TransactionManager {
         colock_trace::emit(|| {
             let kind =
                 if commit { colock_trace::EventKind::TxnCommit } else { colock_trace::EventKind::TxnAbort };
-            colock_trace::Event::new(kind, txn.0)
+            let ev = colock_trace::Event::new(kind, txn.0);
+            // A version-installing commit stamps its clock timestamp so the
+            // serializability certifier can order snapshot reads against it
+            // (reads-from edges are `version ts ≤ snapshot ts`).
+            match commit_ts {
+                Some(ts) => ev.detail(format!("ts={ts}")),
+                None => ev,
+            }
         });
         if commit && !state.undo.is_empty() {
             let every = self.gc_every.load(Ordering::Relaxed);

@@ -59,8 +59,38 @@ cargo bench --offline --workspace --no-run -q
 echo "==> colock_check --self-test (static analysis + linted contention demo)"
 # Exercises both the clean path and the detected-cycle accounting: the
 # self-test runs the trace_explain forced-deadlock demo under the linter and
-# requires at least one detected and resolved deadlock with zero violations.
+# requires at least one detected and resolved deadlock with zero violations,
+# plus the certifier mutation check (a seeded write-skew the linter passes
+# must fail certification).
 cargo run --offline --release -q -p colock-bench --bin colock_check -- --self-test
+
+echo "==> colock_check --certify round trip (clean demo passes, forced cycle flagged)"
+# End-to-end file modes of the serializability certifier: the contention
+# demo trace must certify (its deadlock victim aborted; the committed
+# survivors are acyclic), the seeded write-skew trace must be refused with
+# a non-zero exit.
+certify_tmp=$(mktemp -d)
+trap 'rm -rf "$certify_tmp"' EXIT
+cargo run --offline --release -q -p colock-bench --bin colock_check -- \
+    --dump demo "$certify_tmp/demo.trace"
+cargo run --offline --release -q -p colock-bench --bin colock_check -- \
+    --dump skew "$certify_tmp/skew.trace"
+cargo run --offline --release -q -p colock-bench --bin colock_check -- \
+    --certify "$certify_tmp/demo.trace"
+if cargo run --offline --release -q -p colock-bench --bin colock_check -- \
+    --certify "$certify_tmp/skew.trace" >/dev/null 2>&1; then
+    echo "error: the seeded write-skew trace must fail certification" >&2
+    exit 1
+fi
+echo "    ok: clean demo certified, forced cycle refused"
+
+echo "==> stress_explore (DPOR interleaving explorer, linted + certified)"
+# Enumerates distinct schedules of the 3-txn hot-HoLU insert storm and a
+# 2-txn guaranteed-deadlock scenario through the lock table's yield points;
+# every explored interleaving must lint clean and certify
+# conflict-serializable, and every explored deadlock must resolve live.
+COLOCK_EXPLORE_MAX_SCHEDULES="${COLOCK_EXPLORE_MAX_SCHEDULES:-600}" \
+    cargo run --offline --release -q -p colock-bench --bin stress_explore
 
 echo "==> stress_lockmgr (bounded rounds, linted)"
 COLOCK_CHECK=1 COLOCK_STRESS_ROUNDS="${COLOCK_STRESS_ROUNDS:-40}" \
